@@ -1,0 +1,59 @@
+//! Ablation: how the half-vs-full neighbor list decision depends on
+//! the cutoff (compute intensity).
+//!
+//! §4.1: "Which neighbor list style to use does not have a
+//! one-size-fits-all answer. It highly depends on the hardware
+//! architecture, the specific pair style, and the cutoff distance ...
+//! the more compute intensive a pair style is the more likely it is
+//! that half neighbor lists are the right choice."
+//!
+//! Longer cutoffs mean more pairs per atom: the full list's redundant
+//! compute grows linearly with pair count while the half list's atomic
+//! overhead grows the same way — but the *ratio* of redundant compute
+//! to saved atomics shifts with the per-pair flop count, so the margin
+//! narrows (and on atomic-strong hardware eventually flips).
+
+use lkk_bench::{measure_lj_with_cutoff, step_time};
+use lkk_core::pair::PairKokkosOptions;
+use lkk_gpusim::GpuArch;
+
+fn main() {
+    println!("Ablation: LJ full/half advantage vs cutoff (2M atoms)");
+    println!(
+        "{:<14} {:>8} {:>12} {:>14} {:>11}",
+        "arch", "cutoff", "pairs/atom", "full/half", "winner"
+    );
+    for arch in [GpuArch::h100(), GpuArch::mi250x_gcd()] {
+        for &cut in &[2.5f64, 3.5, 5.0] {
+            let full = measure_lj_with_cutoff(
+                110_000,
+                arch.clone(),
+                PairKokkosOptions {
+                    force_half: Some(false),
+                    team_over_neighbors: false,
+                },
+                cut,
+            );
+            let half = measure_lj_with_cutoff(
+                110_000,
+                arch.clone(),
+                PairKokkosOptions {
+                    force_half: Some(true),
+                    team_over_neighbors: false,
+                },
+                cut,
+            );
+            let n = 2e6;
+            let ratio = step_time(&half, n, &arch) / step_time(&full, n, &arch);
+            println!(
+                "{:<14} {:>8.1} {:>12.1} {:>14.2} {:>11}",
+                arch.name,
+                cut,
+                full.avg_neighbors,
+                ratio,
+                if ratio > 1.0 { "full" } else { "half" }
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Appendix B: exascale preparedness against 32-bit integer overflow.
+//!
+//! Demonstrates the two refactors the paper describes on our QEq data
+//! structures: (1) 64-bit row offsets in the over-allocated CSR format
+//! while column indices stay 32-bit; (2) 2-D bond tables whose indices
+//! never exceed 32 bits regardless of total size.
+
+fn main() {
+    println!("Appendix B: integer-overflow preparedness");
+
+    // Case 1: sparse-matrix row offsets. A large-but-realistic local
+    // problem: 6M atoms × 400 allocated slots = 2.4e9 > i32::MAX.
+    let n_atoms: i64 = 6_000_000;
+    let max_row: i64 = 400;
+    let offsets: Vec<i64> = (0..=4).map(|k| k * n_atoms / 4 * max_row).collect();
+    let total_slots = n_atoms * max_row;
+    println!(
+        "  QEq CSR: {} atoms x {} slots/row = {} slots (i32::MAX = {})",
+        n_atoms,
+        max_row,
+        total_slots,
+        i32::MAX
+    );
+    assert!(total_slots > i32::MAX as i64);
+    assert!(offsets[4] == total_slots);
+    println!(
+        "  -> row offsets are i64 (last offset {}), column indices stay i32 (max {} < i32::MAX)",
+        offsets[4],
+        n_atoms - 1
+    );
+    assert!(n_atoms - 1 < i32::MAX as i64);
+
+    // Case 2: bond tables. A flat 1-D indexing of 6M atoms × 24 bond
+    // slots × 16 entries would overflow; the 2-D (atom, slot) indexing
+    // keeps every index small.
+    let bonds_per_atom: i64 = 24;
+    let entries_per_bond: i64 = 16;
+    let flat = n_atoms * bonds_per_atom * entries_per_bond;
+    println!(
+        "  Bond table: flat 1-D index space {} ({}x i32::MAX); 2-D indices: atom {} (< i32::MAX), slot {}",
+        flat,
+        flat / i32::MAX as i64,
+        n_atoms - 1,
+        bonds_per_atom - 1
+    );
+    assert!(flat > i32::MAX as i64);
+
+    // The production structures use exactly these types:
+    // lkk_reaxff::qeq::QeqMatrix { offsets: Vec<i64>, cols: Vec<i32>,
+    // nnz: Vec<i32>, .. } and BondTable's per-row 2-D layout.
+    println!("  (see lkk_reaxff::qeq::QeqMatrix and lkk_reaxff::bond_order::BondTable)");
+    println!("OK");
+}

@@ -1,0 +1,46 @@
+//! Figure 2a: effect of exposing parallelism over neighbors for the LJ
+//! potential, as a function of atom count, on H100 and MI250X.
+//!
+//! "For small systems, the benefit of additional parallelism outweighs
+//! the reduced efficiency of the more complex iteration pattern."
+
+use lkk_bench::{eng, measure_lj, step_time};
+use lkk_core::pair::PairKokkosOptions;
+use lkk_gpusim::GpuArch;
+
+fn main() {
+    let archs = [GpuArch::h100(), GpuArch::mi250x_gcd()];
+    let atom_parallel = PairKokkosOptions {
+        force_half: Some(false),
+        team_over_neighbors: false,
+    };
+    let team_parallel = PairKokkosOptions {
+        force_half: Some(false),
+        team_over_neighbors: true,
+    };
+    println!("Figure 2a: LJ atom-parallel vs neighbor-team parallel (atom-steps/s)");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>8}",
+        "arch", "atoms", "atom-par", "team-par", "team/atom"
+    );
+    for arch in archs {
+        // Measure both strategies once on a real melt; sweep sizes
+        // through the cost model.
+        let flat = measure_lj(110_000, arch.clone(), atom_parallel);
+        let team = measure_lj(110_000, arch.clone(), team_parallel);
+        for &n in &[2_000.0f64, 8e3, 32e3, 128e3, 512e3, 2e6, 8e6] {
+            let t_flat = step_time(&flat, n, &arch);
+            let t_team = step_time(&team, n, &arch);
+            println!(
+                "{:<14} {:>10} {:>12} {:>12} {:>8.2}",
+                arch.name,
+                eng(n),
+                eng(n / t_flat),
+                eng(n / t_team),
+                t_flat / t_team
+            );
+        }
+        println!();
+    }
+    println!("(team/atom > 1 means hierarchical parallelism wins: expected at small N)");
+}

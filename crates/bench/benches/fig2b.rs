@@ -1,0 +1,51 @@
+//! Figure 2b: half neighbor list (+ atomics, newton on) vs full list
+//! (redundant computation, newton off) for LJ on H100 and MI250X.
+//!
+//! "For simple pairwise potentials, whose computational cost is low,
+//! the full neighbor list is faster" — especially on NVIDIA parts with
+//! high atomic throughput.
+
+use lkk_bench::{eng, measure_lj, step_time};
+use lkk_core::pair::PairKokkosOptions;
+use lkk_gpusim::GpuArch;
+
+fn main() {
+    let archs = [GpuArch::h100(), GpuArch::mi250x_gcd()];
+    println!("Figure 2b: LJ full list (newton off) vs half list (newton on), atom-steps/s");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>10}",
+        "arch", "atoms", "full", "half", "full/half"
+    );
+    for arch in archs {
+        let full = measure_lj(
+            110_000,
+            arch.clone(),
+            PairKokkosOptions {
+                force_half: Some(false),
+                team_over_neighbors: false,
+            },
+        );
+        let half = measure_lj(
+            110_000,
+            arch.clone(),
+            PairKokkosOptions {
+                force_half: Some(true),
+                team_over_neighbors: false,
+            },
+        );
+        for &n in &[32e3f64, 128e3, 512e3, 2e6, 8e6, 16e6] {
+            let t_full = step_time(&full, n, &arch);
+            let t_half = step_time(&half, n, &arch);
+            println!(
+                "{:<14} {:>10} {:>12} {:>12} {:>10.2}",
+                arch.name,
+                eng(n),
+                eng(n / t_full),
+                eng(n / t_half),
+                t_half / t_full
+            );
+        }
+        println!();
+    }
+    println!("(full/half > 1: redundant computation beats atomics, the paper's GPU result)");
+}

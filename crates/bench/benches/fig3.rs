@@ -1,0 +1,66 @@
+//! Figure 3: kernel performance vs the shared-memory carveout on
+//! NVIDIA H100, at 1,024,000 atoms, normalized to the default
+//! (heuristic) carveout.
+//!
+//! Expected shapes (§4.4): PairComputeLJCut and ComputeYi *lose*
+//! performance as the carveout grows (they live off L1);
+//! ComputeUi and ComputeFusedDeidrj *gain* roughly linearly
+//! ("occupancy is proportional to shared memory utilization").
+
+use lkk_bench::{measure_lj, measure_snap};
+use lkk_core::pair::PairKokkosOptions;
+use lkk_gpusim::{CacheConfig, GpuArch, KernelStats};
+use lkk_snap::SnapKernelConfig;
+
+const ATOMS: f64 = 1_024_000.0;
+
+fn scaled(k: &KernelStats, measured_atoms: f64) -> KernelStats {
+    let f = ATOMS / measured_atoms;
+    let mut s = k.clone();
+    s.work_items *= f;
+    s.flops *= f;
+    s.dram_bytes *= f;
+    s.reused_bytes *= f;
+    s.l1_only_bytes *= f;
+    s.atomic_f64_ops *= f;
+    s
+}
+
+fn main() {
+    let arch = GpuArch::h100();
+    let lj = measure_lj(110_000, arch.clone(), PairKokkosOptions::default());
+    let snap = measure_snap(16_000, arch.clone(), SnapKernelConfig::default());
+
+    let mut kernels: Vec<(String, KernelStats)> = Vec::new();
+    for (m, names) in [
+        (&lj, vec!["PairComputeLJCut"]),
+        (&snap, vec!["ComputeUi", "ComputeYi", "ComputeFusedDeidrj"]),
+    ] {
+        for name in names {
+            let k = m.stats.iter().find(|s| s.name == name).unwrap();
+            kernels.push((name.to_string(), scaled(k, m.natoms)));
+        }
+    }
+
+    println!("Figure 3: performance vs shared-memory carveout on H100 (1,024,000 atoms)");
+    print!("{:<22}", "carveout");
+    let carveouts = [0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
+    for c in carveouts {
+        print!("{:>7.0}%", c * 100.0);
+    }
+    println!();
+    for (name, k) in &kernels {
+        // Normalize by the heuristic ("default") configuration.
+        let t_default = k.time_on_default(&arch).seconds;
+        print!("{name:<22}");
+        for c in carveouts {
+            let cfg = CacheConfig::from_carveout(&arch, c);
+            let t = k.time_on(&arch, &cfg).seconds;
+            print!("{:>8.2}", t_default / t);
+        }
+        println!();
+    }
+    println!();
+    println!("(values are perf relative to the default carveout; paper Fig. 3 shows");
+    println!(" LJ/Yi falling toward high carveout and Ui/FusedDeidrj rising)");
+}

@@ -1,0 +1,81 @@
+//! Figure 4: saturation of normalized performance (atom-steps/s) on a
+//! single NVIDIA H100 as a function of atom count, for LJ, ReaxFF, and
+//! SNAP.
+//!
+//! Expected shapes (§5.1): SNAP saturates at far lower atom counts
+//! ("the primary compute kernels expose several degrees of parallelism
+//! beyond just particle count"); LJ and ReaxFF saturate at similar,
+//! much larger counts; ReaxFF runs out of HBM before full saturation.
+
+use lkk_bench::{eng, lj_comm, measure_lj, measure_reaxff, measure_snap, reaxff_comm, snap_comm, to_workload};
+use lkk_core::pair::PairKokkosOptions;
+use lkk_gpusim::cost::fits_in_hbm;
+use lkk_gpusim::GpuArch;
+use lkk_snap::SnapKernelConfig;
+
+fn main() {
+    let arch = GpuArch::h100();
+    let lj = to_workload(
+        "LJ",
+        &measure_lj(110_000, arch.clone(), PairKokkosOptions::default()),
+        lj_comm(),
+    );
+    let snap = to_workload(
+        "SNAP",
+        &measure_snap(16_000, arch.clone(), SnapKernelConfig::default()),
+        snap_comm(),
+    );
+    let reax_m = measure_reaxff(20_000, arch.clone());
+    let reax = to_workload("ReaxFF", &reax_m, reaxff_comm(30.0));
+
+    // Bytes of device-resident state per atom (ReaxFF's big sparse
+    // matrix is what makes it "run out of HBM": ~300 nnz × 12 B plus
+    // bond/angle/torsion tables ≈ 6 kB/atom; LJ/SNAP ~1 kB).
+    let footprint = |name: &str, n: f64| -> f64 {
+        match name {
+            "ReaxFF" => n * 6000.0,
+            _ => n * 1000.0,
+        }
+    };
+
+    println!("Figure 4: single-H100 saturation (atom-steps/s vs atoms)");
+    print!("{:<10}", "atoms");
+    for w in [&lj, &reax, &snap] {
+        print!("{:>12}", w.name);
+    }
+    println!();
+    let mut n = 1000.0f64;
+    while n <= 128e6 {
+        print!("{:<10}", eng(n));
+        for w in [&lj, &reax, &snap] {
+            if !fits_in_hbm(&arch, footprint(&w.name, n)) {
+                print!("{:>12}", "OOM");
+                continue;
+            }
+            let t = w.kernel_time(n, &arch);
+            print!("{:>12}", eng(n / t));
+        }
+        println!();
+        n *= 4.0;
+    }
+    println!();
+    // Report the 50%-of-peak saturation points.
+    for w in [&lj, &reax, &snap] {
+        let peak = (0..20)
+            .map(|k| {
+                let n = 1000.0 * 2f64.powi(k);
+                n / w.kernel_time(n, &arch)
+            })
+            .fold(0.0f64, f64::max);
+        let mut sat = 0.0;
+        for k in 0..20 {
+            let n = 1000.0 * 2f64.powi(k);
+            if n / w.kernel_time(n, &arch) > 0.5 * peak {
+                sat = n;
+                break;
+            }
+        }
+        println!("{}: 50%-saturation at ~{} atoms", w.name, eng(sat));
+    }
+    println!("(paper: SNAP saturates at much lower atom counts than LJ/ReaxFF)");
+}

@@ -1,0 +1,72 @@
+//! Figure 5: single-GPU performance across architectures, normalized
+//! to a 36-core Skylake CPU node running the non-Kokkos MPI code.
+//!
+//! Workload sizes as in the paper: LJ 16M atoms, ReaxFF 465k atoms,
+//! SNAP 64k atoms.
+
+use lkk_bench::{lj_comm, measure_lj, measure_reaxff, measure_snap, reaxff_comm, snap_comm, to_workload};
+use lkk_core::pair::PairKokkosOptions;
+use lkk_gpusim::{CpuArch, GpuArch};
+use lkk_machine::Workload;
+use lkk_snap::SnapKernelConfig;
+
+/// CPU-node reference time: the same per-atom flop/byte volumes run at
+/// a CPU-realistic efficiency (LAMMPS pair kernels sustain ~10% of
+/// peak on Skylake).
+fn cpu_time(w: &Workload, n: f64, cpu: &CpuArch) -> f64 {
+    let flops: f64 = w.per_atom.iter().map(|k| k.flops).sum::<f64>() * n;
+    let bytes: f64 = w
+        .per_atom
+        .iter()
+        .map(|k| k.dram_bytes + 0.3 * k.reused_bytes)
+        .sum::<f64>()
+        * n;
+    cpu.kernel_time(flops, bytes, 0.10)
+}
+
+fn main() {
+    let h100 = GpuArch::h100();
+    let cpu = CpuArch::skylake36();
+    let workloads = vec![
+        (
+            to_workload(
+                "LJ",
+                &measure_lj(110_000, h100.clone(), PairKokkosOptions::default()),
+                lj_comm(),
+            ),
+            16_000_000.0,
+        ),
+        (
+            to_workload("ReaxFF", &measure_reaxff(20_000, h100.clone()), reaxff_comm(30.0)),
+            465_000.0,
+        ),
+        (
+            to_workload(
+                "SNAP",
+                &measure_snap(16_000, h100.clone(), SnapKernelConfig::default()),
+                snap_comm(),
+            ),
+            64_000.0,
+        ),
+    ];
+
+    println!("Figure 5: single-GPU speedup over a 36-core Skylake node");
+    println!("(LJ: 16M atoms, ReaxFF: 465k atoms, SNAP: 64k atoms)");
+    print!("{:<18}", "arch");
+    for (w, _) in &workloads {
+        print!("{:>10}", w.name);
+    }
+    println!();
+    for arch in GpuArch::table1() {
+        print!("{:<18}", arch.name);
+        for (w, n) in &workloads {
+            let t_gpu = w.kernel_time(*n, &arch);
+            let t_cpu = cpu_time(w, *n, &cpu);
+            print!("{:>9.1}x", t_cpu / t_gpu);
+        }
+        println!();
+    }
+    println!();
+    println!("(paper Fig. 5: NVIDIA parts lead, large V100→A100→H100 generational");
+    println!(" jumps, MI300A between A100 and H100, MI250X-GCD/PVC-stack lowest)");
+}

@@ -1,0 +1,83 @@
+//! Figure 6: strong scaling of the three benchmarks on Frontier,
+//! Aurora, El Capitan, and Alps.
+//!
+//! Expected shapes (§5.2): LJ and SNAP approach ~1000 steps/s given
+//! enough nodes; ReaxFF never exceeds ~100 steps/s (QEq allreduce
+//! latency); relative machine order follows single-GPU performance.
+
+use lkk_bench::{lj_comm, measure_lj, measure_reaxff, measure_snap, reaxff_comm, snap_comm, to_workload};
+use lkk_core::pair::PairKokkosOptions;
+use lkk_gpusim::GpuArch;
+use lkk_machine::{Machine, StrongScaling};
+use lkk_snap::SnapKernelConfig;
+
+fn main() {
+    // Measure each workload once (the counts are per-atom and
+    // architecture-independent; only the stats' structure matters).
+    let href = GpuArch::h100();
+    let reax_m = measure_reaxff(20_000, href.clone());
+    let workloads = vec![
+        (
+            to_workload(
+                "LJ",
+                &measure_lj(110_000, href.clone(), PairKokkosOptions::default()),
+                lj_comm(),
+            ),
+            vec![16_000_000.0, 256_000_000.0],
+        ),
+        (
+            to_workload("ReaxFF", &reax_m, reaxff_comm(30.0)),
+            vec![465_000.0, 29_760_000.0],
+        ),
+        (
+            to_workload(
+                "SNAP",
+                &measure_snap(16_000, href, SnapKernelConfig::default()),
+                snap_comm(),
+            ),
+            vec![64_000.0, 16_000_000.0],
+        ),
+    ];
+    let machines = [
+        Machine::frontier(),
+        Machine::aurora(),
+        Machine::el_capitan(),
+        Machine::alps(),
+    ];
+    println!("Figure 6: strong scaling (timesteps/s)");
+    for (w, sizes) in &workloads {
+        for &atoms in sizes {
+            println!();
+            println!("== {} at {:.0}k atoms ==", w.name, atoms / 1000.0);
+            print!("{:<12}", "nodes");
+            for m in &machines {
+                print!("{:>12}", m.name);
+            }
+            println!();
+            let mut nodes = 1u32;
+            while nodes <= 8192 {
+                print!("{nodes:<12}");
+                for m in &machines {
+                    if nodes > m.max_nodes {
+                        print!("{:>12}", "-");
+                        continue;
+                    }
+                    let s = StrongScaling {
+                        machine: m.clone(),
+                        workload: w.clone(),
+                        total_atoms: atoms,
+                    };
+                    if nodes < s.min_nodes() {
+                        print!("{:>12}", "OOM");
+                    } else {
+                        print!("{:>12.1}", s.steps_per_second(nodes));
+                    }
+                }
+                println!();
+                nodes *= 4;
+            }
+        }
+    }
+    println!();
+    println!("(paper: LJ/SNAP reach ~1000 steps/s; ReaxFF stays under ~100 steps/s)");
+}

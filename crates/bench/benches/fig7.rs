@@ -1,0 +1,71 @@
+//! Figure 7 / Appendix C: Alps (GH200, Slingshot-11) vs Eos (H100 ×4
+//! per node, NDR400).
+//!
+//! Expected shapes: near-identical SNAP curves; LJ slightly faster on
+//! GH200 at large per-GPU sizes (bandwidth) but slower in the deep
+//! strong-scaling regime (higher launch latency); ReaxFF similar with
+//! Eos ahead at scale.
+
+use lkk_bench::{lj_comm, measure_lj, measure_reaxff, measure_snap, reaxff_comm, snap_comm, to_workload};
+use lkk_core::pair::PairKokkosOptions;
+use lkk_gpusim::GpuArch;
+use lkk_machine::{Machine, StrongScaling};
+use lkk_snap::SnapKernelConfig;
+
+fn main() {
+    let href = GpuArch::h100();
+    let workloads = vec![
+        (
+            to_workload(
+                "LJ",
+                &measure_lj(110_000, href.clone(), PairKokkosOptions::default()),
+                lj_comm(),
+            ),
+            16_000_000.0,
+        ),
+        (
+            to_workload("ReaxFF", &measure_reaxff(20_000, href.clone()), reaxff_comm(30.0)),
+            465_000.0,
+        ),
+        (
+            to_workload(
+                "SNAP",
+                &measure_snap(16_000, href, SnapKernelConfig::default()),
+                snap_comm(),
+            ),
+            2_000_000.0,
+        ),
+    ];
+    let machines = [Machine::alps(), Machine::eos()];
+    println!("Figure 7: Alps (GH200) vs Eos (H100, 4 GPUs/node used), timesteps/s");
+    for (w, atoms) in &workloads {
+        println!();
+        println!("== {} at {} atoms ==", w.name, atoms);
+        println!("{:<8} {:>12} {:>12} {:>12}", "nodes", "Alps", "Eos", "Alps/Eos");
+        let mut nodes = 1u32;
+        while nodes <= 256 {
+            let rates: Vec<f64> = machines
+                .iter()
+                .map(|m| {
+                    StrongScaling {
+                        machine: m.clone(),
+                        workload: w.clone(),
+                        total_atoms: *atoms,
+                    }
+                    .steps_per_second(nodes)
+                })
+                .collect();
+            println!(
+                "{:<8} {:>12.1} {:>12.1} {:>12.2}",
+                nodes,
+                rates[0],
+                rates[1],
+                rates[0] / rates[1]
+            );
+            nodes *= 4;
+        }
+    }
+    println!();
+    println!("(paper App. C: GH200 ahead at large per-GPU problems, H100/Eos ahead");
+    println!(" deep in strong scaling due to GH200's higher launch latency)");
+}

@@ -1,0 +1,207 @@
+//! Real wall-clock CPU microbenchmarks (Criterion): the host-side
+//! counterparts of the paper's kernel comparisons.
+//!
+//! * LJ half list (+ScatterView duplication) vs full list — §4.1's CPU
+//!   claim is that half wins on hosts.
+//! * ScatterView modes under a threaded scatter workload — §3.2.
+//! * SNAP ComputeUi neighbor batching and Deidrj fusion on the host —
+//!   §4.3.3 notes the CPU balance differs from the GPU.
+//! * QEq fused dual SpMV vs two separate passes — §4.2.3's matrix-load
+//!   reuse is a real, measurable effect on CPUs too.
+//! * Neighbor-list construction, half vs full.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkk_core::atom::AtomData;
+use lkk_core::comm::build_ghosts;
+use lkk_core::lattice::{Lattice, LatticeKind};
+use lkk_core::neighbor::{NeighborList, NeighborSettings};
+use lkk_core::pair::lj::LjCut;
+use lkk_core::pair::{PairKokkos, PairKokkosOptions, PairStyle};
+use lkk_core::sim::System;
+use lkk_kokkos::{ScatterMode, ScatterView, Space};
+use lkk_reaxff::qeq::QeqMatrix;
+use lkk_reaxff::{hns, ReaxParams};
+use lkk_snap::{SnapContext, SnapKernelConfig};
+use std::hint::black_box;
+
+fn lj_setup(cells: usize, half: bool) -> (System, NeighborList) {
+    let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
+    let atoms = AtomData::from_positions(&lat.positions(cells, cells, cells));
+    let space = Space::Threads;
+    let mut system = System::new(atoms, lat.domain(cells, cells, cells), space.clone());
+    let settings = NeighborSettings::new(2.5, 0.3, half);
+    system.ghosts = build_ghosts(&mut system.atoms, &system.domain, settings.cutneigh());
+    let list = NeighborList::build(&system.atoms, &system.domain, &settings, &space);
+    (system, list)
+}
+
+fn bench_lj(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lj_force_32k");
+    group.sample_size(15);
+    for (name, half, team) in [
+        ("full", false, false),
+        ("half_scatterview", true, false),
+        ("full_team", false, true),
+    ] {
+        let (mut system, list) = lj_setup(20, half);
+        let space = system.space.clone();
+        let mut pair = PairKokkos::with_options(
+            LjCut::single_type(1.0, 1.0, 2.5),
+            &space,
+            PairKokkosOptions {
+                force_half: Some(half),
+                team_over_neighbors: team,
+            },
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(pair.compute(&mut system, &list, true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scatter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scatter_modes");
+    group.sample_size(20);
+    let n = 100_000;
+    for (name, mode) in [
+        ("atomic", ScatterMode::Atomic),
+        ("duplicated", ScatterMode::Duplicated),
+    ] {
+        let mut sv = ScatterView::new(n, 3, mode);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let svr = &sv;
+                Space::Threads.parallel_for("scatter", 8 * n, |k| {
+                    svr.add((k * 37) % n, k % 3, 1.0);
+                });
+                let mut out = vec![0.0; n * 3];
+                sv.contribute_into(&mut out);
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_snap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snap_kernels_cpu");
+    group.sample_size(15);
+    let ctx = SnapContext::new(
+        8,
+        Default::default(),
+        SnapContext::synthetic_beta(8, 42),
+    );
+    let mut scratch = ctx.alloc_scratch();
+    // A representative 26-neighbor bcc environment.
+    let neigh: Vec<[f64; 3]> = (0..26)
+        .map(|k| {
+            let t = k as f64;
+            [
+                2.6 * (t * 0.7).sin() + 0.8,
+                2.6 * (t * 1.3).cos(),
+                2.2 * ((t * 0.9).sin() - 0.3),
+            ]
+        })
+        .collect();
+    for batch in [1usize, 4] {
+        group.bench_function(format!("compute_ui_batch{batch}"), |b| {
+            b.iter(|| {
+                ctx.compute_ui(black_box(&neigh), &mut scratch, batch);
+                black_box(scratch.utot_r[10])
+            })
+        });
+    }
+    ctx.compute_ui(&neigh, &mut scratch, 1);
+    ctx.compute_yi(&mut scratch);
+    for (name, fused) in [("deidrj_fused", true), ("deidrj_unfused", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &d in &neigh {
+                    acc += ctx.compute_deidrj(d, &mut scratch, fused)[0];
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.bench_function("compute_yi", |b| {
+        b.iter(|| {
+            ctx.compute_yi(&mut scratch);
+            black_box(scratch.y_r[5])
+        })
+    });
+    let _ = SnapKernelConfig::default();
+    group.finish();
+}
+
+fn bench_qeq_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qeq_spmv");
+    group.sample_size(10);
+    let params = ReaxParams::hns_like();
+    // Large enough that the matrix (~30 MB) spills the last-level
+    // cache — the fused dual SpMV's matrix-reload saving (§4.2.3) only
+    // exists when the matrix actually streams from DRAM.
+    let (pos, types, domain) = hns::crystal(12, 12, 12, 7.5);
+    let mut atoms = AtomData::from_positions(&pos);
+    atoms.mass = vec![12.0, 1.0, 14.0, 16.0];
+    for (i, &t) in types.iter().enumerate() {
+        atoms.typ.h_view_mut().set([i], t);
+    }
+    atoms.wrap_positions(&domain);
+    let settings = NeighborSettings::new(params.r_nonb, 0.3, false);
+    let ghosts = build_ghosts(&mut atoms, &domain, settings.cutneigh());
+    let list = NeighborList::build(&atoms, &domain, &settings, &Space::Threads);
+    let m = QeqMatrix::build(&atoms, &list, &ghosts, &params, &Space::Threads);
+    let n = m.n;
+    let x1: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let x2: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    let mut y1 = vec![0.0; n];
+    let mut y2 = vec![0.0; n];
+    group.bench_function("fused_dual", |b| {
+        b.iter(|| {
+            m.spmv_fused(&x1, &x2, &mut y1, &mut y2, &Space::Threads);
+            black_box(y1[0] + y2[0])
+        })
+    });
+    group.bench_function("two_separate", |b| {
+        b.iter(|| {
+            // Two passes: the matrix is loaded twice.
+            m.spmv_fused(&x1, &x1, &mut y1, &mut y2, &Space::Threads);
+            let a = y1[0];
+            m.spmv_fused(&x2, &x2, &mut y1, &mut y2, &Space::Threads);
+            black_box(a + y1[0])
+        })
+    });
+    group.finish();
+}
+
+fn bench_neighbor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_build_32k");
+    group.sample_size(15);
+    for (name, half) in [("half", true), ("full", false)] {
+        let (system, _) = lj_setup(20, half);
+        let settings = NeighborSettings::new(2.5, 0.3, half);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(NeighborList::build(
+                    &system.atoms,
+                    &system.domain,
+                    &settings,
+                    &Space::Threads,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lj,
+    bench_scatter,
+    bench_snap,
+    bench_qeq_spmv,
+    bench_neighbor
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 1: GPU architecture properties.
+//!
+//! Regenerates the paper's hardware table from the `lkk-gpusim`
+//! descriptors (the values are asserted verbatim in
+//! `lkk-gpusim::arch::tests`).
+
+use lkk_gpusim::GpuArch;
+
+fn main() {
+    println!("Table 1: GPU architecture properties");
+    println!(
+        "{:<18} {:>9} {:>10} {:>7} {:>14}",
+        "GPU", "BW", "Capacity", "FP64", "L1 + Shared"
+    );
+    for a in GpuArch::table1() {
+        let cache = if a.unified_cache {
+            format!("{:.0} kB", a.l1_kib)
+        } else {
+            format!("{:.0} + {:.0} kB", a.l1_kib, a.shared_kib)
+        };
+        println!(
+            "{:<18} {:>6.1} TB/s {:>7.0} GB {:>4.1} TF {:>14}",
+            a.name,
+            a.hbm_bw_gbs / 1000.0,
+            a.hbm_capacity_gib,
+            a.fp64_tflops,
+            cache
+        );
+    }
+}

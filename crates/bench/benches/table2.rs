@@ -1,0 +1,94 @@
+//! Table 2: relative performance uplift from work-batching on the top
+//! three SNAP kernels, on NVIDIA H100 and AMD MI300A.
+//!
+//! Paper: ComputeUi 2.23× (batch 4) / 1.75× (batch 2),
+//!        ComputeYi 1.54× (batch 4) / 1.04× (batch 4),
+//!        ComputeFusedDeidrj 1.49× / 1.74×.
+
+use lkk_bench::measure_snap;
+use lkk_gpusim::{CacheConfig, GpuArch, KernelStats};
+use lkk_snap::SnapKernelConfig;
+
+fn kernel_time(stats: &[KernelStats], name: &str, arch: &GpuArch) -> f64 {
+    let k = stats
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("{name} missing"));
+    let cfg = CacheConfig::default_for_kernel(
+        arch,
+        k.scratch_bytes_per_team,
+        k.threads_per_team.max(arch.warp_width),
+    );
+    k.time_on(arch, &cfg).seconds
+}
+
+fn main() {
+    // Event counts are per-atom scale-invariant: 16k atoms (saturated on
+    // every part) give the same kernel-time *ratios* as the paper's 64k.
+    println!("Table 2: work-batching speedups for the top SNAP kernels (2J=8)");
+    println!(
+        "{:<20} {:>18} {:>18}",
+        "Kernel", "MI300A speed-up", "H100 speed-up"
+    );
+    let atoms = 16_384;
+    type CfgFn = fn(&str) -> SnapKernelConfig;
+    let rows: Vec<(&str, SnapKernelConfig, CfgFn)> = vec![
+        ("ComputeUi", SnapKernelConfig::default(), |arch| {
+            SnapKernelConfig {
+                ui_batch: if arch == "AMD MI300A" { 2 } else { 4 },
+                ..Default::default()
+            }
+        }),
+        ("ComputeYi", SnapKernelConfig::default(), |_arch| {
+            SnapKernelConfig {
+                yi_batch: 4,
+                ..Default::default()
+            }
+        }),
+        (
+            "ComputeFusedDeidrj",
+            SnapKernelConfig {
+                fuse_deidrj: false,
+                ..Default::default()
+            },
+            |_arch| SnapKernelConfig {
+                fuse_deidrj: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (label, base_cfg, best) in rows {
+        let kernel_name = |cfg: &SnapKernelConfig| -> &'static str {
+            match label {
+                "ComputeFusedDeidrj" => {
+                    if cfg.fuse_deidrj {
+                        "ComputeFusedDeidrj"
+                    } else {
+                        "ComputeDeidrj"
+                    }
+                }
+                "ComputeUi" => "ComputeUi",
+                _ => "ComputeYi",
+            }
+        };
+        let mut row = format!("{label:<20}");
+        for arch in [GpuArch::mi300a(), GpuArch::h100()] {
+            let batched_cfg = best(arch.name);
+            let base = measure_snap(atoms, arch.clone(), base_cfg);
+            let opt = measure_snap(atoms, arch.clone(), batched_cfg);
+            let t_base = kernel_time(&base.stats, kernel_name(&base_cfg), &arch);
+            let t_opt = kernel_time(&opt.stats, kernel_name(&batched_cfg), &arch);
+            let batch_note = match label {
+                "ComputeUi" => format!(" (batch {})", batched_cfg.ui_batch),
+                "ComputeYi" => format!(" (batch {})", batched_cfg.yi_batch),
+                _ => String::new(),
+            };
+            row += &format!("{:>13.2}x{:<5}", t_base / t_opt, batch_note);
+        }
+        println!("{row}");
+    }
+    println!();
+    println!("Paper:      ComputeUi 1.75x (batch 2) | 2.23x (batch 4)");
+    println!("            ComputeYi 1.04x (batch 4) | 1.54x (batch 4)");
+    println!("            ComputeFusedDeidrj 1.74x  | 1.49x");
+}

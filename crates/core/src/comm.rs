@@ -1,0 +1,360 @@
+//! Ghost atoms and forward/reverse communication (single-rank periodic
+//! boundaries).
+//!
+//! In LAMMPS, atoms near sub-domain faces are replicated on neighboring
+//! ranks (or across periodic boundaries) as *ghost atoms*. Every
+//! timestep, positions are pushed owner → ghost ("forward
+//! communication") and, with `newton on`, forces accumulated on ghosts
+//! are pushed back ghost → owner ("reverse communication"). §4.1: using
+//! Newton's third law for ghosts "reduces computation but increases the
+//! amount of communication required".
+//!
+//! This module implements the single-rank case where all ghosts are
+//! periodic images; the multi-rank simulated-MPI version lives in
+//! [`crate::decomp`] and reuses the same shift machinery.
+
+use crate::atom::AtomData;
+use crate::domain::Domain;
+
+/// Ghost bookkeeping: ghost row `nlocal + g` is a copy of `owner[g]`
+/// displaced by `shift[g]`.
+#[derive(Debug, Clone, Default)]
+pub struct GhostMap {
+    pub owner: Vec<usize>,
+    pub shift: Vec<[f64; 3]>,
+    /// Ghost cutoff used to build this map.
+    pub cutghost: f64,
+}
+
+impl GhostMap {
+    pub fn nghost(&self) -> usize {
+        self.owner.len()
+    }
+}
+
+/// Build periodic-image ghosts for all owned atoms within `cutghost` of
+/// a periodic face, resize the atom arrays, and fill the ghost rows.
+/// Owned positions must already be wrapped into the box.
+///
+/// Panics if the box is smaller than `2 × cutghost` in any direction
+/// (the minimum-image requirement; LAMMPS raises the same error).
+pub fn build_ghosts(atoms: &mut AtomData, domain: &Domain, cutghost: f64) -> GhostMap {
+    let l = domain.lengths();
+    for (k, &lk) in l.iter().enumerate() {
+        assert!(
+            lk >= 2.0 * cutghost,
+            "box length {lk} in dim {k} smaller than 2*cutghost = {}",
+            2.0 * cutghost
+        );
+    }
+    let nlocal = atoms.nlocal;
+    let mut map = GhostMap {
+        owner: Vec::new(),
+        shift: Vec::new(),
+        cutghost,
+    };
+    {
+        let xh = atoms.x.h_view();
+        for i in 0..nlocal {
+            let p = [xh.at([i, 0]), xh.at([i, 1]), xh.at([i, 2])];
+            // Each dim can contribute a +L or -L image (not both, since
+            // L >= 2*cut). 0 = none, ±1 = shift direction.
+            let mut opts = [[0i8; 2]; 3];
+            let mut nopts = [1usize; 3];
+            for k in 0..3 {
+                opts[k][0] = 0;
+                if p[k] < domain.lo[k] + cutghost {
+                    opts[k][1] = 1;
+                    nopts[k] = 2;
+                } else if p[k] >= domain.hi[k] - cutghost {
+                    opts[k][1] = -1;
+                    nopts[k] = 2;
+                }
+            }
+            for a in 0..nopts[0] {
+                for b in 0..nopts[1] {
+                    for c in 0..nopts[2] {
+                        if a == 0 && b == 0 && c == 0 {
+                            continue; // the original atom
+                        }
+                        map.owner.push(i);
+                        map.shift.push([
+                            opts[0][a] as f64 * l[0],
+                            opts[1][b] as f64 * l[1],
+                            opts[2][c] as f64 * l[2],
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    let nghost = map.nghost();
+    atoms.resize_all(nlocal + nghost, nlocal);
+    atoms.nghost = nghost;
+    // Fill ghost metadata (type, charge, tag) once; positions follow.
+    {
+        let (typ_vals, q_vals, tag_vals): (Vec<i32>, Vec<f64>, Vec<i64>) = {
+            let typ = atoms.typ.h_view();
+            let q = atoms.q.h_view();
+            let tag = atoms.tag.h_view();
+            (
+                map.owner.iter().map(|&o| typ.at([o])).collect(),
+                map.owner.iter().map(|&o| q.at([o])).collect(),
+                map.owner.iter().map(|&o| tag.at([o])).collect(),
+            )
+        };
+        let typ = atoms.typ.h_view_mut();
+        for (g, v) in typ_vals.iter().enumerate() {
+            typ.set([nlocal + g], *v);
+        }
+        let q = atoms.q.h_view_mut();
+        for (g, v) in q_vals.iter().enumerate() {
+            q.set([nlocal + g], *v);
+        }
+        let tag = atoms.tag.h_view_mut();
+        for (g, v) in tag_vals.iter().enumerate() {
+            tag.set([nlocal + g], *v);
+        }
+    }
+    forward_positions(atoms, &map);
+    map
+}
+
+/// Forward communication: refresh ghost positions from their owners.
+pub fn forward_positions(atoms: &mut AtomData, map: &GhostMap) {
+    let nlocal = atoms.nlocal;
+    let xh = atoms.x.h_view_mut();
+    for g in 0..map.nghost() {
+        let o = map.owner[g];
+        for k in 0..3 {
+            let v = xh.at([o, k]) + map.shift[g][k];
+            xh.set([nlocal + g, k], v);
+        }
+    }
+}
+
+/// Reverse communication: fold ghost forces back into their owners and
+/// zero the ghost rows. Required for half neighbor lists with
+/// `newton on`; a full-list `newton off` run never accumulates force on
+/// ghosts and skips this entirely (§4.1 / Fig. 2b).
+pub fn reverse_forces(atoms: &mut AtomData, map: &GhostMap) {
+    let nlocal = atoms.nlocal;
+    let fh = atoms.f.h_view_mut();
+    for g in 0..map.nghost() {
+        let o = map.owner[g];
+        for k in 0..3 {
+            let add = fh.at([nlocal + g, k]);
+            let v = fh.at([o, k]) + add;
+            fh.set([o, k], v);
+            fh.set([nlocal + g, k], 0.0);
+        }
+    }
+}
+
+/// Forward communication executed through an execution space (§3.3:
+/// "it may be more performant to keep all communication routines
+/// (packing, unpacking, sending data) on host, or execute it on the
+/// device"). On a device space the pack/unpack run as logged kernels
+/// against the device mirrors; on host spaces it is equivalent to
+/// [`forward_positions`].
+pub fn forward_positions_space(atoms: &mut crate::atom::AtomData, map: &GhostMap, space: &lkk_kokkos::Space) {
+    use crate::atom::Mask;
+    atoms.sync(space, Mask::X);
+    let nlocal = atoms.nlocal;
+    let x = atoms.x.view_for_mut(space);
+    let xw = x.par_write();
+    let owners = &map.owner;
+    let shifts = &map.shift;
+    space.parallel_for("CommForwardPack", map.nghost(), |g| {
+        let o = owners[g];
+        for k in 0..3 {
+            let v = xw.get([o, k]) + shifts[g][k];
+            unsafe { xw.write([nlocal + g, k], v) };
+        }
+    });
+    atoms.modified(space, Mask::X);
+}
+
+/// Reverse (force) communication through an execution space. Ghost
+/// rows are folded into their owners; parallelism is over *owners*
+/// (each owner sums its own ghosts serially) to keep writes disjoint,
+/// which requires the owner → ghosts index built here.
+pub fn reverse_forces_space(atoms: &mut crate::atom::AtomData, map: &GhostMap, space: &lkk_kokkos::Space) {
+    use crate::atom::Mask;
+    atoms.sync(space, Mask::F);
+    let nlocal = atoms.nlocal;
+    // Owner-major ghost index (CSR) so each owner's fold is private.
+    let mut counts = vec![0usize; nlocal];
+    for &o in &map.owner {
+        counts[o] += 1;
+    }
+    let mut offsets = vec![0usize; nlocal + 1];
+    for i in 0..nlocal {
+        offsets[i + 1] = offsets[i] + counts[i];
+    }
+    let mut ghosts_of = vec![0u32; map.nghost()];
+    let mut cursor = offsets.clone();
+    for (g, &o) in map.owner.iter().enumerate() {
+        ghosts_of[cursor[o]] = g as u32;
+        cursor[o] += 1;
+    }
+    let f = atoms.f.view_for_mut(space);
+    let fw = f.par_write();
+    space.parallel_for("CommReverseUnpack", nlocal, |o| {
+        for s in offsets[o]..offsets[o + 1] {
+            let g = ghosts_of[s] as usize;
+            for k in 0..3 {
+                let add = fw.get([nlocal + g, k]);
+                unsafe {
+                    fw.write([o, k], fw.get([o, k]) + add);
+                    fw.write([nlocal + g, k], 0.0);
+                }
+            }
+        }
+    });
+    atoms.modified(space, Mask::F);
+}
+
+/// Bytes moved by one forward position communication (3 doubles per
+/// ghost), used by the strong-scaling communication model.
+pub fn forward_bytes(map: &GhostMap) -> u64 {
+    (map.nghost() * 3 * 8) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corner_system() -> (AtomData, Domain) {
+        // One atom near a corner: gets 7 images. One in the middle: none.
+        let atoms = AtomData::from_positions(&[[0.5, 0.5, 0.5], [5.0, 5.0, 5.0]]);
+        (atoms, Domain::cubic(10.0))
+    }
+
+    #[test]
+    fn corner_atom_gets_seven_images() {
+        let (mut atoms, domain) = corner_system();
+        let map = build_ghosts(&mut atoms, &domain, 2.0);
+        assert_eq!(map.nghost(), 7);
+        assert_eq!(atoms.nall(), 9);
+        assert!(map.owner.iter().all(|&o| o == 0));
+        // All images are outside the primary box but within cut of it.
+        let xh = atoms.x.h_view();
+        for g in 0..7 {
+            let p = [
+                xh.at([2 + g, 0]),
+                xh.at([2 + g, 1]),
+                xh.at([2 + g, 2]),
+            ];
+            assert!(!domain.contains(&p));
+            // Image of the corner atom: each coordinate 0.5 or 10.5.
+            for k in 0..3 {
+                assert!((p[k] - 0.5).abs() < 1e-12 || (p[k] - 10.5).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn face_atom_gets_one_image() {
+        let mut atoms = AtomData::from_positions(&[[9.5, 5.0, 5.0]]);
+        let domain = Domain::cubic(10.0);
+        let map = build_ghosts(&mut atoms, &domain, 2.0);
+        assert_eq!(map.nghost(), 1);
+        let p = atoms.pos(1);
+        assert!((p[0] - (-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghost_metadata_copied() {
+        let mut atoms = AtomData::from_positions(&[[0.5, 5.0, 5.0]]);
+        atoms.mass = vec![1.0, 2.0];
+        atoms.typ.h_view_mut().set([0], 1);
+        atoms.q.h_view_mut().set([0], -0.3);
+        let domain = Domain::cubic(10.0);
+        build_ghosts(&mut atoms, &domain, 2.0);
+        assert_eq!(atoms.typ.h_view().at([1]), 1);
+        assert_eq!(atoms.q.h_view().at([1]), -0.3);
+        assert_eq!(atoms.tag.h_view().at([1]), 1);
+    }
+
+    #[test]
+    fn forward_updates_after_motion() {
+        let (mut atoms, domain) = corner_system();
+        let map = build_ghosts(&mut atoms, &domain, 2.0);
+        atoms.x.h_view_mut().set([0, 0], 0.7);
+        forward_positions(&mut atoms, &map);
+        let xh = atoms.x.h_view();
+        // Every image's x-coordinate is 0.7 or 10.7 now.
+        for g in 0..map.nghost() {
+            let x0 = xh.at([2 + g, 0]);
+            assert!((x0 - 0.7).abs() < 1e-12 || (x0 - 10.7).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reverse_folds_ghost_forces() {
+        let (mut atoms, domain) = corner_system();
+        let map = build_ghosts(&mut atoms, &domain, 2.0);
+        let nlocal = atoms.nlocal;
+        {
+            let fh = atoms.f.h_view_mut();
+            for g in 0..map.nghost() {
+                fh.set([nlocal + g, 0], 1.0);
+            }
+        }
+        reverse_forces(&mut atoms, &map);
+        assert_eq!(atoms.f.h_view().at([0, 0]), 7.0);
+        assert_eq!(atoms.f.h_view().at([nlocal, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_small_box_is_rejected() {
+        let mut atoms = AtomData::from_positions(&[[0.5, 0.5, 0.5]]);
+        let domain = Domain::cubic(3.0);
+        build_ghosts(&mut atoms, &domain, 2.0);
+    }
+
+    #[test]
+    fn comm_volume_accounting() {
+        let (mut atoms, domain) = corner_system();
+        let map = build_ghosts(&mut atoms, &domain, 2.0);
+        assert_eq!(forward_bytes(&map), 7 * 24);
+    }
+
+    #[test]
+    fn space_comm_matches_host_comm() {
+        use lkk_kokkos::Space;
+        for space in [Space::Threads, Space::device(lkk_gpusim::GpuArch::h100())] {
+            let (mut a, domain) = corner_system();
+            let map = build_ghosts(&mut a, &domain, 2.0);
+            // Move the owner, forward through the space path.
+            a.x.h_view_mut().set([0, 1], 0.9);
+            forward_positions_space(&mut a, &map, &space);
+            a.sync(&Space::Serial, crate::atom::Mask::X);
+            let xh = a.x.h_view();
+            for g in 0..map.nghost() {
+                let y = xh.at([2 + g, 1]);
+                assert!((y - 0.9).abs() < 1e-12 || (y - 10.9).abs() < 1e-12);
+            }
+            // Load ghost forces, reverse through the space path.
+            {
+                let fh = a.f.h_view_mut();
+                for g in 0..map.nghost() {
+                    fh.set([2 + g, 2], 2.0);
+                }
+            }
+            reverse_forces_space(&mut a, &map, &space);
+            a.sync(&Space::Serial, crate::atom::Mask::F);
+            assert_eq!(a.f.h_view().at([0, 2]), 14.0);
+            assert_eq!(a.f.h_view().at([2, 2]), 0.0);
+            // Device spaces log the pack/unpack kernels.
+            if let Some(ctx) = space.device_ctx() {
+                let names: Vec<String> =
+                    ctx.log.aggregate().iter().map(|s| s.name.clone()).collect();
+                assert!(names.iter().any(|n| n == "CommForwardPack"));
+                assert!(names.iter().any(|n| n == "CommReverseUnpack"));
+            }
+        }
+    }
+}

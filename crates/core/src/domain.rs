@@ -1,0 +1,138 @@
+//! Orthogonal periodic simulation boxes.
+
+/// An orthogonal simulation box with periodic boundaries in all three
+/// directions (the only boundary style our benchmarks need).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Domain {
+    pub lo: [f64; 3],
+    pub hi: [f64; 3],
+}
+
+impl Domain {
+    pub fn new(lo: [f64; 3], hi: [f64; 3]) -> Self {
+        assert!(
+            (0..3).all(|k| hi[k] > lo[k]),
+            "degenerate box: lo {lo:?} hi {hi:?}"
+        );
+        Domain { lo, hi }
+    }
+
+    /// A cubic box `[0, l)^3`.
+    pub fn cubic(l: f64) -> Self {
+        Domain::new([0.0; 3], [l; 3])
+    }
+
+    #[inline]
+    pub fn lengths(&self) -> [f64; 3] {
+        [
+            self.hi[0] - self.lo[0],
+            self.hi[1] - self.lo[1],
+            self.hi[2] - self.lo[2],
+        ]
+    }
+
+    pub fn volume(&self) -> f64 {
+        let l = self.lengths();
+        l[0] * l[1] * l[2]
+    }
+
+    /// Wrap a position into the primary cell.
+    #[inline]
+    pub fn wrap(&self, x: &mut [f64; 3]) {
+        let l = self.lengths();
+        for k in 0..3 {
+            // rem_euclid-style wrap robust to positions many cells away.
+            let mut t = (x[k] - self.lo[k]) % l[k];
+            if t < 0.0 {
+                t += l[k];
+            }
+            x[k] = self.lo[k] + t;
+            // Guard the `t == l[k]` rounding edge.
+            if x[k] >= self.hi[k] {
+                x[k] = self.lo[k];
+            }
+        }
+    }
+
+    /// Is a position inside the primary cell?
+    #[inline]
+    pub fn contains(&self, x: &[f64; 3]) -> bool {
+        (0..3).all(|k| x[k] >= self.lo[k] && x[k] < self.hi[k])
+    }
+
+    /// Minimum-image displacement `a - b`.
+    #[inline]
+    pub fn min_image(&self, a: &[f64; 3], b: &[f64; 3]) -> [f64; 3] {
+        let l = self.lengths();
+        let mut d = [a[0] - b[0], a[1] - b[1], a[2] - b[2]];
+        for k in 0..3 {
+            if d[k] > 0.5 * l[k] {
+                d[k] -= l[k];
+            } else if d[k] < -0.5 * l[k] {
+                d[k] += l[k];
+            }
+        }
+        d
+    }
+
+    /// Minimum-image squared distance.
+    #[inline]
+    pub fn min_image_dsq(&self, a: &[f64; 3], b: &[f64; 3]) -> f64 {
+        let d = self.min_image(a, b);
+        d[0] * d[0] + d[1] * d[1] + d[2] * d[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_into_box() {
+        let d = Domain::cubic(10.0);
+        let mut x = [12.5, -0.5, 9.999];
+        d.wrap(&mut x);
+        assert!((x[0] - 2.5).abs() < 1e-12);
+        assert!((x[1] - 9.5).abs() < 1e-12);
+        assert!(d.contains(&x));
+        // Far outside.
+        let mut y = [105.0, -33.0, 0.0];
+        d.wrap(&mut y);
+        assert!(d.contains(&y));
+        assert!((y[0] - 5.0).abs() < 1e-9);
+        assert!((y[1] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrap_is_idempotent() {
+        let d = Domain::new([-2.0, 0.0, 1.0], [2.0, 5.0, 4.0]);
+        let mut x = [3.7, -1.2, 100.0];
+        d.wrap(&mut x);
+        let once = x;
+        d.wrap(&mut x);
+        assert_eq!(once, x);
+    }
+
+    #[test]
+    fn min_image_short_way_around() {
+        let d = Domain::cubic(10.0);
+        let a = [9.5, 0.0, 0.0];
+        let b = [0.5, 0.0, 0.0];
+        let disp = d.min_image(&a, &b);
+        assert!((disp[0] - (-1.0)).abs() < 1e-12);
+        assert_eq!(d.min_image_dsq(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn volume_and_lengths() {
+        let d = Domain::new([0.0, 0.0, 0.0], [2.0, 3.0, 4.0]);
+        assert_eq!(d.lengths(), [2.0, 3.0, 4.0]);
+        assert_eq!(d.volume(), 24.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_box_rejected() {
+        let _ = Domain::new([0.0; 3], [1.0, 0.0, 1.0]);
+    }
+}

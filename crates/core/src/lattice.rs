@@ -1,0 +1,219 @@
+//! Crystal structure generation and velocity initialization.
+//!
+//! The standard LAMMPS benchmark setups: an fcc lattice at reduced
+//! density 0.8442 for the LJ melt, bcc for SNAP's tungsten-like
+//! benchmark, and Maxwell-Boltzmann velocity creation with exact
+//! temperature rescaling and zero net momentum (the `velocity all
+//! create` command).
+
+use crate::atom::AtomData;
+use crate::domain::Domain;
+use crate::units::Units;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Supported lattice types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatticeKind {
+    Sc,
+    Bcc,
+    Fcc,
+}
+
+impl LatticeKind {
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "sc" => Some(LatticeKind::Sc),
+            "bcc" => Some(LatticeKind::Bcc),
+            "fcc" => Some(LatticeKind::Fcc),
+            _ => None,
+        }
+    }
+
+    /// Basis positions in lattice-constant units.
+    pub fn basis(&self) -> &'static [[f64; 3]] {
+        match self {
+            LatticeKind::Sc => &[[0.0, 0.0, 0.0]],
+            LatticeKind::Bcc => &[[0.0, 0.0, 0.0], [0.5, 0.5, 0.5]],
+            LatticeKind::Fcc => &[
+                [0.0, 0.0, 0.0],
+                [0.5, 0.5, 0.0],
+                [0.5, 0.0, 0.5],
+                [0.0, 0.5, 0.5],
+            ],
+        }
+    }
+
+    /// Atoms per unit cell.
+    pub fn atoms_per_cell(&self) -> usize {
+        self.basis().len()
+    }
+
+    /// Lattice constant producing reduced density `rho` (atoms per
+    /// volume), LAMMPS' `lattice fcc <rho>` convention in lj units.
+    pub fn constant_for_density(&self, rho: f64) -> f64 {
+        (self.atoms_per_cell() as f64 / rho).cbrt()
+    }
+}
+
+/// A lattice: kind + lattice constant.
+#[derive(Debug, Clone, Copy)]
+pub struct Lattice {
+    pub kind: LatticeKind,
+    pub a: f64,
+}
+
+impl Lattice {
+    pub fn new(kind: LatticeKind, a: f64) -> Self {
+        Lattice { kind, a }
+    }
+
+    /// `lattice fcc 0.8442`-style construction from reduced density.
+    pub fn from_density(kind: LatticeKind, rho: f64) -> Self {
+        Lattice {
+            kind,
+            a: kind.constant_for_density(rho),
+        }
+    }
+
+    /// The domain spanned by `nx × ny × nz` unit cells at the origin.
+    pub fn domain(&self, nx: usize, ny: usize, nz: usize) -> Domain {
+        Domain::new(
+            [0.0; 3],
+            [self.a * nx as f64, self.a * ny as f64, self.a * nz as f64],
+        )
+    }
+
+    /// Generate all atom positions for `nx × ny × nz` cells.
+    pub fn positions(&self, nx: usize, ny: usize, nz: usize) -> Vec<[f64; 3]> {
+        let mut out = Vec::with_capacity(nx * ny * nz * self.kind.atoms_per_cell());
+        for ix in 0..nx {
+            for iy in 0..ny {
+                for iz in 0..nz {
+                    for b in self.kind.basis() {
+                        out.push([
+                            (ix as f64 + b[0]) * self.a,
+                            (iy as f64 + b[1]) * self.a,
+                            (iz as f64 + b[2]) * self.a,
+                        ]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `velocity all create T seed`: Maxwell-Boltzmann velocities with the
+/// net momentum removed and the temperature rescaled to exactly `t_target`.
+pub fn create_velocities(atoms: &mut AtomData, units: &Units, t_target: f64, seed: u64) {
+    let n = atoms.nlocal;
+    if n == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let masses = atoms.mass.clone();
+    let mut vs = vec![[0.0f64; 3]; n];
+    let typ = atoms.typ.h_view();
+    // Box-Muller Gaussians scaled by sqrt(kT/m).
+    for (i, v) in vs.iter_mut().enumerate() {
+        let m = masses[typ.at([i]) as usize];
+        let s = (units.boltz * t_target.max(1e-300) / (m * units.mvv2e)).sqrt();
+        for x in v.iter_mut() {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            *x = s * (-2.0 * u1.ln()).sqrt() * u2.cos();
+        }
+    }
+    // Zero total momentum.
+    let mut p = [0.0f64; 3];
+    let mut mtot = 0.0;
+    for (i, v) in vs.iter().enumerate() {
+        let m = masses[typ.at([i]) as usize];
+        mtot += m;
+        for k in 0..3 {
+            p[k] += m * v[k];
+        }
+    }
+    for v in vs.iter_mut() {
+        for k in 0..3 {
+            v[k] -= p[k] / mtot;
+        }
+    }
+    // Rescale to exact target temperature (3N - 3 degrees of freedom).
+    let mut ke2 = 0.0; // sum m v^2
+    for (i, v) in vs.iter().enumerate() {
+        let m = masses[typ.at([i]) as usize];
+        ke2 += m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
+    }
+    let dof = (3 * n - 3).max(1) as f64;
+    let t_now = units.mvv2e * ke2 / (dof * units.boltz);
+    let scale = if t_now > 0.0 && t_target > 0.0 {
+        (t_target / t_now).sqrt()
+    } else {
+        0.0
+    };
+    let vh = atoms.v.h_view_mut();
+    for (i, v) in vs.iter().enumerate() {
+        for k in 0..3 {
+            vh.set([i, k], v[k] * scale);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::temperature;
+
+    #[test]
+    fn fcc_counts_and_density() {
+        let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
+        let pos = lat.positions(5, 5, 5);
+        assert_eq!(pos.len(), 4 * 125);
+        let dom = lat.domain(5, 5, 5);
+        let rho = pos.len() as f64 / dom.volume();
+        assert!((rho - 0.8442).abs() < 1e-12);
+        // All positions inside the domain.
+        assert!(pos.iter().all(|p| dom.contains(p)));
+    }
+
+    #[test]
+    fn bcc_and_sc_bases() {
+        assert_eq!(LatticeKind::Bcc.atoms_per_cell(), 2);
+        assert_eq!(LatticeKind::Sc.atoms_per_cell(), 1);
+        assert_eq!(LatticeKind::from_name("fcc"), Some(LatticeKind::Fcc));
+        assert_eq!(LatticeKind::from_name("hcp"), None);
+    }
+
+    #[test]
+    fn nearest_neighbor_distance_fcc() {
+        let lat = Lattice::new(LatticeKind::Fcc, 1.0);
+        let pos = lat.positions(3, 3, 3);
+        let dom = lat.domain(3, 3, 3);
+        let mut min = f64::INFINITY;
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                min = min.min(dom.min_image_dsq(&pos[i], &pos[j]).sqrt());
+            }
+        }
+        // fcc nearest neighbor = a/sqrt(2).
+        assert!((min - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn velocities_hit_target_temperature_and_zero_momentum() {
+        let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
+        let mut atoms = AtomData::from_positions(&lat.positions(4, 4, 4));
+        let units = Units::lj();
+        create_velocities(&mut atoms, &units, 1.44, 12345);
+        let t = temperature(&atoms, &units);
+        assert!((t - 1.44).abs() < 1e-9, "T = {t}");
+        // Zero net momentum.
+        let vh = atoms.v.h_view();
+        for k in 0..3 {
+            let p: f64 = (0..atoms.nlocal).map(|i| vh.at([i, k])).sum();
+            assert!(p.abs() < 1e-9);
+        }
+    }
+}

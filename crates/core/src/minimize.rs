@@ -1,0 +1,205 @@
+//! Energy minimization: the FIRE algorithm (Fast Inertial Relaxation
+//! Engine, Bitzek et al. 2006) — LAMMPS' `min_style fire`.
+//!
+//! FIRE is MD with two modifications: the velocity is continuously
+//! steered toward the force direction, and the timestep adapts — it
+//! grows while the system keeps moving downhill (`P = F·v > 0`) and
+//! collapses (with the velocity zeroed) on any uphill step.
+
+use crate::atom::Mask;
+use crate::sim::Simulation;
+use lkk_kokkos::Space;
+
+/// FIRE hyper-parameters (the published defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct FireParams {
+    pub dt_start: f64,
+    pub dt_max_factor: f64,
+    pub n_min: u32,
+    pub f_inc: f64,
+    pub f_dec: f64,
+    pub alpha_start: f64,
+    pub f_alpha: f64,
+}
+
+impl Default for FireParams {
+    fn default() -> Self {
+        FireParams {
+            dt_start: 0.005,
+            dt_max_factor: 10.0,
+            n_min: 5,
+            f_inc: 1.1,
+            f_dec: 0.5,
+            alpha_start: 0.1,
+            f_alpha: 0.99,
+        }
+    }
+}
+
+/// Result of a minimization.
+#[derive(Debug, Clone, Copy)]
+pub struct MinResult {
+    pub iterations: u64,
+    pub converged: bool,
+    /// Max force component at exit.
+    pub fmax: f64,
+    pub energy: f64,
+}
+
+impl Simulation {
+    /// Relax the system with FIRE until the max force component drops
+    /// below `ftol` or `max_iter` iterations elapse. Uses the
+    /// simulation's neighbor machinery; velocities are consumed
+    /// (zeroed at uphill steps) and left in the damped state.
+    pub fn minimize_fire(&mut self, ftol: f64, max_iter: u64) -> MinResult {
+        let params = FireParams {
+            dt_start: self.dt,
+            ..Default::default()
+        };
+        self.setup();
+        let mut dt = params.dt_start;
+        let dt_max = params.dt_start * params.dt_max_factor;
+        let mut alpha = params.alpha_start;
+        let mut n_pos = 0u32;
+        let mut iterations = 0;
+        let mut fmax = f64::INFINITY;
+        while iterations < max_iter {
+            iterations += 1;
+            self.system.atoms.sync(&Space::Serial, Mask::V | Mask::F);
+            let n = self.system.atoms.nlocal;
+            // P = F·v, |F|, |v|, fmax.
+            let (mut p, mut fsq, mut vsq) = (0.0f64, 0.0f64, 0.0f64);
+            fmax = 0.0;
+            {
+                let vh = self.system.atoms.v.h_view();
+                let fh = self.system.atoms.f.h_view();
+                for i in 0..n {
+                    for k in 0..3 {
+                        let (f, v) = (fh.at([i, k]), vh.at([i, k]));
+                        p += f * v;
+                        fsq += f * f;
+                        vsq += v * v;
+                        fmax = fmax.max(f.abs());
+                    }
+                }
+            }
+            if fmax < ftol {
+                return MinResult {
+                    iterations,
+                    converged: true,
+                    fmax,
+                    energy: self.last_results.energy,
+                };
+            }
+            // Velocity steering: v ← (1−α)v + α·|v|·F̂.
+            let fnorm = fsq.sqrt().max(1e-300);
+            let vnorm = vsq.sqrt();
+            {
+                let mix = alpha * vnorm / fnorm;
+                let fs: Vec<f64> = {
+                    let fh = self.system.atoms.f.h_view();
+                    (0..n)
+                        .flat_map(|i| (0..3).map(move |k| (i, k)))
+                        .map(|(i, k)| fh.at([i, k]))
+                        .collect()
+                };
+                let vh = self.system.atoms.v.h_view_mut();
+                for i in 0..n {
+                    for k in 0..3 {
+                        let v = (1.0 - alpha) * vh.at([i, k]) + mix * fs[i * 3 + k];
+                        vh.set([i, k], v);
+                    }
+                }
+            }
+            if p > 0.0 {
+                n_pos += 1;
+                if n_pos > params.n_min {
+                    dt = (dt * params.f_inc).min(dt_max);
+                    alpha *= params.f_alpha;
+                }
+            } else {
+                n_pos = 0;
+                dt *= params.f_dec;
+                alpha = params.alpha_start;
+                // Kill the uphill motion.
+                let vh = self.system.atoms.v.h_view_mut();
+                for i in 0..n {
+                    for k in 0..3 {
+                        vh.set([i, k], 0.0);
+                    }
+                }
+            }
+            self.system
+                .atoms
+                .modified(&Space::Serial, Mask::V);
+            // One velocity-Verlet step at the adapted dt.
+            let saved_dt = self.dt;
+            self.dt = dt;
+            self.run(1);
+            self.dt = saved_dt;
+        }
+        MinResult {
+            iterations,
+            converged: false,
+            fmax,
+            energy: self.last_results.energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::atom::AtomData;
+    use crate::lattice::{Lattice, LatticeKind};
+    use crate::pair::lj::LjCut;
+    use crate::pair::PairKokkos;
+    use crate::sim::{Simulation, System};
+    use lkk_kokkos::Space;
+
+    #[test]
+    fn fire_relaxes_perturbed_lattice() {
+        // Perturb an fcc LJ crystal and let FIRE pull it back to the
+        // lattice minimum.
+        let lat = Lattice::from_density(LatticeKind::Fcc, 1.0);
+        let perturbed: Vec<[f64; 3]> = lat
+            .positions(3, 3, 3)
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                [
+                    p[0] + 0.08 * (((i * 7) % 13) as f64 / 13.0 - 0.5),
+                    p[1] + 0.08 * (((i * 11) % 17) as f64 / 17.0 - 0.5),
+                    p[2] + 0.08 * (((i * 5) % 19) as f64 / 19.0 - 0.5),
+                ]
+            })
+            .collect();
+        let space = Space::Threads;
+        let system = System::new(AtomData::from_positions(&perturbed), lat.domain(4, 4, 4), space.clone());
+        let pair = PairKokkos::new(LjCut::single_type(1.0, 1.0, 2.5), &space);
+        let mut sim = Simulation::new(system, Box::new(pair));
+        sim.dt = 0.002;
+        sim.setup();
+        let e_start = sim.last_results.energy;
+        let result = sim.minimize_fire(1e-6, 4000);
+        assert!(result.converged, "fmax {} after {}", result.fmax, result.iterations);
+        assert!(result.energy < e_start, "{} !< {e_start}", result.energy);
+        // The relaxed structure has essentially zero residual force.
+        assert!(result.fmax < 1e-6);
+    }
+
+    #[test]
+    fn fire_is_a_noop_on_a_perfect_lattice() {
+        let lat = Lattice::from_density(LatticeKind::Fcc, 1.0);
+        let space = Space::Serial;
+        let system = System::new(
+            AtomData::from_positions(&lat.positions(4, 4, 4)),
+            lat.domain(4, 4, 4),
+            space.clone(),
+        );
+        let pair = PairKokkos::new(LjCut::single_type(1.0, 1.0, 2.5), &space);
+        let mut sim = Simulation::new(system, Box::new(pair));
+        let result = sim.minimize_fire(1e-8, 100);
+        assert!(result.converged);
+        assert_eq!(result.iterations, 1);
+    }
+}

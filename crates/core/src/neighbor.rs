@@ -1,0 +1,592 @@
+//! Binned neighbor lists.
+//!
+//! Reproduces the LAMMPS neighbor machinery the paper's case studies
+//! rest on: atoms (including ghosts) are binned into cells of the
+//! neighbor cutoff, and each owned atom gathers neighbors from its
+//! 3×3×3 bin stencil. Two list styles exist (§4.1):
+//!
+//! * **full** — every `i–j` pair appears in both `i`'s and `j`'s rows;
+//!   forces are computed twice ("redundant computation") but each atom
+//!   only writes its own row, avoiding atomics. GPU default.
+//! * **half** — each pair appears once (Newton's third law); the force
+//!   kernel writes both atoms' rows and needs a deconfliction strategy
+//!   (`ScatterView`). CPU default.
+//!
+//! The list is stored as a 2-D `View` (`[atom, slot]`) so the layout
+//! adapts to the execution space: rows contiguous on the host for
+//! caching, interleaved on the device for coalescing (§4.1).
+
+use crate::atom::AtomData;
+use crate::domain::Domain;
+use lkk_kokkos::{Space, View, View1, View2};
+
+/// Neighbor list construction settings.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborSettings {
+    /// Force cutoff.
+    pub cutoff: f64,
+    /// Extra skin so lists survive several steps (LAMMPS default 0.3σ).
+    pub skin: f64,
+    /// Build half (true) or full (false) lists.
+    pub half: bool,
+    /// Check for rebuild every this many steps.
+    pub every: usize,
+}
+
+impl NeighborSettings {
+    pub fn new(cutoff: f64, skin: f64, half: bool) -> Self {
+        NeighborSettings {
+            cutoff,
+            skin,
+            half,
+            every: 1,
+        }
+    }
+
+    /// Neighbor cutoff = force cutoff + skin.
+    pub fn cutneigh(&self) -> f64 {
+        self.cutoff + self.skin
+    }
+}
+
+/// Spatial bins over the ghost-extended region, CSR-indexed.
+#[derive(Debug)]
+pub struct Bins {
+    lo: [f64; 3],
+    inv_size: [f64; 3],
+    nbins: [usize; 3],
+    /// CSR offsets per bin, length `nbins_total + 1`.
+    starts: Vec<usize>,
+    /// Atom indices ordered by bin.
+    atoms: Vec<u32>,
+}
+
+impl Bins {
+    /// Bin all `nall` atoms. The binned region covers the box extended
+    /// by `cutghost` on every side.
+    pub fn build(atoms: &AtomData, domain: &Domain, bin_size: f64, cutghost: f64) -> Bins {
+        let nall = atoms.nall();
+        let lo = [
+            domain.lo[0] - cutghost,
+            domain.lo[1] - cutghost,
+            domain.lo[2] - cutghost,
+        ];
+        let hi = [
+            domain.hi[0] + cutghost,
+            domain.hi[1] + cutghost,
+            domain.hi[2] + cutghost,
+        ];
+        let mut nbins = [0usize; 3];
+        let mut inv_size = [0f64; 3];
+        for k in 0..3 {
+            nbins[k] = (((hi[k] - lo[k]) / bin_size).floor() as usize).max(1);
+            inv_size[k] = nbins[k] as f64 / (hi[k] - lo[k]);
+        }
+        let total = nbins[0] * nbins[1] * nbins[2];
+        let xh = atoms.x.h_view();
+        let bin_of = |i: usize| -> usize {
+            let mut b = [0usize; 3];
+            for k in 0..3 {
+                let t = ((xh.at([i, k]) - lo[k]) * inv_size[k]) as isize;
+                b[k] = t.clamp(0, nbins[k] as isize - 1) as usize;
+            }
+            (b[0] * nbins[1] + b[1]) * nbins[2] + b[2]
+        };
+        // Counting sort.
+        let mut counts = vec![0usize; total + 1];
+        let bin_idx: Vec<usize> = (0..nall).map(bin_of).collect();
+        for &b in &bin_idx {
+            counts[b + 1] += 1;
+        }
+        for b in 0..total {
+            counts[b + 1] += counts[b];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut ordered = vec![0u32; nall];
+        for (i, &b) in bin_idx.iter().enumerate() {
+            ordered[cursor[b]] = i as u32;
+            cursor[b] += 1;
+        }
+        Bins {
+            lo,
+            inv_size,
+            nbins,
+            starts,
+            atoms: ordered,
+        }
+    }
+
+    #[inline]
+    fn bin_coords(&self, x: [f64; 3]) -> [isize; 3] {
+        let mut b = [0isize; 3];
+        for k in 0..3 {
+            b[k] = (((x[k] - self.lo[k]) * self.inv_size[k]) as isize)
+                .clamp(0, self.nbins[k] as isize - 1);
+        }
+        b
+    }
+
+    #[inline]
+    fn bin_atoms(&self, b: [isize; 3]) -> &[u32] {
+        let idx = (b[0] as usize * self.nbins[1] + b[1] as usize) * self.nbins[2] + b[2] as usize;
+        &self.atoms[self.starts[idx]..self.starts[idx + 1]]
+    }
+
+    /// The spatial ordering of atoms (bin-major), used for spatial
+    /// sorting of atom data to improve cache locality.
+    pub fn ordered_atoms(&self) -> &[u32] {
+        &self.atoms
+    }
+}
+
+/// A built neighbor list.
+#[derive(Debug)]
+pub struct NeighborList {
+    pub half: bool,
+    pub cutneigh: f64,
+    /// `[nlocal, maxneigh]` neighbor indices; layout per execution space.
+    pub neighbors: View2<u32>,
+    /// Number of neighbors per owned atom.
+    pub numneigh: View1<u32>,
+    pub maxneigh: usize,
+    pub nlocal: usize,
+    /// Total stored pairs (`Σ numneigh`).
+    pub total_pairs: u64,
+}
+
+impl NeighborList {
+    /// Build a neighbor list for the owned atoms. Ghosts must already
+    /// exist out to `settings.cutneigh()`.
+    pub fn build(
+        atoms: &AtomData,
+        domain: &Domain,
+        settings: &NeighborSettings,
+        space: &Space,
+    ) -> NeighborList {
+        let nlocal = atoms.nlocal;
+        let cutneigh = settings.cutneigh();
+        let cutsq = cutneigh * cutneigh;
+        let bins = Bins::build(atoms, domain, cutneigh, cutneigh);
+        // Initial per-row capacity from density estimate.
+        let density = atoms.nall() as f64 / {
+            let l = domain.lengths();
+            (l[0] + 2.0 * cutneigh) * (l[1] + 2.0 * cutneigh) * (l[2] + 2.0 * cutneigh)
+        };
+        let sphere = 4.0 / 3.0 * std::f64::consts::PI * cutneigh.powi(3) * density;
+        let guess = (sphere * if settings.half { 0.7 } else { 1.4 }) as usize + 8;
+        let mut maxneigh = guess.max(8);
+
+        loop {
+            let mut neighbors = View::for_space("neighlist", [nlocal, maxneigh], space);
+            let mut numneigh = View::for_space("numneigh", [nlocal], space);
+            let overflow = Self::fill(
+                atoms, &bins, cutsq, settings.half, nlocal, maxneigh, &mut neighbors, &mut numneigh, space,
+            );
+            if let Some(needed) = overflow {
+                maxneigh = needed + needed / 4 + 4;
+                continue;
+            }
+            let total_pairs: u64 = (0..nlocal).map(|i| numneigh.at([i]) as u64).sum();
+            return NeighborList {
+                half: settings.half,
+                cutneigh,
+                neighbors,
+                numneigh,
+                maxneigh,
+                nlocal,
+                total_pairs,
+            };
+        }
+    }
+
+    /// Fill pass. Returns `Some(max_required)` if any row overflowed.
+    #[allow(clippy::too_many_arguments)]
+    fn fill(
+        atoms: &AtomData,
+        bins: &Bins,
+        cutsq: f64,
+        half: bool,
+        nlocal: usize,
+        maxneigh: usize,
+        neighbors: &mut View2<u32>,
+        numneigh: &mut View1<u32>,
+        space: &Space,
+    ) -> Option<usize> {
+        let xh = atoms.x.h_view();
+        let nw = neighbors.par_write();
+        let cw = numneigh.par_write();
+        let needed = space.parallel_reduce(
+            "NeighborBuild",
+            nlocal,
+            0usize,
+            |i| {
+                let xi = [xh.at([i, 0]), xh.at([i, 1]), xh.at([i, 2])];
+                let bc = bins.bin_coords(xi);
+                let mut count = 0usize;
+                for dx in -1isize..=1 {
+                    for dy in -1isize..=1 {
+                        for dz in -1isize..=1 {
+                            let b = [bc[0] + dx, bc[1] + dy, bc[2] + dz];
+                            if b.iter()
+                                .zip(&bins.nbins)
+                                .any(|(&bb, &n)| bb < 0 || bb >= n as isize)
+                            {
+                                continue;
+                            }
+                            for &ju in bins.bin_atoms(b) {
+                                let j = ju as usize;
+                                if j == i {
+                                    continue;
+                                }
+                                let xj = [xh.at([j, 0]), xh.at([j, 1]), xh.at([j, 2])];
+                                if half {
+                                    // Half-list ownership rule: local
+                                    // pairs stored on the lower index;
+                                    // ghost pairs on coordinate order.
+                                    if j < nlocal {
+                                        if j < i {
+                                            continue;
+                                        }
+                                    } else {
+                                        let keep = xj[2] > xi[2]
+                                            || (xj[2] == xi[2] && xj[1] > xi[1])
+                                            || (xj[2] == xi[2] && xj[1] == xi[1] && xj[0] > xi[0]);
+                                        if !keep {
+                                            continue;
+                                        }
+                                    }
+                                }
+                                let d = [xj[0] - xi[0], xj[1] - xi[1], xj[2] - xi[2]];
+                                let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                                if rsq < cutsq {
+                                    if count < maxneigh {
+                                        unsafe { nw.write([i, count], ju) };
+                                    }
+                                    count += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                unsafe { cw.write([i], count.min(maxneigh) as u32) };
+                count
+            },
+            usize::max,
+        );
+        if needed > maxneigh {
+            Some(needed)
+        } else {
+            None
+        }
+    }
+
+    /// Measured per-block neighbor working set: the average number of
+    /// *distinct* atoms referenced by a block of `block` consecutive
+    /// owned atoms, times 24 bytes (one coordinate triple). This feeds
+    /// the L1 working-set term of the device cost model.
+    pub fn working_set_bytes(&self, block: usize) -> f64 {
+        use std::collections::HashSet;
+        if self.nlocal == 0 {
+            return 0.0;
+        }
+        let block = block.max(1);
+        let nblocks = self.nlocal.div_ceil(block);
+        // Sample up to 16 blocks evenly.
+        let step = nblocks.div_ceil(16).max(1);
+        let mut total = 0usize;
+        let mut sampled = 0usize;
+        let mut set = HashSet::new();
+        let mut b = 0;
+        while b < nblocks {
+            set.clear();
+            let start = b * block;
+            let end = (start + block).min(self.nlocal);
+            for i in start..end {
+                set.insert(i as u32);
+                for s in 0..self.numneigh.at([i]) as usize {
+                    set.insert(self.neighbors.at([i, s]));
+                }
+            }
+            total += set.len();
+            sampled += 1;
+            b += step;
+        }
+        (total as f64 / sampled as f64) * 24.0
+    }
+
+    /// Average neighbors per atom.
+    pub fn avg_neighbors(&self) -> f64 {
+        if self.nlocal == 0 {
+            0.0
+        } else {
+            self.total_pairs as f64 / self.nlocal as f64
+        }
+    }
+}
+
+/// Spatially reorder the *owned* atoms into bin-major order (LAMMPS'
+/// `atom_modify sort`): after sorting, atoms that are close in space
+/// are close in memory, which is what makes the per-SM neighbor
+/// working set fit in cache (§4.1 / Fig. 3). Must be called between
+/// neighbor rebuilds (it invalidates ghost indices and the list).
+/// Returns the permutation applied (new index → old index).
+pub fn spatial_sort(atoms: &mut AtomData, domain: &Domain, bin_size: f64) -> Vec<u32> {
+    let nlocal = atoms.nlocal;
+    // Bin owned atoms only (strip ghosts first — they are rebuilt).
+    atoms.resize_all(nlocal, nlocal);
+    atoms.nghost = 0;
+    let bins = Bins::build(atoms, domain, bin_size, 0.0);
+    let order: Vec<u32> = bins.ordered_atoms().to_vec();
+    debug_assert_eq!(order.len(), nlocal);
+    // Apply the permutation to every per-atom field (host side).
+    let perm = |v: &mut Vec<f64>, stride: usize| {
+        let old = v.clone();
+        for (new_i, &old_i) in order.iter().enumerate() {
+            for k in 0..stride {
+                v[new_i * stride + k] = old[old_i as usize * stride + k];
+            }
+        }
+    };
+    // DualView fields: operate on host mirrors then mark modified.
+    for dv in [&mut atoms.x, &mut atoms.v, &mut atoms.f] {
+        let mut flat: Vec<f64> = (0..nlocal)
+            .flat_map(|i| (0..3).map(move |k| (i, k)))
+            .map(|(i, k)| dv.h_view().at([i, k]))
+            .collect();
+        perm(&mut flat, 3);
+        let h = dv.h_view_mut();
+        for i in 0..nlocal {
+            for k in 0..3 {
+                h.set([i, k], flat[i * 3 + k]);
+            }
+        }
+    }
+    {
+        let old: Vec<i32> = (0..nlocal).map(|i| atoms.typ.h_view().at([i])).collect();
+        let h = atoms.typ.h_view_mut();
+        for (new_i, &old_i) in order.iter().enumerate() {
+            h.set([new_i], old[old_i as usize]);
+        }
+    }
+    {
+        let old: Vec<f64> = (0..nlocal).map(|i| atoms.q.h_view().at([i])).collect();
+        let h = atoms.q.h_view_mut();
+        for (new_i, &old_i) in order.iter().enumerate() {
+            h.set([new_i], old[old_i as usize]);
+        }
+    }
+    {
+        let old: Vec<i64> = (0..nlocal).map(|i| atoms.tag.h_view().at([i])).collect();
+        let h = atoms.tag.h_view_mut();
+        for (new_i, &old_i) in order.iter().enumerate() {
+            h.set([new_i], old[old_i as usize]);
+        }
+    }
+    let old_image = atoms.image.clone();
+    for (new_i, &old_i) in order.iter().enumerate() {
+        atoms.image[new_i] = old_image[old_i as usize];
+    }
+    order
+}
+
+/// Largest squared displacement of owned atoms since `x_old`; the
+/// rebuild trigger is `max_disp_sq > (skin/2)²`.
+pub fn max_displacement_sq(atoms: &AtomData, x_old: &[[f64; 3]], domain: &Domain) -> f64 {
+    let xh = atoms.x.h_view();
+    let mut m: f64 = 0.0;
+    for (i, old) in x_old.iter().enumerate().take(atoms.nlocal) {
+        let p = [xh.at([i, 0]), xh.at([i, 1]), xh.at([i, 2])];
+        m = m.max(domain.min_image_dsq(&p, old));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::build_ghosts;
+    use crate::lattice::{Lattice, LatticeKind};
+
+    fn lj_melt(n: usize) -> (AtomData, Domain) {
+        let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
+        let positions = lat.positions(n, n, n);
+        let domain = lat.domain(n, n, n);
+        let atoms = AtomData::from_positions(&positions);
+        (atoms, domain)
+    }
+
+    /// Brute-force pair count within cutoff using minimum image.
+    fn brute_pairs(atoms: &AtomData, domain: &Domain, cut: f64) -> u64 {
+        let n = atoms.nlocal;
+        let mut count = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if domain.min_image_dsq(&atoms.pos(i), &atoms.pos(j)) < cut * cut {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn half_list_counts_each_pair_once() {
+        let (mut atoms, domain) = lj_melt(4);
+        let settings = NeighborSettings::new(2.5, 0.3, true);
+        build_ghosts(&mut atoms, &domain, settings.cutneigh());
+        let nl = NeighborList::build(&atoms, &domain, &settings, &Space::Serial);
+        let brute = brute_pairs(&atoms, &domain, settings.cutneigh());
+        assert_eq!(nl.total_pairs, brute);
+    }
+
+    #[test]
+    fn full_list_counts_each_pair_twice() {
+        let (mut atoms, domain) = lj_melt(4);
+        let settings = NeighborSettings::new(2.5, 0.3, false);
+        build_ghosts(&mut atoms, &domain, settings.cutneigh());
+        let nl = NeighborList::build(&atoms, &domain, &settings, &Space::Threads);
+        let brute = brute_pairs(&atoms, &domain, settings.cutneigh());
+        assert_eq!(nl.total_pairs, 2 * brute);
+    }
+
+    #[test]
+    fn full_list_is_symmetric_for_local_pairs() {
+        let (mut atoms, domain) = lj_melt(4);
+        let settings = NeighborSettings::new(2.5, 0.3, false);
+        build_ghosts(&mut atoms, &domain, settings.cutneigh());
+        let nl = NeighborList::build(&atoms, &domain, &settings, &Space::Serial);
+        for i in 0..nl.nlocal {
+            for s in 0..nl.numneigh.at([i]) as usize {
+                let j = nl.neighbors.at([i, s]) as usize;
+                if j < nl.nlocal {
+                    let back = (0..nl.numneigh.at([j]) as usize)
+                        .any(|t| nl.neighbors.at([j, t]) as usize == i);
+                    assert!(back, "{j} missing back-reference to {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fcc_coordination_number() {
+        // At cutoff between 1st and 2nd neighbor shell, fcc has 12
+        // nearest neighbors.
+        let lat = Lattice::new(LatticeKind::Fcc, 1.0);
+        let mut atoms = AtomData::from_positions(&lat.positions(4, 4, 4));
+        let domain = lat.domain(4, 4, 4);
+        // 1st shell at 0.7071, 2nd at 1.0.
+        let settings = NeighborSettings::new(0.85, 0.0, false);
+        build_ghosts(&mut atoms, &domain, settings.cutneigh());
+        let nl = NeighborList::build(&atoms, &domain, &settings, &Space::Serial);
+        for i in 0..nl.nlocal {
+            assert_eq!(nl.numneigh.at([i]), 12);
+        }
+    }
+
+    #[test]
+    fn overflow_retry_produces_same_list() {
+        let (mut atoms, domain) = lj_melt(5);
+        let settings = NeighborSettings::new(3.5, 0.3, false); // large cutoff forces retries
+        build_ghosts(&mut atoms, &domain, settings.cutneigh());
+        let nl = NeighborList::build(&atoms, &domain, &settings, &Space::Serial);
+        let brute = brute_pairs(&atoms, &domain, settings.cutneigh());
+        assert_eq!(nl.total_pairs, 2 * brute);
+    }
+
+    #[test]
+    fn layout_follows_space() {
+        let (mut atoms, domain) = lj_melt(4);
+        let settings = NeighborSettings::new(2.5, 0.3, false);
+        build_ghosts(&mut atoms, &domain, settings.cutneigh());
+        let host = NeighborList::build(&atoms, &domain, &settings, &Space::Threads);
+        assert_eq!(host.neighbors.layout(), lkk_kokkos::Layout::Right);
+        let dev = NeighborList::build(
+            &atoms,
+            &domain,
+            &settings,
+            &Space::device(lkk_gpusim::GpuArch::h100()),
+        );
+        assert_eq!(dev.neighbors.layout(), lkk_kokkos::Layout::Left);
+        assert_eq!(host.total_pairs, dev.total_pairs);
+    }
+
+    #[test]
+    fn working_set_grows_with_block() {
+        let (mut atoms, domain) = lj_melt(5);
+        let settings = NeighborSettings::new(2.5, 0.3, false);
+        build_ghosts(&mut atoms, &domain, settings.cutneigh());
+        let nl = NeighborList::build(&atoms, &domain, &settings, &Space::Serial);
+        let w1 = nl.working_set_bytes(32);
+        let w2 = nl.working_set_bytes(256);
+        assert!(w2 > w1);
+        assert!(w1 > 32.0 * 24.0);
+    }
+
+    #[test]
+    fn displacement_tracking() {
+        let (atoms, domain) = lj_melt(2);
+        let x_old: Vec<[f64; 3]> = (0..atoms.nlocal).map(|i| atoms.pos(i)).collect();
+        assert_eq!(max_displacement_sq(&atoms, &x_old, &domain), 0.0);
+        let mut atoms = atoms;
+        let new_x = atoms.pos(0)[0] + 0.4;
+        atoms.x.h_view_mut().set([0, 0], new_x);
+        let d = max_displacement_sq(&atoms, &x_old, &domain);
+        assert!((d - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spatial_sort_improves_locality_and_preserves_physics() {
+        use crate::pair::lj::LjCut;
+        use crate::pair::{PairKokkos, PairStyle};
+        use crate::sim::System;
+        // Shuffle a melt so memory order is decorrelated from space.
+        let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
+        let mut positions = lat.positions(6, 6, 6);
+        let n = positions.len();
+        // Deterministic shuffle.
+        let mut s = 12345u64;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            positions.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let domain = lat.domain(6, 6, 6);
+        let settings = NeighborSettings::new(2.5, 0.3, false);
+
+        let energy_and_ws = |pos: &[[f64; 3]]| -> (f64, f64) {
+            let mut system = System::new(AtomData::from_positions(pos), domain, Space::Serial);
+            system.ghosts =
+                build_ghosts(&mut system.atoms, &domain, settings.cutneigh());
+            let nl = NeighborList::build(&system.atoms, &domain, &settings, &Space::Serial);
+            let ws = nl.working_set_bytes(256);
+            let mut pair = PairKokkos::with_options(
+                LjCut::single_type(1.0, 1.0, 2.5),
+                &Space::Serial,
+                crate::pair::PairKokkosOptions {
+                    force_half: Some(false),
+                    team_over_neighbors: false,
+                },
+            );
+            let res = pair.compute(&mut system, &nl, true);
+            (res.energy, ws)
+        };
+        let (e_shuffled, ws_shuffled) = energy_and_ws(&positions);
+
+        let mut atoms = AtomData::from_positions(&positions);
+        spatial_sort(&mut atoms, &domain, settings.cutneigh());
+        let sorted: Vec<[f64; 3]> = (0..atoms.nlocal).map(|i| atoms.pos(i)).collect();
+        let (e_sorted, ws_sorted) = energy_and_ws(&sorted);
+
+        // Same physics...
+        assert!((e_shuffled - e_sorted).abs() < 1e-9 * e_shuffled.abs());
+        // ...much smaller per-block neighbor working set.
+        assert!(
+            ws_sorted < 0.6 * ws_shuffled,
+            "sorted {ws_sorted} vs shuffled {ws_shuffled}"
+        );
+        // Tags are a permutation (nothing lost).
+        let mut tags: Vec<i64> = (0..atoms.nlocal).map(|i| atoms.tag.h_view().at([i])).collect();
+        tags.sort_unstable();
+        assert!(tags.iter().enumerate().all(|(i, &t)| t == i as i64 + 1));
+    }
+}

@@ -1,0 +1,573 @@
+//! Pair styles and the generic `PairKokkos` two-body driver.
+//!
+//! §4.1 of the paper: "most two-body forces are implemented through a
+//! pair_kokkos abstraction. Each two-body pair style derives from a
+//! base 'PairKokkos' class that contains a method defining a generic
+//! two-body potential. The derived class implements its own kernels
+//! that only compute the pairwise force and, if required, energy for
+//! the specific potential form. The base class handles all other
+//! details: neighbor list style, managing ScatterView objects, radial
+//! cutoff calculations, accumulating forces and energies, etc."
+//!
+//! Here [`TwoBody`] is the derived-class contract (force magnitude and
+//! energy of one pair) and [`PairKokkos`] the base-class driver, with
+//! three execution strategies:
+//!
+//! * full neighbor list, one work item per atom (GPU default),
+//! * half neighbor list with `ScatterView` deconfliction (CPU default),
+//! * full list with hierarchical team-over-neighbors parallelism for
+//!   small systems (Fig. 2a).
+
+use crate::neighbor::NeighborList;
+use crate::sim::System;
+use lkk_gpusim::KernelStats;
+use lkk_kokkos::{ScatterView, Space, TeamPolicy};
+
+pub mod eam;
+pub mod lj;
+pub mod mliap;
+pub mod morse;
+pub mod sw;
+pub mod table;
+pub mod yukawa;
+
+/// Energy and virial returned by a force computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PairResults {
+    pub energy: f64,
+    /// Pair virial `Σ r·f` (scalar trace), for pressure.
+    pub virial: f64,
+    /// Full virial tensor in Voigt order `xx, yy, zz, xy, xz, yz`
+    /// (`W_ab = Σ r_a f_b` over pairs). Styles that only track the
+    /// isotropic part put `virial/3` on the diagonal.
+    pub virial_tensor: [f64; 6],
+}
+
+impl PairResults {
+    /// Build from energy and a pair-wise accumulated tensor.
+    pub fn with_tensor(energy: f64, w: [f64; 6]) -> Self {
+        PairResults {
+            energy,
+            virial: w[0] + w[1] + w[2],
+            virial_tensor: w,
+        }
+    }
+
+    /// Build from energy and the scalar virial only (isotropic).
+    pub fn isotropic(energy: f64, virial: f64) -> Self {
+        let d = virial / 3.0;
+        PairResults {
+            energy,
+            virial,
+            virial_tensor: [d, d, d, 0.0, 0.0, 0.0],
+        }
+    }
+}
+
+/// Accumulate one pair's contribution `fpair·d ⊗ d` into a Voigt
+/// tensor (`d` the pair displacement, `fpair·d` the force).
+#[inline(always)]
+pub fn add_pair_virial(w: &mut [f64; 6], fpair: f64, d: [f64; 3]) {
+    w[0] += fpair * d[0] * d[0];
+    w[1] += fpair * d[1] * d[1];
+    w[2] += fpair * d[2] * d[2];
+    w[3] += fpair * d[0] * d[1];
+    w[4] += fpair * d[0] * d[2];
+    w[5] += fpair * d[1] * d[2];
+}
+
+/// A persistent force-field style (§2.2: "pair styles ... are typically
+/// the most expensive part of a simulation").
+pub trait PairStyle: Send + std::any::Any {
+    fn name(&self) -> &str;
+    /// Downcast support (e.g. to read style-specific diagnostics).
+    fn as_any(&self) -> &dyn std::any::Any;
+    /// Rename the style to its resolved registry key (e.g. after
+    /// suffix resolution turned `lj/cut` into `lj/cut/kk`).
+    fn set_name(&mut self, _name: &str) {}
+    /// Largest force cutoff (drives neighbor-list construction).
+    fn cutoff(&self) -> f64;
+    /// Does this style want a half list (Newton's third law)?
+    fn wants_half_list(&self) -> bool;
+    /// Does the style accumulate force on ghost atoms (requiring
+    /// reverse communication)?
+    fn needs_reverse_comm(&self) -> bool {
+        self.wants_half_list()
+    }
+    /// Compute forces into `system.atoms.f` (host mirror), returning
+    /// energy/virial when `eflag` is set.
+    fn compute(&mut self, system: &mut System, list: &NeighborList, eflag: bool) -> PairResults;
+}
+
+/// The per-pair contract a concrete two-body potential implements.
+pub trait TwoBody: Send + Sync {
+    fn type_name(&self) -> &'static str;
+    /// Squared cutoff for a type pair (0-based types).
+    fn cutsq(&self, ti: usize, tj: usize) -> f64;
+    /// Largest cutoff over all type pairs.
+    fn max_cutoff(&self) -> f64;
+    /// For a pair within the cutoff: `(fpair, evdwl)` where the force
+    /// on atom `i` is `fpair * (x_i - x_j)` and `evdwl` is the full
+    /// pair energy.
+    fn pair(&self, rsq: f64, ti: usize, tj: usize) -> (f64, f64);
+    /// FP64 operations per computed pair (for the device cost model).
+    fn flops_per_pair(&self) -> f64 {
+        23.0
+    }
+}
+
+/// Execution strategy knobs for [`PairKokkos`] (Fig. 2's experiment
+/// axes).
+#[derive(Debug, Clone, Copy)]
+pub struct PairKokkosOptions {
+    /// `None`: follow the execution-space default (full on device, half
+    /// on host). `Some(h)`: force half (`true`) or full (`false`).
+    pub force_half: Option<bool>,
+    /// Expose parallelism over neighbors with team policies (Fig. 2a).
+    pub team_over_neighbors: bool,
+}
+
+impl Default for PairKokkosOptions {
+    fn default() -> Self {
+        PairKokkosOptions {
+            force_half: None,
+            team_over_neighbors: false,
+        }
+    }
+}
+
+/// The generic two-body driver.
+pub struct PairKokkos<P: TwoBody> {
+    pub pot: P,
+    pub options: PairKokkosOptions,
+    scatter: Option<ScatterView>,
+    half: bool,
+    name: String,
+}
+
+impl<P: TwoBody> PairKokkos<P> {
+    pub fn new(pot: P, space: &Space) -> Self {
+        Self::with_options(pot, space, PairKokkosOptions::default())
+    }
+
+    pub fn with_options(pot: P, space: &Space, options: PairKokkosOptions) -> Self {
+        // §4.1: "typically a full neighbor list and newton off is better
+        // for GPUs, while a half list and newton on is better for CPUs".
+        let half = options.force_half.unwrap_or(!space.is_device());
+        let name = format!("{}{}", pot.type_name(), if space.is_device() { "/kk" } else { "" });
+        PairKokkos {
+            pot,
+            options,
+            scatter: None,
+            half,
+            name,
+        }
+    }
+
+    /// Full-list kernel: one work item per atom, each writing only its
+    /// own force row (no conflicts, no atomics; work is duplicated).
+    fn compute_full(&self, system: &mut System, list: &NeighborList) -> (PairResults, u64) {
+        let space = system.space.clone();
+        let nlocal = system.atoms.nlocal;
+        let atoms = &mut system.atoms;
+        let x = atoms.x.view_for(&space);
+        let typ = atoms.typ.view_for(&space);
+        let f = atoms.f.view_for_mut(&space);
+        f.fill(0.0);
+        let fw = f.par_write();
+        let pot = &self.pot;
+        let (e, w, inside) = space.parallel_reduce(
+            "PairComputeFull",
+            nlocal,
+            (0.0f64, [0.0f64; 6], 0u64),
+            |i| {
+                let xi = [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])];
+                let ti = typ.at([i]) as usize;
+                let nn = list.numneigh.at([i]) as usize;
+                let mut fi = [0.0f64; 3];
+                let mut e = 0.0;
+                let mut w = [0.0f64; 6];
+                let mut inside = 0u64;
+                for s in 0..nn {
+                    let j = list.neighbors.at([i, s]) as usize;
+                    let tj = typ.at([j]) as usize;
+                    let d = [
+                        xi[0] - x.at([j, 0]),
+                        xi[1] - x.at([j, 1]),
+                        xi[2] - x.at([j, 2]),
+                    ];
+                    let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                    if rsq < pot.cutsq(ti, tj) {
+                        let (fpair, evdwl) = pot.pair(rsq, ti, tj);
+                        for k in 0..3 {
+                            fi[k] += fpair * d[k];
+                        }
+                        // Full list sees each pair twice: count half.
+                        e += 0.5 * evdwl;
+                        add_pair_virial(&mut w, 0.5 * fpair, d);
+                        inside += 1;
+                    }
+                }
+                unsafe {
+                    fw.write([i, 0], fi[0]);
+                    fw.write([i, 1], fi[1]);
+                    fw.write([i, 2], fi[2]);
+                }
+                (e, w, inside)
+            },
+            |a, b| {
+                let mut w = a.1;
+                for k in 0..6 {
+                    w[k] += b.1[k];
+                }
+                (a.0 + b.0, w, a.2 + b.2)
+            },
+        );
+        (PairResults::with_tensor(e, w), inside)
+    }
+
+    /// Full-list kernel with hierarchical parallelism over neighbors
+    /// (Fig. 2a): one team per atom, the neighbor loop distributed over
+    /// the team, exposing `atoms × neighbors` concurrency.
+    fn compute_full_team(&self, system: &mut System, list: &NeighborList) -> (PairResults, u64) {
+        let space = system.space.clone();
+        let nlocal = system.atoms.nlocal;
+        let atoms = &mut system.atoms;
+        let x = atoms.x.view_for(&space);
+        let typ = atoms.typ.view_for(&space);
+        let f = atoms.f.view_for_mut(&space);
+        f.fill(0.0);
+        let fw = f.par_write();
+        let pot = &self.pot;
+        use lkk_kokkos::AtomicF64;
+        let e_acc = AtomicF64::new(0.0);
+        let w_acc: Vec<AtomicF64> = (0..6).map(|_| AtomicF64::new(0.0)).collect();
+        let inside_acc = AtomicF64::new(0.0);
+        let policy = TeamPolicy::new(nlocal, 32).with_vector(1);
+        space.parallel_for_team("PairComputeFullTeam", policy, |team| {
+            let i = team.league_rank();
+            let xi = [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])];
+            let ti = typ.at([i]) as usize;
+            let nn = list.numneigh.at([i]) as usize;
+            let mut fi = [0.0f64; 3];
+            let mut e = 0.0;
+            let mut w = [0.0f64; 6];
+            let mut inside = 0u64;
+            team.team_range(nn, |s| {
+                let j = list.neighbors.at([i, s]) as usize;
+                let tj = typ.at([j]) as usize;
+                let d = [
+                    xi[0] - x.at([j, 0]),
+                    xi[1] - x.at([j, 1]),
+                    xi[2] - x.at([j, 2]),
+                ];
+                let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                if rsq < pot.cutsq(ti, tj) {
+                    let (fpair, evdwl) = pot.pair(rsq, ti, tj);
+                    for k in 0..3 {
+                        fi[k] += fpair * d[k];
+                    }
+                    e += 0.5 * evdwl;
+                    add_pair_virial(&mut w, 0.5 * fpair, d);
+                    inside += 1;
+                }
+            });
+            unsafe {
+                fw.write([i, 0], fi[0]);
+                fw.write([i, 1], fi[1]);
+                fw.write([i, 2], fi[2]);
+            }
+            e_acc.fetch_add(e);
+            for k in 0..6 {
+                w_acc[k].fetch_add(w[k]);
+            }
+            inside_acc.fetch_add(inside as f64);
+        });
+        let mut w = [0.0f64; 6];
+        for k in 0..6 {
+            w[k] = w_acc[k].load();
+        }
+        (
+            PairResults::with_tensor(e_acc.load(), w),
+            inside_acc.load() as u64,
+        )
+    }
+
+    /// Half-list kernel: each pair computed once, force scattered to
+    /// both atoms through a `ScatterView` (atomics on the device,
+    /// duplication on threaded hosts, §3.2).
+    fn compute_half(&mut self, system: &mut System, list: &NeighborList) -> (PairResults, u64) {
+        let space = system.space.clone();
+        let nlocal = system.atoms.nlocal;
+        let nall = system.atoms.nall();
+        let x = system.atoms.x.view_for(&space);
+        let typ = system.atoms.typ.view_for(&space);
+        // Reuse the scatter buffer across steps.
+        let scatter = match &mut self.scatter {
+            Some(s) if s.target_len() == nall * 3 => s,
+            _ => {
+                self.scatter = Some(ScatterView::for_space(nall, 3, &space));
+                self.scatter.as_mut().unwrap()
+            }
+        };
+        let pot = &self.pot;
+        let sref: &ScatterView = scatter;
+        let (e, w, inside) = space.parallel_reduce(
+            "PairComputeHalf",
+            nlocal,
+            (0.0f64, [0.0f64; 6], 0u64),
+            |i| {
+                let xi = [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])];
+                let ti = typ.at([i]) as usize;
+                let nn = list.numneigh.at([i]) as usize;
+                let mut fi = [0.0f64; 3];
+                let mut e = 0.0;
+                let mut w = [0.0f64; 6];
+                let mut inside = 0u64;
+                for s in 0..nn {
+                    let j = list.neighbors.at([i, s]) as usize;
+                    let tj = typ.at([j]) as usize;
+                    let d = [
+                        xi[0] - x.at([j, 0]),
+                        xi[1] - x.at([j, 1]),
+                        xi[2] - x.at([j, 2]),
+                    ];
+                    let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                    if rsq < pot.cutsq(ti, tj) {
+                        let (fpair, evdwl) = pot.pair(rsq, ti, tj);
+                        for k in 0..3 {
+                            fi[k] += fpair * d[k];
+                            sref.add(j, k, -fpair * d[k]);
+                        }
+                        e += evdwl;
+                        add_pair_virial(&mut w, fpair, d);
+                        inside += 1;
+                    }
+                }
+                for k in 0..3 {
+                    sref.add(i, k, fi[k]);
+                }
+                (e, w, inside)
+            },
+            |a, b| {
+                let mut w = a.1;
+                for k in 0..6 {
+                    w[k] += b.1[k];
+                }
+                (a.0 + b.0, w, a.2 + b.2)
+            },
+        );
+        let f = system.atoms.f.view_for_mut(&space);
+        f.fill(0.0);
+        scatter.contribute_into_view(f);
+        (PairResults::with_tensor(e, w), inside)
+    }
+
+    /// Attach measured event counts for the device cost model.
+    fn note_stats(&self, system: &System, list: &NeighborList, pairs_inside: u64) {
+        let space = &system.space;
+        if !space.is_device() {
+            return;
+        }
+        let nlocal = system.atoms.nlocal as f64;
+        let total_pairs = list.total_pairs as f64;
+        let mut s = KernelStats::new(if self.half {
+            "PairComputeHalf"
+        } else if self.options.team_over_neighbors {
+            "PairComputeTeam"
+        } else {
+            "PairComputeLJCut"
+        });
+        s.work_items = if self.options.team_over_neighbors {
+            total_pairs
+        } else {
+            nlocal
+        };
+        s.flops = pairs_inside as f64 * self.pot.flops_per_pair()
+            + total_pairs * 8.0; // distance + cutoff check on every listed pair
+        if self.options.team_over_neighbors {
+            // Fig. 2a: "the benefit of additional parallelism outweighs
+            // the reduced efficiency of the more complex iteration
+            // pattern" — at saturation that reduced efficiency is what
+            // remains (team reductions + per-team bookkeeping).
+            s.flops *= 1.15;
+        }
+        s.dram_bytes = nlocal * (24.0 + 24.0) + total_pairs * 4.0;
+        s.reused_bytes = total_pairs * 24.0;
+        // One SM runs ~2048 resident threads = 2048 atoms' neighborhoods.
+        s.working_set_bytes = list.working_set_bytes(2048);
+        s.atomic_f64_ops = if self.half { (pairs_inside * 6) as f64 } else { 0.0 };
+        s.convergence = if total_pairs > 0.0 {
+            (pairs_inside as f64 / total_pairs).clamp(0.05, 1.0)
+        } else {
+            1.0
+        };
+        space.note_kernel(s);
+    }
+}
+
+impl<P: TwoBody + 'static> PairStyle for PairKokkos<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.pot.max_cutoff()
+    }
+
+    fn wants_half_list(&self) -> bool {
+        self.half
+    }
+
+    fn compute(&mut self, system: &mut System, list: &NeighborList, _eflag: bool) -> PairResults {
+        assert_eq!(
+            list.half, self.half,
+            "pair style '{}' given wrong list style",
+            self.name
+        );
+        let space = system.space.clone();
+        system
+            .atoms
+            .sync(&space, crate::atom::Mask::X | crate::atom::Mask::TYPE);
+        let (res, inside) = if self.half {
+            self.compute_half(system, list)
+        } else if self.options.team_over_neighbors {
+            self.compute_full_team(system, list)
+        } else {
+            self.compute_full(system, list)
+        };
+        system.atoms.modified(&space, crate::atom::Mask::F);
+        self.note_stats(system, list, inside);
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lj::LjCut;
+    use super::*;
+    use crate::atom::AtomData;
+    use crate::comm::build_ghosts;
+    use crate::lattice::{Lattice, LatticeKind};
+    use crate::neighbor::{NeighborList, NeighborSettings};
+    use crate::sim::System;
+
+    fn melt_system(space: Space) -> System {
+        let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
+        let atoms = AtomData::from_positions(&lat.positions(4, 4, 4));
+        System::new(atoms, lat.domain(4, 4, 4), space)
+    }
+
+    fn forces_and_energy(
+        space: Space,
+        options: PairKokkosOptions,
+        half: bool,
+    ) -> (Vec<f64>, PairResults) {
+        let mut system = melt_system(space);
+        let pot = LjCut::single_type(1.0, 1.0, 2.5);
+        let opts = PairKokkosOptions {
+            force_half: Some(half),
+            ..options
+        };
+        let space = system.space.clone();
+        let mut pair = PairKokkos::with_options(pot, &space, opts);
+        let settings = NeighborSettings::new(pair.cutoff(), 0.3, half);
+        system.ghosts = build_ghosts(&mut system.atoms, &system.domain, settings.cutneigh());
+        let list = NeighborList::build(&system.atoms, &system.domain, &settings, &space);
+        let res = pair.compute(&mut system, &list, true);
+        if pair.needs_reverse_comm() {
+            system.atoms.sync(&Space::Serial, crate::atom::Mask::F);
+            crate::comm::reverse_forces(&mut system.atoms, &system.ghosts);
+        }
+        system.atoms.sync(&Space::Serial, crate::atom::Mask::F);
+        let fh = system.atoms.f.h_view();
+        let forces: Vec<f64> = (0..system.atoms.nlocal)
+            .flat_map(|i| (0..3).map(move |k| (i, k)))
+            .map(|(i, k)| fh.at([i, k]))
+            .collect();
+        (forces, res)
+    }
+
+    #[test]
+    fn half_and_full_agree() {
+        let (ff, rf) = forces_and_energy(Space::Serial, Default::default(), false);
+        let (fh, rh) = forces_and_energy(Space::Serial, Default::default(), true);
+        assert!((rf.energy - rh.energy).abs() < 1e-9 * rf.energy.abs());
+        assert!((rf.virial - rh.virial).abs() < 1e-9 * rf.virial.abs().max(1.0));
+        for (a, b) in ff.iter().zip(&fh) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn team_variant_agrees_with_flat() {
+        let (ff, rf) = forces_and_energy(Space::Serial, Default::default(), false);
+        let opts = PairKokkosOptions {
+            team_over_neighbors: true,
+            force_half: None,
+        };
+        let (ft, rt) = forces_and_energy(Space::Serial, opts, false);
+        assert!((rf.energy - rt.energy).abs() < 1e-9 * rf.energy.abs());
+        for (a, b) in ff.iter().zip(&ft) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spaces_agree() {
+        let (fs, rs) = forces_and_energy(Space::Serial, Default::default(), false);
+        let (ft, rt) = forces_and_energy(Space::Threads, Default::default(), false);
+        let (fd, rd) = forces_and_energy(
+            Space::device(lkk_gpusim::GpuArch::h100()),
+            Default::default(),
+            false,
+        );
+        assert!((rs.energy - rt.energy).abs() < 1e-9 * rs.energy.abs());
+        assert!((rs.energy - rd.energy).abs() < 1e-9 * rs.energy.abs());
+        for ((a, b), c) in fs.iter().zip(&ft).zip(&fd) {
+            assert!((a - b).abs() < 1e-9);
+            assert!((a - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perfect_lattice_at_minimum_has_near_zero_force() {
+        // In a perfect fcc lattice every atom's force vanishes by symmetry.
+        let (f, res) = forces_and_energy(Space::Serial, Default::default(), false);
+        for x in &f {
+            assert!(x.abs() < 1e-9, "residual force {x}");
+        }
+        // Cohesive energy is negative.
+        assert!(res.energy < 0.0);
+    }
+
+    #[test]
+    fn device_records_kernel_stats() {
+        let space = Space::device(lkk_gpusim::GpuArch::h100());
+        let ctx = space.device_ctx().unwrap().clone();
+        let _ = forces_and_energy(space, Default::default(), false);
+        let agg = ctx.log.aggregate();
+        let pair = agg.iter().find(|s| s.name == "PairComputeLJCut").unwrap();
+        assert!(pair.flops > 0.0);
+        assert!(pair.reused_bytes > 0.0);
+        assert!(pair.working_set_bytes > 0.0);
+        assert_eq!(pair.atomic_f64_ops, 0.0);
+    }
+
+    #[test]
+    fn newtons_third_law_total_force_zero() {
+        let (f, _) = forces_and_energy(Space::Threads, Default::default(), true);
+        for k in 0..3 {
+            let total: f64 = f.iter().skip(k).step_by(3).sum();
+            assert!(total.abs() < 1e-9, "net force component {total}");
+        }
+    }
+}

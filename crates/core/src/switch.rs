@@ -1,0 +1,37 @@
+//! Smooth switching functions shared by pair styles.
+
+/// Cubic switching function: 1 below `on`, 0 above `off`, C¹ smooth.
+/// Returns `(s, ds/dr)`.
+pub fn cubic_switch(r: f64, on: f64, off: f64) -> (f64, f64) {
+    if r <= on {
+        (1.0, 0.0)
+    } else if r >= off {
+        (0.0, 0.0)
+    } else {
+        let t = (r - on) / (off - on);
+        let s = 1.0 - t * t * (3.0 - 2.0 * t);
+        let ds = -6.0 * t * (1.0 - t) / (off - on);
+        (s, ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_and_midpoint() {
+        assert_eq!(cubic_switch(0.5, 1.0, 2.0), (1.0, 0.0));
+        assert_eq!(cubic_switch(2.5, 1.0, 2.0), (0.0, 0.0));
+        assert!((cubic_switch(1.5, 1.0, 2.0).0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_matches_fd() {
+        for &r in &[1.1f64, 1.4, 1.8] {
+            let h = 1e-7;
+            let fd = (cubic_switch(r + h, 1.0, 2.0).0 - cubic_switch(r - h, 1.0, 2.0).0) / (2.0 * h);
+            assert!((cubic_switch(r, 1.0, 2.0).1 - fd).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Unit systems.
+//!
+//! LAMMPS supports several unit systems selected by the `units` command;
+//! we provide the two used by the paper's benchmarks: reduced
+//! Lennard-Jones units (`lj`, where ε = σ = m = k_B = 1) and `metal`
+//! units (eV, Å, ps), which SNAP and our reduced ReaxFF use.
+
+/// Conversion constants of a unit system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Units {
+    /// Boltzmann constant in these units.
+    pub boltz: f64,
+    /// Conversion from m·v² to energy.
+    pub mvv2e: f64,
+    /// Timestep implied by `timestep` command default.
+    pub default_dt: f64,
+    /// Name, for thermo headers.
+    pub name: &'static str,
+}
+
+impl Units {
+    /// Reduced Lennard-Jones units: everything is 1.
+    pub fn lj() -> Units {
+        Units {
+            boltz: 1.0,
+            mvv2e: 1.0,
+            default_dt: 0.005,
+            name: "lj",
+        }
+    }
+
+    /// Metal units: energy eV, distance Å, time ps, mass g/mol.
+    pub fn metal() -> Units {
+        Units {
+            boltz: 8.617_333_262e-5,
+            mvv2e: 1.036_426_9e-4,
+            default_dt: 0.001,
+            name: "metal",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Units> {
+        match name {
+            "lj" => Some(Units::lj()),
+            "metal" => Some(Units::metal()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Units {
+    fn default() -> Self {
+        Units::lj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Units::from_name("lj").unwrap(), Units::lj());
+        assert_eq!(Units::from_name("metal").unwrap().name, "metal");
+        assert!(Units::from_name("si").is_none());
+    }
+
+    #[test]
+    fn lj_is_reduced() {
+        let u = Units::lj();
+        assert_eq!(u.boltz, 1.0);
+        assert_eq!(u.mvv2e, 1.0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Architecture descriptors.
+//!
+//! The numeric columns of Table 1 in the paper are encoded verbatim in
+//! the constructors below; the remaining parameters (SM counts, warp
+//! widths, atomic throughput, launch latency, link bandwidth) come from
+//! vendor documentation or are calibrated so that the model reproduces
+//! the qualitative statements in the paper (e.g. "on NVIDIA GPUs the
+//! atomic throughput is high enough that the overhead of atomics can be
+//! lower than the cost of the redundant computation", §4.1; "higher
+//! launch latencies on GH200", Appendix C.1). Each constructor documents
+//! its provenance.
+
+/// GPU vendor, used for vendor-specific behaviour such as the
+/// NVIDIA-only dynamic shared-memory carveout (§4.4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    Nvidia,
+    Amd,
+    Intel,
+}
+
+/// A single logical GPU (one GCD of an MI250X, one stack of a PVC, one
+/// full NVIDIA part), as used throughout the paper's single-GPU results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuArch {
+    /// Marketing name, e.g. `"NVIDIA H100"`.
+    pub name: &'static str,
+    pub vendor: Vendor,
+    /// HBM bandwidth in GB/s (Table 1 "BW").
+    pub hbm_bw_gbs: f64,
+    /// HBM capacity in GiB (Table 1 "Capacity").
+    pub hbm_capacity_gib: f64,
+    /// FP64 vector throughput in TFLOP/s, excluding matrix hardware
+    /// (Table 1 "FP64").
+    pub fp64_tflops: f64,
+    /// Hardware-managed L1 data cache per SM/CU in KiB. For NVIDIA this
+    /// is the *unified* L1+shared pool (Table 1 lists the combined size);
+    /// the split is chosen at launch via the carveout (see [`crate::carveout`]).
+    pub l1_kib: f64,
+    /// Software-managed scratch (shared memory / LDS / SLM) per SM/CU in
+    /// KiB. Zero for NVIDIA (the unified pool is split dynamically).
+    pub shared_kib: f64,
+    /// Whether L1 and shared memory share one configurable pool.
+    pub unified_cache: bool,
+    /// Number of streaming multiprocessors / compute units.
+    pub sm_count: u32,
+    /// SIMT width: 32 on NVIDIA/Intel, 64 on AMD (§4.3.2).
+    pub warp_width: u32,
+    /// Maximum simultaneously resident threads on the whole device.
+    /// The paper: "now exceed 200,000 simultaneously active threads" (§5.1).
+    pub max_resident_threads: u32,
+    /// Kernel launch latency in microseconds. Appendix C.1 attributes the
+    /// deep-strong-scaling gap between Alps and Eos to "higher launch
+    /// latencies on GH200".
+    pub launch_latency_us: f64,
+    /// Sustained device-wide FP64 *scatter* atomic-add throughput in
+    /// 1e9 ops/s (unstructured targets with occasional conflicts, the
+    /// force-array pattern). NVIDIA parts have fast L2-resident FP64
+    /// atomics; AMD/Intel parts emulate via CAS loops and sustain much
+    /// less (§4.1).
+    pub atomic_f64_gops: f64,
+    /// Aggregate L1 cache bandwidth in GB/s (all SMs). ComputeYi is "L1
+    /// cache throughput" limited (§4.3.4), so this matters.
+    pub l1_bw_gbs: f64,
+    /// L2 capacity in MiB (Appendix C: H100 50 MiB vs GH200 60 MiB).
+    pub l2_mib: f64,
+    /// Host link bandwidth in GB/s (PCIe gen4/5 or NVLink-C2C).
+    pub link_bw_gbs: f64,
+    /// Host link latency per transfer in microseconds.
+    pub link_latency_us: f64,
+}
+
+impl GpuArch {
+    /// NVIDIA V100-16GB-SXM3. Table 1: 0.9 TB/s, 16 GB, 7.8 TF, 128 kB
+    /// unified L1+shared. 80 SMs, 2048 threads/SM.
+    pub fn v100() -> Self {
+        GpuArch {
+            name: "NVIDIA V100",
+            vendor: Vendor::Nvidia,
+            hbm_bw_gbs: 900.0,
+            hbm_capacity_gib: 16.0,
+            fp64_tflops: 7.8,
+            l1_kib: 128.0,
+            shared_kib: 0.0,
+            unified_cache: true,
+            sm_count: 80,
+            warp_width: 32,
+            max_resident_threads: 80 * 2048,
+            launch_latency_us: 6.0,
+            atomic_f64_gops: 100.0,
+            l1_bw_gbs: 80.0 * 128.0,
+            l2_mib: 6.0,
+            link_bw_gbs: 16.0,
+            link_latency_us: 8.0,
+        }
+    }
+
+    /// NVIDIA A100-40GB-SXM4. Table 1: 1.5 TB/s, 40 GB, 9.7 TF, 192 kB.
+    pub fn a100() -> Self {
+        GpuArch {
+            name: "NVIDIA A100",
+            vendor: Vendor::Nvidia,
+            hbm_bw_gbs: 1500.0,
+            hbm_capacity_gib: 40.0,
+            fp64_tflops: 9.7,
+            l1_kib: 192.0,
+            shared_kib: 0.0,
+            unified_cache: true,
+            sm_count: 108,
+            warp_width: 32,
+            max_resident_threads: 108 * 2048,
+            launch_latency_us: 5.0,
+            atomic_f64_gops: 200.0,
+            l1_bw_gbs: 108.0 * 160.0,
+            l2_mib: 40.0,
+            link_bw_gbs: 25.0,
+            link_latency_us: 8.0,
+        }
+    }
+
+    /// NVIDIA H100-HBM3-SXM5. Table 1: 3.3 TB/s, 80 GB, 34 TF, 256 kB.
+    pub fn h100() -> Self {
+        GpuArch {
+            name: "NVIDIA H100",
+            vendor: Vendor::Nvidia,
+            hbm_bw_gbs: 3300.0,
+            hbm_capacity_gib: 80.0,
+            fp64_tflops: 34.0,
+            l1_kib: 256.0,
+            shared_kib: 0.0,
+            unified_cache: true,
+            sm_count: 132,
+            warp_width: 32,
+            max_resident_threads: 132 * 2048,
+            launch_latency_us: 4.0,
+            atomic_f64_gops: 400.0,
+            l1_bw_gbs: 132.0 * 256.0,
+            l2_mib: 50.0,
+            link_bw_gbs: 55.0,
+            link_latency_us: 6.0,
+        }
+    }
+
+    /// NVIDIA GH200 (Grace-Hopper). Table 1: 4.0 TB/s, 96 GB, 34 TF,
+    /// 256 kB. Appendix C: +20% bandwidth/capacity/L2 over H100, same
+    /// FP64 and unified-cache capacity, *higher* launch latency, and a
+    /// fast NVLink-C2C host link.
+    pub fn gh200() -> Self {
+        GpuArch {
+            name: "NVIDIA GH200",
+            vendor: Vendor::Nvidia,
+            hbm_bw_gbs: 4000.0,
+            hbm_capacity_gib: 96.0,
+            fp64_tflops: 34.0,
+            l1_kib: 256.0,
+            shared_kib: 0.0,
+            unified_cache: true,
+            sm_count: 132,
+            warp_width: 32,
+            max_resident_threads: 132 * 2048,
+            launch_latency_us: 7.0,
+            atomic_f64_gops: 400.0,
+            l1_bw_gbs: 132.0 * 256.0,
+            l2_mib: 60.0,
+            link_bw_gbs: 450.0,
+            link_latency_us: 2.0,
+        }
+    }
+
+    /// One GCD (half) of an AMD MI250X, as used on Frontier. Table 1:
+    /// 1.6 TB/s, 64 GB, 24 TF, 16 kB L1 + 64 kB LDS per CU. 110 CUs per
+    /// GCD, wavefront width 64.
+    pub fn mi250x_gcd() -> Self {
+        GpuArch {
+            name: "AMD MI250X/2",
+            vendor: Vendor::Amd,
+            hbm_bw_gbs: 1600.0,
+            hbm_capacity_gib: 64.0,
+            fp64_tflops: 24.0,
+            l1_kib: 16.0,
+            shared_kib: 64.0,
+            unified_cache: false,
+            sm_count: 110,
+            warp_width: 64,
+            max_resident_threads: 110 * 2048,
+            launch_latency_us: 8.0,
+            atomic_f64_gops: 60.0,
+            l1_bw_gbs: 110.0 * 64.0,
+            l2_mib: 8.0,
+            link_bw_gbs: 36.0,
+            link_latency_us: 10.0,
+        }
+    }
+
+    /// AMD MI300A APU, as used on El Capitan. Table 1: 5.3 TB/s, 128 GB,
+    /// 61 TF, 32 kB L1 + 64 kB LDS. 228 CUs.
+    pub fn mi300a() -> Self {
+        GpuArch {
+            name: "AMD MI300A",
+            vendor: Vendor::Amd,
+            hbm_bw_gbs: 5300.0,
+            hbm_capacity_gib: 128.0,
+            fp64_tflops: 61.0,
+            l1_kib: 32.0,
+            shared_kib: 64.0,
+            unified_cache: false,
+            sm_count: 228,
+            warp_width: 64,
+            max_resident_threads: 228 * 2048,
+            launch_latency_us: 7.0,
+            atomic_f64_gops: 150.0,
+            l1_bw_gbs: 228.0 * 128.0,
+            l2_mib: 32.0,
+            link_bw_gbs: 128.0,
+            link_latency_us: 3.0,
+        }
+    }
+
+    /// One stack (half) of an Intel Data Center GPU Max 1550 ("PVC"), as
+    /// used on Aurora. Table 1: 1.6 TB/s, 64 GB, 26 TF, 128 kB SLM
+    /// (hardware L1 size not listed; we model a small 32 kB L1).
+    pub fn pvc_stack() -> Self {
+        GpuArch {
+            name: "Intel PVC stack",
+            vendor: Vendor::Intel,
+            hbm_bw_gbs: 1600.0,
+            hbm_capacity_gib: 64.0,
+            fp64_tflops: 26.0,
+            l1_kib: 32.0,
+            shared_kib: 128.0,
+            unified_cache: false,
+            sm_count: 64,
+            warp_width: 32,
+            max_resident_threads: 64 * 4096,
+            launch_latency_us: 10.0,
+            atomic_f64_gops: 80.0,
+            l1_bw_gbs: 64.0 * 128.0,
+            l2_mib: 204.0,
+            link_bw_gbs: 64.0,
+            link_latency_us: 8.0,
+        }
+    }
+
+    /// Look up a descriptor by short name (`"h100"`, `"mi300a"`, ...),
+    /// as used by the `package kokkos device <arch>` input command.
+    pub fn by_name(name: &str) -> Option<GpuArch> {
+        match name {
+            "v100" => Some(Self::v100()),
+            "a100" => Some(Self::a100()),
+            "h100" => Some(Self::h100()),
+            "gh200" => Some(Self::gh200()),
+            "mi250x" => Some(Self::mi250x_gcd()),
+            "mi300a" => Some(Self::mi300a()),
+            "pvc" => Some(Self::pvc_stack()),
+            _ => None,
+        }
+    }
+
+    /// All seven descriptors, in Table-1 row order.
+    pub fn table1() -> Vec<GpuArch> {
+        vec![
+            Self::v100(),
+            Self::a100(),
+            Self::h100(),
+            Self::gh200(),
+            Self::mi250x_gcd(),
+            Self::mi300a(),
+            Self::pvc_stack(),
+        ]
+    }
+
+    /// Total unified / combined L1-class capacity per SM in KiB
+    /// (L1 + shared for split designs; the single pool for NVIDIA).
+    pub fn l1_class_kib(&self) -> f64 {
+        self.l1_kib + self.shared_kib
+    }
+
+    /// HBM capacity in bytes.
+    pub fn hbm_capacity_bytes(&self) -> f64 {
+        self.hbm_capacity_gib * 1024.0 * 1024.0 * 1024.0
+    }
+
+    /// The atom count at which a kernel exposing `items_per_atom` work
+    /// items saturates the device, assuming a couple of waves are needed
+    /// to hide latency.
+    pub fn saturation_items(&self) -> f64 {
+        // Two full waves of resident threads are a common rule of thumb
+        // for hiding memory latency on all three vendors' parts.
+        2.0 * self.max_resident_threads as f64
+    }
+}
+
+/// A CPU node descriptor, used (a) as the Figure-5 normalization
+/// baseline (36-core Skylake node running non-Kokkos MPI LAMMPS) and
+/// (b) as the host side of reverse-offload discussions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuArch {
+    pub name: &'static str,
+    pub cores: u32,
+    /// Sustained DRAM bandwidth, GB/s.
+    pub dram_bw_gbs: f64,
+    /// Aggregate FP64 throughput, TFLOP/s.
+    pub fp64_tflops: f64,
+    /// Per-core L2+L1 capacity, KiB (cache behaviour on CPUs is benign
+    /// for our kernels; this is used only for working-set checks).
+    pub cache_per_core_kib: f64,
+}
+
+impl CpuArch {
+    /// Dual-socket 18+18 core Intel Skylake node (e.g. Xeon Gold 6140),
+    /// the Figure-5 reference: ~2.6 GHz, AVX-512 ⇒ ≈2.0 TF FP64 peak,
+    /// ~220 GB/s of DRAM bandwidth across both sockets.
+    pub fn skylake36() -> Self {
+        CpuArch {
+            name: "2x18-core Skylake",
+            cores: 36,
+            dram_bw_gbs: 220.0,
+            fp64_tflops: 2.0,
+            cache_per_core_kib: 1024.0 + 32.0,
+        }
+    }
+
+    /// Roofline time (seconds) for a kernel on this CPU node. CPU MD
+    /// kernels rarely hit peak FLOPs; `efficiency` captures the fraction
+    /// of peak a real pair kernel sustains (LAMMPS reaches ~5-15%).
+    pub fn kernel_time(&self, flops: f64, dram_bytes: f64, efficiency: f64) -> f64 {
+        let t_flop = flops / (self.fp64_tflops * 1e12 * efficiency);
+        let t_mem = dram_bytes / (self.dram_bw_gbs * 1e9);
+        t_flop.max(t_mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1 of the paper, verbatim.
+    #[test]
+    fn table1_values_match_paper() {
+        let t = GpuArch::table1();
+        let row = |name: &str| t.iter().find(|a| a.name.contains(name)).unwrap();
+
+        let v100 = row("V100");
+        assert_eq!(v100.hbm_bw_gbs, 900.0);
+        assert_eq!(v100.hbm_capacity_gib, 16.0);
+        assert_eq!(v100.fp64_tflops, 7.8);
+        assert_eq!(v100.l1_class_kib(), 128.0);
+
+        let a100 = row("A100");
+        assert_eq!(a100.hbm_bw_gbs, 1500.0);
+        assert_eq!(a100.hbm_capacity_gib, 40.0);
+        assert_eq!(a100.fp64_tflops, 9.7);
+        assert_eq!(a100.l1_class_kib(), 192.0);
+
+        let h100 = row("H100");
+        assert_eq!(h100.hbm_bw_gbs, 3300.0);
+        assert_eq!(h100.hbm_capacity_gib, 80.0);
+        assert_eq!(h100.fp64_tflops, 34.0);
+        assert_eq!(h100.l1_class_kib(), 256.0);
+
+        let gh200 = row("GH200");
+        assert_eq!(gh200.hbm_bw_gbs, 4000.0);
+        assert_eq!(gh200.hbm_capacity_gib, 96.0);
+        assert_eq!(gh200.fp64_tflops, 34.0);
+        assert_eq!(gh200.l1_class_kib(), 256.0);
+
+        let mi250x = row("MI250X");
+        assert_eq!(mi250x.hbm_bw_gbs, 1600.0);
+        assert_eq!(mi250x.hbm_capacity_gib, 64.0);
+        assert_eq!(mi250x.fp64_tflops, 24.0);
+        assert_eq!(mi250x.l1_kib, 16.0);
+        assert_eq!(mi250x.shared_kib, 64.0);
+
+        let mi300a = row("MI300A");
+        assert_eq!(mi300a.hbm_bw_gbs, 5300.0);
+        assert_eq!(mi300a.hbm_capacity_gib, 128.0);
+        assert_eq!(mi300a.fp64_tflops, 61.0);
+        assert_eq!(mi300a.l1_kib, 32.0);
+        assert_eq!(mi300a.shared_kib, 64.0);
+
+        let pvc = row("PVC");
+        assert_eq!(pvc.hbm_bw_gbs, 1600.0);
+        assert_eq!(pvc.hbm_capacity_gib, 64.0);
+        assert_eq!(pvc.fp64_tflops, 26.0);
+        assert_eq!(pvc.shared_kib, 128.0);
+    }
+
+    #[test]
+    fn paper_qualitative_relations_hold() {
+        // §5.1: modern GPUs exceed 200k simultaneously active threads.
+        assert!(GpuArch::h100().max_resident_threads > 200_000);
+        assert!(GpuArch::mi300a().max_resident_threads > 200_000);
+        // §4.1: NVIDIA atomic throughput is high relative to AMD.
+        assert!(GpuArch::h100().atomic_f64_gops > 2.0 * GpuArch::mi250x_gcd().atomic_f64_gops);
+        // §4.3.2: warp 32 on NVIDIA, 64 on AMD.
+        assert_eq!(GpuArch::h100().warp_width, 32);
+        assert_eq!(GpuArch::mi250x_gcd().warp_width, 64);
+        // Appendix C: GH200 has +20% bandwidth and L2, same FP64, higher
+        // launch latency than H100.
+        let (h, g) = (GpuArch::h100(), GpuArch::gh200());
+        assert!((g.hbm_bw_gbs / h.hbm_bw_gbs - 1.21).abs() < 0.02);
+        assert_eq!(g.fp64_tflops, h.fp64_tflops);
+        assert!((g.l2_mib / h.l2_mib - 1.2).abs() < 0.01);
+        assert!(g.launch_latency_us > h.launch_latency_us);
+        // NVIDIA parts have much larger L1-class capacity than AMD
+        // (the paper's §4.4/§5.1 explanation of NVIDIA's edge).
+        assert!(h.l1_class_kib() > 2.0 * GpuArch::mi300a().l1_class_kib());
+    }
+
+    #[test]
+    fn skylake_reference_is_sane() {
+        let c = CpuArch::skylake36();
+        assert_eq!(c.cores, 36);
+        // A memory-bound kernel: 1 GB at 220 GB/s ≈ 4.5 ms.
+        let t = c.kernel_time(0.0, 1e9, 0.1);
+        assert!((t - 1.0 / 220.0).abs() < 1e-6);
+        // A compute-bound kernel dominates when flops are huge.
+        let t2 = c.kernel_time(1e12, 1e6, 0.5);
+        assert!(t2 > 0.9);
+    }
+
+    #[test]
+    fn by_name_covers_every_descriptor() {
+        for short in ["v100", "a100", "h100", "gh200", "mi250x", "mi300a", "pvc"] {
+            assert!(GpuArch::by_name(short).is_some(), "{short}");
+        }
+        assert!(GpuArch::by_name("b200").is_none());
+    }
+
+    #[test]
+    fn saturation_is_two_waves() {
+        let h = GpuArch::h100();
+        assert_eq!(h.saturation_items(), 2.0 * (132.0 * 2048.0));
+    }
+}

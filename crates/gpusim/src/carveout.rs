@@ -1,0 +1,131 @@
+//! The L1 / shared-memory split.
+//!
+//! §4.4 of the paper: "modern NVIDIA GPUs have a unified cache where the
+//! L1 and shared memory capacity can be dynamically shifted" via the
+//! CUDA shared-memory *carveout* (the fraction of the unified pool
+//! reserved for shared memory), while AMD and Intel parts have fixed,
+//! discrete units. Kokkos has a built-in heuristic for the carveout,
+//! which Figure 3 overrides to sweep the knob explicitly — this module
+//! provides both the heuristic and the override.
+
+use crate::arch::GpuArch;
+
+/// A concrete split of the L1-class storage of one SM/CU, in KiB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Hardware-managed L1 capacity available to a kernel.
+    pub l1_kib: f64,
+    /// Software-managed scratch capacity available to a kernel.
+    pub shared_kib: f64,
+}
+
+impl CacheConfig {
+    /// The split resulting from forcing a specific carveout fraction
+    /// `carveout` ∈ [0, 1] on `arch`.
+    ///
+    /// On NVIDIA (unified pool) the shared portion is
+    /// `carveout * pool`, except a 32 KiB floor of L1 always remains —
+    /// matching the paper's observation that "the maximum carveout for
+    /// shared memory ... leaves only 32kB for L1" on H100.
+    /// On AMD/Intel the split is fixed by hardware and the carveout
+    /// argument is ignored.
+    pub fn from_carveout(arch: &GpuArch, carveout: f64) -> Self {
+        if arch.unified_cache {
+            let pool = arch.l1_kib;
+            let min_l1 = 32.0f64.min(pool);
+            let shared = (carveout.clamp(0.0, 1.0) * pool).min(pool - min_l1);
+            CacheConfig {
+                l1_kib: pool - shared,
+                shared_kib: shared,
+            }
+        } else {
+            CacheConfig {
+                l1_kib: arch.l1_kib,
+                shared_kib: arch.shared_kib,
+            }
+        }
+    }
+
+    /// The Kokkos-like runtime heuristic ("default" carveout in
+    /// Figure 3): reserve just enough shared memory for the kernel's
+    /// declared per-team scratch at full SM occupancy, leaving the rest
+    /// as L1.
+    pub fn default_for_kernel(arch: &GpuArch, scratch_bytes_per_team: f64, threads_per_team: u32) -> Self {
+        if !arch.unified_cache {
+            return Self::from_carveout(arch, 0.0);
+        }
+        if scratch_bytes_per_team <= 0.0 {
+            // No scratch requested: everything is L1.
+            return Self::from_carveout(arch, 0.0);
+        }
+        // Teams needed to fill one SM with resident threads.
+        let threads_per_sm = arch.max_resident_threads as f64 / arch.sm_count as f64;
+        let teams_per_sm = (threads_per_sm / threads_per_team.max(1) as f64).max(1.0);
+        let wanted_kib = scratch_bytes_per_team * teams_per_sm / 1024.0;
+        let frac = (wanted_kib / arch.l1_kib).clamp(0.0, 1.0);
+        Self::from_carveout(arch, frac)
+    }
+
+    /// Effective L1 bytes.
+    pub fn l1_bytes(&self) -> f64 {
+        self.l1_kib * 1024.0
+    }
+
+    /// Effective shared-memory bytes.
+    pub fn shared_bytes(&self) -> f64 {
+        self.shared_kib * 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_extremes_match_paper() {
+        let h = GpuArch::h100();
+        // Max carveout leaves only 32 kB of L1 (paper §4.4).
+        let max = CacheConfig::from_carveout(&h, 1.0);
+        assert_eq!(max.l1_kib, 32.0);
+        assert_eq!(max.shared_kib, 224.0);
+        // Zero carveout: all 256 kB is L1.
+        let min = CacheConfig::from_carveout(&h, 0.0);
+        assert_eq!(min.l1_kib, 256.0);
+        assert_eq!(min.shared_kib, 0.0);
+    }
+
+    #[test]
+    fn carveout_is_monotone_and_conserves_pool() {
+        let h = GpuArch::h100();
+        let mut prev_shared = -1.0;
+        for i in 0..=10 {
+            let c = CacheConfig::from_carveout(&h, i as f64 / 10.0);
+            assert!((c.l1_kib + c.shared_kib - 256.0).abs() < 1e-9);
+            assert!(c.shared_kib >= prev_shared);
+            prev_shared = c.shared_kib;
+        }
+    }
+
+    #[test]
+    fn fixed_split_ignores_carveout() {
+        let a = GpuArch::mi300a();
+        for i in 0..=4 {
+            let c = CacheConfig::from_carveout(&a, i as f64 / 4.0);
+            assert_eq!(c.l1_kib, 32.0);
+            assert_eq!(c.shared_kib, 64.0);
+        }
+    }
+
+    #[test]
+    fn heuristic_scales_with_scratch_request() {
+        let h = GpuArch::h100();
+        let none = CacheConfig::default_for_kernel(&h, 0.0, 128);
+        assert_eq!(none.shared_kib, 0.0);
+        let small = CacheConfig::default_for_kernel(&h, 1024.0, 128);
+        let large = CacheConfig::default_for_kernel(&h, 8192.0, 128);
+        assert!(small.shared_kib > 0.0);
+        assert!(large.shared_kib > small.shared_kib);
+        // Never exceeds the pool minus the L1 floor.
+        assert!(large.shared_kib <= 224.0 + 1e-9);
+    }
+}

@@ -1,0 +1,374 @@
+//! The kernel performance model.
+//!
+//! A kernel is summarized by a [`KernelStats`] record of *measured*
+//! event counts (the instrumented kernels in `lkk-kokkos` fill these in
+//! while executing functionally on the host). The model folds the
+//! counts with a [`GpuArch`](crate::arch::GpuArch) descriptor and a
+//! [`CacheConfig`](crate::carveout::CacheConfig) into a predicted
+//! execution time, as the maximum of four throughput limiters — HBM
+//! bandwidth, FP64 issue rate, aggregate L1 throughput, and FP64
+//! atomic-add throughput — divided by a utilization factor that captures
+//! occupancy (resident-thread) limits and problem-size starvation, plus
+//! a fixed launch latency.
+//!
+//! This is exactly the vocabulary in which the paper explains its
+//! results: "ComputeUi was limited by double precision floating point
+//! addition", "ComputeYi was limited by L1 cache throughput" (§4.3.4),
+//! "occupancy is proportional to shared memory utilization" (§4.4),
+//! "hardware-induced thread starvation ... and kernel launch overheads
+//! reduce the achievable performance" (§5.1).
+
+use crate::arch::GpuArch;
+use crate::cache::analytic_hit_rate;
+use crate::carveout::CacheConfig;
+
+/// Measured event counts for one kernel launch (or one logical kernel
+/// per timestep, summed over launches).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Kernel name, e.g. `"ComputeUi"`.
+    pub name: String,
+    /// Exposed parallel work items (GPU threads' worth of work).
+    pub work_items: f64,
+    /// Double-precision floating point operations.
+    pub flops: f64,
+    /// Compulsory (streaming) DRAM traffic in bytes — data touched once.
+    pub dram_bytes: f64,
+    /// Traffic with reuse: bytes that hit in L1 when the working set
+    /// fits (neighbor coordinates for LJ, `U_j` matrices for ComputeYi).
+    pub reused_bytes: f64,
+    /// Traffic that is always served by L1/constant caches and never
+    /// reaches DRAM (small warp-uniform lookup tables — ComputeYi's
+    /// coupling coefficients, §4.3.4). Counts against L1 throughput
+    /// only.
+    pub l1_only_bytes: f64,
+    /// The per-SM reuse working set in bytes, measured from the data
+    /// actually touched by one SM's worth of work.
+    pub working_set_bytes: f64,
+    /// FP64 atomic add operations.
+    pub atomic_f64_ops: f64,
+    /// Software-managed scratch requested per team, bytes.
+    pub scratch_bytes_per_team: f64,
+    /// Threads per team (for occupancy math). 0 ⇒ flat range policy,
+    /// treated as warp-sized blocks.
+    pub threads_per_team: u32,
+    /// Independent instruction streams per thread (work batching / ILP;
+    /// §4.3.4). 1.0 for unbatched kernels.
+    pub ilp: f64,
+    /// Fraction of SIMT lanes doing useful work. 1.0 = fully convergent;
+    /// ReaxFF's unpreprocessed 4-body kernel has <0.05 (§4.2.1).
+    pub convergence: f64,
+    /// Number of kernel launches represented by these counts.
+    pub launches: f64,
+}
+
+impl KernelStats {
+    /// A zeroed record with sane defaults (fully convergent, no ILP
+    /// batching, one launch).
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelStats {
+            name: name.into(),
+            work_items: 0.0,
+            flops: 0.0,
+            dram_bytes: 0.0,
+            reused_bytes: 0.0,
+            l1_only_bytes: 0.0,
+            working_set_bytes: 0.0,
+            atomic_f64_ops: 0.0,
+            scratch_bytes_per_team: 0.0,
+            threads_per_team: 0,
+            ilp: 1.0,
+            convergence: 1.0,
+            launches: 1.0,
+        }
+    }
+
+    /// Sum event counts of `other` into `self` (keeping `self`'s
+    /// configuration fields: scratch, team size, ilp, convergence).
+    pub fn accumulate(&mut self, other: &KernelStats) {
+        self.work_items += other.work_items;
+        self.flops += other.flops;
+        self.dram_bytes += other.dram_bytes;
+        self.reused_bytes += other.reused_bytes;
+        self.l1_only_bytes += other.l1_only_bytes;
+        self.working_set_bytes = self.working_set_bytes.max(other.working_set_bytes);
+        self.atomic_f64_ops += other.atomic_f64_ops;
+        self.launches += other.launches;
+    }
+}
+
+/// Which throughput resource bounds a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    HbmBandwidth,
+    Fp64,
+    L1Throughput,
+    AtomicThroughput,
+    LaunchLatency,
+}
+
+/// The model's verdict for one kernel on one architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTime {
+    /// Predicted execution time in seconds (including launch latency).
+    pub seconds: f64,
+    /// The binding throughput limiter.
+    pub limiter: Limiter,
+    /// Utilization in [0, 1]: 1 means the device was saturated.
+    pub utilization: f64,
+    /// L1 hit rate used for the reused traffic.
+    pub l1_hit_rate: f64,
+    /// Achieved occupancy (resident threads / max resident threads).
+    pub occupancy: f64,
+    /// Individual limiter times (seconds, at full utilization).
+    pub t_hbm: f64,
+    pub t_fp64: f64,
+    pub t_l1: f64,
+    pub t_atomic: f64,
+}
+
+/// How much of FP64 peak a single instruction stream can sustain; extra
+/// independent streams (ILP ≥ `ILP_SATURATION`) reach peak. §4.3.4: the
+/// compiler interleaves independent work, "hiding serial dependencies,
+/// and possibly improving throughput".
+const ILP_SATURATION: f64 = 4.0;
+const ILP_BASE_EFFICIENCY: f64 = 0.45;
+
+fn issue_efficiency(ilp: f64) -> f64 {
+    let x = (ilp.max(1.0) - 1.0) / (ILP_SATURATION - 1.0);
+    (ILP_BASE_EFFICIENCY + (1.0 - ILP_BASE_EFFICIENCY) * x.min(1.0)).min(1.0)
+}
+
+impl KernelStats {
+    /// Predict the execution time of this kernel on `arch` with cache
+    /// configuration `cfg`.
+    pub fn time_on(&self, arch: &GpuArch, cfg: &CacheConfig) -> KernelTime {
+        // --- Cache: reused traffic filtered by L1 hit rate. ---
+        let hit = analytic_hit_rate(self.working_set_bytes, cfg.l1_bytes());
+        let dram = self.dram_bytes + self.reused_bytes * (1.0 - hit);
+        let t_hbm = dram / (arch.hbm_bw_gbs * 1e9);
+
+        // --- L1: all addressed traffic passes through L1. ---
+        let l1_traffic = self.dram_bytes + self.reused_bytes + self.l1_only_bytes;
+        let t_l1 = l1_traffic / (arch.l1_bw_gbs * 1e9);
+
+        // --- FP64: divergence wastes lanes, ILP raises issue rate. ---
+        let eff = issue_efficiency(self.ilp) * self.convergence.clamp(1e-3, 1.0);
+        let t_fp64 = self.flops / (arch.fp64_tflops * 1e12 * eff);
+
+        // --- Atomics. ---
+        let t_atomic = self.atomic_f64_ops / (arch.atomic_f64_gops * 1e9);
+
+        let (t_limit, limiter) = [
+            (t_hbm, Limiter::HbmBandwidth),
+            (t_fp64, Limiter::Fp64),
+            (t_l1, Limiter::L1Throughput),
+            (t_atomic, Limiter::AtomicThroughput),
+        ]
+        .into_iter()
+        .fold((0.0, Limiter::HbmBandwidth), |acc, x| if x.0 > acc.0 { x } else { acc });
+
+        // --- Occupancy: shared-memory limits on resident threads. ---
+        let threads_per_sm = arch.max_resident_threads as f64 / arch.sm_count as f64;
+        let occupancy = if self.scratch_bytes_per_team > 0.0 {
+            let team = self.threads_per_team.max(arch.warp_width) as f64;
+            let teams_fit = (cfg.shared_bytes() / self.scratch_bytes_per_team).floor();
+            ((teams_fit * team) / threads_per_sm).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+
+        // --- Problem-size starvation (Fig. 4): too few work items to
+        //     fill the resident-thread capacity twice over. ---
+        let resident_capacity = occupancy * arch.max_resident_threads as f64;
+        let saturation = 2.0 * arch.max_resident_threads as f64;
+        let starvation = ((self.work_items * self.ilp.max(1.0)) / saturation).min(1.0);
+
+        // Latency hiding: both fewer resident threads (occupancy) and
+        // fewer total work items slow a kernel down proportionally.
+        let occ_factor = if resident_capacity > 0.0 {
+            (resident_capacity / arch.max_resident_threads as f64).clamp(0.05, 1.0)
+        } else {
+            0.05
+        };
+        let utilization = (starvation * occ_factor).clamp(1e-4, 1.0);
+
+        let launch = self.launches * arch.launch_latency_us * 1e-6;
+        let seconds = t_limit / utilization + launch;
+        let limiter = if launch > t_limit / utilization {
+            Limiter::LaunchLatency
+        } else {
+            limiter
+        };
+
+        KernelTime {
+            seconds,
+            limiter,
+            utilization,
+            l1_hit_rate: hit,
+            occupancy,
+            t_hbm,
+            t_fp64,
+            t_l1,
+            t_atomic,
+        }
+    }
+
+    /// Convenience: time with the Kokkos-like default carveout heuristic.
+    pub fn time_on_default(&self, arch: &GpuArch) -> KernelTime {
+        let cfg = CacheConfig::default_for_kernel(arch, self.scratch_bytes_per_team, self.threads_per_team.max(arch.warp_width));
+        self.time_on(arch, &cfg)
+    }
+}
+
+/// Does a resident data footprint fit in device memory? (Fig. 4:
+/// "ReaxFF ran out of HBM before reaching full saturation".)
+pub fn fits_in_hbm(arch: &GpuArch, footprint_bytes: f64) -> bool {
+    footprint_bytes <= 0.9 * arch.hbm_capacity_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_stream(name: &str) -> KernelStats {
+        let mut s = KernelStats::new(name);
+        s.work_items = 1e7;
+        s.dram_bytes = 1e9;
+        s.flops = 1e9;
+        s
+    }
+
+    #[test]
+    fn bandwidth_bound_kernel_scales_with_bw() {
+        let s = big_stream("stream");
+        let h = GpuArch::h100();
+        let m = GpuArch::mi300a();
+        let th = s.time_on_default(&h);
+        let tm = s.time_on_default(&m);
+        assert_eq!(th.limiter, Limiter::HbmBandwidth);
+        // MI300A has 5.3/3.3x the bandwidth of H100.
+        let ratio = th.seconds / tm.seconds;
+        assert!((ratio - 5300.0 / 3300.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn compute_bound_kernel_identified() {
+        let mut s = KernelStats::new("dgemm-ish");
+        s.work_items = 1e7;
+        s.flops = 1e13;
+        s.dram_bytes = 1e6;
+        s.ilp = 8.0;
+        let t = s.time_on_default(&GpuArch::h100());
+        assert_eq!(t.limiter, Limiter::Fp64);
+        // 1e13 flops at 34 TF peak ≈ 0.29 ms at full efficiency.
+        assert!(t.seconds > 1e13 / 34e12 * 0.99);
+    }
+
+    #[test]
+    fn atomics_hurt_more_on_amd() {
+        let mut s = KernelStats::new("scatter");
+        s.work_items = 1e7;
+        s.atomic_f64_ops = 1e9;
+        let th = s.time_on_default(&GpuArch::h100());
+        let tm = s.time_on_default(&GpuArch::mi250x_gcd());
+        assert_eq!(th.limiter, Limiter::AtomicThroughput);
+        assert!(tm.seconds > 3.0 * th.seconds);
+    }
+
+    #[test]
+    fn small_problems_are_latency_bound() {
+        let mut s = KernelStats::new("tiny");
+        s.work_items = 1000.0;
+        s.dram_bytes = 1000.0 * 24.0;
+        let t = s.time_on_default(&GpuArch::h100());
+        assert_eq!(t.limiter, Limiter::LaunchLatency);
+        // Throughput per atom rises with N in the starved regime.
+        let mut s2 = s.clone();
+        s2.work_items = 10_000.0;
+        s2.dram_bytes *= 10.0;
+        let t2 = s2.time_on_default(&GpuArch::h100());
+        let rate1 = s.work_items / t.seconds;
+        let rate2 = s2.work_items / t2.seconds;
+        assert!(rate2 > 5.0 * rate1);
+    }
+
+    #[test]
+    fn ilp_improves_fp64_throughput() {
+        let mut s = KernelStats::new("recursion");
+        s.work_items = 1e7;
+        s.flops = 1e12;
+        s.ilp = 1.0;
+        let t1 = s.time_on_default(&GpuArch::h100());
+        s.ilp = 4.0;
+        let t4 = s.time_on_default(&GpuArch::h100());
+        assert!(t1.seconds / t4.seconds > 1.8, "ILP speedup {:.2}", t1.seconds / t4.seconds);
+    }
+
+    #[test]
+    fn divergence_wastes_compute() {
+        let mut s = KernelStats::new("divergent");
+        s.work_items = 1e7;
+        s.flops = 1e12;
+        s.convergence = 0.05;
+        let bad = s.time_on_default(&GpuArch::h100());
+        s.convergence = 1.0;
+        let good = s.time_on_default(&GpuArch::h100());
+        assert!(bad.seconds / good.seconds > 10.0);
+    }
+
+    #[test]
+    fn scratch_limits_occupancy_and_carveout_restores_it() {
+        let h = GpuArch::h100();
+        let mut s = KernelStats::new("ComputeUi-like");
+        s.work_items = 1e7;
+        s.flops = 1e12;
+        s.ilp = 4.0;
+        s.scratch_bytes_per_team = 24.0 * 1024.0;
+        s.threads_per_team = 128;
+        // Small carveout: little shared memory, poor occupancy.
+        let lo = s.time_on(&h, &CacheConfig::from_carveout(&h, 0.1));
+        // Max carveout: high occupancy.
+        let hi = s.time_on(&h, &CacheConfig::from_carveout(&h, 1.0));
+        assert!(hi.occupancy > lo.occupancy);
+        assert!(lo.seconds > 1.5 * hi.seconds, "lo {} hi {}", lo.seconds, hi.seconds);
+    }
+
+    #[test]
+    fn l1_working_set_spill_slows_cache_sensitive_kernel() {
+        let h = GpuArch::h100();
+        let mut s = KernelStats::new("lj-like");
+        s.work_items = 1e7;
+        s.reused_bytes = 1e9;
+        s.dram_bytes = 1e8;
+        // Working set fits in full 256k L1 but not in 32k.
+        s.working_set_bytes = 128.0 * 1024.0;
+        let big_l1 = s.time_on(&h, &CacheConfig::from_carveout(&h, 0.0));
+        let small_l1 = s.time_on(&h, &CacheConfig::from_carveout(&h, 1.0));
+        assert!(big_l1.l1_hit_rate > 0.9);
+        assert!(small_l1.l1_hit_rate < 0.3);
+        assert!(small_l1.seconds > 1.4 * big_l1.seconds);
+    }
+
+    #[test]
+    fn accumulate_sums_counts() {
+        let mut a = KernelStats::new("a");
+        a.flops = 1.0;
+        a.launches = 1.0;
+        let mut b = KernelStats::new("b");
+        b.flops = 2.0;
+        b.dram_bytes = 5.0;
+        b.launches = 1.0;
+        a.accumulate(&b);
+        assert_eq!(a.flops, 3.0);
+        assert_eq!(a.dram_bytes, 5.0);
+        assert_eq!(a.launches, 2.0);
+    }
+
+    #[test]
+    fn hbm_capacity_check() {
+        let h = GpuArch::h100();
+        assert!(fits_in_hbm(&h, 10e9));
+        assert!(!fits_in_hbm(&h, 100e9));
+    }
+}

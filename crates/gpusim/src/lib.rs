@@ -1,0 +1,39 @@
+//! Simulated GPU architectures for the `lammps-kk` stack.
+//!
+//! This crate is the substitute for real GPU hardware (see `DESIGN.md` §2):
+//! it provides
+//!
+//! * [`arch`] — architecture descriptors encoding Table 1 of the paper
+//!   (HBM bandwidth and capacity, FP64 throughput, L1/shared cache sizes)
+//!   plus the quantities the paper discusses qualitatively: atomic-add
+//!   throughput, kernel launch latency, warp width, maximum resident
+//!   threads, and host-device link characteristics.
+//! * [`cache`] — both an analytic cache hit-rate model and a trace-driven
+//!   set-associative LRU cache simulator used to validate it.
+//! * [`carveout`] — the NVIDIA unified-cache "shared memory carveout"
+//!   knob (Figure 3 of the paper) and the fixed splits of AMD/Intel parts.
+//! * [`cost`] — the kernel performance model: a roofline over memory,
+//!   FP64, L1 and atomic throughput, folded with an occupancy /
+//!   launch-latency model. Event counts are supplied by instrumented
+//!   kernels executing functionally on the CPU (`lkk-kokkos`).
+//! * [`transfer`] — host-device transfer model used for the
+//!   device-resident vs. offload-per-step ablation.
+//!
+//! The model is intentionally simple and fully documented: every figure
+//! of the paper that depends on hardware behaviour is regenerated from
+//! these few parameters, so the provenance of each reproduced trend is
+//! auditable.
+
+pub mod arch;
+pub mod cache;
+pub mod carveout;
+pub mod cost;
+pub mod report;
+pub mod transfer;
+
+pub use arch::{CpuArch, GpuArch, Vendor};
+pub use cache::{analytic_hit_rate, CacheSim};
+pub use carveout::CacheConfig;
+pub use cost::{KernelStats, KernelTime};
+pub use report::{profile, render, ProfileRow};
+pub use transfer::LinkModel;

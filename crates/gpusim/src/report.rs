@@ -1,0 +1,114 @@
+//! Nsight-Compute-style kernel reports.
+//!
+//! §4.3.4: "Limiters were identified using NVIDIA Nsight Compute" and
+//! "kernel runtimes were measured using NVIDIA Nsight Systems". This
+//! module is the analogue for the simulated device: it renders a
+//! per-kernel table of predicted time, binding limiter, utilization,
+//! occupancy, and L1 hit rate from a set of measured [`KernelStats`].
+
+use crate::arch::GpuArch;
+use crate::carveout::CacheConfig;
+use crate::cost::{KernelStats, Limiter};
+
+/// One row of the profile table.
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    pub name: String,
+    pub seconds: f64,
+    pub limiter: Limiter,
+    pub utilization: f64,
+    pub occupancy: f64,
+    pub l1_hit_rate: f64,
+    pub launches: f64,
+}
+
+/// Profile a set of kernels on `arch` with the per-kernel default
+/// cache configuration, sorted by predicted time (descending).
+pub fn profile(stats: &[KernelStats], arch: &GpuArch) -> Vec<ProfileRow> {
+    let mut rows: Vec<ProfileRow> = stats
+        .iter()
+        .map(|k| {
+            let cfg = CacheConfig::default_for_kernel(
+                arch,
+                k.scratch_bytes_per_team,
+                k.threads_per_team.max(arch.warp_width),
+            );
+            let t = k.time_on(arch, &cfg);
+            ProfileRow {
+                name: k.name.clone(),
+                seconds: t.seconds,
+                limiter: t.limiter,
+                utilization: t.utilization,
+                occupancy: t.occupancy,
+                l1_hit_rate: t.l1_hit_rate,
+                launches: k.launches,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.seconds.partial_cmp(&a.seconds).unwrap());
+    rows
+}
+
+fn limiter_name(l: Limiter) -> &'static str {
+    match l {
+        Limiter::HbmBandwidth => "HBM bandwidth",
+        Limiter::Fp64 => "FP64 issue",
+        Limiter::L1Throughput => "L1 throughput",
+        Limiter::AtomicThroughput => "FP64 atomics",
+        Limiter::LaunchLatency => "launch latency",
+    }
+}
+
+/// Render the profile as an Nsight-like text table.
+pub fn render(stats: &[KernelStats], arch: &GpuArch) -> String {
+    let rows = profile(stats, arch);
+    let total: f64 = rows.iter().map(|r| r.seconds).sum();
+    let mut out = format!(
+        "Kernel profile on {} (total {:.3} ms/step)\n{:<26} {:>10} {:>6} {:>16} {:>6} {:>6} {:>7}\n",
+        arch.name,
+        total * 1e3,
+        "kernel",
+        "time",
+        "%",
+        "limiter",
+        "util",
+        "occ",
+        "L1 hit"
+    );
+    for r in &rows {
+        out += &format!(
+            "{:<26} {:>8.1}us {:>5.1}% {:>16} {:>5.0}% {:>5.0}% {:>6.0}%\n",
+            r.name,
+            r.seconds * 1e6,
+            100.0 * r.seconds / total,
+            limiter_name(r.limiter),
+            100.0 * r.utilization,
+            100.0 * r.occupancy,
+            100.0 * r.l1_hit_rate,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_sorts_and_classifies() {
+        let mut big = KernelStats::new("big");
+        big.work_items = 1e7;
+        big.dram_bytes = 1e9;
+        let mut small = KernelStats::new("small");
+        small.work_items = 1e7;
+        small.flops = 1e10;
+        small.ilp = 8.0;
+        let rows = profile(&[small.clone(), big.clone()], &GpuArch::h100());
+        assert_eq!(rows[0].name, "big");
+        assert_eq!(rows[0].limiter, Limiter::HbmBandwidth);
+        assert_eq!(rows[1].limiter, Limiter::Fp64);
+        let text = render(&[small, big], &GpuArch::h100());
+        assert!(text.contains("HBM bandwidth"));
+        assert!(text.contains("big"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Host ↔ device transfer model.
+//!
+//! Used for the device-resident (KOKKOS package) versus
+//! offload-per-step (GPU package) ablation described in the paper's
+//! introduction: the 2010 GPU package "requires frequent data copies
+//! between host and device in every timestep", with "limited transfer
+//! speed and high latency between the separate memories".
+
+use crate::arch::GpuArch;
+
+/// A host-device link (PCIe or NVLink-C2C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Sustained bandwidth, GB/s (one direction).
+    pub bw_gbs: f64,
+    /// Per-transfer latency, microseconds.
+    pub latency_us: f64,
+}
+
+impl LinkModel {
+    pub fn of(arch: &GpuArch) -> Self {
+        LinkModel {
+            bw_gbs: arch.link_bw_gbs,
+            latency_us: arch.link_latency_us,
+        }
+    }
+
+    /// Time in seconds to move `bytes` in `transfers` separate copies.
+    pub fn time(&self, bytes: f64, transfers: f64) -> f64 {
+        bytes / (self.bw_gbs * 1e9) + transfers * self.latency_us * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GpuArch;
+
+    #[test]
+    fn batching_transfers_amortizes_latency() {
+        let link = LinkModel::of(&GpuArch::h100());
+        let one = link.time(1e6, 1.0);
+        let many = link.time(1e6, 100.0);
+        assert!(many > one);
+        assert!((many - one - 99.0 * link.latency_us * 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nvlink_c2c_beats_pcie() {
+        let pcie = LinkModel::of(&GpuArch::h100());
+        let c2c = LinkModel::of(&GpuArch::gh200());
+        assert!(c2c.time(1e9, 1.0) < pcie.time(1e9, 1.0) / 5.0);
+    }
+}

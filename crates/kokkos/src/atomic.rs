@@ -1,0 +1,101 @@
+//! Atomic double-precision accumulation.
+//!
+//! GPUs provide hardware FP64 atomic adds; on the host we emulate one
+//! with a compare-and-swap loop over the IEEE-754 bit pattern, the same
+//! strategy Kokkos uses on architectures without native FP64 atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An `f64` supporting lock-free atomic add / load / store.
+#[derive(Debug, Default)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    pub fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed)
+    }
+
+    /// Atomically add `v`, returning the previous value.
+    #[inline]
+    pub fn fetch_add(&self, v: f64) -> f64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Atomically add `v` to the `f64` behind `slot`.
+///
+/// # Safety
+/// `slot` must point to a valid, aligned `f64` that is only accessed
+/// through atomic operations for the duration of the concurrent phase.
+#[inline]
+pub unsafe fn atomic_add_f64(slot: *mut f64, v: f64) {
+    let a = &*(slot as *const AtomicU64);
+    let mut cur = a.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + v).to_bits();
+        match a.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn basic_ops() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(), 1.5);
+        a.store(-2.0);
+        assert_eq!(a.load(), -2.0);
+        let prev = a.fetch_add(0.5);
+        assert_eq!(prev, -2.0);
+        assert_eq!(a.load(), -1.5);
+    }
+
+    #[test]
+    fn concurrent_adds_are_exact_with_equal_addends() {
+        let a = AtomicF64::new(0.0);
+        (0..10_000).into_par_iter().for_each(|_| {
+            a.fetch_add(1.0);
+        });
+        assert_eq!(a.load(), 10_000.0);
+    }
+
+    #[test]
+    fn raw_atomic_add() {
+        let mut xs = vec![0.0f64; 4];
+        let ptr = xs.as_mut_ptr();
+        // Concurrent adds to all slots from many tasks.
+        let addr = ptr as usize;
+        (0..4000usize).into_par_iter().for_each(|i| unsafe {
+            atomic_add_f64((addr as *mut f64).add(i % 4), 0.25);
+        });
+        for &x in &xs {
+            assert_eq!(x, 250.0);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! `DualView`: paired host/device storage with modify/sync tracking.
+//!
+//! §3.2 of the paper: "The Kokkos variants of styles in LAMMPS
+//! generally contain host and device variants of data encapsulated in a
+//! Kokkos::DualView... it has functionality to keep track of when data
+//! was modified, and thus when data has to be synced... simply calling
+//! sync inside a LAMMPS style when it needs to access a data field will
+//! only incur the overhead of actual memory transfer between host and
+//! device if the data was last modified in the other (non-accessible)
+//! memory space. Thus, no global knowledge of the required data
+//! transfer patterns is necessary."
+//!
+//! The device mirror is allocated lazily on first device access, so "if
+//! LAMMPS is configured for a pure host build, DualView's
+//! synchronization mechanisms effectively become inactive" — a
+//! host-only simulation never allocates or copies device storage.
+//!
+//! Transfer volumes are reported to [`crate::profile`] so the
+//! offload-per-step ablation can account for PCIe/NVLink traffic.
+
+use crate::exec::Space;
+use crate::profile;
+use crate::view::{Layout, View};
+
+/// Which mirror was modified most recently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SyncState {
+    InSync,
+    HostModified,
+    DeviceModified,
+}
+
+/// A host/device pair of views of identical logical shape. The host
+/// mirror uses [`Layout::Right`], the device mirror [`Layout::Left`].
+///
+/// ```
+/// use lkk_kokkos::DualView;
+/// let mut x = DualView::<f64, 1>::new("x", [3]);
+/// x.h_view_mut().set([0], 1.5);   // marks host modified
+/// x.sync_device();                // one H2D copy
+/// assert_eq!(x.d_view().at([0]), 1.5);
+/// x.sync_device();                // no-op: nothing modified since
+/// ```
+#[derive(Debug)]
+pub struct DualView<T: Copy + Clone + Default, const R: usize> {
+    host: View<T, R>,
+    device: Option<View<T, R>>,
+    state: SyncState,
+    label: String,
+}
+
+impl<T: Copy + Clone + Default, const R: usize> DualView<T, R> {
+    pub fn new(label: impl Into<String>, dims: [usize; R]) -> Self {
+        let label = label.into();
+        DualView {
+            host: View::with_layout(label.clone(), dims, Layout::Right),
+            device: None,
+            state: SyncState::InSync,
+            label,
+        }
+    }
+
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    pub fn dims(&self) -> [usize; R] {
+        self.host.dims()
+    }
+
+    /// Resize both mirrors, discarding contents and clearing flags.
+    pub fn realloc(&mut self, dims: [usize; R]) {
+        self.host.realloc(dims);
+        if let Some(d) = &mut self.device {
+            d.realloc(dims);
+        }
+        self.state = SyncState::InSync;
+    }
+
+    /// Read-only host view. Callers must `sync_host()` first if the
+    /// device may have modified the data.
+    pub fn h_view(&self) -> &View<T, R> {
+        &self.host
+    }
+
+    /// Mutable host view + mark host modified (shorthand for the Kokkos
+    /// `modify<HostSpace>()` discipline).
+    pub fn h_view_mut(&mut self) -> &mut View<T, R> {
+        self.state = SyncState::HostModified;
+        &mut self.host
+    }
+
+    /// Read-only device view. Callers must `sync_device()` first.
+    /// Panics if the device mirror has never been materialized.
+    pub fn d_view(&self) -> &View<T, R> {
+        self.device
+            .as_ref()
+            .expect("device mirror not materialized; call sync_device() first")
+    }
+
+    /// Mutable device view + mark device modified.
+    pub fn d_view_mut(&mut self) -> &mut View<T, R> {
+        self.ensure_device();
+        self.state = SyncState::DeviceModified;
+        self.device.as_mut().unwrap()
+    }
+
+    /// Has the device mirror been allocated? (False for pure-host runs.)
+    pub fn device_materialized(&self) -> bool {
+        self.device.is_some()
+    }
+
+    pub fn modify_host(&mut self) {
+        self.state = SyncState::HostModified;
+    }
+
+    pub fn modify_device(&mut self) {
+        self.ensure_device();
+        self.state = SyncState::DeviceModified;
+    }
+
+    fn ensure_device(&mut self) {
+        if self.device.is_none() {
+            let mut d = View::with_layout(format!("{}_dev", self.label), self.host.dims(), Layout::Left);
+            d.copy_from(&self.host);
+            self.device = Some(d);
+        }
+    }
+
+    /// Make the device mirror current. Copies (and counts an H2D
+    /// transfer) only if the host modified the data since the last sync.
+    pub fn sync_device(&mut self) {
+        self.ensure_device();
+        if self.state == SyncState::HostModified {
+            let d = self.device.as_mut().unwrap();
+            d.copy_from(&self.host);
+            profile::note_h2d(self.host.bytes());
+            self.state = SyncState::InSync;
+        }
+    }
+
+    /// Make the host mirror current. Copies (and counts a D2H transfer)
+    /// only if the device modified the data since the last sync.
+    pub fn sync_host(&mut self) {
+        if self.state == SyncState::DeviceModified {
+            let d = self.device.as_ref().unwrap();
+            self.host.copy_from(d);
+            profile::note_d2h(self.host.bytes());
+            self.state = SyncState::InSync;
+        }
+    }
+
+    /// Sync toward the memory space of `space` and return that view —
+    /// the "call sync when you need the field" discipline of §3.2.
+    pub fn sync_to(&mut self, space: &Space) {
+        if space.is_device() {
+            self.sync_device();
+        } else {
+            self.sync_host();
+        }
+    }
+
+    /// The current view for `space` (after an appropriate sync).
+    pub fn view_for(&self, space: &Space) -> &View<T, R> {
+        if space.is_device() {
+            self.d_view()
+        } else {
+            self.h_view()
+        }
+    }
+
+    /// Mutable view for `space`, marking it modified.
+    pub fn view_for_mut(&mut self, space: &Space) -> &mut View<T, R> {
+        if space.is_device() {
+            self.d_view_mut()
+        } else {
+            self.h_view_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_host_use_never_allocates_device() {
+        let mut dv = DualView::<f64, 1>::new("x", [100]);
+        dv.h_view_mut().fill(3.0);
+        dv.sync_host(); // no-op
+        assert!(!dv.device_materialized());
+        assert_eq!(dv.h_view().at([5]), 3.0);
+    }
+
+    #[test]
+    fn host_to_device_round_trip() {
+        let mut dv = DualView::<f64, 2>::new("x", [4, 3]);
+        for i in 0..4 {
+            for k in 0..3 {
+                dv.h_view_mut().set([i, k], (i * 3 + k) as f64);
+            }
+        }
+        dv.sync_device();
+        // Device mirror has Left layout but identical logical content.
+        assert_eq!(dv.d_view().layout(), Layout::Left);
+        assert_eq!(dv.d_view().at([2, 1]), 7.0);
+        // Modify on device, sync back.
+        dv.d_view_mut().set([2, 1], -1.0);
+        dv.sync_host();
+        assert_eq!(dv.h_view().at([2, 1]), -1.0);
+    }
+
+    #[test]
+    fn sync_is_lazy() {
+        profile::reset_transfer_totals();
+        let mut dv = DualView::<f64, 1>::new("x", [1000]);
+        dv.modify_host();
+        dv.sync_device();
+        let (h2d1, _, n1, _) = profile::transfer_totals();
+        assert_eq!(h2d1, 8000);
+        assert_eq!(n1, 1);
+        // No modification: repeated syncs move nothing.
+        dv.sync_device();
+        dv.sync_device();
+        let (h2d2, _, n2, _) = profile::transfer_totals();
+        assert_eq!(h2d2, h2d1);
+        assert_eq!(n2, n1);
+    }
+
+    #[test]
+    fn sync_to_space_selects_direction() {
+        let dev = Space::device(lkk_gpusim::GpuArch::h100());
+        let mut dv = DualView::<f64, 1>::new("x", [10]);
+        dv.h_view_mut().set([0], 42.0);
+        dv.sync_to(&dev);
+        assert_eq!(dv.view_for(&dev).at([0]), 42.0);
+        dv.view_for_mut(&dev).set([0], 7.0);
+        dv.sync_to(&Space::Threads);
+        assert_eq!(dv.view_for(&Space::Threads).at([0]), 7.0);
+    }
+
+    #[test]
+    fn realloc_resets_both() {
+        let mut dv = DualView::<f64, 1>::new("x", [10]);
+        dv.h_view_mut().fill(1.0);
+        dv.sync_device();
+        dv.realloc([20]);
+        assert_eq!(dv.dims(), [20]);
+        assert!(dv.h_view().as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,409 @@
+//! Execution spaces and parallel dispatch patterns.
+//!
+//! The three spaces mirror the paper's §3.3:
+//!
+//! * [`Space::Serial`] — sequential host execution.
+//! * [`Space::Threads`] — multi-threaded host execution (rayon), the
+//!   analogue of the Kokkos OpenMP/Threads backend, selected by the
+//!   `/kk/host` style suffix.
+//! * [`Space::Device`] — the *simulated* GPU: kernels execute
+//!   functionally on host threads, while every launch is logged with
+//!   its event counts so `lkk-gpusim` can predict device time. Selected
+//!   by the `/kk` or `/kk/device` suffix.
+//!
+//! The dispatch patterns are `parallel_for`, `parallel_reduce`,
+//! `parallel_scan` (exclusive prefix sum) over a flat `RangePolicy`,
+//! `parallel_for_2d` over a tiled `MDRangePolicy`, and
+//! `parallel_for_team` over a hierarchical `TeamPolicy` (see
+//! [`crate::team`]).
+
+use crate::policy::{MDRangePolicy, TeamPolicy};
+use crate::profile::KernelLog;
+use crate::team::Team;
+use lkk_gpusim::{GpuArch, KernelStats};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Context of a simulated device: which architecture it models, the
+/// launch/event log, and an optional forced shared-memory carveout
+/// (Figure 3 overrides the runtime heuristic this way).
+#[derive(Debug, Clone)]
+pub struct DeviceCtx {
+    pub arch: Arc<GpuArch>,
+    pub log: Arc<KernelLog>,
+    pub carveout: Option<f64>,
+}
+
+impl DeviceCtx {
+    pub fn new(arch: GpuArch) -> Self {
+        DeviceCtx {
+            arch: Arc::new(arch),
+            log: KernelLog::new(),
+            carveout: None,
+        }
+    }
+
+    /// Force the shared-memory carveout fraction (NVIDIA only).
+    pub fn with_carveout(mut self, c: f64) -> Self {
+        self.carveout = Some(c);
+        self
+    }
+}
+
+/// An execution space: where parallel kernels run.
+///
+/// ```
+/// use lkk_kokkos::Space;
+/// let space = Space::Threads;
+/// let sum = space.parallel_reduce_sum("sum", 1000, |i| i as f64);
+/// assert_eq!(sum, 499_500.0);
+///
+/// // The simulated device logs every launch for the cost model.
+/// let dev = Space::device(lkk_gpusim::GpuArch::h100());
+/// dev.parallel_for("touch", 10, |_| {});
+/// assert_eq!(dev.device_ctx().unwrap().log.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub enum Space {
+    Serial,
+    #[default]
+    Threads,
+    Device(DeviceCtx),
+}
+
+/// Below this trip count, a threaded dispatch is not worth the fork-join
+/// overhead and falls back to the sequential loop.
+const PAR_THRESHOLD: usize = 2048;
+
+impl Space {
+    /// A simulated device space for `arch`.
+    pub fn device(arch: GpuArch) -> Space {
+        Space::Device(DeviceCtx::new(arch))
+    }
+
+    pub fn is_device(&self) -> bool {
+        matches!(self, Space::Device(_))
+    }
+
+    /// The device context, if this is a device space.
+    pub fn device_ctx(&self) -> Option<&DeviceCtx> {
+        match self {
+            Space::Device(ctx) => Some(ctx),
+            _ => None,
+        }
+    }
+
+    /// Available hardware concurrency for work partitioning decisions.
+    pub fn concurrency(&self) -> usize {
+        match self {
+            Space::Serial => 1,
+            Space::Threads => rayon::current_num_threads(),
+            Space::Device(ctx) => ctx.arch.max_resident_threads as usize,
+        }
+    }
+
+    /// Record kernel event counts against this space's launch log
+    /// (no-op on host spaces).
+    pub fn note_kernel(&self, stats: KernelStats) {
+        if let Space::Device(ctx) = self {
+            ctx.log.push(stats);
+        }
+    }
+
+    /// `parallel_for` over `0..n`.
+    pub fn parallel_for<F>(&self, label: &str, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        match self {
+            Space::Serial => {
+                for i in 0..n {
+                    f(i);
+                }
+            }
+            Space::Threads => {
+                if n < PAR_THRESHOLD {
+                    for i in 0..n {
+                        f(i);
+                    }
+                } else {
+                    (0..n).into_par_iter().for_each(f);
+                }
+            }
+            Space::Device(ctx) => {
+                ctx.log.push_launch(label, n);
+                if n < PAR_THRESHOLD {
+                    for i in 0..n {
+                        f(i);
+                    }
+                } else {
+                    (0..n).into_par_iter().for_each(f);
+                }
+            }
+        }
+    }
+
+    /// `parallel_reduce` with a custom identity and join.
+    pub fn parallel_reduce<T, F, J>(&self, label: &str, n: usize, identity: T, f: F, join: J) -> T
+    where
+        T: Send + Sync + Copy,
+        F: Fn(usize) -> T + Sync + Send,
+        J: Fn(T, T) -> T + Sync + Send,
+    {
+        match self {
+            Space::Serial => (0..n).fold(identity, |acc, i| join(acc, f(i))),
+            Space::Threads | Space::Device(_) => {
+                if let Space::Device(ctx) = self {
+                    ctx.log.push_launch(label, n);
+                }
+                if n < PAR_THRESHOLD {
+                    (0..n).fold(identity, |acc, i| join(acc, f(i)))
+                } else {
+                    (0..n)
+                        .into_par_iter()
+                        .fold(|| identity, |acc, i| join(acc, f(i)))
+                        .reduce(|| identity, &join)
+                }
+            }
+        }
+    }
+
+    /// Sum-reduction convenience.
+    pub fn parallel_reduce_sum<F>(&self, label: &str, n: usize, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync + Send,
+    {
+        self.parallel_reduce(label, n, 0.0, f, |a, b| a + b)
+    }
+
+    /// Exclusive prefix sum of `counts` into `offsets`
+    /// (`offsets.len() == counts.len() + 1`); returns the total.
+    /// This is the `parallel_scan` pattern used e.g. to build the QEq
+    /// sparse-matrix row offsets (§4.2.2).
+    pub fn parallel_scan(&self, label: &str, counts: &[usize], offsets: &mut [usize]) -> usize {
+        assert_eq!(offsets.len(), counts.len() + 1);
+        let n = counts.len();
+        if let Space::Device(ctx) = self {
+            ctx.log.push_launch(label, n);
+        }
+        let parallel = !matches!(self, Space::Serial) && n >= PAR_THRESHOLD;
+        if !parallel {
+            let mut acc = 0usize;
+            for i in 0..n {
+                offsets[i] = acc;
+                acc += counts[i];
+            }
+            offsets[n] = acc;
+            return acc;
+        }
+        // Two-pass chunked scan.
+        let chunk = n.div_ceil(rayon::current_num_threads() * 4).max(1024);
+        let sums: Vec<usize> = counts.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+        let mut bases = Vec::with_capacity(sums.len() + 1);
+        let mut acc = 0usize;
+        for s in &sums {
+            bases.push(acc);
+            acc += s;
+        }
+        let total = acc;
+        offsets[n] = total;
+        let out_chunks: Vec<&mut [usize]> = offsets[..n].chunks_mut(chunk).collect();
+        out_chunks
+            .into_par_iter()
+            .zip(counts.par_chunks(chunk))
+            .zip(bases)
+            .for_each(|((out, cnt), mut base)| {
+                for (o, c) in out.iter_mut().zip(cnt) {
+                    *o = base;
+                    base += c;
+                }
+            });
+        total
+    }
+
+    /// Tiled two-dimensional dispatch (`MDRangePolicy`): iterate the
+    /// full `n0 × n1` index space in cache-friendly tiles, parallel over
+    /// tiles. Tiling "can be beneficial to achieve better cache locality
+    /// in multi-dimensional loop patterns" (§3.3) and implements the
+    /// 3-d tiled traversal of SNAP's ComputeYi (§4.3.2).
+    pub fn parallel_for_2d<F>(&self, label: &str, policy: MDRangePolicy, f: F)
+    where
+        F: Fn(usize, usize) + Sync + Send,
+    {
+        let MDRangePolicy { n0, n1, tile0, tile1 } = policy;
+        let t0 = tile0.max(1);
+        let t1 = tile1.max(1);
+        let tiles0 = n0.div_ceil(t0);
+        let tiles1 = n1.div_ceil(t1);
+        let run_tile = |tid: usize| {
+            let b0 = (tid / tiles1) * t0;
+            let b1 = (tid % tiles1) * t1;
+            for i in b0..(b0 + t0).min(n0) {
+                for j in b1..(b1 + t1).min(n1) {
+                    f(i, j);
+                }
+            }
+        };
+        match self {
+            Space::Serial => {
+                for tid in 0..tiles0 * tiles1 {
+                    run_tile(tid);
+                }
+            }
+            Space::Threads | Space::Device(_) => {
+                if let Space::Device(ctx) = self {
+                    ctx.log.push_launch(label, n0 * n1);
+                }
+                (0..tiles0 * tiles1).into_par_iter().for_each(run_tile);
+            }
+        }
+    }
+
+    /// Hierarchical dispatch (`TeamPolicy`): one [`Team`] per league
+    /// member, with per-team scratch memory. On host spaces a team is a
+    /// single thread executing team-nested ranges sequentially, which is
+    /// exactly Kokkos' host mapping.
+    pub fn parallel_for_team<F>(&self, label: &str, policy: TeamPolicy, f: F)
+    where
+        F: Fn(&mut Team) + Sync + Send,
+    {
+        let scratch_len = policy.scratch_bytes.div_ceil(8);
+        match self {
+            Space::Serial => {
+                let mut scratch = vec![0.0f64; scratch_len];
+                for rank in 0..policy.league_size {
+                    let mut team = Team::new(rank, &policy, &mut scratch);
+                    f(&mut team);
+                }
+            }
+            Space::Threads | Space::Device(_) => {
+                if let Space::Device(ctx) = self {
+                    ctx.log.push_launch(label, policy.league_size * policy.team_size.max(1));
+                }
+                (0..policy.league_size)
+                    .into_par_iter()
+                    .for_each_init(
+                        || vec![0.0f64; scratch_len],
+                        |scratch, rank| {
+                            let mut team = Team::new(rank, &policy, scratch);
+                            f(&mut team);
+                        },
+                    );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn spaces() -> Vec<Space> {
+        vec![
+            Space::Serial,
+            Space::Threads,
+            Space::device(GpuArch::h100()),
+        ]
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        for space in spaces() {
+            let hits: Vec<AtomicUsize> = (0..10_000).map(|_| AtomicUsize::new(0)).collect();
+            space.parallel_for("t", hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn reduce_sum_matches_closed_form() {
+        for space in spaces() {
+            let n = 100_000usize;
+            let s = space.parallel_reduce_sum("sum", n, |i| i as f64);
+            assert_eq!(s, (n * (n - 1) / 2) as f64);
+        }
+    }
+
+    #[test]
+    fn reduce_max_custom_join() {
+        for space in spaces() {
+            let m = space.parallel_reduce("max", 10_000, f64::NEG_INFINITY, |i| ((i * 37) % 9973) as f64, f64::max);
+            assert_eq!(m, 9972.0);
+        }
+    }
+
+    #[test]
+    fn scan_small_and_large() {
+        for space in spaces() {
+            for n in [0usize, 1, 7, 5000] {
+                let counts: Vec<usize> = (0..n).map(|i| i % 5).collect();
+                let mut offsets = vec![0usize; n + 1];
+                let total = space.parallel_scan("scan", &counts, &mut offsets);
+                let mut acc = 0;
+                for i in 0..n {
+                    assert_eq!(offsets[i], acc, "n={n} i={i}");
+                    acc += counts[i];
+                }
+                assert_eq!(offsets[n], acc);
+                assert_eq!(total, acc);
+            }
+        }
+    }
+
+    #[test]
+    fn md_range_covers_rectangle() {
+        for space in spaces() {
+            let n0 = 37;
+            let n1 = 53;
+            let hits: Vec<AtomicUsize> = (0..n0 * n1).map(|_| AtomicUsize::new(0)).collect();
+            space.parallel_for_2d(
+                "tile",
+                MDRangePolicy::new(n0, n1).with_tiles(8, 16),
+                |i, j| {
+                    hits[i * n1 + j].fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn team_policy_runs_league_with_scratch() {
+        for space in spaces() {
+            let sums: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+            let policy = TeamPolicy::new(64, 8).with_scratch(256);
+            space.parallel_for_team("team", policy, |team| {
+                let rank = team.league_rank();
+                {
+                    let scratch = team.scratch();
+                    assert!(scratch.len() >= 32);
+                    scratch[0] = rank as f64;
+                }
+                let mut local = 0usize;
+                team.team_range(10, |i| local += i);
+                assert_eq!(team.scratch()[0], rank as f64);
+                sums[rank].store(local, Ordering::Relaxed);
+            });
+            assert!(sums.iter().all(|s| s.load(Ordering::Relaxed) == 45));
+        }
+    }
+
+    #[test]
+    fn device_logs_launches() {
+        let space = Space::device(GpuArch::h100());
+        space.parallel_for("k", 10, |_| {});
+        space.parallel_reduce_sum("r", 10, |_| 0.0);
+        let ctx = space.device_ctx().unwrap();
+        assert_eq!(ctx.log.len(), 2);
+    }
+
+    #[test]
+    fn host_spaces_do_not_log() {
+        let space = Space::Threads;
+        space.parallel_for("k", 10, |_| {});
+        assert!(space.device_ctx().is_none());
+    }
+}

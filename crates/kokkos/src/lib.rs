@@ -1,0 +1,45 @@
+//! `lkk-kokkos`: a Kokkos-like performance-portability layer in Rust.
+//!
+//! This crate reproduces, in safe-by-default Rust, the abstractions the
+//! paper's §3 describes as the foundation of the LAMMPS KOKKOS package:
+//!
+//! * [`view`] — multi-dimensional arrays ([`View`]) with run-time
+//!   selectable data layout ([`Layout::Right`] for hosts,
+//!   [`Layout::Left`] for devices), the "transparent data layout
+//!   adjustment" that §4.1 credits for portable neighbor-list access
+//!   patterns.
+//! * [`dual_view`] — [`DualView`]: a host/device mirror pair with
+//!   modify/sync tracking, so `sync()` only moves data when the other
+//!   space actually changed it (§3.2). Transfer volumes are recorded so
+//!   the GPU-package-style offload ablation can account for them.
+//! * [`scatter_view`] — [`ScatterView`]: write-conflict deconfliction by
+//!   thread-atomic operations, data duplication, or plain sequential
+//!   accumulation (§3.2), selectable per execution space.
+//! * [`exec`] — execution spaces: [`Space::Serial`], [`Space::Threads`]
+//!   (rayon), and the *simulated* GPU space that executes functionally
+//!   on host threads while logging kernel launches and event counts for
+//!   the `lkk-gpusim` performance model.
+//! * [`policy`] / [`team`] — `RangePolicy` (flat), `MDRangePolicy`
+//!   (tiled multi-dimensional iteration) and `TeamPolicy` (hierarchical
+//!   league/team/vector parallelism with per-team scratch memory, §3.3).
+//! * [`atomic`] — an [`AtomicF64`] built on `AtomicU64` CAS, the
+//!   building block for thread-atomic force accumulation.
+//! * [`profile`] — the kernel launch log consumed by figure harnesses.
+
+pub mod atomic;
+pub mod dual_view;
+pub mod exec;
+pub mod policy;
+pub mod profile;
+pub mod scatter_view;
+pub mod team;
+pub mod view;
+
+pub use atomic::AtomicF64;
+pub use dual_view::DualView;
+pub use exec::{DeviceCtx, Space};
+pub use policy::{MDRangePolicy, TeamPolicy};
+pub use profile::KernelLog;
+pub use scatter_view::{ScatterMode, ScatterView};
+pub use team::Team;
+pub use view::{Layout, ParWrite, View, View1, View2, View3};

@@ -1,0 +1,126 @@
+//! Kernel launch logging and transfer accounting.
+//!
+//! When kernels run on the simulated device space, the launches and
+//! their measured event counts are recorded here; figure harnesses drain
+//! the log and feed it to the `lkk-gpusim` cost model. Host↔device
+//! transfer volumes from [`crate::DualView`] synchronisation are
+//! tallied globally, which is what the device-resident vs.
+//! offload-every-step ablation measures.
+
+use lkk_gpusim::KernelStats;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A log of kernel launches on a simulated device.
+#[derive(Debug, Default)]
+pub struct KernelLog {
+    records: Mutex<Vec<KernelStats>>,
+}
+
+impl KernelLog {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record the event counts of one kernel execution.
+    pub fn push(&self, stats: KernelStats) {
+        self.records.lock().push(stats);
+    }
+
+    /// Record a bare launch with only a name and work-item count (used
+    /// by generic `parallel_for` dispatches that carry no cost model of
+    /// their own; they still pay launch latency).
+    pub fn push_launch(&self, name: &str, work_items: usize) {
+        let mut s = KernelStats::new(name);
+        s.work_items = work_items as f64;
+        self.push(s);
+    }
+
+    /// Drain all records.
+    pub fn drain(&self) -> Vec<KernelStats> {
+        std::mem::take(&mut *self.records.lock())
+    }
+
+    /// Total launches currently logged.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merge all records with the same kernel name, summing counts.
+    /// Returns (name-ordered) aggregated stats.
+    pub fn aggregate(&self) -> Vec<KernelStats> {
+        let records = self.records.lock();
+        let mut by_name: Vec<KernelStats> = Vec::new();
+        for r in records.iter() {
+            if let Some(existing) = by_name.iter_mut().find(|s| s.name == r.name) {
+                existing.accumulate(r);
+            } else {
+                by_name.push(r.clone());
+            }
+        }
+        by_name
+    }
+}
+
+static H2D_BYTES: AtomicU64 = AtomicU64::new(0);
+static D2H_BYTES: AtomicU64 = AtomicU64::new(0);
+static H2D_COUNT: AtomicU64 = AtomicU64::new(0);
+static D2H_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Record a host→device transfer.
+pub fn note_h2d(bytes: usize) {
+    H2D_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    H2D_COUNT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record a device→host transfer.
+pub fn note_d2h(bytes: usize) {
+    D2H_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    D2H_COUNT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of global transfer counters:
+/// `(h2d_bytes, d2h_bytes, h2d_transfers, d2h_transfers)`.
+pub fn transfer_totals() -> (u64, u64, u64, u64) {
+    (
+        H2D_BYTES.load(Ordering::Relaxed),
+        D2H_BYTES.load(Ordering::Relaxed),
+        H2D_COUNT.load(Ordering::Relaxed),
+        D2H_COUNT.load(Ordering::Relaxed),
+    )
+}
+
+/// Reset the global transfer counters (benchmark harness use).
+pub fn reset_transfer_totals() {
+    H2D_BYTES.store(0, Ordering::Relaxed);
+    D2H_BYTES.store(0, Ordering::Relaxed);
+    H2D_COUNT.store(0, Ordering::Relaxed);
+    D2H_COUNT.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_push_and_aggregate() {
+        let log = KernelLog::new();
+        log.push_launch("k1", 100);
+        log.push_launch("k1", 200);
+        log.push_launch("k2", 50);
+        assert_eq!(log.len(), 3);
+        let agg = log.aggregate();
+        assert_eq!(agg.len(), 2);
+        let k1 = agg.iter().find(|s| s.name == "k1").unwrap();
+        assert_eq!(k1.work_items, 300.0);
+        assert_eq!(k1.launches, 2.0);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Write-conflict deconfliction: `ScatterView`.
+//!
+//! §3.2 of the paper: "ScatterView ... was designed to handle
+//! unstructured accumulation of data from multiple threads in a way
+//! that write conflicts are avoided. It can transparently swap between
+//! using atomic operations, a data duplication strategy, or even simple
+//! sequential accumulation... On CPUs, data duplication with a
+//! subsequent combining step is often the most effective way to deal
+//! with write conflicts, while on GPUs data duplication is infeasible
+//! due to the large number of active threads and thus atomic operations
+//! need to be used."
+//!
+//! The flat target is an `n × ncols` array (e.g. forces: `n_atoms × 3`).
+
+use crate::atomic::AtomicF64;
+use crate::exec::Space;
+use std::cell::UnsafeCell;
+
+/// Contribution strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScatterMode {
+    /// Thread-atomic adds into a single copy (GPU default).
+    Atomic,
+    /// One private copy per thread, combined afterwards (CPU-threads
+    /// default).
+    Duplicated,
+    /// Single copy, no synchronisation (serial default).
+    Sequential,
+}
+
+impl ScatterMode {
+    /// The default strategy for an execution space, mirroring Kokkos'
+    /// `Experimental::ScatterDuplicated`/`ScatterAtomic` defaults.
+    pub fn default_for(space: &Space) -> ScatterMode {
+        match space {
+            Space::Serial => ScatterMode::Sequential,
+            Space::Threads => ScatterMode::Duplicated,
+            Space::Device(_) => ScatterMode::Atomic,
+        }
+    }
+}
+
+/// Cache-line-aligned wrapper to prevent false sharing between
+/// per-thread duplicates.
+#[repr(align(64))]
+struct Pad<T>(T);
+
+enum Storage {
+    Atomic(Vec<AtomicF64>),
+    Duplicated(Vec<Pad<UnsafeCell<Vec<f64>>>>),
+    Sequential(UnsafeCell<Vec<f64>>),
+}
+
+/// A scatter-add accumulation buffer over an `n × ncols` target.
+///
+/// ```
+/// use lkk_kokkos::{ScatterMode, ScatterView};
+/// let mut forces = ScatterView::new(4, 3, ScatterMode::Atomic);
+/// forces.add(1, 0, 2.0);
+/// forces.add(1, 0, 0.5);
+/// let mut out = vec![0.0; 12];
+/// forces.contribute_into(&mut out);
+/// assert_eq!(out[3], 2.5);
+/// ```
+pub struct ScatterView {
+    n: usize,
+    ncols: usize,
+    storage: Storage,
+}
+
+// Duplicated storage is only written through per-thread indices;
+// Sequential storage is only used without concurrency (see `add`).
+unsafe impl Sync for ScatterView {}
+unsafe impl Send for ScatterView {}
+
+impl ScatterView {
+    pub fn new(n: usize, ncols: usize, mode: ScatterMode) -> Self {
+        let len = n * ncols;
+        let storage = match mode {
+            ScatterMode::Atomic => Storage::Atomic((0..len).map(|_| AtomicF64::new(0.0)).collect()),
+            ScatterMode::Duplicated => {
+                let copies = rayon::current_num_threads().max(1);
+                Storage::Duplicated(
+                    (0..copies)
+                        .map(|_| Pad(UnsafeCell::new(vec![0.0; len])))
+                        .collect(),
+                )
+            }
+            ScatterMode::Sequential => Storage::Sequential(UnsafeCell::new(vec![0.0; len])),
+        };
+        ScatterView { n, ncols, storage }
+    }
+
+    /// Build with the default mode for `space`.
+    pub fn for_space(n: usize, ncols: usize, space: &Space) -> Self {
+        Self::new(n, ncols, ScatterMode::default_for(space))
+    }
+
+    pub fn mode(&self) -> ScatterMode {
+        match self.storage {
+            Storage::Atomic(_) => ScatterMode::Atomic,
+            Storage::Duplicated(_) => ScatterMode::Duplicated,
+            Storage::Sequential(_) => ScatterMode::Sequential,
+        }
+    }
+
+    pub fn target_len(&self) -> usize {
+        self.n * self.ncols
+    }
+
+    /// Accumulate `v` into element `(i, col)`.
+    ///
+    /// Safe under each mode's contract: `Atomic` is race-free by
+    /// construction; `Duplicated` writes only this rayon worker's
+    /// private copy; `Sequential` must only be used from a single
+    /// thread (its constructor is only chosen for serial spaces).
+    #[inline]
+    pub fn add(&self, i: usize, col: usize, v: f64) {
+        let idx = i * self.ncols + col;
+        match &self.storage {
+            Storage::Atomic(a) => {
+                a[idx].fetch_add(v);
+            }
+            Storage::Duplicated(copies) => {
+                let t = rayon::current_thread_index().unwrap_or(0);
+                // Each rayon worker has a private copy; index `t` is
+                // stable for the duration of the closure.
+                let buf = unsafe { &mut *copies[t].0.get() };
+                buf[idx] += v;
+            }
+            Storage::Sequential(buf) => {
+                let buf = unsafe { &mut *buf.get() };
+                buf[idx] += v;
+            }
+        }
+    }
+
+    /// Combine all contributions into `out` (added on top of existing
+    /// contents), then reset the internal buffers to zero.
+    pub fn contribute_into(&mut self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.target_len());
+        match &mut self.storage {
+            Storage::Atomic(a) => {
+                for (o, x) in out.iter_mut().zip(a.iter()) {
+                    *o += x.load();
+                    x.store(0.0);
+                }
+            }
+            Storage::Duplicated(copies) => {
+                for c in copies.iter_mut() {
+                    let buf = c.0.get_mut();
+                    for (o, x) in out.iter_mut().zip(buf.iter_mut()) {
+                        *o += *x;
+                        *x = 0.0;
+                    }
+                }
+            }
+            Storage::Sequential(buf) => {
+                let buf = buf.get_mut();
+                for (o, x) in out.iter_mut().zip(buf.iter_mut()) {
+                    *o += *x;
+                    *x = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Combine all contributions into a rank-2 view of shape
+    /// `[n, ncols]`, respecting the view's layout (a device view is
+    /// column-major). Adds on top of existing contents and resets.
+    pub fn contribute_into_view(&mut self, out: &mut crate::view::View<f64, 2>) {
+        assert_eq!(out.dims(), [self.n, self.ncols]);
+        if out.layout() == crate::view::Layout::Right {
+            self.contribute_into(out.as_mut_slice());
+            return;
+        }
+        let mut flat = vec![0.0; self.target_len()];
+        self.contribute_into(&mut flat);
+        for i in 0..self.n {
+            for c in 0..self.ncols {
+                let v = *out.get([i, c]) + flat[i * self.ncols + c];
+                out.set([i, c], v);
+            }
+        }
+    }
+
+    /// Zero all internal buffers without contributing.
+    pub fn reset(&mut self) {
+        match &mut self.storage {
+            Storage::Atomic(a) => a.iter().for_each(|x| x.store(0.0)),
+            Storage::Duplicated(copies) => copies
+                .iter_mut()
+                .for_each(|c| c.0.get_mut().iter_mut().for_each(|x| *x = 0.0)),
+            Storage::Sequential(buf) => buf.get_mut().iter_mut().for_each(|x| *x = 0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    fn hammer(mode: ScatterMode) -> Vec<f64> {
+        let sv = ScatterView::new(8, 3, mode);
+        let run = || {
+            (0..24_000usize).into_par_iter().for_each(|k| {
+                sv.add(k % 8, k % 3, 1.0);
+            });
+        };
+        match mode {
+            ScatterMode::Sequential => {
+                // Sequential mode: single-threaded contract.
+                for k in 0..24_000usize {
+                    sv.add(k % 8, k % 3, 1.0);
+                }
+            }
+            _ => run(),
+        }
+        let mut sv = sv;
+        let mut out = vec![0.0; 24];
+        sv.contribute_into(&mut out);
+        out
+    }
+
+    #[test]
+    fn all_modes_agree() {
+        let a = hammer(ScatterMode::Atomic);
+        let d = hammer(ScatterMode::Duplicated);
+        let s = hammer(ScatterMode::Sequential);
+        assert_eq!(a, d);
+        assert_eq!(a, s);
+        // (i, col) is hit when k ≡ i (mod 8) and k ≡ col (mod 3); by CRT
+        // exactly 24000/24 = 1000 times for each of the 24 cells.
+        assert!(a.iter().all(|&x| x == 1000.0));
+    }
+
+    #[test]
+    fn contribute_adds_and_resets() {
+        let mut sv = ScatterView::new(2, 1, ScatterMode::Sequential);
+        sv.add(0, 0, 2.0);
+        sv.add(1, 0, 3.0);
+        let mut out = vec![1.0, 1.0];
+        sv.contribute_into(&mut out);
+        assert_eq!(out, vec![3.0, 4.0]);
+        // Buffers were reset: a second contribute adds nothing.
+        sv.contribute_into(&mut out);
+        assert_eq!(out, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn default_mode_per_space() {
+        assert_eq!(ScatterMode::default_for(&Space::Serial), ScatterMode::Sequential);
+        assert_eq!(ScatterMode::default_for(&Space::Threads), ScatterMode::Duplicated);
+        assert_eq!(
+            ScatterMode::default_for(&Space::device(lkk_gpusim::GpuArch::h100())),
+            ScatterMode::Atomic
+        );
+    }
+
+    #[test]
+    fn reset_clears_pending() {
+        let mut sv = ScatterView::new(1, 1, ScatterMode::Atomic);
+        sv.add(0, 0, 5.0);
+        sv.reset();
+        let mut out = vec![0.0];
+        sv.contribute_into(&mut out);
+        assert_eq!(out[0], 0.0);
+    }
+}

@@ -1,0 +1,463 @@
+//! Multi-dimensional arrays with run-time data layout.
+//!
+//! [`View<T, R>`] is the Rust analogue of `Kokkos::View`: a dense
+//! `R`-dimensional array whose *layout* — which index is
+//! fastest-varying in memory — is chosen at construction.
+//!
+//! * [`Layout::Right`] (row-major, last index fastest) is the natural
+//!   host layout: one atom's neighbor list is contiguous, enabling
+//!   caching on CPUs.
+//! * [`Layout::Left`] (column-major, first index fastest) interleaves
+//!   consecutive atoms' entries, giving coalesced accesses on GPUs.
+//!
+//! §4.1 of the paper: "the neighbor list for each atom must be
+//! contiguous in memory to enable caching [on CPUs], while the neighbor
+//! lists of consecutive atoms must be interleaved to achieve performance
+//! on GPU architectures. Using 2D Views ... achieves this data layout
+//! adjustment by default."
+
+use crate::exec::Space;
+
+/// Memory layout of a [`View`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Row-major / C order: last index fastest. Host default.
+    Right,
+    /// Column-major / Fortran order: first index fastest. Device default.
+    Left,
+}
+
+impl Layout {
+    /// The default layout for an execution space, mirroring Kokkos'
+    /// `ExecutionSpace::array_layout`.
+    pub fn for_space(space: &Space) -> Layout {
+        if space.is_device() {
+            Layout::Left
+        } else {
+            Layout::Right
+        }
+    }
+}
+
+fn strides_for<const R: usize>(dims: [usize; R], layout: Layout) -> [usize; R] {
+    let mut strides = [0usize; R];
+    match layout {
+        Layout::Right => {
+            let mut s = 1;
+            for k in (0..R).rev() {
+                strides[k] = s;
+                s *= dims[k].max(1);
+            }
+        }
+        Layout::Left => {
+            let mut s = 1;
+            for k in 0..R {
+                strides[k] = s;
+                s *= dims[k].max(1);
+            }
+        }
+    }
+    strides
+}
+
+/// A dense `R`-dimensional array of `T` with run-time layout.
+///
+/// ```
+/// use lkk_kokkos::{Layout, View2};
+/// let mut neigh = View2::<u32>::with_layout("neighbors", [4, 8], Layout::Left);
+/// neigh.set([2, 3], 7);
+/// assert_eq!(neigh.at([2, 3]), 7);
+/// // LayoutLeft interleaves rows: element (2,3) sits at column-major
+/// // offset 3*4 + 2.
+/// assert_eq!(neigh.as_slice()[3 * 4 + 2], 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct View<T, const R: usize> {
+    label: String,
+    dims: [usize; R],
+    strides: [usize; R],
+    layout: Layout,
+    data: Vec<T>,
+}
+
+/// Rank-1 view.
+pub type View1<T> = View<T, 1>;
+/// Rank-2 view.
+pub type View2<T> = View<T, 2>;
+/// Rank-3 view.
+pub type View3<T> = View<T, 3>;
+
+impl<T: Clone + Default, const R: usize> View<T, R> {
+    /// Allocate a zero/default-initialized view in [`Layout::Right`].
+    pub fn new(label: impl Into<String>, dims: [usize; R]) -> Self {
+        Self::with_layout(label, dims, Layout::Right)
+    }
+
+    /// Allocate with an explicit layout.
+    pub fn with_layout(label: impl Into<String>, dims: [usize; R], layout: Layout) -> Self {
+        let len = dims.iter().product::<usize>();
+        View {
+            label: label.into(),
+            dims,
+            strides: strides_for(dims, layout),
+            layout,
+            data: vec![T::default(); len],
+        }
+    }
+
+    /// Allocate with the layout preferred by `space` (§4.1's transparent
+    /// layout adjustment).
+    pub fn for_space(label: impl Into<String>, dims: [usize; R], space: &Space) -> Self {
+        Self::with_layout(label, dims, Layout::for_space(space))
+    }
+
+    /// Resize, discarding contents (Kokkos `realloc`). Layout is kept.
+    pub fn realloc(&mut self, dims: [usize; R]) {
+        let len = dims.iter().product::<usize>();
+        self.dims = dims;
+        self.strides = strides_for(dims, self.layout);
+        self.data.clear();
+        self.data.resize(len, T::default());
+    }
+
+    /// Fill every element with `v`.
+    pub fn fill(&mut self, v: T) {
+        for x in &mut self.data {
+            *x = v.clone();
+        }
+    }
+}
+
+impl<T, const R: usize> View<T, R> {
+    #[inline(always)]
+    pub fn offset(&self, idx: [usize; R]) -> usize {
+        debug_assert!(
+            idx.iter().zip(&self.dims).all(|(i, d)| i < d),
+            "view '{}' index {:?} out of bounds {:?}",
+            self.label,
+            idx,
+            self.dims
+        );
+        let mut o = 0;
+        for k in 0..R {
+            o += idx[k] * self.strides[k];
+        }
+        o
+    }
+
+    #[inline(always)]
+    pub fn get(&self, idx: [usize; R]) -> &T {
+        &self.data[self.offset(idx)]
+    }
+
+    #[inline(always)]
+    pub fn get_mut(&mut self, idx: [usize; R]) -> &mut T {
+        let o = self.offset(idx);
+        &mut self.data[o]
+    }
+
+    #[inline(always)]
+    pub fn set(&mut self, idx: [usize; R], v: T) {
+        let o = self.offset(idx);
+        self.data[o] = v;
+    }
+
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    pub fn dims(&self) -> [usize; R] {
+        self.dims
+    }
+
+    pub fn extent(&self, k: usize) -> usize {
+        self.dims[k]
+    }
+
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat backing storage (layout-ordered).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Size of the backing storage in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+
+    /// A shared handle permitting concurrent writes to *disjoint*
+    /// elements from a parallel kernel. Takes `&mut self`, so the
+    /// borrow checker guarantees exclusivity for the handle's lifetime.
+    pub fn par_write(&mut self) -> ParWrite<'_, T, R> {
+        ParWrite {
+            ptr: self.data.as_mut_ptr(),
+            dims: self.dims,
+            strides: self.strides,
+            _life: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Copy, const R: usize> View<T, R> {
+    /// Copy element-wise from a view of identical dimensions (layouts
+    /// may differ; this performs the transpose). This is the "deep copy"
+    /// used by [`crate::DualView`] host↔device synchronisation.
+    pub fn copy_from(&mut self, src: &View<T, R>) {
+        assert_eq!(self.dims, src.dims, "deep_copy dims mismatch");
+        if self.layout == src.layout {
+            self.data.copy_from_slice(&src.data);
+        } else {
+            // Different layouts: walk logical indices.
+            let dims = self.dims;
+            let total: usize = dims.iter().product();
+            let mut idx = [0usize; R];
+            for _ in 0..total {
+                let o_dst = self.offset(idx);
+                let o_src = src.offset(idx);
+                self.data[o_dst] = src.data[o_src];
+                // Increment logical index, last dim fastest.
+                for k in (0..R).rev() {
+                    idx[k] += 1;
+                    if idx[k] < dims[k] {
+                        break;
+                    }
+                    idx[k] = 0;
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    pub fn at(&self, idx: [usize; R]) -> T {
+        self.data[self.offset(idx)]
+    }
+
+    /// Unchecked read for hot loops.
+    ///
+    /// # Safety
+    /// `idx` must be in bounds.
+    #[inline(always)]
+    pub unsafe fn uget(&self, idx: [usize; R]) -> T {
+        let mut o = 0;
+        for k in 0..R {
+            o += idx[k] * self.strides[k];
+        }
+        *self.data.get_unchecked(o)
+    }
+}
+
+impl<T, const R: usize> std::ops::Index<[usize; R]> for View<T, R> {
+    type Output = T;
+    #[inline(always)]
+    fn index(&self, idx: [usize; R]) -> &T {
+        self.get(idx)
+    }
+}
+
+impl<T, const R: usize> std::ops::IndexMut<[usize; R]> for View<T, R> {
+    #[inline(always)]
+    fn index_mut(&mut self, idx: [usize; R]) -> &mut T {
+        self.get_mut(idx)
+    }
+}
+
+/// A `Send + Sync` write handle into a [`View`] for use inside parallel
+/// kernels where each work item writes a *disjoint* set of elements
+/// (e.g. a force kernel with one work item per atom writing only that
+/// atom's row).
+///
+/// Reads are safe; writes are `unsafe` with the documented contract.
+/// For *conflicting* writes use [`crate::ScatterView`] instead.
+pub struct ParWrite<'a, T, const R: usize> {
+    ptr: *mut T,
+    dims: [usize; R],
+    strides: [usize; R],
+    _life: std::marker::PhantomData<&'a mut T>,
+}
+
+unsafe impl<T: Send, const R: usize> Send for ParWrite<'_, T, R> {}
+unsafe impl<T: Send, const R: usize> Sync for ParWrite<'_, T, R> {}
+
+impl<T: Copy, const R: usize> ParWrite<'_, T, R> {
+    #[inline(always)]
+    fn offset(&self, idx: [usize; R]) -> usize {
+        debug_assert!(idx.iter().zip(&self.dims).all(|(i, d)| i < d));
+        let mut o = 0;
+        for k in 0..R {
+            o += idx[k] * self.strides[k];
+        }
+        o
+    }
+
+    #[inline(always)]
+    pub fn get(&self, idx: [usize; R]) -> T {
+        unsafe { *self.ptr.add(self.offset(idx)) }
+    }
+
+    /// Write an element.
+    ///
+    /// # Safety
+    /// No other thread may read or write this element concurrently.
+    #[inline(always)]
+    pub unsafe fn write(&self, idx: [usize; R], v: T) {
+        *self.ptr.add(self.offset(idx)) = v;
+    }
+}
+
+impl<const R: usize> ParWrite<'_, f64, R> {
+    /// Accumulate into an element.
+    ///
+    /// # Safety
+    /// No other thread may read or write this element concurrently.
+    #[inline(always)]
+    pub unsafe fn add(&self, idx: [usize; R], v: f64) {
+        let p = self.ptr.add(self.offset(idx));
+        *p += v;
+    }
+
+    /// Thread-atomic accumulation (safe with respect to data races on
+    /// the element, at CAS-loop cost).
+    #[inline(always)]
+    pub fn atomic_add(&self, idx: [usize; R], v: f64) {
+        unsafe { crate::atomic::atomic_add_f64(self.ptr.add(self.offset(idx)), v) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_right_is_row_major() {
+        let mut v = View2::<f64>::new("a", [2, 3]);
+        v.set([0, 0], 1.0);
+        v.set([0, 2], 3.0);
+        v.set([1, 0], 4.0);
+        assert_eq!(v.as_slice(), &[1.0, 0.0, 3.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn layout_left_is_col_major() {
+        let mut v = View2::<f64>::with_layout("a", [2, 3], Layout::Left);
+        v.set([0, 0], 1.0);
+        v.set([0, 2], 3.0);
+        v.set([1, 0], 4.0);
+        assert_eq!(v.as_slice(), &[1.0, 4.0, 0.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn copy_across_layouts_transposes() {
+        let mut right = View2::<f64>::new("r", [3, 4]);
+        for i in 0..3 {
+            for j in 0..4 {
+                right.set([i, j], (10 * i + j) as f64);
+            }
+        }
+        let mut left = View2::<f64>::with_layout("l", [3, 4], Layout::Left);
+        left.copy_from(&right);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(left.at([i, j]), (10 * i + j) as f64);
+            }
+        }
+        // And back.
+        let mut right2 = View2::<f64>::new("r2", [3, 4]);
+        right2.copy_from(&left);
+        assert_eq!(right2.as_slice(), right.as_slice());
+    }
+
+    #[test]
+    fn rank3_indexing_round_trip() {
+        let mut v = View3::<i64>::new("t", [2, 3, 4]);
+        let mut c = 0;
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    v.set([i, j, k], c);
+                    c += 1;
+                }
+            }
+        }
+        let mut c = 0;
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    assert_eq!(v.at([i, j, k]), c);
+                    c += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn realloc_keeps_layout_and_zeroes() {
+        let mut v = View1::<f64>::with_layout("x", [4], Layout::Left);
+        v.fill(7.0);
+        v.realloc([8]);
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.layout(), Layout::Left);
+        assert!(v.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn par_write_disjoint_rows() {
+        use rayon::prelude::*;
+        let mut f = View2::<f64>::new("f", [100, 3]);
+        {
+            let w = f.par_write();
+            (0..100usize).into_par_iter().for_each(|i| unsafe {
+                for k in 0..3 {
+                    w.write([i, k], i as f64 + k as f64);
+                }
+            });
+        }
+        for i in 0..100 {
+            for k in 0..3 {
+                assert_eq!(f.at([i, k]), (i + k) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn par_write_atomic_add_conflicting() {
+        use rayon::prelude::*;
+        let mut f = View1::<f64>::new("f", [4]);
+        {
+            let w = f.par_write();
+            (0..4000usize).into_par_iter().for_each(|i| {
+                w.atomic_add([i % 4], 1.0);
+            });
+        }
+        for i in 0..4 {
+            assert_eq!(f.at([i]), 1000.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_checked_in_debug() {
+        let v = View1::<f64>::new("x", [3]);
+        let _ = v.at([3]);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let v = View2::<f64>::new("x", [10, 3]);
+        assert_eq!(v.bytes(), 240);
+    }
+}

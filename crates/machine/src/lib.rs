@@ -1,0 +1,18 @@
+//! `lkk-machine`: exascale machine descriptors and the strong-scaling
+//! performance model (Figures 6-7 of the paper).
+//!
+//! A [`Machine`] composes a node (GPUs per node + one architecture
+//! descriptor from `lkk-gpusim`) with a [`Network`]. The
+//! [`scaling`] model predicts per-timestep wall time of a workload
+//! decomposed over the machine: per-rank kernel time from the
+//! `lkk-gpusim` cost model applied to per-atom event counts, plus
+//! halo-exchange time (surface-to-volume), plus log-P allreduce latency
+//! (which is what denies ReaxFF scaling past ~100 steps/s — §5.2).
+
+pub mod machines;
+pub mod network;
+pub mod scaling;
+
+pub use machines::{Machine, Node};
+pub use network::Network;
+pub use scaling::{CommProfile, StrongScaling, Workload};

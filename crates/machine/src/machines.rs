@@ -1,0 +1,165 @@
+//! The five machines of the paper's §5.2 / Appendix C.
+
+use crate::network::Network;
+use lkk_gpusim::GpuArch;
+
+/// One node: how many logical GPUs (GCDs / stacks / full parts — one
+/// MPI rank each, per the paper's footnote 5) and how many NICs.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub gpu: GpuArch,
+    pub gpus_per_node: u32,
+    pub nics_per_node: u32,
+}
+
+/// A named machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    pub name: &'static str,
+    pub node: Node,
+    pub network: Network,
+    /// Largest node count the paper scales to on this machine.
+    pub max_nodes: u32,
+}
+
+impl Machine {
+    /// OLCF Frontier: 4 × MI250X per node = 8 GCDs (8 ranks), 4 NICs,
+    /// Slingshot-11, scaled to 8192 nodes.
+    pub fn frontier() -> Self {
+        Machine {
+            name: "Frontier",
+            node: Node {
+                gpu: GpuArch::mi250x_gcd(),
+                gpus_per_node: 8,
+                nics_per_node: 4,
+            },
+            network: Network::slingshot11(),
+            max_nodes: 8192,
+        }
+    }
+
+    /// NNSA El Capitan: 4 × MI300A, Slingshot-11, scaled to 8192 nodes.
+    pub fn el_capitan() -> Self {
+        Machine {
+            name: "El Capitan",
+            node: Node {
+                gpu: GpuArch::mi300a(),
+                gpus_per_node: 4,
+                nics_per_node: 4,
+            },
+            network: Network::slingshot11(),
+            max_nodes: 8192,
+        }
+    }
+
+    /// ALCF Aurora: 6 × PVC per node = 12 stacks (12 ranks), 8 NICs,
+    /// Slingshot-11, scaled to 2048 nodes.
+    pub fn aurora() -> Self {
+        Machine {
+            name: "Aurora",
+            node: Node {
+                gpu: GpuArch::pvc_stack(),
+                gpus_per_node: 12,
+                nics_per_node: 8,
+            },
+            network: Network::slingshot11(),
+            max_nodes: 2048,
+        }
+    }
+
+    /// CSCS Alps: 4 × GH200 per node, 1:1 NICs, Slingshot-11, scaled to
+    /// 2048 nodes.
+    pub fn alps() -> Self {
+        Machine {
+            name: "Alps",
+            node: Node {
+                gpu: GpuArch::gh200(),
+                gpus_per_node: 4,
+                nics_per_node: 4,
+            },
+            network: Network::slingshot11(),
+            max_nodes: 2048,
+        }
+    }
+
+    /// NVIDIA Eos DGX H100 SuperPod, *as used in the paper*: only 4 of
+    /// the 8 GPUs (and 4 NICs) per node "to mimic the configurations of
+    /// the largest NVIDIA-based supercomputers", NDR400, 256 nodes.
+    pub fn eos() -> Self {
+        Machine {
+            name: "Eos",
+            node: Node {
+                gpu: GpuArch::h100(),
+                gpus_per_node: 4,
+                nics_per_node: 4,
+            },
+            network: Network::ndr400(),
+            max_nodes: 256,
+        }
+    }
+
+    /// Eos with all 8 GPUs + 8 NICs per node (the hardware's native
+    /// configuration; the paper intentionally used 4 to mimic
+    /// GH200-class nodes).
+    pub fn eos_full() -> Self {
+        Machine {
+            name: "Eos(8gpu)",
+            node: Node {
+                gpu: GpuArch::h100(),
+                gpus_per_node: 8,
+                nics_per_node: 8,
+            },
+            network: Network::ndr400(),
+            max_nodes: 256,
+        }
+    }
+
+    /// All five, Figure-6/7 order.
+    pub fn all() -> Vec<Machine> {
+        vec![
+            Self::frontier(),
+            Self::aurora(),
+            Self::el_capitan(),
+            Self::alps(),
+            Self::eos(),
+        ]
+    }
+
+    /// Total ranks (one per logical GPU) at a node count.
+    pub fn ranks(&self, nodes: u32) -> u32 {
+        nodes * self.node.gpus_per_node
+    }
+
+    /// NIC share per rank.
+    pub fn nic_share(&self) -> f64 {
+        self.node.nics_per_node as f64 / self.node.gpus_per_node as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations() {
+        let f = Machine::frontier();
+        assert_eq!(f.ranks(8192), 65536);
+        assert_eq!(f.nic_share(), 0.5);
+        let a = Machine::alps();
+        assert_eq!(a.nic_share(), 1.0);
+        assert_eq!(a.node.gpu.name, "NVIDIA GH200");
+        let e = Machine::eos();
+        assert_eq!(e.node.gpus_per_node, 4, "paper intentionally used 4 of 8");
+        assert_eq!(e.network.name, "NDR400");
+        assert_eq!(Machine::aurora().ranks(1), 12);
+        assert_eq!(Machine::all().len(), 5);
+    }
+
+    #[test]
+    fn eos_full_node_doubles_ranks_at_same_per_gpu_resources() {
+        let four = Machine::eos();
+        let eight = Machine::eos_full();
+        assert_eq!(eight.ranks(10), 2 * four.ranks(10));
+        assert_eq!(four.nic_share(), eight.nic_share());
+    }
+}

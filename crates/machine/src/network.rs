@@ -1,0 +1,76 @@
+//! Interconnect models.
+
+/// A network interface + fabric model. Bandwidth is per NIC; the
+/// machines of the paper all run 1 NIC per GPU (Appendix C: "a 1:1 GPU
+/// to NIC ratio"), except Frontier's 4 NICs : 8 GCDs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Network {
+    pub name: &'static str,
+    /// Injection bandwidth per NIC, GB/s.
+    pub nic_bw_gbs: f64,
+    /// End-to-end small-message latency, microseconds.
+    pub latency_us: f64,
+}
+
+impl Network {
+    /// HPE Slingshot-11 (Frontier, El Capitan, Aurora, Alps): 200 Gb/s
+    /// NICs = 25 GB/s, ~2 µs put latency.
+    pub fn slingshot11() -> Self {
+        Network {
+            name: "Slingshot-11",
+            nic_bw_gbs: 25.0,
+            latency_us: 2.0,
+        }
+    }
+
+    /// NVIDIA Quantum-2 NDR 400 InfiniBand (Eos): 400 Gb/s = 50 GB/s,
+    /// ~1.5 µs. Appendix C: "comparable network bandwidths between NDR
+    /// 400 and Slingshot-11" per GPU given Eos's 1:1 ratio at 4 GPUs.
+    pub fn ndr400() -> Self {
+        Network {
+            name: "NDR400",
+            nic_bw_gbs: 50.0,
+            latency_us: 1.5,
+        }
+    }
+
+    /// Time to move `bytes` through one NIC share in seconds.
+    pub fn transfer_time(&self, bytes: f64, nic_share: f64) -> f64 {
+        bytes / (self.nic_bw_gbs * 1e9 * nic_share.max(1e-9))
+    }
+
+    /// Latency-dominated allreduce over `ranks` participants
+    /// (recursive-doubling: 2·log2(P) hops).
+    pub fn allreduce_time(&self, ranks: f64) -> f64 {
+        if ranks <= 1.0 {
+            return 0.0;
+        }
+        2.0 * ranks.log2().ceil() * self.latency_us * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn networks_have_expected_rates() {
+        let ss = Network::slingshot11();
+        assert_eq!(ss.nic_bw_gbs, 25.0);
+        let ndr = Network::ndr400();
+        assert_eq!(ndr.nic_bw_gbs, 50.0);
+        assert!(ndr.latency_us < ss.latency_us);
+    }
+
+    #[test]
+    fn transfer_and_allreduce_scaling() {
+        let n = Network::slingshot11();
+        assert!((n.transfer_time(25e9, 1.0) - 1.0).abs() < 1e-12);
+        // Half a NIC per rank doubles time.
+        assert!((n.transfer_time(25e9, 0.5) - 2.0).abs() < 1e-12);
+        assert_eq!(n.allreduce_time(1.0), 0.0);
+        let t1k = n.allreduce_time(1024.0);
+        let t1m = n.allreduce_time(1024.0 * 1024.0);
+        assert!((t1m / t1k - 2.0).abs() < 1e-12); // log scaling
+    }
+}

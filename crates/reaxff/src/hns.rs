@@ -1,0 +1,137 @@
+//! The synthetic HNS-like molecular crystal (the paper's ReaxFF
+//! benchmark workload is "a short simulation of the molecular crystal
+//! Hexanitrostilbene").
+//!
+//! We generate a trinitrobenzene-like motif — an aromatic C₆ ring with
+//! alternating H and NO₂ substituents (C₆H₃N₃O₆, 18 atoms) — replicated
+//! on a cubic molecular lattice at a molecular-crystal-like density.
+//! The real HNS molecule (C₁₄H₆N₆O₁₂) is two such rings bridged by a
+//! stilbene backbone; the reduced motif preserves the things the
+//! kernels care about: CHNO stoichiometry, ring bond networks (angle
+//! and torsion tables), nitro groups (strong QEq charge separation),
+//! and intermolecular contacts (non-bonded + taper).
+
+use lkk_core::domain::Domain;
+
+/// Type indices into [`crate::params::ReaxParams::hns_like`]:
+/// 0 = C, 1 = H, 2 = N, 3 = O.
+pub const TYPE_C: i32 = 0;
+pub const TYPE_H: i32 = 1;
+pub const TYPE_N: i32 = 2;
+pub const TYPE_O: i32 = 3;
+
+/// One C₆H₃N₃O₆ motif centred at the origin, in Å.
+pub fn motif() -> Vec<([f64; 3], i32)> {
+    let mut atoms = Vec::with_capacity(18);
+    let r_ring = 1.40; // aromatic C-C
+    for k in 0..6 {
+        let ang = std::f64::consts::TAU * k as f64 / 6.0;
+        let (s, c) = ang.sin_cos();
+        atoms.push(([r_ring * c, r_ring * s, 0.0], TYPE_C));
+        if k % 2 == 0 {
+            // Hydrogen straight out from the ring.
+            let rh = r_ring + 1.0;
+            atoms.push(([rh * c, rh * s, 0.0], TYPE_H));
+        } else {
+            // Nitro group: N out from the ring, two O fanning out of
+            // plane.
+            let rn = r_ring + 1.35;
+            atoms.push(([rn * c, rn * s, 0.0], TYPE_N));
+            let ro = rn + 0.75;
+            for (dz, side) in [(0.95, 1.0), (-0.95, -1.0)] {
+                let spread = 0.45 * side;
+                atoms.push((
+                    [
+                        ro * c - spread * s,
+                        ro * s + spread * c,
+                        dz * 0.55,
+                    ],
+                    TYPE_O,
+                ));
+            }
+        }
+    }
+    atoms
+}
+
+/// Build an `nx × ny × nz` molecular crystal. Returns positions, type
+/// indices, and the periodic domain. `spacing` is the molecular
+/// lattice constant in Å (7.5 Å gives a density typical of CHNO
+/// molecular crystals, ~0.1 atoms/Å3 × 18/molecule).
+pub fn crystal(nx: usize, ny: usize, nz: usize, spacing: f64) -> (Vec<[f64; 3]>, Vec<i32>, Domain) {
+    let base = motif();
+    let mut positions = Vec::with_capacity(nx * ny * nz * base.len());
+    let mut types = Vec::with_capacity(positions.capacity());
+    for ix in 0..nx {
+        for iy in 0..ny {
+            for iz in 0..nz {
+                let center = [
+                    (ix as f64 + 0.5) * spacing,
+                    (iy as f64 + 0.5) * spacing,
+                    (iz as f64 + 0.5) * spacing,
+                ];
+                // Alternate ring orientation between sites so stacked
+                // molecules do not sit in a single plane.
+                let flip = (ix + iy + iz) % 2 == 1;
+                for &(p, t) in &base {
+                    let p = if flip { [p[0], p[2], p[1]] } else { p };
+                    positions.push([center[0] + p[0], center[1] + p[1], center[2] + p[2]]);
+                    types.push(t);
+                }
+            }
+        }
+    }
+    let domain = Domain::new(
+        [0.0; 3],
+        [
+            nx as f64 * spacing,
+            ny as f64 * spacing,
+            nz as f64 * spacing,
+        ],
+    );
+    (positions, types, domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motif_stoichiometry_is_c6h3n3o6() {
+        let m = motif();
+        assert_eq!(m.len(), 18);
+        let count = |t: i32| m.iter().filter(|(_, ty)| *ty == t).count();
+        assert_eq!(count(TYPE_C), 6);
+        assert_eq!(count(TYPE_H), 3);
+        assert_eq!(count(TYPE_N), 3);
+        assert_eq!(count(TYPE_O), 6);
+    }
+
+    #[test]
+    fn ring_bond_lengths_are_aromatic() {
+        let m = motif();
+        let carbons: Vec<[f64; 3]> = m
+            .iter()
+            .filter(|(_, t)| *t == TYPE_C)
+            .map(|(p, _)| *p)
+            .collect();
+        for k in 0..6 {
+            let a = carbons[k];
+            let b = carbons[(k + 1) % 6];
+            let d = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
+            assert!((d - 1.40).abs() < 0.01, "ring bond {d}");
+        }
+    }
+
+    #[test]
+    fn crystal_counts_and_domain() {
+        let (pos, types, dom) = crystal(2, 3, 2, 7.5);
+        assert_eq!(pos.len(), 2 * 3 * 2 * 18);
+        assert_eq!(types.len(), pos.len());
+        assert_eq!(dom.lengths(), [15.0, 22.5, 15.0]);
+        assert!(pos.iter().all(|p| dom.contains(p)));
+        // Atom density in the molecular-crystal ballpark.
+        let rho = pos.len() as f64 / dom.volume();
+        assert!(rho > 0.02 && rho < 0.2, "density {rho}");
+    }
+}

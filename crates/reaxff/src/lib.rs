@@ -1,0 +1,47 @@
+//! `lkk-reaxff`: a reduced Reactive Force Field (ReaxFF), case study 2
+//! of the paper (§4.2).
+//!
+//! ReaxFF models *dynamic* bond formation and dissociation: every
+//! timestep recomputes pairwise bond orders, corrects them for
+//! over-coordination, and evaluates bonded (2-, 3-, 4-body) and
+//! non-bonded (tapered van der Waals + shielded Coulomb) energies, with
+//! atomic charges re-equilibrated each step by the QEq method (two
+//! Krylov solves on a shared sparse matrix).
+//!
+//! This is a *reduced* parameterization (see DESIGN.md §2): the σ-only
+//! bond order with a smooth over-coordination correction stands in for
+//! the full σ/π/π² machinery, and the angular/torsional forms are
+//! simplified — but the **kernel structure is the paper's**: the
+//! divergent pre-processing kernels that build compressed
+//! triplet/quad interaction tables (§4.2.1), the over-allocated CSR
+//! QEq matrix built with scan/fill kernels and hierarchical row
+//! parallelism (§4.2.2), the fused dual CG solve (§4.2.3), and the
+//! 64-bit row offsets with 32-bit column indices (Appendix B).
+//!
+//! Modules:
+//!
+//! * [`params`] — the reduced force-field parameter set and the
+//!   synthetic HNS-like molecular crystal parameterization.
+//! * [`taper`] — the ReaxFF 7th-order taper polynomial.
+//! * [`bond_order`] — bond tables (2-D Views, Appendix B), bond orders,
+//!   over-coordination correction, and the reverse-mode accumulation of
+//!   `∂E/∂BO` chains into forces.
+//! * [`angles`] / [`torsion`] — 3- and 4-body terms with
+//!   count/fill/compute pre-processing kernel splits.
+//! * [`nonbonded`] — tapered Morse van der Waals + shielded Coulomb.
+//! * [`qeq`] — charge equilibration: over-allocated CSR, fused dual CG.
+//! * [`hns`] — the synthetic hexanitrostilbene-like benchmark crystal.
+//! * [`pair_reaxff`] — the `pair_style reaxff` integration.
+
+pub mod angles;
+pub mod bond_order;
+pub mod hns;
+pub mod nonbonded;
+pub mod pair_reaxff;
+pub mod params;
+pub mod qeq;
+pub mod taper;
+pub mod torsion;
+
+pub use pair_reaxff::PairReaxff;
+pub use params::ReaxParams;

@@ -1,0 +1,191 @@
+//! Tapered non-bonded interactions: Morse-style van der Waals and
+//! shielded Coulomb.
+//!
+//! The Coulomb pair coefficient `H_ij(r)` here is *the same function*
+//! that fills the QEq matrix (§4.2.2) — that identity is what makes the
+//! Hellmann-Feynman force (differentiate at fixed equilibrated charges)
+//! exact for the total electrostatic energy.
+
+use crate::params::ReaxParams;
+use crate::taper::taper;
+use lkk_core::atom::AtomData;
+use lkk_core::comm::GhostMap;
+use lkk_core::neighbor::NeighborList;
+use lkk_kokkos::Space;
+
+/// Shielded Coulomb kernel `H(r) = k·Tap(r)·(r³ + γ⁻³)^{−1/3}` and its
+/// radial derivative. `gamma_ij` is the pair shielding parameter.
+#[inline]
+pub fn coulomb_hij(r: f64, gamma_ij: f64, params: &ReaxParams) -> (f64, f64) {
+    if r >= params.r_nonb {
+        return (0.0, 0.0);
+    }
+    let (tap, dtap) = taper(r, params.r_nonb);
+    let g3 = 1.0 / (gamma_ij * gamma_ij * gamma_ij);
+    let denom = r * r * r + g3;
+    let shield = denom.powf(-1.0 / 3.0);
+    let dshield = -(r * r) * denom.powf(-4.0 / 3.0);
+    let k = params.coulomb_k;
+    (k * tap * shield, k * (dtap * shield + tap * dshield))
+}
+
+/// Pair shielding parameter for two types.
+#[inline]
+pub fn gamma_ij(params: &ReaxParams, ti: usize, tj: usize) -> f64 {
+    (params.elements[ti].gamma * params.elements[tj].gamma).sqrt()
+}
+
+/// Tapered, inner-shielded Morse van der Waals: `(E, dE/dr)`.
+///
+/// The Morse form is evaluated at the shielded distance
+/// `f13(r) = (r⁷ + s⁷)^{1/7}` (ReaxFF's inner shielding), which
+/// saturates at the core radius `s` so covalently bonded pairs do not
+/// climb the dispersion repulsion wall.
+#[inline]
+pub fn vdw(r: f64, ti: usize, tj: usize, params: &ReaxParams) -> (f64, f64) {
+    if r >= params.r_nonb {
+        return (0.0, 0.0);
+    }
+    let ei = &params.elements[ti];
+    let ej = &params.elements[tj];
+    let d = (ei.vdw_d * ej.vdw_d).sqrt();
+    let alpha = 0.5 * (ei.vdw_alpha + ej.vdw_alpha);
+    let rv = 0.5 * (ei.vdw_r + ej.vdw_r);
+    let s7 = params.vdw_shield.powi(7);
+    let r7 = r.powi(7);
+    let f13 = (r7 + s7).powf(1.0 / 7.0);
+    let df13 = r.powi(6) * (r7 + s7).powf(1.0 / 7.0 - 1.0);
+    let e1 = (-alpha * (f13 - rv)).exp();
+    let morse = d * (e1 * e1 - 2.0 * e1);
+    let dmorse = d * (-2.0 * alpha * e1 * e1 + 2.0 * alpha * e1) * df13;
+    let (tap, dtap) = taper(r, params.r_nonb);
+    (morse * tap, dmorse * tap + morse * dtap)
+}
+
+/// Compute van der Waals + Coulomb energies and forces over the full
+/// neighbor list, one-sided (each atom writes only its own force row —
+/// the newton-off strategy of §4.1, so no reverse communication is
+/// needed). `q` holds the equilibrated charges of *local* atoms.
+/// Returns `(e_vdw, e_coulomb_pairs, virial)`.
+pub fn compute_nonbonded(
+    atoms: &AtomData,
+    list: &NeighborList,
+    ghosts: &GhostMap,
+    q: &[f64],
+    params: &ReaxParams,
+    forces: &mut [[f64; 3]],
+    space: &Space,
+) -> (f64, f64, f64) {
+    let nlocal = atoms.nlocal;
+    let xh = atoms.x.h_view();
+    let typ = atoms.typ.h_view();
+    let f_ptr = forces.as_mut_ptr() as usize;
+    let cutsq = params.r_nonb * params.r_nonb;
+    space.parallel_reduce(
+        "NonbondedCompute",
+        nlocal,
+        (0.0f64, 0.0f64, 0.0f64),
+        |i| {
+            let xi = [xh.at([i, 0]), xh.at([i, 1]), xh.at([i, 2])];
+            let ti = typ.at([i]) as usize;
+            let qi = q[i];
+            let nn = list.numneigh.at([i]) as usize;
+            let mut fi = [0.0f64; 3];
+            let mut ev = 0.0;
+            let mut ec = 0.0;
+            let mut w = 0.0;
+            for s in 0..nn {
+                let j = list.neighbors.at([i, s]) as usize;
+                let d = [
+                    xi[0] - xh.at([j, 0]),
+                    xi[1] - xh.at([j, 1]),
+                    xi[2] - xh.at([j, 2]),
+                ];
+                let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                if rsq >= cutsq {
+                    continue;
+                }
+                let r = rsq.sqrt();
+                let tj = typ.at([j]) as usize;
+                let jo = if j < nlocal { j } else { ghosts.owner[j - nlocal] };
+                let qj = q[jo];
+                let (e_v, de_v) = vdw(r, ti, tj, params);
+                let (h, dh) = coulomb_hij(r, gamma_ij(params, ti, tj), params);
+                let e_c = h * qi * qj;
+                let de = de_v + dh * qi * qj;
+                // One-sided: each pair visited twice, half the energy,
+                // full force on own row.
+                ev += 0.5 * e_v;
+                ec += 0.5 * e_c;
+                let fpair = -de / r; // force on i along +d
+                for k in 0..3 {
+                    fi[k] += fpair * d[k];
+                    w += 0.5 * fpair * d[k] * d[k];
+                }
+            }
+            unsafe {
+                let fp = (f_ptr as *mut [f64; 3]).add(i);
+                for k in 0..3 {
+                    (*fp)[k] += fi[k];
+                }
+            }
+            (ev, ec, w)
+        },
+        |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coulomb_is_shielded_at_short_range() {
+        let p = ReaxParams::hns_like();
+        // At r → 0 the shielded kernel stays finite: k·γ.
+        let (h0, _) = coulomb_hij(1e-9, 0.7, &p);
+        assert!((h0 - p.coulomb_k * 0.7).abs() < 1e-3);
+        // At long range (inside taper) it approaches k/r.
+        let (h5, _) = coulomb_hij(5.0, 0.7, &p);
+        let bare = p.coulomb_k / 5.0 * taper(5.0, p.r_nonb).0;
+        assert!((h5 - bare).abs() / bare < 0.01);
+    }
+
+    #[test]
+    fn coulomb_derivative_matches_fd() {
+        let p = ReaxParams::hns_like();
+        for &r in &[0.8f64, 2.0, 4.5, 7.0] {
+            let h = 1e-6;
+            let fd = (coulomb_hij(r + h, 0.75, &p).0 - coulomb_hij(r - h, 0.75, &p).0) / (2.0 * h);
+            let (_, an) = coulomb_hij(r, 0.75, &p);
+            assert!((an - fd).abs() < 1e-6 * fd.abs().max(1e-6), "r={r}");
+        }
+    }
+
+    #[test]
+    fn vdw_has_minimum_near_rv_and_shielded_core() {
+        let p = ReaxParams::hns_like();
+        let rv = p.elements[0].vdw_r;
+        let (e_min, _) = vdw(rv, 0, 0, &p);
+        assert!(e_min < 0.0);
+        // Repulsive inside the minimum but *bounded* at bonding
+        // distances thanks to the inner shielding.
+        let (e_in, _) = vdw(rv - 1.2, 0, 0, &p);
+        assert!(e_in > e_min);
+        let (e_core, _) = vdw(1.0, 0, 0, &p);
+        let (e_zero, _) = vdw(1e-6, 0, 0, &p);
+        assert!(e_core < 1.0, "core repulsion {e_core} eV");
+        assert!((e_zero - vdw(0.5, 0, 0, &p).0).abs() < 0.05, "core not flat");
+    }
+
+    #[test]
+    fn vdw_derivative_matches_fd() {
+        let p = ReaxParams::hns_like();
+        for &r in &[2.5f64, 3.5, 5.0, 7.5] {
+            let h = 1e-6;
+            let fd = (vdw(r + h, 0, 1, &p).0 - vdw(r - h, 0, 1, &p).0) / (2.0 * h);
+            let (_, an) = vdw(r, 0, 1, &p);
+            assert!((an - fd).abs() < 1e-7, "r={r}: {an} vs {fd}");
+        }
+    }
+}

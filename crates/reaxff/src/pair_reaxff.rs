@@ -1,0 +1,487 @@
+//! `pair_style reaxff`: the assembled reactive force field.
+//!
+//! Per-timestep pipeline (the §4.2 kernel inventory):
+//!
+//! 1. **BondOrderBuild** — divergent pre-processing of the long
+//!    non-bonded list into the compressed 2-D bond table.
+//! 2. **QEqMatrixBuild** + fused dual-CG **QEqSpmvFused** solves → q.
+//! 3. Bond + over-coordination energies (fills `∂E/∂BO`, `∂E/∂Δ`).
+//! 4. **Angle/Torsion count → scan → fill → compute** — the compressed
+//!    triplet/quad tables and their fully convergent kernels.
+//! 5. **BondForces** — propagate the `∂E/∂BO` chains to atom forces.
+//! 6. **NonbondedCompute** — tapered vdW + shielded Coulomb with the
+//!    equilibrated charges.
+//!
+//! All forces accumulate onto *owner* rows, so no reverse ghost
+//! communication is needed.
+
+use crate::angles::{build_triplets, compute_angles};
+use crate::bond_order::{BondState, BondTable};
+use crate::nonbonded::compute_nonbonded;
+use crate::params::ReaxParams;
+use crate::qeq::{self, QeqMatrix};
+use crate::torsion::{build_quads, compute_torsions, QuadStats};
+use lkk_core::atom::Mask;
+use lkk_core::neighbor::NeighborList;
+use lkk_core::pair::{PairResults, PairStyle};
+use lkk_core::sim::System;
+use lkk_core::style::{PairSpec, StyleRegistry};
+use lkk_gpusim::KernelStats;
+use lkk_kokkos::Space;
+
+/// The ReaxFF pair style.
+pub struct PairReaxff {
+    pub params: ReaxParams,
+    name: String,
+    /// Diagnostics from the last compute.
+    pub last_qeq_iterations: usize,
+    pub last_quad_stats: QuadStats,
+    pub last_charges: Vec<f64>,
+    pub last_bond_count: u64,
+}
+
+impl PairReaxff {
+    pub fn new(params: ReaxParams) -> Self {
+        PairReaxff {
+            params,
+            name: "reaxff".into(),
+            last_qeq_iterations: 0,
+            last_quad_stats: QuadStats::default(),
+            last_charges: Vec::new(),
+            last_bond_count: 0,
+        }
+    }
+
+    /// Register `reaxff` / `reaxff/kk`. `pair_style reaxff` takes no
+    /// arguments; the HNS-like parameterization is built in.
+    pub fn register(registry: &mut StyleRegistry) {
+        registry.register_pair("reaxff", |_spec: &PairSpec, _space: &Space| {
+            Ok(Box::new(PairReaxff::new(ReaxParams::hns_like())))
+        });
+    }
+
+    fn note_stats(
+        &self,
+        space: &Space,
+        nlocal: f64,
+        bond_count: f64,
+        quad_stats: &QuadStats,
+        nnz: f64,
+        cg_iters: f64,
+    ) {
+        if !space.is_device() {
+            return;
+        }
+        // Bond-order build: divergent scan of the long neighbor list.
+        let mut bo = KernelStats::new("BondOrderBuild");
+        bo.work_items = nlocal;
+        bo.flops = bond_count * 60.0 + nlocal * 30.0;
+        bo.dram_bytes = nlocal * 200.0 + bond_count * 60.0;
+        bo.convergence = 0.2; // most candidates fail the r/BO tests
+        space.note_kernel(bo);
+
+        // Torsion pre-processing: cheap but very divergent.
+        let mut tp = KernelStats::new("TorsionCountFill");
+        tp.work_items = quad_stats.candidates as f64;
+        tp.flops = quad_stats.candidates as f64 * 8.0;
+        tp.dram_bytes = quad_stats.candidates as f64 * 24.0 + quad_stats.kept as f64 * 16.0;
+        tp.convergence = (quad_stats.kept as f64 / quad_stats.candidates.max(1) as f64).clamp(0.02, 1.0);
+        tp.launches = 2.0;
+        space.note_kernel(tp);
+
+        // Torsion compute: fully convergent on the compressed table.
+        let mut tc = KernelStats::new("TorsionCompute");
+        tc.work_items = quad_stats.kept as f64;
+        tc.flops = quad_stats.kept as f64 * 250.0;
+        tc.dram_bytes = quad_stats.kept as f64 * 96.0;
+        tc.atomic_f64_ops = quad_stats.kept as f64 * 15.0;
+        tc.convergence = 1.0;
+        space.note_kernel(tc);
+
+        // QEq matrix build (hierarchical row parallelism on device).
+        let mut qb = KernelStats::new("QEqMatrixBuild");
+        qb.work_items = nnz;
+        qb.flops = nnz * 40.0;
+        qb.dram_bytes = nnz * 40.0 + nlocal * 40.0;
+        space.note_kernel(qb);
+
+        // Fused dual SpMV per CG iteration: bandwidth bound on the
+        // matrix values (§4.2.3).
+        let mut sp = KernelStats::new("QEqSpmvFused");
+        sp.work_items = nnz;
+        sp.flops = cg_iters * nnz * 4.0;
+        sp.dram_bytes = cg_iters * nnz * 12.0;
+        sp.launches = cg_iters.max(1.0);
+        sp.ilp = 2.0; // two right-hand sides per matrix load
+        space.note_kernel(sp);
+
+        // Non-bonded force kernel.
+        let mut nb = KernelStats::new("NonbondedCompute");
+        nb.work_items = nlocal;
+        nb.flops = nnz * 2.0 * 60.0;
+        nb.dram_bytes = nlocal * 48.0 + nnz * 2.0 * 28.0;
+        nb.reused_bytes = nnz * 2.0 * 24.0;
+        nb.working_set_bytes = 64.0 * 1024.0;
+        space.note_kernel(nb);
+    }
+}
+
+impl PairStyle for PairReaxff {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.params.r_nonb
+    }
+
+    fn wants_half_list(&self) -> bool {
+        false
+    }
+
+    fn needs_reverse_comm(&self) -> bool {
+        false // all scatters land on owner rows
+    }
+
+    fn compute(&mut self, system: &mut System, list: &NeighborList, _eflag: bool) -> PairResults {
+        let space = system.space.clone();
+        // The ReaxFF pipeline reads host mirrors (kernels dispatch
+        // through `space` for parallelism + launch accounting).
+        system.atoms.sync(&Space::Serial, Mask::X | Mask::TYPE);
+        let nlocal = system.atoms.nlocal;
+        let params = self.params.clone();
+
+        // 1. Bond table + bond orders.
+        let table = BondTable::build(&system.atoms, list, &system.ghosts, &params, &space);
+        self.last_bond_count = table.total_bonds();
+        let mut state = BondState::compute(table, &params, &system.atoms);
+
+        // 2. Charge equilibration.
+        let matrix = QeqMatrix::build(&system.atoms, list, &system.ghosts, &params, &space);
+        let typ = system.atoms.typ.h_view();
+        let chi: Vec<f64> = (0..nlocal)
+            .map(|i| params.elements[typ.at([i]) as usize].chi)
+            .collect();
+        let sol = qeq::solve(&matrix, &chi, &params, &space);
+        self.last_qeq_iterations = sol.iterations;
+
+        let mut forces = vec![[0.0f64; 3]; nlocal];
+        let mut energy = 0.0;
+        let mut virial = 0.0;
+
+        // 3. Bond + over-coordination energy (coefficients only).
+        energy += state.bonded_energy(&params, &system.atoms);
+
+        // 4. Angles and torsions.
+        let (triplets, _cand3) = build_triplets(&state, &params, &space);
+        let (e_ang, w_ang) = compute_angles(&triplets, &mut state, &params, &mut forces, &space);
+        energy += e_ang;
+        virial += w_ang;
+        let (quads, quad_stats) = build_quads(&state, &params, &space);
+        self.last_quad_stats = quad_stats;
+        let (e_tor, w_tor) = compute_torsions(&quads, &mut state, &params, &mut forces, &space);
+        energy += e_tor;
+        virial += w_tor;
+
+        // 5. Bond-order force chains.
+        virial += state.accumulate_forces(&mut forces);
+
+        // 6. Non-bonded (vdW + Coulomb at the equilibrated charges) and
+        //    the electrostatic self energy χ·q + η·q².
+        let (e_vdw, e_coul, w_nb) = compute_nonbonded(
+            &system.atoms,
+            list,
+            &system.ghosts,
+            &sol.q,
+            &params,
+            &mut forces,
+            &space,
+        );
+        energy += e_vdw + e_coul;
+        virial += w_nb;
+        for i in 0..nlocal {
+            let eta = params.elements[typ.at([i]) as usize].eta;
+            energy += chi[i] * sol.q[i] + eta * sol.q[i] * sol.q[i];
+        }
+
+        // Store charges back on the atoms (observable state).
+        {
+            let qh = system.atoms.q.h_view_mut();
+            for (i, &qv) in sol.q.iter().enumerate() {
+                qh.set([i], qv);
+            }
+        }
+        self.last_charges = sol.q;
+
+        // Publish forces to the engine's force field.
+        {
+            let fh = system.atoms.f.h_view_mut();
+            fh.fill(0.0);
+            for (i, f) in forces.iter().enumerate() {
+                for k in 0..3 {
+                    fh.set([i, k], f[k]);
+                }
+            }
+        }
+        system.atoms.modified(&Space::Serial, Mask::F | Mask::Q);
+
+        self.note_stats(
+            &space,
+            nlocal as f64,
+            self.last_bond_count as f64,
+            &self.last_quad_stats,
+            matrix.total_nnz() as f64,
+            self.last_qeq_iterations as f64,
+        );
+        // The many-body BO chains make per-component accumulation
+        // intricate; ReaxFF reports the isotropic virial (trace) only.
+        PairResults::isotropic(energy, virial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hns;
+    use lkk_core::atom::AtomData;
+    use lkk_core::comm::build_ghosts;
+    use lkk_core::lattice::create_velocities;
+    use lkk_core::neighbor::NeighborSettings;
+    use lkk_core::sim::Simulation;
+    use lkk_core::units::Units;
+
+    fn hns_system(nx: usize, space: Space) -> System {
+        let (pos, types, domain) = hns::crystal(nx, nx, nx, 17.0);
+        let mut atoms = AtomData::from_positions(&pos);
+        atoms.mass = vec![12.0, 1.0, 14.0, 16.0];
+        for (i, &t) in types.iter().enumerate() {
+            atoms.typ.h_view_mut().set([i], t);
+        }
+        System::new(atoms, domain, space).with_units(Units::metal())
+    }
+
+    fn run_compute(system: &mut System, pair: &mut PairReaxff) -> (Vec<[f64; 3]>, PairResults) {
+        let settings = NeighborSettings::new(pair.cutoff(), 0.3, false);
+        let space = system.space.clone();
+        system.atoms.wrap_positions(&system.domain);
+        system.ghosts = build_ghosts(&mut system.atoms, &system.domain, settings.cutneigh());
+        let list = NeighborList::build(&system.atoms, &system.domain, &settings, &space);
+        let res = pair.compute(system, &list, true);
+        let fh = system.atoms.f.h_view();
+        let forces = (0..system.atoms.nlocal)
+            .map(|i| [fh.at([i, 0]), fh.at([i, 1]), fh.at([i, 2])])
+            .collect();
+        (forces, res)
+    }
+
+    #[test]
+    fn hns_crystal_has_bonds_angles_and_quads() {
+        let mut system = hns_system(1, Space::Serial);
+        let mut pair = PairReaxff::new(ReaxParams::hns_like());
+        let (_, res) = run_compute(&mut system, &mut pair);
+        assert!(pair.last_bond_count > 0, "no bonds found");
+        assert!(pair.last_quad_stats.kept > 0, "no torsions found");
+        // The selectivity constraint: well under half the candidates.
+        let sel = pair.last_quad_stats.kept as f64 / pair.last_quad_stats.candidates as f64;
+        assert!(sel < 0.5, "quad selectivity {sel}");
+        assert!(pair.last_qeq_iterations > 0);
+        assert!(res.energy.is_finite());
+        // Charges: oxygens negative on average.
+        let typ = system.atoms.typ.h_view();
+        let mut o_sum = 0.0;
+        let mut o_count = 0;
+        for i in 0..system.atoms.nlocal {
+            if typ.at([i]) == hns::TYPE_O {
+                o_sum += pair.last_charges[i];
+                o_count += 1;
+            }
+        }
+        assert!(o_sum / (o_count as f64) < 0.0, "O mean charge {}", o_sum / o_count as f64);
+        // Net neutral.
+        assert!(pair.last_charges.iter().sum::<f64>().abs() < 1e-8);
+    }
+
+    #[test]
+    fn total_force_is_zero() {
+        let mut system = hns_system(1, Space::Threads);
+        let mut pair = PairReaxff::new(ReaxParams::hns_like());
+        let (forces, _) = run_compute(&mut system, &mut pair);
+        for k in 0..3 {
+            let total: f64 = forces.iter().map(|f| f[k]).sum();
+            assert!(total.abs() < 1e-7, "net force {total}");
+        }
+        assert!(forces.iter().any(|f| f[0].abs() > 1e-3));
+    }
+
+    /// The decisive correctness test: analytic forces (through bond
+    /// orders, the over-coordination chain, angles, torsions, QEq
+    /// charges, vdW and Coulomb) match finite differences of the total
+    /// energy.
+    #[test]
+    fn forces_match_finite_difference_of_total_energy() {
+        let (pos, types, domain) = hns::crystal(1, 1, 1, 17.0);
+        let energy_of = |positions: &[[f64; 3]]| -> f64 {
+            let mut atoms = AtomData::from_positions(positions);
+            atoms.mass = vec![12.0, 1.0, 14.0, 16.0];
+            for (i, &t) in types.iter().enumerate() {
+                atoms.typ.h_view_mut().set([i], t);
+            }
+            let mut system = System::new(atoms, domain, Space::Serial);
+            let mut pair = PairReaxff::new(ReaxParams::hns_like());
+            let (_, res) = run_compute(&mut system, &mut pair);
+            res.energy
+        };
+        let mut system = hns_system(1, Space::Serial);
+        let mut pair = PairReaxff::new(ReaxParams::hns_like());
+        let (forces, _) = run_compute(&mut system, &mut pair);
+        let h = 1e-5;
+        // Spot-check a carbon, a nitrogen, and an oxygen.
+        for &a in &[0usize, 3, 4] {
+            for dir in 0..3 {
+                let mut pp = pos.clone();
+                let mut pm = pos.clone();
+                pp[a][dir] += h;
+                pm[a][dir] -= h;
+                let fd = -(energy_of(&pp) - energy_of(&pm)) / (2.0 * h);
+                assert!(
+                    (forces[a][dir] - fd).abs() < 2e-4 * fd.abs().max(1.0),
+                    "atom {a} dir {dir}: analytic {} vs fd {fd}",
+                    forces[a][dir]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spaces_agree() {
+        let mut reference: Option<(Vec<[f64; 3]>, f64)> = None;
+        for space in [
+            Space::Serial,
+            Space::Threads,
+            Space::device(lkk_gpusim::GpuArch::h100()),
+        ] {
+            let mut system = hns_system(1, space);
+            let mut pair = PairReaxff::new(ReaxParams::hns_like());
+            let (forces, res) = run_compute(&mut system, &mut pair);
+            match &reference {
+                None => reference = Some((forces, res.energy)),
+                Some((rf, re)) => {
+                    assert!((res.energy - re).abs() < 1e-8 * re.abs().max(1.0));
+                    for (a, b) in forces.iter().zip(rf) {
+                        for k in 0..3 {
+                            assert!((a[k] - b[k]).abs() < 1e-7, "{} vs {}", a[k], b[k]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn device_logs_reaxff_kernels() {
+        let space = Space::device(lkk_gpusim::GpuArch::h100());
+        let ctx = space.device_ctx().unwrap().clone();
+        let mut system = hns_system(1, space);
+        let mut pair = PairReaxff::new(ReaxParams::hns_like());
+        let _ = run_compute(&mut system, &mut pair);
+        let agg = ctx.log.aggregate();
+        for name in [
+            "BondOrderBuild",
+            "TorsionCountFill",
+            "TorsionCompute",
+            "QEqMatrixBuild",
+            "QEqSpmvFused",
+            "NonbondedCompute",
+        ] {
+            assert!(
+                agg.iter().any(|s| s.name == name),
+                "{name} not logged; have {:?}",
+                agg.iter().map(|s| &s.name).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn nve_with_reaxff_conserves_energy() {
+        let mut system = hns_system(1, Space::Threads);
+        create_velocities(&mut system.atoms, &Units::metal(), 300.0, 4242);
+        let pair = PairReaxff::new(ReaxParams::hns_like());
+        let mut sim = Simulation::new(system, Box::new(pair));
+        sim.dt = 0.0002; // reactive systems need short steps
+        sim.setup();
+        let e0 = sim.total_energy();
+        sim.run(25);
+        let drift = ((sim.total_energy() - e0) / sim.system.atoms.nlocal as f64).abs();
+        assert!(drift < 5e-4, "per-atom drift {drift}");
+    }
+
+    #[test]
+    fn registry_integration() {
+        let mut reg = StyleRegistry::core();
+        PairReaxff::register(&mut reg);
+        let spec = PairSpec::default();
+        let p = reg
+            .create_pair("reaxff", &spec, &Space::Threads, Some("kk"))
+            .unwrap();
+        assert_eq!(p.name(), "reaxff/kk");
+        assert!(!p.wants_half_list());
+    }
+
+    #[test]
+    fn bond_breaking_is_continuous() {
+        // Stretch a C-C dimer through the bond cutoff: the energy must
+        // be continuous (no jump when the pair leaves the bond table)
+        // and must approach the pure non-bonded value beyond r_bond.
+        // This is the "reactive" property: bonds break smoothly.
+        let params = ReaxParams::single_element();
+        let energy_at = |r: f64| -> f64 {
+            let mut atoms = AtomData::from_positions(&[
+                [9.0, 9.0, 9.0],
+                [9.0 + r, 9.0, 9.0],
+            ]);
+            atoms.mass = vec![12.0];
+            let mut system = System::new(
+                atoms,
+                lkk_core::domain::Domain::cubic(18.0),
+                Space::Serial,
+            )
+            .with_units(Units::metal());
+            let mut pair = PairReaxff::new(params.clone());
+            let (_, res) = run_compute(&mut system, &mut pair);
+            res.energy
+        };
+        // Scan across the r_bond = 3.0 Å crossing.
+        let mut prev = energy_at(2.5);
+        let mut r = 2.5;
+        while r < 3.3 {
+            r += 0.01;
+            let e = energy_at(r);
+            assert!(
+                (e - prev).abs() < 0.05,
+                "energy jump at r = {r}: {prev} -> {e}"
+            );
+            prev = e;
+        }
+        // Past the cutoff the bonded terms are gone: the dimer energy
+        // equals vdW + electrostatics only (both atoms identical ⇒
+        // q = 0 ⇒ just vdW + any residual over-coordination constant).
+        let e_far = energy_at(3.2);
+        let (vdw_far, _) = crate::nonbonded::vdw(3.2, 0, 0, &params);
+        // Remaining difference is the constant Δ = −valence softplus
+        // penalty of two isolated atoms.
+        let sp = (1.0f64 + (-params.elements[0].valence).exp()).ln();
+        let e_over_iso = 2.0 * params.p_over * sp * sp;
+        assert!(
+            (e_far - (vdw_far + e_over_iso)).abs() < 1e-6,
+            "{e_far} vs vdw {vdw_far} + over {e_over_iso}"
+        );
+    }
+}

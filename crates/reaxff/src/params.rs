@@ -1,0 +1,252 @@
+//! The reduced ReaxFF parameter set.
+//!
+//! Per-element parameters follow the roles of the Reax force field
+//! (van Duin 2001): covalent radius and valence drive the bond order;
+//! χ/η/γ drive charge equilibration; D/α/r_vdW the dispersion term.
+//! Values below are *plausible-magnitude synthetics* for a C/H/N/O
+//! system (DESIGN.md §2: the published HNS parameterization's chemistry
+//! is irrelevant to kernel structure and performance).
+
+/// Per-element parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElementParams {
+    pub name: &'static str,
+    /// σ covalent radius r0 (Å).
+    pub r0: f64,
+    /// Valence (target coordination).
+    pub valence: f64,
+    /// Bond dissociation energy scale (eV; metal units throughout).
+    pub de: f64,
+    /// Electronegativity χ (QEq), eV/e — consistent with `coulomb_k`
+    /// in eV·Å/e².
+    pub chi: f64,
+    /// Hardness η (QEq diagonal), eV/e².
+    pub eta: f64,
+    /// Coulomb shielding γ.
+    pub gamma: f64,
+    /// van der Waals well depth.
+    pub vdw_d: f64,
+    /// van der Waals steepness α.
+    pub vdw_alpha: f64,
+    /// van der Waals minimum location.
+    pub vdw_r: f64,
+}
+
+/// The global force-field parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReaxParams {
+    pub elements: Vec<ElementParams>,
+    /// Bond-order exponent parameters: BO' = exp(pbo1·(r/r0)^pbo2).
+    pub pbo1: f64,
+    pub pbo2: f64,
+    /// Bond energy shape: E = −De·BO·exp(pbe1·(1−BO)).
+    pub pbe1: f64,
+    /// Over-coordination penalty strength.
+    pub p_over: f64,
+    /// Over-coordination BO-correction sharpness (logistic slope).
+    pub p_corr: f64,
+    /// Bond-order cutoff below which a pair is not bonded.
+    pub bo_cut: f64,
+    /// Bond-distance search cutoff (Å).
+    pub r_bond: f64,
+    /// Non-bonded / taper cutoff (Å).
+    pub r_nonb: f64,
+    /// Valence-angle force constant and shape.
+    pub k_angle: f64,
+    pub cos_theta0: f64,
+    /// Angle/torsion bond-order coupling steepness: f(BO)=1−exp(−p·BO).
+    pub p_ang_bo: f64,
+    /// Torsion barrier height.
+    pub k_tors: f64,
+    /// Minimum BO product for a quad to contribute (§4.2.1's <5%
+    /// selectivity constraint).
+    pub tors_bo_min: f64,
+    /// van der Waals inner-shielding core radius (Å): the effective
+    /// distance saturates at this value at short range, the standard
+    /// ReaxFF device that keeps bonded pairs off the repulsive wall.
+    pub vdw_shield: f64,
+    /// Coulomb constant (eV·Å/e² in metal units ≈ 14.4).
+    pub coulomb_k: f64,
+    /// QEq convergence tolerance (relative residual).
+    pub qeq_tol: f64,
+}
+
+impl ReaxParams {
+    /// Four-element C/H/N/O set for the synthetic HNS-like crystal.
+    pub fn hns_like() -> Self {
+        let elements = vec![
+            ElementParams {
+                name: "C",
+                r0: 1.40,
+                valence: 4.0,
+                de: 5.2,
+                chi: 5.7,
+                eta: 7.0,
+                gamma: 0.7,
+                vdw_d: 0.004,
+                vdw_alpha: 1.7,
+                vdw_r: 3.6,
+            },
+            ElementParams {
+                name: "H",
+                r0: 0.85,
+                valence: 1.0,
+                de: 4.3,
+                chi: 3.8,
+                eta: 9.0,
+                gamma: 0.8,
+                vdw_d: 0.001,
+                vdw_alpha: 1.9,
+                vdw_r: 2.8,
+            },
+            ElementParams {
+                name: "N",
+                r0: 1.30,
+                valence: 3.0,
+                de: 5.6,
+                chi: 6.8,
+                eta: 7.5,
+                gamma: 0.72,
+                vdw_d: 0.004,
+                vdw_alpha: 1.8,
+                vdw_r: 3.5,
+            },
+            ElementParams {
+                name: "O",
+                r0: 1.25,
+                valence: 2.0,
+                de: 6.1,
+                chi: 8.5,
+                eta: 8.0,
+                gamma: 0.75,
+                vdw_d: 0.005,
+                vdw_alpha: 1.85,
+                vdw_r: 3.4,
+            },
+        ];
+        ReaxParams {
+            elements,
+            pbo1: -0.15,
+            pbo2: 8.0,
+            pbe1: 0.4,
+            p_over: 0.9,
+            p_corr: 2.5,
+            bo_cut: 0.01,
+            r_bond: 3.0,
+            r_nonb: 8.0,
+            k_angle: 1.3,
+            cos_theta0: -0.4,
+            p_ang_bo: 4.0,
+            k_tors: 0.11,
+            tors_bo_min: 0.3,
+            vdw_shield: 2.0,
+            coulomb_k: 14.399645,
+            qeq_tol: 1e-8,
+        }
+    }
+
+    /// A single-element set, convenient for unit tests.
+    pub fn single_element() -> Self {
+        let mut p = Self::hns_like();
+        p.elements.truncate(1);
+        p
+    }
+
+    pub fn ntypes(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Uncorrected σ bond order `BO'(r)` for a type pair, and its
+    /// radial derivative. Zero at/after `r_bond` via a smooth taper to
+    /// keep forces continuous.
+    pub fn bond_order_prime(&self, r: f64, ti: usize, tj: usize) -> (f64, f64) {
+        if r >= self.r_bond {
+            return (0.0, 0.0);
+        }
+        // Pair reference length: average of the per-element bond lengths.
+        let r0 = 0.5 * (self.elements[ti].r0 + self.elements[tj].r0);
+        let t = (r / r0).powf(self.pbo2);
+        let raw = (self.pbo1 * t).exp();
+        let draw = raw * self.pbo1 * self.pbo2 * t / r;
+        // Smooth cut: multiply by the cubic switch s(r) with s(r_bond)=0.
+        let (s, ds) = cubic_switch(r, 0.75 * self.r_bond, self.r_bond);
+        (raw * s, draw * s + raw * ds)
+    }
+
+    /// Bond dissociation energy scale for a type pair.
+    pub fn de(&self, ti: usize, tj: usize) -> f64 {
+        (self.elements[ti].de * self.elements[tj].de).sqrt()
+    }
+}
+
+/// Cubic switching function: 1 below `on`, 0 above `off`, C¹ smooth.
+/// Returns `(s, ds/dr)`.
+pub fn cubic_switch(r: f64, on: f64, off: f64) -> (f64, f64) {
+    if r <= on {
+        (1.0, 0.0)
+    } else if r >= off {
+        (0.0, 0.0)
+    } else {
+        let t = (r - on) / (off - on);
+        let s = 1.0 - t * t * (3.0 - 2.0 * t);
+        let ds = -6.0 * t * (1.0 - t) / (off - on);
+        (s, ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hns_has_four_elements() {
+        let p = ReaxParams::hns_like();
+        assert_eq!(p.ntypes(), 4);
+        assert_eq!(p.elements[1].name, "H");
+        assert_eq!(p.elements[1].valence, 1.0);
+        // Oxygen is the most electronegative.
+        assert!(p.elements[3].chi > p.elements[0].chi);
+    }
+
+    #[test]
+    fn bond_order_decays_and_vanishes_at_cutoff() {
+        let p = ReaxParams::hns_like();
+        let (bo_close, _) = p.bond_order_prime(1.4, 0, 0);
+        let (bo_mid, _) = p.bond_order_prime(2.0, 0, 0);
+        let (bo_cut, d_cut) = p.bond_order_prime(3.0, 0, 0);
+        assert!(bo_close > bo_mid);
+        assert!(bo_mid > 0.0);
+        assert_eq!(bo_cut, 0.0);
+        assert_eq!(d_cut, 0.0);
+        // Near unity at the covalent radius.
+        assert!(bo_close > 0.5, "BO at r0 = {bo_close}");
+    }
+
+    #[test]
+    fn bond_order_derivative_matches_fd() {
+        let p = ReaxParams::hns_like();
+        for &r in &[1.0f64, 1.5, 2.1, 2.5, 2.9] {
+            let h = 1e-7;
+            let (bp, _) = p.bond_order_prime(r + h, 0, 1);
+            let (bm, _) = p.bond_order_prime(r - h, 0, 1);
+            let fd = (bp - bm) / (2.0 * h);
+            let (_, an) = p.bond_order_prime(r, 0, 1);
+            assert!((an - fd).abs() < 1e-6 * fd.abs().max(1e-8), "r={r}: {an} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn cubic_switch_is_smooth() {
+        let (s_on, d_on) = cubic_switch(1.0, 1.0, 2.0);
+        assert_eq!((s_on, d_on), (1.0, 0.0));
+        let (s_off, d_off) = cubic_switch(2.0, 1.0, 2.0);
+        assert_eq!((s_off, d_off), (0.0, 0.0));
+        let (s_mid, _) = cubic_switch(1.5, 1.0, 2.0);
+        assert!((s_mid - 0.5).abs() < 1e-12);
+        for &r in &[1.1f64, 1.5, 1.9] {
+            let h = 1e-7;
+            let fd = (cubic_switch(r + h, 1.0, 2.0).0 - cubic_switch(r - h, 1.0, 2.0).0) / (2.0 * h);
+            assert!((cubic_switch(r, 1.0, 2.0).1 - fd).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The ReaxFF 7th-order taper.
+//!
+//! All non-bonded interactions (van der Waals, Coulomb, and the QEq
+//! matrix elements) are multiplied by `Tap(r)`, a polynomial that is 1
+//! at r = 0 and goes to 0 at `r_cut` with three vanishing derivatives
+//! at both ends — the standard ReaxFF choice (van Duin 2001):
+//!
+//! ```text
+//! Tap(x) = 20x⁷ − 70x⁶ + 84x⁵ − 35x⁴ + 1,   x = r / r_cut.
+//! ```
+
+/// Taper value and radial derivative at distance `r` with cutoff `rc`.
+pub fn taper(r: f64, rc: f64) -> (f64, f64) {
+    if r >= rc {
+        return (0.0, 0.0);
+    }
+    let x = r / rc;
+    let x2 = x * x;
+    let x3 = x2 * x;
+    let x4 = x2 * x2;
+    let tap = 20.0 * x4 * x3 - 70.0 * x3 * x3 + 84.0 * x4 * x - 35.0 * x4 + 1.0;
+    let dtap = (140.0 * x3 * x3 - 420.0 * x4 * x + 420.0 * x4 - 140.0 * x3) / rc;
+    (tap, dtap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_values() {
+        let rc = 8.0;
+        let (t0, d0) = taper(0.0, rc);
+        assert_eq!(t0, 1.0);
+        assert_eq!(d0, 0.0);
+        let (t1, d1) = taper(rc * (1.0 - 1e-9), rc);
+        assert!(t1.abs() < 1e-7);
+        assert!(d1.abs() < 1e-6);
+        assert_eq!(taper(rc + 1.0, rc), (0.0, 0.0));
+    }
+
+    #[test]
+    fn monotone_decreasing_inside() {
+        let rc = 8.0;
+        let mut prev = 1.0;
+        let mut r = 0.0;
+        while r < rc {
+            let (t, d) = taper(r, rc);
+            assert!(t <= prev + 1e-14);
+            assert!(d <= 1e-14, "taper increasing at r={r}");
+            prev = t;
+            r += 0.05;
+        }
+    }
+
+    #[test]
+    fn derivative_matches_fd() {
+        let rc = 8.0;
+        for &r in &[0.5f64, 2.0, 4.0, 6.5, 7.9] {
+            let h = 1e-6;
+            let fd = (taper(r + h, rc).0 - taper(r - h, rc).0) / (2.0 * h);
+            let (_, an) = taper(r, rc);
+            assert!((an - fd).abs() < 1e-8, "r={r}: {an} vs {fd}");
+        }
+    }
+}

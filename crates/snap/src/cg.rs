@@ -1,0 +1,170 @@
+//! Clebsch-Gordan coupling coefficients.
+//!
+//! Computed with the standard Racah factorial formula in doubled-integer
+//! convention (`j = 2J`, `m = 2M`), exactly as LAMMPS' `SNA::factorial`
+//! path does. `twojmax ≤ 12` keeps every factorial ≤ 25!, well inside
+//! `f64`'s exact-integer range for the leading digits (relative error
+//! ≤ 1e-15, irrelevant against the 1e-8 force-check tolerances).
+
+/// Factorial with `f64` accumulation.
+fn factorial(n: i64) -> f64 {
+    debug_assert!(n >= 0, "negative factorial");
+    (1..=n).map(|k| k as f64).product()
+}
+
+/// Clebsch-Gordan coefficient `C^{j m}_{j1 m1 j2 m2}` with all angular
+/// momenta and projections **doubled** (so `m1` ranges over
+/// `-j1, -j1+2, …, j1`).
+pub fn clebsch_gordan(j1: i64, m1: i64, j2: i64, m2: i64, j: i64, m: i64) -> f64 {
+    if m1 + m2 != m {
+        return 0.0;
+    }
+    // Triangle and projection bounds.
+    if j < (j1 - j2).abs() || j > j1 + j2 || (j1 + j2 + j) % 2 != 0 {
+        return 0.0;
+    }
+    if m1.abs() > j1 || m2.abs() > j2 || m.abs() > j {
+        return 0.0;
+    }
+    if (j1 + m1) % 2 != 0 || (j2 + m2) % 2 != 0 || (j + m) % 2 != 0 {
+        return 0.0;
+    }
+    // All the following are genuine integers (halves of even sums).
+    let h = |x: i64| -> i64 {
+        debug_assert!(x % 2 == 0);
+        x / 2
+    };
+    let z_min = 0
+        .max(h(j2 - j - m1))
+        .max(h(j1 - j + m2));
+    let z_max = h(j1 + j2 - j).min(h(j1 - m1)).min(h(j2 + m2));
+    if z_min > z_max {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for z in z_min..=z_max {
+        let sign = if z % 2 == 0 { 1.0 } else { -1.0 };
+        sum += sign
+            / (factorial(z)
+                * factorial(h(j1 + j2 - j) - z)
+                * factorial(h(j1 - m1) - z)
+                * factorial(h(j2 + m2) - z)
+                * factorial(h(j - j2 + m1) + z)
+                * factorial(h(j - j1 - m2) + z));
+    }
+    let prefactor = ((j + 1) as f64
+        * factorial(h(j + j1 - j2))
+        * factorial(h(j - j1 + j2))
+        * factorial(h(j1 + j2 - j))
+        / factorial(h(j + j1 + j2) + 1))
+    .sqrt();
+    let mfact = (factorial(h(j + m))
+        * factorial(h(j - m))
+        * factorial(h(j1 + m1))
+        * factorial(h(j1 - m1))
+        * factorial(h(j2 + m2))
+        * factorial(h(j2 - m2)))
+    .sqrt();
+    prefactor * mfact * sum
+}
+
+/// A precomputed CG block for one `(j1, j2, j)` triple: indexed by
+/// `(ma1, ma2)` in matrix-index convention (`m = 2·ma − j`).
+#[derive(Debug, Clone)]
+pub struct CgBlock {
+    pub j1: usize,
+    pub j2: usize,
+    pub j: usize,
+    /// `coeff[ma1 * (j2+1) + ma2]`.
+    coeff: Vec<f64>,
+}
+
+impl CgBlock {
+    pub fn new(j1: usize, j2: usize, j: usize) -> Self {
+        let mut coeff = vec![0.0; (j1 + 1) * (j2 + 1)];
+        for ma1 in 0..=j1 {
+            for ma2 in 0..=j2 {
+                let m1 = 2 * ma1 as i64 - j1 as i64;
+                let m2 = 2 * ma2 as i64 - j2 as i64;
+                let m = m1 + m2;
+                if m.abs() <= j as i64 {
+                    coeff[ma1 * (j2 + 1) + ma2] =
+                        clebsch_gordan(j1 as i64, m1, j2 as i64, m2, j as i64, m);
+                }
+            }
+        }
+        CgBlock { j1, j2, j, coeff }
+    }
+
+    /// `C^{j, m1+m2}_{j1 m1 j2 m2}` by matrix indices.
+    #[inline(always)]
+    pub fn get(&self, ma1: usize, ma2: usize) -> f64 {
+        self.coeff[ma1 * (self.j2 + 1) + ma2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        // C^{00}_{½½ ½-½} = 1/√2 ; doubled: j1=j2=1, m1=1, m2=-1, j=0, m=0.
+        let c = clebsch_gordan(1, 1, 1, -1, 0, 0);
+        assert!((c - 1.0 / 2.0_f64.sqrt()).abs() < 1e-14, "{c}");
+        // C^{11}_{½½ ½½} = 1 (doubled j=2, m=2).
+        assert!((clebsch_gordan(1, 1, 1, 1, 2, 2) - 1.0).abs() < 1e-14);
+        // C^{10}_{½½ ½-½} = 1/√2.
+        assert!((clebsch_gordan(1, 1, 1, -1, 2, 0) - 1.0 / 2.0_f64.sqrt()).abs() < 1e-14);
+        // 1 ⊗ 1 → 2: C^{20}_{10 10} = sqrt(2/3); doubled: (2,0,2,0,4,0).
+        assert!((clebsch_gordan(2, 0, 2, 0, 4, 0) - (2.0 / 3.0f64).sqrt()).abs() < 1e-14);
+        // 1 ⊗ 1 → 0: C^{00}_{10 10} = -1/√3.
+        assert!((clebsch_gordan(2, 0, 2, 0, 0, 0) - (-1.0 / 3.0f64.sqrt())).abs() < 1e-14);
+    }
+
+    #[test]
+    fn selection_rules() {
+        assert_eq!(clebsch_gordan(2, 0, 2, 2, 4, 0), 0.0); // m1+m2 != m
+        assert_eq!(clebsch_gordan(2, 0, 2, 0, 1, 0), 0.0); // parity
+        assert_eq!(clebsch_gordan(2, 0, 2, 0, 6, 0), 0.0); // triangle
+    }
+
+    /// Orthogonality: Σ_{m1,m2} C^{jm}_{j1m1j2m2} C^{j'm'}_{j1m1j2m2} = δ_{jj'} δ_{mm'}.
+    #[test]
+    fn orthogonality() {
+        let (j1, j2) = (4i64, 2i64);
+        for j in [2i64, 4, 6] {
+            for jp in [2i64, 4, 6] {
+                for m in (-j..=j).step_by(2) {
+                    for mp in (-jp..=jp).step_by(2) {
+                        let mut sum = 0.0;
+                        for m1 in (-j1..=j1).step_by(2) {
+                            for m2 in (-j2..=j2).step_by(2) {
+                                sum += clebsch_gordan(j1, m1, j2, m2, j, m)
+                                    * clebsch_gordan(j1, m1, j2, m2, jp, mp);
+                            }
+                        }
+                        let expect = if j == jp && m == mp { 1.0 } else { 0.0 };
+                        assert!(
+                            (sum - expect).abs() < 1e-12,
+                            "j={j} j'={jp} m={m} m'={mp}: {sum}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_lookup_matches_direct() {
+        let block = CgBlock::new(4, 2, 4);
+        for ma1 in 0..=4usize {
+            for ma2 in 0..=2usize {
+                let m1 = 2 * ma1 as i64 - 4;
+                let m2 = 2 * ma2 as i64 - 2;
+                let direct = clebsch_gordan(4, m1, 2, m2, 4, m1 + m2);
+                assert_eq!(block.get(ma1, ma2), direct);
+            }
+        }
+    }
+}

@@ -1,0 +1,635 @@
+//! The four SNAP kernels (§4.3), per atom.
+//!
+//! * [`SnapContext::compute_ui`] — **ComputeUi**: per-(atom, neighbor)
+//!   Wigner u-matrices accumulated into the per-atom `U` (eq. 2), with
+//!   the neighbor work-batching variant of §4.3.4 (each work item sums
+//!   `batch` neighbors locally before the accumulation, cutting the
+//!   atomic-add count and exposing ILP).
+//! * [`SnapContext::compute_bi`] — the `Z`/`B` triple products
+//!   (eq. 3): `B_{j1,j2,j} = Z^j_{j1,j2} : U_j*`.
+//! * [`SnapContext::compute_yi`] — **ComputeYi**: the adjoint matrices
+//!   `Y = ∂E/∂U` (eq. 5). We build `Y` by exact reverse-mode
+//!   differentiation of the implemented energy expression, which makes
+//!   `F = −dE/dx` hold to round-off by construction.
+//! * [`SnapContext::compute_deidrj`] — **ComputeDuidrj** +
+//!   **ComputeDeidrj**, optionally *fused* over the three Cartesian
+//!   directions (§4.3.4's ComputeFusedDeidrj: the unfused variant
+//!   recomputes `u`/`du` once per direction).
+
+use crate::cg::CgBlock;
+use crate::hyper::HyperParams;
+use crate::indices::SnapIndices;
+use crate::wigner::{compute_u, compute_u_du, RootPq};
+
+/// Kernel-strategy knobs (Table 2's experiment axes).
+#[derive(Debug, Clone, Copy)]
+pub struct SnapKernelConfig {
+    /// Neighbors handled per ComputeUi work item (1 = unbatched).
+    pub ui_batch: usize,
+    /// Atom tile width for the ComputeYi traversal (the `v` of §4.3.2).
+    pub yi_tile: usize,
+    /// Atoms handled per ComputeYi work item (§4.3.4: amortizes the
+    /// warp-uniform coupling-table loads; the arithmetic is identical).
+    pub yi_batch: usize,
+    /// Fuse the three force directions in ComputeDeidrj.
+    pub fuse_deidrj: bool,
+}
+
+impl Default for SnapKernelConfig {
+    fn default() -> Self {
+        SnapKernelConfig {
+            ui_batch: 1,
+            yi_tile: 32,
+            yi_batch: 1,
+            fuse_deidrj: true,
+        }
+    }
+}
+
+/// Per-atom working storage, reusable across atoms (§4.3: the serial
+/// implementation reused these; parallel execution gives each worker
+/// its own copy).
+#[derive(Debug, Clone)]
+pub struct SnapScratch {
+    /// Per-neighbor u (and batch accumulator).
+    u_r: Vec<f64>,
+    u_i: Vec<f64>,
+    acc_r: Vec<f64>,
+    acc_i: Vec<f64>,
+    du_r: Vec<f64>,
+    du_i: Vec<f64>,
+    /// Per-atom accumulated U.
+    pub utot_r: Vec<f64>,
+    pub utot_i: Vec<f64>,
+    /// Per-atom adjoint Y.
+    pub y_r: Vec<f64>,
+    pub y_i: Vec<f64>,
+}
+
+/// Immutable SNAP machinery: indices, tables, and the trained β.
+#[derive(Debug, Clone)]
+pub struct SnapContext {
+    pub idx: SnapIndices,
+    pub rootpq: RootPq,
+    pub hyper: HyperParams,
+    /// CG block per bispectrum triple.
+    pub cg: Vec<CgBlock>,
+    /// Linear-SNAP coefficients, one per triple (eq. 4).
+    pub beta: Vec<f64>,
+    /// Self-contribution weight on the U diagonal.
+    pub wself: f64,
+}
+
+impl SnapContext {
+    pub fn new(twojmax: usize, hyper: HyperParams, beta: Vec<f64>) -> Self {
+        let idx = SnapIndices::new(twojmax);
+        assert_eq!(
+            beta.len(),
+            idx.n_bispectrum(),
+            "need one beta per bispectrum component"
+        );
+        let cg = idx
+            .triples
+            .iter()
+            .map(|&(j1, j2, j)| CgBlock::new(j1, j2, j))
+            .collect();
+        SnapContext {
+            rootpq: RootPq::new(twojmax),
+            idx,
+            hyper,
+            cg,
+            beta,
+            wself: 1.0,
+        }
+    }
+
+    /// Deterministic synthetic coefficients (DESIGN.md §2: trained
+    /// values are proprietary-ish per material; performance and
+    /// force-consistency are independent of them).
+    pub fn synthetic_beta(twojmax: usize, seed: u64) -> Vec<f64> {
+        let n = SnapIndices::new(twojmax).n_bispectrum();
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                // Small magnitudes keep forces O(1) in metal-ish units.
+                ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2e-3
+            })
+            .collect()
+    }
+
+    pub fn alloc_scratch(&self) -> SnapScratch {
+        let n = self.idx.u_len;
+        SnapScratch {
+            u_r: vec![0.0; n],
+            u_i: vec![0.0; n],
+            acc_r: vec![0.0; n],
+            acc_i: vec![0.0; n],
+            du_r: vec![0.0; n * 3],
+            du_i: vec![0.0; n * 3],
+            utot_r: vec![0.0; n],
+            utot_i: vec![0.0; n],
+            y_r: vec![0.0; n],
+            y_i: vec![0.0; n],
+        }
+    }
+
+    /// ComputeUi: accumulate `U_j(i) = w_self·δ + Σ_k fc(r_k)·w_k·u_j(k)`
+    /// over this atom's neighbors (relative positions `neigh`),
+    /// `batch` neighbors per local accumulation. All neighbors carry
+    /// the context's default weight; multi-element systems use
+    /// [`SnapContext::compute_ui_weighted`].
+    pub fn compute_ui(&self, neigh: &[[f64; 3]], s: &mut SnapScratch, batch: usize) {
+        self.compute_ui_weighted(neigh, None, s, batch)
+    }
+
+    /// ComputeUi with an explicit per-neighbor element weight `w_k`
+    /// (the `w_j` of eq. 2; per-element in multi-component SNAP).
+    pub fn compute_ui_weighted(
+        &self,
+        neigh: &[[f64; 3]],
+        weights: Option<&[f64]>,
+        s: &mut SnapScratch,
+        batch: usize,
+    ) {
+        if let Some(w) = weights {
+            assert_eq!(w.len(), neigh.len());
+        }
+        let batch = batch.max(1);
+        s.utot_r.iter_mut().for_each(|x| *x = 0.0);
+        s.utot_i.iter_mut().for_each(|x| *x = 0.0);
+        // Self term on the diagonals.
+        for j in 0..=self.idx.twojmax {
+            for ma in 0..=j {
+                s.utot_r[self.idx.u_index(j, ma, ma)] = self.wself;
+            }
+        }
+        for (c_idx, chunk) in neigh.chunks(batch).enumerate() {
+            // Local (register-like) accumulation over the batch —
+            // exactly the "sum over neighbors locally before performing
+            // the atomic addition" optimization of §4.3.4.
+            s.acc_r.iter_mut().for_each(|x| *x = 0.0);
+            s.acc_i.iter_mut().for_each(|x| *x = 0.0);
+            for (k_in, d) in chunk.iter().enumerate() {
+                let ck = self.hyper.map(*d);
+                let w = weights
+                    .map(|w| w[c_idx * batch + k_in])
+                    .unwrap_or(1.0);
+                let sfac = ck.sfac * w;
+                compute_u(&self.idx, &self.rootpq, &ck, &mut s.u_r, &mut s.u_i);
+                for iu in 0..self.idx.u_len {
+                    s.acc_r[iu] += sfac * s.u_r[iu];
+                    s.acc_i[iu] += sfac * s.u_i[iu];
+                }
+            }
+            for iu in 0..self.idx.u_len {
+                s.utot_r[iu] += s.acc_r[iu];
+                s.utot_i[iu] += s.acc_i[iu];
+            }
+        }
+    }
+
+    /// One element of `Z^j_{j1,j2}(mb, ma)` from the accumulated U
+    /// (the eq. 3 coupled product, both CG contractions).
+    #[inline]
+    fn z_element(
+        &self,
+        t: usize,
+        ma: usize,
+        mb: usize,
+        utot_r: &[f64],
+        utot_i: &[f64],
+    ) -> (f64, f64) {
+        let (j1, j2, j) = self.idx.triples[t];
+        let cgb = &self.cg[t];
+        let shift = (j1 + j2 - j) / 2;
+        let mut zr = 0.0;
+        let mut zi = 0.0;
+        let ma1_lo = (ma + shift).saturating_sub(j2);
+        let ma1_hi = (ma + shift).min(j1);
+        let mb1_lo = (mb + shift).saturating_sub(j2);
+        let mb1_hi = (mb + shift).min(j1);
+        for ma1 in ma1_lo..=ma1_hi {
+            let ma2 = ma + shift - ma1;
+            let ca = cgb.get(ma1, ma2);
+            if ca == 0.0 {
+                continue;
+            }
+            for mb1 in mb1_lo..=mb1_hi {
+                let mb2 = mb + shift - mb1;
+                let cb = cgb.get(mb1, mb2);
+                if cb == 0.0 {
+                    continue;
+                }
+                let i1 = self.idx.u_index(j1, mb1, ma1);
+                let i2 = self.idx.u_index(j2, mb2, ma2);
+                let pr = utot_r[i1] * utot_r[i2] - utot_i[i1] * utot_i[i2];
+                let pi = utot_r[i1] * utot_i[i2] + utot_i[i1] * utot_r[i2];
+                zr += ca * cb * pr;
+                zi += ca * cb * pi;
+            }
+        }
+        (zr, zi)
+    }
+
+    /// The bispectrum components `B_{j1,j2,j} = Z : U*` for the current
+    /// `utot` (eq. 3).
+    pub fn compute_bi(&self, s: &SnapScratch) -> Vec<f64> {
+        self.idx
+            .triples
+            .iter()
+            .enumerate()
+            .map(|(t, &(_, _, j))| {
+                let mut b = 0.0;
+                for mb in 0..=j {
+                    for ma in 0..=j {
+                        let (zr, zi) = self.z_element(t, ma, mb, &s.utot_r, &s.utot_i);
+                        let iu = self.idx.u_index(j, mb, ma);
+                        // Re(z · conj(U)).
+                        b += zr * s.utot_r[iu] + zi * s.utot_i[iu];
+                    }
+                }
+                b
+            })
+            .collect()
+    }
+
+    /// Per-atom energy `E_i = Σ β·B` (eq. 4).
+    pub fn energy(&self, s: &SnapScratch) -> f64 {
+        self.compute_bi(s)
+            .iter()
+            .zip(&self.beta)
+            .map(|(b, beta)| b * beta)
+            .sum()
+    }
+
+    /// ComputeYi: the adjoint `Y = ∂E_i/∂U` by exact reverse-mode
+    /// differentiation of [`SnapContext::compute_bi`]'s expression.
+    /// `(y_r, y_i)` hold `∂E/∂(Re U)`, `∂E/∂(Im U)`.
+    pub fn compute_yi(&self, s: &mut SnapScratch) {
+        s.y_r.iter_mut().for_each(|x| *x = 0.0);
+        s.y_i.iter_mut().for_each(|x| *x = 0.0);
+        for (t, &(j1, j2, j)) in self.idx.triples.iter().enumerate() {
+            let beta = self.beta[t];
+            if beta == 0.0 {
+                continue;
+            }
+            let cgb = &self.cg[t];
+            let shift = (j1 + j2 - j) / 2;
+            for mb in 0..=j {
+                for ma in 0..=j {
+                    let iu = self.idx.u_index(j, mb, ma);
+                    let (ujr, uji) = (s.utot_r[iu], s.utot_i[iu]);
+                    // Term 1: B depends on conj(U_j) explicitly.
+                    let (zr, zi) = self.z_element(t, ma, mb, &s.utot_r, &s.utot_i);
+                    s.y_r[iu] += beta * zr;
+                    s.y_i[iu] += beta * zi;
+                    // Term 2: B depends on U_{j1}, U_{j2} inside Z.
+                    let ma1_lo = (ma + shift).saturating_sub(j2);
+                    let ma1_hi = (ma + shift).min(j1);
+                    let mb1_lo = (mb + shift).saturating_sub(j2);
+                    let mb1_hi = (mb + shift).min(j1);
+                    for ma1 in ma1_lo..=ma1_hi {
+                        let ma2 = ma + shift - ma1;
+                        let ca = cgb.get(ma1, ma2);
+                        if ca == 0.0 {
+                            continue;
+                        }
+                        for mb1 in mb1_lo..=mb1_hi {
+                            let mb2 = mb + shift - mb1;
+                            let w = beta * ca * cgb.get(mb1, mb2);
+                            if w == 0.0 {
+                                continue;
+                            }
+                            let i1 = self.idx.u_index(j1, mb1, ma1);
+                            let i2 = self.idx.u_index(j2, mb2, ma2);
+                            let (u1r, u1i) = (s.utot_r[i1], s.utot_i[i1]);
+                            let (u2r, u2i) = (s.utot_r[i2], s.utot_i[i2]);
+                            // E += w [ (u1r u2r − u1i u2i) ujr
+                            //        + (u1r u2i + u1i u2r) uji ].
+                            s.y_r[i1] += w * (u2r * ujr + u2i * uji);
+                            s.y_i[i1] += w * (-u2i * ujr + u2r * uji);
+                            s.y_r[i2] += w * (u1r * ujr + u1i * uji);
+                            s.y_i[i2] += w * (-u1i * ujr + u1r * uji);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// ComputeDuidrj + ComputeDeidrj for one neighbor at relative
+    /// position `d`: returns `∂E_i/∂x_k` (the gradient with respect to
+    /// the *neighbor*'s position). With `fused`, `u`/`du` are built
+    /// once and all three directions contracted in a single pass; the
+    /// unfused variant reruns the recursion per direction, reproducing
+    /// the pre-fusion redundancy the paper eliminated.
+    pub fn compute_deidrj(&self, d: [f64; 3], s: &mut SnapScratch, fused: bool) -> [f64; 3] {
+        self.compute_deidrj_weighted(d, 1.0, s, fused)
+    }
+
+    /// [`SnapContext::compute_deidrj`] with the neighbor's element
+    /// weight `w_k` (must match the weight used in ComputeUi).
+    pub fn compute_deidrj_weighted(
+        &self,
+        d: [f64; 3],
+        weight: f64,
+        s: &mut SnapScratch,
+        fused: bool,
+    ) -> [f64; 3] {
+        let mut ckd = self.hyper.map_with_derivatives(d);
+        ckd.ck.sfac *= weight;
+        for k in 0..3 {
+            ckd.dsfac[k] *= weight;
+        }
+        let ckd = &ckd;
+        let mut dedr = [0.0f64; 3];
+        if fused {
+            compute_u_du(
+                &self.idx,
+                &self.rootpq,
+                &ckd,
+                &mut s.u_r,
+                &mut s.u_i,
+                &mut s.du_r,
+                &mut s.du_i,
+            );
+            for iu in 0..self.idx.u_len {
+                let (ur, ui) = (s.u_r[iu], s.u_i[iu]);
+                let (yr, yi) = (s.y_r[iu], s.y_i[iu]);
+                for k in 0..3 {
+                    // d(sfac·u)/dx_k = dsfac_k·u + sfac·du_k.
+                    let dr = ckd.dsfac[k] * ur + ckd.ck.sfac * s.du_r[iu * 3 + k];
+                    let di = ckd.dsfac[k] * ui + ckd.ck.sfac * s.du_i[iu * 3 + k];
+                    dedr[k] += yr * dr + yi * di;
+                }
+            }
+        } else {
+            for k in 0..3 {
+                // Unfused: recompute the recursion for every direction.
+                compute_u_du(
+                    &self.idx,
+                    &self.rootpq,
+                    &ckd,
+                    &mut s.u_r,
+                    &mut s.u_i,
+                    &mut s.du_r,
+                    &mut s.du_i,
+                );
+                for iu in 0..self.idx.u_len {
+                    let dr = ckd.dsfac[k] * s.u_r[iu] + ckd.ck.sfac * s.du_r[iu * 3 + k];
+                    let di = ckd.dsfac[k] * s.u_i[iu] + ckd.ck.sfac * s.du_i[iu * 3 + k];
+                    dedr[k] += s.y_r[iu] * dr + s.y_i[iu] * di;
+                }
+            }
+        }
+        dedr
+    }
+
+    /// Full per-atom evaluation: energy and the gradient with respect
+    /// to each neighbor position.
+    pub fn atom_energy_forces(
+        &self,
+        neigh: &[[f64; 3]],
+        s: &mut SnapScratch,
+        cfg: &SnapKernelConfig,
+    ) -> (f64, Vec<[f64; 3]>) {
+        self.compute_ui(neigh, s, cfg.ui_batch);
+        let e = self.energy(s);
+        self.compute_yi(s);
+        let grads = neigh
+            .iter()
+            .map(|&d| self.compute_deidrj(d, s, cfg.fuse_deidrj))
+            .collect();
+        (e, grads)
+    }
+
+    // ---- Event-count models for the device cost model (measured
+    //      structural quantities; see lkk-gpusim). ----
+
+    /// FP64 ops for ComputeUi at `nneigh` neighbors per atom.
+    pub fn ui_flops_per_atom(&self, nneigh: f64) -> f64 {
+        // Recursion: ~20 flops per u element per neighbor + accumulate.
+        nneigh * self.idx.u_len as f64 * 22.0
+    }
+
+    /// FP64 atomic adds for ComputeUi at batch `b`: 2 per complex
+    /// element per neighbor-batch group, after the warp-level
+    /// aggregation the production kernel always performs (÷ warp/4).
+    pub fn ui_atomics_per_atom(&self, nneigh: f64, batch: usize) -> f64 {
+        (nneigh / batch.max(1) as f64).ceil() * self.idx.u_len as f64 * 2.0 / 8.0
+    }
+
+    /// Inner CG-contraction iterations of ComputeYi per atom (the
+    /// quadruple loop's trip count).
+    pub fn yi_inner_ops_per_atom(&self) -> f64 {
+        let mut ops = 0.0;
+        for &(j1, j2, j) in self.idx.triples.iter() {
+            let inner = ((j1 + 1) * (j2 + 1)) as f64;
+            ops += ((j + 1) * (j + 1)) as f64 * inner;
+        }
+        ops
+    }
+
+    /// FP64 ops for ComputeYi: ~10 per inner contraction (complex
+    /// multiply-accumulate with two CG weights). The byte:flop ratio is
+    /// what makes Yi "limited by L1 cache throughput" (§4.3.4).
+    pub fn yi_flops_per_atom(&self) -> f64 {
+        self.yi_inner_ops_per_atom() * 10.0
+    }
+
+    /// Bytes of U data ComputeYi reads per atom (the L1-resident
+    /// working set of §4.3.2).
+    pub fn u_bytes_per_atom(&self) -> f64 {
+        (self.idx.u_len * 16) as f64
+    }
+
+    /// FP64 ops for one Deidrj evaluation per neighbor. The fused
+    /// variant computes `u` once for all three directions (§4.3.4:
+    /// "the redundant work was re-computing U_j and re-loading Y_j");
+    /// the unfused variant re-runs the `u` recursion per direction.
+    pub fn deidrj_flops_per_neighbor(&self, fused: bool) -> f64 {
+        let u = self.idx.u_len as f64 * 22.0;
+        let du_all = self.idx.u_len as f64 * 60.0;
+        let contract = self.idx.u_len as f64 * 12.0;
+        if fused {
+            u + du_all + contract
+        } else {
+            // Per-direction launches partially reuse u rows in
+            // registers; ~2.5 of the 3 recursion passes are redundant.
+            2.5 * u + du_all + contract
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(twojmax: usize) -> SnapContext {
+        SnapContext::new(
+            twojmax,
+            HyperParams::default(),
+            SnapContext::synthetic_beta(twojmax, 42),
+        )
+    }
+
+    fn cluster() -> Vec<[f64; 3]> {
+        vec![
+            [1.2, 0.3, -0.4],
+            [-0.9, 1.5, 0.8],
+            [0.4, -1.1, 1.9],
+            [2.2, 1.0, 0.5],
+            [-1.5, -1.2, -0.7],
+        ]
+    }
+
+    #[test]
+    fn bispectrum_is_rotation_invariant() {
+        let c = ctx(6);
+        let mut s = c.alloc_scratch();
+        let neigh = cluster();
+        c.compute_ui(&neigh, &mut s, 1);
+        let b0 = c.compute_bi(&s);
+        // Rotate all neighbors by a non-trivial rotation (ZYX Euler).
+        let (a, b, g) = (0.7, -1.1, 2.3);
+        let (ca, sa) = (f64::cos(a), f64::sin(a));
+        let (cb, sb) = (f64::cos(b), f64::sin(b));
+        let (cc, sc) = (f64::cos(g), f64::sin(g));
+        let rot = |v: [f64; 3]| -> [f64; 3] {
+            // Rz(a) then Ry(b) then Rx(g).
+            let v1 = [ca * v[0] - sa * v[1], sa * v[0] + ca * v[1], v[2]];
+            let v2 = [cb * v1[0] + sb * v1[2], v1[1], -sb * v1[0] + cb * v1[2]];
+            [
+                v2[0],
+                cc * v2[1] - sc * v2[2],
+                sc * v2[1] + cc * v2[2],
+            ]
+        };
+        let rotated: Vec<[f64; 3]> = neigh.iter().map(|&v| rot(v)).collect();
+        c.compute_ui(&rotated, &mut s, 1);
+        let b1 = c.compute_bi(&s);
+        for (x, y) in b0.iter().zip(&b1) {
+            assert!(
+                (x - y).abs() < 1e-9 * x.abs().max(1.0),
+                "B not invariant: {x} vs {y}"
+            );
+        }
+        // ... and not all zero.
+        assert!(b0.iter().any(|x| x.abs() > 1e-6));
+    }
+
+    #[test]
+    fn bispectrum_invariant_under_neighbor_permutation() {
+        let c = ctx(4);
+        let mut s = c.alloc_scratch();
+        let neigh = cluster();
+        c.compute_ui(&neigh, &mut s, 1);
+        let b0 = c.compute_bi(&s);
+        let mut perm = neigh.clone();
+        perm.reverse();
+        c.compute_ui(&perm, &mut s, 1);
+        let b1 = c.compute_bi(&s);
+        for (x, y) in b0.iter().zip(&b1) {
+            assert!((x - y).abs() < 1e-10 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn ui_batching_is_exact() {
+        let c = ctx(6);
+        let mut s = c.alloc_scratch();
+        let neigh = cluster();
+        c.compute_ui(&neigh, &mut s, 1);
+        let u1: Vec<f64> = s.utot_r.clone();
+        for batch in [2usize, 3, 4, 8] {
+            c.compute_ui(&neigh, &mut s, batch);
+            for (a, b) in u1.iter().zip(&s.utot_r) {
+                assert!((a - b).abs() < 1e-12, "batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn forces_match_finite_difference_of_energy() {
+        let c = ctx(6);
+        let mut s = c.alloc_scratch();
+        let neigh = cluster();
+        let cfg = SnapKernelConfig::default();
+        let (_, grads) = c.atom_energy_forces(&neigh, &mut s, &cfg);
+        let h = 1e-6;
+        for (k_n, _) in neigh.iter().enumerate() {
+            for dir in 0..3 {
+                let mut np = neigh.clone();
+                let mut nm = neigh.clone();
+                np[k_n][dir] += h;
+                nm[k_n][dir] -= h;
+                c.compute_ui(&np, &mut s, 1);
+                let ep = c.energy(&s);
+                c.compute_ui(&nm, &mut s, 1);
+                let em = c.energy(&s);
+                let fd = (ep - em) / (2.0 * h);
+                let an = grads[k_n][dir];
+                assert!(
+                    (an - fd).abs() < 1e-8 * fd.abs().max(1e-4),
+                    "neighbor {k_n} dir {dir}: analytic {an} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_and_unfused_deidrj_agree() {
+        let c = ctx(8);
+        let mut s = c.alloc_scratch();
+        let neigh = cluster();
+        c.compute_ui(&neigh, &mut s, 1);
+        c.compute_yi(&mut s);
+        for &d in &neigh {
+            let fused = c.compute_deidrj(d, &mut s, true);
+            let unfused = c.compute_deidrj(d, &mut s, false);
+            for k in 0..3 {
+                assert!((fused[k] - unfused[k]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_atom_has_constant_energy() {
+        // With no neighbors, only the self term contributes: energy is
+        // a constant offset with zero gradient.
+        let c = ctx(4);
+        let mut s = c.alloc_scratch();
+        let cfg = SnapKernelConfig::default();
+        let (e0, grads) = c.atom_energy_forces(&[], &mut s, &cfg);
+        assert!(e0.is_finite());
+        assert!(grads.is_empty());
+    }
+
+    #[test]
+    fn neighbor_beyond_cutoff_contributes_nothing() {
+        let c = ctx(4);
+        let mut s = c.alloc_scratch();
+        let near = vec![[1.0, 0.5, -0.2]];
+        c.compute_ui(&near, &mut s, 1);
+        let e_near = c.energy(&s);
+        let with_far = vec![[1.0, 0.5, -0.2], [c.hyper.rcut + 0.5, 0.0, 0.0]];
+        c.compute_ui(&with_far, &mut s, 1);
+        let e_far = c.energy(&s);
+        assert!((e_near - e_far).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flop_models_scale_sensibly() {
+        let c4 = ctx(4);
+        let c8 = ctx(8);
+        assert!(c8.ui_flops_per_atom(20.0) > 4.0 * c4.ui_flops_per_atom(20.0));
+        assert!(c8.yi_flops_per_atom() > c4.yi_flops_per_atom());
+        assert!(c8.ui_atomics_per_atom(20.0, 4) < c8.ui_atomics_per_atom(20.0, 1));
+        assert!(
+            c8.deidrj_flops_per_neighbor(false) > 1.3 * c8.deidrj_flops_per_neighbor(true)
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Quantum-number index bookkeeping.
+//!
+//! All angular momenta are stored as *doubled* integers (`j = 2·J`),
+//! so half-integer values are exact. A Wigner block `u_j` is a dense
+//! `(j+1) × (j+1)` complex matrix indexed by `(mb, ma)` with
+//! `ma, mb ∈ 0..=j` (the physical `m = ma − j/2`). Blocks for all `j`
+//! up to `twojmax` are flattened into one array, `j` slowest and `ma`
+//! fastest — §4.3.1's "j slowest, m' fastest convention to promote
+//! locality: rows and columns of matrices stay together".
+
+/// Flattened indexing for the `u`/`Y` arrays and the bispectrum triples.
+#[derive(Debug, Clone)]
+pub struct SnapIndices {
+    /// Doubled maximum angular momentum (`2·J_max`).
+    pub twojmax: usize,
+    /// Offset of block `j` in the flattened `u` array.
+    pub u_block: Vec<usize>,
+    /// Total flattened `u` length (`Σ_j (j+1)²`).
+    pub u_len: usize,
+    /// The ordered bispectrum triples `(j1, j2, j)` with
+    /// `0 ≤ j2 ≤ j1 ≤ j ≤ twojmax`, triangle-allowed, `j1+j2+j` even —
+    /// the group-theoretic constraint of §4.3 that "significantly
+    /// reduces the required work and storage".
+    pub triples: Vec<(usize, usize, usize)>,
+}
+
+impl SnapIndices {
+    pub fn new(twojmax: usize) -> Self {
+        let mut u_block = Vec::with_capacity(twojmax + 2);
+        let mut off = 0;
+        for j in 0..=twojmax {
+            u_block.push(off);
+            off += (j + 1) * (j + 1);
+        }
+        let mut triples = Vec::new();
+        for j1 in 0..=twojmax {
+            for j2 in 0..=j1 {
+                let mut j = j1 - j2;
+                while j <= (j1 + j2).min(twojmax) {
+                    if j >= j1 {
+                        triples.push((j1, j2, j));
+                    }
+                    j += 2;
+                }
+            }
+        }
+        SnapIndices {
+            twojmax,
+            u_block,
+            u_len: off,
+            triples,
+        }
+    }
+
+    /// Flattened index of `u_j(mb, ma)`.
+    #[inline(always)]
+    pub fn u_index(&self, j: usize, mb: usize, ma: usize) -> usize {
+        debug_assert!(j <= self.twojmax && mb <= j && ma <= j);
+        self.u_block[j] + mb * (j + 1) + ma
+    }
+
+    /// Number of bispectrum components (`β` coefficients).
+    pub fn n_bispectrum(&self) -> usize {
+        self.triples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_offsets_and_length() {
+        let idx = SnapIndices::new(4);
+        // Blocks: 1, 4, 9, 16, 25 → offsets 0, 1, 5, 14, 30; total 55.
+        assert_eq!(idx.u_block, vec![0, 1, 5, 14, 30]);
+        assert_eq!(idx.u_len, 55);
+        assert_eq!(idx.u_index(2, 1, 2), 5 + 3 + 2);
+    }
+
+    #[test]
+    fn triple_count_matches_lammps_convention() {
+        // LAMMPS `twojmax = 8` (J = 4) gives 55 bispectrum components
+        // under the j >= j1 >= j2 ordering with even parity.
+        assert_eq!(SnapIndices::new(8).n_bispectrum(), 55);
+        // twojmax = 6 gives 30, twojmax = 4 gives 14, twojmax = 2 gives 5.
+        assert_eq!(SnapIndices::new(6).n_bispectrum(), 30);
+        assert_eq!(SnapIndices::new(4).n_bispectrum(), 14);
+        assert_eq!(SnapIndices::new(2).n_bispectrum(), 5);
+    }
+
+    #[test]
+    fn triples_obey_constraints() {
+        let idx = SnapIndices::new(8);
+        for &(j1, j2, j) in &idx.triples {
+            assert!(j2 <= j1 && j1 <= j && j <= 8);
+            assert!(j + j2 >= j1 && j1 + j2 >= j, "triangle violated");
+            assert_eq!((j1 + j2 + j) % 2, 0, "parity violated");
+        }
+        // No duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for t in &idx.triples {
+            assert!(seen.insert(*t));
+        }
+    }
+}

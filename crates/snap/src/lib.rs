@@ -1,0 +1,39 @@
+//! `lkk-snap`: the Spectral Neighbor Analysis Potential (SNAP),
+//! case study 3 of the paper (§4.3).
+//!
+//! SNAP encodes each atom's neighborhood by mapping relative neighbor
+//! positions onto the 3-sphere and expanding the resulting density in
+//! hyperspherical harmonics (Wigner U-matrices, eq. 2), then forming
+//! rotation-invariant triple products (bispectrum components `B`,
+//! eq. 3). The energy is a learned linear combination of the `B`
+//! (eq. 4), and forces contract the adjoint `Y` matrices with the
+//! U-matrix derivatives (eq. 5).
+//!
+//! Module map (one-to-one with the paper's four kernels):
+//!
+//! * [`indices`] — the flattened `(j, ma, mb)` quantum-number indexing
+//!   (§4.3.1: "j slowest, m' fastest ... rows and columns stay
+//!   together").
+//! * [`cg`] — Clebsch-Gordan coupling coefficients.
+//! * [`hyper`] — the r → 3-sphere map (Cayley-Klein parameters a, b),
+//!   the smooth cutoff function, and their Cartesian derivatives.
+//! * [`wigner`] — the recursive Wigner-U evaluation (**ComputeUi**'s
+//!   inner recursion) and its derivative (**ComputeDuidrj**).
+//! * [`context`] — the four per-atom kernels: `compute_ui` (with the
+//!   §4.3.4 neighbor work-batching variants), `compute_zi`/`compute_bi`,
+//!   `compute_yi` (adjoint construction), and `compute_fused_deidrj`
+//!   (the direction-fused force contraction).
+//! * [`pair_snap`] — the `pair_style snap` integration with `lkk-core`.
+//!
+//! Correctness is anchored by finite-difference force checks and
+//! rotation-invariance tests of `B` (see `context::tests`).
+
+pub mod cg;
+pub mod context;
+pub mod hyper;
+pub mod indices;
+pub mod pair_snap;
+pub mod wigner;
+
+pub use context::{SnapContext, SnapKernelConfig};
+pub use pair_snap::{PairSnap, SnapParams};

@@ -1,0 +1,614 @@
+//! `pair_style snap`: SNAP wired into the `lkk-core` engine.
+//!
+//! Uses a full neighbor list (the GPU-style choice: §4.3 notes two
+//! kernels "benefited from the high arithmetic intensity permitted by
+//! GPUs" the way full lists do for LJ) and a `ScatterView` for the
+//! neighbor-force scatter. Device executions log per-kernel event
+//! counts (ComputeUi / ComputeYi / ComputeFusedDeidrj) for the
+//! `lkk-gpusim` cost model.
+
+use crate::context::{SnapContext, SnapKernelConfig, SnapScratch};
+use crate::hyper::HyperParams;
+use lkk_core::neighbor::NeighborList;
+use lkk_core::pair::{PairResults, PairStyle};
+use lkk_core::sim::System;
+use lkk_core::style::{PairSpec, StyleRegistry};
+use lkk_gpusim::KernelStats;
+use lkk_kokkos::{ScatterView, Space};
+use std::cell::RefCell;
+
+/// User-facing SNAP parameters.
+#[derive(Debug, Clone)]
+pub struct SnapParams {
+    pub twojmax: usize,
+    pub rcut: f64,
+    pub rfac0: f64,
+    pub rmin0: f64,
+    /// Seed for the synthetic β coefficients.
+    pub beta_seed: u64,
+}
+
+impl Default for SnapParams {
+    fn default() -> Self {
+        SnapParams {
+            twojmax: 8,
+            rcut: 4.7,
+            rfac0: 0.99363,
+            rmin0: 0.0,
+            beta_seed: 2025,
+        }
+    }
+}
+
+/// The SNAP pair style.
+pub struct PairSnap {
+    pub ctx: SnapContext,
+    pub config: SnapKernelConfig,
+    /// Per-element neighbor weights `w_j` (eq. 2); index by atom type.
+    /// Defaults to `[1.0]` (single element, the paper's benchmarks).
+    pub type_weights: Vec<f64>,
+    name: String,
+    scatter: Option<ScatterView>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Option<SnapScratch>> = const { RefCell::new(None) };
+}
+
+impl PairSnap {
+    pub fn new(params: SnapParams, _space: &Space) -> Self {
+        let hyper = HyperParams {
+            rcut: params.rcut,
+            rmin0: params.rmin0,
+            rfac0: params.rfac0,
+            weight: 1.0,
+        };
+        let beta = SnapContext::synthetic_beta(params.twojmax, params.beta_seed);
+        PairSnap {
+            ctx: SnapContext::new(params.twojmax, hyper, beta),
+            config: SnapKernelConfig::default(),
+            type_weights: vec![1.0],
+            name: "snap".into(),
+            scatter: None,
+        }
+    }
+
+    /// Set per-element neighbor weights (multi-component SNAP).
+    pub fn with_type_weights(mut self, weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty());
+        self.type_weights = weights;
+        self
+    }
+
+    pub fn with_config(mut self, config: SnapKernelConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Register `snap` (and `snap/kk`) in a style registry.
+    /// `pair_style snap <twojmax> <rcut>`.
+    pub fn register(registry: &mut StyleRegistry) {
+        registry.register_pair("snap", |spec: &PairSpec, space: &Space| {
+            let twojmax = spec
+                .style_args
+                .first()
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad twojmax: {e}"))?
+                .unwrap_or(8);
+            let rcut = spec.arg_f64(1).unwrap_or(4.7);
+            let params = SnapParams {
+                twojmax,
+                rcut,
+                ..Default::default()
+            };
+            Ok(Box::new(PairSnap::new(params, space)))
+        });
+    }
+
+    fn note_stats(&self, space: &Space, nlocal: f64, avg_neigh: f64, list: &NeighborList) {
+        if !space.is_device() {
+            return;
+        }
+        let ctx = &self.ctx;
+        let u_bytes = ctx.u_bytes_per_atom();
+
+        let mut ui = KernelStats::new("ComputeUi");
+        // Parallelism over atoms × neighbor-batches.
+        ui.work_items = nlocal * (avg_neigh / self.config.ui_batch.max(1) as f64).max(1.0);
+        ui.flops = nlocal * ctx.ui_flops_per_atom(avg_neigh);
+        ui.atomic_f64_ops = nlocal * ctx.ui_atomics_per_atom(avg_neigh, self.config.ui_batch);
+        ui.dram_bytes = nlocal * (u_bytes + avg_neigh * 28.0);
+        ui.working_set_bytes = u_bytes * 32.0; // a tile of atoms' U in flight
+        // Scratch stages one row of u per thread plus the batch
+        // accumulator (§4.3.3: "explicitly cached intermediate values
+        // in Kokkos scratchpad memory") — the team's footprint is what
+        // bounds occupancy in Fig. 3.
+        ui.scratch_bytes_per_team = (ctx.idx.twojmax as f64 + 1.0) * 16.0 * 128.0;
+        ui.threads_per_team = 128;
+        ui.ilp = self.config.ui_batch as f64;
+        space.note_kernel(ui);
+
+        let mut yi = KernelStats::new("ComputeYi");
+        yi.work_items = nlocal * ctx.idx.n_bispectrum() as f64;
+        yi.flops = nlocal * ctx.yi_flops_per_atom();
+        yi.dram_bytes = nlocal * 2.0 * u_bytes;
+        // Each inner contraction touches ~48 bytes: U_j1/U_j2/Y loads
+        // (subject to working-set spill) plus the warp-uniform
+        // coupling-table loads, which are always cache-resident and are
+        // the only part atom-batching amortizes (§4.3.4: "reduce the
+        // number of accesses to these look-up tables relative to loads
+        // of U_j. ... This batching does not change the limiter, L1
+        // cache throughput").
+        let l1_per_atom = ctx.yi_inner_ops_per_atom() * 48.0;
+        let batch = self.config.yi_batch.max(1) as f64;
+        yi.reused_bytes = nlocal * l1_per_atom * 0.5;
+        yi.l1_only_bytes = nlocal * l1_per_atom * 0.5 / batch;
+        // The Yi working set is the per-tile set of U matrices
+        // (yi_tile atoms × the full U) — the §4.3.2 tiling knob.
+        yi.working_set_bytes = u_bytes * self.config.yi_tile as f64;
+        space.note_kernel(yi);
+
+        let mut dei = KernelStats::new(if self.config.fuse_deidrj {
+            "ComputeFusedDeidrj"
+        } else {
+            "ComputeDeidrj"
+        });
+        dei.work_items = nlocal * avg_neigh;
+        dei.flops = nlocal * avg_neigh * ctx.deidrj_flops_per_neighbor(self.config.fuse_deidrj);
+        dei.dram_bytes = nlocal * (avg_neigh * 28.0 + u_bytes);
+        dei.atomic_f64_ops = nlocal * avg_neigh * 6.0;
+        dei.working_set_bytes = u_bytes * 16.0;
+        dei.scratch_bytes_per_team = (ctx.idx.twojmax as f64 + 1.0) * 16.0 * 128.0;
+        dei.threads_per_team = 128;
+        // The unfused kernel already interleaves u/du work (ILP ~2);
+        // fusion adds the third stream (§4.3.4).
+        dei.ilp = if self.config.fuse_deidrj { 3.0 } else { 2.0 };
+        space.note_kernel(dei);
+        let _ = list;
+    }
+}
+
+impl PairStyle for PairSnap {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.ctx.hyper.rcut
+    }
+
+    fn wants_half_list(&self) -> bool {
+        false
+    }
+
+    fn needs_reverse_comm(&self) -> bool {
+        // Forces are scattered onto ghost neighbors.
+        true
+    }
+
+    fn compute(&mut self, system: &mut System, list: &NeighborList, _eflag: bool) -> PairResults {
+        let space = system.space.clone();
+        system
+            .atoms
+            .sync(&space, lkk_core::atom::Mask::X | lkk_core::atom::Mask::TYPE);
+        let nlocal = system.atoms.nlocal;
+        let nall = system.atoms.nall();
+        let scatter = match &mut self.scatter {
+            Some(s) if s.target_len() == nall * 3 => s,
+            _ => {
+                self.scatter = Some(ScatterView::for_space(nall, 3, &space));
+                self.scatter.as_mut().unwrap()
+            }
+        };
+        let ctx = &self.ctx;
+        let config = &self.config;
+        let type_weights = &self.type_weights;
+        let atoms_ref = &system.atoms;
+        let x = atoms_ref.x.view_for(&space);
+        let typ = atoms_ref.typ.view_for(&space);
+        let sref: &ScatterView = scatter;
+        let cutsq = ctx.hyper.rcut * ctx.hyper.rcut;
+        let (energy, virial) = space.parallel_reduce(
+            "PairSnapCompute",
+            nlocal,
+            (0.0f64, [0.0f64; 6]),
+            |i| {
+                let xi = [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])];
+                let nn = list.numneigh.at([i]) as usize;
+                // Gather in-cutoff neighbors (the divergence
+                // pre-filtering: the expensive kernels then run fully
+                // convergent).
+                let mut rel: Vec<[f64; 3]> = Vec::with_capacity(nn);
+                let mut ids: Vec<usize> = Vec::with_capacity(nn);
+                let mut wts: Vec<f64> = Vec::with_capacity(nn);
+                for s in 0..nn {
+                    let j = list.neighbors.at([i, s]) as usize;
+                    let d = [
+                        x.at([j, 0]) - xi[0],
+                        x.at([j, 1]) - xi[1],
+                        x.at([j, 2]) - xi[2],
+                    ];
+                    if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < cutsq {
+                        rel.push(d);
+                        ids.push(j);
+                        let t = typ.at([j]) as usize;
+                        wts.push(*type_weights.get(t).unwrap_or(&1.0));
+                    }
+                }
+                let (e, grads) = SCRATCH.with(|cell| {
+                    let mut borrow = cell.borrow_mut();
+                    let scratch = match borrow.as_mut() {
+                        Some(s) if s.utot_r.len() == ctx.idx.u_len => s,
+                        _ => {
+                            *borrow = Some(ctx.alloc_scratch());
+                            borrow.as_mut().unwrap()
+                        }
+                    };
+                    ctx.compute_ui_weighted(&rel, Some(&wts), scratch, config.ui_batch);
+                    let e = ctx.energy(scratch);
+                    ctx.compute_yi(scratch);
+                    let grads: Vec<[f64; 3]> = rel
+                        .iter()
+                        .zip(&wts)
+                        .map(|(&d, &w)| {
+                            ctx.compute_deidrj_weighted(d, w, scratch, config.fuse_deidrj)
+                        })
+                        .collect();
+                    (e, grads)
+                });
+                let mut w = [0.0f64; 6];
+                for (k, &j) in ids.iter().enumerate() {
+                    let g = grads[k];
+                    // Force on neighbor j: −∂E_i/∂x_j; reaction on i.
+                    let f = [-g[0], -g[1], -g[2]];
+                    for dir in 0..3 {
+                        sref.add(j, dir, f[dir]);
+                        sref.add(i, dir, -f[dir]);
+                    }
+                    // Virial tensor: Σ d ⊗ f_j (symmetrized), d = x_j − x_i.
+                    let d = rel[k];
+                    w[0] += d[0] * f[0];
+                    w[1] += d[1] * f[1];
+                    w[2] += d[2] * f[2];
+                    w[3] += 0.5 * (d[0] * f[1] + d[1] * f[0]);
+                    w[4] += 0.5 * (d[0] * f[2] + d[2] * f[0]);
+                    w[5] += 0.5 * (d[1] * f[2] + d[2] * f[1]);
+                }
+                (e, w)
+            },
+            |a, b| {
+                let mut w = a.1;
+                for k in 0..6 {
+                    w[k] += b.1[k];
+                }
+                (a.0 + b.0, w)
+            },
+        );
+        let f = system.atoms.f.view_for_mut(&space);
+        f.fill(0.0);
+        scatter.contribute_into_view(f);
+        system.atoms.modified(&space, lkk_core::atom::Mask::F);
+        let avg_neigh = if nlocal > 0 {
+            list.total_pairs as f64 / nlocal as f64
+        } else {
+            0.0
+        };
+        self.note_stats(&space, nlocal as f64, avg_neigh, list);
+        PairResults::with_tensor(energy, virial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lkk_core::atom::AtomData;
+    use lkk_core::comm::build_ghosts;
+    use lkk_core::lattice::{create_velocities, Lattice, LatticeKind};
+    use lkk_core::neighbor::{NeighborList, NeighborSettings};
+    use lkk_core::sim::Simulation;
+    use lkk_core::units::Units;
+
+    fn tungsten_like(n: usize, twojmax: usize, space: Space) -> (System, PairSnap) {
+        // bcc lattice, a = 3.16 Å (tungsten), metal-ish units. A short
+        // 3.5 Å cutoff (first + second neighbor shells) keeps the test
+        // boxes above the 2×cutghost minimum-image limit at n = 3.
+        let lat = Lattice::new(LatticeKind::Bcc, 3.16);
+        let atoms = AtomData::from_positions(&lat.positions(n, n, n));
+        let system = System::new(atoms, lat.domain(n, n, n), space.clone())
+            .with_units(Units::metal());
+        let params = SnapParams {
+            twojmax,
+            rcut: 3.5,
+            ..Default::default()
+        };
+        (system, PairSnap::new(params, &space))
+    }
+
+    fn compute_forces(system: &mut System, pair: &mut PairSnap) -> (Vec<[f64; 3]>, PairResults) {
+        let settings = NeighborSettings::new(pair.cutoff(), 0.3, false);
+        let space = system.space.clone();
+        system.ghosts = build_ghosts(&mut system.atoms, &system.domain, settings.cutneigh());
+        let list = NeighborList::build(&system.atoms, &system.domain, &settings, &space);
+        let res = pair.compute(system, &list, true);
+        system.atoms.sync(&Space::Serial, lkk_core::atom::Mask::F);
+        lkk_core::comm::reverse_forces(&mut system.atoms, &system.ghosts);
+        let fh = system.atoms.f.h_view();
+        let forces = (0..system.atoms.nlocal)
+            .map(|i| [fh.at([i, 0]), fh.at([i, 1]), fh.at([i, 2])])
+            .collect();
+        (forces, res)
+    }
+
+    #[test]
+    fn perfect_bcc_has_zero_force_by_symmetry() {
+        let (mut system, mut pair) = tungsten_like(3, 4, Space::Threads);
+        let (forces, res) = compute_forces(&mut system, &mut pair);
+        for f in &forces {
+            for k in 0..3 {
+                assert!(f[k].abs() < 1e-9, "residual {}", f[k]);
+            }
+        }
+        assert!(res.energy.is_finite());
+    }
+
+    #[test]
+    fn total_force_is_zero_on_perturbed_lattice() {
+        let (mut system, mut pair) = tungsten_like(3, 6, Space::Threads);
+        // Deterministic perturbation.
+        {
+            let n = system.atoms.nlocal;
+            let xh = system.atoms.x.h_view_mut();
+            for i in 0..n {
+                for k in 0..3 {
+                    let bump = 0.08 * (((i * 13 + k * 7) % 23) as f64 / 23.0 - 0.5);
+                    let v = xh.at([i, k]) + bump;
+                    xh.set([i, k], v);
+                }
+            }
+        }
+        let (forces, _) = compute_forces(&mut system, &mut pair);
+        for k in 0..3 {
+            let total: f64 = forces.iter().map(|f| f[k]).sum();
+            assert!(total.abs() < 1e-8, "net force {total}");
+        }
+        // Some atoms actually feel force.
+        assert!(forces.iter().any(|f| f[0].abs() > 1e-8));
+    }
+
+    #[test]
+    fn forces_match_finite_difference_of_total_energy() {
+        let (mut system, mut pair) = tungsten_like(3, 4, Space::Serial);
+        {
+            let n = system.atoms.nlocal;
+            let xh = system.atoms.x.h_view_mut();
+            for i in 0..n {
+                for k in 0..3 {
+                    let bump = 0.1 * (((i * 19 + k * 5) % 17) as f64 / 17.0 - 0.5);
+                    let v = xh.at([i, k]) + bump;
+                    xh.set([i, k], v);
+                }
+            }
+        }
+        let (forces, _) = compute_forces(&mut system, &mut pair);
+        // FD on atom 3, all directions. Rebuild ghosts from scratch at
+        // each displacement (positions feed ghosts).
+        let h = 1e-5;
+        for dir in 0..3 {
+            let mut es = [0.0f64; 2];
+            for (s, sign) in [(0usize, 1.0f64), (1, -1.0)] {
+                let (mut sys2, mut pair2) = tungsten_like(3, 4, Space::Serial);
+                {
+                    let n = sys2.atoms.nlocal;
+                    let xh = sys2.atoms.x.h_view_mut();
+                    for i in 0..n {
+                        for k in 0..3 {
+                            let bump = 0.1 * (((i * 19 + k * 5) % 17) as f64 / 17.0 - 0.5);
+                            let v = xh.at([i, k]) + bump;
+                            xh.set([i, k], v);
+                        }
+                    }
+                    let v = xh.at([3, dir]) + sign * h;
+                    xh.set([3, dir], v);
+                }
+                let (_, res) = compute_forces(&mut sys2, &mut pair2);
+                es[s] = res.energy;
+            }
+            let fd = -(es[0] - es[1]) / (2.0 * h);
+            assert!(
+                (forces[3][dir] - fd).abs() < 1e-6 * fd.abs().max(1e-3),
+                "dir {dir}: analytic {} vs fd {fd}",
+                forces[3][dir]
+            );
+        }
+    }
+
+    #[test]
+    fn spaces_agree() {
+        let configs = [Space::Serial, Space::Threads, Space::device(lkk_gpusim::GpuArch::h100())];
+        let mut reference: Option<(Vec<[f64; 3]>, f64)> = None;
+        for space in configs {
+            let (mut system, mut pair) = tungsten_like(3, 4, space);
+            {
+                let n = system.atoms.nlocal;
+                let xh = system.atoms.x.h_view_mut();
+                for i in 0..n {
+                    let bump = 0.05 * ((i % 7) as f64 / 7.0 - 0.5);
+                    let v = xh.at([i, 0]) + bump;
+                    xh.set([i, 0], v);
+                }
+            }
+            let (forces, res) = compute_forces(&mut system, &mut pair);
+            match &reference {
+                None => reference = Some((forces, res.energy)),
+                Some((rf, re)) => {
+                    assert!((res.energy - re).abs() < 1e-9 * re.abs().max(1.0));
+                    for (a, b) in forces.iter().zip(rf) {
+                        for k in 0..3 {
+                            assert!(
+                                (a[k] - b[k]).abs() < 1e-9,
+                                "{} vs {} (diff {:.3e})",
+                                a[k],
+                                b[k],
+                                (a[k] - b[k]).abs()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn device_logs_snap_kernels() {
+        let space = Space::device(lkk_gpusim::GpuArch::h100());
+        let ctx = space.device_ctx().unwrap().clone();
+        let (mut system, mut pair) = tungsten_like(3, 4, space);
+        let _ = compute_forces(&mut system, &mut pair);
+        let agg = ctx.log.aggregate();
+        for name in ["ComputeUi", "ComputeYi", "ComputeFusedDeidrj"] {
+            let k = agg.iter().find(|s| s.name == name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(k.flops > 0.0, "{name} has no flops");
+        }
+    }
+
+    #[test]
+    fn nve_with_snap_conserves_energy() {
+        let space = Space::Threads;
+        let (mut system, pair) = tungsten_like(3, 4, space);
+        create_velocities(&mut system.atoms, &Units::metal(), 300.0, 999);
+        let mut sim = Simulation::new(system, Box::new(pair));
+        sim.dt = 0.001;
+        sim.setup();
+        let e0 = sim.total_energy();
+        sim.run(20);
+        let e1 = sim.total_energy();
+        let drift = ((e1 - e0) / sim.system.atoms.nlocal as f64).abs();
+        assert!(drift < 5e-6, "per-atom drift {drift} eV");
+    }
+
+    #[test]
+    fn registry_integration() {
+        let mut reg = StyleRegistry::core();
+        PairSnap::register(&mut reg);
+        let spec = PairSpec {
+            style_args: vec!["6".into(), "4.2".into()],
+            coeffs: vec![],
+            ntypes: 1,
+        };
+        let p = reg
+            .create_pair("snap", &spec, &Space::Threads, Some("kk"))
+            .unwrap();
+        assert_eq!(p.name(), "snap/kk");
+        assert_eq!(p.cutoff(), 4.2);
+        assert!(!p.wants_half_list());
+    }
+
+    #[test]
+    fn all_zero_weights_leave_only_self_terms() {
+        // With every neighbor weight zero, U reduces to the self term:
+        // E = N × E_isolated and all forces vanish identically.
+        use lkk_core::domain::Domain;
+        let params = SnapParams {
+            twojmax: 4,
+            rcut: 3.5,
+            ..Default::default()
+        };
+        let positions = vec![
+            [8.0, 8.0, 8.0],
+            [9.6, 8.2, 7.9],
+            [7.4, 9.3, 8.4],
+            [8.3, 7.1, 9.2],
+        ];
+        let mut atoms = AtomData::from_positions(&positions);
+        atoms.mass = vec![1.0];
+        let space = Space::Serial;
+        let mut system = System::new(atoms, Domain::cubic(16.0), space.clone());
+        let mut pair = PairSnap::new(params.clone(), &space).with_type_weights(vec![0.0]);
+        let settings = NeighborSettings::new(pair.cutoff(), 0.3, false);
+        system.ghosts = build_ghosts(&mut system.atoms, &system.domain, settings.cutneigh());
+        let list = NeighborList::build(&system.atoms, &system.domain, &settings, &space);
+        let res = pair.compute(&mut system, &list, true);
+        // Isolated-atom energy via an empty neighborhood.
+        let mut scratch = pair.ctx.alloc_scratch();
+        pair.ctx.compute_ui(&[], &mut scratch, 1);
+        let e_iso = pair.ctx.energy(&scratch);
+        assert!(
+            (res.energy - 4.0 * e_iso).abs() < 1e-12,
+            "{} vs {}",
+            res.energy,
+            4.0 * e_iso
+        );
+        let fh = system.atoms.f.h_view();
+        for i in 0..4 {
+            for k in 0..3 {
+                assert!(fh.at([i, k]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_forces_match_finite_difference() {
+        use lkk_core::domain::Domain;
+        let params = SnapParams {
+            twojmax: 4,
+            rcut: 3.5,
+            ..Default::default()
+        };
+        let positions = vec![
+            [8.0, 8.0, 8.0],
+            [9.6, 8.2, 7.9],
+            [7.4, 9.3, 8.4],
+            [9.0, 9.4, 9.1],
+        ];
+        let types = [0i32, 1, 0, 1];
+        let weights = vec![1.0, 0.6];
+        let energy_and_forces = |pos: &[[f64; 3]]| -> (f64, Vec<[f64; 3]>) {
+            let mut atoms = AtomData::from_positions(pos);
+            atoms.mass = vec![1.0, 1.0];
+            for (i, &t) in types.iter().enumerate() {
+                atoms.typ.h_view_mut().set([i], t);
+            }
+            let space = Space::Serial;
+            let mut system = System::new(atoms, Domain::cubic(16.0), space.clone());
+            let mut pair =
+                PairSnap::new(params.clone(), &space).with_type_weights(weights.clone());
+            let settings = NeighborSettings::new(pair.cutoff(), 0.3, false);
+            system.ghosts =
+                build_ghosts(&mut system.atoms, &system.domain, settings.cutneigh());
+            let list = NeighborList::build(&system.atoms, &system.domain, &settings, &space);
+            let res = pair.compute(&mut system, &list, true);
+            system.atoms.sync(&Space::Serial, lkk_core::atom::Mask::F);
+            lkk_core::comm::reverse_forces(&mut system.atoms, &system.ghosts);
+            let fh = system.atoms.f.h_view();
+            let forces = (0..pos.len())
+                .map(|i| [fh.at([i, 0]), fh.at([i, 1]), fh.at([i, 2])])
+                .collect();
+            (res.energy, forces)
+        };
+        let (_, forces) = energy_and_forces(&positions);
+        let h = 1e-6;
+        for a in 0..positions.len() {
+            for dir in 0..3 {
+                let mut pp = positions.clone();
+                let mut pm = positions.clone();
+                pp[a][dir] += h;
+                pm[a][dir] -= h;
+                let fd = -(energy_and_forces(&pp).0 - energy_and_forces(&pm).0) / (2.0 * h);
+                assert!(
+                    (forces[a][dir] - fd).abs() < 1e-7 * fd.abs().max(1e-4),
+                    "atom {a} dir {dir}: {} vs {fd}",
+                    forces[a][dir]
+                );
+            }
+        }
+    }
+}

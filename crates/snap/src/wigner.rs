@@ -1,0 +1,295 @@
+//! The recursive Wigner-U evaluation and its derivative.
+//!
+//! Eq. 2 of the paper: `u_j = F(u_{j−1/2})` — each block follows from
+//! the previous by a linear two-term recursion in the Cayley-Klein
+//! parameters (the "recursive polynomial evaluation" of §4.3.3 that is
+//! "inherently compute bound"). We compute the full `(j+1)²` blocks,
+//! using the VMK inversion symmetry to fill the upper half:
+//! `u_j(j−mb, j−ma) = (−1)^{ma+mb} · conj(u_j(mb, ma))`.
+
+use crate::hyper::{CayleyKlein, CayleyKleinDeriv};
+use crate::indices::SnapIndices;
+
+/// Precomputed `sqrt(p/q)` table.
+#[derive(Debug, Clone)]
+pub struct RootPq {
+    n: usize,
+    table: Vec<f64>,
+}
+
+impl RootPq {
+    pub fn new(twojmax: usize) -> Self {
+        let n = twojmax + 1;
+        let mut table = vec![0.0; n * n];
+        for p in 0..n {
+            for q in 1..n {
+                table[p * n + q] = (p as f64 / q as f64).sqrt();
+            }
+        }
+        RootPq { n, table }
+    }
+
+    #[inline(always)]
+    pub fn get(&self, p: usize, q: usize) -> f64 {
+        self.table[p * self.n + q]
+    }
+}
+
+#[inline(always)]
+fn conj_mul(ar: f64, ai: f64, ur: f64, ui: f64) -> (f64, f64) {
+    // conj(a) * u
+    (ar * ur + ai * ui, ar * ui - ai * ur)
+}
+
+/// Compute all Wigner blocks `u_j(mb, ma)` for one neighbor into
+/// `(u_r, u_i)` (flattened per [`SnapIndices`]). The arrays are fully
+/// overwritten.
+pub fn compute_u(idx: &SnapIndices, rootpq: &RootPq, ck: &CayleyKlein, u_r: &mut [f64], u_i: &mut [f64]) {
+    debug_assert_eq!(u_r.len(), idx.u_len);
+    u_r[0] = 1.0;
+    u_i[0] = 0.0;
+    for j in 1..=idx.twojmax {
+        // Lower half via recursion.
+        let mut mb = 0;
+        while 2 * mb <= j {
+            for ma in 0..=j {
+                let iu = idx.u_index(j, mb, ma);
+                let mut vr = 0.0;
+                let mut vi = 0.0;
+                if ma < j {
+                    let p = idx.u_index(j - 1, mb, ma);
+                    let (tr, ti) = conj_mul(ck.a_r, ck.a_i, u_r[p], u_i[p]);
+                    let c = rootpq.get(j - ma, j - mb);
+                    vr += c * tr;
+                    vi += c * ti;
+                }
+                if ma > 0 {
+                    let p = idx.u_index(j - 1, mb, ma - 1);
+                    let (tr, ti) = conj_mul(ck.b_r, ck.b_i, u_r[p], u_i[p]);
+                    let c = rootpq.get(ma, j - mb);
+                    vr -= c * tr;
+                    vi -= c * ti;
+                }
+                u_r[iu] = vr;
+                u_i[iu] = vi;
+            }
+            mb += 1;
+        }
+        // Upper half via inversion symmetry.
+        for mbp in mb..=j {
+            for map in 0..=j {
+                let src = idx.u_index(j, j - mbp, j - map);
+                let dst = idx.u_index(j, mbp, map);
+                let sign = if (mbp + map) % 2 == 0 { 1.0 } else { -1.0 };
+                u_r[dst] = sign * u_r[src];
+                u_i[dst] = -sign * u_i[src];
+            }
+        }
+    }
+}
+
+/// Compute `u` and its three Cartesian derivatives together (the
+/// "hybrid depth/breadth evaluation" cost structure of ComputeDuidrj).
+/// Derivative arrays are indexed `u_index * 3 + dir`.
+pub fn compute_u_du(
+    idx: &SnapIndices,
+    rootpq: &RootPq,
+    ckd: &CayleyKleinDeriv,
+    u_r: &mut [f64],
+    u_i: &mut [f64],
+    du_r: &mut [f64],
+    du_i: &mut [f64],
+) {
+    debug_assert_eq!(du_r.len(), idx.u_len * 3);
+    let ck = &ckd.ck;
+    u_r[0] = 1.0;
+    u_i[0] = 0.0;
+    for k in 0..3 {
+        du_r[k] = 0.0;
+        du_i[k] = 0.0;
+    }
+    for j in 1..=idx.twojmax {
+        let mut mb = 0;
+        while 2 * mb <= j {
+            for ma in 0..=j {
+                let iu = idx.u_index(j, mb, ma);
+                let mut vr = 0.0;
+                let mut vi = 0.0;
+                let mut dv_r = [0.0f64; 3];
+                let mut dv_i = [0.0f64; 3];
+                if ma < j {
+                    let p = idx.u_index(j - 1, mb, ma);
+                    let c = rootpq.get(j - ma, j - mb);
+                    let (tr, ti) = conj_mul(ck.a_r, ck.a_i, u_r[p], u_i[p]);
+                    vr += c * tr;
+                    vi += c * ti;
+                    for k in 0..3 {
+                        let (d1r, d1i) = conj_mul(ckd.da_r[k], ckd.da_i[k], u_r[p], u_i[p]);
+                        let (d2r, d2i) =
+                            conj_mul(ck.a_r, ck.a_i, du_r[p * 3 + k], du_i[p * 3 + k]);
+                        dv_r[k] += c * (d1r + d2r);
+                        dv_i[k] += c * (d1i + d2i);
+                    }
+                }
+                if ma > 0 {
+                    let p = idx.u_index(j - 1, mb, ma - 1);
+                    let c = rootpq.get(ma, j - mb);
+                    let (tr, ti) = conj_mul(ck.b_r, ck.b_i, u_r[p], u_i[p]);
+                    vr -= c * tr;
+                    vi -= c * ti;
+                    for k in 0..3 {
+                        let (d1r, d1i) = conj_mul(ckd.db_r[k], ckd.db_i[k], u_r[p], u_i[p]);
+                        let (d2r, d2i) =
+                            conj_mul(ck.b_r, ck.b_i, du_r[p * 3 + k], du_i[p * 3 + k]);
+                        dv_r[k] -= c * (d1r + d2r);
+                        dv_i[k] -= c * (d1i + d2i);
+                    }
+                }
+                u_r[iu] = vr;
+                u_i[iu] = vi;
+                for k in 0..3 {
+                    du_r[iu * 3 + k] = dv_r[k];
+                    du_i[iu * 3 + k] = dv_i[k];
+                }
+            }
+            mb += 1;
+        }
+        for mbp in mb..=j {
+            for map in 0..=j {
+                let src = idx.u_index(j, j - mbp, j - map);
+                let dst = idx.u_index(j, mbp, map);
+                let sign = if (mbp + map) % 2 == 0 { 1.0 } else { -1.0 };
+                u_r[dst] = sign * u_r[src];
+                u_i[dst] = -sign * u_i[src];
+                for k in 0..3 {
+                    du_r[dst * 3 + k] = sign * du_r[src * 3 + k];
+                    du_i[dst * 3 + k] = -sign * du_i[src * 3 + k];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyper::HyperParams;
+
+    fn setup(twojmax: usize) -> (SnapIndices, RootPq, HyperParams) {
+        (
+            SnapIndices::new(twojmax),
+            RootPq::new(twojmax),
+            HyperParams::default(),
+        )
+    }
+
+    /// Each u_j is a unitary matrix: its rows have unit norm.
+    #[test]
+    fn u_matrices_are_unitary() {
+        let (idx, rootpq, p) = setup(8);
+        let ck = p.map([1.1, -0.6, 2.0]);
+        let mut u_r = vec![0.0; idx.u_len];
+        let mut u_i = vec![0.0; idx.u_len];
+        compute_u(&idx, &rootpq, &ck, &mut u_r, &mut u_i);
+        for j in 0..=8usize {
+            for mb in 0..=j {
+                let mut norm = 0.0;
+                for ma in 0..=j {
+                    let iu = idx.u_index(j, mb, ma);
+                    norm += u_r[iu] * u_r[iu] + u_i[iu] * u_i[iu];
+                }
+                assert!((norm - 1.0).abs() < 1e-10, "j={j} mb={mb}: row norm {norm}");
+            }
+        }
+        // Orthogonality of distinct rows (full unitarity).
+        for j in [4usize, 7] {
+            for mb1 in 0..=j {
+                for mb2 in (mb1 + 1)..=j {
+                    let mut dot_r = 0.0;
+                    let mut dot_i = 0.0;
+                    for ma in 0..=j {
+                        let i1 = idx.u_index(j, mb1, ma);
+                        let i2 = idx.u_index(j, mb2, ma);
+                        dot_r += u_r[i1] * u_r[i2] + u_i[i1] * u_i[i2];
+                        dot_i += u_i[i1] * u_r[i2] - u_r[i1] * u_i[i2];
+                    }
+                    assert!(dot_r.abs() < 1e-10 && dot_i.abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    /// The j=1 block is the Cayley-Klein SU(2) matrix itself.
+    #[test]
+    fn j_one_block_is_cayley_klein() {
+        let (idx, rootpq, p) = setup(2);
+        let ck = p.map([0.9, 0.4, -1.2]);
+        let mut u_r = vec![0.0; idx.u_len];
+        let mut u_i = vec![0.0; idx.u_len];
+        compute_u(&idx, &rootpq, &ck, &mut u_r, &mut u_i);
+        // u_1 = [[a*, -b*], [b, a]] in (mb, ma) convention.
+        let at = (u_r[idx.u_index(1, 0, 0)], u_i[idx.u_index(1, 0, 0)]);
+        assert!((at.0 - ck.a_r).abs() < 1e-14 && (at.1 + ck.a_i).abs() < 1e-14);
+        let bt = (u_r[idx.u_index(1, 0, 1)], u_i[idx.u_index(1, 0, 1)]);
+        assert!((bt.0 + ck.b_r).abs() < 1e-14 && (bt.1 - ck.b_i).abs() < 1e-14);
+        let b2 = (u_r[idx.u_index(1, 1, 0)], u_i[idx.u_index(1, 1, 0)]);
+        assert!((b2.0 - ck.b_r).abs() < 1e-14 && (b2.1 - ck.b_i).abs() < 1e-14);
+        let a2 = (u_r[idx.u_index(1, 1, 1)], u_i[idx.u_index(1, 1, 1)]);
+        assert!((a2.0 - ck.a_r).abs() < 1e-14 && (a2.1 - ck.a_i).abs() < 1e-14);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let (idx, rootpq, p) = setup(6);
+        let d0 = [1.4, -0.8, 1.9];
+        let ckd = p.map_with_derivatives(d0);
+        let mut u_r = vec![0.0; idx.u_len];
+        let mut u_i = vec![0.0; idx.u_len];
+        let mut du_r = vec![0.0; idx.u_len * 3];
+        let mut du_i = vec![0.0; idx.u_len * 3];
+        compute_u_du(&idx, &rootpq, &ckd, &mut u_r, &mut u_i, &mut du_r, &mut du_i);
+        let h = 1e-6;
+        for k in 0..3 {
+            let mut dp = d0;
+            let mut dm = d0;
+            dp[k] += h;
+            dm[k] -= h;
+            let mut up_r = vec![0.0; idx.u_len];
+            let mut up_i = vec![0.0; idx.u_len];
+            let mut um_r = vec![0.0; idx.u_len];
+            let mut um_i = vec![0.0; idx.u_len];
+            compute_u(&idx, &rootpq, &p.map(dp), &mut up_r, &mut up_i);
+            compute_u(&idx, &rootpq, &p.map(dm), &mut um_r, &mut um_i);
+            for iu in 0..idx.u_len {
+                let fd_r = (up_r[iu] - um_r[iu]) / (2.0 * h);
+                let fd_i = (up_i[iu] - um_i[iu]) / (2.0 * h);
+                assert!(
+                    (du_r[iu * 3 + k] - fd_r).abs() < 1e-6,
+                    "re iu={iu} k={k}: {} vs {}",
+                    du_r[iu * 3 + k],
+                    fd_r
+                );
+                assert!((du_i[iu * 3 + k] - fd_i).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn u_du_consistent_with_u() {
+        let (idx, rootpq, p) = setup(8);
+        let d0 = [0.7, 1.2, -0.4];
+        let ckd = p.map_with_derivatives(d0);
+        let mut u1_r = vec![0.0; idx.u_len];
+        let mut u1_i = vec![0.0; idx.u_len];
+        compute_u(&idx, &rootpq, &ckd.ck, &mut u1_r, &mut u1_i);
+        let mut u2_r = vec![0.0; idx.u_len];
+        let mut u2_i = vec![0.0; idx.u_len];
+        let mut du_r = vec![0.0; idx.u_len * 3];
+        let mut du_i = vec![0.0; idx.u_len * 3];
+        compute_u_du(&idx, &rootpq, &ckd, &mut u2_r, &mut u2_i, &mut du_r, &mut du_i);
+        for iu in 0..idx.u_len {
+            assert_eq!(u1_r[iu], u2_r[iu]);
+            assert_eq!(u1_i[iu], u2_i[iu]);
+        }
+    }
+}

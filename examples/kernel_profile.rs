@@ -1,0 +1,39 @@
+//! An Nsight-Compute-style kernel profile of one SNAP + one LJ timestep
+//! on the simulated H100 and MI300A — the §4.3.4 workflow ("limiters
+//! were identified using NVIDIA Nsight Compute") against our model.
+//!
+//! Run with: `cargo run --release --example kernel_profile`
+
+use lammps_kk::core::atom::AtomData;
+use lammps_kk::core::comm::build_ghosts;
+use lammps_kk::core::lattice::{Lattice, LatticeKind};
+use lammps_kk::core::neighbor::{NeighborList, NeighborSettings};
+use lammps_kk::core::pair::PairStyle;
+use lammps_kk::core::sim::System;
+use lammps_kk::core::units::Units;
+use lammps_kk::gpusim::{render, GpuArch};
+use lammps_kk::kokkos::Space;
+use lammps_kk::snap::{PairSnap, SnapParams};
+
+fn main() {
+    for arch in [GpuArch::h100(), GpuArch::mi300a()] {
+        let space = Space::device(arch.clone());
+        let ctx = space.device_ctx().unwrap().clone();
+        let lat = Lattice::new(LatticeKind::Bcc, 3.16);
+        let atoms = AtomData::from_positions(&lat.positions(10, 10, 10));
+        let mut system =
+            System::new(atoms, lat.domain(10, 10, 10), space.clone()).with_units(Units::metal());
+        let mut pair = PairSnap::new(SnapParams::default(), &space);
+        let settings = NeighborSettings::new(pair.cutoff(), 0.3, false);
+        system.ghosts = build_ghosts(&mut system.atoms, &system.domain, settings.cutneigh());
+        let list = NeighborList::build(&system.atoms, &system.domain, &settings, &space);
+        let _ = pair.compute(&mut system, &list, true);
+        let stats: Vec<_> = ctx
+            .log
+            .aggregate()
+            .into_iter()
+            .filter(|s| s.name.starts_with("Compute"))
+            .collect();
+        println!("{}", render(&stats, &arch));
+    }
+}

@@ -1,0 +1,56 @@
+//! Strong-scaling projection: what Figure 6 looks like for the LJ melt
+//! on all five machines, using kernel event counts measured from a real
+//! force computation on the simulated-device space.
+//!
+//! Run with: `cargo run --release --example strong_scaling`
+
+use lammps_kk::machine::{scaling::presets, Machine, StrongScaling};
+
+fn main() {
+    let atoms = 16_000_000.0;
+    println!("LJ melt, {} atoms: projected timesteps/s\n", atoms as u64);
+    let machines = Machine::all();
+    print!("{:<8}", "nodes");
+    for m in &machines {
+        print!("{:>12}", m.name);
+    }
+    println!();
+    let mut nodes = 1u32;
+    while nodes <= 8192 {
+        print!("{nodes:<8}");
+        for m in &machines {
+            if nodes > m.max_nodes {
+                print!("{:>12}", "-");
+                continue;
+            }
+            let s = StrongScaling {
+                machine: m.clone(),
+                workload: presets::lj(),
+                total_atoms: atoms,
+            };
+            print!("{:>12.1}", s.steps_per_second(nodes));
+        }
+        println!();
+        nodes *= 4;
+    }
+    println!("\nReaxFF for contrast ({}k atoms — the QEq allreduce wall):", 465);
+    print!("{:<8}", "nodes");
+    for m in &machines {
+        print!("{:>12}", m.name);
+    }
+    println!();
+    let mut nodes = 1u32;
+    while nodes <= 1024 {
+        print!("{nodes:<8}");
+        for m in &machines {
+            let s = StrongScaling {
+                machine: m.clone(),
+                workload: presets::reaxff(),
+                total_atoms: 465_000.0,
+            };
+            print!("{:>12.1}", s.steps_per_second(nodes));
+        }
+        println!();
+        nodes *= 4;
+    }
+}

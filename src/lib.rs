@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the full `lammps-kk` stack.
+pub use lkk_core as core;
+pub use lkk_gpusim as gpusim;
+pub use lkk_kokkos as kokkos;
+pub use lkk_machine as machine;
+pub use lkk_reaxff as reaxff;
+pub use lkk_snap as snap;

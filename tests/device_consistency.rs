@@ -1,0 +1,45 @@
+//! Functional cross-architecture consistency: the *physics* computed
+//! on every simulated device is identical — performance portability
+//! means the architecture descriptor changes predicted time, never
+//! trajectories. (The KOKKOS package's core promise: single source,
+//! same results, on any backend.)
+
+use lammps_kk::core::atom::AtomData;
+use lammps_kk::core::lattice::{create_velocities, Lattice, LatticeKind};
+use lammps_kk::core::pair::lj::LjCut;
+use lammps_kk::core::pair::PairKokkos;
+use lammps_kk::core::sim::{Simulation, System};
+use lammps_kk::core::units::Units;
+use lammps_kk::gpusim::GpuArch;
+use lammps_kk::kokkos::Space;
+
+fn melt_on(space: Space) -> (f64, [f64; 3]) {
+    let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
+    let mut atoms = AtomData::from_positions(&lat.positions(4, 4, 4));
+    create_velocities(&mut atoms, &Units::lj(), 1.44, 20260706);
+    let system = System::new(atoms, lat.domain(4, 4, 4), space.clone());
+    let pair = PairKokkos::new(LjCut::single_type(1.0, 1.0, 2.5), &space);
+    let mut sim = Simulation::new(system, Box::new(pair));
+    sim.run(25);
+    let e = sim.total_energy();
+    (e, sim.system.atoms.pos(100))
+}
+
+#[test]
+fn every_architecture_computes_identical_physics() {
+    let (e_ref, x_ref) = melt_on(Space::Serial);
+    for arch in GpuArch::table1() {
+        let name = arch.name;
+        let (e, x) = melt_on(Space::device(arch));
+        assert!(
+            (e - e_ref).abs() < 1e-8 * e_ref.abs(),
+            "{name}: energy {e} vs {e_ref}"
+        );
+        for k in 0..3 {
+            assert!(
+                (x[k] - x_ref[k]).abs() < 1e-8,
+                "{name}: trajectory diverged in dim {k}"
+            );
+        }
+    }
+}
