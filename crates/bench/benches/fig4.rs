@@ -7,7 +7,9 @@
 //! beyond just particle count"); LJ and ReaxFF saturate at similar,
 //! much larger counts; ReaxFF runs out of HBM before full saturation.
 
-use lkk_bench::{eng, lj_comm, measure_lj, measure_reaxff, measure_snap, reaxff_comm, snap_comm, to_workload};
+use lkk_bench::{
+    eng, lj_comm, measure_lj, measure_reaxff, measure_snap, reaxff_comm, snap_comm, to_workload,
+};
 use lkk_core::pair::PairKokkosOptions;
 use lkk_gpusim::cost::fits_in_hbm;
 use lkk_gpusim::GpuArch;

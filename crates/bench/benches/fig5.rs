@@ -4,7 +4,9 @@
 //! Workload sizes as in the paper: LJ 16M atoms, ReaxFF 465k atoms,
 //! SNAP 64k atoms.
 
-use lkk_bench::{lj_comm, measure_lj, measure_reaxff, measure_snap, reaxff_comm, snap_comm, to_workload};
+use lkk_bench::{
+    lj_comm, measure_lj, measure_reaxff, measure_snap, reaxff_comm, snap_comm, to_workload,
+};
 use lkk_core::pair::PairKokkosOptions;
 use lkk_gpusim::{CpuArch, GpuArch};
 use lkk_machine::Workload;
@@ -37,7 +39,11 @@ fn main() {
             16_000_000.0,
         ),
         (
-            to_workload("ReaxFF", &measure_reaxff(20_000, h100.clone()), reaxff_comm(30.0)),
+            to_workload(
+                "ReaxFF",
+                &measure_reaxff(20_000, h100.clone()),
+                reaxff_comm(30.0),
+            ),
             465_000.0,
         ),
         (

@@ -5,7 +5,9 @@
 //! enough nodes; ReaxFF never exceeds ~100 steps/s (QEq allreduce
 //! latency); relative machine order follows single-GPU performance.
 
-use lkk_bench::{lj_comm, measure_lj, measure_reaxff, measure_snap, reaxff_comm, snap_comm, to_workload};
+use lkk_bench::{
+    lj_comm, measure_lj, measure_reaxff, measure_snap, reaxff_comm, snap_comm, to_workload,
+};
 use lkk_core::pair::PairKokkosOptions;
 use lkk_gpusim::GpuArch;
 use lkk_machine::{Machine, StrongScaling};

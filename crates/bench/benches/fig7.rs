@@ -6,7 +6,9 @@
 //! strong-scaling regime (higher launch latency); ReaxFF similar with
 //! Eos ahead at scale.
 
-use lkk_bench::{lj_comm, measure_lj, measure_reaxff, measure_snap, reaxff_comm, snap_comm, to_workload};
+use lkk_bench::{
+    lj_comm, measure_lj, measure_reaxff, measure_snap, reaxff_comm, snap_comm, to_workload,
+};
 use lkk_core::pair::PairKokkosOptions;
 use lkk_gpusim::GpuArch;
 use lkk_machine::{Machine, StrongScaling};
@@ -24,7 +26,11 @@ fn main() {
             16_000_000.0,
         ),
         (
-            to_workload("ReaxFF", &measure_reaxff(20_000, href.clone()), reaxff_comm(30.0)),
+            to_workload(
+                "ReaxFF",
+                &measure_reaxff(20_000, href.clone()),
+                reaxff_comm(30.0),
+            ),
             465_000.0,
         ),
         (
@@ -41,7 +47,10 @@ fn main() {
     for (w, atoms) in &workloads {
         println!();
         println!("== {} at {} atoms ==", w.name, atoms);
-        println!("{:<8} {:>12} {:>12} {:>12}", "nodes", "Alps", "Eos", "Alps/Eos");
+        println!(
+            "{:<8} {:>12} {:>12} {:>12}",
+            "nodes", "Alps", "Eos", "Alps/Eos"
+        );
         let mut nodes = 1u32;
         while nodes <= 256 {
             let rates: Vec<f64> = machines

@@ -87,11 +87,7 @@ fn bench_scatter(c: &mut Criterion) {
 fn bench_snap(c: &mut Criterion) {
     let mut group = c.benchmark_group("snap_kernels_cpu");
     group.sample_size(15);
-    let ctx = SnapContext::new(
-        8,
-        Default::default(),
-        SnapContext::synthetic_beta(8, 42),
-    );
+    let ctx = SnapContext::new(8, Default::default(), SnapContext::synthetic_beta(8, 42));
     let mut scratch = ctx.alloc_scratch();
     // A representative 26-neighbor bcc environment.
     let neigh: Vec<[f64; 3]> = (0..26)

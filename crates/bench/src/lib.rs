@@ -120,8 +120,8 @@ pub fn measure_snap(target_atoms: usize, arch: GpuArch, config: SnapKernelConfig
     let lat = Lattice::new(LatticeKind::Bcc, 3.16);
     let atoms = AtomData::from_positions(&lat.positions(cells, cells, cells));
     let space = device_space(arch);
-    let mut system =
-        System::new(atoms, lat.domain(cells, cells, cells), space.clone()).with_units(Units::metal());
+    let mut system = System::new(atoms, lat.domain(cells, cells, cells), space.clone())
+        .with_units(Units::metal());
     let mut pair = PairSnap::new(SnapParams::default(), &space).with_config(config);
     let settings = NeighborSettings::new(pair.cutoff(), 0.3, false);
     system.ghosts = build_ghosts(&mut system.atoms, &system.domain, settings.cutneigh());

@@ -74,8 +74,8 @@ impl AtomData {
         {
             let xh = x.h_view_mut();
             for (i, p) in positions.iter().enumerate() {
-                for k in 0..3 {
-                    xh.set([i, k], p[k]);
+                for (k, &pk) in p.iter().enumerate() {
+                    xh.set([i, k], pk);
                 }
             }
         }

@@ -157,7 +157,11 @@ pub fn reverse_forces(atoms: &mut AtomData, map: &GhostMap) {
 /// device"). On a device space the pack/unpack run as logged kernels
 /// against the device mirrors; on host spaces it is equivalent to
 /// [`forward_positions`].
-pub fn forward_positions_space(atoms: &mut crate::atom::AtomData, map: &GhostMap, space: &lkk_kokkos::Space) {
+pub fn forward_positions_space(
+    atoms: &mut crate::atom::AtomData,
+    map: &GhostMap,
+    space: &lkk_kokkos::Space,
+) {
     use crate::atom::Mask;
     atoms.sync(space, Mask::X);
     let nlocal = atoms.nlocal;
@@ -167,8 +171,8 @@ pub fn forward_positions_space(atoms: &mut crate::atom::AtomData, map: &GhostMap
     let shifts = &map.shift;
     space.parallel_for("CommForwardPack", map.nghost(), |g| {
         let o = owners[g];
-        for k in 0..3 {
-            let v = xw.get([o, k]) + shifts[g][k];
+        for (k, &shift) in shifts[g].iter().enumerate() {
+            let v = xw.get([o, k]) + shift;
             unsafe { xw.write([nlocal + g, k], v) };
         }
     });
@@ -179,7 +183,11 @@ pub fn forward_positions_space(atoms: &mut crate::atom::AtomData, map: &GhostMap
 /// rows are folded into their owners; parallelism is over *owners*
 /// (each owner sums its own ghosts serially) to keep writes disjoint,
 /// which requires the owner → ghosts index built here.
-pub fn reverse_forces_space(atoms: &mut crate::atom::AtomData, map: &GhostMap, space: &lkk_kokkos::Space) {
+pub fn reverse_forces_space(
+    atoms: &mut crate::atom::AtomData,
+    map: &GhostMap,
+    space: &lkk_kokkos::Space,
+) {
     use crate::atom::Mask;
     atoms.sync(space, Mask::F);
     let nlocal = atoms.nlocal;
@@ -201,8 +209,8 @@ pub fn reverse_forces_space(atoms: &mut crate::atom::AtomData, map: &GhostMap, s
     let f = atoms.f.view_for_mut(space);
     let fw = f.par_write();
     space.parallel_for("CommReverseUnpack", nlocal, |o| {
-        for s in offsets[o]..offsets[o + 1] {
-            let g = ghosts_of[s] as usize;
+        for &gs in &ghosts_of[offsets[o]..offsets[o + 1]] {
+            let g = gs as usize;
             for k in 0..3 {
                 let add = fw.get([nlocal + g, k]);
                 unsafe {
@@ -241,11 +249,7 @@ mod tests {
         // All images are outside the primary box but within cut of it.
         let xh = atoms.x.h_view();
         for g in 0..7 {
-            let p = [
-                xh.at([2 + g, 0]),
-                xh.at([2 + g, 1]),
-                xh.at([2 + g, 2]),
-            ];
+            let p = [xh.at([2 + g, 0]), xh.at([2 + g, 1]), xh.at([2 + g, 2])];
             assert!(!domain.contains(&p));
             // Image of the corner atom: each coordinate 0.5 or 10.5.
             for k in 0..3 {

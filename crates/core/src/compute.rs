@@ -37,7 +37,6 @@ pub fn pressure(atoms: &AtomData, units: &Units, domain: &Domain, virial: f64) -
     (n * units.boltz * t + virial / 3.0) / domain.volume()
 }
 
-
 /// Full pressure tensor (Voigt `xx, yy, zz, xy, xz, yz`) from the
 /// kinetic term plus the pair virial tensor.
 pub fn pressure_tensor(
@@ -224,7 +223,12 @@ mod tests {
         // Pressure tensor: trace/3 equals the scalar pressure, and the
         // cubic crystal is (statistically) isotropic with no shear.
         system.atoms.sync(&Space::Serial, crate::atom::Mask::V);
-        let p6 = pressure_tensor(&system.atoms, &system.units, &system.domain, res.virial_tensor);
+        let p6 = pressure_tensor(
+            &system.atoms,
+            &system.units,
+            &system.domain,
+            res.virial_tensor,
+        );
         let p = pressure(&system.atoms, &system.units, &system.domain, res.virial);
         // The scalar `pressure` uses the 3N−3 dof temperature while the
         // tensor's kinetic term sums all 3N velocity components; they
@@ -235,7 +239,11 @@ mod tests {
             (p6[0] + p6[1] + p6[2]) / 3.0
         );
         for k in 3..6 {
-            assert!(p6[k].abs() < 0.05 * p.abs().max(1.0), "shear {k}: {}", p6[k]);
+            assert!(
+                p6[k].abs() < 0.05 * p.abs().max(1.0),
+                "shear {k}: {}",
+                p6[k]
+            );
         }
     }
 }

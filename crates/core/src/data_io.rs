@@ -107,7 +107,9 @@ pub fn read_data<R: BufRead>(input: R) -> Result<DataFile, String> {
                 section = Section::Velocities;
                 continue;
             }
-            _ if line.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) && section != Section::Header => {
+            _ if line.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+                && section != Section::Header =>
+            {
                 section = Section::Skip;
                 continue;
             }
@@ -141,7 +143,10 @@ pub fn read_data<R: BufRead>(input: R) -> Result<DataFile, String> {
                     return Err(format!("short Atoms line: '{line}'"));
                 }
                 let tag: i64 = toks[0].parse().map_err(|e| format!("atom id: {e}"))?;
-                let t: i32 = toks[1].parse::<i32>().map_err(|e| format!("atom type: {e}"))? - 1;
+                let t: i32 = toks[1]
+                    .parse::<i32>()
+                    .map_err(|e| format!("atom type: {e}"))?
+                    - 1;
                 let q: f64 = toks[2].parse().map_err(|e| format!("charge: {e}"))?;
                 let x = [
                     toks[3].parse().map_err(|e| format!("x: {e}"))?,
@@ -196,8 +201,8 @@ pub fn read_data<R: BufRead>(input: R) -> Result<DataFile, String> {
             let &i = index_of
                 .get(&tag)
                 .ok_or_else(|| format!("velocity for unknown atom {tag}"))?;
-            for k in 0..3 {
-                v.set([i, k], vel[k]);
+            for (k, &vk) in vel.iter().enumerate() {
+                v.set([i, k], vk);
             }
         }
     }

@@ -18,7 +18,6 @@ use crate::pair::lj::LjCut;
 use crate::pair::TwoBody;
 use std::sync::{Barrier, Mutex};
 
-
 /// A 3-D brick decomposition of a periodic box.
 #[derive(Debug, Clone)]
 pub struct BrickDecomp {
@@ -34,12 +33,12 @@ impl BrickDecomp {
         let mut best = [1, 1, nranks];
         let mut best_score = f64::INFINITY;
         for px in 1..=nranks {
-            if nranks % px != 0 {
+            if !nranks.is_multiple_of(px) {
                 continue;
             }
             let rem = nranks / px;
             for py in 1..=rem {
-                if rem % py != 0 {
+                if !rem.is_multiple_of(py) {
                     continue;
                 }
                 let pz = rem / py;
@@ -54,10 +53,7 @@ impl BrickDecomp {
                 }
             }
         }
-        BrickDecomp {
-            grid: best,
-            global,
-        }
+        BrickDecomp { grid: best, global }
     }
 
     pub fn nranks(&self) -> usize {
@@ -161,7 +157,8 @@ pub fn run_decomposed<P: TwoBody + Clone>(
 
     // Mailboxes: `halo_posts[r]` = atoms rank r publishes this step;
     // `migrate_posts[r][dest]` = atoms leaving r for dest.
-    let halo_posts: Vec<Mutex<Vec<AtomMsg>>> = (0..nranks).map(|_| Mutex::new(Vec::new())).collect();
+    let halo_posts: Vec<Mutex<Vec<AtomMsg>>> =
+        (0..nranks).map(|_| Mutex::new(Vec::new())).collect();
     let migrate_posts: Vec<Mutex<Vec<AtomMsg>>> =
         (0..nranks).map(|_| Mutex::new(Vec::new())).collect();
     let energy_posts: Vec<Mutex<f64>> = (0..nranks).map(|_| Mutex::new(0.0)).collect();
@@ -234,11 +231,7 @@ pub fn run_decomposed<P: TwoBody + Clone>(
                             if i == j {
                                 continue;
                             }
-                            let d = [
-                                xi[0] - other.x[0],
-                                xi[1] - other.x[1],
-                                xi[2] - other.x[2],
-                            ];
+                            let d = [xi[0] - other.x[0], xi[1] - other.x[1], xi[2] - other.x[2]];
                             let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
                             if rsq < cutsq {
                                 let (fp, ev) = lj.pair(rsq, 0, 0);
@@ -279,8 +272,8 @@ pub fn run_decomposed<P: TwoBody + Clone>(
                     //     compares against a reference implementation with
                     //     identical ordering (see tests).
                     for (a, f) in mine.iter_mut().zip(&forces) {
-                        for k in 0..3 {
-                            a.v[k] += dt * f[k];
+                        for (k, &fk) in f.iter().enumerate() {
+                            a.v[k] += dt * fk;
                             a.x[k] += dt * a.v[k];
                         }
                     }

@@ -63,13 +63,21 @@ impl<W: Write + Send> crate::fix::Fix for XyzDump<W> {
     }
 
     fn post_force(&mut self, system: &mut crate::sim::System, _dt: f64, step: u64) {
-        if step % self.every != 0 {
+        if !step.is_multiple_of(self.every) {
             return;
         }
-        system.atoms.sync(&lkk_kokkos::Space::Serial, crate::atom::Mask::X);
+        system
+            .atoms
+            .sync(&lkk_kokkos::Space::Serial, crate::atom::Mask::X);
         let names: Vec<&str> = self.element_names.iter().map(|s| s.as_str()).collect();
-        write_xyz_frame(&mut self.writer, &system.atoms, &system.domain, &names, step)
-            .expect("dump write failed");
+        write_xyz_frame(
+            &mut self.writer,
+            &system.atoms,
+            &system.domain,
+            &names,
+            step,
+        )
+        .expect("dump write failed");
         self.frames_written += 1;
     }
 }

@@ -27,7 +27,9 @@ impl Fix for FixNve {
 
     fn initial_integrate(&mut self, system: &mut System, dt: f64) {
         let space = system.space.clone();
-        system.atoms.sync(&space, Mask::X | Mask::V | Mask::F | Mask::TYPE);
+        system
+            .atoms
+            .sync(&space, Mask::X | Mask::V | Mask::F | Mask::TYPE);
         let nlocal = system.atoms.nlocal;
         let mass = system.atoms.mass.clone();
         let mvv2e = system.units.mvv2e;
@@ -143,7 +145,6 @@ impl Fix for FixLangevin {
     }
 }
 
-
 /// `fix nvt`: Nosé-Hoover thermostatted integration (single chain,
 /// velocity-Verlet splitting à la Martyna-Tuckerman-Klein). Replaces
 /// `fix nve`: it performs the full time integration.
@@ -220,10 +221,12 @@ impl Fix for FixMomentum {
     }
 
     fn post_force(&mut self, system: &mut System, _dt: f64, step: u64) {
-        if self.every == 0 || step % self.every != 0 {
+        if self.every == 0 || !step.is_multiple_of(self.every) {
             return;
         }
-        system.atoms.sync(&lkk_kokkos::Space::Serial, Mask::V | Mask::TYPE);
+        system
+            .atoms
+            .sync(&lkk_kokkos::Space::Serial, Mask::V | Mask::TYPE);
         let n = system.atoms.nlocal;
         let mass = system.atoms.mass.clone();
         let mut p = [0.0f64; 3];
@@ -234,15 +237,15 @@ impl Fix for FixMomentum {
             for i in 0..n {
                 let m = mass[typ.at([i]) as usize];
                 mtot += m;
-                for k in 0..3 {
-                    p[k] += m * vh.at([i, k]);
+                for (k, pk) in p.iter_mut().enumerate() {
+                    *pk += m * vh.at([i, k]);
                 }
             }
         }
         let vh = system.atoms.v.h_view_mut();
         for i in 0..n {
-            for k in 0..3 {
-                let v = vh.at([i, k]) - p[k] / mtot;
+            for (k, &pk) in p.iter().enumerate() {
+                let v = vh.at([i, k]) - pk / mtot;
                 vh.set([i, k], v);
             }
         }

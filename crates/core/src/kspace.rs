@@ -27,7 +27,8 @@ pub fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let e = poly * (-x * x).exp();
     if sign > 0.0 {
         e
@@ -83,7 +84,9 @@ impl Ewald {
         let xh = atoms.x.h_view();
         let qh = atoms.q.h_view();
         let q: Vec<f64> = (0..n).map(|i| qh.at([i])).collect();
-        let pos: Vec<[f64; 3]> = (0..n).map(|i| [xh.at([i, 0]), xh.at([i, 1]), xh.at([i, 2])]).collect();
+        let pos: Vec<[f64; 3]> = (0..n)
+            .map(|i| [xh.at([i, 0]), xh.at([i, 1]), xh.at([i, 2])])
+            .collect();
         let qtot: f64 = q.iter().sum();
         assert!(
             qtot.abs() < 1e-8,
@@ -113,8 +116,9 @@ impl Ewald {
                     let qq = kc * q_ref[i] * q_ref[j];
                     let erfc_ar = erfc(alpha * r);
                     e += 0.5 * qq * erfc_ar / r;
-                    let dedr =
-                        -qq * (erfc_ar / rsq + two_over_sqrt_pi * alpha * (-alpha * alpha * rsq).exp() / r);
+                    let dedr = -qq
+                        * (erfc_ar / rsq
+                            + two_over_sqrt_pi * alpha * (-alpha * alpha * rsq).exp() / r);
                     // d = x_i − x_j; force on i = −dE/dx_i.
                     for k in 0..3 {
                         f[k] -= dedr * d[k] / r;
@@ -190,8 +194,8 @@ impl Ewald {
         }
 
         // --- Self energy. ---
-        let e_self: f64 = -kc * alpha / std::f64::consts::PI.sqrt()
-            * q.iter().map(|&qi| qi * qi).sum::<f64>();
+        let e_self: f64 =
+            -kc * alpha / std::f64::consts::PI.sqrt() * q.iter().map(|&qi| qi * qi).sum::<f64>();
 
         (e_real + e_recip + e_self, forces)
     }

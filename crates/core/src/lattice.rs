@@ -155,8 +155,8 @@ pub fn create_velocities(atoms: &mut AtomData, units: &Units, t_target: f64, see
     };
     let vh = atoms.v.h_view_mut();
     for (i, v) in vs.iter().enumerate() {
-        for k in 0..3 {
-            vh.set([i, k], v[k] * scale);
+        for (k, &vk) in v.iter().enumerate() {
+            vh.set([i, k], vk * scale);
         }
     }
 }

@@ -26,8 +26,8 @@
 
 pub mod atom;
 pub mod comm;
-pub mod data_io;
 pub mod compute;
+pub mod data_io;
 pub mod decomp;
 pub mod domain;
 pub mod dump;

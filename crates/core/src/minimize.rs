@@ -129,9 +129,7 @@ impl Simulation {
                     }
                 }
             }
-            self.system
-                .atoms
-                .modified(&Space::Serial, Mask::V);
+            self.system.atoms.modified(&Space::Serial, Mask::V);
             // One velocity-Verlet step at the adapted dt.
             let saved_dt = self.dt;
             self.dt = dt;
@@ -174,14 +172,22 @@ mod tests {
             })
             .collect();
         let space = Space::Threads;
-        let system = System::new(AtomData::from_positions(&perturbed), lat.domain(4, 4, 4), space.clone());
+        let system = System::new(
+            AtomData::from_positions(&perturbed),
+            lat.domain(4, 4, 4),
+            space.clone(),
+        );
         let pair = PairKokkos::new(LjCut::single_type(1.0, 1.0, 2.5), &space);
         let mut sim = Simulation::new(system, Box::new(pair));
         sim.dt = 0.002;
         sim.setup();
         let e_start = sim.last_results.energy;
         let result = sim.minimize_fire(1e-6, 4000);
-        assert!(result.converged, "fmax {} after {}", result.fmax, result.iterations);
+        assert!(
+            result.converged,
+            "fmax {} after {}",
+            result.fmax, result.iterations
+        );
         assert!(result.energy < e_start, "{} !< {e_start}", result.energy);
         // The relaxed structure has essentially zero residual force.
         assert!(result.fmax < 1e-6);

@@ -49,10 +49,7 @@ pub struct Topology {
 impl Topology {
     /// Compute bonded energy and accumulate forces (minimum-image
     /// displacements; owned atoms only). Returns `(energy, virial)`.
-    pub fn compute(
-        &self,
-        system: &mut System,
-    ) -> (f64, f64) {
+    pub fn compute(&self, system: &mut System) -> (f64, f64) {
         system.atoms.sync(&Space::Serial, Mask::X);
         let domain = system.domain;
         let mut energy = 0.0;
@@ -83,8 +80,8 @@ impl Topology {
                 let d2 = domain.min_image(&pos(a.k_atom), &pos(a.center));
                 let r1 = (d1[0] * d1[0] + d1[1] * d1[1] + d1[2] * d1[2]).sqrt();
                 let r2 = (d2[0] * d2[0] + d2[1] * d2[1] + d2[2] * d2[2]).sqrt();
-                let c = ((d1[0] * d2[0] + d1[1] * d2[1] + d1[2] * d2[2]) / (r1 * r2))
-                    .clamp(-1.0, 1.0);
+                let c =
+                    ((d1[0] * d2[0] + d1[1] * d2[1] + d1[2] * d2[2]) / (r1 * r2)).clamp(-1.0, 1.0);
                 let theta = c.acos();
                 let dth = theta - a.theta0;
                 energy += a.k * dth * dth;
@@ -103,8 +100,8 @@ impl Topology {
         }
         let fh = system.atoms.f.h_view_mut();
         for (i, f) in forces.iter().enumerate() {
-            for k in 0..3 {
-                let v = fh.at([i, k]) + f[k];
+            for (k, &fk) in f.iter().enumerate() {
+                let v = fh.at([i, k]) + fk;
                 fh.set([i, k], v);
             }
         }
@@ -178,15 +175,21 @@ mod tests {
 
     fn water_like() -> (Vec<[f64; 3]>, Topology) {
         // O at center, two H at ~0.96 with a ~104.5° angle.
-        let positions = vec![
-            [5.0, 5.0, 5.0],
-            [5.96, 5.05, 5.0],
-            [4.78, 5.92, 5.0],
-        ];
+        let positions = vec![[5.0, 5.0, 5.0], [5.96, 5.05, 5.0], [4.78, 5.92, 5.0]];
         let topology = Topology {
             bonds: vec![
-                Bond { i: 0, j: 1, k: 22.0, r0: 0.9572 },
-                Bond { i: 0, j: 2, k: 22.0, r0: 0.9572 },
+                Bond {
+                    i: 0,
+                    j: 1,
+                    k: 22.0,
+                    r0: 0.9572,
+                },
+                Bond {
+                    i: 0,
+                    j: 2,
+                    k: 22.0,
+                    r0: 0.9572,
+                },
             ],
             angles: vec![Angle {
                 center: 0,
@@ -265,11 +268,7 @@ mod tests {
         let positions = vec![
             [5.0, 5.0, 5.0],
             [5.0 + 0.9572, 5.0, 5.0],
-            [
-                5.0 + 0.9572 * theta.cos(),
-                5.0 + 0.9572 * theta.sin(),
-                5.0,
-            ],
+            [5.0 + 0.9572 * theta.cos(), 5.0 + 0.9572 * theta.sin(), 5.0],
         ];
         let (_, topology) = water_like();
         let atoms = AtomData::from_positions(&positions);

@@ -181,7 +181,15 @@ impl NeighborList {
             let mut neighbors = View::for_space("neighlist", [nlocal, maxneigh], space);
             let mut numneigh = View::for_space("numneigh", [nlocal], space);
             let overflow = Self::fill(
-                atoms, &bins, cutsq, settings.half, nlocal, maxneigh, &mut neighbors, &mut numneigh, space,
+                atoms,
+                &bins,
+                cutsq,
+                settings.half,
+                nlocal,
+                maxneigh,
+                &mut neighbors,
+                &mut numneigh,
+                space,
             );
             if let Some(needed) = overflow {
                 maxneigh = needed + needed / 4 + 4;
@@ -555,8 +563,7 @@ mod tests {
 
         let energy_and_ws = |pos: &[[f64; 3]]| -> (f64, f64) {
             let mut system = System::new(AtomData::from_positions(pos), domain, Space::Serial);
-            system.ghosts =
-                build_ghosts(&mut system.atoms, &domain, settings.cutneigh());
+            system.ghosts = build_ghosts(&mut system.atoms, &domain, settings.cutneigh());
             let nl = NeighborList::build(&system.atoms, &domain, &settings, &Space::Serial);
             let ws = nl.working_set_bytes(256);
             let mut pair = PairKokkos::with_options(
@@ -585,7 +592,9 @@ mod tests {
             "sorted {ws_sorted} vs shuffled {ws_shuffled}"
         );
         // Tags are a permutation (nothing lost).
-        let mut tags: Vec<i64> = (0..atoms.nlocal).map(|i| atoms.tag.h_view().at([i])).collect();
+        let mut tags: Vec<i64> = (0..atoms.nlocal)
+            .map(|i| atoms.tag.h_view().at([i]))
+            .collect();
         tags.sort_unstable();
         assert!(tags.iter().enumerate().all(|(i, &t)| t == i as i64 + 1));
     }

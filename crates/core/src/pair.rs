@@ -118,22 +118,13 @@ pub trait TwoBody: Send + Sync {
 
 /// Execution strategy knobs for [`PairKokkos`] (Fig. 2's experiment
 /// axes).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PairKokkosOptions {
     /// `None`: follow the execution-space default (full on device, half
     /// on host). `Some(h)`: force half (`true`) or full (`false`).
     pub force_half: Option<bool>,
     /// Expose parallelism over neighbors with team policies (Fig. 2a).
     pub team_over_neighbors: bool,
-}
-
-impl Default for PairKokkosOptions {
-    fn default() -> Self {
-        PairKokkosOptions {
-            force_half: None,
-            team_over_neighbors: false,
-        }
-    }
 }
 
 /// The generic two-body driver.
@@ -154,7 +145,11 @@ impl<P: TwoBody> PairKokkos<P> {
         // §4.1: "typically a full neighbor list and newton off is better
         // for GPUs, while a half list and newton on is better for CPUs".
         let half = options.force_half.unwrap_or(!space.is_device());
-        let name = format!("{}{}", pot.type_name(), if space.is_device() { "/kk" } else { "" });
+        let name = format!(
+            "{}{}",
+            pot.type_name(),
+            if space.is_device() { "/kk" } else { "" }
+        );
         PairKokkos {
             pot,
             options,
@@ -217,8 +212,8 @@ impl<P: TwoBody> PairKokkos<P> {
             },
             |a, b| {
                 let mut w = a.1;
-                for k in 0..6 {
-                    w[k] += b.1[k];
+                for (wk, bk) in w.iter_mut().zip(b.1) {
+                    *wk += bk;
                 }
                 (a.0 + b.0, w, a.2 + b.2)
             },
@@ -344,15 +339,15 @@ impl<P: TwoBody> PairKokkos<P> {
                         inside += 1;
                     }
                 }
-                for k in 0..3 {
-                    sref.add(i, k, fi[k]);
+                for (k, &fik) in fi.iter().enumerate() {
+                    sref.add(i, k, fik);
                 }
                 (e, w, inside)
             },
             |a, b| {
                 let mut w = a.1;
-                for k in 0..6 {
-                    w[k] += b.1[k];
+                for (wk, bk) in w.iter_mut().zip(b.1) {
+                    *wk += bk;
                 }
                 (a.0 + b.0, w, a.2 + b.2)
             },
@@ -383,8 +378,7 @@ impl<P: TwoBody> PairKokkos<P> {
         } else {
             nlocal
         };
-        s.flops = pairs_inside as f64 * self.pot.flops_per_pair()
-            + total_pairs * 8.0; // distance + cutoff check on every listed pair
+        s.flops = pairs_inside as f64 * self.pot.flops_per_pair() + total_pairs * 8.0; // distance + cutoff check on every listed pair
         if self.options.team_over_neighbors {
             // Fig. 2a: "the benefit of additional parallelism outweighs
             // the reduced efficiency of the more complex iteration
@@ -396,7 +390,11 @@ impl<P: TwoBody> PairKokkos<P> {
         s.reused_bytes = total_pairs * 24.0;
         // One SM runs ~2048 resident threads = 2048 atoms' neighborhoods.
         s.working_set_bytes = list.working_set_bytes(2048);
-        s.atomic_f64_ops = if self.half { (pairs_inside * 6) as f64 } else { 0.0 };
+        s.atomic_f64_ops = if self.half {
+            (pairs_inside * 6) as f64
+        } else {
+            0.0
+        };
         s.convergence = if total_pairs > 0.0 {
             (pairs_inside as f64 / total_pairs).clamp(0.05, 1.0)
         } else {

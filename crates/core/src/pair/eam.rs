@@ -22,8 +22,8 @@
 use crate::atom::Mask;
 use crate::neighbor::NeighborList;
 use crate::pair::{PairResults, PairStyle};
-use crate::switch::cubic_switch;
 use crate::sim::System;
+use crate::switch::cubic_switch;
 use lkk_gpusim::KernelStats;
 use lkk_kokkos::Space;
 
@@ -245,8 +245,8 @@ impl PairStyle for PairEam {
             },
             |a, b| {
                 let mut w = a.1;
-                for k in 0..6 {
-                    w[k] += b.1[k];
+                for (wk, bk) in w.iter_mut().zip(b.1) {
+                    *wk += bk;
                 }
                 (a.0 + b.0, w)
             },
@@ -341,8 +341,7 @@ mod tests {
             let mut system = System::new(atoms, lat.domain(3, 3, 3), space.clone());
             let settings = NeighborSettings::new(4.95, 0.3, false);
             system.atoms.wrap_positions(&system.domain);
-            system.ghosts =
-                build_ghosts(&mut system.atoms, &system.domain, settings.cutneigh());
+            system.ghosts = build_ghosts(&mut system.atoms, &system.domain, settings.cutneigh());
             let list = NeighborList::build(&system.atoms, &system.domain, &settings, &space);
             let mut eam = PairEam::new(EamParams::default());
             eam.compute(&mut system, &list, true).energy

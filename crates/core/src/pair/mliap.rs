@@ -21,8 +21,8 @@
 use crate::atom::Mask;
 use crate::neighbor::NeighborList;
 use crate::pair::{PairResults, PairStyle};
-use crate::switch::cubic_switch;
 use crate::sim::System;
+use crate::switch::cubic_switch;
 use lkk_gpusim::KernelStats;
 use lkk_kokkos::ScatterView;
 
@@ -107,11 +107,7 @@ impl DescriptorSet for RadialSymmetry {
                     let dg = -2.0 * self.eta * (r - mu) * g;
                     dedr += dedd[k] * (dg * fc + g * dfc);
                 }
-                [
-                    dedr * d3[0] / r,
-                    dedr * d3[1] / r,
-                    dedr * d3[2] / r,
-                ]
+                [dedr * d3[0] / r, dedr * d3[1] / r, dedr * d3[2] / r]
             })
             .collect()
     }
@@ -158,14 +154,14 @@ impl MlModel for Mlp {
         let mut e = self.b2;
         for h in 0..self.n_hidden {
             let mut z = self.b1[h];
-            for i in 0..self.n_in {
-                z += self.w1[h * self.n_in + i] * desc[i];
+            for (i, &di) in desc.iter().enumerate() {
+                z += self.w1[h * self.n_in + i] * di;
             }
             let t = z.tanh();
             e += self.w2[h] * t;
             let dt = self.w2[h] * (1.0 - t * t);
-            for i in 0..self.n_in {
-                grad[i] += dt * self.w1[h * self.n_in + i];
+            for (i, gi) in grad.iter_mut().enumerate() {
+                *gi += dt * self.w1[h * self.n_in + i];
             }
         }
         e
@@ -259,9 +255,9 @@ impl<D: DescriptorSet + 'static, M: MlModel + 'static> PairStyle for PairMliap<D
                 let mut w = [0.0f64; 6];
                 for (k, &j) in ids.iter().enumerate() {
                     let f = [-dedx[k][0], -dedx[k][1], -dedx[k][2]];
-                    for dir in 0..3 {
-                        sref.add(j, dir, f[dir]);
-                        sref.add(i, dir, -f[dir]);
+                    for (dir, &fd) in f.iter().enumerate() {
+                        sref.add(j, dir, fd);
+                        sref.add(i, dir, -fd);
                     }
                     // W_ab = Σ d_a f_b, symmetrized (d = x_j − x_i, f on j).
                     let d = rel[k];
@@ -276,8 +272,8 @@ impl<D: DescriptorSet + 'static, M: MlModel + 'static> PairStyle for PairMliap<D
             },
             |a, b| {
                 let mut w = a.1;
-                for k in 0..6 {
-                    w[k] += b.1[k];
+                for (wk, bk) in w.iter_mut().zip(b.1) {
+                    *wk += bk;
                 }
                 (a.0 + b.0, w)
             },
@@ -301,11 +297,11 @@ impl<D: DescriptorSet + 'static, M: MlModel + 'static> PairStyle for PairMliap<D
 mod tests {
     use super::*;
     use crate::atom::AtomData;
-    use lkk_kokkos::Space;
     use crate::comm::build_ghosts;
     use crate::domain::Domain;
     use crate::lattice::{Lattice, LatticeKind};
     use crate::neighbor::NeighborSettings;
+    use lkk_kokkos::Space;
 
     fn style() -> PairMliap<RadialSymmetry, Mlp> {
         let desc = RadialSymmetry::new(8, 2.0, 4.0);

@@ -69,9 +69,9 @@ impl SwParams {
         let srp = sr.powi(self.p);
         let srq = sr.powi(self.q);
         let core = self.big_a * self.epsilon * (self.big_b * srp - srq);
-        let dcore = self.big_a * self.epsilon
-            * (-(self.p as f64) * self.big_b * srp + self.q as f64 * srq)
-            / r;
+        let dcore =
+            self.big_a * self.epsilon * (-(self.p as f64) * self.big_b * srp + self.q as f64 * srq)
+                / r;
         let ex = (self.sigma / (r - rc)).exp();
         let dex = -self.sigma / ((r - rc) * (r - rc)) * ex;
         (core * ex, dcore * ex + core * dex)
@@ -173,8 +173,8 @@ impl PairStyle for PairSw {
                 let mut e = 0.0;
                 let mut w6 = [0.0f64; 6];
                 let add_force = |atom: usize, f: [f64; 3]| {
-                    for k in 0..3 {
-                        sref.add(atom, k, f[k]);
+                    for (k, &fk) in f.iter().enumerate() {
+                        sref.add(atom, k, fk);
                     }
                 };
                 // Two-body: one-sided over the full list (half energy).
@@ -230,17 +230,20 @@ impl PairStyle for PairSw {
                         w6[0] += d1[0] * fj[0] + d2[0] * fk[0];
                         w6[1] += d1[1] * fj[1] + d2[1] * fk[1];
                         w6[2] += d1[2] * fj[2] + d2[2] * fk[2];
-                        w6[3] += 0.5 * (d1[0] * fj[1] + d1[1] * fj[0] + d2[0] * fk[1] + d2[1] * fk[0]);
-                        w6[4] += 0.5 * (d1[0] * fj[2] + d1[2] * fj[0] + d2[0] * fk[2] + d2[2] * fk[0]);
-                        w6[5] += 0.5 * (d1[1] * fj[2] + d1[2] * fj[1] + d2[1] * fk[2] + d2[2] * fk[1]);
+                        w6[3] +=
+                            0.5 * (d1[0] * fj[1] + d1[1] * fj[0] + d2[0] * fk[1] + d2[1] * fk[0]);
+                        w6[4] +=
+                            0.5 * (d1[0] * fj[2] + d1[2] * fj[0] + d2[0] * fk[2] + d2[2] * fk[0]);
+                        w6[5] +=
+                            0.5 * (d1[1] * fj[2] + d1[2] * fj[1] + d2[1] * fk[2] + d2[2] * fk[1]);
                     }
                 }
                 (e, w6)
             },
             |a, b| {
                 let mut w = a.1;
-                for k in 0..6 {
-                    w[k] += b.1[k];
+                for (wk, bk) in w.iter_mut().zip(b.1) {
+                    *wk += bk;
                 }
                 (a.0 + b.0, w)
             },
@@ -271,13 +274,13 @@ impl PairStyle for PairSw {
 mod tests {
     use super::*;
     use crate::atom::AtomData;
-    use lkk_kokkos::Space;
     use crate::comm::{build_ghosts, reverse_forces};
     use crate::domain::Domain;
     use crate::lattice::create_velocities;
     use crate::neighbor::NeighborSettings;
     use crate::sim::Simulation;
     use crate::units::Units;
+    use lkk_kokkos::Space;
 
     /// Diamond-cubic silicon positions (8 atoms per cell, a = 5.431 Å).
     fn diamond(n: usize) -> (Vec<[f64; 3]>, Domain) {
@@ -309,7 +312,11 @@ mod tests {
         (pos, Domain::cubic(a * n as f64))
     }
 
-    fn compute(positions: &[[f64; 3]], domain: Domain, space: Space) -> (Vec<[f64; 3]>, PairResults) {
+    fn compute(
+        positions: &[[f64; 3]],
+        domain: Domain,
+        space: Space,
+    ) -> (Vec<[f64; 3]>, PairResults) {
         let mut atoms = AtomData::from_positions(positions);
         atoms.mass = vec![28.0855];
         let mut system = System::new(atoms, domain, space.clone()).with_units(Units::metal());

@@ -18,7 +18,13 @@ pub struct PairTable {
 impl PairTable {
     /// Tabulate `source` between `r_lo` and `cut` with `n` knots on a
     /// uniform r² grid.
-    pub fn tabulate<P: TwoBody>(source: &P, name: &'static str, r_lo: f64, cut: f64, n: usize) -> Self {
+    pub fn tabulate<P: TwoBody>(
+        source: &P,
+        name: &'static str,
+        r_lo: f64,
+        cut: f64,
+        n: usize,
+    ) -> Self {
         assert!(n >= 2 && cut > r_lo && r_lo > 0.0);
         let rsq_lo = r_lo * r_lo;
         let rsq_hi = cut * cut;

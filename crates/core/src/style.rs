@@ -11,8 +11,8 @@
 
 use crate::pair::eam::{EamParams, PairEam};
 use crate::pair::lj::LjCut;
-use crate::pair::sw::{PairSw, SwParams};
 use crate::pair::morse::Morse;
+use crate::pair::sw::{PairSw, SwParams};
 use crate::pair::yukawa::Yukawa;
 use crate::pair::{PairKokkos, PairStyle};
 use lkk_kokkos::Space;
@@ -40,7 +40,8 @@ impl PairSpec {
     }
 }
 
-type PairFactory = Box<dyn Fn(&PairSpec, &Space) -> Result<Box<dyn PairStyle>, String> + Send + Sync>;
+type PairFactory =
+    Box<dyn Fn(&PairSpec, &Space) -> Result<Box<dyn PairStyle>, String> + Send + Sync>;
 
 /// Name → factory maps for each style category.
 pub struct StyleRegistry {
@@ -67,9 +68,14 @@ impl StyleRegistry {
     /// "the same macro" for both, with the suffix convention (§3.1).
     pub fn register_pair<F>(&mut self, name: &str, factory: F)
     where
-        F: Fn(&PairSpec, &Space) -> Result<Box<dyn PairStyle>, String> + Send + Sync + Clone + 'static,
+        F: Fn(&PairSpec, &Space) -> Result<Box<dyn PairStyle>, String>
+            + Send
+            + Sync
+            + Clone
+            + 'static,
     {
-        self.pairs.insert(name.to_string(), Box::new(factory.clone()));
+        self.pairs
+            .insert(name.to_string(), Box::new(factory.clone()));
         self.pairs.insert(format!("{name}/kk"), Box::new(factory));
     }
 
@@ -142,7 +148,11 @@ fn make_lj(spec: &PairSpec, space: &Space) -> Result<Box<dyn PairStyle>, String>
             default_cut
         };
         if ti >= ntypes || tj >= ntypes {
-            return Err(format!("pair_coeff type out of range: {} {}", ti + 1, tj + 1));
+            return Err(format!(
+                "pair_coeff type out of range: {} {}",
+                ti + 1,
+                tj + 1
+            ));
         }
         lj.set_coeff(ti, tj, eps, sig, cut);
     }
@@ -158,7 +168,10 @@ fn make_morse(spec: &PairSpec, space: &Space) -> Result<Box<dyn PairStyle>, Stri
     let d0: f64 = c[2].parse().map_err(|_| "bad D0")?;
     let alpha: f64 = c[3].parse().map_err(|_| "bad alpha")?;
     let r0: f64 = c[4].parse().map_err(|_| "bad r0")?;
-    Ok(Box::new(PairKokkos::new(Morse::new(d0, alpha, r0, cut), space)))
+    Ok(Box::new(PairKokkos::new(
+        Morse::new(d0, alpha, r0, cut),
+        space,
+    )))
 }
 
 fn make_eam(_spec: &PairSpec, _space: &Space) -> Result<Box<dyn PairStyle>, String> {
@@ -207,7 +220,9 @@ mod tests {
     fn global_suffix_selects_kk_variant() {
         let reg = StyleRegistry::core();
         let dev = Space::device(lkk_gpusim::GpuArch::h100());
-        let p = reg.create_pair("lj/cut", &lj_spec(), &dev, Some("kk")).unwrap();
+        let p = reg
+            .create_pair("lj/cut", &lj_spec(), &dev, Some("kk"))
+            .unwrap();
         assert_eq!(p.name(), "lj/cut/kk");
         // Device default: full list.
         assert!(!p.wants_half_list());

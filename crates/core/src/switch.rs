@@ -30,7 +30,8 @@ mod tests {
     fn derivative_matches_fd() {
         for &r in &[1.1f64, 1.4, 1.8] {
             let h = 1e-7;
-            let fd = (cubic_switch(r + h, 1.0, 2.0).0 - cubic_switch(r - h, 1.0, 2.0).0) / (2.0 * h);
+            let fd =
+                (cubic_switch(r + h, 1.0, 2.0).0 - cubic_switch(r - h, 1.0, 2.0).0) / (2.0 * h);
             assert!((cubic_switch(r, 1.0, 2.0).1 - fd).abs() < 1e-6);
         }
     }

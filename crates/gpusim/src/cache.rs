@@ -38,7 +38,7 @@ impl CacheSim {
         assert!(ways >= 1 && line_bytes.is_power_of_two());
         let n_lines = capacity_bytes / line_bytes;
         assert!(
-            n_lines >= ways as u64 && n_lines % ways as u64 == 0,
+            n_lines >= ways as u64 && n_lines.is_multiple_of(ways as u64),
             "capacity {capacity_bytes} not divisible into {ways}-way sets of {line_bytes}-byte lines"
         );
         let n_sets = n_lines / ways as u64;
@@ -205,7 +205,9 @@ mod tests {
         // Simple deterministic LCG so the test has no dependencies.
         let mut state = 0x9e3779b97f4a7c15u64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 11
         };
         let capacity = 64 * 1024u64;

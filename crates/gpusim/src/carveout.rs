@@ -50,7 +50,11 @@ impl CacheConfig {
     /// Figure 3): reserve just enough shared memory for the kernel's
     /// declared per-team scratch at full SM occupancy, leaving the rest
     /// as L1.
-    pub fn default_for_kernel(arch: &GpuArch, scratch_bytes_per_team: f64, threads_per_team: u32) -> Self {
+    pub fn default_for_kernel(
+        arch: &GpuArch,
+        scratch_bytes_per_team: f64,
+        threads_per_team: u32,
+    ) -> Self {
         if !arch.unified_cache {
             return Self::from_carveout(arch, 0.0);
         }

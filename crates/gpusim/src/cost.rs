@@ -28,6 +28,10 @@ use crate::carveout::CacheConfig;
 pub struct KernelStats {
     /// Kernel name, e.g. `"ComputeUi"`.
     pub name: String,
+    /// Profiling region path active when the kernel was recorded
+    /// (e.g. `"step/pair"`), `""` outside any region. Attached by the
+    /// `lkk-kokkos` profiling layer; purely observational.
+    pub region: String,
     /// Exposed parallel work items (GPU threads' worth of work).
     pub work_items: f64,
     /// Double-precision floating point operations.
@@ -68,6 +72,7 @@ impl KernelStats {
     pub fn new(name: impl Into<String>) -> Self {
         KernelStats {
             name: name.into(),
+            region: String::new(),
             work_items: 0.0,
             flops: 0.0,
             dram_bytes: 0.0,
@@ -166,7 +171,13 @@ impl KernelStats {
             (t_atomic, Limiter::AtomicThroughput),
         ]
         .into_iter()
-        .fold((0.0, Limiter::HbmBandwidth), |acc, x| if x.0 > acc.0 { x } else { acc });
+        .fold((0.0, Limiter::HbmBandwidth), |acc, x| {
+            if x.0 > acc.0 {
+                x
+            } else {
+                acc
+            }
+        });
 
         // --- Occupancy: shared-memory limits on resident threads. ---
         let threads_per_sm = arch.max_resident_threads as f64 / arch.sm_count as f64;
@@ -216,7 +227,11 @@ impl KernelStats {
 
     /// Convenience: time with the Kokkos-like default carveout heuristic.
     pub fn time_on_default(&self, arch: &GpuArch) -> KernelTime {
-        let cfg = CacheConfig::default_for_kernel(arch, self.scratch_bytes_per_team, self.threads_per_team.max(arch.warp_width));
+        let cfg = CacheConfig::default_for_kernel(
+            arch,
+            self.scratch_bytes_per_team,
+            self.threads_per_team.max(arch.warp_width),
+        );
         self.time_on(arch, &cfg)
     }
 }
@@ -225,6 +240,60 @@ impl KernelStats {
 /// "ReaxFF ran out of HBM before reaching full saturation".)
 pub fn fits_in_hbm(arch: &GpuArch, footprint_bytes: f64) -> bool {
     footprint_bytes <= 0.9 * arch.hbm_capacity_bytes()
+}
+
+/// Roofline classification of a kernel against an architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RooflineClass {
+    /// Arithmetic intensity below the machine balance: DRAM traffic
+    /// bounds throughput.
+    MemoryBound,
+    /// Arithmetic intensity above the machine balance: FP64 issue rate
+    /// bounds throughput.
+    ComputeBound,
+    /// Too little work to saturate either resource (launch latency or
+    /// thread starvation dominates); the roofline position is moot.
+    LatencyBound,
+}
+
+/// A kernel's position on the classical roofline: measured arithmetic
+/// intensity (flop/byte of DRAM traffic) against the machine balance
+/// (peak FP64 flop/s over peak HBM byte/s) of one architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// flops / DRAM bytes actually moved (after L1 filtering).
+    pub arithmetic_intensity: f64,
+    /// Arch FP64 peak divided by HBM bandwidth, flop/byte.
+    pub machine_balance: f64,
+    pub class: RooflineClass,
+}
+
+impl KernelStats {
+    /// Classify this kernel on `arch`'s roofline. The DRAM traffic uses
+    /// the same L1-filtered estimate as [`KernelStats::time_on`] with the
+    /// default carveout, so the classification agrees with the limiter
+    /// the cost model reports.
+    pub fn roofline_on(&self, arch: &GpuArch) -> Roofline {
+        let t = self.time_on_default(arch);
+        let machine_balance = (arch.fp64_tflops * 1e12) / (arch.hbm_bw_gbs * 1e9);
+        // Reconstruct the filtered DRAM traffic from the limiter time.
+        let dram = t.t_hbm * arch.hbm_bw_gbs * 1e9;
+        let arithmetic_intensity = if dram > 0.0 {
+            self.flops / dram
+        } else {
+            f64::INFINITY
+        };
+        let class = match t.limiter {
+            Limiter::LaunchLatency => RooflineClass::LatencyBound,
+            _ if arithmetic_intensity < machine_balance => RooflineClass::MemoryBound,
+            _ => RooflineClass::ComputeBound,
+        };
+        Roofline {
+            arithmetic_intensity,
+            machine_balance,
+            class,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -302,7 +371,11 @@ mod tests {
         let t1 = s.time_on_default(&GpuArch::h100());
         s.ilp = 4.0;
         let t4 = s.time_on_default(&GpuArch::h100());
-        assert!(t1.seconds / t4.seconds > 1.8, "ILP speedup {:.2}", t1.seconds / t4.seconds);
+        assert!(
+            t1.seconds / t4.seconds > 1.8,
+            "ILP speedup {:.2}",
+            t1.seconds / t4.seconds
+        );
     }
 
     #[test]
@@ -331,7 +404,12 @@ mod tests {
         // Max carveout: high occupancy.
         let hi = s.time_on(&h, &CacheConfig::from_carveout(&h, 1.0));
         assert!(hi.occupancy > lo.occupancy);
-        assert!(lo.seconds > 1.5 * hi.seconds, "lo {} hi {}", lo.seconds, hi.seconds);
+        assert!(
+            lo.seconds > 1.5 * hi.seconds,
+            "lo {} hi {}",
+            lo.seconds,
+            hi.seconds
+        );
     }
 
     #[test]
@@ -363,6 +441,28 @@ mod tests {
         assert_eq!(a.flops, 3.0);
         assert_eq!(a.dram_bytes, 5.0);
         assert_eq!(a.launches, 2.0);
+    }
+
+    #[test]
+    fn roofline_classifies_memory_and_compute() {
+        let h = GpuArch::h100();
+        let stream = big_stream("stream");
+        let r = stream.roofline_on(&h);
+        assert_eq!(r.class, RooflineClass::MemoryBound);
+        assert!(r.arithmetic_intensity < r.machine_balance);
+
+        let mut dense = KernelStats::new("dense");
+        dense.work_items = 1e7;
+        dense.flops = 1e13;
+        dense.dram_bytes = 1e6;
+        dense.ilp = 8.0;
+        let r = dense.roofline_on(&h);
+        assert_eq!(r.class, RooflineClass::ComputeBound);
+
+        let mut tiny = KernelStats::new("tiny");
+        tiny.work_items = 100.0;
+        tiny.dram_bytes = 2400.0;
+        assert_eq!(tiny.roofline_on(&h).class, RooflineClass::LatencyBound);
     }
 
     #[test]

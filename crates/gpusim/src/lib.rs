@@ -16,6 +16,10 @@
 //!   FP64, L1 and atomic throughput, folded with an occupancy /
 //!   launch-latency model. Event counts are supplied by instrumented
 //!   kernels executing functionally on the CPU (`lkk-kokkos`).
+//! * [`subscriber`] — the Kokkos-Tools-style profiling event interface:
+//!   a [`ProfileSubscriber`] trait fired by the `lkk-kokkos` dispatch
+//!   layer (regions, kernel launches, kernel stats, transfers) and a
+//!   [`StatsAccumulator`] that merges the stream per (region, kernel).
 //! * [`transfer`] — host-device transfer model used for the
 //!   device-resident vs. offload-per-step ablation.
 //!
@@ -29,11 +33,15 @@ pub mod cache;
 pub mod carveout;
 pub mod cost;
 pub mod report;
+pub mod subscriber;
 pub mod transfer;
 
 pub use arch::{CpuArch, GpuArch, Vendor};
 pub use cache::{analytic_hit_rate, CacheSim};
 pub use carveout::CacheConfig;
-pub use cost::{KernelStats, KernelTime};
+pub use cost::{KernelStats, KernelTime, Roofline, RooflineClass};
 pub use report::{profile, render, ProfileRow};
+pub use subscriber::{
+    AccumulatedProfile, ProfileSubscriber, StatsAccumulator, TransferDir, TransferTotals,
+};
 pub use transfer::LinkModel;

@@ -8,7 +8,7 @@
 
 use crate::arch::GpuArch;
 use crate::carveout::CacheConfig;
-use crate::cost::{KernelStats, Limiter};
+use crate::cost::{KernelStats, Limiter, Roofline, RooflineClass};
 
 /// One row of the profile table.
 #[derive(Debug, Clone)]
@@ -20,6 +20,8 @@ pub struct ProfileRow {
     pub occupancy: f64,
     pub l1_hit_rate: f64,
     pub launches: f64,
+    /// Memory-vs-compute roofline position on this architecture.
+    pub roofline: Roofline,
 }
 
 /// Profile a set of kernels on `arch` with the per-kernel default
@@ -42,6 +44,7 @@ pub fn profile(stats: &[KernelStats], arch: &GpuArch) -> Vec<ProfileRow> {
                 occupancy: t.occupancy,
                 l1_hit_rate: t.l1_hit_rate,
                 launches: k.launches,
+                roofline: k.roofline_on(arch),
             }
         })
         .collect();
@@ -59,12 +62,20 @@ fn limiter_name(l: Limiter) -> &'static str {
     }
 }
 
+fn roofline_name(c: RooflineClass) -> &'static str {
+    match c {
+        RooflineClass::MemoryBound => "mem",
+        RooflineClass::ComputeBound => "comp",
+        RooflineClass::LatencyBound => "lat",
+    }
+}
+
 /// Render the profile as an Nsight-like text table.
 pub fn render(stats: &[KernelStats], arch: &GpuArch) -> String {
     let rows = profile(stats, arch);
     let total: f64 = rows.iter().map(|r| r.seconds).sum();
     let mut out = format!(
-        "Kernel profile on {} (total {:.3} ms/step)\n{:<26} {:>10} {:>6} {:>16} {:>6} {:>6} {:>7}\n",
+        "Kernel profile on {} (total {:.3} ms/step)\n{:<26} {:>10} {:>6} {:>16} {:>6} {:>6} {:>7} {:>9}\n",
         arch.name,
         total * 1e3,
         "kernel",
@@ -73,11 +84,12 @@ pub fn render(stats: &[KernelStats], arch: &GpuArch) -> String {
         "limiter",
         "util",
         "occ",
-        "L1 hit"
+        "L1 hit",
+        "roofline"
     );
     for r in &rows {
         out += &format!(
-            "{:<26} {:>8.1}us {:>5.1}% {:>16} {:>5.0}% {:>5.0}% {:>6.0}%\n",
+            "{:<26} {:>8.1}us {:>5.1}% {:>16} {:>5.0}% {:>5.0}% {:>6.0}% {:>4} {:>4.1}\n",
             r.name,
             r.seconds * 1e6,
             100.0 * r.seconds / total,
@@ -85,6 +97,8 @@ pub fn render(stats: &[KernelStats], arch: &GpuArch) -> String {
             100.0 * r.utilization,
             100.0 * r.occupancy,
             100.0 * r.l1_hit_rate,
+            roofline_name(r.roofline.class),
+            r.roofline.arithmetic_intensity,
         );
     }
     out
@@ -110,5 +124,7 @@ mod tests {
         let text = render(&[small, big], &GpuArch::h100());
         assert!(text.contains("HBM bandwidth"));
         assert!(text.contains("big"));
+        assert_eq!(rows[0].roofline.class, RooflineClass::MemoryBound);
+        assert_eq!(rows[1].roofline.class, RooflineClass::ComputeBound);
     }
 }

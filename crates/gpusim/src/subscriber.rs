@@ -1,0 +1,228 @@
+//! The profiling event stream: a Kokkos-Tools-style subscriber API.
+//!
+//! The real LAMMPS-KOKKOS stack exposes its kernel activity through the
+//! Kokkos Tools callback interface (`kokkosp_begin_parallel_for`,
+//! `kokkosp_push_profile_region`, `kokkosp_begin_deep_copy`, ...) so
+//! that profilers, space-time-stack tools, and the test harness all
+//! observe the *same* event stream the runtime emits. This module is
+//! that interface for the simulated stack: `lkk-kokkos` fires these
+//! callbacks from its dispatch layer, and both the cost-model reporting
+//! in this crate and the perf-regression harness in `lkk-perf` consume
+//! them through the same trait.
+//!
+//! The trait lives here (the base crate) rather than in `lkk-kokkos`
+//! because the natural payload of a kernel event is a [`KernelStats`]
+//! record, and `lkk-kokkos` already depends on `lkk-gpusim` for it.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::cost::KernelStats;
+
+/// Direction of a host↔device data transfer (deep copy / sync).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDir {
+    HostToDevice,
+    DeviceToHost,
+}
+
+/// A profiling subscriber: the analogue of a Kokkos Tools library.
+///
+/// All methods have empty default bodies so a subscriber only overrides
+/// the events it cares about. Callbacks may fire from worker threads
+/// concurrently, so implementations must be `Send + Sync` and do their
+/// own locking.
+pub trait ProfileSubscriber: Send + Sync {
+    /// A named region was pushed. `path` is the full nested path with
+    /// `/` separators (e.g. `"step/pair"`), `depth` its 1-based depth.
+    fn region_begin(&self, path: &str, depth: usize) {
+        let _ = (path, depth);
+    }
+
+    /// The region at `path` was popped after `seconds` of wall time.
+    /// Wall time is advisory (it is *not* part of the deterministic
+    /// counter set); counter-based consumers should ignore it.
+    fn region_end(&self, path: &str, depth: usize, seconds: f64) {
+        let _ = (path, depth, seconds);
+    }
+
+    /// A kernel was dispatched: fired at launch, before execution, with
+    /// the exposed work-item count. `region` is the active region path.
+    fn kernel_launch(&self, name: &str, region: &str, work_items: usize) {
+        let _ = (name, region, work_items);
+    }
+
+    /// Measured event counts for a kernel were recorded (typically at
+    /// the end of an instrumented kernel). `stats.region` carries the
+    /// region path active at record time.
+    fn kernel_stats(&self, stats: &KernelStats) {
+        let _ = stats;
+    }
+
+    /// A host↔device transfer of `bytes` completed. `label` names the
+    /// View involved when known, `""` otherwise.
+    fn transfer(&self, dir: TransferDir, label: &str, bytes: u64) {
+        let _ = (dir, label, bytes);
+    }
+}
+
+/// Totals for one transfer direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferTotals {
+    pub bytes: u64,
+    pub count: u64,
+}
+
+/// Everything [`StatsAccumulator`] has gathered, snapshotted.
+#[derive(Debug, Clone, Default)]
+pub struct AccumulatedProfile {
+    /// Kernel stats merged per `(region, kernel name)`, in sorted key
+    /// order (deterministic iteration).
+    pub kernels: Vec<KernelStats>,
+    /// Launch counts per kernel name (including launches for which no
+    /// stats record was ever pushed).
+    pub launches: BTreeMap<String, u64>,
+    /// Region entry counts per path.
+    pub regions: BTreeMap<String, u64>,
+    pub h2d: TransferTotals,
+    pub d2h: TransferTotals,
+}
+
+#[derive(Default)]
+struct AccumulatorInner {
+    kernels: BTreeMap<(String, String), KernelStats>,
+    launches: BTreeMap<String, u64>,
+    regions: BTreeMap<String, u64>,
+    h2d: TransferTotals,
+    d2h: TransferTotals,
+}
+
+/// The workhorse subscriber: merges every [`KernelStats`] record by
+/// `(region, name)`, tallies launches, region entries, and transfer
+/// traffic. All state is behind one mutex; snapshot with
+/// [`StatsAccumulator::snapshot`].
+#[derive(Default)]
+pub struct StatsAccumulator {
+    inner: Mutex<AccumulatorInner>,
+}
+
+impl StatsAccumulator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy out everything gathered so far, with kernels in
+    /// deterministic `(region, name)` order.
+    pub fn snapshot(&self) -> AccumulatedProfile {
+        let inner = self.inner.lock().unwrap();
+        AccumulatedProfile {
+            kernels: inner.kernels.values().cloned().collect(),
+            launches: inner.launches.clone(),
+            regions: inner.regions.clone(),
+            h2d: inner.h2d,
+            d2h: inner.d2h,
+        }
+    }
+
+    /// Drop all accumulated state.
+    pub fn reset(&self) {
+        *self.inner.lock().unwrap() = AccumulatorInner::default();
+    }
+}
+
+impl ProfileSubscriber for StatsAccumulator {
+    fn region_begin(&self, path: &str, _depth: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.regions.entry(path.to_string()).or_insert(0) += 1;
+    }
+
+    fn kernel_launch(&self, name: &str, _region: &str, _work_items: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.launches.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    fn kernel_stats(&self, stats: &KernelStats) {
+        let mut inner = self.inner.lock().unwrap();
+        let key = (stats.region.clone(), stats.name.clone());
+        match inner.kernels.get_mut(&key) {
+            Some(existing) => existing.accumulate(stats),
+            None => {
+                inner.kernels.insert(key, stats.clone());
+            }
+        }
+    }
+
+    fn transfer(&self, dir: TransferDir, _label: &str, bytes: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let t = match dir {
+            TransferDir::HostToDevice => &mut inner.h2d,
+            TransferDir::DeviceToHost => &mut inner.d2h,
+        };
+        t.bytes += bytes;
+        t.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_merges_by_region_and_name() {
+        let acc = StatsAccumulator::new();
+        let mut a = KernelStats::new("k");
+        a.region = "step/pair".into();
+        a.flops = 10.0;
+        acc.kernel_stats(&a);
+        acc.kernel_stats(&a);
+        let mut b = KernelStats::new("k");
+        b.region = "setup".into();
+        b.flops = 1.0;
+        acc.kernel_stats(&b);
+
+        let snap = acc.snapshot();
+        assert_eq!(snap.kernels.len(), 2);
+        // BTreeMap order: ("setup","k") before ("step/pair","k").
+        assert_eq!(snap.kernels[0].region, "setup");
+        assert_eq!(snap.kernels[0].flops, 1.0);
+        assert_eq!(snap.kernels[1].flops, 20.0);
+        assert_eq!(snap.kernels[1].launches, 2.0);
+    }
+
+    #[test]
+    fn accumulator_tallies_launches_regions_transfers() {
+        let acc = StatsAccumulator::new();
+        acc.kernel_launch("k", "", 100);
+        acc.kernel_launch("k", "", 100);
+        acc.region_begin("step", 1);
+        acc.transfer(TransferDir::HostToDevice, "x", 64);
+        acc.transfer(TransferDir::HostToDevice, "x", 64);
+        acc.transfer(TransferDir::DeviceToHost, "f", 8);
+        let snap = acc.snapshot();
+        assert_eq!(snap.launches["k"], 2);
+        assert_eq!(snap.regions["step"], 1);
+        assert_eq!(
+            snap.h2d,
+            TransferTotals {
+                bytes: 128,
+                count: 2
+            }
+        );
+        assert_eq!(snap.d2h, TransferTotals { bytes: 8, count: 1 });
+        acc.reset();
+        assert!(acc.snapshot().kernels.is_empty());
+        assert_eq!(acc.snapshot().h2d.count, 0);
+    }
+
+    #[test]
+    fn default_methods_are_no_ops() {
+        struct Nop;
+        impl ProfileSubscriber for Nop {}
+        let n = Nop;
+        n.region_begin("a", 1);
+        n.region_end("a", 1, 0.0);
+        n.kernel_launch("k", "", 1);
+        n.kernel_stats(&KernelStats::new("k"));
+        n.transfer(TransferDir::DeviceToHost, "", 1);
+    }
+}

@@ -121,7 +121,11 @@ impl<T: Copy + Clone + Default, const R: usize> DualView<T, R> {
 
     fn ensure_device(&mut self) {
         if self.device.is_none() {
-            let mut d = View::with_layout(format!("{}_dev", self.label), self.host.dims(), Layout::Left);
+            let mut d = View::with_layout(
+                format!("{}_dev", self.label),
+                self.host.dims(),
+                Layout::Left,
+            );
             d.copy_from(&self.host);
             self.device = Some(d);
         }
@@ -134,7 +138,7 @@ impl<T: Copy + Clone + Default, const R: usize> DualView<T, R> {
         if self.state == SyncState::HostModified {
             let d = self.device.as_mut().unwrap();
             d.copy_from(&self.host);
-            profile::note_h2d(self.host.bytes());
+            profile::note_h2d_labeled(&self.label, self.host.bytes());
             self.state = SyncState::InSync;
         }
     }
@@ -145,7 +149,7 @@ impl<T: Copy + Clone + Default, const R: usize> DualView<T, R> {
         if self.state == SyncState::DeviceModified {
             let d = self.device.as_ref().unwrap();
             self.host.copy_from(d);
-            profile::note_d2h(self.host.bytes());
+            profile::note_d2h_labeled(&self.label, self.host.bytes());
             self.state = SyncState::InSync;
         }
     }
@@ -194,6 +198,7 @@ mod tests {
 
     #[test]
     fn host_to_device_round_trip() {
+        let _serialize = profile::TRANSFER_TEST_LOCK.lock().unwrap();
         let mut dv = DualView::<f64, 2>::new("x", [4, 3]);
         for i in 0..4 {
             for k in 0..3 {
@@ -212,6 +217,7 @@ mod tests {
 
     #[test]
     fn sync_is_lazy() {
+        let _serialize = profile::TRANSFER_TEST_LOCK.lock().unwrap();
         profile::reset_transfer_totals();
         let mut dv = DualView::<f64, 1>::new("x", [1000]);
         dv.modify_host();
@@ -229,6 +235,7 @@ mod tests {
 
     #[test]
     fn sync_to_space_selects_direction() {
+        let _serialize = profile::TRANSFER_TEST_LOCK.lock().unwrap();
         let dev = Space::device(lkk_gpusim::GpuArch::h100());
         let mut dv = DualView::<f64, 1>::new("x", [10]);
         dv.h_view_mut().set([0], 42.0);
@@ -241,6 +248,7 @@ mod tests {
 
     #[test]
     fn realloc_resets_both() {
+        let _serialize = profile::TRANSFER_TEST_LOCK.lock().unwrap();
         let mut dv = DualView::<f64, 1>::new("x", [10]);
         dv.h_view_mut().fill(1.0);
         dv.sync_device();

@@ -18,11 +18,29 @@
 //! [`crate::team`]).
 
 use crate::policy::{MDRangePolicy, TeamPolicy};
-use crate::profile::KernelLog;
+use crate::profile::{self, KernelLog};
 use crate::team::Team;
 use lkk_gpusim::{GpuArch, KernelStats};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// When set, every dispatch pattern executes its sequential path even
+/// on `Threads`/`Device` spaces (launch logging is unaffected). The
+/// `perf-smoke` harness enables this so floating-point accumulation
+/// order — and therefore every derived counter — is bit-identical
+/// across machines regardless of core count.
+static FORCE_SEQUENTIAL: AtomicBool = AtomicBool::new(false);
+
+/// Force all dispatches onto their sequential execution paths.
+pub fn set_force_sequential(on: bool) {
+    FORCE_SEQUENTIAL.store(on, Ordering::Release);
+}
+
+/// Is force-sequential mode active?
+pub fn force_sequential() -> bool {
+    FORCE_SEQUENTIAL.load(Ordering::Acquire)
+}
 
 /// Context of a simulated device: which architecture it models, the
 /// launch/event log, and an optional forced shared-memory carveout
@@ -110,34 +128,33 @@ impl Space {
         }
     }
 
+    /// Should a `Threads`/`Device` dispatch of `n` items actually fork?
+    fn fork(n: usize) -> bool {
+        n >= PAR_THRESHOLD && !force_sequential()
+    }
+
     /// `parallel_for` over `0..n`.
     pub fn parallel_for<F>(&self, label: &str, n: usize, f: F)
     where
         F: Fn(usize) + Sync + Send,
     {
+        profile::note_kernel_launch(label, n);
         match self {
             Space::Serial => {
                 for i in 0..n {
                     f(i);
                 }
             }
-            Space::Threads => {
-                if n < PAR_THRESHOLD {
-                    for i in 0..n {
-                        f(i);
-                    }
-                } else {
-                    (0..n).into_par_iter().for_each(f);
+            Space::Threads | Space::Device(_) => {
+                if let Space::Device(ctx) = self {
+                    ctx.log.push_launch(label, n);
                 }
-            }
-            Space::Device(ctx) => {
-                ctx.log.push_launch(label, n);
-                if n < PAR_THRESHOLD {
+                if Self::fork(n) {
+                    (0..n).into_par_iter().for_each(f);
+                } else {
                     for i in 0..n {
                         f(i);
                     }
-                } else {
-                    (0..n).into_par_iter().for_each(f);
                 }
             }
         }
@@ -150,19 +167,20 @@ impl Space {
         F: Fn(usize) -> T + Sync + Send,
         J: Fn(T, T) -> T + Sync + Send,
     {
+        profile::note_kernel_launch(label, n);
         match self {
             Space::Serial => (0..n).fold(identity, |acc, i| join(acc, f(i))),
             Space::Threads | Space::Device(_) => {
                 if let Space::Device(ctx) = self {
                     ctx.log.push_launch(label, n);
                 }
-                if n < PAR_THRESHOLD {
-                    (0..n).fold(identity, |acc, i| join(acc, f(i)))
-                } else {
+                if Self::fork(n) {
                     (0..n)
                         .into_par_iter()
                         .fold(|| identity, |acc, i| join(acc, f(i)))
                         .reduce(|| identity, &join)
+                } else {
+                    (0..n).fold(identity, |acc, i| join(acc, f(i)))
                 }
             }
         }
@@ -183,10 +201,11 @@ impl Space {
     pub fn parallel_scan(&self, label: &str, counts: &[usize], offsets: &mut [usize]) -> usize {
         assert_eq!(offsets.len(), counts.len() + 1);
         let n = counts.len();
+        profile::note_kernel_launch(label, n);
         if let Space::Device(ctx) = self {
             ctx.log.push_launch(label, n);
         }
-        let parallel = !matches!(self, Space::Serial) && n >= PAR_THRESHOLD;
+        let parallel = !matches!(self, Space::Serial) && Self::fork(n);
         if !parallel {
             let mut acc = 0usize;
             for i in 0..n {
@@ -230,7 +249,13 @@ impl Space {
     where
         F: Fn(usize, usize) + Sync + Send,
     {
-        let MDRangePolicy { n0, n1, tile0, tile1 } = policy;
+        let MDRangePolicy {
+            n0,
+            n1,
+            tile0,
+            tile1,
+        } = policy;
+        profile::note_kernel_launch(label, n0 * n1);
         let t0 = tile0.max(1);
         let t1 = tile1.max(1);
         let tiles0 = n0.div_ceil(t0);
@@ -254,7 +279,13 @@ impl Space {
                 if let Space::Device(ctx) = self {
                     ctx.log.push_launch(label, n0 * n1);
                 }
-                (0..tiles0 * tiles1).into_par_iter().for_each(run_tile);
+                if force_sequential() {
+                    for tid in 0..tiles0 * tiles1 {
+                        run_tile(tid);
+                    }
+                } else {
+                    (0..tiles0 * tiles1).into_par_iter().for_each(run_tile);
+                }
             }
         }
     }
@@ -268,27 +299,39 @@ impl Space {
         F: Fn(&mut Team) + Sync + Send,
     {
         let scratch_len = policy.scratch_bytes.div_ceil(8);
-        match self {
-            Space::Serial => {
-                let mut scratch = vec![0.0f64; scratch_len];
-                for rank in 0..policy.league_size {
-                    let mut team = Team::new(rank, &policy, &mut scratch);
-                    f(&mut team);
-                }
+        profile::note_kernel_launch(label, policy.league_size * policy.team_size.max(1));
+        let run_serial = |policy: &TeamPolicy| {
+            let mut scratch = vec![0.0f64; scratch_len];
+            for rank in 0..policy.league_size {
+                let mut team = Team::new(rank, policy, &mut scratch);
+                f(&mut team);
             }
+        };
+        match self {
+            Space::Serial => run_serial(&policy),
             Space::Threads | Space::Device(_) => {
                 if let Space::Device(ctx) = self {
-                    ctx.log.push_launch(label, policy.league_size * policy.team_size.max(1));
+                    // Team launches record their occupancy-relevant
+                    // configuration (scratch request, team size) so the
+                    // cost model sees it even for kernels that never
+                    // push full stats of their own.
+                    let mut s = KernelStats::new(label);
+                    s.work_items = (policy.league_size * policy.team_size.max(1)) as f64;
+                    s.scratch_bytes_per_team = policy.scratch_bytes as f64;
+                    s.threads_per_team = policy.team_size.max(1) as u32;
+                    ctx.log.push(s);
                 }
-                (0..policy.league_size)
-                    .into_par_iter()
-                    .for_each_init(
+                if force_sequential() {
+                    run_serial(&policy);
+                } else {
+                    (0..policy.league_size).into_par_iter().for_each_init(
                         || vec![0.0f64; scratch_len],
                         |scratch, rank| {
                             let mut team = Team::new(rank, &policy, scratch);
                             f(&mut team);
                         },
                     );
+                }
             }
         }
     }
@@ -330,7 +373,13 @@ mod tests {
     #[test]
     fn reduce_max_custom_join() {
         for space in spaces() {
-            let m = space.parallel_reduce("max", 10_000, f64::NEG_INFINITY, |i| ((i * 37) % 9973) as f64, f64::max);
+            let m = space.parallel_reduce(
+                "max",
+                10_000,
+                f64::NEG_INFINITY,
+                |i| ((i * 37) % 9973) as f64,
+                f64::max,
+            );
             assert_eq!(m, 9972.0);
         }
     }
@@ -405,5 +454,73 @@ mod tests {
         let space = Space::Threads;
         space.parallel_for("k", 10, |_| {});
         assert!(space.device_ctx().is_none());
+    }
+
+    #[test]
+    fn force_sequential_paths_match_parallel_results() {
+        // Same dispatches, forced serial: identical results, and with a
+        // deterministic accumulation order on top. (The flag is global;
+        // concurrently running tests only lose parallelism, never
+        // correctness, while it is set.)
+        let n = 100_000usize;
+        let space = Space::Threads;
+        let par = space.parallel_reduce_sum("sum", n, |i| (i as f64).sqrt());
+        set_force_sequential(true);
+        let seq1 = space.parallel_reduce_sum("sum", n, |i| (i as f64).sqrt());
+        let seq2 = space.parallel_reduce_sum("sum", n, |i| (i as f64).sqrt());
+        let counts: Vec<usize> = (0..5000).map(|i| i % 7).collect();
+        let mut offsets = vec![0usize; counts.len() + 1];
+        let total = space.parallel_scan("scan", &counts, &mut offsets);
+        set_force_sequential(false);
+        assert!(!force_sequential());
+        // Bitwise identical between forced-sequential runs…
+        assert_eq!(seq1.to_bits(), seq2.to_bits());
+        // …and numerically equal to the parallel reduction.
+        assert!((par - seq1).abs() < 1e-6 * par.abs());
+        assert_eq!(total, counts.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn every_dispatch_fires_the_launch_hook_on_all_spaces() {
+        use lkk_gpusim::StatsAccumulator;
+        let acc = std::sync::Arc::new(StatsAccumulator::new());
+        let id = crate::profile::register_subscriber(acc.clone());
+        for space in spaces() {
+            space.parallel_for("hook-for", 4, |_| {});
+            space.parallel_reduce_sum("hook-reduce", 4, |_| 0.0);
+            let mut offsets = [0usize; 3];
+            space.parallel_scan("hook-scan", &[1, 2], &mut offsets);
+            space.parallel_for_2d("hook-2d", MDRangePolicy::new(2, 2), |_, _| {});
+            space.parallel_for_team("hook-team", TeamPolicy::new(2, 2), |_| {});
+        }
+        crate::profile::unregister_subscriber(id);
+        let snap = acc.snapshot();
+        for name in [
+            "hook-for",
+            "hook-reduce",
+            "hook-scan",
+            "hook-2d",
+            "hook-team",
+        ] {
+            // Hooks fire for Serial, Threads, and Device alike. Other
+            // concurrently running tests use different labels, so >= is
+            // only about our own three spaces.
+            assert!(
+                snap.launches.get(name).copied().unwrap_or(0) >= 3,
+                "missing launches for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn team_launch_records_scratch_and_team_size() {
+        let space = Space::device(GpuArch::h100());
+        let policy = TeamPolicy::new(16, 32).with_scratch(4096);
+        space.parallel_for_team("scratchy", policy, |_| {});
+        let recs = space.device_ctx().unwrap().log.drain();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].scratch_bytes_per_team, 4096.0);
+        assert_eq!(recs[0].threads_per_team, 32);
+        assert_eq!(recs[0].work_items, 512.0);
     }
 }

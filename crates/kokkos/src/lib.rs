@@ -24,7 +24,11 @@
 //!   league/team/vector parallelism with per-team scratch memory, §3.3).
 //! * [`atomic`] — an [`AtomicF64`] built on `AtomicU64` CAS, the
 //!   building block for thread-atomic force accumulation.
-//! * [`profile`] — the kernel launch log consumed by figure harnesses.
+//! * [`profile`] — the Kokkos-Tools-style profiling layer: nested named
+//!   regions with RAII guards, kernel launch/stats hooks fired from the
+//!   dispatch layer, host↔device transfer accounting, and a subscriber
+//!   registry mirroring the whole event stream to any registered
+//!   [`lkk_gpusim::ProfileSubscriber`].
 
 pub mod atomic;
 pub mod dual_view;
@@ -37,9 +41,12 @@ pub mod view;
 
 pub use atomic::AtomicF64;
 pub use dual_view::DualView;
-pub use exec::{DeviceCtx, Space};
+pub use exec::{force_sequential, set_force_sequential, DeviceCtx, Space};
 pub use policy::{MDRangePolicy, TeamPolicy};
-pub use profile::KernelLog;
+pub use profile::{
+    begin_region, current_region, register_subscriber, unregister_subscriber, KernelLog,
+    RegionGuard, SubscriberId,
+};
 pub use scatter_view::{ScatterMode, ScatterView};
 pub use team::Team;
 pub use view::{Layout, ParWrite, View, View1, View2, View3};

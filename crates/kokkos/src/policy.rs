@@ -17,7 +17,12 @@ pub struct MDRangePolicy {
 impl MDRangePolicy {
     /// Default tiling: 32×32.
     pub fn new(n0: usize, n1: usize) -> Self {
-        MDRangePolicy { n0, n1, tile0: 32, tile1: 32 }
+        MDRangePolicy {
+            n0,
+            n1,
+            tile0: 32,
+            tile1: 32,
+        }
     }
 
     pub fn with_tiles(mut self, tile0: usize, tile1: usize) -> Self {

@@ -1,16 +1,208 @@
-//! Kernel launch logging and transfer accounting.
+//! The profiling layer: regions, kernel hooks, transfer accounting, and
+//! subscriber dispatch.
 //!
-//! When kernels run on the simulated device space, the launches and
-//! their measured event counts are recorded here; figure harnesses drain
-//! the log and feed it to the `lkk-gpusim` cost model. Host↔device
-//! transfer volumes from [`crate::DualView`] synchronisation are
-//! tallied globally, which is what the device-resident vs.
-//! offload-every-step ablation measures.
+//! This is the stack's analogue of the Kokkos Tools interface. It has
+//! three ingredients:
+//!
+//! * **Named regions** — nested, `/`-joined paths maintained on a
+//!   per-thread stack (`kokkosp_push_profile_region`). Open one with
+//!   [`begin_region`], which returns an RAII [`RegionGuard`]; the region
+//!   closes when the guard drops (or [`RegionGuard::finish`] is called
+//!   to also read the elapsed wall time).
+//! * **Kernel hooks and logs** — every dispatch in [`crate::exec`]
+//!   fires [`note_kernel_launch`] (`kokkosp_begin_parallel_for`), and
+//!   instrumented kernels push full [`KernelStats`] records into the
+//!   per-device [`KernelLog`], which tags each record with the region
+//!   path active at record time.
+//! * **Transfers** — [`crate::DualView`] synchronisation reports
+//!   host↔device copies ([`note_h2d_labeled`]/[`note_d2h_labeled`]),
+//!   tallied in global counters (`kokkosp_begin_deep_copy`).
+//!
+//! All three event classes are mirrored to any registered
+//! [`ProfileSubscriber`]s (see [`lkk_gpusim::subscriber`]) so the cost
+//! model, the text reports, and the `perf-smoke` regression harness all
+//! consume one event stream.
 
-use lkk_gpusim::KernelStats;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use lkk_gpusim::{KernelStats, ProfileSubscriber, TransferDir};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Subscriber registry
+// ---------------------------------------------------------------------
+
+/// Handle returned by [`register_subscriber`]; pass to
+/// [`unregister_subscriber`] to detach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberId(u64);
+
+static SUBSCRIBERS: Mutex<Vec<(u64, Arc<dyn ProfileSubscriber>)>> = Mutex::new(Vec::new());
+static NEXT_SUBSCRIBER_ID: AtomicU64 = AtomicU64::new(1);
+/// Mirror of `SUBSCRIBERS.len()` so the hot dispatch path can skip the
+/// lock entirely when nobody is listening (the common case).
+static SUBSCRIBER_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+/// Attach a subscriber to the global event stream. Events fire from
+/// whatever thread dispatches kernels, so the subscriber must do its
+/// own locking (see [`lkk_gpusim::StatsAccumulator`]).
+pub fn register_subscriber(sub: Arc<dyn ProfileSubscriber>) -> SubscriberId {
+    let id = NEXT_SUBSCRIBER_ID.fetch_add(1, Ordering::Relaxed);
+    let mut subs = SUBSCRIBERS.lock().unwrap();
+    subs.push((id, sub));
+    SUBSCRIBER_COUNT.store(subs.len(), Ordering::Release);
+    SubscriberId(id)
+}
+
+/// Detach a subscriber. Unknown ids are ignored.
+pub fn unregister_subscriber(id: SubscriberId) {
+    let mut subs = SUBSCRIBERS.lock().unwrap();
+    subs.retain(|(sid, _)| *sid != id.0);
+    SUBSCRIBER_COUNT.store(subs.len(), Ordering::Release);
+}
+
+/// Run `f` on every registered subscriber. Arcs are cloned out of the
+/// registry first so subscriber callbacks never run under the registry
+/// lock (a subscriber may itself trigger profiled work).
+fn for_each_subscriber(f: impl Fn(&dyn ProfileSubscriber)) {
+    if SUBSCRIBER_COUNT.load(Ordering::Acquire) == 0 {
+        return;
+    }
+    let subs: Vec<Arc<dyn ProfileSubscriber>> = {
+        let guard = SUBSCRIBERS.lock().unwrap();
+        guard.iter().map(|(_, s)| Arc::clone(s)).collect()
+    };
+    for s in &subs {
+        f(s.as_ref());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regions
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// Stack of open region names on this thread. Kernels are tagged
+    /// with the `/`-joined path at dispatch time; dispatch always
+    /// happens on the thread that owns the enclosing regions, so a
+    /// thread-local stack is exact.
+    static REGION_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The `/`-joined path of open regions on this thread (`""` if none).
+pub fn current_region() -> String {
+    REGION_STACK.with(|s| s.borrow().join("/"))
+}
+
+/// Current region nesting depth on this thread.
+pub fn region_depth() -> usize {
+    REGION_STACK.with(|s| s.borrow().len())
+}
+
+/// RAII guard for a named profiling region. Dropping it pops the region
+/// and fires `region_end`; [`RegionGuard::finish`] does the same but
+/// returns the elapsed wall time, which is how `lkk-core` implements
+/// its phase timers.
+///
+/// ```
+/// use lkk_kokkos::profile;
+/// let step = profile::begin_region("step");
+/// {
+///     let _pair = profile::begin_region("pair");
+///     assert_eq!(profile::current_region(), "step/pair");
+/// }
+/// assert_eq!(profile::current_region(), "step");
+/// let seconds = step.finish();
+/// assert!(seconds >= 0.0);
+/// ```
+#[must_use = "dropping the guard immediately closes the region"]
+pub struct RegionGuard {
+    path: String,
+    depth: usize,
+    start: Instant,
+    open: bool,
+}
+
+/// Open a nested named region on this thread.
+///
+/// `name` must not contain `/` (it would corrupt the path encoding);
+/// nesting is expressed by holding multiple guards, not by composite
+/// names.
+pub fn begin_region(name: impl Into<String>) -> RegionGuard {
+    let name = name.into();
+    debug_assert!(!name.contains('/'), "region name {name:?} contains '/'");
+    let (path, depth) = REGION_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.push(name);
+        (stack.join("/"), stack.len())
+    });
+    for_each_subscriber(|sub| sub.region_begin(&path, depth));
+    RegionGuard {
+        path,
+        depth,
+        start: Instant::now(),
+        open: true,
+    }
+}
+
+impl RegionGuard {
+    /// The full `/`-joined path of this region.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Close the region now and return the elapsed wall time in
+    /// seconds. Wall time is advisory — it never enters the
+    /// deterministic counter set.
+    pub fn finish(mut self) -> f64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> f64 {
+        if !self.open {
+            return 0.0;
+        }
+        self.open = false;
+        let seconds = self.start.elapsed().as_secs_f64();
+        REGION_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Regions must close innermost-first; guards enforce this
+            // lexically, so a mismatch means a guard escaped its scope.
+            debug_assert_eq!(
+                stack.len(),
+                self.depth,
+                "region {:?} closed out of order",
+                self.path
+            );
+            stack.pop();
+        });
+        for_each_subscriber(|sub| sub.region_end(&self.path, self.depth, seconds));
+        seconds
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel hooks
+// ---------------------------------------------------------------------
+
+/// Kernel-dispatch hook: fired by every [`crate::Space`] dispatch (all
+/// spaces, host included), before the kernel body runs — the analogue
+/// of `kokkosp_begin_parallel_for`. Forwards to subscribers with the
+/// dispatching thread's region path.
+pub fn note_kernel_launch(name: &str, work_items: usize) {
+    if SUBSCRIBER_COUNT.load(Ordering::Acquire) == 0 {
+        return;
+    }
+    let region = current_region();
+    for_each_subscriber(|sub| sub.kernel_launch(name, &region, work_items));
+}
 
 /// A log of kernel launches on a simulated device.
 #[derive(Debug, Default)]
@@ -23,9 +215,15 @@ impl KernelLog {
         Arc::new(Self::default())
     }
 
-    /// Record the event counts of one kernel execution.
-    pub fn push(&self, stats: KernelStats) {
-        self.records.lock().push(stats);
+    /// Record the event counts of one kernel execution. The record is
+    /// tagged with the dispatching thread's current region path (unless
+    /// the caller already set one) and mirrored to subscribers.
+    pub fn push(&self, mut stats: KernelStats) {
+        if stats.region.is_empty() {
+            stats.region = current_region();
+        }
+        for_each_subscriber(|sub| sub.kernel_stats(&stats));
+        self.records.lock().unwrap().push(stats);
     }
 
     /// Record a bare launch with only a name and work-item count (used
@@ -39,12 +237,12 @@ impl KernelLog {
 
     /// Drain all records.
     pub fn drain(&self) -> Vec<KernelStats> {
-        std::mem::take(&mut *self.records.lock())
+        std::mem::take(&mut *self.records.lock().unwrap())
     }
 
     /// Total launches currently logged.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.records.lock().unwrap().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -54,7 +252,7 @@ impl KernelLog {
     /// Merge all records with the same kernel name, summing counts.
     /// Returns (name-ordered) aggregated stats.
     pub fn aggregate(&self) -> Vec<KernelStats> {
-        let records = self.records.lock();
+        let records = self.records.lock().unwrap();
         let mut by_name: Vec<KernelStats> = Vec::new();
         for r in records.iter() {
             if let Some(existing) = by_name.iter_mut().find(|s| s.name == r.name) {
@@ -67,21 +265,38 @@ impl KernelLog {
     }
 }
 
+// ---------------------------------------------------------------------
+// Transfers
+// ---------------------------------------------------------------------
+
 static H2D_BYTES: AtomicU64 = AtomicU64::new(0);
 static D2H_BYTES: AtomicU64 = AtomicU64::new(0);
 static H2D_COUNT: AtomicU64 = AtomicU64::new(0);
 static D2H_COUNT: AtomicU64 = AtomicU64::new(0);
 
-/// Record a host→device transfer.
-pub fn note_h2d(bytes: usize) {
+/// Record a host→device transfer with the View's label (the analogue
+/// of `kokkosp_begin_deep_copy`, which names both views).
+pub fn note_h2d_labeled(label: &str, bytes: usize) {
     H2D_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
     H2D_COUNT.fetch_add(1, Ordering::Relaxed);
+    for_each_subscriber(|sub| sub.transfer(TransferDir::HostToDevice, label, bytes as u64));
 }
 
-/// Record a device→host transfer.
-pub fn note_d2h(bytes: usize) {
+/// Record a device→host transfer with the View's label.
+pub fn note_d2h_labeled(label: &str, bytes: usize) {
     D2H_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
     D2H_COUNT.fetch_add(1, Ordering::Relaxed);
+    for_each_subscriber(|sub| sub.transfer(TransferDir::DeviceToHost, label, bytes as u64));
+}
+
+/// Record an unlabeled host→device transfer.
+pub fn note_h2d(bytes: usize) {
+    note_h2d_labeled("", bytes);
+}
+
+/// Record an unlabeled device→host transfer.
+pub fn note_d2h(bytes: usize) {
+    note_d2h_labeled("", bytes);
 }
 
 /// Snapshot of global transfer counters:
@@ -103,9 +318,16 @@ pub fn reset_transfer_totals() {
     D2H_COUNT.store(0, Ordering::Relaxed);
 }
 
+/// Serializes tests that reset/assert the global transfer counters
+/// against tests that merely bump them (the test harness runs tests
+/// concurrently in one process).
+#[cfg(test)]
+pub(crate) static TRANSFER_TEST_LOCK: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lkk_gpusim::StatsAccumulator;
 
     #[test]
     fn log_push_and_aggregate() {
@@ -122,5 +344,89 @@ mod tests {
         let drained = log.drain();
         assert_eq!(drained.len(), 3);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn regions_nest_and_unwind() {
+        assert_eq!(current_region(), "");
+        let outer = begin_region("step");
+        assert_eq!(current_region(), "step");
+        assert_eq!(region_depth(), 1);
+        {
+            let _inner = begin_region("pair");
+            assert_eq!(current_region(), "step/pair");
+            assert_eq!(region_depth(), 2);
+        }
+        // Inner guard dropped: back to the outer region.
+        assert_eq!(current_region(), "step");
+        let secs = outer.finish();
+        assert!(secs >= 0.0);
+        assert_eq!(current_region(), "");
+        assert_eq!(region_depth(), 0);
+    }
+
+    #[test]
+    fn kernel_records_are_region_tagged() {
+        let log = KernelLog::new();
+        log.push_launch("outside", 1);
+        {
+            let _r = begin_region("force");
+            log.push_launch("inside", 1);
+            // A caller-set region is preserved.
+            let mut pre = KernelStats::new("preset");
+            pre.region = "custom".into();
+            log.push(pre);
+        }
+        let recs = log.drain();
+        assert_eq!(recs[0].region, "");
+        assert_eq!(recs[1].region, "force");
+        assert_eq!(recs[2].region, "custom");
+    }
+
+    #[test]
+    fn subscriber_sees_regions_kernels_and_transfers() {
+        let _serialize = TRANSFER_TEST_LOCK.lock().unwrap();
+        let acc = Arc::new(StatsAccumulator::new());
+        let id = register_subscriber(acc.clone());
+        {
+            let _r = begin_region("sub-test-step");
+            note_kernel_launch("sub-test-kernel", 42);
+            let log = KernelLog::new();
+            let mut s = KernelStats::new("sub-test-kernel");
+            s.flops = 7.0;
+            log.push(s);
+            note_h2d_labeled("sub-test-view", 64);
+        }
+        unregister_subscriber(id);
+        // Events after unregistration are not seen.
+        note_h2d_labeled("sub-test-view", 64);
+
+        let snap = acc.snapshot();
+        assert_eq!(snap.regions["sub-test-step"], 1);
+        assert_eq!(snap.launches["sub-test-kernel"], 1);
+        let k = snap
+            .kernels
+            .iter()
+            .find(|k| k.name == "sub-test-kernel")
+            .unwrap();
+        assert_eq!(k.region, "sub-test-step");
+        assert_eq!(k.flops, 7.0);
+        // Transfer totals may include traffic from concurrently running
+        // tests (the counter is global), but this accumulator only saw
+        // one labeled transfer while registered.
+        assert_eq!(snap.h2d.count, 1);
+        assert_eq!(snap.h2d.bytes, 64);
+    }
+
+    #[test]
+    fn transfer_counters_accumulate_and_reset() {
+        let _serialize = TRANSFER_TEST_LOCK.lock().unwrap();
+        reset_transfer_totals();
+        note_h2d(100);
+        note_h2d(28);
+        note_d2h(8);
+        assert_eq!(transfer_totals(), (128, 8, 2, 1));
+        reset_transfer_totals();
+        assert_eq!(transfer_totals(), (0, 0, 0, 0));
     }
 }

@@ -250,8 +250,14 @@ mod tests {
 
     #[test]
     fn default_mode_per_space() {
-        assert_eq!(ScatterMode::default_for(&Space::Serial), ScatterMode::Sequential);
-        assert_eq!(ScatterMode::default_for(&Space::Threads), ScatterMode::Duplicated);
+        assert_eq!(
+            ScatterMode::default_for(&Space::Serial),
+            ScatterMode::Sequential
+        );
+        assert_eq!(
+            ScatterMode::default_for(&Space::Threads),
+            ScatterMode::Duplicated
+        );
         assert_eq!(
             ScatterMode::default_for(&Space::device(lkk_gpusim::GpuArch::h100())),
             ScatterMode::Atomic

@@ -139,8 +139,8 @@ impl<T, const R: usize> View<T, R> {
             self.dims
         );
         let mut o = 0;
-        for k in 0..R {
-            o += idx[k] * self.strides[k];
+        for (ik, sk) in idx.iter().zip(&self.strides) {
+            o += ik * sk;
         }
         o
     }
@@ -254,8 +254,8 @@ impl<T: Copy, const R: usize> View<T, R> {
     #[inline(always)]
     pub unsafe fn uget(&self, idx: [usize; R]) -> T {
         let mut o = 0;
-        for k in 0..R {
-            o += idx[k] * self.strides[k];
+        for (ik, sk) in idx.iter().zip(&self.strides) {
+            o += ik * sk;
         }
         *self.data.get_unchecked(o)
     }
@@ -298,8 +298,8 @@ impl<T: Copy, const R: usize> ParWrite<'_, T, R> {
     fn offset(&self, idx: [usize; R]) -> usize {
         debug_assert!(idx.iter().zip(&self.dims).all(|(i, d)| i < d));
         let mut o = 0;
-        for k in 0..R {
-            o += idx[k] * self.strides[k];
+        for (ik, sk) in idx.iter().zip(&self.strides) {
+            o += ik * sk;
         }
         o
     }

@@ -309,7 +309,11 @@ mod tests {
             let s = scaling(presets::reaxff(), m, 500_000.0);
             for nodes in [1u32, 16, 256, 2048] {
                 let rate = s.steps_per_second(nodes);
-                assert!(rate < 120.0, "{}: {rate} steps/s at {nodes} nodes", s.machine.name);
+                assert!(
+                    rate < 120.0,
+                    "{}: {rate} steps/s at {nodes} nodes",
+                    s.machine.name
+                );
             }
         }
     }
@@ -345,12 +349,7 @@ mod tests {
         let mut k = KernelStats::new("k");
         k.flops = 1000.0;
         k.work_items = 100.0;
-        let w = Workload::from_measured(
-            "t",
-            vec![k],
-            100.0,
-            presets::lj().comm,
-        );
+        let w = Workload::from_measured("t", vec![k], 100.0, presets::lj().comm);
         assert_eq!(w.per_atom[0].flops, 10.0);
         assert_eq!(w.per_atom[0].work_items, 1.0);
     }

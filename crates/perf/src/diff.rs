@@ -1,0 +1,143 @@
+//! Baseline comparison: flatten two reports and diff every scalar.
+
+use crate::json::Value;
+
+/// One detected difference between baseline and current report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Drift {
+    /// Path exists in the baseline but not the current report.
+    Missing(String),
+    /// Path exists in the current report but not the baseline.
+    Extra(String),
+    /// Numeric value moved beyond tolerance.
+    NumChanged {
+        path: String,
+        baseline: f64,
+        current: f64,
+        rel: f64,
+    },
+    /// Non-numeric scalar (string/bool/null) changed.
+    ValueChanged {
+        path: String,
+        baseline: String,
+        current: String,
+    },
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Drift::Missing(p) => write!(f, "missing from current report: {p}"),
+            Drift::Extra(p) => write!(f, "not in baseline: {p}"),
+            Drift::NumChanged {
+                path,
+                baseline,
+                current,
+                rel,
+            } => write!(f, "{path}: {baseline} -> {current} (rel {rel:.3e})"),
+            Drift::ValueChanged {
+                path,
+                baseline,
+                current,
+            } => {
+                write!(f, "{path}: {baseline} -> {current}")
+            }
+        }
+    }
+}
+
+/// Relative difference: |a−b| scaled by the larger magnitude (0 when
+/// both are 0). An exact match reports 0 even for infinite tolerance
+/// arithmetic corner cases.
+fn rel_diff(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    (a - b).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+}
+
+/// Compare `current` against `baseline`. `tolerance` is the maximum
+/// allowed *relative* difference per numeric counter (0 = bit exact,
+/// the default for same-machine regression gating).
+pub fn compare(baseline: &Value, current: &Value, tolerance: f64) -> Vec<Drift> {
+    let base: Vec<(String, Value)> = baseline.flatten();
+    let cur: Vec<(String, Value)> = current.flatten();
+    let mut drifts = Vec::new();
+
+    // Both sides come from sorted report builders, but diff by lookup
+    // so key order never matters.
+    let cur_map: std::collections::BTreeMap<&str, &Value> =
+        cur.iter().map(|(k, v)| (k.as_str(), v)).collect();
+    let base_map: std::collections::BTreeMap<&str, &Value> =
+        base.iter().map(|(k, v)| (k.as_str(), v)).collect();
+
+    for (path, bval) in &base {
+        match cur_map.get(path.as_str()) {
+            None => drifts.push(Drift::Missing(path.clone())),
+            Some(cval) => match (bval, cval) {
+                (Value::Num(a), Value::Num(b)) => {
+                    let rel = rel_diff(*a, *b);
+                    if rel > tolerance {
+                        drifts.push(Drift::NumChanged {
+                            path: path.clone(),
+                            baseline: *a,
+                            current: *b,
+                            rel,
+                        });
+                    }
+                }
+                (a, b) if a == *b => {}
+                (a, b) => drifts.push(Drift::ValueChanged {
+                    path: path.clone(),
+                    baseline: format!("{a:?}"),
+                    current: format!("{b:?}"),
+                }),
+            },
+        }
+    }
+    for (path, _) in &cur {
+        if !base_map.contains_key(path.as_str()) {
+            drifts.push(Drift::Extra(path.clone()));
+        }
+    }
+    drifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn identical_reports_have_no_drift() {
+        let a = parse(r#"{"x": 1.5, "y": {"z": [1, 2]}}"#).unwrap();
+        assert!(compare(&a, &a, 0.0).is_empty());
+    }
+
+    #[test]
+    fn numeric_drift_respects_tolerance() {
+        let a = parse(r#"{"x": 100.0}"#).unwrap();
+        let b = parse(r#"{"x": 100.5}"#).unwrap();
+        assert_eq!(compare(&a, &b, 0.0).len(), 1);
+        assert_eq!(compare(&a, &b, 1e-6).len(), 1);
+        assert!(compare(&a, &b, 0.01).is_empty());
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_reported() {
+        let a = parse(r#"{"x": 1, "gone": 2}"#).unwrap();
+        let b = parse(r#"{"x": 1, "new": 3}"#).unwrap();
+        let d = compare(&a, &b, 0.0);
+        assert!(d
+            .iter()
+            .any(|x| matches!(x, Drift::Missing(p) if p == "gone")));
+        assert!(d.iter().any(|x| matches!(x, Drift::Extra(p) if p == "new")));
+    }
+
+    #[test]
+    fn type_change_is_reported() {
+        let a = parse(r#"{"x": "mem"}"#).unwrap();
+        let b = parse(r#"{"x": "comp"}"#).unwrap();
+        assert_eq!(compare(&a, &b, 0.0).len(), 1);
+    }
+}

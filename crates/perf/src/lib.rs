@@ -1,0 +1,84 @@
+//! `lkk-perf` — the deterministic perf-regression harness.
+//!
+//! The `perf-smoke` binary runs four small fixed-seed workloads (LJ,
+//! EAM, SNAP, ReaxFF) through the full `Simulation::run` loop on a
+//! simulated device, collects per-kernel counters through the
+//! `lkk-kokkos` profiling subscriber API, and renders them as a
+//! canonical JSON document. Because every number is a counter (or a
+//! pure function of counters, like predicted device time), the report
+//! is bit-stable across machines — diffing it against a committed
+//! baseline catches cost-model and kernel-shape regressions without
+//! any of the noise wall-clock gating suffers from.
+//!
+//! Layout:
+//! - [`json`] — minimal dependency-free JSON value, canonical writer,
+//!   and parser (shortest-roundtrip `f64` formatting, sorted keys).
+//! - [`diff`] — flatten two reports, compare every scalar with a
+//!   relative tolerance (default 0 = bit exact).
+//! - [`workloads`] — the four fixed-seed smoke systems.
+//! - [`report`] — run workloads under a subscriber, build the report.
+
+pub mod diff;
+pub mod json;
+pub mod report;
+pub mod workloads;
+
+pub use diff::{compare, Drift};
+pub use json::Value;
+pub use report::run_all;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end baseline round trip: render a report, parse it back,
+    /// confirm zero drift; then perturb one counter and confirm the
+    /// diff pinpoints exactly that path.
+    #[test]
+    fn check_round_trip_and_perturbation_detection() {
+        let report = run_all(vec![workloads::lj()]);
+        let text = report.to_pretty();
+        let parsed = json::parse(&text).unwrap();
+
+        // Parse must be lossless: re-rendering gives identical bytes
+        // and the structural diff is empty at zero tolerance.
+        assert_eq!(parsed.to_pretty(), text);
+        assert!(compare(&report, &parsed, 0.0).is_empty());
+
+        // Deliberate perturbation: bump one flop counter by 1 ppm and
+        // verify zero-tolerance gating flags it while a loose
+        // tolerance lets it through.
+        let mut perturbed = parsed.clone();
+        let lj = perturbed
+            .get_mut("workloads")
+            .unwrap()
+            .get_mut("lj")
+            .unwrap();
+        let kernels = lj.get_mut("kernels").unwrap();
+        let Value::Obj(entries) = kernels else {
+            panic!("kernels not an object")
+        };
+        // Pick a kernel that actually does flops (some, like index
+        // fills, legitimately report 0 and 0*(1+eps) is still 0).
+        let (key, entry) = entries
+            .iter_mut()
+            .find(|(_, e)| e.get("flops").and_then(Value::as_f64).unwrap_or(0.0) > 0.0)
+            .expect("no kernel with nonzero flops");
+        let key = key.clone();
+        let flops = entry.get_mut("flops").unwrap();
+        let Value::Num(x) = flops else {
+            panic!("flops not numeric")
+        };
+        *x *= 1.0 + 1e-6;
+
+        let drifts = compare(&report, &perturbed, 0.0);
+        assert_eq!(drifts.len(), 1, "expected exactly one drift: {drifts:?}");
+        match &drifts[0] {
+            Drift::NumChanged { path, .. } => {
+                assert_eq!(path, &format!("workloads.lj.kernels.{key}.flops"));
+            }
+            other => panic!("unexpected drift kind: {other:?}"),
+        }
+        assert!(compare(&report, &perturbed, 1e-3).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! `perf-smoke` — run the deterministic smoke workloads and gate on a
+//! committed counter baseline.
+//!
+//! ```text
+//! perf-smoke                                   # write results/perf_smoke.json
+//! perf-smoke --out PATH                        # write elsewhere
+//! perf-smoke --check results/perf_baseline.json
+//! perf-smoke --check BASE --tolerance 1e-9     # allow tiny relative drift
+//! perf-smoke --write-baseline                  # refresh results/perf_baseline.json
+//! ```
+//!
+//! Exit codes: 0 = ok, 1 = counter drift vs baseline, 2 = usage or I/O
+//! error.
+
+use lkk_perf::{compare, json, report, workloads};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const DEFAULT_OUT: &str = "results/perf_smoke.json";
+const DEFAULT_BASELINE: &str = "results/perf_baseline.json";
+
+struct Args {
+    out: PathBuf,
+    check: Option<PathBuf>,
+    write_baseline: bool,
+    tolerance: f64,
+}
+
+fn usage() -> &'static str {
+    "usage: perf-smoke [--out PATH] [--check BASELINE] [--tolerance T] [--write-baseline]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: PathBuf::from(DEFAULT_OUT),
+        check: None,
+        write_baseline: false,
+        tolerance: 0.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a path")?);
+            }
+            "--check" => {
+                args.check = Some(PathBuf::from(it.next().ok_or("--check needs a path")?));
+            }
+            "--tolerance" => {
+                let t = it.next().ok_or("--tolerance needs a value")?;
+                args.tolerance = t
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad tolerance {t:?}: {e}"))?;
+                if !(args.tolerance >= 0.0) {
+                    return Err(format!("tolerance must be >= 0, got {t}"));
+                }
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn write_report(path: &Path, text: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!("perf-smoke: running {} workloads (forced sequential)...", 4);
+    let current = report::run_all(workloads::all());
+    let text = current.to_pretty();
+
+    if let Err(msg) = write_report(&args.out, &text) {
+        eprintln!("perf-smoke: {msg}");
+        return ExitCode::from(2);
+    }
+    eprintln!("perf-smoke: wrote {}", args.out.display());
+
+    if args.write_baseline {
+        let baseline_path = Path::new(DEFAULT_BASELINE);
+        if let Err(msg) = write_report(baseline_path, &text) {
+            eprintln!("perf-smoke: {msg}");
+            return ExitCode::from(2);
+        }
+        eprintln!("perf-smoke: wrote {}", baseline_path.display());
+    }
+
+    if let Some(baseline_path) = &args.check {
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf-smoke: reading {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match json::parse(&baseline_text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("perf-smoke: parsing {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let drifts = compare(&baseline, &current, args.tolerance);
+        if drifts.is_empty() {
+            eprintln!(
+                "perf-smoke: OK — counters match {} (tolerance {})",
+                baseline_path.display(),
+                args.tolerance
+            );
+        } else {
+            eprintln!(
+                "perf-smoke: FAIL — {} counter(s) drifted vs {} (tolerance {}):",
+                drifts.len(),
+                baseline_path.display(),
+                args.tolerance
+            );
+            for d in &drifts {
+                eprintln!("  {d}");
+            }
+            eprintln!(
+                "perf-smoke: if the change is intentional, refresh with \
+                 `cargo run --release -p lkk-perf --bin perf-smoke -- --write-baseline`"
+            );
+            return ExitCode::from(1);
+        }
+    }
+
+    ExitCode::SUCCESS
+}

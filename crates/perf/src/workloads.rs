@@ -1,0 +1,120 @@
+//! The four smoke workloads: small, fixed-seed systems for each force
+//! field family the paper benchmarks, run through the full
+//! `Simulation::run` timestep loop on a simulated device.
+//!
+//! Sizes are deliberately tiny — the harness gates on *counters*, not
+//! throughput, so a few hundred atoms exercise every kernel, the
+//! neighbor rebuild path, and the transfer machinery in well under a
+//! second per workload.
+
+use lkk_core::atom::AtomData;
+use lkk_core::lattice::{create_velocities, Lattice, LatticeKind};
+use lkk_core::pair::eam::{EamParams, PairEam};
+use lkk_core::pair::lj::LjCut;
+use lkk_core::pair::PairKokkos;
+use lkk_core::sim::{Simulation, System};
+use lkk_core::units::Units;
+use lkk_gpusim::GpuArch;
+use lkk_kokkos::Space;
+use lkk_reaxff::{hns, PairReaxff, ReaxParams};
+use lkk_snap::{PairSnap, SnapParams};
+
+/// A workload ready to run: a wired simulation plus the step count the
+/// smoke report uses.
+pub struct Workload {
+    pub name: &'static str,
+    pub sim: Simulation,
+    pub steps: u64,
+}
+
+fn device() -> Space {
+    Space::device(GpuArch::h100())
+}
+
+/// LJ melt: fcc at ρ* = 0.8442, T* = 1.44, the paper's §4.1 workload.
+pub fn lj() -> Workload {
+    let space = device();
+    let n = 4; // 4³ fcc cells = 256 atoms
+    let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
+    let mut atoms = AtomData::from_positions(&lat.positions(n, n, n));
+    let units = Units::lj();
+    create_velocities(&mut atoms, &units, 1.44, 87287);
+    let system = System::new(atoms, lat.domain(n, n, n), space.clone());
+    let pair = PairKokkos::new(LjCut::single_type(1.0, 1.0, 2.5), &space);
+    Workload {
+        name: "lj",
+        sim: Simulation::new(system, Box::new(pair)),
+        steps: 30,
+    }
+}
+
+/// EAM metal: fcc Cu-like lattice with the analytic Johnson-style
+/// potential (two-pass density/force kernels + F′ ghost exchange).
+pub fn eam() -> Workload {
+    let space = device();
+    let n = 3; // 3³ fcc cells = 108 atoms; a = r0·√2 ≈ 3.61 Å
+    let params = EamParams::default();
+    let lat = Lattice::new(LatticeKind::Fcc, params.r0 * std::f64::consts::SQRT_2);
+    let mut atoms = AtomData::from_positions(&lat.positions(n, n, n));
+    let units = Units::metal();
+    create_velocities(&mut atoms, &units, 600.0, 12345);
+    let system = System::new(atoms, lat.domain(n, n, n), space).with_units(units);
+    let pair = PairEam::new(params);
+    Workload {
+        name: "eam",
+        sim: Simulation::new(system, Box::new(pair)),
+        steps: 20,
+    }
+}
+
+/// SNAP: bcc tungsten-like lattice at a reduced `twojmax` (the kernel
+/// structure — Ui/Yi/FusedDeidrj — is identical; the band count is
+/// smaller so the smoke run stays fast).
+pub fn snap() -> Workload {
+    let space = device();
+    let n = 3; // 3³ bcc cells = 54 atoms
+    let lat = Lattice::new(LatticeKind::Bcc, 3.16);
+    let mut atoms = AtomData::from_positions(&lat.positions(n, n, n));
+    let units = Units::metal();
+    create_velocities(&mut atoms, &units, 300.0, 4711);
+    let system = System::new(atoms, lat.domain(n, n, n), space.clone()).with_units(units);
+    let params = SnapParams {
+        twojmax: 4,
+        rcut: 3.5,
+        ..Default::default()
+    };
+    let pair = PairSnap::new(params, &space);
+    Workload {
+        name: "snap",
+        sim: Simulation::new(system, Box::new(pair)),
+        steps: 10,
+    }
+}
+
+/// ReaxFF: the HNS-like molecular crystal with charge equilibration.
+pub fn reaxff() -> Workload {
+    let space = device();
+    // 3³ × 18-atom cells = 486 atoms; 2³ would leave the 15 Å box
+    // smaller than twice the ~8.3 Å ghost cutoff and fail comm setup.
+    let cells = 3;
+    let (pos, types, domain) = hns::crystal(cells, cells, cells, 7.5);
+    let mut atoms = AtomData::from_positions(&pos);
+    atoms.mass = vec![12.0, 1.0, 14.0, 16.0];
+    for (i, &t) in types.iter().enumerate() {
+        atoms.typ.h_view_mut().set([i], t);
+    }
+    let units = Units::metal();
+    create_velocities(&mut atoms, &units, 300.0, 2718);
+    let system = System::new(atoms, domain, space).with_units(units);
+    let pair = PairReaxff::new(ReaxParams::hns_like());
+    Workload {
+        name: "reaxff",
+        sim: Simulation::new(system, Box::new(pair)),
+        steps: 5,
+    }
+}
+
+/// All four workloads in report order.
+pub fn all() -> Vec<Workload> {
+    vec![lj(), eam(), snap(), reaxff()]
+}

@@ -50,7 +50,11 @@ pub fn angle_bo_lo(params: &ReaxParams) -> f64 {
 /// (`parallel_scan` between the two passes, exactly the §4.2.2 build
 /// pattern). Returns the table and the number of *candidate* pairs
 /// examined (for the divergence statistics).
-pub fn build_triplets(state: &BondState, params: &ReaxParams, space: &Space) -> (Vec<Triplet>, u64) {
+pub fn build_triplets(
+    state: &BondState,
+    params: &ReaxParams,
+    space: &Space,
+) -> (Vec<Triplet>, u64) {
     let t = &state.table;
     let nlocal = t.nlocal;
     let bo_lo = angle_bo_lo(params);
@@ -201,9 +205,9 @@ mod tests {
     fn water_like_trimer_has_one_angle() {
         let params = crate::params::ReaxParams::single_element();
         let mut atoms = AtomData::from_positions(&[
-            [8.0, 8.0, 8.0],          // center
-            [9.4, 8.2, 8.0],          // bonded
-            [7.3, 9.2, 8.1],          // bonded
+            [8.0, 8.0, 8.0], // center
+            [9.4, 8.2, 8.0], // bonded
+            [7.3, 9.2, 8.1], // bonded
         ]);
         let domain = Domain::cubic(18.0);
         atoms.wrap_positions(&domain);

@@ -365,7 +365,10 @@ mod tests {
     use lkk_core::domain::Domain;
     use lkk_core::neighbor::NeighborSettings;
 
-    fn small_system(positions: &[[f64; 3]], l: f64) -> (AtomData, Domain, NeighborList, GhostMap, ReaxParams) {
+    fn small_system(
+        positions: &[[f64; 3]],
+        l: f64,
+    ) -> (AtomData, Domain, NeighborList, GhostMap, ReaxParams) {
         let params = ReaxParams::single_element();
         let mut atoms = AtomData::from_positions(positions);
         let domain = Domain::cubic(l);

@@ -41,11 +41,7 @@ pub fn motif() -> Vec<([f64; 3], i32)> {
             for (dz, side) in [(0.95, 1.0), (-0.95, -1.0)] {
                 let spread = 0.45 * side;
                 atoms.push((
-                    [
-                        ro * c - spread * s,
-                        ro * s + spread * c,
-                        dz * 0.55,
-                    ],
+                    [ro * c - spread * s, ro * s + spread * c, dz * 0.55],
                     TYPE_O,
                 ));
             }

@@ -107,7 +107,11 @@ pub fn compute_nonbonded(
                 }
                 let r = rsq.sqrt();
                 let tj = typ.at([j]) as usize;
-                let jo = if j < nlocal { j } else { ghosts.owner[j - nlocal] };
+                let jo = if j < nlocal {
+                    j
+                } else {
+                    ghosts.owner[j - nlocal]
+                };
                 let qj = q[jo];
                 let (e_v, de_v) = vdw(r, ti, tj, params);
                 let (h, dh) = coulomb_hij(r, gamma_ij(params, ti, tj), params);
@@ -125,8 +129,8 @@ pub fn compute_nonbonded(
             }
             unsafe {
                 let fp = (f_ptr as *mut [f64; 3]).add(i);
-                for k in 0..3 {
-                    (*fp)[k] += fi[k];
+                for (k, &fik) in fi.iter().enumerate() {
+                    (*fp)[k] += fik;
                 }
             }
             (ev, ec, w)
@@ -175,7 +179,10 @@ mod tests {
         let (e_core, _) = vdw(1.0, 0, 0, &p);
         let (e_zero, _) = vdw(1e-6, 0, 0, &p);
         assert!(e_core < 1.0, "core repulsion {e_core} eV");
-        assert!((e_zero - vdw(0.5, 0, 0, &p).0).abs() < 0.05, "core not flat");
+        assert!(
+            (e_zero - vdw(0.5, 0, 0, &p).0).abs() < 0.05,
+            "core not flat"
+        );
     }
 
     #[test]

@@ -27,7 +27,18 @@ use lkk_core::pair::{PairResults, PairStyle};
 use lkk_core::sim::System;
 use lkk_core::style::{PairSpec, StyleRegistry};
 use lkk_gpusim::KernelStats;
-use lkk_kokkos::Space;
+use lkk_kokkos::{profile, Space};
+
+/// Join the active region path with a ReaxFF pipeline phase name, for
+/// tagging stats records that are pushed after the phase region closed.
+fn phase_region(phase: &str) -> String {
+    let base = profile::current_region();
+    if base.is_empty() {
+        phase.to_string()
+    } else {
+        format!("{base}/{phase}")
+    }
+}
 
 /// The ReaxFF pair style.
 pub struct PairReaxff {
@@ -74,6 +85,7 @@ impl PairReaxff {
         }
         // Bond-order build: divergent scan of the long neighbor list.
         let mut bo = KernelStats::new("BondOrderBuild");
+        bo.region = phase_region("bond_order");
         bo.work_items = nlocal;
         bo.flops = bond_count * 60.0 + nlocal * 30.0;
         bo.dram_bytes = nlocal * 200.0 + bond_count * 60.0;
@@ -82,15 +94,18 @@ impl PairReaxff {
 
         // Torsion pre-processing: cheap but very divergent.
         let mut tp = KernelStats::new("TorsionCountFill");
+        tp.region = phase_region("valence");
         tp.work_items = quad_stats.candidates as f64;
         tp.flops = quad_stats.candidates as f64 * 8.0;
         tp.dram_bytes = quad_stats.candidates as f64 * 24.0 + quad_stats.kept as f64 * 16.0;
-        tp.convergence = (quad_stats.kept as f64 / quad_stats.candidates.max(1) as f64).clamp(0.02, 1.0);
+        tp.convergence =
+            (quad_stats.kept as f64 / quad_stats.candidates.max(1) as f64).clamp(0.02, 1.0);
         tp.launches = 2.0;
         space.note_kernel(tp);
 
         // Torsion compute: fully convergent on the compressed table.
         let mut tc = KernelStats::new("TorsionCompute");
+        tc.region = phase_region("valence");
         tc.work_items = quad_stats.kept as f64;
         tc.flops = quad_stats.kept as f64 * 250.0;
         tc.dram_bytes = quad_stats.kept as f64 * 96.0;
@@ -100,6 +115,7 @@ impl PairReaxff {
 
         // QEq matrix build (hierarchical row parallelism on device).
         let mut qb = KernelStats::new("QEqMatrixBuild");
+        qb.region = phase_region("qeq");
         qb.work_items = nnz;
         qb.flops = nnz * 40.0;
         qb.dram_bytes = nnz * 40.0 + nlocal * 40.0;
@@ -108,6 +124,7 @@ impl PairReaxff {
         // Fused dual SpMV per CG iteration: bandwidth bound on the
         // matrix values (§4.2.3).
         let mut sp = KernelStats::new("QEqSpmvFused");
+        sp.region = phase_region("qeq");
         sp.work_items = nnz;
         sp.flops = cg_iters * nnz * 4.0;
         sp.dram_bytes = cg_iters * nnz * 12.0;
@@ -117,6 +134,7 @@ impl PairReaxff {
 
         // Non-bonded force kernel.
         let mut nb = KernelStats::new("NonbondedCompute");
+        nb.region = phase_region("nonbonded");
         nb.work_items = nlocal;
         nb.flops = nnz * 2.0 * 60.0;
         nb.dram_bytes = nlocal * 48.0 + nnz * 2.0 * 28.0;
@@ -160,11 +178,14 @@ impl PairStyle for PairReaxff {
         let params = self.params.clone();
 
         // 1. Bond table + bond orders.
+        let bo_region = profile::begin_region("bond_order");
         let table = BondTable::build(&system.atoms, list, &system.ghosts, &params, &space);
         self.last_bond_count = table.total_bonds();
         let mut state = BondState::compute(table, &params, &system.atoms);
+        drop(bo_region);
 
         // 2. Charge equilibration.
+        let qeq_region = profile::begin_region("qeq");
         let matrix = QeqMatrix::build(&system.atoms, list, &system.ghosts, &params, &space);
         let typ = system.atoms.typ.h_view();
         let chi: Vec<f64> = (0..nlocal)
@@ -172,6 +193,7 @@ impl PairStyle for PairReaxff {
             .collect();
         let sol = qeq::solve(&matrix, &chi, &params, &space);
         self.last_qeq_iterations = sol.iterations;
+        drop(qeq_region);
 
         let mut forces = vec![[0.0f64; 3]; nlocal];
         let mut energy = 0.0;
@@ -181,6 +203,7 @@ impl PairStyle for PairReaxff {
         energy += state.bonded_energy(&params, &system.atoms);
 
         // 4. Angles and torsions.
+        let valence_region = profile::begin_region("valence");
         let (triplets, _cand3) = build_triplets(&state, &params, &space);
         let (e_ang, w_ang) = compute_angles(&triplets, &mut state, &params, &mut forces, &space);
         energy += e_ang;
@@ -190,12 +213,14 @@ impl PairStyle for PairReaxff {
         let (e_tor, w_tor) = compute_torsions(&quads, &mut state, &params, &mut forces, &space);
         energy += e_tor;
         virial += w_tor;
+        drop(valence_region);
 
         // 5. Bond-order force chains.
         virial += state.accumulate_forces(&mut forces);
 
         // 6. Non-bonded (vdW + Coulomb at the equilibrated charges) and
         //    the electrostatic self energy χ·q + η·q².
+        let nonbonded_region = profile::begin_region("nonbonded");
         let (e_vdw, e_coul, w_nb) = compute_nonbonded(
             &system.atoms,
             list,
@@ -207,9 +232,10 @@ impl PairStyle for PairReaxff {
         );
         energy += e_vdw + e_coul;
         virial += w_nb;
-        for i in 0..nlocal {
+        drop(nonbonded_region);
+        for (i, &chi_i) in chi.iter().enumerate().take(nlocal) {
             let eta = params.elements[typ.at([i]) as usize].eta;
-            energy += chi[i] * sol.q[i] + eta * sol.q[i] * sol.q[i];
+            energy += chi_i * sol.q[i] + eta * sol.q[i] * sol.q[i];
         }
 
         // Store charges back on the atoms (observable state).
@@ -226,8 +252,8 @@ impl PairStyle for PairReaxff {
             let fh = system.atoms.f.h_view_mut();
             fh.fill(0.0);
             for (i, f) in forces.iter().enumerate() {
-                for k in 0..3 {
-                    fh.set([i, k], f[k]);
+                for (k, &fk) in f.iter().enumerate() {
+                    fh.set([i, k], fk);
                 }
             }
         }
@@ -304,7 +330,11 @@ mod tests {
                 o_count += 1;
             }
         }
-        assert!(o_sum / (o_count as f64) < 0.0, "O mean charge {}", o_sum / o_count as f64);
+        assert!(
+            o_sum / (o_count as f64) < 0.0,
+            "O mean charge {}",
+            o_sum / o_count as f64
+        );
         // Net neutral.
         assert!(pair.last_charges.iter().sum::<f64>().abs() < 1e-8);
     }
@@ -443,17 +473,11 @@ mod tests {
         // This is the "reactive" property: bonds break smoothly.
         let params = ReaxParams::single_element();
         let energy_at = |r: f64| -> f64 {
-            let mut atoms = AtomData::from_positions(&[
-                [9.0, 9.0, 9.0],
-                [9.0 + r, 9.0, 9.0],
-            ]);
+            let mut atoms = AtomData::from_positions(&[[9.0, 9.0, 9.0], [9.0 + r, 9.0, 9.0]]);
             atoms.mass = vec![12.0];
-            let mut system = System::new(
-                atoms,
-                lkk_core::domain::Domain::cubic(18.0),
-                Space::Serial,
-            )
-            .with_units(Units::metal());
+            let mut system =
+                System::new(atoms, lkk_core::domain::Domain::cubic(18.0), Space::Serial)
+                    .with_units(Units::metal());
             let mut pair = PairReaxff::new(params.clone());
             let (_, res) = run_compute(&mut system, &mut pair);
             res.energy

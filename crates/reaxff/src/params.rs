@@ -231,7 +231,10 @@ mod tests {
             let (bm, _) = p.bond_order_prime(r - h, 0, 1);
             let fd = (bp - bm) / (2.0 * h);
             let (_, an) = p.bond_order_prime(r, 0, 1);
-            assert!((an - fd).abs() < 1e-6 * fd.abs().max(1e-8), "r={r}: {an} vs {fd}");
+            assert!(
+                (an - fd).abs() < 1e-6 * fd.abs().max(1e-8),
+                "r={r}: {an} vs {fd}"
+            );
         }
     }
 
@@ -245,7 +248,8 @@ mod tests {
         assert!((s_mid - 0.5).abs() < 1e-12);
         for &r in &[1.1f64, 1.5, 1.9] {
             let h = 1e-7;
-            let fd = (cubic_switch(r + h, 1.0, 2.0).0 - cubic_switch(r - h, 1.0, 2.0).0) / (2.0 * h);
+            let fd =
+                (cubic_switch(r + h, 1.0, 2.0).0 - cubic_switch(r - h, 1.0, 2.0).0) / (2.0 * h);
             assert!((cubic_switch(r, 1.0, 2.0).1 - fd).abs() < 1e-6);
         }
     }

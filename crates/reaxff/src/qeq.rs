@@ -136,7 +136,14 @@ impl QeqMatrix {
 
     /// Fused dual sparse matrix-vector product:
     /// `y1 = A·x1`, `y2 = A·x2` with one pass over the matrix (§4.2.3).
-    pub fn spmv_fused(&self, x1: &[f64], x2: &[f64], y1: &mut [f64], y2: &mut [f64], space: &Space) {
+    pub fn spmv_fused(
+        &self,
+        x1: &[f64],
+        x2: &[f64],
+        y1: &mut [f64],
+        y2: &mut [f64],
+        space: &Space,
+    ) {
         let y1p = y1.as_mut_ptr() as usize;
         let y2p = y2.as_mut_ptr() as usize;
         space.parallel_for("QEqSpmvFused", self.n, |i| {
@@ -331,11 +338,7 @@ mod tests {
     #[test]
     fn charges_are_neutral_and_follow_electronegativity() {
         // C (χ 5.7) and O (χ 8.5): oxygen pulls negative charge.
-        let (atoms, m, params) = setup(
-            &[[9.0, 9.0, 9.0], [10.4, 9.0, 9.0]],
-            &[0, 3],
-            18.0,
-        );
+        let (atoms, m, params) = setup(&[[9.0, 9.0, 9.0], [10.4, 9.0, 9.0]], &[0, 3], 18.0);
         let typ = atoms.typ.h_view();
         let chi: Vec<f64> = (0..m.n)
             .map(|i| params.elements[typ.at([i]) as usize].chi)
@@ -372,7 +375,10 @@ mod tests {
         let grad: Vec<f64> = (0..m.n).map(|i| chi[i] + aq[i]).collect();
         let mean = grad.iter().sum::<f64>() / m.n as f64;
         for g in &grad {
-            assert!((g - mean).abs() < 1e-6, "gradient not uniform: {g} vs {mean}");
+            assert!(
+                (g - mean).abs() < 1e-6,
+                "gradient not uniform: {g} vs {mean}"
+            );
         }
         // Energy is below the q = 0 energy (0).
         assert!(sol.energy < 0.0);
@@ -380,11 +386,7 @@ mod tests {
 
     #[test]
     fn identical_atoms_share_charge_zero() {
-        let (_a, m, params) = setup(
-            &[[9.0, 9.0, 9.0], [10.5, 9.0, 9.0]],
-            &[0, 0],
-            18.0,
-        );
+        let (_a, m, params) = setup(&[[9.0, 9.0, 9.0], [10.5, 9.0, 9.0]], &[0, 0], 18.0);
         let chi = vec![params.elements[0].chi; 2];
         let sol = solve(&m, &chi, &params, &Space::Serial);
         assert!(sol.q[0].abs() < 1e-10);

@@ -109,7 +109,11 @@ fn eligible(
 /// generated once per *directed* center bond; we keep only the
 /// direction with `i < owner(j)` (ties cannot occur for boxes larger
 /// than twice the bond cutoff).
-pub fn build_quads(state: &BondState, params: &ReaxParams, space: &Space) -> (Vec<Quad>, QuadStats) {
+pub fn build_quads(
+    state: &BondState,
+    params: &ReaxParams,
+    space: &Space,
+) -> (Vec<Quad>, QuadStats) {
     let t = &state.table;
     let nlocal = t.nlocal;
     let mut counts = vec![0usize; nlocal];
@@ -364,8 +368,7 @@ mod tests {
 
     #[test]
     fn dimer_has_no_quads() {
-        let (state, params, _): (BondState, _, _) =
-            state_for(&[[6.0, 6.0, 6.0], [7.4, 6.0, 6.0]]);
+        let (state, params, _): (BondState, _, _) = state_for(&[[6.0, 6.0, 6.0], [7.4, 6.0, 6.0]]);
         let (quads, stats) = build_quads(&state, &params, &Space::Serial);
         assert!(quads.is_empty());
         assert_eq!(stats.kept, 0);

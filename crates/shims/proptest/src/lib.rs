@@ -1,0 +1,262 @@
+//! Minimal vendored stand-in for the `proptest` crate.
+//!
+//! Supports the subset used by this workspace's property tests: the
+//! `proptest!` macro (with optional `#![proptest_config(..)]`),
+//! strategies over primitive ranges, `prop::array::uniform3`,
+//! `prop::collection::vec`, `prop::sample::select`, tuple strategies,
+//! and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case
+//! panics immediately with the case number, and the per-test RNG seed
+//! is derived deterministically from the test name, so failures
+//! reproduce exactly on re-run.
+
+use std::ops::Range;
+
+/// Deterministic RNG driving value generation (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test name.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runner configuration (subset: number of cases per test).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                assert!(span > 0, "empty strategy range");
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(usize, u64, u32, i64, i32);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+pub mod prop {
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        pub struct Uniform3<S>(S);
+
+        /// `[S::Value; 3]` with i.i.d. components.
+        pub fn uniform3<S: Strategy>(inner: S) -> Uniform3<S> {
+            Uniform3(inner)
+        }
+
+        impl<S: Strategy> Strategy for Uniform3<S> {
+            type Value = [S::Value; 3];
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                [self.0.sample(rng), self.0.sample(rng), self.0.sample(rng)]
+            }
+        }
+    }
+
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        pub struct VecStrategy<S> {
+            inner: S,
+            len: Range<usize>,
+        }
+
+        /// `Vec<S::Value>` with a length drawn from `len`.
+        pub fn vec<S: Strategy>(inner: S, len: Range<usize>) -> VecStrategy<S> {
+            vec_strategy_assert(&len);
+            VecStrategy { inner, len }
+        }
+
+        fn vec_strategy_assert(len: &Range<usize>) {
+            assert!(len.start < len.end, "empty length range");
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.len.sample(rng);
+                (0..n).map(|_| self.inner.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        pub struct Select<T>(Vec<T>);
+
+        /// Pick one element of `options` uniformly.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select over empty options");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.0[(rng.next_u64() % self.0.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{prop, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn arrays_and_vecs_compose(
+            v in prop::array::uniform3(0f64..1.0),
+            xs in prop::collection::vec((0usize..4, -1f64..1.0), 1..20),
+            pick in prop::sample::select(vec![2usize, 4, 6]),
+        ) {
+            prop_assert!(v.iter().all(|c| (0.0..1.0).contains(c)));
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            for (i, x) in &xs {
+                prop_assert!(*i < 4);
+                prop_assert!((-1.0..1.0).contains(x));
+            }
+            prop_assert!(pick % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_name() {
+        let mut a = TestRng::deterministic("t");
+        let mut b = TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("u");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -34,9 +34,7 @@ pub fn clebsch_gordan(j1: i64, m1: i64, j2: i64, m2: i64, j: i64, m: i64) -> f64
         debug_assert!(x % 2 == 0);
         x / 2
     };
-    let z_min = 0
-        .max(h(j2 - j - m1))
-        .max(h(j1 - j + m2));
+    let z_min = 0.max(h(j2 - j - m1)).max(h(j1 - j + m2));
     let z_max = h(j1 + j2 - j).min(h(j1 - m1)).min(h(j2 + m2));
     if z_min > z_max {
         return 0.0;

@@ -174,9 +174,7 @@ impl SnapContext {
             s.acc_i.iter_mut().for_each(|x| *x = 0.0);
             for (k_in, d) in chunk.iter().enumerate() {
                 let ck = self.hyper.map(*d);
-                let w = weights
-                    .map(|w| w[c_idx * batch + k_in])
-                    .unwrap_or(1.0);
+                let w = weights.map(|w| w[c_idx * batch + k_in]).unwrap_or(1.0);
                 let sfac = ck.sfac * w;
                 compute_u(&self.idx, &self.rootpq, &ck, &mut s.u_r, &mut s.u_i);
                 for iu in 0..self.idx.u_len {
@@ -341,8 +339,8 @@ impl SnapContext {
     ) -> [f64; 3] {
         let mut ckd = self.hyper.map_with_derivatives(d);
         ckd.ck.sfac *= weight;
-        for k in 0..3 {
-            ckd.dsfac[k] *= weight;
+        for dk in &mut ckd.dsfac {
+            *dk *= weight;
         }
         let ckd = &ckd;
         let mut dedr = [0.0f64; 3];
@@ -350,7 +348,7 @@ impl SnapContext {
             compute_u_du(
                 &self.idx,
                 &self.rootpq,
-                &ckd,
+                ckd,
                 &mut s.u_r,
                 &mut s.u_i,
                 &mut s.du_r,
@@ -359,20 +357,20 @@ impl SnapContext {
             for iu in 0..self.idx.u_len {
                 let (ur, ui) = (s.u_r[iu], s.u_i[iu]);
                 let (yr, yi) = (s.y_r[iu], s.y_i[iu]);
-                for k in 0..3 {
+                for (k, dedk) in dedr.iter_mut().enumerate() {
                     // d(sfac·u)/dx_k = dsfac_k·u + sfac·du_k.
                     let dr = ckd.dsfac[k] * ur + ckd.ck.sfac * s.du_r[iu * 3 + k];
                     let di = ckd.dsfac[k] * ui + ckd.ck.sfac * s.du_i[iu * 3 + k];
-                    dedr[k] += yr * dr + yi * di;
+                    *dedk += yr * dr + yi * di;
                 }
             }
         } else {
-            for k in 0..3 {
+            for (k, dedk) in dedr.iter_mut().enumerate() {
                 // Unfused: recompute the recursion for every direction.
                 compute_u_du(
                     &self.idx,
                     &self.rootpq,
-                    &ckd,
+                    ckd,
                     &mut s.u_r,
                     &mut s.u_i,
                     &mut s.du_r,
@@ -381,7 +379,7 @@ impl SnapContext {
                 for iu in 0..self.idx.u_len {
                     let dr = ckd.dsfac[k] * s.u_r[iu] + ckd.ck.sfac * s.du_r[iu * 3 + k];
                     let di = ckd.dsfac[k] * s.u_i[iu] + ckd.ck.sfac * s.du_i[iu * 3 + k];
-                    dedr[k] += s.y_r[iu] * dr + s.y_i[iu] * di;
+                    *dedk += s.y_r[iu] * dr + s.y_i[iu] * di;
                 }
             }
         }
@@ -502,11 +500,7 @@ mod tests {
             // Rz(a) then Ry(b) then Rx(g).
             let v1 = [ca * v[0] - sa * v[1], sa * v[0] + ca * v[1], v[2]];
             let v2 = [cb * v1[0] + sb * v1[2], v1[1], -sb * v1[0] + cb * v1[2]];
-            [
-                v2[0],
-                cc * v2[1] - sc * v2[2],
-                sc * v2[1] + cc * v2[2],
-            ]
+            [v2[0], cc * v2[1] - sc * v2[2], sc * v2[1] + cc * v2[2]]
         };
         let rotated: Vec<[f64; 3]> = neigh.iter().map(|&v| rot(v)).collect();
         c.compute_ui(&rotated, &mut s, 1);
@@ -628,8 +622,6 @@ mod tests {
         assert!(c8.ui_flops_per_atom(20.0) > 4.0 * c4.ui_flops_per_atom(20.0));
         assert!(c8.yi_flops_per_atom() > c4.yi_flops_per_atom());
         assert!(c8.ui_atomics_per_atom(20.0, 4) < c8.ui_atomics_per_atom(20.0, 1));
-        assert!(
-            c8.deidrj_flops_per_neighbor(false) > 1.3 * c8.deidrj_flops_per_neighbor(true)
-        );
+        assert!(c8.deidrj_flops_per_neighbor(false) > 1.3 * c8.deidrj_flops_per_neighbor(true));
     }
 }

@@ -86,7 +86,8 @@ impl HyperParams {
     pub fn map(&self, d: [f64; 3]) -> CayleyKlein {
         let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
         let r = rsq.sqrt();
-        let theta0 = self.rfac0 * std::f64::consts::PI * (r - self.rmin0) / (self.rcut - self.rmin0);
+        let theta0 =
+            self.rfac0 * std::f64::consts::PI * (r - self.rmin0) / (self.rcut - self.rmin0);
         let z0 = r / theta0.tan();
         let r0inv = 1.0 / (rsq + z0 * z0).sqrt();
         CayleyKlein {
@@ -127,14 +128,14 @@ impl HyperParams {
             dsfac: [0.0; 3],
         };
         let dsfac_dr = self.dfc_dr(r) * self.weight;
-        for k in 0..3 {
-            let dr0inv = dr0invdr * uhat[k];
-            let dz0 = dz0dr * uhat[k];
+        for (k, &uk) in uhat.iter().enumerate() {
+            let dr0inv = dr0invdr * uk;
+            let dz0 = dz0dr * uk;
             out.da_r[k] = dz0 * r0inv + z0 * dr0inv;
             out.da_i[k] = -d[2] * dr0inv;
             out.db_r[k] = d[1] * dr0inv;
             out.db_i[k] = -d[0] * dr0inv;
-            out.dsfac[k] = dsfac_dr * uhat[k];
+            out.dsfac[k] = dsfac_dr * uk;
         }
         out.da_i[2] -= r0inv;
         out.db_r[1] += r0inv;
@@ -168,7 +169,7 @@ mod tests {
         assert_eq!(p.fc(4.0), 0.0);
         assert_eq!(p.fc(5.0), 0.0);
         assert!((p.fc(2.5) - 0.5).abs() < 1e-12); // midpoint
-        // Monotone decreasing.
+                                                  // Monotone decreasing.
         let mut prev = 1.0;
         let mut r = 1.0;
         while r < 4.0 {

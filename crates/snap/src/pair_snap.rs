@@ -14,7 +14,7 @@ use lkk_core::pair::{PairResults, PairStyle};
 use lkk_core::sim::System;
 use lkk_core::style::{PairSpec, StyleRegistry};
 use lkk_gpusim::KernelStats;
-use lkk_kokkos::{ScatterView, Space};
+use lkk_kokkos::{profile, ScatterView, Space};
 use std::cell::RefCell;
 
 /// User-facing SNAP parameters.
@@ -120,10 +120,10 @@ impl PairSnap {
         ui.atomic_f64_ops = nlocal * ctx.ui_atomics_per_atom(avg_neigh, self.config.ui_batch);
         ui.dram_bytes = nlocal * (u_bytes + avg_neigh * 28.0);
         ui.working_set_bytes = u_bytes * 32.0; // a tile of atoms' U in flight
-        // Scratch stages one row of u per thread plus the batch
-        // accumulator (§4.3.3: "explicitly cached intermediate values
-        // in Kokkos scratchpad memory") — the team's footprint is what
-        // bounds occupancy in Fig. 3.
+                                               // Scratch stages one row of u per thread plus the batch
+                                               // accumulator (§4.3.3: "explicitly cached intermediate values
+                                               // in Kokkos scratchpad memory") — the team's footprint is what
+                                               // bounds occupancy in Fig. 3.
         ui.scratch_bytes_per_team = (ctx.idx.twojmax as f64 + 1.0) * 16.0 * 128.0;
         ui.threads_per_team = 128;
         ui.ilp = self.config.ui_batch as f64;
@@ -196,6 +196,9 @@ impl PairStyle for PairSnap {
     }
 
     fn compute(&mut self, system: &mut System, list: &NeighborList, _eflag: bool) -> PairResults {
+        // All SNAP launches and stats records are tagged under this
+        // region (e.g. "step/pair/snap" inside the timestep loop).
+        let _snap_region = profile::begin_region("snap");
         let space = system.space.clone();
         system
             .atoms
@@ -270,9 +273,9 @@ impl PairStyle for PairSnap {
                     let g = grads[k];
                     // Force on neighbor j: −∂E_i/∂x_j; reaction on i.
                     let f = [-g[0], -g[1], -g[2]];
-                    for dir in 0..3 {
-                        sref.add(j, dir, f[dir]);
-                        sref.add(i, dir, -f[dir]);
+                    for (dir, &fd) in f.iter().enumerate() {
+                        sref.add(j, dir, fd);
+                        sref.add(i, dir, -fd);
                     }
                     // Virial tensor: Σ d ⊗ f_j (symmetrized), d = x_j − x_i.
                     let d = rel[k];
@@ -287,8 +290,8 @@ impl PairStyle for PairSnap {
             },
             |a, b| {
                 let mut w = a.1;
-                for k in 0..6 {
-                    w[k] += b.1[k];
+                for (wk, bk) in w.iter_mut().zip(b.1) {
+                    *wk += bk;
                 }
                 (a.0 + b.0, w)
             },
@@ -323,8 +326,8 @@ mod tests {
         // boxes above the 2×cutghost minimum-image limit at n = 3.
         let lat = Lattice::new(LatticeKind::Bcc, 3.16);
         let atoms = AtomData::from_positions(&lat.positions(n, n, n));
-        let system = System::new(atoms, lat.domain(n, n, n), space.clone())
-            .with_units(Units::metal());
+        let system =
+            System::new(atoms, lat.domain(n, n, n), space.clone()).with_units(Units::metal());
         let params = SnapParams {
             twojmax,
             rcut: 3.5,
@@ -433,7 +436,11 @@ mod tests {
 
     #[test]
     fn spaces_agree() {
-        let configs = [Space::Serial, Space::Threads, Space::device(lkk_gpusim::GpuArch::h100())];
+        let configs = [
+            Space::Serial,
+            Space::Threads,
+            Space::device(lkk_gpusim::GpuArch::h100()),
+        ];
         let mut reference: Option<(Vec<[f64; 3]>, f64)> = None;
         for space in configs {
             let (mut system, mut pair) = tungsten_like(3, 4, space);
@@ -475,7 +482,10 @@ mod tests {
         let _ = compute_forces(&mut system, &mut pair);
         let agg = ctx.log.aggregate();
         for name in ["ComputeUi", "ComputeYi", "ComputeFusedDeidrj"] {
-            let k = agg.iter().find(|s| s.name == name).unwrap_or_else(|| panic!("{name} missing"));
+            let k = agg
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"));
             assert!(k.flops > 0.0, "{name} has no flops");
         }
     }
@@ -579,11 +589,9 @@ mod tests {
             }
             let space = Space::Serial;
             let mut system = System::new(atoms, Domain::cubic(16.0), space.clone());
-            let mut pair =
-                PairSnap::new(params.clone(), &space).with_type_weights(weights.clone());
+            let mut pair = PairSnap::new(params.clone(), &space).with_type_weights(weights.clone());
             let settings = NeighborSettings::new(pair.cutoff(), 0.3, false);
-            system.ghosts =
-                build_ghosts(&mut system.atoms, &system.domain, settings.cutneigh());
+            system.ghosts = build_ghosts(&mut system.atoms, &system.domain, settings.cutneigh());
             let list = NeighborList::build(&system.atoms, &system.domain, &settings, &space);
             let res = pair.compute(&mut system, &list, true);
             system.atoms.sync(&Space::Serial, lkk_core::atom::Mask::F);

@@ -44,7 +44,13 @@ fn conj_mul(ar: f64, ai: f64, ur: f64, ui: f64) -> (f64, f64) {
 /// Compute all Wigner blocks `u_j(mb, ma)` for one neighbor into
 /// `(u_r, u_i)` (flattened per [`SnapIndices`]). The arrays are fully
 /// overwritten.
-pub fn compute_u(idx: &SnapIndices, rootpq: &RootPq, ck: &CayleyKlein, u_r: &mut [f64], u_i: &mut [f64]) {
+pub fn compute_u(
+    idx: &SnapIndices,
+    rootpq: &RootPq,
+    ck: &CayleyKlein,
+    u_r: &mut [f64],
+    u_i: &mut [f64],
+) {
     debug_assert_eq!(u_r.len(), idx.u_len);
     u_r[0] = 1.0;
     u_i[0] = 0.0;
@@ -125,8 +131,7 @@ pub fn compute_u_du(
                     vi += c * ti;
                     for k in 0..3 {
                         let (d1r, d1i) = conj_mul(ckd.da_r[k], ckd.da_i[k], u_r[p], u_i[p]);
-                        let (d2r, d2i) =
-                            conj_mul(ck.a_r, ck.a_i, du_r[p * 3 + k], du_i[p * 3 + k]);
+                        let (d2r, d2i) = conj_mul(ck.a_r, ck.a_i, du_r[p * 3 + k], du_i[p * 3 + k]);
                         dv_r[k] += c * (d1r + d2r);
                         dv_i[k] += c * (d1i + d2i);
                     }
@@ -139,8 +144,7 @@ pub fn compute_u_du(
                     vi -= c * ti;
                     for k in 0..3 {
                         let (d1r, d1i) = conj_mul(ckd.db_r[k], ckd.db_i[k], u_r[p], u_i[p]);
-                        let (d2r, d2i) =
-                            conj_mul(ck.b_r, ck.b_i, du_r[p * 3 + k], du_i[p * 3 + k]);
+                        let (d2r, d2i) = conj_mul(ck.b_r, ck.b_i, du_r[p * 3 + k], du_i[p * 3 + k]);
                         dv_r[k] -= c * (d1r + d2r);
                         dv_i[k] -= c * (d1i + d2i);
                     }
@@ -247,7 +251,9 @@ mod tests {
         let mut u_i = vec![0.0; idx.u_len];
         let mut du_r = vec![0.0; idx.u_len * 3];
         let mut du_i = vec![0.0; idx.u_len * 3];
-        compute_u_du(&idx, &rootpq, &ckd, &mut u_r, &mut u_i, &mut du_r, &mut du_i);
+        compute_u_du(
+            &idx, &rootpq, &ckd, &mut u_r, &mut u_i, &mut du_r, &mut du_i,
+        );
         let h = 1e-6;
         for k in 0..3 {
             let mut dp = d0;
@@ -286,7 +292,9 @@ mod tests {
         let mut u2_i = vec![0.0; idx.u_len];
         let mut du_r = vec![0.0; idx.u_len * 3];
         let mut du_i = vec![0.0; idx.u_len * 3];
-        compute_u_du(&idx, &rootpq, &ckd, &mut u2_r, &mut u2_i, &mut du_r, &mut du_i);
+        compute_u_du(
+            &idx, &rootpq, &ckd, &mut u2_r, &mut u2_i, &mut du_r, &mut du_i,
+        );
         for iu in 0..idx.u_len {
             assert_eq!(u1_r[iu], u2_r[iu]);
             assert_eq!(u1_i[iu], u2_i[iu]);

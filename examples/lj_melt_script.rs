@@ -53,7 +53,10 @@ fn main() {
     // The device context logged every kernel launch with event counts.
     let ctx = sim.system.space.device_ctx().unwrap();
     let agg = ctx.log.aggregate();
-    println!("\nsimulated-device kernel log ({} distinct kernels):", agg.len());
+    println!(
+        "\nsimulated-device kernel log ({} distinct kernels):",
+        agg.len()
+    );
     for k in agg.iter().take(8) {
         println!(
             "  {:<24} launches {:>6}  work items {:>12.0}  flops {:>12.3e}",

@@ -31,7 +31,10 @@ fn main() {
         "NaCl rock salt: {} ions, r0 = 1, exact Madelung constant 1.7475646\n",
         positions.len()
     );
-    println!("{:>8} {:>8} {:>14} {:>12}", "r_cut", "k_max", "E/ion-pair", "Madelung");
+    println!(
+        "{:>8} {:>8} {:>14} {:>12}",
+        "r_cut", "k_max", "E/ion-pair", "Madelung"
+    );
     for rc in [1.6f64, 2.0, 2.5] {
         let ewald = Ewald::for_box(&domain, rc, 1.0);
         let (e, _) = ewald.compute(&atoms, &domain, &Space::Threads);

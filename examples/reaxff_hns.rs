@@ -48,7 +48,10 @@ fn main() {
         qs.candidates,
         100.0 * qs.kept as f64 / qs.candidates.max(1) as f64
     );
-    println!("QEq CG iterations (fused dual solve): {}", pair.last_qeq_iterations);
+    println!(
+        "QEq CG iterations (fused dual solve): {}",
+        pair.last_qeq_iterations
+    );
 
     // Mean charge per element.
     let names = ["C", "H", "N", "O"];
@@ -61,6 +64,9 @@ fn main() {
                 count += 1;
             }
         }
-        println!("  mean q({name}) = {:+.4} e  ({count} atoms)", sum / count as f64);
+        println!(
+            "  mean q({name}) = {:+.4} e  ({count} atoms)",
+            sum / count as f64
+        );
     }
 }

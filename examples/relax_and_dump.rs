@@ -36,8 +36,7 @@ fn main() {
     let mut atoms = AtomData::from_positions(&positions);
     atoms.mass = vec![63.546];
     let space = Space::Threads;
-    let system =
-        System::new(atoms, lat.domain(4, 4, 4), space.clone()).with_units(Units::metal());
+    let system = System::new(atoms, lat.domain(4, 4, 4), space.clone()).with_units(Units::metal());
     let pair = PairEam::new(EamParams::default());
     let mut sim = Simulation::new(system, Box::new(pair));
     sim.dt = 0.002;

@@ -33,7 +33,10 @@ fn main() {
         println!();
         nodes *= 4;
     }
-    println!("\nReaxFF for contrast ({}k atoms — the QEq allreduce wall):", 465);
+    println!(
+        "\nReaxFF for contrast ({}k atoms — the QEq allreduce wall):",
+        465
+    );
     print!("{:<8}", "nodes");
     for m in &machines {
         print!("{:>12}", m.name);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the same gate CI runs, locally. Any failure stops the script.
+#
+#   scripts/ci.sh
+#
+# Steps mirror .github/workflows/ci.yml exactly; if you change one,
+# change the other.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> perf-smoke --check results/perf_baseline.json"
+cargo run --release -p lkk-perf --bin perf-smoke -- --check results/perf_baseline.json
+
+echo "==> all green"

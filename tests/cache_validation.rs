@@ -34,7 +34,10 @@ fn replay_hit_rate(list: &NeighborList, capacity: u64, block: usize) -> f64 {
         }
         let lo = b * block;
         let hi = lo + block;
-        let max_nn = (lo..hi).map(|i| list.numneigh.at([i]) as usize).max().unwrap();
+        let max_nn = (lo..hi)
+            .map(|i| list.numneigh.at([i]) as usize)
+            .max()
+            .unwrap();
         for i in lo..hi {
             sim.access_range(i as u64 * 24, 24);
         }

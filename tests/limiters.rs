@@ -63,7 +63,10 @@ fn snap_kernel_limiters_match_the_papers_analysis() {
     for name in ["ComputeUi", "ComputeYi", "ComputeFusedDeidrj"] {
         let l = limiter_of(&stats_h, name, &h100);
         assert!(
-            matches!(l, Limiter::Fp64 | Limiter::L1Throughput | Limiter::AtomicThroughput),
+            matches!(
+                l,
+                Limiter::Fp64 | Limiter::L1Throughput | Limiter::AtomicThroughput
+            ),
             "{name}: {l:?}"
         );
     }
@@ -91,11 +94,19 @@ fn snap_is_identical_on_h100_and_gh200() {
     for name in ["ComputeUi", "ComputeYi", "ComputeFusedDeidrj"] {
         let k = stats.iter().find(|s| s.name == name).unwrap();
         let t_h = {
-            let cfg = CacheConfig::default_for_kernel(&h100, k.scratch_bytes_per_team, k.threads_per_team.max(32));
+            let cfg = CacheConfig::default_for_kernel(
+                &h100,
+                k.scratch_bytes_per_team,
+                k.threads_per_team.max(32),
+            );
             k.time_on(&h100, &cfg).seconds
         };
         let t_g = {
-            let cfg = CacheConfig::default_for_kernel(&gh200, k.scratch_bytes_per_team, k.threads_per_team.max(32));
+            let cfg = CacheConfig::default_for_kernel(
+                &gh200,
+                k.scratch_bytes_per_team,
+                k.threads_per_team.max(32),
+            );
             k.time_on(&gh200, &cfg).seconds
         };
         assert!(

@@ -55,8 +55,8 @@ proptest! {
         d.wrap(&mut pa);
         d.wrap(&mut pb);
         let disp = d.min_image(&pa, &pb);
-        for k in 0..3 {
-            prop_assert!(disp[k].abs() <= 0.5 * l + 1e-9);
+        for dk in disp {
+            prop_assert!(dk.abs() <= 0.5 * l + 1e-9);
         }
     }
 
@@ -187,9 +187,9 @@ proptest! {
     #[test]
     fn snap_bispectrum_rotation_invariance(
         seed in 0u64..200,
-        a in 0.0f64..6.283,
-        b in 0.0f64..3.141,
-        g in 0.0f64..6.283,
+        a in 0.0f64..std::f64::consts::TAU,
+        b in 0.0f64..std::f64::consts::PI,
+        g in 0.0f64..std::f64::consts::TAU,
         twojmax in prop::sample::select(vec![2usize, 4, 6]),
     ) {
         let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
