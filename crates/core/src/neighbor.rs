@@ -50,6 +50,10 @@ impl NeighborSettings {
 }
 
 /// Spatial bins over the ghost-extended region, CSR-indexed.
+///
+/// All backing vectors are reused across [`Bins::rebuild`] calls, so a
+/// persistent `Bins` (as held by [`NeighborList`]) stops touching the
+/// allocator once its capacity has peaked.
 #[derive(Debug)]
 pub struct Bins {
     lo: [f64; 3],
@@ -59,12 +63,35 @@ pub struct Bins {
     starts: Vec<usize>,
     /// Atom indices ordered by bin.
     atoms: Vec<u32>,
+    /// Counting-sort scratch, reused across rebuilds.
+    bin_idx: Vec<usize>,
+    cursor: Vec<usize>,
 }
 
 impl Bins {
+    /// An empty bin structure ready for [`Bins::rebuild`].
+    pub fn empty() -> Bins {
+        Bins {
+            lo: [0.0; 3],
+            inv_size: [0.0; 3],
+            nbins: [1; 3],
+            starts: Vec::new(),
+            atoms: Vec::new(),
+            bin_idx: Vec::new(),
+            cursor: Vec::new(),
+        }
+    }
+
     /// Bin all `nall` atoms. The binned region covers the box extended
     /// by `cutghost` on every side.
     pub fn build(atoms: &AtomData, domain: &Domain, bin_size: f64, cutghost: f64) -> Bins {
+        let mut bins = Bins::empty();
+        bins.rebuild(atoms, domain, bin_size, cutghost);
+        bins
+    }
+
+    /// Re-bin in place, reusing every scratch vector's capacity.
+    pub fn rebuild(&mut self, atoms: &AtomData, domain: &Domain, bin_size: f64, cutghost: f64) {
         let nall = atoms.nall();
         let lo = [
             domain.lo[0] - cutghost,
@@ -82,38 +109,38 @@ impl Bins {
             nbins[k] = (((hi[k] - lo[k]) / bin_size).floor() as usize).max(1);
             inv_size[k] = nbins[k] as f64 / (hi[k] - lo[k]);
         }
+        self.lo = lo;
+        self.inv_size = inv_size;
+        self.nbins = nbins;
         let total = nbins[0] * nbins[1] * nbins[2];
         let xh = atoms.x.h_view();
         let bin_of = |i: usize| -> usize {
+            let p = xh.get3(i);
             let mut b = [0usize; 3];
             for k in 0..3 {
-                let t = ((xh.at([i, k]) - lo[k]) * inv_size[k]) as isize;
+                let t = ((p[k] - lo[k]) * inv_size[k]) as isize;
                 b[k] = t.clamp(0, nbins[k] as isize - 1) as usize;
             }
             (b[0] * nbins[1] + b[1]) * nbins[2] + b[2]
         };
-        // Counting sort.
-        let mut counts = vec![0usize; total + 1];
-        let bin_idx: Vec<usize> = (0..nall).map(bin_of).collect();
-        for &b in &bin_idx {
-            counts[b + 1] += 1;
+        // Counting sort (all buffers capacity-reusing).
+        self.bin_idx.clear();
+        self.bin_idx.extend((0..nall).map(bin_of));
+        self.starts.clear();
+        self.starts.resize(total + 1, 0);
+        for &b in &self.bin_idx {
+            self.starts[b + 1] += 1;
         }
         for b in 0..total {
-            counts[b + 1] += counts[b];
+            self.starts[b + 1] += self.starts[b];
         }
-        let starts = counts.clone();
-        let mut cursor = counts;
-        let mut ordered = vec![0u32; nall];
-        for (i, &b) in bin_idx.iter().enumerate() {
-            ordered[cursor[b]] = i as u32;
-            cursor[b] += 1;
-        }
-        Bins {
-            lo,
-            inv_size,
-            nbins,
-            starts,
-            atoms: ordered,
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts[..total]);
+        self.atoms.clear();
+        self.atoms.resize(nall, 0);
+        for (i, &b) in self.bin_idx.iter().enumerate() {
+            self.atoms[self.cursor[b]] = i as u32;
+            self.cursor[b] += 1;
         }
     }
 
@@ -141,6 +168,14 @@ impl Bins {
 }
 
 /// A built neighbor list.
+///
+/// The list (and its [`Bins`]) is designed to be *persistent*: call
+/// [`NeighborList::rebuild`] on an existing list and every buffer —
+/// neighbor rows, per-atom counts, bin CSR arrays — is refilled in
+/// place, reusing capacity. Once the high-water shape has been reached
+/// no rebuild touches the allocator; [`NeighborList::grow_count`]
+/// counts the (rare) capacity growths so tests can assert steady-state
+/// behavior.
 #[derive(Debug)]
 pub struct NeighborList {
     pub half: bool,
@@ -153,6 +188,12 @@ pub struct NeighborList {
     pub nlocal: usize,
     /// Total stored pairs (`Σ numneigh`).
     pub total_pairs: u64,
+    /// Persistent spatial bins, reused across rebuilds.
+    bins: Bins,
+    /// Number of heap growths across rebuilds (0 in steady state).
+    grow_count: u64,
+    /// Cached `working_set_bytes(2048)`, refreshed on every rebuild.
+    ws2048: f64,
 }
 
 impl NeighborList {
@@ -164,10 +205,46 @@ impl NeighborList {
         settings: &NeighborSettings,
         space: &Space,
     ) -> NeighborList {
+        let mut list = NeighborList {
+            half: settings.half,
+            cutneigh: settings.cutneigh(),
+            neighbors: View::for_space("neighlist", [0, 0], space),
+            numneigh: View::for_space("numneigh", [0], space),
+            maxneigh: 0,
+            nlocal: 0,
+            total_pairs: 0,
+            bins: Bins::empty(),
+            grow_count: 0,
+            ws2048: 0.0,
+        };
+        // The initial build's allocations are construction, not churn.
+        list.rebuild(atoms, domain, settings, space);
+        list.grow_count = 0;
+        list
+    }
+
+    /// Heap growths since construction (0 in steady state).
+    pub fn grow_count(&self) -> u64 {
+        self.grow_count
+    }
+
+    /// Rebuild in place, reusing the neighbor/count/bin buffers.
+    ///
+    /// Identical logical behavior to [`NeighborList::build`] (same
+    /// row-capacity estimate, same overflow-retry sequence, same stored
+    /// list), but the retry loop grows the existing views in place
+    /// instead of freeing and reallocating them.
+    pub fn rebuild(
+        &mut self,
+        atoms: &AtomData,
+        domain: &Domain,
+        settings: &NeighborSettings,
+        space: &Space,
+    ) {
         let nlocal = atoms.nlocal;
         let cutneigh = settings.cutneigh();
         let cutsq = cutneigh * cutneigh;
-        let bins = Bins::build(atoms, domain, cutneigh, cutneigh);
+        self.bins.rebuild(atoms, domain, cutneigh, cutneigh);
         // Initial per-row capacity from density estimate.
         let density = atoms.nall() as f64 / {
             let l = domain.lengths();
@@ -177,38 +254,50 @@ impl NeighborList {
         let guess = (sphere * if settings.half { 0.7 } else { 1.4 }) as usize + 8;
         let mut maxneigh = guess.max(8);
 
+        // A space change (different preferred layout) cannot reuse the
+        // stored strides; rebuild the views from scratch. Never taken
+        // in a steady-state run loop.
+        if self.neighbors.layout() != lkk_kokkos::Layout::for_space(space) {
+            self.neighbors = View::for_space("neighlist", [0, 0], space);
+            self.numneigh = View::for_space("numneigh", [0], space);
+        }
+
         loop {
-            let mut neighbors = View::for_space("neighlist", [nlocal, maxneigh], space);
-            let mut numneigh = View::for_space("numneigh", [nlocal], space);
-            let overflow = Self::fill(
+            let mut grew = self.neighbors.realloc([nlocal, maxneigh]);
+            grew |= self.numneigh.realloc([nlocal]);
+            if grew {
+                self.grow_count += 1;
+            }
+            let (needed, total_pairs) = Self::fill(
                 atoms,
-                &bins,
+                &self.bins,
                 cutsq,
                 settings.half,
                 nlocal,
                 maxneigh,
-                &mut neighbors,
-                &mut numneigh,
+                &mut self.neighbors,
+                &mut self.numneigh,
                 space,
             );
-            if let Some(needed) = overflow {
+            if needed > maxneigh {
+                // Overflow: grow in place and refill.
                 maxneigh = needed + needed / 4 + 4;
                 continue;
             }
-            let total_pairs: u64 = (0..nlocal).map(|i| numneigh.at([i]) as u64).sum();
-            return NeighborList {
-                half: settings.half,
-                cutneigh,
-                neighbors,
-                numneigh,
-                maxneigh,
-                nlocal,
-                total_pairs,
-            };
+            self.half = settings.half;
+            self.cutneigh = cutneigh;
+            self.maxneigh = maxneigh;
+            self.nlocal = nlocal;
+            self.total_pairs = total_pairs;
+            self.ws2048 = self.working_set_bytes(2048);
+            return;
         }
     }
 
-    /// Fill pass. Returns `Some(max_required)` if any row overflowed.
+    /// Fill pass. Returns `(max_required, total_stored_pairs)`; the row
+    /// capacity check *and* the `Σ numneigh` total come out of the same
+    /// parallel reduction (tuple-joined), so the build has no serial
+    /// tail. `max_required > maxneigh` means some row overflowed.
     #[allow(clippy::too_many_arguments)]
     fn fill(
         atoms: &AtomData,
@@ -220,16 +309,16 @@ impl NeighborList {
         neighbors: &mut View2<u32>,
         numneigh: &mut View1<u32>,
         space: &Space,
-    ) -> Option<usize> {
+    ) -> (usize, u64) {
         let xh = atoms.x.h_view();
         let nw = neighbors.par_write();
         let cw = numneigh.par_write();
-        let needed = space.parallel_reduce(
+        space.parallel_reduce(
             "NeighborBuild",
             nlocal,
-            0usize,
+            (0usize, 0u64),
             |i| {
-                let xi = [xh.at([i, 0]), xh.at([i, 1]), xh.at([i, 2])];
+                let xi = xh.get3(i);
                 let bc = bins.bin_coords(xi);
                 let mut count = 0usize;
                 for dx in -1isize..=1 {
@@ -247,7 +336,7 @@ impl NeighborList {
                                 if j == i {
                                     continue;
                                 }
-                                let xj = [xh.at([j, 0]), xh.at([j, 1]), xh.at([j, 2])];
+                                let xj = xh.get3(j);
                                 if half {
                                     // Half-list ownership rule: local
                                     // pairs stored on the lower index;
@@ -277,16 +366,22 @@ impl NeighborList {
                         }
                     }
                 }
-                unsafe { cw.write([i], count.min(maxneigh) as u32) };
-                count
+                let stored = count.min(maxneigh);
+                unsafe { cw.write([i], stored as u32) };
+                (count, stored as u64)
             },
-            usize::max,
-        );
-        if needed > maxneigh {
-            Some(needed)
-        } else {
-            None
-        }
+            |a, b| (a.0.max(b.0), a.1 + b.1),
+        )
+    }
+
+    /// Cached [`Self::working_set_bytes`]`(2048)` of the current list,
+    /// refreshed on every rebuild. The list is immutable between
+    /// rebuilds, so the per-step cost-model query returns exactly this
+    /// value; caching it moves an `O(total_pairs)` hash-set sampling out
+    /// of the per-step hot path, where it used to rival the small-system
+    /// LJ force kernel itself in wall-clock cost.
+    pub fn working_set_bytes_cached(&self) -> f64 {
+        self.ws2048
     }
 
     /// Measured per-block neighbor working set: the average number of

@@ -97,6 +97,12 @@ pub trait PairStyle: Send + std::any::Any {
     /// Compute forces into `system.atoms.f` (host mirror), returning
     /// energy/virial when `eflag` is set.
     fn compute(&mut self, system: &mut System, list: &NeighborList, eflag: bool) -> PairResults;
+    /// Heap growths of the style's persistent scatter buffers since
+    /// construction (0 in steady state; styles without scatter storage
+    /// report 0). See `docs/performance.md`.
+    fn scatter_grow_count(&self) -> u64 {
+        0
+    }
 }
 
 /// The per-pair contract a concrete two-body potential implements.
@@ -171,33 +177,74 @@ impl<P: TwoBody> PairKokkos<P> {
         f.fill(0.0);
         let fw = f.par_write();
         let pot = &self.pot;
+        // Flat-slice fast path: positions gathered once per atom via
+        // `get3` (one bounds check), types and counts read through flat
+        // rank-1 slices, neighbor rows iterated as a contiguous slice
+        // when the layout allows it.
+        let typs = typ.as_slice();
+        let counts = list.numneigh.as_slice();
+        let neigh = list.neighbors.as_slice();
+        let (neigh_s0, neigh_s1) = (list.neighbors.stride(0), list.neighbors.stride(1));
         let (e, w, inside) = space.parallel_reduce(
             "PairComputeFull",
             nlocal,
             (0.0f64, [0.0f64; 6], 0u64),
             |i| {
-                let xi = [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])];
-                let ti = typ.at([i]) as usize;
-                let nn = list.numneigh.at([i]) as usize;
+                let xi = x.get3(i);
+                let ti = typs[i] as usize;
+                let nn = counts[i] as usize;
                 let mut fi = [0.0f64; 3];
                 let mut e = 0.0;
                 let mut w = [0.0f64; 6];
                 let mut inside = 0u64;
-                for s in 0..nn {
-                    let j = list.neighbors.at([i, s]) as usize;
-                    let tj = typ.at([j]) as usize;
-                    let d = [
-                        xi[0] - x.at([j, 0]),
-                        xi[1] - x.at([j, 1]),
-                        xi[2] - x.at([j, 2]),
-                    ];
-                    let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-                    if rsq < pot.cutsq(ti, tj) {
-                        let (fpair, evdwl) = pot.pair(rsq, ti, tj);
+                if let Some(row) = list.neighbors.try_row(i) {
+                    // Contiguous row (Layout::Right): branchless
+                    // accumulation. Excluded pairs contribute exact-zero
+                    // terms instead of branching around the accumulators,
+                    // letting the compiler if-convert the unit-stride
+                    // loop. Adding `±0.0` to a non-negative-zero
+                    // accumulator is a bitwise identity, so results match
+                    // the branchy form bit for bit.
+                    for &ju in &row[..nn] {
+                        let j = ju as usize;
+                        let tj = typs[j] as usize;
+                        let xj = x.get3(j);
+                        let d = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
+                        let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                        let in_cut = rsq < pot.cutsq(ti, tj);
+                        let (fpair, evdwl) = if in_cut {
+                            pot.pair(rsq, ti, tj)
+                        } else {
+                            (0.0, 0.0)
+                        };
                         for k in 0..3 {
                             fi[k] += fpair * d[k];
                         }
                         // Full list sees each pair twice: count half.
+                        e += 0.5 * evdwl;
+                        add_pair_virial(&mut w, 0.5 * fpair, d);
+                        inside += in_cut as u64;
+                    }
+                } else {
+                    // Strided row (Layout::Left): the gather-stride
+                    // defeats vectorization anyway, so keep the cutoff
+                    // guard — it skips the force/energy/virial math for
+                    // the ~30% of list entries between cutoff and
+                    // cutoff+skin.
+                    let base = i * neigh_s0;
+                    for s in 0..nn {
+                        let j = neigh[base + s * neigh_s1] as usize;
+                        let tj = typs[j] as usize;
+                        let xj = x.get3(j);
+                        let d = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
+                        let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                        if rsq >= pot.cutsq(ti, tj) {
+                            continue;
+                        }
+                        let (fpair, evdwl) = pot.pair(rsq, ti, tj);
+                        for k in 0..3 {
+                            fi[k] += fpair * d[k];
+                        }
                         e += 0.5 * evdwl;
                         add_pair_virial(&mut w, 0.5 * fpair, d);
                         inside += 1;
@@ -238,24 +285,26 @@ impl<P: TwoBody> PairKokkos<P> {
         let e_acc = AtomicF64::new(0.0);
         let w_acc: Vec<AtomicF64> = (0..6).map(|_| AtomicF64::new(0.0)).collect();
         let inside_acc = AtomicF64::new(0.0);
+        let typs = typ.as_slice();
+        let counts = list.numneigh.as_slice();
+        let neigh = list.neighbors.as_slice();
+        let (neigh_s0, neigh_s1) = (list.neighbors.stride(0), list.neighbors.stride(1));
         let policy = TeamPolicy::new(nlocal, 32).with_vector(1);
         space.parallel_for_team("PairComputeFullTeam", policy, |team| {
             let i = team.league_rank();
-            let xi = [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])];
-            let ti = typ.at([i]) as usize;
-            let nn = list.numneigh.at([i]) as usize;
+            let xi = x.get3(i);
+            let ti = typs[i] as usize;
+            let nn = counts[i] as usize;
             let mut fi = [0.0f64; 3];
             let mut e = 0.0;
             let mut w = [0.0f64; 6];
             let mut inside = 0u64;
+            let base = i * neigh_s0;
             team.team_range(nn, |s| {
-                let j = list.neighbors.at([i, s]) as usize;
-                let tj = typ.at([j]) as usize;
-                let d = [
-                    xi[0] - x.at([j, 0]),
-                    xi[1] - x.at([j, 1]),
-                    xi[2] - x.at([j, 2]),
-                ];
+                let j = neigh[base + s * neigh_s1] as usize;
+                let tj = typs[j] as usize;
+                let xj = x.get3(j);
+                let d = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
                 let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
                 if rsq < pot.cutsq(ti, tj) {
                     let (fpair, evdwl) = pot.pair(rsq, ti, tj);
@@ -297,36 +346,38 @@ impl<P: TwoBody> PairKokkos<P> {
         let nall = system.atoms.nall();
         let x = system.atoms.x.view_for(&space);
         let typ = system.atoms.typ.view_for(&space);
-        // Reuse the scatter buffer across steps.
-        let scatter = match &mut self.scatter {
-            Some(s) if s.target_len() == nall * 3 => s,
-            _ => {
-                self.scatter = Some(ScatterView::for_space(nall, 3, &space));
-                self.scatter.as_mut().unwrap()
-            }
-        };
+        // Persistent scatter buffer: reshaped in place when the ghost
+        // count changes, reusing capacity (pool reuse, not realloc).
+        let mode = lkk_kokkos::ScatterMode::default_for(&space);
+        let scatter = self
+            .scatter
+            .get_or_insert_with(|| ScatterView::new(nall, 3, mode));
+        scatter.ensure(nall, 3, mode);
         let pot = &self.pot;
         let sref: &ScatterView = scatter;
+        let typs = typ.as_slice();
+        let counts = list.numneigh.as_slice();
+        let neigh = list.neighbors.as_slice();
+        let (neigh_s0, neigh_s1) = (list.neighbors.stride(0), list.neighbors.stride(1));
         let (e, w, inside) = space.parallel_reduce(
             "PairComputeHalf",
             nlocal,
             (0.0f64, [0.0f64; 6], 0u64),
             |i| {
-                let xi = [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])];
-                let ti = typ.at([i]) as usize;
-                let nn = list.numneigh.at([i]) as usize;
+                let xi = x.get3(i);
+                let ti = typs[i] as usize;
+                let nn = counts[i] as usize;
                 let mut fi = [0.0f64; 3];
                 let mut e = 0.0;
                 let mut w = [0.0f64; 6];
                 let mut inside = 0u64;
-                for s in 0..nn {
-                    let j = list.neighbors.at([i, s]) as usize;
-                    let tj = typ.at([j]) as usize;
-                    let d = [
-                        xi[0] - x.at([j, 0]),
-                        xi[1] - x.at([j, 1]),
-                        xi[2] - x.at([j, 2]),
-                    ];
+                // The cutoff branch stays: the `j`-side scatter adds are
+                // atomic on devices, and issuing them for excluded pairs
+                // would trade a predictable branch for contended CAS traffic.
+                let mut body = |j: usize| {
+                    let tj = typs[j] as usize;
+                    let xj = x.get3(j);
+                    let d = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
                     let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
                     if rsq < pot.cutsq(ti, tj) {
                         let (fpair, evdwl) = pot.pair(rsq, ti, tj);
@@ -337,6 +388,16 @@ impl<P: TwoBody> PairKokkos<P> {
                         e += evdwl;
                         add_pair_virial(&mut w, fpair, d);
                         inside += 1;
+                    }
+                };
+                if let Some(row) = list.neighbors.try_row(i) {
+                    for &ju in &row[..nn] {
+                        body(ju as usize);
+                    }
+                } else {
+                    let base = i * neigh_s0;
+                    for s in 0..nn {
+                        body(neigh[base + s * neigh_s1] as usize);
                     }
                 }
                 for (k, &fik) in fi.iter().enumerate() {
@@ -389,7 +450,7 @@ impl<P: TwoBody> PairKokkos<P> {
         s.dram_bytes = nlocal * (24.0 + 24.0) + total_pairs * 4.0;
         s.reused_bytes = total_pairs * 24.0;
         // One SM runs ~2048 resident threads = 2048 atoms' neighborhoods.
-        s.working_set_bytes = list.working_set_bytes(2048);
+        s.working_set_bytes = list.working_set_bytes_cached();
         s.atomic_f64_ops = if self.half {
             (pairs_inside * 6) as f64
         } else {
@@ -423,6 +484,10 @@ impl<P: TwoBody + 'static> PairStyle for PairKokkos<P> {
 
     fn wants_half_list(&self) -> bool {
         self.half
+    }
+
+    fn scatter_grow_count(&self) -> u64 {
+        self.scatter.as_ref().map_or(0, ScatterView::grow_count)
     }
 
     fn compute(&mut self, system: &mut System, list: &NeighborList, _eflag: bool) -> PairResults {

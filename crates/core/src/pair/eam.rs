@@ -158,25 +158,38 @@ impl PairStyle for PairEam {
         let cutsq = params.cut * params.cut;
         let xh = system.atoms.x.h_view();
 
+        // Flat-slice fast path (see `docs/performance.md`): positions
+        // gathered once per atom, neighbor rows walked as contiguous
+        // slices when the layout allows.
+        let counts = list.numneigh.as_slice();
+        let neigh = list.neighbors.as_slice();
+        let (neigh_s0, neigh_s1) = (list.neighbors.stride(0), list.neighbors.stride(1));
+
         // --- Pass 1: densities of owned atoms. ---
         self.rho.clear();
         self.rho.resize(nlocal, 0.0);
         {
             let rho_ptr = self.rho.as_mut_ptr() as usize;
             space.parallel_for("EAMDensity", nlocal, |i| {
-                let xi = [xh.at([i, 0]), xh.at([i, 1]), xh.at([i, 2])];
-                let nn = list.numneigh.at([i]) as usize;
+                let xi = xh.get3(i);
+                let nn = counts[i] as usize;
                 let mut acc = 0.0;
-                for s in 0..nn {
-                    let j = list.neighbors.at([i, s]) as usize;
-                    let d = [
-                        xi[0] - xh.at([j, 0]),
-                        xi[1] - xh.at([j, 1]),
-                        xi[2] - xh.at([j, 2]),
-                    ];
+                let mut body = |j: usize| {
+                    let xj = xh.get3(j);
+                    let d = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
                     let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
                     if rsq < cutsq {
                         acc += params.density(rsq.sqrt()).0;
+                    }
+                };
+                if let Some(row) = list.neighbors.try_row(i) {
+                    for &ju in &row[..nn] {
+                        body(ju as usize);
+                    }
+                } else {
+                    let base = i * neigh_s0;
+                    for s in 0..nn {
+                        body(neigh[base + s * neigh_s1] as usize);
                     }
                 }
                 unsafe { *(rho_ptr as *mut f64).add(i) = acc };
@@ -208,21 +221,17 @@ impl PairStyle for PairEam {
             nlocal,
             (0.0f64, [0.0f64; 6]),
             |i| {
-                let xi = [xh.at([i, 0]), xh.at([i, 1]), xh.at([i, 2])];
-                let nn = list.numneigh.at([i]) as usize;
+                let xi = xh.get3(i);
+                let nn = counts[i] as usize;
                 let mut fi = [0.0f64; 3];
                 let mut e = 0.0;
                 let mut w = [0.0f64; 6];
-                for s in 0..nn {
-                    let j = list.neighbors.at([i, s]) as usize;
-                    let d = [
-                        xi[0] - xh.at([j, 0]),
-                        xi[1] - xh.at([j, 1]),
-                        xi[2] - xh.at([j, 2]),
-                    ];
+                let mut body = |j: usize| {
+                    let xj = xh.get3(j);
+                    let d = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
                     let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
                     if rsq >= cutsq {
-                        continue;
+                        return;
                     }
                     let r = rsq.sqrt();
                     let (phi, dphi) = params.phi(r);
@@ -235,6 +244,16 @@ impl PairStyle for PairEam {
                     }
                     e += 0.5 * phi;
                     crate::pair::add_pair_virial(&mut w, 0.5 * fpair, d);
+                };
+                if let Some(row) = list.neighbors.try_row(i) {
+                    for &ju in &row[..nn] {
+                        body(ju as usize);
+                    }
+                } else {
+                    let base = i * neigh_s0;
+                    for s in 0..nn {
+                        body(neigh[base + s * neigh_s1] as usize);
+                    }
                 }
                 unsafe {
                     fw.write([i, 0], fi[0]);
@@ -259,7 +278,7 @@ impl PairStyle for PairEam {
             k.flops = list.total_pairs as f64 * 45.0;
             k.dram_bytes = nlocal as f64 * 64.0 + list.total_pairs as f64 * 4.0;
             k.reused_bytes = list.total_pairs as f64 * 32.0;
-            k.working_set_bytes = list.working_set_bytes(2048) * 4.0 / 3.0;
+            k.working_set_bytes = list.working_set_bytes_cached() * 4.0 / 3.0;
             space.note_kernel(k);
         }
 

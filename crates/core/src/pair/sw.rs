@@ -258,7 +258,7 @@ impl PairStyle for PairSw {
             let avg = list.avg_neighbors();
             k.flops = nlocal as f64 * (avg * 40.0 + avg * avg / 2.0 * 90.0);
             k.dram_bytes = nlocal as f64 * 48.0 + list.total_pairs as f64 * 28.0;
-            k.working_set_bytes = list.working_set_bytes(2048);
+            k.working_set_bytes = list.working_set_bytes_cached();
             k.atomic_f64_ops = nlocal as f64 * (avg * 6.0 + avg * avg / 2.0 * 9.0);
             space.note_kernel(k);
         }

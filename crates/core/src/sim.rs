@@ -112,6 +112,13 @@ pub struct Simulation {
     pub rebuild_count: u64,
     /// Cumulative wall-clock phase breakdown (LAMMPS' loop summary).
     pub timings: Timings,
+    /// Spatially sort owned atoms every this many neighbor rebuilds
+    /// (LAMMPS' `atom_modify sort`), improving cache locality of the
+    /// pair kernels. `0` (the default) disables sorting: reordering
+    /// atoms permutes force-accumulation order, which perturbs
+    /// trajectories at float precision — the committed perf-smoke
+    /// counter baselines are recorded unsorted.
+    pub sort_every: usize,
     list: Option<NeighborList>,
     x_at_build: Vec<[f64; 3]>,
 }
@@ -135,6 +142,7 @@ impl Simulation {
             thermo: Vec::new(),
             rebuild_count: 0,
             timings: Timings::default(),
+            sort_every: 0,
             list: None,
             x_at_build: Vec::new(),
         }
@@ -156,6 +164,19 @@ impl Simulation {
 
     fn rebuild(&mut self) {
         let space = self.system.space.clone();
+        if self.sort_every > 0
+            && self.rebuild_count > 0
+            && (self.rebuild_count as usize).is_multiple_of(self.sort_every)
+        {
+            // Spatial sort permutes every per-atom field on the host;
+            // ghosts and the list are rebuilt right below.
+            self.system.atoms.sync(&Space::Serial, Mask::ALL);
+            crate::neighbor::spatial_sort(
+                &mut self.system.atoms,
+                &self.system.domain,
+                self.settings.cutneigh(),
+            );
+        }
         self.system.atoms.sync(&Space::Serial, Mask::X);
         self.system.atoms.wrap_positions(&self.system.domain);
         self.system.ghosts = comm::build_ghosts(
@@ -165,17 +186,36 @@ impl Simulation {
         );
         self.system.atoms.modified(&Space::Serial, Mask::ALL);
         self.system.atoms.sync(&space, Mask::X | Mask::TYPE);
-        let list = NeighborList::build(
-            &self.system.atoms,
-            &self.system.domain,
-            &self.settings,
-            &space,
-        );
-        self.x_at_build = (0..self.system.atoms.nlocal)
-            .map(|i| self.system.atoms.pos(i))
-            .collect();
-        self.list = Some(list);
+        // Persistent list: refill the existing buffers in place.
+        match &mut self.list {
+            Some(list) => {
+                list.rebuild(
+                    &self.system.atoms,
+                    &self.system.domain,
+                    &self.settings,
+                    &space,
+                );
+            }
+            None => {
+                self.list = Some(NeighborList::build(
+                    &self.system.atoms,
+                    &self.system.domain,
+                    &self.settings,
+                    &space,
+                ));
+            }
+        }
+        self.x_at_build.clear();
+        self.x_at_build
+            .extend((0..self.system.atoms.nlocal).map(|i| self.system.atoms.pos(i)));
         self.rebuild_count += 1;
+    }
+
+    /// Heap growths of the persistent neighbor-list buffers since the
+    /// first build (0 once capacity has stabilized; see
+    /// `docs/performance.md`).
+    pub fn neighbor_grow_count(&self) -> u64 {
+        self.list.as_ref().map_or(0, |l| l.grow_count())
     }
 
     fn needs_rebuild(&self) -> bool {
@@ -381,6 +421,70 @@ mod tests {
         assert!(t_final < 1.1, "T stayed at {t_final}");
         assert!(t_final > 0.3);
         assert!(sim.rebuild_count >= 2, "no neighbor rebuilds happened");
+    }
+
+    #[test]
+    fn sorted_run_is_permutation_equivalent() {
+        // `sort_every` only permutes atom order: matched by tag, the
+        // sorted and unsorted trajectories must agree up to the float
+        // noise introduced by the permuted accumulation order.
+        let mut plain = lj_melt_sim(4, Space::Serial, 1.0);
+        let mut sorted = lj_melt_sim(4, Space::Serial, 1.0);
+        sorted.sort_every = 1;
+        plain.run(60);
+        sorted.run(60);
+        assert!(
+            sorted.rebuild_count >= 2,
+            "no rebuild after setup — spatial sort never ran"
+        );
+        let pos_by_tag = |sim: &Simulation| -> std::collections::HashMap<i64, [f64; 3]> {
+            let tags = sim.system.atoms.tag.h_view();
+            (0..sim.system.atoms.nlocal)
+                .map(|i| (tags.at([i]), sim.system.atoms.pos(i)))
+                .collect()
+        };
+        let pa = pos_by_tag(&plain);
+        let pb = pos_by_tag(&sorted);
+        assert_eq!(pa.len(), pb.len(), "sorting lost or duplicated atoms");
+        for (tag, xa) in &pa {
+            let xb = pb.get(tag).expect("tag missing after sort");
+            for k in 0..3 {
+                assert!(
+                    (xa[k] - xb[k]).abs() < 1e-6,
+                    "tag {tag} diverged: {xa:?} vs {xb:?}"
+                );
+            }
+        }
+        let de = (plain.total_energy() - sorted.total_energy()).abs();
+        assert!(de < 1e-6, "energy diverged by {de}");
+    }
+
+    #[test]
+    fn steady_state_reuses_pooled_buffers() {
+        // Acceptance gate for the hot-path pooling: once capacities have
+        // stabilized, repeated rebuilds and force calls must not grow the
+        // persistent neighbor or scatter buffers (pool-hit statistics as
+        // a stand-in for a counting allocator; see docs/performance.md).
+        let mut sim = lj_melt_sim(4, Space::Threads, 1.44);
+        sim.run(100); // warm-up: growth allowed while the melt spreads
+        let rebuilds_before = sim.rebuild_count;
+        let neigh_grow = sim.neighbor_grow_count();
+        let scatter_grow = sim.pair.scatter_grow_count();
+        sim.run(50);
+        assert!(
+            sim.rebuild_count > rebuilds_before,
+            "measurement window saw no rebuilds"
+        );
+        assert_eq!(
+            sim.neighbor_grow_count(),
+            neigh_grow,
+            "neighbor-list buffers grew in steady state"
+        );
+        assert_eq!(
+            sim.pair.scatter_grow_count(),
+            scatter_grow,
+            "scatter buffers grew in steady state"
+        );
     }
 
     #[test]

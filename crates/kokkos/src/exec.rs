@@ -215,8 +215,15 @@ impl Space {
             offsets[n] = acc;
             return acc;
         }
-        // Two-pass chunked scan.
-        let chunk = n.div_ceil(rayon::current_num_threads() * 4).max(1024);
+        // Two-pass chunked scan. Target ~4 chunks per thread so the
+        // work-stealing scheduler can balance, with a floor of 64
+        // elements so per-task overhead stays amortized. The floor used
+        // to be a hardcoded 1024, which capped an n just above the fork
+        // threshold (2048) at two chunks no matter how many threads were
+        // available; a floor that is small relative to the threshold
+        // lets the chunk count scale with `n` across the whole parallel
+        // range.
+        let chunk = n.div_ceil(rayon::current_num_threads() * 4).max(64);
         let sums: Vec<usize> = counts.par_chunks(chunk).map(|c| c.iter().sum()).collect();
         let mut bases = Vec::with_capacity(sums.len() + 1);
         let mut acc = 0usize;

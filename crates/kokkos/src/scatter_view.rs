@@ -66,6 +66,13 @@ pub struct ScatterView {
     n: usize,
     ncols: usize,
     storage: Storage,
+    /// Reused flat buffer for layout-transposing contributions
+    /// (see [`ScatterView::contribute_into_view`]).
+    scratch: Vec<f64>,
+    /// Number of heap growths after construction (via [`ScatterView::ensure`]
+    /// or the transpose scratch). Stable in steady state — the
+    /// zero-per-step-allocation tests assert on this.
+    grow_count: u64,
 }
 
 // Duplicated storage is only written through per-thread indices;
@@ -88,12 +95,77 @@ impl ScatterView {
             }
             ScatterMode::Sequential => Storage::Sequential(UnsafeCell::new(vec![0.0; len])),
         };
-        ScatterView { n, ncols, storage }
+        ScatterView {
+            n,
+            ncols,
+            storage,
+            scratch: Vec::new(),
+            grow_count: 0,
+        }
     }
 
     /// Build with the default mode for `space`.
     pub fn for_space(n: usize, ncols: usize, space: &Space) -> Self {
         Self::new(n, ncols, ScatterMode::default_for(space))
+    }
+
+    /// Reshape in place to an `n × ncols` target in `mode`, reusing the
+    /// existing buffers' capacity. This is the pooled path pair styles
+    /// use across neighbor rebuilds (the ghost count — and therefore
+    /// the target size — changes, the capacity does not, once it has
+    /// peaked). All buffers are zeroed whenever the shape or mode
+    /// changes; a no-op when shape and mode already match (buffers are
+    /// already zero between uses — `contribute_into` and `reset`
+    /// restore zeros). Returns `true` if any heap growth occurred.
+    pub fn ensure(&mut self, n: usize, ncols: usize, mode: ScatterMode) -> bool {
+        if self.mode() == mode && self.n == n && self.ncols == ncols {
+            return false;
+        }
+        let len = n * ncols;
+        let mut grew = false;
+        if self.mode() == mode {
+            match &mut self.storage {
+                Storage::Atomic(a) => {
+                    grew |= len > a.capacity();
+                    a.resize_with(len, || AtomicF64::new(0.0));
+                    a.iter().for_each(|x| x.store(0.0));
+                }
+                Storage::Duplicated(copies) => {
+                    let want = rayon::current_num_threads().max(1);
+                    grew |= want > copies.capacity();
+                    copies.resize_with(want, || Pad(UnsafeCell::new(Vec::new())));
+                    for c in copies.iter_mut() {
+                        let buf = c.0.get_mut();
+                        grew |= len > buf.capacity();
+                        buf.clear();
+                        buf.resize(len, 0.0);
+                    }
+                }
+                Storage::Sequential(buf) => {
+                    let buf = buf.get_mut();
+                    grew |= len > buf.capacity();
+                    buf.clear();
+                    buf.resize(len, 0.0);
+                }
+            }
+        } else {
+            // Mode switch: storage representations differ, so capacity
+            // cannot carry over. Rare (a space change), and counted.
+            let fresh = Self::new(n, ncols, mode);
+            self.storage = fresh.storage;
+            grew = len > 0;
+        }
+        self.n = n;
+        self.ncols = ncols;
+        if grew {
+            self.grow_count += 1;
+        }
+        grew
+    }
+
+    /// Heap growths since construction (0 in steady state).
+    pub fn grow_count(&self) -> u64 {
+        self.grow_count
     }
 
     pub fn mode(&self) -> ScatterMode {
@@ -174,7 +246,16 @@ impl ScatterView {
             self.contribute_into(out.as_mut_slice());
             return;
         }
-        let mut flat = vec![0.0; self.target_len()];
+        // Layout::Left target: combine into the persistent flat scratch
+        // (row-major), then transpose-add. The scratch is reused across
+        // calls so steady-state steps touch no allocator.
+        let len = self.target_len();
+        if len > self.scratch.capacity() {
+            self.grow_count += 1;
+        }
+        let mut flat = std::mem::take(&mut self.scratch);
+        flat.clear();
+        flat.resize(len, 0.0);
         self.contribute_into(&mut flat);
         for i in 0..self.n {
             for c in 0..self.ncols {
@@ -182,6 +263,7 @@ impl ScatterView {
                 out.set([i, c], v);
             }
         }
+        self.scratch = flat;
     }
 
     /// Zero all internal buffers without contributing.
@@ -262,6 +344,92 @@ mod tests {
             ScatterMode::default_for(&Space::device(lkk_gpusim::GpuArch::h100())),
             ScatterMode::Atomic
         );
+    }
+
+    #[test]
+    fn ensure_reshapes_in_place_and_reuses_capacity() {
+        for mode in [
+            ScatterMode::Atomic,
+            ScatterMode::Duplicated,
+            ScatterMode::Sequential,
+        ] {
+            let mut sv = ScatterView::new(8, 3, mode);
+            assert_eq!(sv.grow_count(), 0);
+            assert!(!sv.ensure(8, 3, mode), "{mode:?}: same shape is a no-op");
+            assert!(!sv.ensure(4, 3, mode), "{mode:?}: shrink reuses capacity");
+            assert!(!sv.ensure(8, 3, mode), "{mode:?}: regrow within capacity");
+            assert_eq!(sv.grow_count(), 0);
+            assert!(sv.ensure(32, 3, mode), "{mode:?}: growth reported");
+            assert_eq!(sv.grow_count(), 1);
+            assert!(!sv.ensure(32, 3, mode), "{mode:?}: steady state reuses");
+
+            // The reshaped target is fully usable and starts zeroed.
+            sv.add(31, 2, 1.5);
+            let mut out = vec![0.0; 96];
+            sv.contribute_into(&mut out);
+            assert_eq!(out[95], 1.5);
+            assert!(out[..95].iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn contribute_into_left_view_reuses_scratch() {
+        use crate::view::{Layout, View2};
+        let mut sv = ScatterView::new(4, 3, ScatterMode::Atomic);
+        let mut out = View2::<f64>::with_layout("f", [4, 3], Layout::Left);
+        sv.add(2, 1, 1.0);
+        sv.contribute_into_view(&mut out);
+        assert_eq!(sv.grow_count(), 1, "first transpose allocates the scratch");
+        for _ in 0..10 {
+            sv.add(2, 1, 1.0);
+            sv.contribute_into_view(&mut out);
+        }
+        assert_eq!(
+            sv.grow_count(),
+            1,
+            "steady-state transposes must not allocate"
+        );
+        assert_eq!(out.at([2, 1]), 11.0);
+    }
+
+    /// Stress: many rayon threads hammering *overlapping* rows in
+    /// duplicated mode must combine to bit-identical results vs plain
+    /// sequential accumulation, across repeated runs. Contributions are
+    /// dyadic (multiples of 0.25) so every partial sum is exact and the
+    /// result is independent of combine order — any drift here is a
+    /// real race, not float noise.
+    #[test]
+    fn duplicated_stress_bit_identical_vs_sequential() {
+        const N: usize = 16;
+        const ITERS: usize = 120_000;
+        let row = |k: usize| k % N;
+        let col = |k: usize| (k / N) % 3;
+        let val = |k: usize| ((k % 13) as f64) * 0.25;
+
+        let mut seq = ScatterView::new(N, 3, ScatterMode::Sequential);
+        for k in 0..ITERS {
+            seq.add(row(k), col(k), val(k));
+        }
+        let mut reference = vec![0.0; N * 3];
+        seq.contribute_into(&mut reference);
+        assert!(reference.iter().any(|&x| x > 0.0));
+
+        for run in 0..5 {
+            let sv = ScatterView::new(N, 3, ScatterMode::Duplicated);
+            (0..ITERS).into_par_iter().for_each(|k| {
+                sv.add(row(k), col(k), val(k));
+            });
+            let mut sv = sv;
+            let mut out = vec![0.0; N * 3];
+            sv.contribute_into(&mut out);
+            for (i, (&a, &b)) in out.iter().zip(reference.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "run {run}, cell {i}: duplicated {a} != sequential {b}"
+                );
+            }
+        }
     }
 
     #[test]

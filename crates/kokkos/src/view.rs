@@ -112,12 +112,21 @@ impl<T: Clone + Default, const R: usize> View<T, R> {
     }
 
     /// Resize, discarding contents (Kokkos `realloc`). Layout is kept.
-    pub fn realloc(&mut self, dims: [usize; R]) {
+    ///
+    /// The backing `Vec`'s capacity is reused: any resize within
+    /// previously reached capacity touches no allocator, which is what
+    /// makes persistent neighbor/scatter buffers allocation-free in
+    /// steady state (see `docs/performance.md`). Returns `true` when
+    /// the resize had to grow the heap allocation (a pool miss),
+    /// `false` when existing capacity was reused (a pool hit).
+    pub fn realloc(&mut self, dims: [usize; R]) -> bool {
         let len = dims.iter().product::<usize>();
         self.dims = dims;
         self.strides = strides_for(dims, self.layout);
+        let grew = len > self.data.capacity();
         self.data.clear();
         self.data.resize(len, T::default());
+        grew
     }
 
     /// Fill every element with `v`.
@@ -176,6 +185,12 @@ impl<T, const R: usize> View<T, R> {
 
     pub fn layout(&self) -> Layout {
         self.layout
+    }
+
+    /// Stride of dimension `k` in elements (layout-dependent).
+    #[inline(always)]
+    pub fn stride(&self, k: usize) -> usize {
+        self.strides[k]
     }
 
     pub fn len(&self) -> usize {
@@ -258,6 +273,79 @@ impl<T: Copy, const R: usize> View<T, R> {
             o += ik * sk;
         }
         *self.data.get_unchecked(o)
+    }
+}
+
+impl<T> View<T, 2> {
+    /// Whether each logical row `[i, :]` is one contiguous run of the
+    /// backing storage. True exactly for [`Layout::Right`]; under
+    /// [`Layout::Left`] rows are strided by `dims[0]`.
+    #[inline(always)]
+    pub fn rows_contiguous(&self) -> bool {
+        self.layout == Layout::Right
+    }
+
+    /// Row `i` as a contiguous slice, or `None` under [`Layout::Left`].
+    ///
+    /// This is the flat-slice fast path: the caller bounds-checks once
+    /// (the slice construction) and then iterates `&[T]` directly, so
+    /// the per-element `offset()` math and bounds checks of
+    /// [`View::at`] vanish from inner loops.
+    #[inline(always)]
+    pub fn try_row(&self, i: usize) -> Option<&[T]> {
+        if self.layout != Layout::Right {
+            return None;
+        }
+        debug_assert!(
+            i < self.dims[0],
+            "view '{}' row {} out of bounds",
+            self.label,
+            i
+        );
+        let w = self.dims[1];
+        let start = i * w; // Layout::Right strides are [dims[1], 1].
+        Some(&self.data[start..start + w])
+    }
+
+    /// Row `i` as a contiguous slice; panics under [`Layout::Left`]
+    /// (use [`View::try_row`] or [`View::get3`] for layout-generic code).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        self.try_row(i).unwrap_or_else(|| {
+            panic!(
+                "view '{}': row() requires Layout::Right (rows are strided under Layout::Left)",
+                self.label
+            )
+        })
+    }
+}
+
+impl<T: Copy> View<T, 2> {
+    /// Gather row `i` of an `[n, 3]` view with a single bounds check,
+    /// valid for both layouts (contiguous under [`Layout::Right`],
+    /// strided by `n` under [`Layout::Left`]). The hot-loop accessor
+    /// for position/force triples: one check, three unchecked reads.
+    #[inline(always)]
+    pub fn get3(&self, i: usize) -> [T; 3] {
+        debug_assert_eq!(self.dims[1], 3, "view '{}': get3 needs [n, 3]", self.label);
+        let s1 = self.strides[1];
+        let o = i * self.strides[0];
+        let last = o + 2 * s1;
+        // For [n, 3] in either layout, `last < len` iff `i < n`.
+        assert!(
+            last < self.data.len(),
+            "view '{}': get3({}) out of bounds {:?}",
+            self.label,
+            i,
+            self.dims
+        );
+        unsafe {
+            [
+                *self.data.get_unchecked(o),
+                *self.data.get_unchecked(o + s1),
+                *self.data.get_unchecked(last),
+            ]
+        }
     }
 }
 
@@ -453,6 +541,68 @@ mod tests {
     fn out_of_bounds_checked_in_debug() {
         let v = View1::<f64>::new("x", [3]);
         let _ = v.at([3]);
+    }
+
+    #[test]
+    fn realloc_reports_capacity_reuse() {
+        let mut v = View2::<u32>::with_layout("n", [8, 16], Layout::Left);
+        // Shrinking and re-growing within reached capacity is a hit.
+        assert!(!v.realloc([4, 16]), "shrink must reuse capacity");
+        assert!(
+            !v.realloc([8, 16]),
+            "regrow to old size must reuse capacity"
+        );
+        // Growing beyond every previous size must report a fresh alloc.
+        assert!(v.realloc([8, 64]), "growth past capacity must report miss");
+        assert!(!v.realloc([8, 64]), "steady state must reuse capacity");
+    }
+
+    #[test]
+    fn row_is_contiguous_only_for_layout_right() {
+        let mut r = View2::<u32>::new("r", [3, 4]);
+        for i in 0..3 {
+            for j in 0..4 {
+                r.set([i, j], (10 * i + j) as u32);
+            }
+        }
+        assert!(r.rows_contiguous());
+        assert_eq!(r.row(1), &[10, 11, 12, 13]);
+        assert_eq!(r.try_row(2), Some(&[20u32, 21, 22, 23][..]));
+
+        let mut l = View2::<u32>::with_layout("l", [3, 4], Layout::Left);
+        l.copy_from(&r);
+        assert!(!l.rows_contiguous());
+        assert_eq!(l.try_row(1), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_panics_for_layout_left() {
+        let l = View2::<u32>::with_layout("l", [3, 4], Layout::Left);
+        let _ = l.row(0);
+    }
+
+    #[test]
+    fn get3_matches_at_for_both_layouts() {
+        for layout in [Layout::Right, Layout::Left] {
+            let mut v = View2::<f64>::with_layout("x", [5, 3], layout);
+            for i in 0..5 {
+                for k in 0..3 {
+                    v.set([i, k], (100 * i + k) as f64);
+                }
+            }
+            for i in 0..5 {
+                let [a, b, c] = v.get3(i);
+                assert_eq!([a, b, c], [v.at([i, 0]), v.at([i, 1]), v.at([i, 2])]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn get3_bounds_checked_in_release() {
+        let v = View2::<f64>::with_layout("x", [4, 3], Layout::Left);
+        let _ = v.get3(4);
     }
 
     #[test]

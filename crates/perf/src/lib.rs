@@ -17,10 +17,13 @@
 //!   relative tolerance (default 0 = bit exact).
 //! - [`workloads`] — the four fixed-seed smoke systems.
 //! - [`report`] — run workloads under a subscriber, build the report.
+//! - [`timing`] — `--time` mode: advisory wall-clock phase medians
+//!   (archived as `results/BENCH_hotpath.json`, never gated).
 
 pub mod diff;
 pub mod json;
 pub mod report;
+pub mod timing;
 pub mod workloads;
 
 pub use diff::{compare, Drift};

@@ -7,27 +7,37 @@
 //! perf-smoke --check results/perf_baseline.json
 //! perf-smoke --check BASE --tolerance 1e-9     # allow tiny relative drift
 //! perf-smoke --write-baseline                  # refresh results/perf_baseline.json
+//! perf-smoke --time                            # wall-clock medians -> results/BENCH_hotpath.json
+//! perf-smoke --time --reps 5 --scale 25        # tune repetition count / run length
 //! ```
+//!
+//! `--time` is advisory: it runs the same four workloads multi-threaded
+//! and records median-of-N wall-clock per phase, but CI gates only on
+//! the deterministic counters from the default mode.
 //!
 //! Exit codes: 0 = ok, 1 = counter drift vs baseline, 2 = usage or I/O
 //! error.
 
-use lkk_perf::{compare, json, report, workloads};
+use lkk_perf::{compare, json, report, timing, workloads};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const DEFAULT_OUT: &str = "results/perf_smoke.json";
 const DEFAULT_BASELINE: &str = "results/perf_baseline.json";
+const DEFAULT_TIME_OUT: &str = "results/BENCH_hotpath.json";
 
 struct Args {
     out: PathBuf,
     check: Option<PathBuf>,
     write_baseline: bool,
     tolerance: f64,
+    time: bool,
+    reps: usize,
+    scale: u64,
 }
 
 fn usage() -> &'static str {
-    "usage: perf-smoke [--out PATH] [--check BASELINE] [--tolerance T] [--write-baseline]"
+    "usage: perf-smoke [--out PATH] [--check BASELINE] [--tolerance T] [--write-baseline]\n       perf-smoke --time [--reps N] [--scale S] [--out PATH]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,12 +46,17 @@ fn parse_args() -> Result<Args, String> {
         check: None,
         write_baseline: false,
         tolerance: 0.0,
+        time: false,
+        reps: 5,
+        scale: 25,
     };
+    let mut out_set = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--out" => {
                 args.out = PathBuf::from(it.next().ok_or("--out needs a path")?);
+                out_set = true;
             }
             "--check" => {
                 args.check = Some(PathBuf::from(it.next().ok_or("--check needs a path")?));
@@ -56,9 +71,31 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--write-baseline" => args.write_baseline = true,
+            "--time" => args.time = true,
+            "--reps" => {
+                let r = it.next().ok_or("--reps needs a value")?;
+                args.reps = r
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad reps {r:?}: {e}"))?;
+                if args.reps == 0 {
+                    return Err("reps must be >= 1".into());
+                }
+            }
+            "--scale" => {
+                let s = it.next().ok_or("--scale needs a value")?;
+                args.scale = s
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad scale {s:?}: {e}"))?;
+                if args.scale == 0 {
+                    return Err("scale must be >= 1".into());
+                }
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
+    }
+    if args.time && !out_set {
+        args.out = PathBuf::from(DEFAULT_TIME_OUT);
     }
     Ok(args)
 }
@@ -80,6 +117,32 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.time {
+        eprintln!(
+            "perf-smoke: timing 4 workloads ({} reps, {}x steps, multi-threaded)...",
+            args.reps, args.scale
+        );
+        let doc = timing::run_timed(args.reps, args.scale);
+        if let Err(msg) = write_report(&args.out, &doc.to_pretty()) {
+            eprintln!("perf-smoke: {msg}");
+            return ExitCode::from(2);
+        }
+        eprintln!("perf-smoke: wrote {}", args.out.display());
+        if let Some(wls) = doc.get("workloads") {
+            for name in ["lj", "eam", "snap", "reaxff"] {
+                if let Some(med) = wls
+                    .get(name)
+                    .and_then(|w| w.get("total_ms"))
+                    .and_then(|t| t.get("median"))
+                    .and_then(lkk_perf::Value::as_f64)
+                {
+                    eprintln!("perf-smoke:   {name:7} median {med:9.3} ms");
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
 
     eprintln!("perf-smoke: running {} workloads (forced sequential)...", 4);
     let current = report::run_all(workloads::all());

@@ -24,8 +24,9 @@ const ARCH_KEYS: [&str; 7] = ["v100", "a100", "h100", "gh200", "mi250x", "mi300a
 
 /// Serializes whole-report runs: the profiling subscriber registry and
 /// the force-sequential flag are process-global, so concurrent runs
-/// would cross-feed each other's accumulators.
-static RUN_LOCK: Mutex<()> = Mutex::new(());
+/// (including `--time` mode, see [`crate::timing`]) would cross-feed
+/// each other's accumulators.
+pub(crate) static RUN_LOCK: Mutex<()> = Mutex::new(());
 
 /// Run every workload and build the full report document.
 pub fn run_all(workloads: Vec<Workload>) -> Value {

@@ -1,0 +1,197 @@
+//! `--time` mode: wall-clock phase timing for the smoke workloads.
+//!
+//! Counters (see [`crate::report`]) gate CI because they are bit-stable;
+//! wall-clock is noisy and machine-dependent, so it is *reported and
+//! archived* (`results/BENCH_hotpath.json`) but never diffed against a
+//! baseline. The point is trend visibility: a hot-path overhead
+//! regression shows up here as a jump in the per-phase medians even
+//! though every counter stays identical.
+//!
+//! Unlike the counter run, timing runs are **not** forced sequential —
+//! they execute with whatever thread pool the vendored rayon shim
+//! provides, exactly like a real user run. Each workload is rebuilt
+//! from scratch for every repetition (fresh allocations, fresh neighbor
+//! list) and run for `steps × scale` timesteps; per-region wall-clock
+//! comes from the same `ProfileSubscriber` region layer the counter
+//! harness uses, and we report the median across repetitions.
+
+use crate::json::Value;
+use crate::workloads::{self, Workload};
+use lkk_gpusim::ProfileSubscriber;
+use lkk_kokkos::{exec, profile};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Schema version for `BENCH_hotpath.json`.
+pub const TIME_SCHEMA_VERSION: f64 = 1.0;
+
+/// Wall-clock accumulator: sums the `seconds` payload of every
+/// `region_end` event per region path, for one repetition.
+struct PhaseClock {
+    totals: Mutex<BTreeMap<String, f64>>,
+}
+
+impl PhaseClock {
+    fn new() -> Self {
+        Self {
+            totals: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn take(&self) -> BTreeMap<String, f64> {
+        std::mem::take(&mut self.totals.lock().unwrap())
+    }
+}
+
+impl ProfileSubscriber for PhaseClock {
+    fn region_end(&self, path: &str, _depth: usize, seconds: f64) {
+        let mut totals = self.totals.lock().unwrap();
+        *totals.entry(path.to_string()).or_insert(0.0) += seconds;
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in timing samples"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+fn min_max(xs: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+/// One timed repetition: build the workload fresh, run it under a
+/// [`PhaseClock`], return (total wall seconds, per-phase seconds).
+fn run_one_rep(make: fn() -> Workload, scale: u64) -> (f64, BTreeMap<String, f64>, usize, u64) {
+    let Workload {
+        name: _,
+        mut sim,
+        steps,
+    } = make();
+    let steps = steps * scale;
+    let clock = Arc::new(PhaseClock::new());
+    let id = profile::register_subscriber(clock.clone());
+    let start = Instant::now();
+    sim.run(steps);
+    let total = start.elapsed().as_secs_f64();
+    profile::unregister_subscriber(id);
+    let natoms = sim.system.atoms.nlocal;
+    (total, clock.take(), natoms, steps)
+}
+
+/// Run every smoke workload `reps` times for `steps × scale` timesteps
+/// and build the `BENCH_hotpath.json` document: median / min / max
+/// total wall-clock plus median per-phase wall-clock (milliseconds),
+/// keyed by the region paths the timestep loop opens.
+pub fn run_timed(reps: usize, scale: u64) -> Value {
+    // Timing must not race a counter run: both use the process-global
+    // subscriber registry and the force-sequential flag.
+    let _exclusive = crate::report::RUN_LOCK.lock().unwrap();
+    let was_sequential = exec::force_sequential();
+    exec::set_force_sequential(false);
+
+    let factories: [(&str, fn() -> Workload); 4] = [
+        ("lj", workloads::lj),
+        ("eam", workloads::eam),
+        ("snap", workloads::snap),
+        ("reaxff", workloads::reaxff),
+    ];
+
+    let mut doc = Value::obj();
+    doc.set("schema", Value::Num(TIME_SCHEMA_VERSION));
+    doc.set("mode", Value::Str("wall_clock_advisory".into()));
+    doc.set("reps", Value::Num(reps as f64));
+    doc.set("steps_scale", Value::Num(scale as f64));
+
+    let mut wl_obj = Value::obj();
+    for (name, make) in factories {
+        eprintln!("perf-smoke --time: {name} ({reps} reps)...");
+        let mut totals: Vec<f64> = Vec::with_capacity(reps);
+        let mut phases: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        let mut natoms = 0;
+        let mut steps = 0;
+        for _ in 0..reps {
+            let (total, rep_phases, n, s) = run_one_rep(make, scale);
+            totals.push(total);
+            natoms = n;
+            steps = s;
+            for (path, secs) in rep_phases {
+                phases.entry(path).or_default().push(secs);
+            }
+        }
+
+        let mut entry = Value::obj();
+        entry.set("natoms", Value::Num(natoms as f64));
+        entry.set("steps", Value::Num(steps as f64));
+        let (lo, hi) = min_max(&totals);
+        let med = median(totals);
+        let mut total_ms = Value::obj();
+        total_ms.set("median", Value::Num(med * 1e3));
+        total_ms.set("min", Value::Num(lo * 1e3));
+        total_ms.set("max", Value::Num(hi * 1e3));
+        entry.set("total_ms", total_ms);
+        let mut phases_ms = Value::obj();
+        for (path, samples) in phases {
+            phases_ms.set(path, Value::Num(median(samples) * 1e3));
+        }
+        entry.set("phases_ms", phases_ms);
+        wl_obj.set(name, entry);
+    }
+    doc.set("workloads", wl_obj);
+
+    exec::set_force_sequential(was_sequential);
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_even_empty() {
+        assert_eq!(median(vec![]), 0.0);
+        assert_eq!(median(vec![3.0]), 3.0);
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    /// A 1-rep scale-1 timing run must produce positive totals and the
+    /// core phase keys for every workload. (Values are wall-clock and
+    /// therefore unasserted beyond positivity.)
+    #[test]
+    fn timed_run_reports_phases() {
+        let doc = run_timed(1, 1);
+        let wls = doc.get("workloads").unwrap();
+        for name in ["lj", "eam", "snap", "reaxff"] {
+            let wl = wls.get(name).unwrap_or_else(|| panic!("missing {name}"));
+            let total = wl
+                .get("total_ms")
+                .and_then(|t| t.get("median"))
+                .and_then(Value::as_f64)
+                .unwrap();
+            assert!(total > 0.0, "{name}: non-positive total {total}");
+            let phases = wl.get("phases_ms").unwrap();
+            for key in ["step", "step/pair", "step/integrate"] {
+                assert!(
+                    phases.get(key).is_some(),
+                    "{name}: missing phase {key:?} in {:?}",
+                    doc.to_pretty()
+                );
+            }
+        }
+    }
+}

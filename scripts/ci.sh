@@ -20,7 +20,13 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
 echo "==> perf-smoke --check results/perf_baseline.json"
 cargo run --release -p lkk-perf --bin perf-smoke -- --check results/perf_baseline.json
+
+echo "==> perf-smoke --time (advisory wall-clock, not gated)"
+cargo run --release -p lkk-perf --bin perf-smoke -- --time --reps 3
 
 echo "==> all green"
