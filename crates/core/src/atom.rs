@@ -39,6 +39,19 @@ impl std::ops::BitOr for Mask {
     }
 }
 
+/// The full per-atom state that travels when an atom changes owner:
+/// identity, pair-style inputs, and kinematics. Forces and style
+/// scratch are recomputed after migration and are not carried.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtomRecord {
+    pub tag: i64,
+    pub typ: i32,
+    pub q: f64,
+    pub x: [f64; 3],
+    pub v: [f64; 3],
+    pub image: [i32; 3],
+}
+
 /// All per-atom data. Rows `0..nlocal` are owned atoms; rows
 /// `nlocal..nlocal+nghost` are ghost images created by [`crate::comm`].
 #[derive(Debug)]
@@ -200,6 +213,39 @@ impl AtomData {
         if mask.contains(Mask::TAG) {
             m!(self.tag);
         }
+    }
+
+    /// Snapshot owned atom `i` as a self-contained record (the payload
+    /// of a migration message).
+    pub fn record(&self, i: usize) -> AtomRecord {
+        let x = self.x.h_view();
+        let v = self.v.h_view();
+        AtomRecord {
+            tag: self.tag.h_view().at([i]),
+            typ: self.typ.h_view().at([i]),
+            q: self.q.h_view().at([i]),
+            x: [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])],
+            v: [v.at([i, 0]), v.at([i, 1]), v.at([i, 2])],
+            image: self.image[i],
+        }
+    }
+
+    /// Build atom storage from records (e.g. one rank's share of a
+    /// decomposed system). `masses` is the per-type mass table, which is
+    /// global and therefore not part of the records.
+    pub fn from_records(records: &[AtomRecord], masses: &[f64]) -> Self {
+        let mut atoms = AtomData::from_positions(&records.iter().map(|r| r.x).collect::<Vec<_>>());
+        atoms.mass = masses.to_vec();
+        for (i, r) in records.iter().enumerate() {
+            atoms.tag.h_view_mut().set([i], r.tag);
+            atoms.typ.h_view_mut().set([i], r.typ);
+            atoms.q.h_view_mut().set([i], r.q);
+            for k in 0..3 {
+                atoms.v.h_view_mut().set([i, k], r.v[k]);
+            }
+            atoms.image[i] = r.image;
+        }
+        atoms
     }
 
     /// Host position of atom `i` as an array.

@@ -1,5 +1,5 @@
-//! Ghost atoms and forward/reverse communication (single-rank periodic
-//! boundaries).
+//! Ghost atoms and forward/reverse communication behind the [`Comm`]
+//! abstraction.
 //!
 //! In LAMMPS, atoms near sub-domain faces are replicated on neighboring
 //! ranks (or across periodic boundaries) as *ghost atoms*. Every
@@ -9,12 +9,23 @@
 //! Newton's third law for ghosts "reduces computation but increases the
 //! amount of communication required".
 //!
-//! This module implements the single-rank case where all ghosts are
-//! periodic images; the multi-rank simulated-MPI version lives in
-//! [`crate::decomp`] and reuses the same shift machinery.
+//! The [`Comm`] trait abstracts the four exchange operations the
+//! timestep loop needs (border/ghost construction, forward, reverse,
+//! and per-atom scalar forwarding) plus the collective reductions, so
+//! `Simulation::run` drives single- and multi-rank runs through the
+//! same code path (see `docs/comm.md` for the full contract):
+//!
+//! * [`SingleRankComm`] — every ghost is a periodic image of a local
+//!   atom; no messages ever move.
+//! * [`brick::BrickComm`] — a simulated-MPI brick decomposition where
+//!   ranks run as threads and exchange typed messages over per-edge
+//!   channels.
 
 use crate::atom::AtomData;
 use crate::domain::Domain;
+use crate::sim::System;
+
+pub mod brick;
 
 /// Ghost bookkeeping: ghost row `nlocal + g` is a copy of `owner[g]`
 /// displaced by `shift[g]`.
@@ -39,6 +50,20 @@ impl GhostMap {
 /// Panics if the box is smaller than `2 × cutghost` in any direction
 /// (the minimum-image requirement; LAMMPS raises the same error).
 pub fn build_ghosts(atoms: &mut AtomData, domain: &Domain, cutghost: f64) -> GhostMap {
+    let mut map = GhostMap::default();
+    build_ghosts_into(atoms, domain, cutghost, &mut map);
+    map
+}
+
+/// [`build_ghosts`] refilling an existing map in place, reusing the
+/// owner/shift buffer capacity (no steady-state allocation across
+/// rebuilds once the high-water ghost count has been reached).
+///
+/// Debug builds verify the documented precondition that owned positions
+/// are already wrapped into the box — migration paths that drift atoms
+/// across brick faces must wrap *before* building borders, or ghost
+/// images would be double-shifted.
+pub fn build_ghosts_into(atoms: &mut AtomData, domain: &Domain, cutghost: f64, map: &mut GhostMap) {
     let l = domain.lengths();
     for (k, &lk) in l.iter().enumerate() {
         assert!(
@@ -48,11 +73,13 @@ pub fn build_ghosts(atoms: &mut AtomData, domain: &Domain, cutghost: f64) -> Gho
         );
     }
     let nlocal = atoms.nlocal;
-    let mut map = GhostMap {
-        owner: Vec::new(),
-        shift: Vec::new(),
-        cutghost,
-    };
+    debug_assert!(
+        (0..nlocal).all(|i| domain.contains(&atoms.pos(i))),
+        "build_ghosts precondition violated: owned positions must be wrapped into the box"
+    );
+    map.owner.clear();
+    map.shift.clear();
+    map.cutghost = cutghost;
     {
         let xh = atoms.x.h_view();
         for i in 0..nlocal {
@@ -116,8 +143,7 @@ pub fn build_ghosts(atoms: &mut AtomData, domain: &Domain, cutghost: f64) -> Gho
             tag.set([nlocal + g], *v);
         }
     }
-    forward_positions(atoms, &map);
-    map
+    forward_positions(atoms, map);
 }
 
 /// Forward communication: refresh ghost positions from their owners.
@@ -229,6 +255,175 @@ pub fn forward_bytes(map: &GhostMap) -> u64 {
     (map.nghost() * 3 * 8) as u64
 }
 
+/// Cumulative message/byte counters of a [`Comm`] implementation.
+/// All values are integers measured from actual exchanges, so they are
+/// deterministic and baseline-diffable; a single-rank comm moves no
+/// messages and reports zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Payload bytes of forward (position) exchanges.
+    pub forward_bytes: u64,
+    /// Non-empty forward messages.
+    pub forward_msgs: u64,
+    /// Payload bytes of reverse (force) exchanges.
+    pub reverse_bytes: u64,
+    /// Non-empty reverse messages.
+    pub reverse_msgs: u64,
+    /// Payload bytes of per-atom scalar forwards (e.g. EAM F′).
+    pub scalar_bytes: u64,
+    /// Non-empty scalar messages.
+    pub scalar_msgs: u64,
+    /// Payload bytes of atom migration.
+    pub migrate_bytes: u64,
+    /// Non-empty migration messages.
+    pub migrate_msgs: u64,
+    /// Payload bytes of border (ghost-list setup) exchanges.
+    pub border_bytes: u64,
+    /// Non-empty border messages.
+    pub border_msgs: u64,
+    /// Collective reductions performed (OR + SUM).
+    pub allreduce_count: u64,
+}
+
+impl CommStats {
+    /// Element-wise sum (for aggregating per-rank stats).
+    pub fn add(&mut self, other: &CommStats) {
+        self.forward_bytes += other.forward_bytes;
+        self.forward_msgs += other.forward_msgs;
+        self.reverse_bytes += other.reverse_bytes;
+        self.reverse_msgs += other.reverse_msgs;
+        self.scalar_bytes += other.scalar_bytes;
+        self.scalar_msgs += other.scalar_msgs;
+        self.migrate_bytes += other.migrate_bytes;
+        self.migrate_msgs += other.migrate_msgs;
+        self.border_bytes += other.border_bytes;
+        self.border_msgs += other.border_msgs;
+        self.allreduce_count += other.allreduce_count;
+    }
+
+    /// Total halo (forward + reverse + scalar) payload bytes.
+    pub fn halo_bytes(&self) -> u64 {
+        self.forward_bytes + self.reverse_bytes + self.scalar_bytes
+    }
+
+    /// Total halo (forward + reverse + scalar) messages.
+    pub fn halo_msgs(&self) -> u64 {
+        self.forward_msgs + self.reverse_msgs + self.scalar_msgs
+    }
+}
+
+/// The communication contract `Simulation::run` is generic over.
+///
+/// Implementations own the ghost bookkeeping of the [`System`] they
+/// serve: [`Comm::borders`] (re)builds `system.ghosts` / the ghost rows,
+/// [`Comm::forward`] / [`Comm::reverse`] / [`Comm::forward_scalar`]
+/// refresh them between rebuilds. Multi-rank implementations are
+/// *collective*: every rank's driver must issue the same sequence of
+/// calls, which `Simulation::run` guarantees by reducing the rebuild
+/// decision through [`Comm::allreduce_or`]. See `docs/comm.md` for the
+/// ordering and pooling contract.
+pub trait Comm: Send {
+    /// Implementation name (for reports and `Debug`).
+    fn name(&self) -> &'static str;
+
+    /// Number of ranks participating in the exchange.
+    fn nranks(&self) -> usize {
+        1
+    }
+
+    /// This rank's index.
+    fn rank(&self) -> usize {
+        0
+    }
+
+    /// Rebuild-time exchange: wrap owned positions, migrate atoms that
+    /// left this rank's sub-domain, and (re)build the ghost rows out to
+    /// `cutghost`. Positions must be host-resident; the result is
+    /// host-modified (the caller flushes the sync state).
+    fn borders(&mut self, system: &mut System, cutghost: f64);
+
+    /// Forward (position) exchange: refresh every ghost row from its
+    /// owner. Host-side, like the rest of the exchange path.
+    fn forward(&mut self, system: &mut System);
+
+    /// Reverse (force) exchange: fold ghost-row forces back into their
+    /// owners and zero the ghost rows.
+    fn reverse(&mut self, system: &mut System);
+
+    /// Forward a per-atom scalar (length `nall`) owner → ghost; used by
+    /// styles with intermediate per-atom state (EAM's F′(ρ), Fig. 1).
+    fn forward_scalar(&mut self, system: &mut System, values: &mut [f64]);
+
+    /// Collective OR (the global rebuild decision).
+    fn allreduce_or(&mut self, flag: bool) -> bool {
+        flag
+    }
+
+    /// Collective sum, combined in rank order so every rank computes a
+    /// bitwise-identical result.
+    fn allreduce_sum(&mut self, value: f64) -> f64 {
+        value
+    }
+
+    /// Cumulative exchange counters.
+    fn stats(&self) -> CommStats {
+        CommStats::default()
+    }
+
+    /// Heap growths of the persistent message-buffer pool since
+    /// construction (0 in steady state; see `docs/performance.md`).
+    fn grow_count(&self) -> u64 {
+        0
+    }
+
+    /// Cumulative `[halo, migrate]` wall-clock seconds spent inside
+    /// [`Comm::borders`] (advisory, like all wall-clock).
+    fn phase_seconds(&self) -> [f64; 2] {
+        [0.0, 0.0]
+    }
+}
+
+impl std::fmt::Debug for dyn Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Comm({})", self.name())
+    }
+}
+
+/// The single-rank [`Comm`]: every ghost is a periodic image of a local
+/// atom, so "exchange" is a host-side copy through [`GhostMap`] and the
+/// collectives are identities. This is bit-for-bit the pre-`Comm`
+/// behavior of the driver (the committed perf baselines depend on it).
+#[derive(Debug, Default)]
+pub struct SingleRankComm;
+
+impl Comm for SingleRankComm {
+    fn name(&self) -> &'static str {
+        "single"
+    }
+
+    fn borders(&mut self, system: &mut System, cutghost: f64) {
+        system.atoms.wrap_positions(&system.domain);
+        let mut map = std::mem::take(&mut system.ghosts);
+        build_ghosts_into(&mut system.atoms, &system.domain, cutghost, &mut map);
+        system.ghosts = map;
+    }
+
+    fn forward(&mut self, system: &mut System) {
+        forward_positions(&mut system.atoms, &system.ghosts);
+    }
+
+    fn reverse(&mut self, system: &mut System) {
+        reverse_forces(&mut system.atoms, &system.ghosts);
+    }
+
+    fn forward_scalar(&mut self, system: &mut System, values: &mut [f64]) {
+        let nlocal = system.atoms.nlocal;
+        for (g, &owner) in system.ghosts.owner.iter().enumerate() {
+            values[nlocal + g] = values[owner];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +504,55 @@ mod tests {
         reverse_forces(&mut atoms, &map);
         assert_eq!(atoms.f.h_view().at([0, 0]), 7.0);
         assert_eq!(atoms.f.h_view().at([nlocal, 0]), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "must be wrapped")]
+    fn unwrapped_positions_are_rejected() {
+        // The documented precondition is enforced, not assumed: an atom
+        // left outside the box (e.g. migrated across a brick face but
+        // not wrapped) would get double-shifted ghost images.
+        let mut atoms = AtomData::from_positions(&[[12.5, 5.0, 5.0]]);
+        let domain = Domain::cubic(10.0);
+        build_ghosts(&mut atoms, &domain, 2.0);
+    }
+
+    #[test]
+    fn build_into_reuses_buffers_and_matches_fresh_build() {
+        let (mut a, domain) = corner_system();
+        let fresh = build_ghosts(&mut a, &domain, 2.0);
+        let (mut b, _) = corner_system();
+        let mut map = GhostMap::default();
+        build_ghosts_into(&mut b, &domain, 2.0, &mut map);
+        assert_eq!(map.owner, fresh.owner);
+        assert_eq!(map.shift, fresh.shift);
+        let cap = map.owner.capacity();
+        // Refill in place: same result, no reallocation.
+        build_ghosts_into(&mut b, &domain, 2.0, &mut map);
+        assert_eq!(map.owner, fresh.owner);
+        assert_eq!(map.owner.capacity(), cap);
+    }
+
+    #[test]
+    fn single_rank_comm_matches_free_functions() {
+        use crate::sim::System;
+        let (atoms, domain) = corner_system();
+        let mut system = System::new(atoms, domain, lkk_kokkos::Space::Serial);
+        let mut comm = SingleRankComm;
+        comm.borders(&mut system, 2.0);
+        assert_eq!(system.ghosts.nghost(), 7);
+        assert_eq!(comm.nranks(), 1);
+        assert!(comm.allreduce_or(false) == false && comm.allreduce_or(true));
+        assert_eq!(comm.allreduce_sum(2.5), 2.5);
+        assert_eq!(comm.stats(), CommStats::default());
+        // forward_scalar copies owner values into ghost slots.
+        let mut vals = vec![0.0; system.atoms.nall()];
+        vals[0] = 3.25;
+        comm.forward_scalar(&mut system, &mut vals);
+        for g in 0..system.ghosts.nghost() {
+            assert_eq!(vals[system.atoms.nlocal + g], 3.25);
+        }
     }
 
     #[test]

@@ -1,0 +1,1336 @@
+//! Simulated-MPI brick communication: ranks as threads, typed messages
+//! over per-edge channels.
+//!
+//! [`BrickComm`] is the multi-rank [`Comm`] implementation behind the
+//! brick domain decomposition of [`crate::decomp::BrickDecomp`]. Each
+//! rank runs on its own OS thread and owns one brick of the global box;
+//! exchanges move through unbounded `std::sync::mpsc` channels, one
+//! data + one buffer-recycle channel per directed rank pair. Because
+//! sends never block and every phase is bulk-synchronous (all ranks
+//! send to all peers, then receive in ascending rank order), the
+//! exchange sequence is deadlock-free without barriers or any global
+//! lock.
+//!
+//! The halo construction is O(surface), not O(N): owned atoms are
+//! binned over the sub-domain at `cutghost` granularity and only the
+//! outermost bin shell is scanned against the 26 face/edge/corner
+//! directions of the brick (each with its periodic wrap shift). Border
+//! messages carry the shift once; per-step forward messages then carry
+//! raw owner position bits, and the receiver adds its stored shift —
+//! the exact arithmetic of the single-rank ghost path, so a decomposed
+//! run reproduces the single-rank trajectory to float accumulation
+//! order (see `tests/rank_equivalence.rs`).
+//!
+//! Message buffers live in a per-rank [`BufPool`]; receivers return
+//! drained buffers through the recycle channel, so steady-state
+//! exchanges allocate nothing (`Comm::grow_count` asserts this — the
+//! same invariant the neighbor-list and scatter pools keep, see
+//! `docs/performance.md`).
+
+use crate::atom::{AtomData, AtomRecord, Mask};
+use crate::comm::{Comm, CommStats};
+use crate::compute;
+use crate::decomp::BrickDecomp;
+use crate::domain::Domain;
+use crate::neighbor::Bins;
+use crate::sim::{Simulation, System, ThermoRow, Timings};
+use crate::units::Units;
+use lkk_kokkos::{profile, Space};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+// Phase tags (word 0 of every message) catch sequence mismatches in
+// debug builds: a desynced collective shows up as a tag assert, not as
+// silently corrupt positions.
+const TAG_MIGRATE: u64 = 1;
+const TAG_BORDER: u64 = 2;
+const TAG_FORWARD: u64 = 3;
+const TAG_REVERSE: u64 = 4;
+const TAG_SCALAR: u64 = 5;
+const TAG_REDUCE: u64 = 6;
+
+/// Words per atom in a migration message (tag, type, q, x, v, image).
+const MIGRATE_WORDS: usize = 12;
+/// Words per atom in a border message (tag, type, q, x, shift).
+const BORDER_WORDS: usize = 9;
+
+/// The channel endpoints one rank holds toward one peer.
+struct Link {
+    /// Data to the peer.
+    tx: Sender<Vec<u64>>,
+    /// Data from the peer.
+    rx: Receiver<Vec<u64>>,
+    /// Returns the peer's drained buffers to its pool.
+    recycle_tx: Sender<Vec<u64>>,
+    /// This rank's buffers coming back from the peer.
+    recycle_rx: Receiver<Vec<u64>>,
+    /// Buffers sent to the peer and not yet reclaimed. Reclaim waits
+    /// for exactly this many, which makes the pool's contents — and
+    /// therefore its `grow_count` — independent of thread timing.
+    owed: std::cell::Cell<usize>,
+}
+
+/// Persistent send-buffer pool. Buffers drain back through the recycle
+/// channels; `grow_count` ticks only when a fresh allocation (or an
+/// in-place capacity growth) was unavoidable, so steady state holds it
+/// constant.
+struct BufPool {
+    free: Vec<Vec<u64>>,
+    grow_count: u64,
+}
+
+impl BufPool {
+    fn new() -> BufPool {
+        BufPool {
+            free: Vec::new(),
+            grow_count: 0,
+        }
+    }
+
+    /// An empty buffer with room for `need` words: the tightest-fitting
+    /// free buffer, or a fresh allocation when none fits. Capacities
+    /// are rounded up to a power of two (min 1024 words) so small
+    /// fluctuations in exchange sizes land in the same size class, and
+    /// best-fit pairing keeps large buffers available for large
+    /// requests instead of churning.
+    fn acquire(&mut self, need: usize) -> Vec<u64> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            if buf.capacity() >= need
+                && best.is_none_or(|j: usize| buf.capacity() < self.free[j].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                let mut buf = self.free.swap_remove(i);
+                buf.clear();
+                buf
+            }
+            None => {
+                // 2x headroom: exchange sizes fluctuate a few percent
+                // step to step, and a fresh class must absorb that
+                // without another growth (the steady-state assert).
+                self.grow_count += 1;
+                Vec::with_capacity((need * 2).max(1024).next_power_of_two())
+            }
+        }
+    }
+}
+
+/// Multi-rank brick [`Comm`]: one instance per rank, created together
+/// by [`BrickComm::create_all`] so the channel mesh is fully connected.
+pub struct BrickComm {
+    decomp: BrickDecomp,
+    rank: usize,
+    /// This rank's grid coordinates.
+    coords: [usize; 3],
+    /// This rank's brick of the global box.
+    sub: Domain,
+    /// `links[p]` is `Some` for every peer `p != rank`.
+    links: Vec<Option<Link>>,
+    pool: BufPool,
+    /// Per peer: owned rows sent as ghosts, in border-pack order.
+    send_plan: Vec<Vec<u32>>,
+    /// Per peer: periodic shift of each planned ghost (sent once in the
+    /// border message; per-step forwards carry raw owner bits).
+    send_shift: Vec<Vec<[f64; 3]>>,
+    /// Per peer: ghost rows received from it in the last border build.
+    recv_count: Vec<usize>,
+    /// Periodic shift of each remote ghost row, segment-concatenated in
+    /// ascending peer order; applied on every forward.
+    recv_shift: Vec<[f64; 3]>,
+    /// First remote ghost row (`nlocal + self-image count`).
+    remote_base: usize,
+    /// Sub-domain bins for the O(surface) boundary-shell halo search.
+    bins: Bins,
+    boundary: Vec<u32>,
+    /// Migration scratch: surviving + immigrating atom records.
+    records: Vec<AtomRecord>,
+    /// Migration scratch: destination rank per owned atom.
+    dest: Vec<usize>,
+    /// Received border buffers pending unpack (held so the ghost count
+    /// is known before the one resize).
+    inbox: Vec<(usize, Vec<u64>)>,
+    stats: CommStats,
+    halo_seconds: f64,
+    migrate_seconds: f64,
+}
+
+impl BrickComm {
+    /// Build the fully connected set of rank comms for `decomp`, in
+    /// rank order. Each element goes to its rank's thread (they are
+    /// `Send`, not `Sync`).
+    pub fn create_all(decomp: &BrickDecomp) -> Vec<BrickComm> {
+        let n = decomp.nranks();
+        let mut data_tx: Vec<Vec<Option<Sender<Vec<u64>>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut data_rx: Vec<Vec<Option<Receiver<Vec<u64>>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut rec_tx: Vec<Vec<Option<Sender<Vec<u64>>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut rec_rx: Vec<Vec<Option<Receiver<Vec<u64>>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                // Data a → b; its buffers recycle b → a.
+                let (tx, rx) = channel();
+                data_tx[a][b] = Some(tx);
+                data_rx[b][a] = Some(rx);
+                let (tx, rx) = channel();
+                rec_tx[b][a] = Some(tx);
+                rec_rx[a][b] = Some(rx);
+            }
+        }
+        (0..n)
+            .map(|rank| {
+                let links = (0..n)
+                    .map(|p| {
+                        if p == rank {
+                            None
+                        } else {
+                            Some(Link {
+                                tx: data_tx[rank][p].take().unwrap(),
+                                rx: data_rx[rank][p].take().unwrap(),
+                                recycle_tx: rec_tx[rank][p].take().unwrap(),
+                                recycle_rx: rec_rx[rank][p].take().unwrap(),
+                                owed: std::cell::Cell::new(0),
+                            })
+                        }
+                    })
+                    .collect();
+                let [_, py, pz] = decomp.grid;
+                let coords = [rank / (py * pz), (rank / pz) % py, rank % pz];
+                BrickComm {
+                    decomp: decomp.clone(),
+                    rank,
+                    coords,
+                    sub: decomp.subdomain(rank),
+                    links,
+                    pool: BufPool::new(),
+                    send_plan: (0..n).map(|_| Vec::new()).collect(),
+                    send_shift: (0..n).map(|_| Vec::new()).collect(),
+                    recv_count: vec![0; n],
+                    recv_shift: Vec::new(),
+                    remote_base: 0,
+                    bins: Bins::empty(),
+                    boundary: Vec::new(),
+                    records: Vec::new(),
+                    dest: Vec::new(),
+                    inbox: Vec::new(),
+                    stats: CommStats::default(),
+                    halo_seconds: 0.0,
+                    migrate_seconds: 0.0,
+                }
+            })
+            .collect()
+    }
+
+    /// Pull every outstanding buffer back into the pool, waiting for
+    /// the exact count owed per peer. Waiting is deadlock-free: a peer
+    /// recycles while draining its receives for the *previous* phase,
+    /// which it must finish before it can participate in the phase this
+    /// reclaim precedes — so every owed buffer is already in flight.
+    fn reclaim(&mut self) {
+        for link in self.links.iter().flatten() {
+            for _ in 0..link.owed.get() {
+                let buf = link
+                    .recycle_rx
+                    .recv()
+                    .expect("peer rank terminated without recycling");
+                self.pool.free.push(buf);
+            }
+            link.owed.set(0);
+        }
+    }
+
+    fn send_to(&self, peer: usize, buf: Vec<u64>) {
+        let link = self.links[peer].as_ref().unwrap();
+        link.owed.set(link.owed.get() + 1);
+        link.tx
+            .send(buf)
+            .expect("peer rank terminated mid-exchange");
+    }
+
+    fn recv_from(&self, peer: usize, tag: u64) -> Vec<u64> {
+        let buf = self.links[peer]
+            .as_ref()
+            .unwrap()
+            .rx
+            .recv()
+            .expect("peer rank terminated mid-exchange");
+        debug_assert_eq!(buf[0], tag, "exchange sequence desynced");
+        buf
+    }
+
+    fn recycle(&self, peer: usize, buf: Vec<u64>) {
+        // The peer may already be shutting down at gather time; its
+        // pool dying with it is fine.
+        let _ = self.links[peer].as_ref().unwrap().recycle_tx.send(buf);
+    }
+
+    /// Migrate owned atoms whose wrapped position now falls in another
+    /// rank's brick. Rows are rebuilt as [survivors][immigrants in
+    /// ascending peer order]; forces and style scratch are recomputed
+    /// after the rebuild and are not carried.
+    fn migrate(&mut self, system: &mut System) {
+        let nranks = self.decomp.nranks();
+        let nlocal = system.atoms.nlocal;
+        self.dest.clear();
+        for i in 0..nlocal {
+            self.dest.push(self.decomp.rank_of(&system.atoms.pos(i)));
+        }
+        self.records.clear();
+        for i in 0..nlocal {
+            if self.dest[i] == self.rank {
+                self.records.push(system.atoms.record(i));
+            }
+        }
+        self.reclaim();
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let leavers = self.dest.iter().filter(|&&d| d == p).count();
+            let mut buf = self.pool.acquire(1 + leavers * MIGRATE_WORDS);
+            buf.push(TAG_MIGRATE);
+            for i in 0..nlocal {
+                if self.dest[i] == p {
+                    pack_record(&mut buf, &system.atoms.record(i));
+                }
+            }
+            if buf.len() > 1 {
+                self.stats.migrate_msgs += 1;
+                self.stats.migrate_bytes += ((buf.len() - 1) * 8) as u64;
+            }
+            self.send_to(p, buf);
+        }
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let buf = self.recv_from(p, TAG_MIGRATE);
+            debug_assert_eq!((buf.len() - 1) % MIGRATE_WORDS, 0);
+            let mut k = 1;
+            while k < buf.len() {
+                let r = unpack_record(&buf[k..k + MIGRATE_WORDS]);
+                debug_assert_eq!(
+                    self.decomp.rank_of(&r.x),
+                    self.rank,
+                    "migrated atom landed on the wrong rank"
+                );
+                self.records.push(r);
+                k += MIGRATE_WORDS;
+            }
+            self.recycle(p, buf);
+        }
+        // Rebuild the owned rows from the record list.
+        let new_n = self.records.len();
+        system.atoms.resize_all(new_n, 0);
+        system.atoms.nlocal = new_n;
+        system.atoms.nghost = 0;
+        {
+            let xh = system.atoms.x.h_view_mut();
+            for (i, r) in self.records.iter().enumerate() {
+                for (k, &v) in r.x.iter().enumerate() {
+                    xh.set([i, k], v);
+                }
+            }
+        }
+        {
+            let vh = system.atoms.v.h_view_mut();
+            for (i, r) in self.records.iter().enumerate() {
+                for (k, &v) in r.v.iter().enumerate() {
+                    vh.set([i, k], v);
+                }
+            }
+        }
+        {
+            let th = system.atoms.tag.h_view_mut();
+            for (i, r) in self.records.iter().enumerate() {
+                th.set([i], r.tag);
+            }
+        }
+        {
+            let ty = system.atoms.typ.h_view_mut();
+            for (i, r) in self.records.iter().enumerate() {
+                ty.set([i], r.typ);
+            }
+        }
+        {
+            let qh = system.atoms.q.h_view_mut();
+            for (i, r) in self.records.iter().enumerate() {
+                qh.set([i], r.q);
+            }
+        }
+        system.atoms.image.clear();
+        system
+            .atoms
+            .image
+            .extend(self.records.iter().map(|r| r.image));
+    }
+
+    /// Build the ghost layer: rows become [locals][periodic self
+    /// images][remote segments in ascending peer order]. Candidates
+    /// come from the boundary bin shell; each candidate is tested
+    /// against the 26 neighbor-brick directions, whose periodic wraps
+    /// determine the shift transmitted with the border message.
+    fn halo(&mut self, system: &mut System, cutghost: f64) {
+        let nranks = self.decomp.nranks();
+        let l = system.domain.lengths();
+        for (k, &len) in l.iter().enumerate() {
+            if self.decomp.grid[k] == 1 {
+                // Same minimum-image bound the single-rank build asserts.
+                assert!(
+                    len >= 2.0 * cutghost,
+                    "box length {len} in dim {k} smaller than 2*cutghost = {}",
+                    2.0 * cutghost
+                );
+            } else {
+                assert!(
+                    self.sub.hi[k] - self.sub.lo[k] >= cutghost,
+                    "sub-domain narrower than cutghost {cutghost} in dim {k}; use fewer ranks"
+                );
+            }
+        }
+        // Bin owned atoms (no ghost rows exist here) over the
+        // sub-domain; the outermost bin layer covers everything within
+        // `cutghost` of a face.
+        self.bins.rebuild(&system.atoms, &self.sub, cutghost, 0.0);
+        self.bins.boundary_atoms(&mut self.boundary);
+
+        let mut self_map = std::mem::take(&mut system.ghosts);
+        self_map.owner.clear();
+        self_map.shift.clear();
+        self_map.cutghost = cutghost;
+        for plan in &mut self.send_plan {
+            plan.clear();
+        }
+        for shifts in &mut self.send_shift {
+            shifts.clear();
+        }
+        let grid = self.decomp.grid;
+        let [py, pz] = [grid[1], grid[2]];
+        for &ai in &self.boundary {
+            let i = ai as usize;
+            let x = system.atoms.pos(i);
+            for dx in -1i32..=1 {
+                for dy in -1i32..=1 {
+                    for dz in -1i32..=1 {
+                        if dx == 0 && dy == 0 && dz == 0 {
+                            continue;
+                        }
+                        let d = [dx, dy, dz];
+                        let mut near = true;
+                        let mut c = [0usize; 3];
+                        let mut shift = [0.0f64; 3];
+                        for k in 0..3 {
+                            match d[k] {
+                                1 => {
+                                    near &= x[k] >= self.sub.hi[k] - cutghost;
+                                    let up = self.coords[k] + 1;
+                                    if up == grid[k] {
+                                        c[k] = 0;
+                                        shift[k] = -l[k];
+                                    } else {
+                                        c[k] = up;
+                                    }
+                                }
+                                -1 => {
+                                    near &= x[k] < self.sub.lo[k] + cutghost;
+                                    if self.coords[k] == 0 {
+                                        c[k] = grid[k] - 1;
+                                        shift[k] = l[k];
+                                    } else {
+                                        c[k] = self.coords[k] - 1;
+                                    }
+                                }
+                                _ => c[k] = self.coords[k],
+                            }
+                            if !near {
+                                break;
+                            }
+                        }
+                        if !near {
+                            continue;
+                        }
+                        let target = (c[0] * py + c[1]) * pz + c[2];
+                        if target == self.rank {
+                            // A periodic image of our own atom (every
+                            // non-zero direction wrapped).
+                            self_map.owner.push(i);
+                            self_map.shift.push(shift);
+                        } else {
+                            self.send_plan[target].push(ai);
+                            self.send_shift[target].push(shift);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Exchange border messages: identity + position + shift once;
+        // subsequent forwards reference the same ordering implicitly.
+        self.reclaim();
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let mut buf = self
+                .pool
+                .acquire(1 + self.send_plan[p].len() * BORDER_WORDS);
+            buf.push(TAG_BORDER);
+            {
+                let xh = system.atoms.x.h_view();
+                let tagh = system.atoms.tag.h_view();
+                let typh = system.atoms.typ.h_view();
+                let qh = system.atoms.q.h_view();
+                for (&ai, s) in self.send_plan[p].iter().zip(&self.send_shift[p]) {
+                    let i = ai as usize;
+                    buf.push(tagh.at([i]) as u64);
+                    buf.push(typh.at([i]) as i64 as u64);
+                    buf.push(qh.at([i]).to_bits());
+                    for k in 0..3 {
+                        buf.push(xh.at([i, k]).to_bits());
+                    }
+                    for &sk in s {
+                        buf.push(sk.to_bits());
+                    }
+                }
+            }
+            if buf.len() > 1 {
+                self.stats.border_msgs += 1;
+                self.stats.border_bytes += ((buf.len() - 1) * 8) as u64;
+            }
+            self.send_to(p, buf);
+        }
+        self.inbox.clear();
+        let mut nremote = 0usize;
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let buf = self.recv_from(p, TAG_BORDER);
+            debug_assert_eq!((buf.len() - 1) % BORDER_WORDS, 0);
+            let count = (buf.len() - 1) / BORDER_WORDS;
+            self.recv_count[p] = count;
+            nremote += count;
+            self.inbox.push((p, buf));
+        }
+
+        let nlocal = system.atoms.nlocal;
+        let nself = self_map.nghost();
+        system.atoms.resize_all(nlocal + nself + nremote, nlocal);
+        system.atoms.nghost = nself + nremote;
+        self.remote_base = nlocal + nself;
+
+        // Self images: metadata from the owner rows, then positions.
+        {
+            let typh = system.atoms.typ.h_view_mut();
+            for (g, &o) in self_map.owner.iter().enumerate() {
+                let v = typh.at([o]);
+                typh.set([nlocal + g], v);
+            }
+        }
+        {
+            let qh = system.atoms.q.h_view_mut();
+            for (g, &o) in self_map.owner.iter().enumerate() {
+                let v = qh.at([o]);
+                qh.set([nlocal + g], v);
+            }
+        }
+        {
+            let tagh = system.atoms.tag.h_view_mut();
+            for (g, &o) in self_map.owner.iter().enumerate() {
+                let v = tagh.at([o]);
+                tagh.set([nlocal + g], v);
+            }
+        }
+        crate::comm::forward_positions(&mut system.atoms, &self_map);
+
+        // Remote segments, ascending peer order.
+        self.recv_shift.clear();
+        let mut row = self.remote_base;
+        let mut inbox = std::mem::take(&mut self.inbox);
+        for (p, buf) in inbox.drain(..) {
+            let count = (buf.len() - 1) / BORDER_WORDS;
+            let mut k = 1;
+            for _ in 0..count {
+                let tag = buf[k] as i64;
+                let typ = buf[k + 1] as i64 as i32;
+                let q = f64::from_bits(buf[k + 2]);
+                let mut shift = [0.0f64; 3];
+                for (kk, s) in shift.iter_mut().enumerate() {
+                    *s = f64::from_bits(buf[k + 6 + kk]);
+                }
+                {
+                    let xh = system.atoms.x.h_view_mut();
+                    for kk in 0..3 {
+                        xh.set([row, kk], f64::from_bits(buf[k + 3 + kk]) + shift[kk]);
+                    }
+                }
+                system.atoms.tag.h_view_mut().set([row], tag);
+                system.atoms.typ.h_view_mut().set([row], typ);
+                system.atoms.q.h_view_mut().set([row], q);
+                self.recv_shift.push(shift);
+                row += 1;
+                k += BORDER_WORDS;
+            }
+            self.recycle(p, buf);
+        }
+        self.inbox = inbox;
+        system.ghosts = self_map;
+    }
+}
+
+impl Comm for BrickComm {
+    fn name(&self) -> &'static str {
+        "brick"
+    }
+
+    fn nranks(&self) -> usize {
+        self.decomp.nranks()
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn borders(&mut self, system: &mut System, cutghost: f64) {
+        // Migration repacks every per-atom field, so everything must be
+        // host-fresh (the caller guarantees only positions).
+        system.atoms.sync(&Space::Serial, Mask::ALL);
+        system.atoms.nghost = 0;
+        system.atoms.wrap_positions(&system.domain);
+        {
+            let region = profile::begin_region("migrate");
+            self.migrate(system);
+            self.migrate_seconds += region.finish();
+        }
+        {
+            let region = profile::begin_region("halo");
+            self.halo(system, cutghost);
+            self.halo_seconds += region.finish();
+        }
+    }
+
+    fn forward(&mut self, system: &mut System) {
+        crate::comm::forward_positions(&mut system.atoms, &system.ghosts);
+        let nranks = self.decomp.nranks();
+        if nranks == 1 {
+            return;
+        }
+        self.reclaim();
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let mut buf = self.pool.acquire(1 + self.send_plan[p].len() * 3);
+            buf.push(TAG_FORWARD);
+            {
+                let xh = system.atoms.x.h_view();
+                for &ai in &self.send_plan[p] {
+                    let i = ai as usize;
+                    for k in 0..3 {
+                        buf.push(xh.at([i, k]).to_bits());
+                    }
+                }
+            }
+            if buf.len() > 1 {
+                self.stats.forward_msgs += 1;
+                self.stats.forward_bytes += ((buf.len() - 1) * 8) as u64;
+            }
+            self.send_to(p, buf);
+        }
+        let mut row = self.remote_base;
+        let mut gi = 0usize;
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let buf = self.recv_from(p, TAG_FORWARD);
+            debug_assert_eq!(buf.len() - 1, self.recv_count[p] * 3);
+            let xh = system.atoms.x.h_view_mut();
+            for c in 0..self.recv_count[p] {
+                let s = self.recv_shift[gi];
+                for (k, &sk) in s.iter().enumerate() {
+                    xh.set([row, k], f64::from_bits(buf[1 + c * 3 + k]) + sk);
+                }
+                row += 1;
+                gi += 1;
+            }
+            self.recycle(p, buf);
+        }
+    }
+
+    fn reverse(&mut self, system: &mut System) {
+        // Fold periodic self images first (single-rank ordering), then
+        // remote contributions in ascending peer order — deterministic
+        // on every rank.
+        crate::comm::reverse_forces(&mut system.atoms, &system.ghosts);
+        let nranks = self.decomp.nranks();
+        if nranks == 1 {
+            return;
+        }
+        self.reclaim();
+        let mut row = self.remote_base;
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let count = self.recv_count[p];
+            let mut buf = self.pool.acquire(1 + count * 3);
+            buf.push(TAG_REVERSE);
+            {
+                let fh = system.atoms.f.h_view_mut();
+                for c in 0..count {
+                    for k in 0..3 {
+                        buf.push(fh.at([row + c, k]).to_bits());
+                        fh.set([row + c, k], 0.0);
+                    }
+                }
+            }
+            row += count;
+            if buf.len() > 1 {
+                self.stats.reverse_msgs += 1;
+                self.stats.reverse_bytes += ((buf.len() - 1) * 8) as u64;
+            }
+            self.send_to(p, buf);
+        }
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let buf = self.recv_from(p, TAG_REVERSE);
+            debug_assert_eq!(buf.len() - 1, self.send_plan[p].len() * 3);
+            let fh = system.atoms.f.h_view_mut();
+            for (c, &ai) in self.send_plan[p].iter().enumerate() {
+                let i = ai as usize;
+                for k in 0..3 {
+                    let v = fh.at([i, k]) + f64::from_bits(buf[1 + c * 3 + k]);
+                    fh.set([i, k], v);
+                }
+            }
+            self.recycle(p, buf);
+        }
+    }
+
+    fn forward_scalar(&mut self, system: &mut System, values: &mut [f64]) {
+        let nlocal = system.atoms.nlocal;
+        for (g, &owner) in system.ghosts.owner.iter().enumerate() {
+            values[nlocal + g] = values[owner];
+        }
+        let nranks = self.decomp.nranks();
+        if nranks == 1 {
+            return;
+        }
+        self.reclaim();
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let mut buf = self.pool.acquire(1 + self.send_plan[p].len());
+            buf.push(TAG_SCALAR);
+            for &ai in &self.send_plan[p] {
+                buf.push(values[ai as usize].to_bits());
+            }
+            if buf.len() > 1 {
+                self.stats.scalar_msgs += 1;
+                self.stats.scalar_bytes += ((buf.len() - 1) * 8) as u64;
+            }
+            self.send_to(p, buf);
+        }
+        let mut row = self.remote_base;
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let buf = self.recv_from(p, TAG_SCALAR);
+            debug_assert_eq!(buf.len() - 1, self.recv_count[p]);
+            for &w in &buf[1..] {
+                values[row] = f64::from_bits(w);
+                row += 1;
+            }
+            self.recycle(p, buf);
+        }
+    }
+
+    fn allreduce_or(&mut self, flag: bool) -> bool {
+        let nranks = self.decomp.nranks();
+        if nranks == 1 {
+            return flag;
+        }
+        self.stats.allreduce_count += 1;
+        self.reclaim();
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let mut buf = self.pool.acquire(2);
+            buf.push(TAG_REDUCE);
+            buf.push(flag as u64);
+            self.send_to(p, buf);
+        }
+        let mut acc = flag;
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let buf = self.recv_from(p, TAG_REDUCE);
+            acc |= buf[1] != 0;
+            self.recycle(p, buf);
+        }
+        acc
+    }
+
+    fn allreduce_sum(&mut self, value: f64) -> f64 {
+        let nranks = self.decomp.nranks();
+        if nranks == 1 {
+            return value;
+        }
+        self.stats.allreduce_count += 1;
+        self.reclaim();
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let mut buf = self.pool.acquire(2);
+            buf.push(TAG_REDUCE);
+            buf.push(value.to_bits());
+            self.send_to(p, buf);
+        }
+        // Combine in ascending rank order (own term in place), so every
+        // rank computes the bitwise-identical sum.
+        let mut acc = 0.0;
+        for p in 0..nranks {
+            if p == self.rank {
+                acc += value;
+            } else {
+                let buf = self.recv_from(p, TAG_REDUCE);
+                acc += f64::from_bits(buf[1]);
+                self.recycle(p, buf);
+            }
+        }
+        acc
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    fn grow_count(&self) -> u64 {
+        self.pool.grow_count
+    }
+
+    fn phase_seconds(&self) -> [f64; 2] {
+        [self.halo_seconds, self.migrate_seconds]
+    }
+}
+
+fn pack_record(buf: &mut Vec<u64>, r: &AtomRecord) {
+    buf.push(r.tag as u64);
+    buf.push(r.typ as i64 as u64);
+    buf.push(r.q.to_bits());
+    for &v in &r.x {
+        buf.push(v.to_bits());
+    }
+    for &v in &r.v {
+        buf.push(v.to_bits());
+    }
+    for &v in &r.image {
+        buf.push(v as i64 as u64);
+    }
+}
+
+fn unpack_record(words: &[u64]) -> AtomRecord {
+    AtomRecord {
+        tag: words[0] as i64,
+        typ: words[1] as i64 as i32,
+        q: f64::from_bits(words[2]),
+        x: [
+            f64::from_bits(words[3]),
+            f64::from_bits(words[4]),
+            f64::from_bits(words[5]),
+        ],
+        v: [
+            f64::from_bits(words[6]),
+            f64::from_bits(words[7]),
+            f64::from_bits(words[8]),
+        ],
+        image: [
+            words[9] as i64 as i32,
+            words[10] as i64 as i32,
+            words[11] as i64 as i32,
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rank-parallel driver
+// ---------------------------------------------------------------------
+
+/// Everything a rank-parallel run needs besides the per-rank styles:
+/// the initial atoms (as records), the global box, and the step counts.
+#[derive(Debug, Clone)]
+pub struct RankParallelSpec {
+    pub records: Vec<AtomRecord>,
+    /// Per-type mass table (global, not part of the records).
+    pub masses: Vec<f64>,
+    pub domain: Domain,
+    pub units: Units,
+    pub space: Space,
+    /// Steps run before the grow counters are snapshotted (pool sizes
+    /// may still grow while the system equilibrates).
+    pub warmup_steps: u64,
+    /// Measured steps after warmup.
+    pub steps: u64,
+}
+
+impl RankParallelSpec {
+    /// Capture `atoms` as the initial condition (LJ units, serial
+    /// space, no warmup by default — set the public fields to change).
+    pub fn new(atoms: &AtomData, domain: Domain, steps: u64) -> Self {
+        RankParallelSpec {
+            records: (0..atoms.nlocal).map(|i| atoms.record(i)).collect(),
+            masses: atoms.mass.clone(),
+            domain,
+            units: Units::lj(),
+            space: Space::Serial,
+            warmup_steps: 0,
+            steps,
+        }
+    }
+}
+
+/// Final state of one atom of a rank-parallel run, gathered and keyed
+/// by global tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankAtomState {
+    pub tag: i64,
+    pub typ: i32,
+    pub x: [f64; 3],
+    pub v: [f64; 3],
+    pub f: [f64; 3],
+}
+
+/// Gathered result of [`run_rank_parallel`]: final atom states plus the
+/// reduced energies and the per-rank diagnostics the perf harness and
+/// the equivalence tests assert on.
+#[derive(Debug, Clone)]
+pub struct MultiRankRun {
+    pub nranks: usize,
+    pub natoms: usize,
+    pub steps: u64,
+    /// All atoms, sorted by tag.
+    pub states: Vec<RankAtomState>,
+    /// Globally reduced pair energy of the final configuration.
+    pub e_pair: f64,
+    /// Globally reduced kinetic energy of the final configuration.
+    pub e_kinetic: f64,
+    /// Per-rank thermo rows (local quantities — not reduced).
+    pub thermo: Vec<Vec<ThermoRow>>,
+    /// Exchange counters summed over ranks.
+    pub comm_stats: CommStats,
+    /// Message-pool growths summed over ranks: total and after warmup.
+    pub comm_grow: u64,
+    pub comm_grow_after_warmup: u64,
+    /// Neighbor-list growths summed over ranks: total and after warmup.
+    pub neighbor_grow: u64,
+    pub neighbor_grow_after_warmup: u64,
+    /// Scatter-pool growths summed over ranks: total and after warmup.
+    pub scatter_grow: u64,
+    pub scatter_grow_after_warmup: u64,
+    pub rebuild_counts: Vec<u64>,
+    /// Neighbor pairs summed over ranks at the final build.
+    pub total_pairs: u64,
+    pub timings: Vec<Timings>,
+}
+
+struct RankOutcome {
+    states: Vec<RankAtomState>,
+    e_pair: f64,
+    e_kinetic: f64,
+    thermo: Vec<ThermoRow>,
+    stats: CommStats,
+    comm_grow: u64,
+    comm_grow_warm: u64,
+    neighbor_grow: u64,
+    neighbor_grow_warm: u64,
+    scatter_grow: u64,
+    scatter_grow_warm: u64,
+    rebuild_count: u64,
+    total_pairs: u64,
+    timings: Timings,
+}
+
+/// Run a simulation decomposed over `nranks` simulated MPI ranks, each
+/// on its own thread inside a `rank{r}` profiling region.
+///
+/// `factory` is called once per rank with the rank index and that
+/// rank's [`System`] (atoms partitioned by brick, [`BrickComm`]
+/// installed) and must return the [`Simulation`] to drive — which is
+/// how *any* pair style or fix runs unmodified on N ranks. Every rank
+/// must be configured identically (same styles, same neighbor
+/// settings): the exchanges are collective, and divergent
+/// configuration desyncs them.
+pub fn run_rank_parallel<F>(spec: &RankParallelSpec, nranks: usize, factory: F) -> MultiRankRun
+where
+    F: Fn(usize, System) -> Simulation + Sync,
+{
+    let decomp = BrickDecomp::new(spec.domain, nranks);
+    let nranks = decomp.nranks();
+    let comms = BrickComm::create_all(&decomp);
+    let natoms = spec.records.len();
+    let mut shares: Vec<Vec<AtomRecord>> = (0..nranks).map(|_| Vec::new()).collect();
+    for r in &spec.records {
+        let mut x = r.x;
+        spec.domain.wrap(&mut x);
+        shares[decomp.rank_of(&x)].push(AtomRecord { x, ..*r });
+    }
+
+    let outcomes: Vec<RankOutcome> = std::thread::scope(|scope| {
+        let factory = &factory;
+        let handles: Vec<_> = comms
+            .into_iter()
+            .zip(shares)
+            .enumerate()
+            .map(|(rank, (comm, share))| {
+                scope.spawn(move || {
+                    // Everything this thread does nests under its rank
+                    // region, so subscribers see per-rank buckets.
+                    let _rank_region = profile::begin_region(format!("rank{rank}"));
+                    let atoms = AtomData::from_records(&share, &spec.masses);
+                    let mut system =
+                        System::new(atoms, spec.domain, spec.space.clone()).with_units(spec.units);
+                    system.comm = Some(Box::new(comm));
+                    let mut sim = factory(rank, system);
+                    sim.run(spec.warmup_steps);
+                    let comm_grow_warm = sim.comm_grow_count();
+                    let neighbor_grow_warm = sim.neighbor_grow_count();
+                    let scatter_grow_warm = sim.pair.scatter_grow_count();
+                    sim.run(spec.steps);
+                    let total_pairs = sim.neighbor_list().total_pairs;
+                    sim.system.atoms.sync(&Space::Serial, Mask::ALL);
+                    let states: Vec<RankAtomState> = {
+                        let a = &sim.system.atoms;
+                        let x = a.x.h_view();
+                        let v = a.v.h_view();
+                        let f = a.f.h_view();
+                        let tag = a.tag.h_view();
+                        let typ = a.typ.h_view();
+                        (0..a.nlocal)
+                            .map(|i| RankAtomState {
+                                tag: tag.at([i]),
+                                typ: typ.at([i]),
+                                x: [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])],
+                                v: [v.at([i, 0]), v.at([i, 1]), v.at([i, 2])],
+                                f: [f.at([i, 0]), f.at([i, 1]), f.at([i, 2])],
+                            })
+                            .collect()
+                    };
+                    let e_local = sim.last_results.energy;
+                    let e_pair = sim.system.with_comm_taken(|_, c| c.allreduce_sum(e_local));
+                    let ke_local = compute::kinetic_energy(&sim.system.atoms, &sim.system.units);
+                    let e_kinetic = sim.system.with_comm_taken(|_, c| c.allreduce_sum(ke_local));
+                    RankOutcome {
+                        states,
+                        e_pair,
+                        e_kinetic,
+                        thermo: sim.thermo.clone(),
+                        stats: sim.comm_stats(),
+                        comm_grow: sim.comm_grow_count(),
+                        comm_grow_warm,
+                        neighbor_grow: sim.neighbor_grow_count(),
+                        neighbor_grow_warm,
+                        scatter_grow: sim.pair.scatter_grow_count(),
+                        scatter_grow_warm,
+                        rebuild_count: sim.rebuild_count,
+                        total_pairs,
+                        timings: sim.timings,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut states: Vec<RankAtomState> = outcomes
+        .iter()
+        .flat_map(|o| o.states.iter().copied())
+        .collect();
+    states.sort_by_key(|s| s.tag);
+    debug_assert_eq!(states.len(), natoms, "atoms lost or duplicated");
+    let mut comm_stats = CommStats::default();
+    for o in &outcomes {
+        comm_stats.add(&o.stats);
+    }
+    MultiRankRun {
+        nranks,
+        natoms,
+        steps: spec.steps,
+        e_pair: outcomes[0].e_pair,
+        e_kinetic: outcomes[0].e_kinetic,
+        comm_stats,
+        comm_grow: outcomes.iter().map(|o| o.comm_grow).sum(),
+        comm_grow_after_warmup: outcomes
+            .iter()
+            .map(|o| o.comm_grow - o.comm_grow_warm)
+            .sum(),
+        neighbor_grow: outcomes.iter().map(|o| o.neighbor_grow).sum(),
+        neighbor_grow_after_warmup: outcomes
+            .iter()
+            .map(|o| o.neighbor_grow - o.neighbor_grow_warm)
+            .sum(),
+        scatter_grow: outcomes.iter().map(|o| o.scatter_grow).sum(),
+        scatter_grow_after_warmup: outcomes
+            .iter()
+            .map(|o| o.scatter_grow - o.scatter_grow_warm)
+            .sum(),
+        rebuild_counts: outcomes.iter().map(|o| o.rebuild_count).collect(),
+        total_pairs: outcomes.iter().map(|o| o.total_pairs).sum(),
+        timings: outcomes.iter().map(|o| o.timings).collect(),
+        thermo: outcomes.into_iter().map(|o| o.thermo).collect(),
+        states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::build_ghosts;
+
+    #[test]
+    fn bufpool_reaches_steady_state() {
+        let mut pool = BufPool::new();
+        let a = pool.acquire(10);
+        assert!(a.capacity() >= 1024);
+        pool.free.push(a);
+        let after_first = pool.grow_count;
+        for _ in 0..100 {
+            let b = pool.acquire(500);
+            pool.free.push(b);
+        }
+        assert_eq!(pool.grow_count, after_first, "pool grew in steady state");
+    }
+
+    #[test]
+    fn record_pack_round_trips() {
+        let r = AtomRecord {
+            tag: -42,
+            typ: 3,
+            q: -0.7,
+            x: [1.5, -2.5, 3.5],
+            v: [0.1, -0.2, 0.3],
+            image: [-1, 0, 2],
+        };
+        let mut buf = Vec::new();
+        pack_record(&mut buf, &r);
+        assert_eq!(buf.len(), MIGRATE_WORDS);
+        assert_eq!(unpack_record(&buf), r);
+    }
+
+    #[test]
+    fn single_brick_matches_single_rank_ghost_set() {
+        // On a [1,1,1] grid every ghost is a periodic self image; the
+        // (owner, shift) multiset must equal the single-rank builder's.
+        let positions = [
+            [0.5, 0.5, 0.5],
+            [5.0, 5.0, 5.0],
+            [9.5, 5.0, 0.3],
+            [0.1, 9.9, 5.0],
+        ];
+        let domain = Domain::cubic(10.0);
+        let mut reference = AtomData::from_positions(&positions);
+        let ref_map = build_ghosts(&mut reference, &domain, 2.0);
+
+        let decomp = BrickDecomp::new(domain, 1);
+        let mut comms = BrickComm::create_all(&decomp);
+        let mut comm = comms.pop().unwrap();
+        let atoms = AtomData::from_positions(&positions);
+        let mut system = System::new(atoms, domain, Space::Serial);
+        comm.borders(&mut system, 2.0);
+
+        assert_eq!(system.ghosts.nghost(), ref_map.nghost());
+        let key = |o: usize, s: [f64; 3]| (o, s.map(|v| v.to_bits()));
+        let mut a: Vec<_> = ref_map
+            .owner
+            .iter()
+            .zip(&ref_map.shift)
+            .map(|(&o, &s)| key(o, s))
+            .collect();
+        let mut b: Vec<_> = system
+            .ghosts
+            .owner
+            .iter()
+            .zip(&system.ghosts.shift)
+            .map(|(&o, &s)| key(o, s))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(
+            comm.stats(),
+            CommStats::default(),
+            "1-rank comm sent messages"
+        );
+    }
+
+    #[test]
+    fn two_rank_exchange_and_collectives() {
+        // Grid [1,1,2]: rank 0 owns z in [0,5), rank 1 owns z in [5,10).
+        let domain = Domain::cubic(10.0);
+        let decomp = BrickDecomp::new(domain, 2);
+        assert_eq!(decomp.grid, [1, 1, 2]);
+        let comms = BrickComm::create_all(&decomp);
+        let shares = [vec![[5.0, 5.0, 4.9]], vec![[5.0, 5.0, 5.1]]];
+        let results: Vec<(usize, f64, [f64; 3])> = std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .zip(shares)
+                .enumerate()
+                .map(|(rank, (mut comm, share))| {
+                    scope.spawn(move || {
+                        let atoms = AtomData::from_positions(&share);
+                        let mut system = System::new(atoms, domain, Space::Serial);
+                        comm.borders(&mut system, 1.0);
+                        // One remote ghost from the facing rank, no wrap.
+                        assert_eq!(system.atoms.nlocal, 1);
+                        assert_eq!(system.atoms.nghost, 1);
+                        assert_eq!(system.ghosts.nghost(), 0, "no self images expected");
+                        let ghost_z = system.atoms.pos(1)[2];
+                        // Owner moves; forward refreshes the peer's ghost.
+                        let dz = if rank == 0 { -0.05 } else { 0.05 };
+                        {
+                            let xh = system.atoms.x.h_view_mut();
+                            let z = xh.at([0, 2]) + dz;
+                            xh.set([0, 2], z);
+                        }
+                        comm.forward(&mut system);
+                        let ghost_z_after = system.atoms.pos(1)[2];
+                        // Put a force on the ghost; reverse folds it to
+                        // the owner on the other rank.
+                        {
+                            let fh = system.atoms.f.h_view_mut();
+                            fh.set([1, 0], 1.0 + rank as f64);
+                        }
+                        comm.reverse(&mut system);
+                        let own_force = system.atoms.f.h_view().at([0, 0]);
+                        // Scalar forwarding and the collectives.
+                        let mut vals = vec![0.0; system.atoms.nall()];
+                        vals[0] = 10.0 * (rank + 1) as f64;
+                        comm.forward_scalar(&mut system, &mut vals);
+                        let ghost_scalar = vals[1];
+                        assert!(comm.allreduce_or(rank == 1));
+                        assert!(!comm.allreduce_or(false));
+                        let sum = comm.allreduce_sum(0.5 + rank as f64);
+                        (
+                            rank,
+                            sum,
+                            [ghost_z, ghost_z_after, own_force + ghost_scalar],
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (rank, sum, [gz, gz_after, combined]) in results {
+            assert_eq!(sum, 2.0, "rank {rank} reduced sum");
+            if rank == 0 {
+                assert!((gz - 5.1).abs() < 1e-12);
+                assert!((gz_after - 5.15).abs() < 1e-12);
+                // Peer (rank 1) put force 2.0 on our ghosted atom and
+                // reverse delivered it; its scalar 20.0 arrived on our
+                // ghost row.
+                assert_eq!(combined, 2.0 + 20.0);
+            } else {
+                assert!((gz - 4.9).abs() < 1e-12);
+                assert!((gz_after - 4.85).abs() < 1e-12);
+                assert_eq!(combined, 1.0 + 10.0);
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_wrap_ghosts_cross_the_box() {
+        // Two ranks, atoms near the *outer* z faces: ghosts must arrive
+        // shifted by ±L so minimum-image pairs see them adjacent.
+        let domain = Domain::cubic(10.0);
+        let decomp = BrickDecomp::new(domain, 2);
+        let comms = BrickComm::create_all(&decomp);
+        let shares = [vec![[5.0, 5.0, 0.2]], vec![[5.0, 5.0, 9.8]]];
+        let ghost_zs: Vec<(usize, f64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .zip(shares)
+                .enumerate()
+                .map(|(rank, (mut comm, share))| {
+                    scope.spawn(move || {
+                        let atoms = AtomData::from_positions(&share);
+                        let mut system = System::new(atoms, domain, Space::Serial);
+                        comm.borders(&mut system, 1.0);
+                        assert_eq!(system.atoms.nghost, 1);
+                        (rank, system.atoms.pos(1)[2])
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (rank, gz) in ghost_zs {
+            if rank == 0 {
+                // Rank 1's atom at 9.8, wrapped below our brick: -0.2.
+                assert!((gz - (-0.2)).abs() < 1e-12, "rank 0 ghost z = {gz}");
+            } else {
+                assert!((gz - 10.2).abs() < 1e-12, "rank 1 ghost z = {gz}");
+            }
+        }
+    }
+
+    #[test]
+    fn migration_moves_atoms_to_their_brick() {
+        let domain = Domain::cubic(10.0);
+        let decomp = BrickDecomp::new(domain, 2);
+        let comms = BrickComm::create_all(&decomp);
+        // Rank 0 starts holding an atom that belongs to rank 1 (z=7)
+        // and one of its own; rank 1 holds one atom drifted out of the
+        // box (z=11.5 wraps to 1.5 → rank 0).
+        let shares = [
+            vec![[2.0, 2.0, 2.0], [2.0, 2.0, 7.0]],
+            vec![[8.0, 8.0, 11.5]],
+        ];
+        let finals: Vec<(usize, usize, Vec<i64>, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .zip(shares)
+                .enumerate()
+                .map(|(rank, (mut comm, share))| {
+                    scope.spawn(move || {
+                        let atoms = AtomData::from_positions(&share);
+                        let mut system = System::new(atoms, domain, Space::Serial);
+                        comm.borders(&mut system, 1.0);
+                        let tags = (0..system.atoms.nlocal)
+                            .map(|i| system.atoms.tag.h_view().at([i]))
+                            .collect();
+                        (rank, system.atoms.nlocal, tags, comm.stats().migrate_msgs)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Tags are per-rank sequential here (1, 2 on rank 0; 1 on rank
+        // 1): rank 0 keeps its tag-1 atom and receives rank 1's wrapped
+        // one (also tag 1); rank 1 receives rank 0's tag-2 atom.
+        for (rank, nlocal, tags, migrate_msgs) in finals {
+            assert!(migrate_msgs > 0, "rank {rank} migrated nothing");
+            if rank == 0 {
+                assert_eq!(nlocal, 2, "rank 0 should own its atom + the wrapped one");
+                assert_eq!(tags, vec![1, 1]);
+            } else {
+                assert_eq!(nlocal, 1);
+                assert_eq!(tags, vec![2]);
+            }
+        }
+    }
+}

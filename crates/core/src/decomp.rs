@@ -1,22 +1,25 @@
-//! Simulated MPI: brick domain decomposition with rank threads.
+//! Brick domain decomposition for the simulated-MPI rank layer.
 //!
 //! LAMMPS' scalability rests on a spatial decomposition: each MPI rank
 //! owns a brick of the box, migrates atoms that cross brick boundaries,
 //! and exchanges halo (ghost) copies with neighbors every step. Real
-//! MPI at 8192 nodes is a hardware gate in this environment, so this
-//! module provides the *functional* substitute (DESIGN.md §2): ranks
-//! run as OS threads in a bulk-synchronous loop, publishing halo and
-//! migration messages to per-rank mailboxes separated by barriers.
+//! MPI at 8192 nodes is a hardware gate in this environment, so the
+//! repo provides the *functional* substitute (DESIGN.md §2): ranks run
+//! as OS threads and exchange typed messages over channels.
 //!
-//! Correctness — not speed — is the goal here (the timing model for
-//! Figures 6-7 lives in `lkk-machine`): halo search is brute-force over
-//! published atoms, which keeps the exchange logic transparent and easy
-//! to verify against single-rank runs (see the integration tests).
+//! This module holds the geometry side — [`BrickDecomp`] factors a rank
+//! count into a near-cubic grid and maps positions to owning ranks. The
+//! communication layer built on it ([`crate::comm::brick::BrickComm`])
+//! and the rank-parallel driver ([`crate::comm::brick::run_rank_parallel`])
+//! live in `comm::brick`; the old free-function drivers here are kept
+//! as deprecated shims over that driver.
 
+use crate::comm::brick::{run_rank_parallel, RankParallelSpec};
 use crate::domain::Domain;
 use crate::pair::lj::LjCut;
-use crate::pair::TwoBody;
-use std::sync::{Barrier, Mutex};
+use crate::pair::{PairKokkos, PairKokkosOptions, TwoBody};
+use crate::sim::Simulation;
+use lkk_kokkos::Space;
 
 /// A 3-D brick decomposition of a periodic box.
 #[derive(Debug, Clone)]
@@ -92,14 +95,6 @@ impl BrickDecomp {
     }
 }
 
-/// A migrating/halo atom message.
-#[derive(Debug, Clone, Copy)]
-struct AtomMsg {
-    tag: i64,
-    x: [f64; 3],
-    v: [f64; 3],
-}
-
 /// Final per-atom state keyed by global tag.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AtomState {
@@ -109,7 +104,12 @@ pub struct AtomState {
 }
 
 /// Run an NVE Lennard-Jones simulation decomposed over `nranks`
-/// simulated MPI ranks (see [`run_decomposed`] for the generic driver).
+/// simulated MPI ranks (see [`run_decomposed`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `comm::brick::run_rank_parallel`, which drives the full \
+            Simulation stack (any pair style, any fix) on N ranks"
+)]
 pub fn run_lj_decomposed(
     positions: &[[f64; 3]],
     velocities: &[[f64; 3]],
@@ -119,6 +119,7 @@ pub fn run_lj_decomposed(
     nsteps: usize,
     dt: f64,
 ) -> (Vec<AtomState>, Vec<f64>) {
+    #[allow(deprecated)]
     run_decomposed(positions, velocities, global, lj, nranks, nsteps, dt)
 }
 
@@ -126,204 +127,73 @@ pub fn run_lj_decomposed(
 /// `nranks` simulated MPI ranks, and return the final atom states
 /// (sorted by tag) plus the per-step total potential energy.
 ///
-/// This is the functional counterpart of the single-rank
-/// [`crate::sim::Simulation`]; integration tests assert both produce
-/// the same trajectory.
-pub fn run_decomposed<P: TwoBody + Clone>(
+/// Deprecated shim over [`run_rank_parallel`]: each rank now runs the
+/// real [`Simulation`] driver (velocity-Verlet via `fix nve`, binned
+/// neighbor lists, skin-deferred rebuilds) instead of the original
+/// brute-force kick-drift loop, so trajectories match single-rank
+/// `Simulation` runs exactly — which is the equivalence the rank tests
+/// assert.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `comm::brick::run_rank_parallel`, which drives the full \
+            Simulation stack (any pair style, any fix) on N ranks"
+)]
+pub fn run_decomposed<P: TwoBody + Clone + 'static>(
     positions: &[[f64; 3]],
     velocities: &[[f64; 3]],
     global: Domain,
-    lj: P,
+    pot: P,
     nranks: usize,
     nsteps: usize,
     dt: f64,
 ) -> (Vec<AtomState>, Vec<f64>) {
-    let decomp = BrickDecomp::new(global, nranks);
-    let nranks = decomp.nranks();
-    let cut = lj.max_cutoff();
-    let cutsq = cut * cut;
-
-    // Initial ownership.
-    let mut owned: Vec<Vec<AtomMsg>> = vec![Vec::new(); nranks];
-    for (i, (&x, &v)) in positions.iter().zip(velocities).enumerate() {
-        let mut xw = x;
-        global.wrap(&mut xw);
-        owned[decomp.rank_of(&xw)].push(AtomMsg {
-            tag: i as i64 + 1,
-            x: xw,
-            v,
-        });
-    }
-
-    // Mailboxes: `halo_posts[r]` = atoms rank r publishes this step;
-    // `migrate_posts[r][dest]` = atoms leaving r for dest.
-    let halo_posts: Vec<Mutex<Vec<AtomMsg>>> =
-        (0..nranks).map(|_| Mutex::new(Vec::new())).collect();
-    let migrate_posts: Vec<Mutex<Vec<AtomMsg>>> =
-        (0..nranks).map(|_| Mutex::new(Vec::new())).collect();
-    let energy_posts: Vec<Mutex<f64>> = (0..nranks).map(|_| Mutex::new(0.0)).collect();
-    let barrier = Barrier::new(nranks);
-    let energies = Mutex::new(vec![0.0f64; nsteps]);
-
-    std::thread::scope(|scope| {
-        for (rank, mut mine) in owned.drain(..).enumerate() {
-            let decomp = &decomp;
-            let halo_posts = &halo_posts;
-            let migrate_posts = &migrate_posts;
-            let energy_posts = &energy_posts;
-            let barrier = &barrier;
-            let energies = &energies;
-            let lj = &lj;
-            scope.spawn(move || {
-                let sub = decomp.subdomain(rank);
-                let l = global.lengths();
-                for step in 0..nsteps {
-                    // Phase 1: publish migrations (first half-kick + drift
-                    // happen *after* forces exist; on step 0 forces are 0,
-                    // matching velocity-Verlet startup with F(0) computed
-                    // below and the kick applied from step 1 on; we instead
-                    // compute forces first, below).
-                    // --- publish halo: all owned atoms ---
-                    *halo_posts[rank].lock().unwrap() = mine.clone();
-                    barrier.wait();
-
-                    // --- gather ghosts: any published atom (incl. own
-                    //     periodic images) within `cut` of this brick ---
-                    let mut ghosts: Vec<AtomMsg> = Vec::new();
-                    for (src, post) in halo_posts.iter().enumerate() {
-                        let atoms = post.lock().unwrap();
-                        for a in atoms.iter() {
-                            for sx in -1i32..=1 {
-                                for sy in -1i32..=1 {
-                                    for sz in -1i32..=1 {
-                                        if src == rank && sx == 0 && sy == 0 && sz == 0 {
-                                            continue;
-                                        }
-                                        let xs = [
-                                            a.x[0] + sx as f64 * l[0],
-                                            a.x[1] + sy as f64 * l[1],
-                                            a.x[2] + sz as f64 * l[2],
-                                        ];
-                                        let near = (0..3).all(|k| {
-                                            xs[k] > sub.lo[k] - cut && xs[k] < sub.hi[k] + cut
-                                        });
-                                        // Skip copies interior to another
-                                        // rank's brick that are not near us.
-                                        if near && !(src == rank && sub.contains(&xs)) {
-                                            ghosts.push(AtomMsg { x: xs, ..*a });
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    barrier.wait();
-
-                    // --- forces (full pairwise over owned × (owned+ghost),
-                    //     one-sided, newton off across ranks) ---
-                    let nloc = mine.len();
-                    let mut forces = vec![[0.0f64; 3]; nloc];
-                    let mut e_local = 0.0;
-                    for i in 0..nloc {
-                        let xi = mine[i].x;
-                        let mut acc = [0.0f64; 3];
-                        for (j, other) in mine.iter().enumerate() {
-                            if i == j {
-                                continue;
-                            }
-                            let d = [xi[0] - other.x[0], xi[1] - other.x[1], xi[2] - other.x[2]];
-                            let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-                            if rsq < cutsq {
-                                let (fp, ev) = lj.pair(rsq, 0, 0);
-                                for k in 0..3 {
-                                    acc[k] += fp * d[k];
-                                }
-                                e_local += 0.5 * ev;
-                            }
-                        }
-                        for g in &ghosts {
-                            let d = [xi[0] - g.x[0], xi[1] - g.x[1], xi[2] - g.x[2]];
-                            let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-                            if rsq < cutsq {
-                                let (fp, ev) = lj.pair(rsq, 0, 0);
-                                for k in 0..3 {
-                                    acc[k] += fp * d[k];
-                                }
-                                e_local += 0.5 * ev;
-                            }
-                        }
-                        forces[i] = acc;
-                    }
-                    *energy_posts[rank].lock().unwrap() = e_local;
-                    barrier.wait();
-                    if rank == 0 {
-                        let total: f64 = energy_posts.iter().map(|e| *e.lock().unwrap()).sum();
-                        energies.lock().unwrap()[step] = total;
-                    }
-
-                    // --- velocity Verlet kick-drift-kick with F constant
-                    //     over the step pair (leapfrog-equivalent): here we
-                    //     use simple symplectic Euler-style splitting that
-                    //     matches the single-rank driver's ordering:
-                    //     v += F dt (full kick applied as two halves around
-                    //     the force evaluation of the *next* step). For
-                    //     cross-checking trajectories we use the exact same
-                    //     update as `FixNve` driven externally: the caller
-                    //     compares against a reference implementation with
-                    //     identical ordering (see tests).
-                    for (a, f) in mine.iter_mut().zip(&forces) {
-                        for (k, &fk) in f.iter().enumerate() {
-                            a.v[k] += dt * fk;
-                            a.x[k] += dt * a.v[k];
-                        }
-                    }
-                    // Wrap + migrate.
-                    let mut keep = Vec::with_capacity(mine.len());
-                    let mut outgoing: Vec<AtomMsg> = Vec::new();
-                    for mut a in mine.drain(..) {
-                        global.wrap(&mut a.x);
-                        if sub.contains(&a.x) {
-                            keep.push(a);
-                        } else {
-                            outgoing.push(a);
-                        }
-                    }
-                    mine = keep;
-                    *migrate_posts[rank].lock().unwrap() = outgoing;
-                    barrier.wait();
-                    for post in migrate_posts.iter() {
-                        let atoms = post.lock().unwrap();
-                        for a in atoms.iter() {
-                            if decomp.rank_of(&a.x) == rank {
-                                mine.push(*a);
-                            }
-                        }
-                    }
-                    barrier.wait();
-                }
-                // Final states.
-                let mut out = halo_posts[rank].lock().unwrap();
-                *out = mine;
-            });
+    let mut atoms = crate::atom::AtomData::from_positions(positions);
+    {
+        let vh = atoms.v.h_view_mut();
+        for (i, v) in velocities.iter().enumerate() {
+            for (k, &vk) in v.iter().enumerate() {
+                vh.set([i, k], vk);
+            }
         }
+    }
+    let spec = RankParallelSpec::new(&atoms, global, nsteps as u64);
+    let run = run_rank_parallel(&spec, nranks, |_, system| {
+        // Half list + newton on on every rank: the cross-rank pair
+        // convention the brick comm layer is built for.
+        let pair = PairKokkos::with_options(
+            pot.clone(),
+            &Space::Serial,
+            PairKokkosOptions {
+                force_half: Some(true),
+                ..Default::default()
+            },
+        );
+        let mut sim = Simulation::new(system, Box::new(pair));
+        sim.dt = dt;
+        sim.thermo_every = 1;
+        sim
     });
-
-    let mut states: Vec<AtomState> = halo_posts
+    let states = run
+        .states
         .iter()
-        .flat_map(|p| {
-            p.lock()
-                .unwrap()
-                .iter()
-                .map(|a| AtomState {
-                    tag: a.tag,
-                    x: a.x,
-                    v: a.v,
-                })
-                .collect::<Vec<_>>()
+        .map(|s| AtomState {
+            tag: s.tag,
+            x: s.x,
+            v: s.v,
         })
         .collect();
-    states.sort_by_key(|s| s.tag);
-    (states, energies.into_inner().unwrap())
+    // Per-step global potential energy: thermo rows are per-rank local
+    // sums, so summing rows with the same step reduces them.
+    let mut energies = vec![0.0f64; nsteps];
+    for rows in &run.thermo {
+        for row in rows {
+            let k = row.step as usize;
+            if k < nsteps {
+                energies[k] += row.e_pair;
+            }
+        }
+    }
+    (states, energies)
 }
 
 #[cfg(test)]
@@ -360,70 +230,10 @@ mod tests {
         }
     }
 
-    /// A sequential reference implementing exactly the same (kick+drift)
-    /// scheme as `run_lj_decomposed`, minimum-image, single rank.
-    fn reference_run(
-        positions: &[[f64; 3]],
-        velocities: &[[f64; 3]],
-        global: Domain,
-        lj: &LjCut,
-        nsteps: usize,
-        dt: f64,
-    ) -> (Vec<AtomState>, Vec<f64>) {
-        let n = positions.len();
-        let mut x: Vec<[f64; 3]> = positions.to_vec();
-        for p in &mut x {
-            global.wrap(p);
-        }
-        let mut v = velocities.to_vec();
-        let cutsq = lj.max_cutoff() * lj.max_cutoff();
-        let mut energies = vec![0.0; nsteps];
-        for (step, e_out) in energies.iter_mut().enumerate() {
-            let mut f = vec![[0.0f64; 3]; n];
-            let mut e = 0.0;
-            for i in 0..n {
-                for j in 0..n {
-                    if i == j {
-                        continue;
-                    }
-                    let d = global.min_image(&x[i], &x[j]);
-                    let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-                    if rsq < cutsq {
-                        let (fp, ev) = lj.pair(rsq, 0, 0);
-                        for k in 0..3 {
-                            f[i][k] += fp * d[k];
-                        }
-                        e += 0.5 * ev;
-                    }
-                }
-            }
-            *e_out = e;
-            let _ = step;
-            for i in 0..n {
-                for k in 0..3 {
-                    v[i][k] += dt * f[i][k];
-                    x[i][k] += dt * v[i][k];
-                }
-                global.wrap(&mut x[i]);
-            }
-        }
-        let states = (0..n)
-            .map(|i| AtomState {
-                tag: i as i64 + 1,
-                x: x[i],
-                v: v[i],
-            })
-            .collect();
-        (states, energies)
-    }
-
-    #[test]
-    fn decomposed_matches_reference_across_rank_counts() {
+    fn perturbed_fcc(n: usize) -> (Vec<[f64; 3]>, Domain) {
         let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
-        let positions = lat.positions(3, 3, 3);
-        let global = lat.domain(3, 3, 3);
-        // Perturb to get nonzero forces; deterministic pattern.
-        let positions: Vec<[f64; 3]> = positions
+        let positions: Vec<[f64; 3]> = lat
+            .positions(n, n, n)
             .iter()
             .enumerate()
             .map(|(i, p)| {
@@ -434,10 +244,18 @@ mod tests {
                 ]
             })
             .collect();
+        (positions, lat.domain(n, n, n))
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn decomposed_matches_single_rank_across_rank_counts() {
+        let (positions, global) = perturbed_fcc(4);
         let velocities = vec![[0.0; 3]; positions.len()];
         let lj = LjCut::single_type(1.0, 1.0, 2.5);
-        let (ref_states, ref_e) = reference_run(&positions, &velocities, global, &lj, 10, 0.002);
-        for nranks in [1usize, 2, 4, 8] {
+        let (ref_states, ref_e) =
+            run_lj_decomposed(&positions, &velocities, global, lj.clone(), 1, 10, 0.002);
+        for nranks in [2usize, 4, 8] {
             let (states, e) = run_lj_decomposed(
                 &positions,
                 &velocities,
@@ -452,7 +270,7 @@ mod tests {
                 assert_eq!(a.tag, b.tag);
                 for k in 0..3 {
                     assert!(
-                        (a.x[k] - b.x[k]).abs() < 1e-9,
+                        (a.x[k] - b.x[k]).abs() < 1e-12,
                         "P={nranks} tag={} x[{k}]: {} vs {}",
                         a.tag,
                         a.x[k],
@@ -461,28 +279,27 @@ mod tests {
                 }
             }
             for (ea, eb) in e.iter().zip(&ref_e) {
-                assert!((ea - eb).abs() < 1e-8 * eb.abs().max(1.0), "P={nranks}");
+                assert!((ea - eb).abs() < 1e-12 * eb.abs().max(1.0), "P={nranks}");
             }
         }
     }
 
     #[test]
+    #[allow(deprecated)]
     fn generic_driver_works_with_morse() {
         use crate::pair::morse::Morse;
-        let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
-        let positions = lat.positions(3, 3, 3);
+        let (positions, global) = perturbed_fcc(4);
         let velocities = vec![[0.0; 3]; positions.len()];
-        let global = lat.domain(3, 3, 3);
         let pot = Morse::new(1.0, 2.0, 1.2, 2.5);
         let (s1, e1) = run_decomposed(&positions, &velocities, global, pot, 1, 4, 0.001);
         let (s4, e4) = run_decomposed(&positions, &velocities, global, pot, 4, 4, 0.001);
         for (a, b) in s1.iter().zip(&s4) {
             for k in 0..3 {
-                assert!((a.x[k] - b.x[k]).abs() < 1e-10);
+                assert!((a.x[k] - b.x[k]).abs() < 1e-12);
             }
         }
         for (a, b) in e1.iter().zip(&e4) {
-            assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+            assert!((a - b).abs() < 1e-12 * a.abs().max(1.0));
         }
     }
 }

@@ -48,5 +48,28 @@ pub use atom::{AtomData, Mask};
 pub use domain::Domain;
 pub use neighbor::{NeighborList, NeighborSettings};
 pub use pair::{PairResults, PairStyle};
-pub use sim::{Simulation, System};
+pub use sim::{Simulation, SimulationBuilder, System};
 pub use style::StyleRegistry;
+
+/// The stable public surface in one import: everything an example or
+/// integration test needs to stand up and run a simulation, without
+/// reaching into deep module paths.
+pub mod prelude {
+    pub use crate::atom::{AtomData, AtomRecord, Mask};
+    pub use crate::comm::brick::{
+        run_rank_parallel, BrickComm, MultiRankRun, RankAtomState, RankParallelSpec,
+    };
+    pub use crate::comm::{Comm, CommStats, GhostMap, SingleRankComm};
+    pub use crate::compute;
+    pub use crate::decomp::BrickDecomp;
+    pub use crate::domain::Domain;
+    pub use crate::fix::{Fix, FixLangevin, FixNve};
+    pub use crate::lattice::{create_velocities, Lattice, LatticeKind};
+    pub use crate::neighbor::{NeighborList, NeighborSettings};
+    pub use crate::pair::eam::{EamParams, PairEam};
+    pub use crate::pair::lj::LjCut;
+    pub use crate::pair::{PairKokkos, PairKokkosOptions, PairResults, PairStyle, TwoBody};
+    pub use crate::sim::{Simulation, SimulationBuilder, System, ThermoRow, Timings};
+    pub use crate::units::Units;
+    pub use lkk_kokkos::Space;
+}

@@ -165,6 +165,47 @@ impl Bins {
     pub fn ordered_atoms(&self) -> &[u32] {
         &self.atoms
     }
+
+    /// Collect (into `out`, reusing its capacity) the atoms in the
+    /// outermost bin layer — every bin with a coordinate at 0 or
+    /// `nbins-1`. Because bins are at least `bin_size` wide, binning a
+    /// sub-domain with `bin_size = cutghost` makes this layer a
+    /// superset of all atoms within `cutghost` of any face: the halo
+    /// candidate set, found in O(surface) instead of O(N).
+    ///
+    /// Each atom appears exactly once (bins partition the atoms), in
+    /// deterministic bin-major order.
+    pub fn boundary_atoms(&self, out: &mut Vec<u32>) {
+        out.clear();
+        let [nx, ny, nz] = self.nbins;
+        let mut take = |b: [usize; 3]| {
+            out.extend_from_slice(self.bin_atoms([b[0] as isize, b[1] as isize, b[2] as isize]));
+        };
+        for bx in 0..nx {
+            if bx == 0 || bx == nx - 1 {
+                // A boundary slab in x: every bin belongs to the shell.
+                for by in 0..ny {
+                    for bz in 0..nz {
+                        take([bx, by, bz]);
+                    }
+                }
+            } else {
+                // Interior slab: only the frame of the y/z rectangle.
+                for by in 0..ny {
+                    if by == 0 || by == ny - 1 {
+                        for bz in 0..nz {
+                            take([bx, by, bz]);
+                        }
+                    } else {
+                        take([bx, by, 0]);
+                        if nz > 1 {
+                            take([bx, by, nz - 1]);
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A built neighbor list.

@@ -156,7 +156,6 @@ impl PairStyle for PairEam {
         let nall = system.atoms.nall();
         let params = self.params;
         let cutsq = params.cut * params.cut;
-        let xh = system.atoms.x.h_view();
 
         // Flat-slice fast path (see `docs/performance.md`): positions
         // gathered once per atom, neighbor rows walked as contiguous
@@ -169,6 +168,7 @@ impl PairStyle for PairEam {
         self.rho.clear();
         self.rho.resize(nlocal, 0.0);
         {
+            let xh = system.atoms.x.h_view();
             let rho_ptr = self.rho.as_mut_ptr() as usize;
             space.parallel_for("EAMDensity", nlocal, |i| {
                 let xi = xh.get3(i);
@@ -207,11 +207,10 @@ impl PairStyle for PairEam {
             energy += f;
             self.fp[i] = fp;
         }
-        for (g, &owner) in system.ghosts.owner.iter().enumerate() {
-            self.fp[nlocal + g] = self.fp[owner];
-        }
+        system.forward_ghost_scalar(&mut self.fp);
 
         // --- Pass 2: forces (one-sided over the full list). ---
+        let xh = system.atoms.x.h_view();
         let f = system.atoms.f.view_for_mut(&Space::Serial);
         f.fill(0.0);
         let fw = f.par_write();

@@ -4,7 +4,7 @@
 //! communication — the `run` command of §2.1.
 
 use crate::atom::{AtomData, Mask};
-use crate::comm::{self, GhostMap};
+use crate::comm::{Comm, GhostMap, SingleRankComm};
 use crate::compute;
 use crate::domain::Domain;
 use crate::fix::Fix;
@@ -14,14 +14,19 @@ use crate::units::Units;
 use lkk_kokkos::{profile, Space};
 
 /// The simulated physical system: atoms in a periodic box, bound to an
-/// execution space.
+/// execution space and a communication layer.
 #[derive(Debug)]
 pub struct System {
     pub atoms: AtomData,
+    /// The *global* simulation box (identical on every rank of a
+    /// multi-rank run; sub-domain bounds live inside the [`Comm`]).
     pub domain: Domain,
     pub space: Space,
     pub units: Units,
     pub ghosts: GhostMap,
+    /// The communication layer (ghost construction + exchanges).
+    /// `None` only transiently while an exchange borrows the system.
+    pub comm: Option<Box<dyn Comm>>,
 }
 
 impl System {
@@ -32,12 +37,35 @@ impl System {
             space,
             units: Units::lj(),
             ghosts: GhostMap::default(),
+            comm: Some(Box::new(SingleRankComm)),
         }
     }
 
     pub fn with_units(mut self, units: Units) -> Self {
         self.units = units;
         self
+    }
+
+    /// Replace the communication layer (e.g. with a multi-rank brick).
+    pub fn with_comm(mut self, comm: Box<dyn Comm>) -> Self {
+        self.comm = Some(comm);
+        self
+    }
+
+    /// Run `f` with the comm layer temporarily taken out of the system
+    /// (so it can mutably borrow both).
+    pub fn with_comm_taken<R>(&mut self, f: impl FnOnce(&mut System, &mut dyn Comm) -> R) -> R {
+        let mut comm = self.comm.take().expect("comm layer is already borrowed");
+        let result = f(self, comm.as_mut());
+        self.comm = Some(comm);
+        result
+    }
+
+    /// Forward a per-atom scalar (length `nall`) owner → ghost through
+    /// the comm layer — the hook pair styles with intermediate per-atom
+    /// state (EAM's F′(ρ)) call from inside `compute`.
+    pub fn forward_ghost_scalar(&mut self, values: &mut [f64]) {
+        self.with_comm_taken(|system, comm| comm.forward_scalar(system, values));
     }
 }
 
@@ -64,6 +92,12 @@ pub struct Timings {
     pub neighbor: f64,
     pub comm: f64,
     pub integrate: f64,
+    /// Halo (border/ghost) construction seconds inside the comm layer —
+    /// a subset of `neighbor`, not added to `total()`.
+    pub halo: f64,
+    /// Atom-migration seconds inside the comm layer — also a subset of
+    /// `neighbor`.
+    pub migrate: f64,
     pub steps: u64,
 }
 
@@ -75,7 +109,7 @@ impl Timings {
     /// Render the LAMMPS-style breakdown table.
     pub fn summary(&self) -> String {
         let t = self.total().max(1e-300);
-        format!(
+        let mut text = format!(
             "Loop time breakdown over {} steps ({:.3} s):\n  Pair     {:>9.3} s ({:>5.1}%)\n  Neigh    {:>9.3} s ({:>5.1}%)\n  Comm     {:>9.3} s ({:>5.1}%)\n  Integrate{:>9.3} s ({:>5.1}%)",
             self.steps,
             t,
@@ -87,7 +121,14 @@ impl Timings {
             100.0 * self.comm / t,
             self.integrate,
             100.0 * self.integrate / t,
-        )
+        );
+        if self.halo > 0.0 || self.migrate > 0.0 {
+            text.push_str(&format!(
+                "\n  (neigh: halo {:>9.3} s, migrate {:>9.3} s)",
+                self.halo, self.migrate
+            ));
+        }
+        text
     }
 }
 
@@ -178,12 +219,9 @@ impl Simulation {
             );
         }
         self.system.atoms.sync(&Space::Serial, Mask::X);
-        self.system.atoms.wrap_positions(&self.system.domain);
-        self.system.ghosts = comm::build_ghosts(
-            &mut self.system.atoms,
-            &self.system.domain,
-            self.settings.cutneigh(),
-        );
+        let cutneigh = self.settings.cutneigh();
+        self.system
+            .with_comm_taken(|system, comm| comm.borders(system, cutneigh));
         self.system.atoms.modified(&Space::Serial, Mask::ALL);
         self.system.atoms.sync(&space, Mask::X | Mask::TYPE);
         // Persistent list: refill the existing buffers in place.
@@ -236,7 +274,8 @@ impl Simulation {
         {
             let comm_region = profile::begin_region("comm");
             self.system.atoms.sync(&Space::Serial, Mask::X);
-            comm::forward_positions(&mut self.system.atoms, &self.system.ghosts);
+            self.system
+                .with_comm_taken(|system, comm| comm.forward(system));
             self.system.atoms.modified(&Space::Serial, Mask::X);
             self.timings.comm += comm_region.finish();
         }
@@ -245,7 +284,8 @@ impl Simulation {
         if self.pair.needs_reverse_comm() {
             let comm_region = profile::begin_region("comm");
             self.system.atoms.sync(&Space::Serial, Mask::F);
-            comm::reverse_forces(&mut self.system.atoms, &self.system.ghosts);
+            self.system
+                .with_comm_taken(|system, comm| comm.reverse(system));
             self.system.atoms.modified(&Space::Serial, Mask::F);
             self.timings.comm += comm_region.finish();
         }
@@ -287,7 +327,11 @@ impl Simulation {
                 let neighbor_region = profile::begin_region("neighbor");
                 if self.step.is_multiple_of(self.settings.every as u64) && {
                     self.system.atoms.sync(&Space::Serial, Mask::X);
-                    self.needs_rebuild()
+                    // The rebuild decision is collective: every rank
+                    // must agree or the exchange sequences desync.
+                    let local = self.needs_rebuild();
+                    self.system
+                        .with_comm_taken(|_, comm| comm.allreduce_or(local))
                 } {
                     self.rebuild();
                 }
@@ -317,6 +361,11 @@ impl Simulation {
             if self.thermo_every > 0 && self.step.is_multiple_of(self.thermo_every as u64) {
                 self.record_thermo();
             }
+        }
+        if let Some(comm) = &self.system.comm {
+            let [halo, migrate] = comm.phase_seconds();
+            self.timings.halo = halo;
+            self.timings.migrate = migrate;
         }
         if self.verbose && nsteps > 0 {
             println!("{}", self.timings.summary());
@@ -368,6 +417,192 @@ impl Simulation {
     pub fn total_energy(&mut self) -> f64 {
         self.system.atoms.sync(&Space::Serial, Mask::V);
         self.thermo_row().e_total
+    }
+
+    /// Cumulative exchange counters of the comm layer.
+    pub fn comm_stats(&self) -> crate::comm::CommStats {
+        self.system
+            .comm
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
+    }
+
+    /// Heap growths of the comm layer's persistent message-buffer pool
+    /// (0 in steady state; see `docs/performance.md`).
+    pub fn comm_grow_count(&self) -> u64 {
+        self.system.comm.as_ref().map_or(0, |c| c.grow_count())
+    }
+}
+
+/// Fluent constructor consolidating the accreted `Simulation` setters
+/// (`with_units`, `with_fixes`, `sort_every`, comm choice, ...) into one
+/// place:
+///
+/// ```
+/// use lkk_core::prelude::*;
+/// let atoms = AtomData::from_positions(&[[1.0, 1.0, 1.0], [2.5, 1.0, 1.0]]);
+/// let mut sim = SimulationBuilder::new(atoms, Domain::cubic(10.0))
+///     .pair(PairKokkos::new(LjCut::single_type(1.0, 1.0, 2.5), &Space::Serial))
+///     .dt(0.002)
+///     .thermo_every(10)
+///     .build();
+/// sim.run(5);
+/// ```
+pub struct SimulationBuilder {
+    atoms: AtomData,
+    domain: Domain,
+    space: Space,
+    units: Units,
+    pair: Option<Box<dyn PairStyle>>,
+    fixes: Option<Vec<Box<dyn Fix>>>,
+    comm: Option<Box<dyn Comm>>,
+    dt: Option<f64>,
+    thermo_every: usize,
+    verbose: bool,
+    pair_only: bool,
+    sort_every: usize,
+    skin: Option<f64>,
+    neighbor_every: Option<usize>,
+}
+
+impl SimulationBuilder {
+    /// Start from atoms in a periodic box; everything else defaults
+    /// (serial space, LJ units, single-rank comm, `fix nve`, dt 0.005).
+    pub fn new(atoms: AtomData, domain: Domain) -> Self {
+        SimulationBuilder {
+            atoms,
+            domain,
+            space: Space::Serial,
+            units: Units::lj(),
+            pair: None,
+            fixes: None,
+            comm: None,
+            dt: None,
+            thermo_every: 0,
+            verbose: false,
+            pair_only: false,
+            sort_every: 0,
+            skin: None,
+            neighbor_every: None,
+        }
+    }
+
+    /// Execution space (serial, threads, or a simulated device).
+    pub fn space(mut self, space: Space) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Unit system (`lj`, `metal`, `real`).
+    pub fn units(mut self, units: Units) -> Self {
+        self.units = units;
+        self
+    }
+
+    /// The pair style (required).
+    pub fn pair(mut self, pair: impl PairStyle + 'static) -> Self {
+        self.pair = Some(Box::new(pair));
+        self
+    }
+
+    /// The pair style, pre-boxed (e.g. out of the style registry).
+    pub fn pair_boxed(mut self, pair: Box<dyn PairStyle>) -> Self {
+        self.pair = Some(pair);
+        self
+    }
+
+    /// Replace the fix list entirely (default: `fix nve`).
+    pub fn fixes(mut self, fixes: Vec<Box<dyn Fix>>) -> Self {
+        self.fixes = Some(fixes);
+        self
+    }
+
+    /// Append one fix to the list (keeps the default `fix nve`).
+    pub fn add_fix(mut self, fix: impl Fix + 'static) -> Self {
+        self.fixes
+            .get_or_insert_with(|| vec![Box::new(crate::fix::FixNve)])
+            .push(Box::new(fix));
+        self
+    }
+
+    /// Communication layer (default: [`SingleRankComm`]).
+    pub fn comm(mut self, comm: Box<dyn Comm>) -> Self {
+        self.comm = Some(comm);
+        self
+    }
+
+    /// Timestep size.
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.dt = Some(dt);
+        self
+    }
+
+    /// Thermo output interval (0 = off).
+    pub fn thermo_every(mut self, every: usize) -> Self {
+        self.thermo_every = every;
+        self
+    }
+
+    /// Print thermo rows and the timing summary.
+    pub fn verbose(mut self, verbose: bool) -> Self {
+        self.verbose = verbose;
+        self
+    }
+
+    /// Appendix C.1's `pair/only` reverse offload.
+    pub fn pair_only(mut self, pair_only: bool) -> Self {
+        self.pair_only = pair_only;
+        self
+    }
+
+    /// Spatially sort atoms every N neighbor rebuilds (0 = off).
+    pub fn sort_every(mut self, every: usize) -> Self {
+        self.sort_every = every;
+        self
+    }
+
+    /// Neighbor skin distance (default 0.3).
+    pub fn skin(mut self, skin: f64) -> Self {
+        self.skin = Some(skin);
+        self
+    }
+
+    /// Check the rebuild trigger every N steps (default 1).
+    pub fn neighbor_every(mut self, every: usize) -> Self {
+        self.neighbor_every = Some(every);
+        self
+    }
+
+    /// Wire everything into a ready-to-run [`Simulation`].
+    ///
+    /// Panics if no pair style was set.
+    pub fn build(self) -> Simulation {
+        let pair = self
+            .pair
+            .expect("SimulationBuilder: a pair style is required");
+        let mut system = System::new(self.atoms, self.domain, self.space).with_units(self.units);
+        if let Some(comm) = self.comm {
+            system.comm = Some(comm);
+        }
+        let mut sim = Simulation::new(system, pair);
+        if let Some(fixes) = self.fixes {
+            sim.fixes = fixes;
+        }
+        if let Some(dt) = self.dt {
+            sim.dt = dt;
+        }
+        if let Some(skin) = self.skin {
+            sim.settings.skin = skin;
+        }
+        if let Some(every) = self.neighbor_every {
+            sim.settings.every = every;
+        }
+        sim.thermo_every = self.thermo_every;
+        sim.verbose = self.verbose;
+        sim.pair_only = self.pair_only;
+        sim.sort_every = self.sort_every;
+        sim
     }
 }
 

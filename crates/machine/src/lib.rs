@@ -15,4 +15,4 @@ pub mod scaling;
 
 pub use machines::{Machine, Node};
 pub use network::Network;
-pub use scaling::{CommProfile, StrongScaling, Workload};
+pub use scaling::{CommProfile, HaloComparison, MeasuredComm, StrongScaling, Workload};

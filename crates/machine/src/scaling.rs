@@ -37,6 +37,64 @@ pub struct CommProfile {
     pub allreduces_per_step: f64,
 }
 
+impl CommProfile {
+    /// Analytic per-rank halo traffic for a rank owning `n` atoms:
+    /// `(bytes_per_step, messages_per_step)`. The byte estimate is the
+    /// surface-to-volume argument the scaling model is built on — six
+    /// faces of the rank's brick, one ghost cutoff thick, at the bulk
+    /// number density.
+    pub fn analytic_halo(&self, n: f64) -> (f64, f64) {
+        let volume = n / self.number_density;
+        let side = volume.cbrt();
+        let halo_atoms = 6.0 * side * side * self.cut_ghost * self.number_density;
+        (
+            halo_atoms * self.bytes_per_halo_atom,
+            self.messages_per_step,
+        )
+    }
+
+    /// Compare these analytic values against traffic measured from a
+    /// functional multi-rank run.
+    pub fn compare_measured(&self, measured: &MeasuredComm) -> HaloComparison {
+        let (analytic_bytes, analytic_msgs) = self.analytic_halo(measured.atoms_per_rank);
+        HaloComparison {
+            measured_bytes: measured.halo_bytes_per_rank_step,
+            analytic_bytes,
+            bytes_ratio: measured.halo_bytes_per_rank_step / analytic_bytes,
+            measured_msgs: measured.halo_msgs_per_rank_step,
+            analytic_msgs,
+            msgs_ratio: measured.halo_msgs_per_rank_step / analytic_msgs,
+        }
+    }
+}
+
+/// Per-rank halo traffic measured from a functional multi-rank run
+/// (`lkk-core`'s brick comm layer counts exchange bytes and messages;
+/// see `CommStats`). Plain numbers so this crate stays decoupled from
+/// the simulation crate — callers average the run's counters:
+/// `halo_bytes_per_rank_step = (forward + reverse bytes) / ranks / steps`.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredComm {
+    pub ranks: f64,
+    pub atoms_per_rank: f64,
+    pub halo_bytes_per_rank_step: f64,
+    pub halo_msgs_per_rank_step: f64,
+}
+
+/// Measured-vs-analytic halo traffic for one rank count — the
+/// validation column of the scaling report. Ratios near 1 mean the
+/// surface-to-volume model predicts what the functional comm layer
+/// actually sends.
+#[derive(Debug, Clone, Copy)]
+pub struct HaloComparison {
+    pub measured_bytes: f64,
+    pub analytic_bytes: f64,
+    pub bytes_ratio: f64,
+    pub measured_msgs: f64,
+    pub analytic_msgs: f64,
+    pub msgs_ratio: f64,
+}
+
 /// A workload: per-atom kernel event counts + communication profile.
 #[derive(Debug, Clone)]
 pub struct Workload {
@@ -134,14 +192,11 @@ impl StrongScaling {
 
         // Halo volume: 6 faces of the rank's brick, one cutoff thick.
         let comm = &self.workload.comm;
-        let volume = n / comm.number_density;
-        let side = volume.cbrt();
-        let halo_atoms = 6.0 * side * side * comm.cut_ghost * comm.number_density;
-        let halo_bytes = halo_atoms * comm.bytes_per_halo_atom;
+        let (halo_bytes, halo_msgs) = comm.analytic_halo(n);
         let net = &self.machine.network;
         let t_halo = if ranks > 1.0 {
             net.transfer_time(halo_bytes, self.machine.nic_share())
-                + comm.messages_per_step * net.latency_us * 1e-6
+                + halo_msgs * net.latency_us * 1e-6
         } else {
             0.0
         };
@@ -342,6 +397,34 @@ mod tests {
         assert!(s.min_nodes() >= 64);
         let small = scaling(presets::lj(), Machine::eos(), 1e6);
         assert_eq!(small.min_nodes(), 1);
+    }
+
+    #[test]
+    fn analytic_halo_shrinks_with_the_surface() {
+        // Strong scaling: halving atoms-per-rank must cut halo bytes by
+        // the surface factor 2^(2/3), not 2 — comm becomes the larger
+        // *fraction* even as absolute bytes shrink.
+        let comm = presets::lj().comm;
+        let (b1, m1) = comm.analytic_halo(1_000_000.0);
+        let (b2, m2) = comm.analytic_halo(500_000.0);
+        assert!((b1 / b2 - 2f64.powf(2.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(m1, m2, "message count is per-stencil, not per-atom");
+    }
+
+    #[test]
+    fn measured_comparison_reports_ratios() {
+        let comm = presets::lj().comm;
+        let n = 64.0;
+        let (bytes, msgs) = comm.analytic_halo(n);
+        let cmp = comm.compare_measured(&MeasuredComm {
+            ranks: 4.0,
+            atoms_per_rank: n,
+            halo_bytes_per_rank_step: 2.0 * bytes,
+            halo_msgs_per_rank_step: msgs,
+        });
+        assert!((cmp.bytes_ratio - 2.0).abs() < 1e-12);
+        assert!((cmp.msgs_ratio - 1.0).abs() < 1e-12);
+        assert_eq!(cmp.analytic_bytes, bytes);
     }
 
     #[test]

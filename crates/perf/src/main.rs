@@ -144,7 +144,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    eprintln!("perf-smoke: running {} workloads (forced sequential)...", 4);
+    eprintln!("perf-smoke: running 4 single-rank workloads + ranks4 (forced sequential)...");
     let current = report::run_all(workloads::all());
     let text = current.to_pretty();
 

@@ -9,8 +9,9 @@
 //! output regardless of machine load or core count.
 
 use crate::json::Value;
-use crate::workloads::Workload;
-use lkk_gpusim::{GpuArch, KernelStats, RooflineClass, StatsAccumulator};
+use crate::workloads::{RankWorkload, Workload};
+use lkk_core::comm::brick::run_rank_parallel;
+use lkk_gpusim::{AccumulatedProfile, GpuArch, KernelStats, RooflineClass, StatsAccumulator};
 use lkk_kokkos::{exec, profile};
 use std::sync::{Arc, Mutex};
 
@@ -41,6 +42,11 @@ pub fn run_all(workloads: Vec<Workload>) -> Value {
     for workload in workloads {
         let name = workload.name;
         wl_obj.set(name, run_one(workload));
+    }
+    {
+        let ranks = crate::workloads::ranks4();
+        let name = ranks.name;
+        wl_obj.set(name, run_ranks(ranks));
     }
     doc.set("workloads", wl_obj);
 
@@ -77,6 +83,76 @@ fn run_one(workload: Workload) -> Value {
         out.set("neighbor", neigh);
     }
 
+    render_snapshot(&mut out, &snap);
+    out
+}
+
+/// Run the rank-parallel workload and render its section: the same
+/// kernel/launch/region/transfer counters as the single-rank sections
+/// (kernel keys carry the per-rank region prefix, e.g.
+/// `PairCompute@rank0/step/pair`), plus the exchange counters of the
+/// brick comm layer. Every field is deterministic — the exchanges are
+/// lockstep, reductions combine in rank order, and pool reclaim waits
+/// for exact counts — so the section diffs at tolerance 0 like the
+/// rest of the report.
+fn run_ranks(workload: RankWorkload) -> Value {
+    let acc = Arc::new(StatsAccumulator::new());
+    let id = profile::register_subscriber(acc.clone());
+    let run = run_rank_parallel(&workload.spec, workload.nranks, workload.factory);
+    profile::unregister_subscriber(id);
+    let snap = acc.snapshot();
+
+    let mut out = Value::obj();
+    out.set("natoms", Value::Num(run.natoms as f64));
+    out.set("nranks", Value::Num(run.nranks as f64));
+    out.set("steps", Value::Num(run.steps as f64));
+    out.set(
+        "warmup_steps",
+        Value::Num(workload.spec.warmup_steps as f64),
+    );
+    out.set(
+        "rebuilds",
+        Value::Num(run.rebuild_counts.iter().sum::<u64>() as f64),
+    );
+    out.set("e_total", Value::Num(run.e_pair + run.e_kinetic));
+
+    {
+        let mut neigh = Value::obj();
+        neigh.set("total_pairs", Value::Num(run.total_pairs as f64));
+        out.set("neighbor", neigh);
+    }
+
+    // Exchange counters summed over ranks, plus the steady-state pool
+    // invariant: `pool_grow_after_warmup` is committed as 0 and checked
+    // at tolerance 0.
+    {
+        let s = run.comm_stats;
+        let mut comm = Value::obj();
+        comm.set("forward_bytes", Value::Num(s.forward_bytes as f64));
+        comm.set("forward_msgs", Value::Num(s.forward_msgs as f64));
+        comm.set("reverse_bytes", Value::Num(s.reverse_bytes as f64));
+        comm.set("reverse_msgs", Value::Num(s.reverse_msgs as f64));
+        comm.set("scalar_bytes", Value::Num(s.scalar_bytes as f64));
+        comm.set("scalar_msgs", Value::Num(s.scalar_msgs as f64));
+        comm.set("border_bytes", Value::Num(s.border_bytes as f64));
+        comm.set("border_msgs", Value::Num(s.border_msgs as f64));
+        comm.set("migrate_bytes", Value::Num(s.migrate_bytes as f64));
+        comm.set("migrate_msgs", Value::Num(s.migrate_msgs as f64));
+        comm.set("allreduce_count", Value::Num(s.allreduce_count as f64));
+        comm.set("pool_grow", Value::Num(run.comm_grow as f64));
+        comm.set(
+            "pool_grow_after_warmup",
+            Value::Num(run.comm_grow_after_warmup as f64),
+        );
+        out.set("comm", comm);
+    }
+
+    render_snapshot(&mut out, &snap);
+    out
+}
+
+/// Render the accumulator counters common to every section.
+fn render_snapshot(out: &mut Value, snap: &AccumulatedProfile) {
     // Per-kernel counters + model predictions, keyed "name@region"
     // (already sorted by (region, name) by the accumulator; re-key and
     // sort by the rendered key for a stable document).
@@ -115,16 +191,15 @@ fn run_one(workload: Workload) -> Value {
     let mut totals = Value::obj();
     for key in ARCH_KEYS {
         let arch = GpuArch::by_name(key).expect("ARCH_KEYS out of sync with by_name");
+        // fold, not sum: f64's Sum identity is -0.0, which would render
+        // the kernel-free rank sections as "-0".
         let total: f64 = snap
             .kernels
             .iter()
-            .map(|k| k.time_on_default(&arch).seconds)
-            .sum();
+            .fold(0.0, |acc, k| acc + k.time_on_default(&arch).seconds);
         totals.set(key, Value::Num(total * 1e6));
     }
     out.set("predicted_us_total", totals);
-
-    out
 }
 
 fn kernel_key(k: &KernelStats) -> String {
@@ -191,6 +266,7 @@ mod tests {
             "\"eam\"",
             "\"snap\"",
             "\"reaxff\"",
+            "\"ranks4\"",
             "PairCompute",
             "EAMForce",
             "ComputeUi@",
@@ -217,6 +293,18 @@ mod tests {
                 .as_f64()
                 .unwrap()
                 > 0.0
+        );
+
+        // The rank-parallel section carries the exchange counters and
+        // the steady-state pool invariant.
+        let ranks = doc.get("workloads").unwrap().get("ranks4").unwrap();
+        assert_eq!(ranks.get("nranks").unwrap().as_f64(), Some(4.0));
+        let comm = ranks.get("comm").unwrap();
+        assert!(comm.get("forward_msgs").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            comm.get("pool_grow_after_warmup").unwrap().as_f64(),
+            Some(0.0),
+            "steady-state exchange allocated"
         );
     }
 }

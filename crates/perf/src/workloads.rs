@@ -7,15 +7,8 @@
 //! neighbor rebuild path, and the transfer machinery in well under a
 //! second per workload.
 
-use lkk_core::atom::AtomData;
-use lkk_core::lattice::{create_velocities, Lattice, LatticeKind};
-use lkk_core::pair::eam::{EamParams, PairEam};
-use lkk_core::pair::lj::LjCut;
-use lkk_core::pair::PairKokkos;
-use lkk_core::sim::{Simulation, System};
-use lkk_core::units::Units;
+use lkk_core::prelude::*;
 use lkk_gpusim::GpuArch;
-use lkk_kokkos::Space;
 use lkk_reaxff::{hns, PairReaxff, ReaxParams};
 use lkk_snap::{PairSnap, SnapParams};
 
@@ -114,7 +107,52 @@ pub fn reaxff() -> Workload {
     }
 }
 
-/// All four workloads in report order.
+/// All four single-rank workloads in report order.
 pub fn all() -> Vec<Workload> {
     vec![lj(), eam(), snap(), reaxff()]
+}
+
+/// A rank-parallel workload: an initial state plus the per-rank
+/// simulation factory, run through
+/// [`lkk_core::comm::brick::run_rank_parallel`].
+pub struct RankWorkload {
+    pub name: &'static str,
+    pub spec: RankParallelSpec,
+    pub nranks: usize,
+    pub factory: fn(usize, System) -> Simulation,
+}
+
+fn ranks4_sim(_rank: usize, system: System) -> Simulation {
+    // Half list + newton on: the cross-rank pair convention, completed
+    // by reverse communication every step.
+    let pair = PairKokkos::with_options(
+        LjCut::single_type(1.0, 1.0, 2.5),
+        &Space::Serial,
+        PairKokkosOptions {
+            force_half: Some(true),
+            ..Default::default()
+        },
+    );
+    Simulation::new(system, Box::new(pair))
+}
+
+/// The [`lj`] melt decomposed over 4 simulated MPI ranks (grid 1x2x2).
+/// The warmup segment sizes the message pools; the measured segment
+/// must then hold `pool_grow_after_warmup` at exactly 0 — that counter
+/// is part of the committed baseline, so any steady-state allocation in
+/// the exchange path fails the perf gate.
+pub fn ranks4() -> RankWorkload {
+    let n = 4;
+    let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
+    let mut atoms = AtomData::from_positions(&lat.positions(n, n, n));
+    let units = Units::lj();
+    create_velocities(&mut atoms, &units, 1.44, 87287);
+    let mut spec = RankParallelSpec::new(&atoms, lat.domain(n, n, n), 20);
+    spec.warmup_steps = 10;
+    RankWorkload {
+        name: "ranks4",
+        spec,
+        nranks: 4,
+        factory: ranks4_sim,
+    }
 }

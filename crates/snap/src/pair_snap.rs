@@ -339,6 +339,9 @@ mod tests {
     fn compute_forces(system: &mut System, pair: &mut PairSnap) -> (Vec<[f64; 3]>, PairResults) {
         let settings = NeighborSettings::new(pair.cutoff(), 0.3, false);
         let space = system.space.clone();
+        // Perturbed tests may bump atoms past the box faces; ghosts
+        // require wrapped owners (PBC makes the wrap force-invariant).
+        system.atoms.wrap_positions(&system.domain);
         system.ghosts = build_ghosts(&mut system.atoms, &system.domain, settings.cutneigh());
         let list = NeighborList::build(&system.atoms, &system.domain, &settings, &space);
         let res = pair.compute(system, &list, true);

@@ -4,15 +4,9 @@
 //!
 //! Run with: `cargo run --release --example kernel_profile`
 
-use lammps_kk::core::atom::AtomData;
 use lammps_kk::core::comm::build_ghosts;
-use lammps_kk::core::lattice::{Lattice, LatticeKind};
-use lammps_kk::core::neighbor::{NeighborList, NeighborSettings};
-use lammps_kk::core::pair::PairStyle;
-use lammps_kk::core::sim::System;
-use lammps_kk::core::units::Units;
+use lammps_kk::core::prelude::*;
 use lammps_kk::gpusim::{render, GpuArch};
-use lammps_kk::kokkos::Space;
 use lammps_kk::snap::{PairSnap, SnapParams};
 
 fn main() {

@@ -4,10 +4,8 @@
 //!
 //! Run with: `cargo run --release --example nacl_ewald`
 
-use lammps_kk::core::atom::AtomData;
-use lammps_kk::core::domain::Domain;
 use lammps_kk::core::kspace::Ewald;
-use lammps_kk::kokkos::Space;
+use lammps_kk::core::prelude::*;
 
 fn main() {
     // 3×3×3 conventional cells of NaCl with r0 = 1 (reduced units).

@@ -7,33 +7,25 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use lammps_kk::core::atom::AtomData;
-use lammps_kk::core::lattice::{create_velocities, Lattice, LatticeKind};
-use lammps_kk::core::pair::lj::LjCut;
-use lammps_kk::core::pair::PairKokkos;
-use lammps_kk::core::sim::{Simulation, System};
-use lammps_kk::core::units::Units;
-use lammps_kk::kokkos::Space;
+use lammps_kk::core::prelude::*;
 
 fn main() {
     // 10×10×10 fcc cells = 4000 atoms.
     let lattice = Lattice::from_density(LatticeKind::Fcc, 0.8442);
     let mut atoms = AtomData::from_positions(&lattice.positions(10, 10, 10));
-    let units = Units::lj();
-    create_velocities(&mut atoms, &units, 1.44, 87287);
+    create_velocities(&mut atoms, &Units::lj(), 1.44, 87287);
 
-    // Threaded host execution (the `/kk/host` space).
+    // Threaded host execution (the `/kk/host` space); lj/cut with
+    // ε = σ = 1, r_c = 2.5σ. The PairKokkos driver picks a half
+    // neighbor list + ScatterView on hosts (§4.1 of the paper).
     let space = Space::Threads;
-    let system = System::new(atoms, lattice.domain(10, 10, 10), space.clone());
-
-    // lj/cut with ε = σ = 1, r_c = 2.5σ. The PairKokkos driver picks a
-    // half neighbor list + ScatterView on hosts (§4.1 of the paper).
-    let pair = PairKokkos::new(LjCut::single_type(1.0, 1.0, 2.5), &space);
-
-    let mut sim = Simulation::new(system, Box::new(pair));
-    sim.dt = 0.005;
-    sim.thermo_every = 50;
-    sim.verbose = true;
+    let mut sim = SimulationBuilder::new(atoms, lattice.domain(10, 10, 10))
+        .space(space.clone())
+        .pair(PairKokkos::new(LjCut::single_type(1.0, 1.0, 2.5), &space))
+        .dt(0.005)
+        .thermo_every(50)
+        .verbose(true)
+        .build();
 
     println!("LJ melt: 4000 atoms, rho* = 0.8442, T* = 1.44, dt = 0.005\n");
     sim.run(250);

@@ -6,11 +6,7 @@
 //!
 //! Run with: `cargo run --release --example reaxff_hns`
 
-use lammps_kk::core::atom::AtomData;
-use lammps_kk::core::lattice::create_velocities;
-use lammps_kk::core::sim::{Simulation, System};
-use lammps_kk::core::units::Units;
-use lammps_kk::kokkos::Space;
+use lammps_kk::core::prelude::*;
 use lammps_kk::reaxff::{hns, PairReaxff, ReaxParams};
 
 fn main() {
@@ -24,12 +20,14 @@ fn main() {
     let natoms = atoms.nlocal;
     create_velocities(&mut atoms, &Units::metal(), 300.0, 424242);
 
-    let system = System::new(atoms, domain, Space::Threads).with_units(Units::metal());
-    let pair = PairReaxff::new(ReaxParams::hns_like());
-    let mut sim = Simulation::new(system, Box::new(pair));
-    sim.dt = 0.0002; // 0.2 fs — reactive force fields need short steps
-    sim.thermo_every = 20;
-    sim.verbose = true;
+    let mut sim = SimulationBuilder::new(atoms, domain)
+        .space(Space::Threads)
+        .units(Units::metal())
+        .pair(PairReaxff::new(ReaxParams::hns_like()))
+        .dt(0.0002) // 0.2 fs — reactive force fields need short steps
+        .thermo_every(20)
+        .verbose(true)
+        .build();
 
     println!("ReaxFF HNS-like crystal: {natoms} atoms (C/H/N/O), T = 300 K\n");
     sim.run(100);

@@ -8,15 +8,8 @@
 //!
 //! Run with: `cargo run --release --example relax_and_dump`
 
-use lammps_kk::core::atom::AtomData;
-use lammps_kk::core::data_io;
-use lammps_kk::core::dump::XyzDump;
-use lammps_kk::core::fix::FixNvt;
-use lammps_kk::core::lattice::{Lattice, LatticeKind};
-use lammps_kk::core::pair::eam::{EamParams, PairEam};
-use lammps_kk::core::sim::{Simulation, System};
-use lammps_kk::core::units::Units;
-use lammps_kk::kokkos::Space;
+use lammps_kk::core::prelude::*;
+use lammps_kk::core::{data_io, dump::XyzDump, fix::FixNvt};
 
 fn main() {
     // A Cu-like fcc crystal, rattled hard.
@@ -35,11 +28,12 @@ fn main() {
         .collect();
     let mut atoms = AtomData::from_positions(&positions);
     atoms.mass = vec![63.546];
-    let space = Space::Threads;
-    let system = System::new(atoms, lat.domain(4, 4, 4), space.clone()).with_units(Units::metal());
-    let pair = PairEam::new(EamParams::default());
-    let mut sim = Simulation::new(system, Box::new(pair));
-    sim.dt = 0.002;
+    let mut sim = SimulationBuilder::new(atoms, lat.domain(4, 4, 4))
+        .space(Space::Threads)
+        .units(Units::metal())
+        .pair(PairEam::new(EamParams::default()))
+        .dt(0.002)
+        .build();
 
     // 1. Relax.
     sim.setup();

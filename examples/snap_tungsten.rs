@@ -4,11 +4,7 @@
 //!
 //! Run with: `cargo run --release --example snap_tungsten`
 
-use lammps_kk::core::atom::AtomData;
-use lammps_kk::core::lattice::{create_velocities, Lattice, LatticeKind};
-use lammps_kk::core::sim::{Simulation, System};
-use lammps_kk::core::units::Units;
-use lammps_kk::kokkos::Space;
+use lammps_kk::core::prelude::*;
 use lammps_kk::snap::{PairSnap, SnapKernelConfig, SnapParams};
 use std::time::Instant;
 
@@ -18,16 +14,17 @@ fn build(config: SnapKernelConfig) -> Simulation {
     atoms.mass = vec![183.84];
     create_velocities(&mut atoms, &Units::metal(), 600.0, 777);
     let space = Space::Threads;
-    let system = System::new(atoms, lat.domain(6, 6, 6), space.clone()).with_units(Units::metal());
     let params = SnapParams {
         twojmax: 8,
         rcut: 4.7,
         ..Default::default()
     };
-    let pair = PairSnap::new(params, &space).with_config(config);
-    let mut sim = Simulation::new(system, Box::new(pair));
-    sim.dt = 0.0005;
-    sim
+    SimulationBuilder::new(atoms, lat.domain(6, 6, 6))
+        .space(space.clone())
+        .units(Units::metal())
+        .pair(PairSnap::new(params, &space).with_config(config))
+        .dt(0.0005)
+        .build()
 }
 
 fn main() {

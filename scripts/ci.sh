@@ -14,6 +14,12 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Already covered by the workspace run above; repeated in release as an
+# explicit, named gate on the ISSUE-3 acceptance bar (2/4/8-rank
+# trajectories ≤1e-12, comm-model validation).
+echo "==> rank-equivalence + comm-validation suites (release)"
+cargo test --release -q --test rank_equivalence --test comm_validation
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

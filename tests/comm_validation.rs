@@ -1,0 +1,64 @@
+//! Validate the `lkk-machine` analytic halo model against traffic
+//! measured from functional multi-rank runs.
+//!
+//! The scaling model (Figures 6-7) charges each rank
+//! `CommProfile::analytic_halo(n)` bytes and messages per step — a
+//! face-only surface-to-volume estimate. The brick comm layer counts
+//! what is actually sent, so the two must agree to within the known
+//! geometric slack: the model ignores edge/corner ghosts (measured
+//! runs high on bytes) and assumes a 12-message stencil regardless of
+//! how many distinct peer ranks the grid collapses to (measured runs
+//! low on messages at small rank counts).
+
+use lammps_kk::core::prelude::*;
+use lammps_kk::machine::{scaling::presets, MeasuredComm};
+
+#[test]
+fn measured_halo_traffic_matches_the_analytic_model_band() {
+    // Newton-on half lists send forces back, so the like-for-like
+    // analytic volume is twice the preset's forward-only 24 B/atom.
+    let mut comm = presets::lj().comm;
+    comm.bytes_per_halo_atom = 2.0 * 24.0;
+
+    let steps = 10u64;
+    let cells = 8;
+    let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
+    let mut atoms = AtomData::from_positions(&lat.positions(cells, cells, cells));
+    create_velocities(&mut atoms, &Units::lj(), 1.44, 87287);
+    let spec = RankParallelSpec::new(&atoms, lat.domain(cells, cells, cells), steps);
+
+    for ranks in [4usize, 8] {
+        let run = run_rank_parallel(&spec, ranks, |_, system| {
+            let pair = PairKokkos::with_options(
+                LjCut::single_type(1.0, 1.0, 2.5),
+                &Space::Serial,
+                PairKokkosOptions {
+                    force_half: Some(true),
+                    ..Default::default()
+                },
+            );
+            Simulation::new(system, Box::new(pair))
+        });
+        let s = run.comm_stats;
+        let per_rank_step = ranks as f64 * steps as f64;
+        let cmp = comm.compare_measured(&MeasuredComm {
+            ranks: ranks as f64,
+            atoms_per_rank: run.natoms as f64 / ranks as f64,
+            halo_bytes_per_rank_step: (s.forward_bytes + s.reverse_bytes) as f64 / per_rank_step,
+            halo_msgs_per_rank_step: (s.forward_msgs + s.reverse_msgs) as f64 / per_rank_step,
+        });
+        assert!(
+            cmp.bytes_ratio > 1.0 && cmp.bytes_ratio < 4.0,
+            "P={ranks}: measured/analytic halo bytes {:.2} outside (1, 4): \
+             measured {:.0}, analytic {:.0}",
+            cmp.bytes_ratio,
+            cmp.measured_bytes,
+            cmp.analytic_bytes
+        );
+        assert!(
+            cmp.msgs_ratio > 0.1 && cmp.msgs_ratio < 4.0,
+            "P={ranks}: measured/analytic halo messages {:.2} outside (0.1, 4)",
+            cmp.msgs_ratio
+        );
+    }
+}

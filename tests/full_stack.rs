@@ -115,15 +115,22 @@ fn reaxff_script_equilibrates_charges() {
 }
 
 #[test]
+// Exercises the deprecated shim on purpose: it must keep matching the
+// single-rank reference until it is removed.
+#[allow(deprecated)]
 fn simulated_mpi_decomposition_matches_reference() {
     use lammps_kk::core::decomp::run_lj_decomposed;
     use lammps_kk::core::domain::Domain;
     use lammps_kk::core::lattice::{Lattice, LatticeKind};
     use lammps_kk::core::pair::lj::LjCut;
 
+    // 6³ cells: a 6-rank grid (1×2×3) needs every split dimension at
+    // least one ghost cutoff wide and every unsplit dimension at least
+    // two — the brick comm layer's minimum-image preconditions.
+    let n = 6;
     let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
     let positions: Vec<[f64; 3]> = lat
-        .positions(3, 3, 3)
+        .positions(n, n, n)
         .iter()
         .enumerate()
         .map(|(i, p)| {
@@ -135,7 +142,7 @@ fn simulated_mpi_decomposition_matches_reference() {
         })
         .collect();
     let velocities = vec![[0.0; 3]; positions.len()];
-    let domain: Domain = lat.domain(3, 3, 3);
+    let domain: Domain = lat.domain(n, n, n);
     let lj = LjCut::single_type(1.0, 1.0, 2.5);
     let (s1, e1) = run_lj_decomposed(&positions, &velocities, domain, lj.clone(), 1, 8, 0.002);
     let (s6, e6) = run_lj_decomposed(&positions, &velocities, domain, lj, 6, 8, 0.002);

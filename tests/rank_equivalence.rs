@@ -1,0 +1,235 @@
+//! Rank-count invariance of the brick communication layer.
+//!
+//! A decomposed run must reproduce the single-rank trajectory: the
+//! forward path replays the exact ghost arithmetic of the single-rank
+//! build (raw owner bits + stored shift), so positions, velocities,
+//! forces, and reduced energies of a 2/4/8-rank run are compared
+//! against one rank at 1e-12 — float-accumulation-order noise only.
+//! The migration stress test drives atoms across brick corners every
+//! few steps and checks conservation plus the steady-state invariant:
+//! after warmup, no pool in the exchange path grows.
+
+use lkk_core::prelude::*;
+
+const TOL: f64 = 1e-12;
+
+fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+    assert!(
+        (a - b).abs() <= tol * b.abs().max(1.0),
+        "{what}: {a} vs {b} (diff {:.3e})",
+        (a - b).abs()
+    );
+}
+
+/// Per-atom state of a single-rank run, in tag order, plus the final
+/// energies — the reference every rank count is compared against.
+struct Reference {
+    x: Vec<[f64; 3]>,
+    v: Vec<[f64; 3]>,
+    f: Vec<[f64; 3]>,
+    e_pair: f64,
+    e_kinetic: f64,
+}
+
+fn single_rank_reference(mut sim: Simulation, steps: u64) -> Reference {
+    sim.run(steps);
+    sim.system.atoms.sync(&Space::Serial, Mask::ALL);
+    let a = &sim.system.atoms;
+    let (xh, vh, fh, tagh) = (a.x.h_view(), a.v.h_view(), a.f.h_view(), a.tag.h_view());
+    let mut rows: Vec<usize> = (0..a.nlocal).collect();
+    rows.sort_by_key(|&i| tagh.at([i]));
+    let grab = |view: &dyn Fn(usize, usize) -> f64| -> Vec<[f64; 3]> {
+        rows.iter()
+            .map(|&i| [view(i, 0), view(i, 1), view(i, 2)])
+            .collect()
+    };
+    Reference {
+        x: grab(&|i, k| xh.at([i, k])),
+        v: grab(&|i, k| vh.at([i, k])),
+        f: grab(&|i, k| fh.at([i, k])),
+        e_pair: sim.last_results.energy,
+        e_kinetic: compute::kinetic_energy(&sim.system.atoms, &sim.system.units),
+    }
+}
+
+fn compare(run: &MultiRankRun, reference: &Reference, nranks: usize, tol: f64) {
+    assert_eq!(
+        run.states.len(),
+        reference.x.len(),
+        "atom count at P={nranks}"
+    );
+    for (s, ((rx, rv), rf)) in run
+        .states
+        .iter()
+        .zip(reference.x.iter().zip(&reference.v).zip(&reference.f))
+    {
+        for k in 0..3 {
+            assert_close(
+                s.x[k],
+                rx[k],
+                tol,
+                &format!("P={nranks} tag={} x[{k}]", s.tag),
+            );
+            assert_close(
+                s.v[k],
+                rv[k],
+                tol,
+                &format!("P={nranks} tag={} v[{k}]", s.tag),
+            );
+            assert_close(
+                s.f[k],
+                rf[k],
+                tol,
+                &format!("P={nranks} tag={} f[{k}]", s.tag),
+            );
+        }
+    }
+    assert_close(
+        run.e_pair,
+        reference.e_pair,
+        tol,
+        &format!("P={nranks} e_pair"),
+    );
+    assert_close(
+        run.e_kinetic,
+        reference.e_kinetic,
+        tol,
+        &format!("P={nranks} e_kinetic"),
+    );
+}
+
+fn lj_atoms(temp: f64) -> (AtomData, Domain) {
+    let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
+    let mut atoms = AtomData::from_positions(&lat.positions(4, 4, 4));
+    create_velocities(&mut atoms, &Units::lj(), temp, 87287);
+    (atoms, lat.domain(4, 4, 4))
+}
+
+fn lj_pair() -> PairKokkos<LjCut> {
+    // Half list + newton on: cross-rank pairs are computed once and
+    // completed by reverse communication.
+    PairKokkos::with_options(
+        LjCut::single_type(1.0, 1.0, 2.5),
+        &Space::Serial,
+        PairKokkosOptions {
+            force_half: Some(true),
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn lj_matches_single_rank_at_2_4_8_ranks() {
+    let steps = 20;
+    let (atoms, domain) = lj_atoms(1.44);
+    let spec = RankParallelSpec::new(&atoms, domain, steps);
+    let reference = single_rank_reference(
+        SimulationBuilder::new(atoms, domain)
+            .pair(lj_pair())
+            .build(),
+        steps,
+    );
+    for nranks in [2usize, 4, 8] {
+        let run = run_rank_parallel(&spec, nranks, |_, system| {
+            Simulation::new(system, Box::new(lj_pair()))
+        });
+        assert_eq!(run.nranks, nranks);
+        compare(&run, &reference, nranks, TOL);
+        // Cross-rank traffic actually flowed.
+        let stats = run.comm_stats;
+        assert!(stats.forward_msgs > 0, "P={nranks}: no forward messages");
+        assert!(stats.reverse_msgs > 0, "P={nranks}: no reverse messages");
+        assert!(stats.border_msgs > 0, "P={nranks}: no border messages");
+    }
+}
+
+#[test]
+fn eam_matches_single_rank_at_2_4_8_ranks() {
+    // EAM adds the per-atom F'(rho) forward-scalar exchange (the
+    // paper's Fig. 1 extra communication) on top of the LJ paths. Its
+    // two accumulation passes (rho, then forces through F') double the
+    // reordering noise per step, so fewer steps keep the comparison
+    // inside the 1e-12 band.
+    let steps = 10;
+    let params = EamParams::default();
+    let lat = Lattice::new(LatticeKind::Fcc, params.r0 * std::f64::consts::SQRT_2);
+    let mut atoms = AtomData::from_positions(&lat.positions(3, 3, 3));
+    let units = Units::metal();
+    create_velocities(&mut atoms, &units, 600.0, 12345);
+    let domain = lat.domain(3, 3, 3);
+
+    let mut spec = RankParallelSpec::new(&atoms, domain, steps);
+    spec.units = units;
+    let reference = single_rank_reference(
+        SimulationBuilder::new(atoms, domain)
+            .units(units)
+            .pair(PairEam::new(params))
+            .build(),
+        steps,
+    );
+    for nranks in [2usize, 4, 8] {
+        let run = run_rank_parallel(&spec, nranks, |_, system| {
+            Simulation::new(system, Box::new(PairEam::new(params)))
+        });
+        compare(&run, &reference, nranks, TOL);
+        assert!(
+            run.comm_stats.scalar_msgs > 0,
+            "P={nranks}: EAM must exchange F' with ghost owners"
+        );
+    }
+}
+
+#[test]
+fn migration_stress_crosses_brick_corners() {
+    // Hot system + tight skin: rebuilds (and therefore migrations)
+    // every few steps, with atoms crossing faces, edges, and corners of
+    // the 2x2x2 brick grid. Accumulated float noise from the extra
+    // rebuild churn allows a slightly looser tolerance.
+    let steps = 60;
+    let (atoms, domain) = lj_atoms(3.0);
+    let mut spec = RankParallelSpec::new(&atoms, domain, steps);
+    spec.warmup_steps = 0;
+    let reference = single_rank_reference(
+        SimulationBuilder::new(atoms, domain)
+            .pair(lj_pair())
+            .skin(0.1)
+            .build(),
+        steps,
+    );
+    let run = run_rank_parallel(&spec, 8, |_, system| {
+        let mut sim = Simulation::new(system, Box::new(lj_pair()));
+        sim.settings.skin = 0.1;
+        sim
+    });
+    compare(&run, &reference, 8, 1e-9);
+    assert!(
+        run.comm_stats.migrate_msgs > 0,
+        "stress run migrated no atoms"
+    );
+    // Conservation: every tag exactly once.
+    let mut tags: Vec<i64> = run.states.iter().map(|s| s.tag).collect();
+    tags.dedup();
+    assert_eq!(tags.len(), run.natoms, "duplicate or lost tags");
+}
+
+#[test]
+fn steady_state_exchanges_do_not_grow_pools() {
+    // The zero-steady-state-allocation invariant extends to the comm
+    // layer: after a warmup that sizes the message pools, further
+    // stepping (including rebuilds and migrations) reuses buffers.
+    let (atoms, domain) = lj_atoms(1.44);
+    let mut spec = RankParallelSpec::new(&atoms, domain, 40);
+    spec.warmup_steps = 20;
+    let run = run_rank_parallel(&spec, 4, |_, system| {
+        Simulation::new(system, Box::new(lj_pair()))
+    });
+    assert!(run.comm_grow > 0, "pools never sized themselves");
+    assert_eq!(
+        run.comm_grow_after_warmup, 0,
+        "comm message pool grew after warmup"
+    );
+    assert_eq!(
+        run.scatter_grow_after_warmup, 0,
+        "scatter pool grew after warmup"
+    );
+}
