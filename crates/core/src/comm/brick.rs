@@ -112,6 +112,9 @@ impl BufPool {
                 // step to step, and a fresh class must absorb that
                 // without another growth (the steady-state assert).
                 self.grow_count += 1;
+                if profile::has_subscribers() {
+                    profile::note_instant("pool_grow", need as f64);
+                }
                 Vec::with_capacity((need * 2).max(1024).next_power_of_two())
             }
         }
@@ -152,6 +155,10 @@ pub struct BrickComm {
     /// Received border buffers pending unpack (held so the ghost count
     /// is known before the one resize).
     inbox: Vec<(usize, Vec<u64>)>,
+    /// Packed outbound buffers pending send (per exchange phase; lets
+    /// the pack and send sub-phases trace as distinct spans without a
+    /// per-call allocation).
+    outbox: Vec<(usize, Vec<u64>)>,
     stats: CommStats,
     halo_seconds: f64,
     migrate_seconds: f64,
@@ -221,6 +228,7 @@ impl BrickComm {
                     records: Vec::new(),
                     dest: Vec::new(),
                     inbox: Vec::new(),
+                    outbox: Vec::new(),
                     stats: CommStats::default(),
                     halo_seconds: 0.0,
                     migrate_seconds: 0.0,
@@ -235,6 +243,10 @@ impl BrickComm {
     /// which it must finish before it can participate in the phase this
     /// reclaim precedes — so every owed buffer is already in flight.
     fn reclaim(&mut self) {
+        // The `reclaim` span on a trace timeline is this rank *blocked*
+        // on peers that have not yet drained the previous phase — the
+        // simulated-MPI analogue of wait time in MPI_Send completion.
+        let _span = profile::has_subscribers().then(|| profile::begin_region("reclaim"));
         for link in self.links.iter().flatten() {
             for _ in 0..link.owed.get() {
                 let buf = link
@@ -289,31 +301,53 @@ impl BrickComm {
                 self.records.push(system.atoms.record(i));
             }
         }
+        let traced = profile::has_subscribers();
         self.reclaim();
-        for p in 0..nranks {
-            if p == self.rank {
-                continue;
-            }
-            let leavers = self.dest.iter().filter(|&&d| d == p).count();
-            let mut buf = self.pool.acquire(1 + leavers * MIGRATE_WORDS);
-            buf.push(TAG_MIGRATE);
-            for i in 0..nlocal {
-                if self.dest[i] == p {
-                    pack_record(&mut buf, &system.atoms.record(i));
+        {
+            let _span = traced.then(|| profile::begin_region("pack"));
+            let mut outbox = std::mem::take(&mut self.outbox);
+            for p in 0..nranks {
+                if p == self.rank {
+                    continue;
                 }
+                let leavers = self.dest.iter().filter(|&&d| d == p).count();
+                let mut buf = self.pool.acquire(1 + leavers * MIGRATE_WORDS);
+                buf.push(TAG_MIGRATE);
+                for i in 0..nlocal {
+                    if self.dest[i] == p {
+                        pack_record(&mut buf, &system.atoms.record(i));
+                    }
+                }
+                outbox.push((p, buf));
             }
-            if buf.len() > 1 {
-                self.stats.migrate_msgs += 1;
-                self.stats.migrate_bytes += ((buf.len() - 1) * 8) as u64;
+            self.outbox = outbox;
+        }
+        {
+            let _span = traced.then(|| profile::begin_region("send"));
+            let mut outbox = std::mem::take(&mut self.outbox);
+            for (p, buf) in outbox.drain(..) {
+                if buf.len() > 1 {
+                    self.stats.migrate_msgs += 1;
+                    let bytes = ((buf.len() - 1) * 8) as u64;
+                    self.stats.migrate_bytes += bytes;
+                    if traced {
+                        profile::note_instant(&format!("migrate_bytes->r{p}"), bytes as f64);
+                    }
+                }
+                self.send_to(p, buf);
             }
-            self.send_to(p, buf);
+            self.outbox = outbox;
         }
         for p in 0..nranks {
             if p == self.rank {
                 continue;
             }
-            let buf = self.recv_from(p, TAG_MIGRATE);
+            let buf = {
+                let _span = traced.then(|| profile::begin_region("recv"));
+                self.recv_from(p, TAG_MIGRATE)
+            };
             debug_assert_eq!((buf.len() - 1) % MIGRATE_WORDS, 0);
+            let _span = traced.then(|| profile::begin_region("unpack"));
             let mut k = 1;
             while k < buf.len() {
                 let r = unpack_record(&buf[k..k + MIGRATE_WORDS]);
@@ -325,6 +359,7 @@ impl BrickComm {
                 self.records.push(r);
                 k += MIGRATE_WORDS;
             }
+            drop(_span);
             self.recycle(p, buf);
         }
         // Rebuild the owned rows from the record list.
@@ -474,52 +509,74 @@ impl BrickComm {
 
         // Exchange border messages: identity + position + shift once;
         // subsequent forwards reference the same ordering implicitly.
+        let traced = profile::has_subscribers();
         self.reclaim();
-        for p in 0..nranks {
-            if p == self.rank {
-                continue;
-            }
-            let mut buf = self
-                .pool
-                .acquire(1 + self.send_plan[p].len() * BORDER_WORDS);
-            buf.push(TAG_BORDER);
-            {
-                let xh = system.atoms.x.h_view();
-                let tagh = system.atoms.tag.h_view();
-                let typh = system.atoms.typ.h_view();
-                let qh = system.atoms.q.h_view();
-                for (&ai, s) in self.send_plan[p].iter().zip(&self.send_shift[p]) {
-                    let i = ai as usize;
-                    buf.push(tagh.at([i]) as u64);
-                    buf.push(typh.at([i]) as i64 as u64);
-                    buf.push(qh.at([i]).to_bits());
-                    for k in 0..3 {
-                        buf.push(xh.at([i, k]).to_bits());
-                    }
-                    for &sk in s {
-                        buf.push(sk.to_bits());
+        {
+            let _span = traced.then(|| profile::begin_region("pack"));
+            let mut outbox = std::mem::take(&mut self.outbox);
+            for p in 0..nranks {
+                if p == self.rank {
+                    continue;
+                }
+                let mut buf = self
+                    .pool
+                    .acquire(1 + self.send_plan[p].len() * BORDER_WORDS);
+                buf.push(TAG_BORDER);
+                {
+                    let xh = system.atoms.x.h_view();
+                    let tagh = system.atoms.tag.h_view();
+                    let typh = system.atoms.typ.h_view();
+                    let qh = system.atoms.q.h_view();
+                    for (&ai, s) in self.send_plan[p].iter().zip(&self.send_shift[p]) {
+                        let i = ai as usize;
+                        buf.push(tagh.at([i]) as u64);
+                        buf.push(typh.at([i]) as i64 as u64);
+                        buf.push(qh.at([i]).to_bits());
+                        for k in 0..3 {
+                            buf.push(xh.at([i, k]).to_bits());
+                        }
+                        for &sk in s {
+                            buf.push(sk.to_bits());
+                        }
                     }
                 }
+                outbox.push((p, buf));
             }
-            if buf.len() > 1 {
-                self.stats.border_msgs += 1;
-                self.stats.border_bytes += ((buf.len() - 1) * 8) as u64;
+            self.outbox = outbox;
+        }
+        {
+            let _span = traced.then(|| profile::begin_region("send"));
+            let mut outbox = std::mem::take(&mut self.outbox);
+            for (p, buf) in outbox.drain(..) {
+                if buf.len() > 1 {
+                    self.stats.border_msgs += 1;
+                    let bytes = ((buf.len() - 1) * 8) as u64;
+                    self.stats.border_bytes += bytes;
+                    if traced {
+                        profile::note_instant(&format!("border_bytes->r{p}"), bytes as f64);
+                    }
+                }
+                self.send_to(p, buf);
             }
-            self.send_to(p, buf);
+            self.outbox = outbox;
         }
         self.inbox.clear();
         let mut nremote = 0usize;
-        for p in 0..nranks {
-            if p == self.rank {
-                continue;
+        {
+            let _span = traced.then(|| profile::begin_region("recv"));
+            for p in 0..nranks {
+                if p == self.rank {
+                    continue;
+                }
+                let buf = self.recv_from(p, TAG_BORDER);
+                debug_assert_eq!((buf.len() - 1) % BORDER_WORDS, 0);
+                let count = (buf.len() - 1) / BORDER_WORDS;
+                self.recv_count[p] = count;
+                nremote += count;
+                self.inbox.push((p, buf));
             }
-            let buf = self.recv_from(p, TAG_BORDER);
-            debug_assert_eq!((buf.len() - 1) % BORDER_WORDS, 0);
-            let count = (buf.len() - 1) / BORDER_WORDS;
-            self.recv_count[p] = count;
-            nremote += count;
-            self.inbox.push((p, buf));
         }
+        let _unpack_span = traced.then(|| profile::begin_region("unpack"));
 
         let nlocal = system.atoms.nlocal;
         let nself = self_map.nghost();
@@ -623,27 +680,45 @@ impl Comm for BrickComm {
         if nranks == 1 {
             return;
         }
+        let traced = profile::has_subscribers();
         self.reclaim();
-        for p in 0..nranks {
-            if p == self.rank {
-                continue;
-            }
-            let mut buf = self.pool.acquire(1 + self.send_plan[p].len() * 3);
-            buf.push(TAG_FORWARD);
-            {
-                let xh = system.atoms.x.h_view();
-                for &ai in &self.send_plan[p] {
-                    let i = ai as usize;
-                    for k in 0..3 {
-                        buf.push(xh.at([i, k]).to_bits());
+        {
+            let _span = traced.then(|| profile::begin_region("pack"));
+            let mut outbox = std::mem::take(&mut self.outbox);
+            for p in 0..nranks {
+                if p == self.rank {
+                    continue;
+                }
+                let mut buf = self.pool.acquire(1 + self.send_plan[p].len() * 3);
+                buf.push(TAG_FORWARD);
+                {
+                    let xh = system.atoms.x.h_view();
+                    for &ai in &self.send_plan[p] {
+                        let i = ai as usize;
+                        for k in 0..3 {
+                            buf.push(xh.at([i, k]).to_bits());
+                        }
                     }
                 }
+                outbox.push((p, buf));
             }
-            if buf.len() > 1 {
-                self.stats.forward_msgs += 1;
-                self.stats.forward_bytes += ((buf.len() - 1) * 8) as u64;
+            self.outbox = outbox;
+        }
+        {
+            let _span = traced.then(|| profile::begin_region("send"));
+            let mut outbox = std::mem::take(&mut self.outbox);
+            for (p, buf) in outbox.drain(..) {
+                if buf.len() > 1 {
+                    self.stats.forward_msgs += 1;
+                    let bytes = ((buf.len() - 1) * 8) as u64;
+                    self.stats.forward_bytes += bytes;
+                    if traced {
+                        profile::note_instant(&format!("fwd_bytes->r{p}"), bytes as f64);
+                    }
+                }
+                self.send_to(p, buf);
             }
-            self.send_to(p, buf);
+            self.outbox = outbox;
         }
         let mut row = self.remote_base;
         let mut gi = 0usize;
@@ -651,16 +726,22 @@ impl Comm for BrickComm {
             if p == self.rank {
                 continue;
             }
-            let buf = self.recv_from(p, TAG_FORWARD);
+            let buf = {
+                let _span = traced.then(|| profile::begin_region("recv"));
+                self.recv_from(p, TAG_FORWARD)
+            };
             debug_assert_eq!(buf.len() - 1, self.recv_count[p] * 3);
-            let xh = system.atoms.x.h_view_mut();
-            for c in 0..self.recv_count[p] {
-                let s = self.recv_shift[gi];
-                for (k, &sk) in s.iter().enumerate() {
-                    xh.set([row, k], f64::from_bits(buf[1 + c * 3 + k]) + sk);
+            {
+                let _span = traced.then(|| profile::begin_region("unpack"));
+                let xh = system.atoms.x.h_view_mut();
+                for c in 0..self.recv_count[p] {
+                    let s = self.recv_shift[gi];
+                    for (k, &sk) in s.iter().enumerate() {
+                        xh.set([row, k], f64::from_bits(buf[1 + c * 3 + k]) + sk);
+                    }
+                    row += 1;
+                    gi += 1;
                 }
-                row += 1;
-                gi += 1;
             }
             self.recycle(p, buf);
         }
@@ -675,43 +756,67 @@ impl Comm for BrickComm {
         if nranks == 1 {
             return;
         }
+        let traced = profile::has_subscribers();
         self.reclaim();
-        let mut row = self.remote_base;
-        for p in 0..nranks {
-            if p == self.rank {
-                continue;
-            }
-            let count = self.recv_count[p];
-            let mut buf = self.pool.acquire(1 + count * 3);
-            buf.push(TAG_REVERSE);
-            {
-                let fh = system.atoms.f.h_view_mut();
-                for c in 0..count {
-                    for k in 0..3 {
-                        buf.push(fh.at([row + c, k]).to_bits());
-                        fh.set([row + c, k], 0.0);
+        {
+            let _span = traced.then(|| profile::begin_region("pack"));
+            let mut outbox = std::mem::take(&mut self.outbox);
+            let mut row = self.remote_base;
+            for p in 0..nranks {
+                if p == self.rank {
+                    continue;
+                }
+                let count = self.recv_count[p];
+                let mut buf = self.pool.acquire(1 + count * 3);
+                buf.push(TAG_REVERSE);
+                {
+                    let fh = system.atoms.f.h_view_mut();
+                    for c in 0..count {
+                        for k in 0..3 {
+                            buf.push(fh.at([row + c, k]).to_bits());
+                            fh.set([row + c, k], 0.0);
+                        }
                     }
                 }
+                row += count;
+                outbox.push((p, buf));
             }
-            row += count;
-            if buf.len() > 1 {
-                self.stats.reverse_msgs += 1;
-                self.stats.reverse_bytes += ((buf.len() - 1) * 8) as u64;
+            self.outbox = outbox;
+        }
+        {
+            let _span = traced.then(|| profile::begin_region("send"));
+            let mut outbox = std::mem::take(&mut self.outbox);
+            for (p, buf) in outbox.drain(..) {
+                if buf.len() > 1 {
+                    self.stats.reverse_msgs += 1;
+                    let bytes = ((buf.len() - 1) * 8) as u64;
+                    self.stats.reverse_bytes += bytes;
+                    if traced {
+                        profile::note_instant(&format!("rev_bytes->r{p}"), bytes as f64);
+                    }
+                }
+                self.send_to(p, buf);
             }
-            self.send_to(p, buf);
+            self.outbox = outbox;
         }
         for p in 0..nranks {
             if p == self.rank {
                 continue;
             }
-            let buf = self.recv_from(p, TAG_REVERSE);
+            let buf = {
+                let _span = traced.then(|| profile::begin_region("recv"));
+                self.recv_from(p, TAG_REVERSE)
+            };
             debug_assert_eq!(buf.len() - 1, self.send_plan[p].len() * 3);
-            let fh = system.atoms.f.h_view_mut();
-            for (c, &ai) in self.send_plan[p].iter().enumerate() {
-                let i = ai as usize;
-                for k in 0..3 {
-                    let v = fh.at([i, k]) + f64::from_bits(buf[1 + c * 3 + k]);
-                    fh.set([i, k], v);
+            {
+                let _span = traced.then(|| profile::begin_region("unpack"));
+                let fh = system.atoms.f.h_view_mut();
+                for (c, &ai) in self.send_plan[p].iter().enumerate() {
+                    let i = ai as usize;
+                    for k in 0..3 {
+                        let v = fh.at([i, k]) + f64::from_bits(buf[1 + c * 3 + k]);
+                        fh.set([i, k], v);
+                    }
                 }
             }
             self.recycle(p, buf);
@@ -727,32 +832,56 @@ impl Comm for BrickComm {
         if nranks == 1 {
             return;
         }
+        let traced = profile::has_subscribers();
         self.reclaim();
-        for p in 0..nranks {
-            if p == self.rank {
-                continue;
+        {
+            let _span = traced.then(|| profile::begin_region("pack"));
+            let mut outbox = std::mem::take(&mut self.outbox);
+            for p in 0..nranks {
+                if p == self.rank {
+                    continue;
+                }
+                let mut buf = self.pool.acquire(1 + self.send_plan[p].len());
+                buf.push(TAG_SCALAR);
+                for &ai in &self.send_plan[p] {
+                    buf.push(values[ai as usize].to_bits());
+                }
+                outbox.push((p, buf));
             }
-            let mut buf = self.pool.acquire(1 + self.send_plan[p].len());
-            buf.push(TAG_SCALAR);
-            for &ai in &self.send_plan[p] {
-                buf.push(values[ai as usize].to_bits());
+            self.outbox = outbox;
+        }
+        {
+            let _span = traced.then(|| profile::begin_region("send"));
+            let mut outbox = std::mem::take(&mut self.outbox);
+            for (p, buf) in outbox.drain(..) {
+                if buf.len() > 1 {
+                    self.stats.scalar_msgs += 1;
+                    let bytes = ((buf.len() - 1) * 8) as u64;
+                    self.stats.scalar_bytes += bytes;
+                    if traced {
+                        profile::note_instant(&format!("scalar_bytes->r{p}"), bytes as f64);
+                    }
+                }
+                self.send_to(p, buf);
             }
-            if buf.len() > 1 {
-                self.stats.scalar_msgs += 1;
-                self.stats.scalar_bytes += ((buf.len() - 1) * 8) as u64;
-            }
-            self.send_to(p, buf);
+            self.outbox = outbox;
         }
         let mut row = self.remote_base;
         for p in 0..nranks {
             if p == self.rank {
                 continue;
             }
-            let buf = self.recv_from(p, TAG_SCALAR);
+            let buf = {
+                let _span = traced.then(|| profile::begin_region("recv"));
+                self.recv_from(p, TAG_SCALAR)
+            };
             debug_assert_eq!(buf.len() - 1, self.recv_count[p]);
-            for &w in &buf[1..] {
-                values[row] = f64::from_bits(w);
-                row += 1;
+            {
+                let _span = traced.then(|| profile::begin_region("unpack"));
+                for &w in &buf[1..] {
+                    values[row] = f64::from_bits(w);
+                    row += 1;
+                }
             }
             self.recycle(p, buf);
         }
@@ -947,6 +1076,40 @@ pub struct MultiRankRun {
     /// Neighbor pairs summed over ranks at the final build.
     pub total_pairs: u64,
     pub timings: Vec<Timings>,
+    /// Owned (`nlocal`) atoms per rank at the end of the run.
+    pub owned_atoms: Vec<usize>,
+}
+
+/// max/mean of a per-rank sample: 1.0 = perfectly balanced, and the
+/// excess over 1.0 is the fraction of the slowest rank's work the
+/// average rank does not share (the paper's strong-scaling breakdowns
+/// hinge on exactly this ratio).
+fn imbalance(samples: impl Iterator<Item = f64>) -> f64 {
+    let (mut max, mut sum, mut n) = (f64::NEG_INFINITY, 0.0, 0u32);
+    for s in samples {
+        max = max.max(s);
+        sum += s;
+        n += 1;
+    }
+    if n == 0 || sum <= 0.0 {
+        return 1.0;
+    }
+    max / (sum / n as f64)
+}
+
+impl MultiRankRun {
+    /// Load imbalance of the final atom distribution: max/mean owned
+    /// atoms across ranks.
+    pub fn atom_imbalance(&self) -> f64 {
+        imbalance(self.owned_atoms.iter().map(|&n| n as f64))
+    }
+
+    /// Load imbalance of the measured pair-force time: max/mean of the
+    /// per-rank `Timings::pair` seconds. Wall-clock derived — advisory,
+    /// never part of a deterministic baseline.
+    pub fn pair_time_imbalance(&self) -> f64 {
+        imbalance(self.timings.iter().map(|t| t.pair))
+    }
 }
 
 struct RankOutcome {
@@ -964,6 +1127,7 @@ struct RankOutcome {
     rebuild_count: u64,
     total_pairs: u64,
     timings: Timings,
+    nlocal: usize,
 }
 
 /// Run a simulation decomposed over `nranks` simulated MPI ranks, each
@@ -1050,6 +1214,7 @@ where
                         rebuild_count: sim.rebuild_count,
                         total_pairs,
                         timings: sim.timings,
+                        nlocal: sim.system.atoms.nlocal,
                     }
                 })
             })
@@ -1091,6 +1256,7 @@ where
             .sum(),
         rebuild_counts: outcomes.iter().map(|o| o.rebuild_count).collect(),
         total_pairs: outcomes.iter().map(|o| o.total_pairs).sum(),
+        owned_atoms: outcomes.iter().map(|o| o.nlocal).collect(),
         timings: outcomes.iter().map(|o| o.timings).collect(),
         thermo: outcomes.into_iter().map(|o| o.thermo).collect(),
         states,

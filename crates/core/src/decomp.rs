@@ -11,15 +11,11 @@
 //! count into a near-cubic grid and maps positions to owning ranks. The
 //! communication layer built on it ([`crate::comm::brick::BrickComm`])
 //! and the rank-parallel driver ([`crate::comm::brick::run_rank_parallel`])
-//! live in `comm::brick`; the old free-function drivers here are kept
-//! as deprecated shims over that driver.
+//! live in `comm::brick`. (The free-function LJ drivers that used to
+//! live here were deprecated in the Comm-API redesign and are gone; all
+//! callers go through `run_rank_parallel` now.)
 
-use crate::comm::brick::{run_rank_parallel, RankParallelSpec};
 use crate::domain::Domain;
-use crate::pair::lj::LjCut;
-use crate::pair::{PairKokkos, PairKokkosOptions, TwoBody};
-use crate::sim::Simulation;
-use lkk_kokkos::Space;
 
 /// A 3-D brick decomposition of a periodic box.
 #[derive(Debug, Clone)]
@@ -95,107 +91,6 @@ impl BrickDecomp {
     }
 }
 
-/// Final per-atom state keyed by global tag.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct AtomState {
-    pub tag: i64,
-    pub x: [f64; 3],
-    pub v: [f64; 3],
-}
-
-/// Run an NVE Lennard-Jones simulation decomposed over `nranks`
-/// simulated MPI ranks (see [`run_decomposed`]).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `comm::brick::run_rank_parallel`, which drives the full \
-            Simulation stack (any pair style, any fix) on N ranks"
-)]
-pub fn run_lj_decomposed(
-    positions: &[[f64; 3]],
-    velocities: &[[f64; 3]],
-    global: Domain,
-    lj: LjCut,
-    nranks: usize,
-    nsteps: usize,
-    dt: f64,
-) -> (Vec<AtomState>, Vec<f64>) {
-    #[allow(deprecated)]
-    run_decomposed(positions, velocities, global, lj, nranks, nsteps, dt)
-}
-
-/// Run an NVE simulation of any [`TwoBody`] potential decomposed over
-/// `nranks` simulated MPI ranks, and return the final atom states
-/// (sorted by tag) plus the per-step total potential energy.
-///
-/// Deprecated shim over [`run_rank_parallel`]: each rank now runs the
-/// real [`Simulation`] driver (velocity-Verlet via `fix nve`, binned
-/// neighbor lists, skin-deferred rebuilds) instead of the original
-/// brute-force kick-drift loop, so trajectories match single-rank
-/// `Simulation` runs exactly — which is the equivalence the rank tests
-/// assert.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `comm::brick::run_rank_parallel`, which drives the full \
-            Simulation stack (any pair style, any fix) on N ranks"
-)]
-pub fn run_decomposed<P: TwoBody + Clone + 'static>(
-    positions: &[[f64; 3]],
-    velocities: &[[f64; 3]],
-    global: Domain,
-    pot: P,
-    nranks: usize,
-    nsteps: usize,
-    dt: f64,
-) -> (Vec<AtomState>, Vec<f64>) {
-    let mut atoms = crate::atom::AtomData::from_positions(positions);
-    {
-        let vh = atoms.v.h_view_mut();
-        for (i, v) in velocities.iter().enumerate() {
-            for (k, &vk) in v.iter().enumerate() {
-                vh.set([i, k], vk);
-            }
-        }
-    }
-    let spec = RankParallelSpec::new(&atoms, global, nsteps as u64);
-    let run = run_rank_parallel(&spec, nranks, |_, system| {
-        // Half list + newton on on every rank: the cross-rank pair
-        // convention the brick comm layer is built for.
-        let pair = PairKokkos::with_options(
-            pot.clone(),
-            &Space::Serial,
-            PairKokkosOptions {
-                force_half: Some(true),
-                ..Default::default()
-            },
-        );
-        let mut sim = Simulation::new(system, Box::new(pair));
-        sim.dt = dt;
-        sim.thermo_every = 1;
-        sim
-    });
-    let states = run
-        .states
-        .iter()
-        .map(|s| AtomState {
-            tag: s.tag,
-            x: s.x,
-            v: s.v,
-        })
-        .collect();
-    // Per-step global potential energy: thermo rows are per-rank local
-    // sums, so summing rows with the same step reduces them.
-    let mut energies = vec![0.0f64; nsteps];
-    for rows in &run.thermo {
-        for row in rows {
-            let k = row.step as usize;
-            if k < nsteps {
-                energies[k] += row.e_pair;
-            }
-        }
-    }
-    (states, energies)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,26 +142,60 @@ mod tests {
         (positions, lat.domain(n, n, n))
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn decomposed_matches_single_rank_across_rank_counts() {
-        let (positions, global) = perturbed_fcc(4);
-        let velocities = vec![[0.0; 3]; positions.len()];
-        let lj = LjCut::single_type(1.0, 1.0, 2.5);
-        let (ref_states, ref_e) =
-            run_lj_decomposed(&positions, &velocities, global, lj.clone(), 1, 10, 0.002);
-        for nranks in [2usize, 4, 8] {
-            let (states, e) = run_lj_decomposed(
-                &positions,
-                &velocities,
-                global,
-                lj.clone(),
-                nranks,
-                10,
-                0.002,
+    /// Drive `run_rank_parallel` for a [`TwoBody`] potential on the
+    /// perturbed lattice (the workload the old deprecated free-function
+    /// drivers covered before they were removed).
+    fn run_two_body<P>(
+        positions: &[[f64; 3]],
+        global: Domain,
+        pot: P,
+        nranks: usize,
+        nsteps: u64,
+        dt: f64,
+    ) -> crate::comm::brick::MultiRankRun
+    where
+        P: crate::pair::TwoBody + Clone + 'static,
+    {
+        use crate::comm::brick::{run_rank_parallel, RankParallelSpec};
+        use crate::pair::{PairKokkos, PairKokkosOptions};
+        use crate::sim::Simulation;
+        use lkk_kokkos::Space;
+        let atoms = crate::atom::AtomData::from_positions(positions);
+        let spec = RankParallelSpec::new(&atoms, global, nsteps);
+        run_rank_parallel(&spec, nranks, move |_, system| {
+            // Half list + newton on on every rank: the cross-rank pair
+            // convention the brick comm layer is built for.
+            let pair = PairKokkos::with_options(
+                pot.clone(),
+                &Space::Serial,
+                PairKokkosOptions {
+                    force_half: Some(true),
+                    ..Default::default()
+                },
             );
-            assert_eq!(states.len(), ref_states.len(), "lost atoms at P={nranks}");
-            for (a, b) in states.iter().zip(&ref_states) {
+            let mut sim = Simulation::new(system, Box::new(pair));
+            sim.dt = dt;
+            sim
+        })
+    }
+
+    #[test]
+    fn decomposed_matches_single_rank_across_rank_counts() {
+        use crate::pair::lj::LjCut;
+        let (positions, global) = perturbed_fcc(4);
+        let lj = LjCut::single_type(1.0, 1.0, 2.5);
+        let reference = run_two_body(&positions, global, lj.clone(), 1, 10, 0.002);
+        for nranks in [2usize, 4, 8] {
+            let run = run_two_body(&positions, global, lj.clone(), nranks, 10, 0.002);
+            assert_eq!(
+                run.states.len(),
+                reference.states.len(),
+                "lost atoms at P={nranks}"
+            );
+            assert_eq!(run.owned_atoms.len(), nranks);
+            assert_eq!(run.owned_atoms.iter().sum::<usize>(), positions.len());
+            assert!(run.atom_imbalance() >= 1.0);
+            for (a, b) in run.states.iter().zip(&reference.states) {
                 assert_eq!(a.tag, b.tag);
                 for k in 0..3 {
                     assert!(
@@ -278,28 +207,27 @@ mod tests {
                     );
                 }
             }
-            for (ea, eb) in e.iter().zip(&ref_e) {
-                assert!((ea - eb).abs() < 1e-12 * eb.abs().max(1.0), "P={nranks}");
-            }
+            assert!(
+                (run.e_pair - reference.e_pair).abs() < 1e-12 * reference.e_pair.abs().max(1.0),
+                "P={nranks} e_pair {} vs {}",
+                run.e_pair,
+                reference.e_pair
+            );
         }
     }
 
     #[test]
-    #[allow(deprecated)]
     fn generic_driver_works_with_morse() {
         use crate::pair::morse::Morse;
         let (positions, global) = perturbed_fcc(4);
-        let velocities = vec![[0.0; 3]; positions.len()];
         let pot = Morse::new(1.0, 2.0, 1.2, 2.5);
-        let (s1, e1) = run_decomposed(&positions, &velocities, global, pot, 1, 4, 0.001);
-        let (s4, e4) = run_decomposed(&positions, &velocities, global, pot, 4, 4, 0.001);
-        for (a, b) in s1.iter().zip(&s4) {
+        let r1 = run_two_body(&positions, global, pot, 1, 4, 0.001);
+        let r4 = run_two_body(&positions, global, pot, 4, 4, 0.001);
+        for (a, b) in r1.states.iter().zip(&r4.states) {
             for k in 0..3 {
                 assert!((a.x[k] - b.x[k]).abs() < 1e-12);
             }
         }
-        for (a, b) in e1.iter().zip(&e4) {
-            assert!((a - b).abs() < 1e-12 * a.abs().max(1.0));
-        }
+        assert!((r1.e_pair - r4.e_pair).abs() < 1e-12 * r1.e_pair.abs().max(1.0));
     }
 }

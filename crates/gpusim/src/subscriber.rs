@@ -64,6 +64,22 @@ pub trait ProfileSubscriber: Send + Sync {
     fn transfer(&self, dir: TransferDir, label: &str, bytes: u64) {
         let _ = (dir, label, bytes);
     }
+
+    /// A point-in-time event with no duration (`kokkosp_profile_event`
+    /// analogue): something happened *now* — a pool growth, a rebuild
+    /// decision, a blocking wait ending. `region` is the active region
+    /// path, `value` an event-specific payload (0.0 when meaningless).
+    fn instant(&self, name: &str, region: &str, value: f64) {
+        let _ = (name, region, value);
+    }
+
+    /// A counter sample: the metric `name` has `value` as of now.
+    /// Consumers that render timelines plot these as counter tracks;
+    /// aggregating consumers may keep the last value or the sum,
+    /// whichever their metric kind calls for.
+    fn counter(&self, name: &str, region: &str, value: f64) {
+        let _ = (name, region, value);
+    }
 }
 
 /// Totals for one transfer direction.
@@ -224,5 +240,7 @@ mod tests {
         n.kernel_launch("k", "", 1);
         n.kernel_stats(&KernelStats::new("k"));
         n.transfer(TransferDir::DeviceToHost, "", 1);
+        n.instant("evt", "", 0.0);
+        n.counter("metric", "", 1.0);
     }
 }

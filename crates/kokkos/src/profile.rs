@@ -62,6 +62,14 @@ pub fn unregister_subscriber(id: SubscriberId) {
     SUBSCRIBER_COUNT.store(subs.len(), Ordering::Release);
 }
 
+/// Is anyone listening? Callers that must *build* an event payload
+/// (format a label, walk a table) should gate that work on this — the
+/// hooks themselves already early-out, but only after the payload has
+/// been constructed.
+pub fn has_subscribers() -> bool {
+    SUBSCRIBER_COUNT.load(Ordering::Acquire) > 0
+}
+
 /// Run `f` on every registered subscriber. Arcs are cloned out of the
 /// registry first so subscriber callbacks never run under the registry
 /// lock (a subscriber may itself trigger profiled work).
@@ -167,15 +175,18 @@ impl RegionGuard {
         let seconds = self.start.elapsed().as_secs_f64();
         REGION_STACK.with(|s| {
             let mut stack = s.borrow_mut();
-            // Regions must close innermost-first; guards enforce this
-            // lexically, so a mismatch means a guard escaped its scope.
-            debug_assert_eq!(
-                stack.len(),
-                self.depth,
-                "region {:?} closed out of order",
-                self.path
-            );
-            stack.pop();
+            // Regions normally close innermost-first (guards are
+            // lexically scoped), but drops can reorder — a panic
+            // unwinding past sibling guards, or guards stored in a
+            // struct dropping in field order. Asserting here would turn
+            // an unwind into an abort, so recover instead: truncate
+            // every region at or above this guard's depth (the inner
+            // guards' own closes then find their slot already gone and
+            // no-op), and treat a stack that is already shorter as
+            // closed-by-an-outer-guard.
+            if stack.len() >= self.depth {
+                stack.truncate(self.depth - 1);
+            }
         });
         for_each_subscriber(|sub| sub.region_end(&self.path, self.depth, seconds));
         seconds
@@ -202,6 +213,29 @@ pub fn note_kernel_launch(name: &str, work_items: usize) {
     }
     let region = current_region();
     for_each_subscriber(|sub| sub.kernel_launch(name, &region, work_items));
+}
+
+/// Fire a point-in-time event (no duration) to subscribers, tagged with
+/// the calling thread's region path. `value` is an event-specific
+/// payload (pass 0.0 when there is nothing to attach).
+pub fn note_instant(name: &str, value: f64) {
+    if SUBSCRIBER_COUNT.load(Ordering::Acquire) == 0 {
+        return;
+    }
+    let region = current_region();
+    for_each_subscriber(|sub| sub.instant(name, &region, value));
+}
+
+/// Fire a counter sample (`name` = `value` as of now) to subscribers,
+/// tagged with the calling thread's region path. Timeline consumers
+/// render these as counter tracks; see
+/// [`lkk_gpusim::ProfileSubscriber::counter`].
+pub fn note_counter(name: &str, value: f64) {
+    if SUBSCRIBER_COUNT.load(Ordering::Acquire) == 0 {
+        return;
+    }
+    let region = current_region();
+    for_each_subscriber(|sub| sub.counter(name, &region, value));
 }
 
 /// A log of kernel launches on a simulated device.
@@ -416,6 +450,78 @@ mod tests {
         // one labeled transfer while registered.
         assert_eq!(snap.h2d.count, 1);
         assert_eq!(snap.h2d.bytes, 64);
+    }
+
+    #[test]
+    fn panic_inside_region_recovers_the_stack() {
+        // A panic while regions are open must unwind cleanly (no abort
+        // from the old out-of-order assert) and leave the thread's
+        // region stack exactly where it was before the panicked scope.
+        let outer = begin_region("panic-outer");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _inner = begin_region("panic-inner");
+            let _deeper = begin_region("panic-deeper");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert_eq!(current_region(), "panic-outer");
+        // The layer still works after recovery.
+        {
+            let _next = begin_region("panic-after");
+            assert_eq!(current_region(), "panic-outer/panic-after");
+        }
+        drop(outer);
+        assert_eq!(region_depth(), 0);
+    }
+
+    #[test]
+    fn out_of_order_close_truncates_instead_of_leaking() {
+        // Dropping an outer guard before an inner one (possible when
+        // guards are stored in structs) closes everything at or above
+        // the outer depth; the inner guard's own close then no-ops.
+        let outer = begin_region("ooo-outer");
+        let inner = begin_region("ooo-inner");
+        drop(outer);
+        assert_eq!(region_depth(), 0);
+        drop(inner);
+        assert_eq!(region_depth(), 0);
+        assert_eq!(current_region(), "");
+    }
+
+    #[test]
+    fn instants_and_counters_reach_subscribers_with_region() {
+        use std::sync::Mutex as StdMutex;
+        #[derive(Default)]
+        struct Sink {
+            events: StdMutex<Vec<(String, String, String, f64)>>,
+        }
+        impl ProfileSubscriber for Sink {
+            fn instant(&self, name: &str, region: &str, value: f64) {
+                self.events
+                    .lock()
+                    .unwrap()
+                    .push(("i".into(), name.into(), region.into(), value));
+            }
+            fn counter(&self, name: &str, region: &str, value: f64) {
+                self.events
+                    .lock()
+                    .unwrap()
+                    .push(("c".into(), name.into(), region.into(), value));
+            }
+        }
+        let sink = Arc::new(Sink::default());
+        let id = register_subscriber(sink.clone());
+        {
+            let _r = begin_region("evt-test");
+            note_instant("tick", 7.0);
+            note_counter("bytes", 128.0);
+        }
+        unregister_subscriber(id);
+        note_instant("tick", 8.0); // after detach: unseen
+        let events = sink.events.lock().unwrap();
+        assert!(events.contains(&("i".into(), "tick".into(), "evt-test".into(), 7.0)));
+        assert!(events.contains(&("c".into(), "bytes".into(), "evt-test".into(), 128.0)));
+        assert!(!events.iter().any(|e| e.3 == 8.0));
     }
 
     #[test]

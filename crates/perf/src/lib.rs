@@ -19,11 +19,16 @@
 //! - [`report`] — run workloads under a subscriber, build the report.
 //! - [`timing`] — `--time` mode: advisory wall-clock phase medians
 //!   (archived as `results/BENCH_hotpath.json`, never gated).
+//! - [`tracing`] — `--trace`/`--metrics` mode: capture the same
+//!   workloads under an `lkk-trace` collector, export a Perfetto
+//!   timeline and a byte-stable metrics dump (gated against
+//!   `results/metrics_baseline.json`).
 
 pub mod diff;
 pub mod json;
 pub mod report;
 pub mod timing;
+pub mod tracing;
 pub mod workloads;
 
 pub use diff::{compare, Drift};

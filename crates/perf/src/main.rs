@@ -9,14 +9,24 @@
 //! perf-smoke --write-baseline                  # refresh results/perf_baseline.json
 //! perf-smoke --time                            # wall-clock medians -> results/BENCH_hotpath.json
 //! perf-smoke --time --reps 5 --scale 25        # tune repetition count / run length
+//! perf-smoke --trace trace.json                # Perfetto timeline of the smoke suite
+//! perf-smoke --metrics metrics.json            # canonical metrics dump
+//! perf-smoke --check-metrics results/metrics_baseline.json
+//! perf-smoke --write-metrics-baseline          # refresh results/metrics_baseline.json
 //! ```
 //!
 //! `--time` is advisory: it runs the same four workloads multi-threaded
 //! and records median-of-N wall-clock per phase, but CI gates only on
 //! the deterministic counters from the default mode.
 //!
-//! Exit codes: 0 = ok, 1 = counter drift vs baseline, 2 = usage or I/O
-//! error.
+//! `--trace`/`--metrics`/`--check-metrics` are a separate capture mode
+//! (they run the suite once under an `lkk-trace` collector). The trace
+//! is a Chrome trace_event JSON — open it at <https://ui.perfetto.dev>.
+//! The metrics dump is deterministic and is compared *byte-for-byte*
+//! against the committed baseline.
+//!
+//! Exit codes: 0 = ok, 1 = counter/metrics drift vs baseline, 2 =
+//! usage or I/O error.
 
 use lkk_perf::{compare, json, report, timing, workloads};
 use std::path::{Path, PathBuf};
@@ -25,6 +35,7 @@ use std::process::ExitCode;
 const DEFAULT_OUT: &str = "results/perf_smoke.json";
 const DEFAULT_BASELINE: &str = "results/perf_baseline.json";
 const DEFAULT_TIME_OUT: &str = "results/BENCH_hotpath.json";
+const DEFAULT_METRICS_BASELINE: &str = "results/metrics_baseline.json";
 
 struct Args {
     out: PathBuf,
@@ -34,10 +45,14 @@ struct Args {
     time: bool,
     reps: usize,
     scale: u64,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    check_metrics: Option<PathBuf>,
+    write_metrics_baseline: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: perf-smoke [--out PATH] [--check BASELINE] [--tolerance T] [--write-baseline]\n       perf-smoke --time [--reps N] [--scale S] [--out PATH]"
+    "usage: perf-smoke [--out PATH] [--check BASELINE] [--tolerance T] [--write-baseline]\n       perf-smoke --time [--reps N] [--scale S] [--out PATH]\n       perf-smoke [--trace PATH] [--metrics PATH] [--check-metrics BASELINE] [--write-metrics-baseline]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +64,10 @@ fn parse_args() -> Result<Args, String> {
         time: false,
         reps: 5,
         scale: 25,
+        trace: None,
+        metrics: None,
+        check_metrics: None,
+        write_metrics_baseline: false,
     };
     let mut out_set = false;
     let mut it = std::env::args().skip(1);
@@ -90,6 +109,18 @@ fn parse_args() -> Result<Args, String> {
                     return Err("scale must be >= 1".into());
                 }
             }
+            "--trace" => {
+                args.trace = Some(PathBuf::from(it.next().ok_or("--trace needs a path")?));
+            }
+            "--metrics" => {
+                args.metrics = Some(PathBuf::from(it.next().ok_or("--metrics needs a path")?));
+            }
+            "--check-metrics" => {
+                args.check_metrics = Some(PathBuf::from(
+                    it.next().ok_or("--check-metrics needs a path")?,
+                ));
+            }
+            "--write-metrics-baseline" => args.write_metrics_baseline = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -117,6 +148,76 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    let trace_mode = args.trace.is_some()
+        || args.metrics.is_some()
+        || args.check_metrics.is_some()
+        || args.write_metrics_baseline;
+    if trace_mode {
+        eprintln!("perf-smoke: tracing 4 single-rank workloads + ranks4 (forced sequential)...");
+        let cap = lkk_perf::tracing::capture();
+        if let Some(path) = &args.trace {
+            if let Err(msg) = write_report(path, &cap.chrome_json) {
+                eprintln!("perf-smoke: {msg}");
+                return ExitCode::from(2);
+            }
+            eprintln!(
+                "perf-smoke: wrote {} (open at https://ui.perfetto.dev)",
+                path.display()
+            );
+        }
+        if let Some(path) = &args.metrics {
+            if let Err(msg) = write_report(path, &cap.metrics_json) {
+                eprintln!("perf-smoke: {msg}");
+                return ExitCode::from(2);
+            }
+            eprintln!("perf-smoke: wrote {}", path.display());
+        }
+        if args.write_metrics_baseline {
+            let path = Path::new(DEFAULT_METRICS_BASELINE);
+            if let Err(msg) = write_report(path, &cap.metrics_json) {
+                eprintln!("perf-smoke: {msg}");
+                return ExitCode::from(2);
+            }
+            eprintln!("perf-smoke: wrote {}", path.display());
+        }
+        if let Some(baseline_path) = &args.check_metrics {
+            let baseline_text = match std::fs::read_to_string(baseline_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("perf-smoke: reading {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            if baseline_text == cap.metrics_json {
+                eprintln!(
+                    "perf-smoke: OK — metrics byte-identical to {}",
+                    baseline_path.display()
+                );
+            } else {
+                eprintln!(
+                    "perf-smoke: FAIL — metrics drifted vs {} (byte comparison):",
+                    baseline_path.display()
+                );
+                // Byte gate, structural report: parse both sides so the
+                // failure names the drifted keys instead of a bare cmp.
+                match (json::parse(&baseline_text), json::parse(&cap.metrics_json)) {
+                    (Ok(base), Ok(cur)) => {
+                        for d in compare(&base, &cur, 0.0) {
+                            eprintln!("  {d}");
+                        }
+                    }
+                    _ => eprintln!("  (one side is not parseable JSON)"),
+                }
+                eprintln!(
+                    "perf-smoke: if the change is intentional, refresh with \
+                     `cargo run --release -p lkk-perf --bin perf-smoke -- --write-metrics-baseline`"
+                );
+                return ExitCode::from(1);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
 
     if args.time {
         eprintln!(

@@ -104,7 +104,8 @@ pub fn run_timed(reps: usize, scale: u64) -> Value {
     let was_sequential = exec::force_sequential();
     exec::set_force_sequential(false);
 
-    let factories: [(&str, fn() -> Workload); 4] = [
+    type NamedFactory = (&'static str, fn() -> Workload);
+    let factories: [NamedFactory; 4] = [
         ("lj", workloads::lj),
         ("eam", workloads::eam),
         ("snap", workloads::snap),

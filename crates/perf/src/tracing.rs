@@ -1,0 +1,145 @@
+//! `--trace` / `--metrics` capture mode: run the smoke workloads under
+//! an `lkk-trace` [`TraceCollector`] and return the Chrome trace_event
+//! timeline plus the canonical metrics dump.
+//!
+//! The collector runs in [`TraceMode::Deterministic`]
+//! (`lkk_trace::TraceMode`): timestamps are per-lane logical ticks, so
+//! the exported timeline and the metrics dump are both byte-identical
+//! across runs of the same binary — the metrics dump is gated against
+//! `results/metrics_baseline.json` at `cmp` strictness, the same
+//! zero-tolerance discipline as the counter baseline.
+//!
+//! Lane layout of the capture: the four single-rank workloads run on
+//! the calling thread (lane `host`, each wrapped in a top-level region
+//! named after the workload), then the `ranks4` workload adds one lane
+//! per rank thread (`rank0`..`rank3`) with the brick-comm phase spans
+//! recorded by the gated instrumentation in `lkk-core`. Kernel launches
+//! on the simulated device additionally populate the `pid 1` device
+//! lanes with cost-model-predicted durations.
+
+use crate::report::RUN_LOCK;
+use crate::workloads::{self, Workload};
+use lkk_core::comm::brick::run_rank_parallel;
+use lkk_gpusim::GpuArch;
+use lkk_kokkos::{exec, profile};
+use lkk_trace::TraceCollector;
+use std::sync::Arc;
+
+/// The two artifacts of one capture run.
+pub struct TraceCapture {
+    /// Chrome trace_event JSON — load at <https://ui.perfetto.dev>.
+    pub chrome_json: String,
+    /// Canonical metrics dump — diffed byte-for-byte in CI.
+    pub metrics_json: String,
+}
+
+/// Capture the full smoke suite (all four single-rank workloads plus
+/// `ranks4`). This is what `perf-smoke --trace/--metrics` runs and what
+/// `results/metrics_baseline.json` is generated from.
+pub fn capture() -> TraceCapture {
+    capture_with(workloads::all())
+}
+
+/// Capture with an explicit single-rank workload subset (the `ranks4`
+/// rank-parallel workload always runs — it is what puts the per-rank
+/// lanes and comm-phase spans on the timeline). Tests pass a smaller
+/// subset to stay fast.
+pub fn capture_with(single: Vec<Workload>) -> TraceCapture {
+    let _exclusive = RUN_LOCK.lock().unwrap();
+    let was_sequential = exec::force_sequential();
+    exec::set_force_sequential(true);
+
+    let collector = Arc::new(TraceCollector::deterministic(GpuArch::h100()));
+    let id = profile::register_subscriber(collector.clone());
+
+    for workload in single {
+        let Workload {
+            name,
+            mut sim,
+            steps,
+            ..
+        } = workload;
+        let _span = profile::begin_region(name);
+        sim.run(steps);
+    }
+    let ranks = workloads::ranks4();
+    let run = run_rank_parallel(&ranks.spec, ranks.nranks, ranks.factory);
+
+    profile::unregister_subscriber(id);
+    exec::set_force_sequential(was_sequential);
+
+    // Harvest the run-level exchange counters and the per-rank
+    // ownership census into the registry. Everything here is a
+    // deterministic counter — wall-clock quantities (like
+    // `pair_time_imbalance`) deliberately stay out of the dump.
+    let metrics = collector.metrics();
+    let s = &run.comm_stats;
+    for (name, value) in [
+        ("forward_bytes", s.forward_bytes),
+        ("forward_msgs", s.forward_msgs),
+        ("reverse_bytes", s.reverse_bytes),
+        ("reverse_msgs", s.reverse_msgs),
+        ("scalar_bytes", s.scalar_bytes),
+        ("scalar_msgs", s.scalar_msgs),
+        ("border_bytes", s.border_bytes),
+        ("border_msgs", s.border_msgs),
+        ("migrate_bytes", s.migrate_bytes),
+        ("migrate_msgs", s.migrate_msgs),
+        ("allreduce_count", s.allreduce_count),
+    ] {
+        metrics.set_gauge(&format!("ranks4/comm/{name}"), value as f64);
+    }
+    metrics.set_gauge("ranks4/comm/pool_grow", run.comm_grow as f64);
+    metrics.set_gauge(
+        "ranks4/comm/pool_grow_after_warmup",
+        run.comm_grow_after_warmup as f64,
+    );
+    for (rank, &owned) in run.owned_atoms.iter().enumerate() {
+        metrics.set_gauge(&format!("ranks4/rank{rank}/owned_atoms"), owned as f64);
+        metrics.observe("ranks4/owned_atoms", owned as f64);
+    }
+    metrics.set_gauge("ranks4/atom_imbalance", run.atom_imbalance());
+
+    TraceCapture {
+        chrome_json: collector.export_chrome(),
+        metrics_json: metrics.to_canonical_json(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fast capture (LJ + ranks4) must produce a rank lane per rank,
+    /// the comm-phase spans, and a byte-stable metrics dump.
+    #[test]
+    fn capture_is_deterministic_and_rank_aware() {
+        let a = capture_with(vec![workloads::lj()]);
+        let b = capture_with(vec![workloads::lj()]);
+        assert_eq!(
+            a.metrics_json, b.metrics_json,
+            "metrics dump not byte-stable"
+        );
+        assert_eq!(a.chrome_json, b.chrome_json, "trace not byte-stable");
+
+        for needle in [
+            "\"rank0\"",
+            "\"rank3\"",
+            "\"name\": \"pack\"",
+            "\"name\": \"unpack\"",
+            "\"clock\": \"ticks\"",
+            "gpusim NVIDIA H100 (predicted)",
+        ] {
+            assert!(a.chrome_json.contains(needle), "trace missing {needle}");
+        }
+        for needle in [
+            "\"ranks4/comm/forward_bytes\"",
+            "\"ranks4/comm/pool_grow_after_warmup\": 0",
+            "\"ranks4/rank0/owned_atoms\"",
+            "\"ranks4/atom_imbalance\"",
+            "\"lj/owned_atoms\"",
+        ] {
+            assert!(a.metrics_json.contains(needle), "metrics missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! `lkk-trace`: the trace timeline + metrics layer of the stack.
+//!
+//! The profiling layer in `lkk-kokkos` emits a flat event stream
+//! (regions, kernel launches, kernel stats, transfers, instants,
+//! counter samples) to any registered
+//! [`lkk_gpusim::ProfileSubscriber`]. The `perf-smoke` harness consumes
+//! that stream as *aggregates*; this crate consumes it as a
+//! *timeline* — the analogue of attaching a Kokkos Tools tracing
+//! library (space-time-stack, the Perfetto connector) to a LAMMPS-KOKKOS
+//! run.
+//!
+//! Three pieces:
+//!
+//! * [`TraceCollector`] — a subscriber that appends every event to a
+//!   per-thread lane buffer. Each event carries **two** timestamps: a
+//!   wall-clock microsecond offset (for humans) and a deterministic
+//!   per-lane logical tick (for CI). Rank worker threads (outermost
+//!   region `rank<N>`) get their own named lanes; everything else lands
+//!   on the `host` lane of its thread.
+//! * [`MetricsRegistry`] — counters, gauges, and log₂-bucketed
+//!   histograms with a canonical sorted-key JSON dump, byte-stable in
+//!   deterministic runs. The collector feeds it automatically: instant
+//!   events sum into counters, counter samples set gauges and feed
+//!   histograms.
+//! * [`chrome`] — a Chrome `trace_event` JSON exporter
+//!   ([`TraceCollector::export_chrome`]). The file loads directly in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`: one
+//!   lane per rank thread under the `host` process, plus synthetic
+//!   *simulated device* lanes whose kernel durations come from the
+//!   `lkk-gpusim` cost model, so predicted device time renders next to
+//!   the host phases that launched it.
+//!
+//! Determinism contract: in [`TraceMode::Deterministic`], with
+//! `lkk_kokkos::exec::set_force_sequential(true)` and the same
+//! workload, the exported trace and metrics dump are byte-identical
+//! across runs — each lane's tick clock counts only that lane's own
+//! events, so concurrent rank threads cannot perturb each other's
+//! timestamps, and lanes are sorted by name at export. Cross-lane
+//! interleaving is deliberately *not* represented in that mode; use
+//! [`TraceMode::Wall`] when you want a human-readable timeline.
+
+mod chrome;
+mod collector;
+mod metrics;
+
+pub use collector::{TraceCollector, TraceMode};
+pub use metrics::{HistogramSnapshot, MetricsRegistry};
+
+/// Append `s` to `out` as a JSON string literal (quotes + escapes).
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Canonical JSON number rendering: shortest round-trip form, the same
+/// convention as `lkk-perf`'s writer, so dumps diff cleanly.
+pub(crate) fn push_json_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        // trace_event has no NaN/Inf literals; clamp loudly.
+        out.push_str("null");
+    }
+}

@@ -1,0 +1,244 @@
+//! The metrics registry: counters, gauges, and log₂-bucketed
+//! histograms with a canonical JSON dump for CI diffing.
+//!
+//! This absorbs the stack's ad-hoc statistics (pool `grow_count`s,
+//! exchange bytes, per-rank atom counts, neighbor occupancy) into one
+//! place with one serialization. The dump is *canonical*: keys are
+//! sorted (`BTreeMap` iteration), numbers render in shortest
+//! round-trip form, and nothing wall-clock-derived is ever stored — so
+//! a deterministic workload produces a byte-identical dump on every
+//! run, and CI can compare it with `cmp`-strictness.
+//!
+//! Caveat for byte-stability under concurrency: counter increments from
+//! different threads commute only when the values are exactly
+//! representable (integral counts, bytes). Keep counter payloads
+//! integral-valued; that is what every built-in instrumentation site
+//! emits.
+
+use crate::{push_json_num, push_json_string};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    /// Keyed by bucket exponent: value `v` lands in bucket
+    /// `floor(log2(v))` for `v >= 1`, and in the sentinel bucket `-1`
+    /// (lower bound 0) for `v < 1`.
+    buckets: BTreeMap<i32, u64>,
+}
+
+/// Exponent of the log₂ bucket holding `v`, via the IEEE-754 exponent
+/// field (exact for every finite positive double, unlike
+/// `v.log2().floor()` at power-of-two boundaries).
+fn bucket_exp(v: f64) -> i32 {
+    if !v.is_finite() || v < 1.0 {
+        return -1;
+    }
+    (((v.to_bits() >> 52) & 0x7ff) as i32) - 1023
+}
+
+fn bucket_lo(exp: i32) -> f64 {
+    if exp < 0 {
+        0.0
+    } else {
+        (2.0_f64).powi(exp)
+    }
+}
+
+/// A read-only copy of one histogram, buckets as
+/// `(lower_bound, count)` pairs in ascending order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub buckets: Vec<(f64, u64)>,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Counters (monotonic sums), gauges (last value), and log₂-bucketed
+/// histograms behind one lock, dumped as canonical JSON.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (created at 0).
+    pub fn add_counter(&self, name: &str, delta: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counters.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Set gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record one observation into histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        let h = inner.histograms.entry(name.to_string()).or_default();
+        h.count += 1;
+        h.sum += value;
+        *h.buckets.entry(bucket_exp(value)).or_insert(0) += 1;
+    }
+
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.inner.lock().unwrap().counters.get(name).copied()
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.lock().unwrap().gauges.get(name).copied()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let inner = self.inner.lock().unwrap();
+        inner.histograms.get(name).map(|h| HistogramSnapshot {
+            count: h.count,
+            sum: h.sum,
+            buckets: h
+                .buckets
+                .iter()
+                .map(|(&exp, &count)| (bucket_lo(exp), count))
+                .collect(),
+        })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        let inner = self.inner.lock().unwrap();
+        inner.counters.is_empty() && inner.gauges.is_empty() && inner.histograms.is_empty()
+    }
+
+    /// The canonical dump: sorted keys, shortest-round-trip numbers,
+    /// 2-space indent. Byte-identical across runs for deterministic
+    /// workloads — CI compares it verbatim against a committed
+    /// baseline.
+    pub fn to_canonical_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": 1,\n  \"counters\": {");
+        write_num_map(&mut out, &inner.counters);
+        out.push_str("},\n  \"gauges\": {");
+        write_num_map(&mut out, &inner.gauges);
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, h)) in inner.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_string(&mut out, name);
+            out.push_str(": {\"count\": ");
+            push_json_num(&mut out, h.count as f64);
+            out.push_str(", \"sum\": ");
+            push_json_num(&mut out, h.sum);
+            out.push_str(", \"buckets\": [");
+            for (j, (&exp, &count)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                push_json_num(&mut out, bucket_lo(exp));
+                out.push_str(", ");
+                push_json_num(&mut out, count as f64);
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        if !inner.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn write_num_map(out: &mut String, map: &BTreeMap<String, f64>) {
+    for (i, (name, value)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_json_string(out, name);
+        out.push_str(": ");
+        push_json_num(out, *value);
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_exponents_are_exact_at_powers_of_two() {
+        assert_eq!(bucket_exp(0.0), -1);
+        assert_eq!(bucket_exp(0.5), -1);
+        assert_eq!(bucket_exp(-3.0), -1);
+        assert_eq!(bucket_exp(1.0), 0);
+        assert_eq!(bucket_exp(1.9), 0);
+        assert_eq!(bucket_exp(2.0), 1);
+        assert_eq!(bucket_exp(1023.0), 9);
+        assert_eq!(bucket_exp(1024.0), 10);
+        assert_eq!(bucket_exp(1025.0), 10);
+        assert_eq!(bucket_exp(2.0_f64.powi(52)), 52);
+        assert_eq!(bucket_lo(10), 1024.0);
+        assert_eq!(bucket_lo(-1), 0.0);
+    }
+
+    #[test]
+    fn kinds_accumulate_correctly() {
+        let m = MetricsRegistry::new();
+        m.add_counter("bytes", 64.0);
+        m.add_counter("bytes", 64.0);
+        m.set_gauge("owned", 100.0);
+        m.set_gauge("owned", 90.0);
+        m.observe("msg", 3.0);
+        m.observe("msg", 1000.0);
+        assert_eq!(m.counter("bytes"), Some(128.0));
+        assert_eq!(m.gauge("owned"), Some(90.0));
+        let h = m.histogram("msg").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1003.0);
+        assert_eq!(h.buckets, vec![(2.0, 1), (512.0, 1)]);
+        assert_eq!(m.counter("missing"), None);
+    }
+
+    #[test]
+    fn dump_is_canonical_and_stable() {
+        let fill = || {
+            let m = MetricsRegistry::new();
+            // Insertion order scrambled on purpose: output must sort.
+            m.set_gauge("z/gauge", 5.0);
+            m.add_counter("b/bytes", 256.0);
+            m.add_counter("a/bytes", 128.0);
+            m.observe("hist", 7.0);
+            m.observe("hist", 8.0);
+            m.to_canonical_json()
+        };
+        let a = fill();
+        assert_eq!(a, fill(), "dump not byte-stable");
+        let a_pos = a.find("\"a/bytes\"").unwrap();
+        let b_pos = a.find("\"b/bytes\"").unwrap();
+        assert!(a_pos < b_pos, "keys not sorted:\n{a}");
+        assert!(a.contains("\"buckets\": [[4, 1], [8, 1]]"), "{a}");
+        assert!(a.contains("\"schema\": 1"), "{a}");
+
+        let empty = MetricsRegistry::new().to_canonical_json();
+        assert!(empty.contains("\"counters\": {}"), "{empty}");
+    }
+}

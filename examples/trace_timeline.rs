@@ -1,0 +1,82 @@
+//! Capture a wall-clock trace timeline of a rank-parallel LJ melt and
+//! write it as Chrome trace_event JSON for Perfetto.
+//!
+//! Run with: `cargo run --release --example trace_timeline`
+//!
+//! Then open <https://ui.perfetto.dev> and drag `lj_trace.json` in (or
+//! use `chrome://tracing`). What you will see:
+//!
+//! * **host** process (`pid 0`): one track per simulated MPI rank
+//!   (`rank0`..`rank3`) with the nested region spans of the MD loop —
+//!   `step/pair`, `step/comm/fwd/{pack,send,recv,unpack}`, pool
+//!   `reclaim` blocking, neighbor rebuilds — plus instant markers for
+//!   per-edge exchange bytes and counter tracks for owned/ghost atoms.
+//! * **gpusim (predicted)** process (`pid 1`): the cost-model device
+//!   timeline — one complete event per kernel launch whose duration is
+//!   the `lkk-gpusim` prediction for the chosen architecture.
+//!
+//! This example uses wall-clock mode (microsecond timestamps, real
+//! concurrency visible). CI uses the deterministic mode instead, where
+//! timestamps are per-lane logical ticks and the bytes never change —
+//! see `perf-smoke --trace` and `docs/observability.md`.
+
+use lammps_kk::core::prelude::*;
+use lammps_kk::gpusim::GpuArch;
+use lammps_kk::kokkos::profile;
+use lammps_kk::trace::TraceCollector;
+use std::sync::Arc;
+
+fn main() {
+    let cells = 6; // 864 atoms over 4 ranks
+    let steps = 20u64;
+    let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
+    let mut atoms = AtomData::from_positions(&lat.positions(cells, cells, cells));
+    create_velocities(&mut atoms, &Units::lj(), 1.44, 87287);
+    let spec = RankParallelSpec::new(&atoms, lat.domain(cells, cells, cells), steps);
+
+    let collector = Arc::new(TraceCollector::wall(GpuArch::h100()));
+    let id = profile::register_subscriber(collector.clone());
+    let run = run_rank_parallel(&spec, 4, |_, system| {
+        let pair = PairKokkos::with_options(
+            LjCut::single_type(1.0, 1.0, 2.5),
+            &Space::Serial,
+            PairKokkosOptions {
+                force_half: Some(true),
+                ..Default::default()
+            },
+        );
+        Simulation::new(system, Box::new(pair))
+    });
+    profile::unregister_subscriber(id);
+
+    let json = collector.export_chrome();
+    let path = "lj_trace.json";
+    std::fs::write(path, &json).expect("writing trace");
+
+    println!(
+        "Ran {} atoms for {} steps on {} simulated ranks.",
+        run.natoms, run.steps, run.nranks
+    );
+    println!(
+        "Atom imbalance {:.3}, pair-time imbalance {:.3} (max/mean over ranks).",
+        run.atom_imbalance(),
+        run.pair_time_imbalance()
+    );
+    println!(
+        "Wrote {path} ({} lanes, {} KiB) — open it at https://ui.perfetto.dev",
+        collector.lane_count(),
+        json.len() / 1024
+    );
+
+    // The same collector doubles as the metrics sink: exchange bytes
+    // and the per-rank census land in the registry as it records.
+    let metrics = collector.metrics();
+    if let Some(grow) = metrics.counter("rank0/pool_grow") {
+        println!("rank0 requested {grow} words of message-pool growth.");
+    }
+    for rank in 0..run.nranks {
+        if let Some(owned) = metrics.gauge(&format!("rank{rank}/owned_atoms")) {
+            println!("rank{rank} finished owning {owned} atoms.");
+        }
+    }
+}

@@ -32,6 +32,11 @@ cargo bench --no-run
 echo "==> perf-smoke --check results/perf_baseline.json"
 cargo run --release -p lkk-perf --bin perf-smoke -- --check results/perf_baseline.json
 
+echo "==> perf-smoke trace capture + metrics byte-gate"
+cargo run --release -p lkk-perf --bin perf-smoke -- \
+  --trace results/trace_smoke.json \
+  --check-metrics results/metrics_baseline.json
+
 echo "==> perf-smoke --time (advisory wall-clock, not gated)"
 cargo run --release -p lkk-perf --bin perf-smoke -- --time --reps 3
 

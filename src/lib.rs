@@ -5,3 +5,4 @@ pub use lkk_kokkos as kokkos;
 pub use lkk_machine as machine;
 pub use lkk_reaxff as reaxff;
 pub use lkk_snap as snap;
+pub use lkk_trace as trace;

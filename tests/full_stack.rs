@@ -115,14 +115,14 @@ fn reaxff_script_equilibrates_charges() {
 }
 
 #[test]
-// Exercises the deprecated shim on purpose: it must keep matching the
-// single-rank reference until it is removed.
-#[allow(deprecated)]
 fn simulated_mpi_decomposition_matches_reference() {
-    use lammps_kk::core::decomp::run_lj_decomposed;
-    use lammps_kk::core::domain::Domain;
+    use lammps_kk::core::atom::AtomData;
+    use lammps_kk::core::comm::brick::{run_rank_parallel, RankParallelSpec};
     use lammps_kk::core::lattice::{Lattice, LatticeKind};
     use lammps_kk::core::pair::lj::LjCut;
+    use lammps_kk::core::pair::{PairKokkos, PairKokkosOptions};
+    use lammps_kk::core::sim::Simulation;
+    use lammps_kk::kokkos::Space;
 
     // 6³ cells: a 6-rank grid (1×2×3) needs every split dimension at
     // least one ghost cutoff wide and every unsplit dimension at least
@@ -141,21 +141,37 @@ fn simulated_mpi_decomposition_matches_reference() {
             ]
         })
         .collect();
-    let velocities = vec![[0.0; 3]; positions.len()];
-    let domain: Domain = lat.domain(n, n, n);
-    let lj = LjCut::single_type(1.0, 1.0, 2.5);
-    let (s1, e1) = run_lj_decomposed(&positions, &velocities, domain, lj.clone(), 1, 8, 0.002);
-    let (s6, e6) = run_lj_decomposed(&positions, &velocities, domain, lj, 6, 8, 0.002);
-    assert_eq!(s1.len(), s6.len());
-    for (a, b) in s1.iter().zip(&s6) {
+    let atoms = AtomData::from_positions(&positions);
+    let spec = RankParallelSpec::new(&atoms, lat.domain(n, n, n), 8);
+    let run_at = |nranks: usize| {
+        run_rank_parallel(&spec, nranks, |_, system| {
+            let pair = PairKokkos::with_options(
+                LjCut::single_type(1.0, 1.0, 2.5),
+                &Space::Serial,
+                PairKokkosOptions {
+                    force_half: Some(true),
+                    ..Default::default()
+                },
+            );
+            let mut sim = Simulation::new(system, Box::new(pair));
+            sim.dt = 0.002;
+            sim
+        })
+    };
+    let r1 = run_at(1);
+    let r6 = run_at(6);
+    assert_eq!(r1.states.len(), r6.states.len());
+    for (a, b) in r1.states.iter().zip(&r6.states) {
         assert_eq!(a.tag, b.tag);
         for k in 0..3 {
             assert!((a.x[k] - b.x[k]).abs() < 1e-9);
         }
     }
-    for (a, b) in e1.iter().zip(&e6) {
-        assert!((a - b).abs() < 1e-8 * a.abs().max(1.0));
-    }
+    assert!((r1.e_pair - r6.e_pair).abs() < 1e-8 * r1.e_pair.abs().max(1.0));
+    // The per-rank ownership census satellite: 6 ranks cover all atoms.
+    assert_eq!(r6.owned_atoms.len(), 6);
+    assert_eq!(r6.owned_atoms.iter().sum::<usize>(), positions.len());
+    assert!(r6.atom_imbalance() >= 1.0 && r6.pair_time_imbalance() >= 1.0);
 }
 
 #[test]
