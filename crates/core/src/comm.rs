@@ -26,6 +26,9 @@ use crate::domain::Domain;
 use crate::sim::System;
 
 pub mod brick;
+pub mod fault;
+
+pub use fault::{CommError, FaultConfig, FaultKind, FaultPlan, FaultStats, RetryPolicy};
 
 /// Ghost bookkeeping: ghost row `nlocal + g` is a copy of `owner[g]`
 /// displaced by `shift[g]`.
@@ -322,6 +325,12 @@ impl CommStats {
 /// calls, which `Simulation::run` guarantees by reducing the rebuild
 /// decision through [`Comm::allreduce_or`]. See `docs/comm.md` for the
 /// ordering and pooling contract.
+///
+/// Every exchange is fallible: instead of deadlocking on a stalled or
+/// dead peer, implementations return a structured [`CommError`] and the
+/// driver aborts the run with per-rank diagnostics (the graceful-
+/// degradation contract of `docs/robustness.md`). Single-rank comms
+/// never fail.
 pub trait Comm: Send {
     /// Implementation name (for reports and `Debug`).
     fn name(&self) -> &'static str;
@@ -340,34 +349,48 @@ pub trait Comm: Send {
     /// left this rank's sub-domain, and (re)build the ghost rows out to
     /// `cutghost`. Positions must be host-resident; the result is
     /// host-modified (the caller flushes the sync state).
-    fn borders(&mut self, system: &mut System, cutghost: f64);
+    fn borders(&mut self, system: &mut System, cutghost: f64) -> Result<(), CommError>;
 
     /// Forward (position) exchange: refresh every ghost row from its
     /// owner. Host-side, like the rest of the exchange path.
-    fn forward(&mut self, system: &mut System);
+    fn forward(&mut self, system: &mut System) -> Result<(), CommError>;
 
     /// Reverse (force) exchange: fold ghost-row forces back into their
     /// owners and zero the ghost rows.
-    fn reverse(&mut self, system: &mut System);
+    fn reverse(&mut self, system: &mut System) -> Result<(), CommError>;
 
     /// Forward a per-atom scalar (length `nall`) owner → ghost; used by
     /// styles with intermediate per-atom state (EAM's F′(ρ), Fig. 1).
-    fn forward_scalar(&mut self, system: &mut System, values: &mut [f64]);
+    fn forward_scalar(&mut self, system: &mut System, values: &mut [f64]) -> Result<(), CommError>;
 
     /// Collective OR (the global rebuild decision).
-    fn allreduce_or(&mut self, flag: bool) -> bool {
-        flag
+    fn allreduce_or(&mut self, flag: bool) -> Result<bool, CommError> {
+        Ok(flag)
     }
 
     /// Collective sum, combined in rank order so every rank computes a
     /// bitwise-identical result.
-    fn allreduce_sum(&mut self, value: f64) -> f64 {
-        value
+    fn allreduce_sum(&mut self, value: f64) -> Result<f64, CommError> {
+        Ok(value)
+    }
+
+    /// Drain in-flight traffic so every peer can shut down cleanly.
+    /// Only meaningful under fault injection (a dropped final-phase
+    /// message must be retransmitted before its sender exits); a no-op
+    /// everywhere else.
+    fn quiesce(&mut self) -> Result<(), CommError> {
+        Ok(())
     }
 
     /// Cumulative exchange counters.
     fn stats(&self) -> CommStats {
         CommStats::default()
+    }
+
+    /// Cumulative fault-injection / recovery counters (all zero unless
+    /// a fault plan is installed; see [`fault`]).
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
     }
 
     /// Heap growths of the persistent message-buffer pool since
@@ -401,26 +424,30 @@ impl Comm for SingleRankComm {
         "single"
     }
 
-    fn borders(&mut self, system: &mut System, cutghost: f64) {
+    fn borders(&mut self, system: &mut System, cutghost: f64) -> Result<(), CommError> {
         system.atoms.wrap_positions(&system.domain);
         let mut map = std::mem::take(&mut system.ghosts);
         build_ghosts_into(&mut system.atoms, &system.domain, cutghost, &mut map);
         system.ghosts = map;
+        Ok(())
     }
 
-    fn forward(&mut self, system: &mut System) {
+    fn forward(&mut self, system: &mut System) -> Result<(), CommError> {
         forward_positions(&mut system.atoms, &system.ghosts);
+        Ok(())
     }
 
-    fn reverse(&mut self, system: &mut System) {
+    fn reverse(&mut self, system: &mut System) -> Result<(), CommError> {
         reverse_forces(&mut system.atoms, &system.ghosts);
+        Ok(())
     }
 
-    fn forward_scalar(&mut self, system: &mut System, values: &mut [f64]) {
+    fn forward_scalar(&mut self, system: &mut System, values: &mut [f64]) -> Result<(), CommError> {
         let nlocal = system.atoms.nlocal;
         for (g, &owner) in system.ghosts.owner.iter().enumerate() {
             values[nlocal + g] = values[owner];
         }
+        Ok(())
     }
 }
 
@@ -540,16 +567,17 @@ mod tests {
         let (atoms, domain) = corner_system();
         let mut system = System::new(atoms, domain, lkk_kokkos::Space::Serial);
         let mut comm = SingleRankComm;
-        comm.borders(&mut system, 2.0);
+        comm.borders(&mut system, 2.0).unwrap();
         assert_eq!(system.ghosts.nghost(), 7);
         assert_eq!(comm.nranks(), 1);
-        assert!(comm.allreduce_or(false) == false && comm.allreduce_or(true));
-        assert_eq!(comm.allreduce_sum(2.5), 2.5);
+        assert!(!comm.allreduce_or(false).unwrap() && comm.allreduce_or(true).unwrap());
+        assert_eq!(comm.allreduce_sum(2.5).unwrap(), 2.5);
         assert_eq!(comm.stats(), CommStats::default());
+        assert_eq!(comm.fault_stats(), FaultStats::default());
         // forward_scalar copies owner values into ghost slots.
         let mut vals = vec![0.0; system.atoms.nall()];
         vals[0] = 3.25;
-        comm.forward_scalar(&mut system, &mut vals);
+        comm.forward_scalar(&mut system, &mut vals).unwrap();
         for g in 0..system.ghosts.nghost() {
             assert_eq!(vals[system.atoms.nlocal + g], 3.25);
         }

@@ -26,9 +26,24 @@
 //! exchanges allocate nothing (`Comm::grow_count` asserts this — the
 //! same invariant the neighbor-list and scatter pools keep, see
 //! `docs/performance.md`).
+//!
+//! Every message travels inside a small envelope — `[tag, seq, crc]`
+//! followed by the payload words. The per-edge sequence number is
+//! deterministic (every phase sends exactly one message per directed
+//! edge, empty or not), so duplicated or reordered deliveries are
+//! detected and discarded by `seq` alone, and the CRC32 over the
+//! payload (computed only when a fault plan is installed) catches
+//! corruption. Lost or corrupted envelopes are recovered by NACK +
+//! retransmit over a per-edge control channel; receives poll with
+//! bounded exponential backoff instead of blocking forever, so a dead
+//! edge or vanished peer surfaces as a structured
+//! [`CommError`](crate::comm::CommError) rather than a deadlock. The
+//! whole fault model and the determinism contract live in
+//! `docs/robustness.md`.
 
 use crate::atom::{AtomData, AtomRecord, Mask};
-use crate::comm::{Comm, CommStats};
+use crate::comm::fault::{crc32_words, CommError, FaultKind, FaultPlan, FaultStats};
+use crate::comm::{Comm, CommStats, FaultConfig};
 use crate::compute;
 use crate::decomp::BrickDecomp;
 use crate::domain::Domain;
@@ -36,7 +51,8 @@ use crate::neighbor::Bins;
 use crate::sim::{Simulation, System, ThermoRow, Timings};
 use crate::units::Units;
 use lkk_kokkos::{profile, Space};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::{Duration, Instant};
 
 // Phase tags (word 0 of every message) catch sequence mismatches in
 // debug builds: a desynced collective shows up as a tag assert, not as
@@ -47,11 +63,31 @@ const TAG_FORWARD: u64 = 3;
 const TAG_REVERSE: u64 = 4;
 const TAG_SCALAR: u64 = 5;
 const TAG_REDUCE: u64 = 6;
+/// Shutdown handshake (fault mode only): exempt from injection, like a
+/// finalize barrier riding a reliable control plane.
+const TAG_QUIESCE: u64 = 7;
+
+/// Envelope words preceding the payload: `[tag, seq, crc]`.
+const HDR: usize = 3;
 
 /// Words per atom in a migration message (tag, type, q, x, v, image).
 const MIGRATE_WORDS: usize = 12;
 /// Words per atom in a border message (tag, type, q, x, shift).
 const BORDER_WORDS: usize = 9;
+
+/// Human-readable phase name for [`CommError`] diagnostics.
+fn tag_name(tag: u64) -> &'static str {
+    match tag {
+        TAG_MIGRATE => "migrate",
+        TAG_BORDER => "border",
+        TAG_FORWARD => "forward",
+        TAG_REVERSE => "reverse",
+        TAG_SCALAR => "scalar",
+        TAG_REDUCE => "reduce",
+        TAG_QUIESCE => "quiesce",
+        _ => "unknown",
+    }
+}
 
 /// The channel endpoints one rank holds toward one peer.
 struct Link {
@@ -63,6 +99,10 @@ struct Link {
     recycle_tx: Sender<Vec<u64>>,
     /// This rank's buffers coming back from the peer.
     recycle_rx: Receiver<Vec<u64>>,
+    /// Retransmit requests (NACKed sequence numbers) to the peer.
+    ctrl_tx: Sender<u64>,
+    /// Retransmit requests from the peer, polled between receives.
+    ctrl_rx: Receiver<u64>,
     /// Buffers sent to the peer and not yet reclaimed. Reclaim waits
     /// for exactly this many, which makes the pool's contents — and
     /// therefore its `grow_count` — independent of thread timing.
@@ -162,6 +202,33 @@ pub struct BrickComm {
     stats: CommStats,
     halo_seconds: f64,
     migrate_seconds: f64,
+    /// Next sequence number to send per peer (lockstep with the peer's
+    /// `recv_seq` for this edge; see the envelope docs above).
+    send_seq: Vec<u64>,
+    /// Next sequence number expected per peer.
+    recv_seq: Vec<u64>,
+    /// Clean copy of the last envelope sent per peer (fault mode only);
+    /// a reorder fault replays it ahead of the current envelope.
+    last_sent: Vec<Vec<u64>>,
+    /// Pre-packed envelopes awaiting a possible NACK: `(seq, envelope)`.
+    /// A sender can lead a stuck receiver by at most one phase (it
+    /// cannot finish its own next receive round without the stuck
+    /// peer's send), so at most two entries per peer ever coexist.
+    pending_retx: Vec<Vec<(u64, Vec<u64>)>>,
+    /// Envelopes received ahead of their turn, parked per peer until
+    /// the receive that expects them. Holds at most two: the expected
+    /// envelope (pulled by an eager drain while waiting elsewhere) and
+    /// the next-phase one (the one-phase-lead bound caps the sender
+    /// there); duplicates of either are discarded on arrival.
+    stash: Vec<Vec<Vec<u64>>>,
+    /// Installed fault schedule; `None` keeps the exchange path
+    /// byte-identical to the pre-fault-layer behavior (no CRC work, no
+    /// polling).
+    plan: Option<FaultPlan>,
+    /// Largest buffer capacity the fault-mode pool has been provisioned
+    /// for (see [`BrickComm::prewarm`]); 0 until the first dispatch.
+    prewarm_cap: usize,
+    fstats: FaultStats,
 }
 
 impl BrickComm {
@@ -178,18 +245,26 @@ impl BrickComm {
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         let mut rec_rx: Vec<Vec<Option<Receiver<Vec<u64>>>>> =
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut ctrl_tx: Vec<Vec<Option<Sender<u64>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut ctrl_rx: Vec<Vec<Option<Receiver<u64>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         for a in 0..n {
             for b in 0..n {
                 if a == b {
                     continue;
                 }
-                // Data a → b; its buffers recycle b → a.
+                // Data a → b; its buffers recycle b → a; NACKs for it
+                // travel b → a on the control channel.
                 let (tx, rx) = channel();
                 data_tx[a][b] = Some(tx);
                 data_rx[b][a] = Some(rx);
                 let (tx, rx) = channel();
                 rec_tx[b][a] = Some(tx);
                 rec_rx[a][b] = Some(rx);
+                let (tx, rx) = channel();
+                ctrl_tx[b][a] = Some(tx);
+                ctrl_rx[a][b] = Some(rx);
             }
         }
         (0..n)
@@ -204,6 +279,8 @@ impl BrickComm {
                                 rx: data_rx[rank][p].take().unwrap(),
                                 recycle_tx: rec_tx[rank][p].take().unwrap(),
                                 recycle_rx: rec_rx[rank][p].take().unwrap(),
+                                ctrl_tx: ctrl_tx[rank][p].take().unwrap(),
+                                ctrl_rx: ctrl_rx[rank][p].take().unwrap(),
                                 owed: std::cell::Cell::new(0),
                             })
                         }
@@ -232,9 +309,34 @@ impl BrickComm {
                     stats: CommStats::default(),
                     halo_seconds: 0.0,
                     migrate_seconds: 0.0,
+                    send_seq: vec![0; n],
+                    recv_seq: vec![0; n],
+                    last_sent: (0..n).map(|_| Vec::new()).collect(),
+                    pending_retx: (0..n).map(|_| Vec::new()).collect(),
+                    stash: (0..n).map(|_| Vec::new()).collect(),
+                    plan: None,
+                    prewarm_cap: 0,
+                    fstats: FaultStats::default(),
                 }
             })
             .collect()
+    }
+
+    /// Install a fault schedule. All subsequent exchanges compute and
+    /// verify payload CRCs, poll with timeouts instead of blocking, and
+    /// inject the planned faults on the send side. Must be installed on
+    /// every rank of the run (the plan is shared; both endpoints of an
+    /// edge agree on the schedule by construction).
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Fault/recovery instant into the trace layer (summed into
+    /// `rank{r}/comm.fault.*` metrics counters by `lkk-trace`).
+    fn note_fault(&self, name: &str, value: f64) {
+        if profile::has_subscribers() {
+            profile::note_instant(name, value);
+        }
     }
 
     /// Pull every outstanding buffer back into the pool, waiting for
@@ -242,40 +344,440 @@ impl BrickComm {
     /// recycles while draining its receives for the *previous* phase,
     /// which it must finish before it can participate in the phase this
     /// reclaim precedes — so every owed buffer is already in flight.
-    fn reclaim(&mut self) {
+    /// In fault mode the wait polls, services retransmit requests (a
+    /// stuck peer may need one of our parked envelopes before it can
+    /// drain anything), and turns a vanished peer into an error.
+    fn reclaim(&mut self) -> Result<(), CommError> {
         // The `reclaim` span on a trace timeline is this rank *blocked*
         // on peers that have not yet drained the previous phase — the
         // simulated-MPI analogue of wait time in MPI_Send completion.
         let _span = profile::has_subscribers().then(|| profile::begin_region("reclaim"));
-        for link in self.links.iter().flatten() {
-            for _ in 0..link.owed.get() {
-                let buf = link
-                    .recycle_rx
-                    .recv()
-                    .expect("peer rank terminated without recycling");
-                self.pool.free.push(buf);
+        if self.plan.is_none() {
+            for p in 0..self.links.len() {
+                let Some(link) = self.links[p].as_ref() else {
+                    continue;
+                };
+                for _ in 0..link.owed.get() {
+                    let buf = link
+                        .recycle_rx
+                        .recv()
+                        .map_err(|_| CommError::PeerDisconnected {
+                            rank: self.rank,
+                            peer: p,
+                            phase: "reclaim",
+                        })?;
+                    self.pool.free.push(buf);
+                }
+                link.owed.set(0);
             }
-            link.owed.set(0);
+            return Ok(());
+        }
+        let policy = self.plan.as_ref().unwrap().policy();
+        let poll = Duration::from_millis(policy.poll_ms);
+        // Same wall-clock budget as a resilient receive: a peer that
+        // cannot drain the previous phase within it is itself stuck on
+        // an unrecoverable edge, and this rank must degrade to an error
+        // rather than spin forever (the no-deadlock guarantee).
+        let budget = Duration::from_millis(policy.budget_ms());
+        for p in 0..self.links.len() {
+            let started = Instant::now();
+            while let Some(link) = self.links[p].as_ref() {
+                if link.owed.get() == 0 {
+                    break;
+                }
+                match link.recycle_rx.recv_timeout(poll) {
+                    Ok(buf) => {
+                        link.owed.set(link.owed.get() - 1);
+                        self.pool.free.push(buf);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.service_nacks();
+                        self.drain_inbound();
+                        if started.elapsed() >= budget {
+                            self.fstats.timeouts += 1;
+                            self.note_fault("comm.fault.timeout", p as f64);
+                            return Err(CommError::Timeout {
+                                rank: self.rank,
+                                peer: p,
+                                phase: "reclaim",
+                                seq: self.send_seq[p],
+                                retries: policy.max_retries,
+                                waited_ms: started.elapsed().as_millis() as u64,
+                            });
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(CommError::PeerDisconnected {
+                            rank: self.rank,
+                            peer: p,
+                            phase: "reclaim",
+                        })
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn send_to(&self, peer: usize, buf: Vec<u64>) -> Result<(), CommError> {
+        let link = self.links[peer].as_ref().unwrap();
+        link.owed.set(link.owed.get() + 1);
+        let tag = buf[0];
+        link.tx.send(buf).map_err(|_| CommError::PeerDisconnected {
+            rank: self.rank,
+            peer,
+            phase: tag_name(tag),
+        })
+    }
+
+    /// Start an envelope toward `peer`: acquire a pooled buffer sized
+    /// for `payload_words` and write the `[tag, seq, crc]` header (crc
+    /// is filled at dispatch when a fault plan is active).
+    fn begin_msg(&mut self, peer: usize, tag: u64, payload_words: usize) -> Vec<u64> {
+        let mut buf = self.pool.acquire(HDR + payload_words);
+        buf.push(tag);
+        buf.push(self.send_seq[peer]);
+        buf.push(0);
+        buf
+    }
+
+    /// Provision the pool for worst-case fault-path extras of the
+    /// largest envelope class seen so far: per edge, up to two parked
+    /// retransmit copies plus one in-flight duplicate/reorder copy can
+    /// be live at once, on top of a full phase's worth of originals.
+    /// Acquiring that many buffers at once and releasing them grows the
+    /// pool *now* — a plan-determined point, reached during warmup for
+    /// every class (a class first dispatched after warmup would grow
+    /// the fault-free baseline too) — so later fault recovery never
+    /// allocates, keeping `grow_count` frozen after warmup.
+    fn prewarm(&mut self, cap: usize) {
+        let peers = self.links.iter().filter(|l| l.is_some()).count();
+        let mut held: Vec<Vec<u64>> = (0..4 * peers).map(|_| self.pool.acquire(cap)).collect();
+        self.prewarm_cap = held
+            .iter()
+            .map(|b| b.capacity())
+            .max()
+            .unwrap_or(cap)
+            .max(cap);
+        while let Some(buf) = held.pop() {
+            self.pool.free.push(buf);
         }
     }
 
-    fn send_to(&self, peer: usize, buf: Vec<u64>) {
-        let link = self.links[peer].as_ref().unwrap();
-        link.owed.set(link.owed.get() + 1);
-        link.tx
-            .send(buf)
-            .expect("peer rank terminated mid-exchange");
+    /// Transmit a packed envelope, injecting the planned fault for this
+    /// `(edge, seq)` event if any. All pool demand of the fault paths
+    /// happens here, at plan-determined points, which is what keeps
+    /// `grow_count` a pure function of the seed (and zero after warmup).
+    fn dispatch(&mut self, peer: usize, mut buf: Vec<u64>) -> Result<(), CommError> {
+        let seq = self.send_seq[peer];
+        debug_assert_eq!(buf[1], seq, "envelope packed for a different round");
+        self.send_seq[peer] = seq + 1;
+        let Some(plan) = self.plan.clone() else {
+            return self.send_to(peer, buf);
+        };
+        if buf.capacity() > self.prewarm_cap {
+            self.prewarm(buf.capacity());
+        }
+        // Dispatching seq `s` proves the receiver finished phase `s-2`
+        // (it sent its phase `s-1` envelopes, which required accepting
+        // everything through `s-2`) — parked copies that old can never
+        // be NACKed again. This happens when a reorder pre-send delivers
+        // the payload of a dropped envelope, masking the drop: prune
+        // them back into the pool at this plan-determined point, or
+        // they would leak and grow the pool.
+        let mut i = 0;
+        while i < self.pending_retx[peer].len() {
+            if self.pending_retx[peer][i].0 + 2 <= seq {
+                let (_, old) = self.pending_retx[peer].remove(i);
+                self.pool.free.push(old);
+            } else {
+                i += 1;
+            }
+        }
+        let tag = buf[0];
+        buf[2] = crc32_words(&buf[HDR..]) as u64;
+        if tag == TAG_QUIESCE {
+            // Shutdown handshake: never faulted (see TAG_QUIESCE docs).
+            return self.send_to(peer, buf);
+        }
+        if plan.edge_dead(self.rank, peer, seq) {
+            // Unrecoverable: the transmission and any retransmit are
+            // gone. The receiver must exhaust its retries.
+            self.fstats.drops += 1;
+            self.note_fault("comm.fault.dead_drop", seq as f64);
+            self.pool.free.push(buf);
+            return Ok(());
+        }
+        let event = plan.draw(self.rank, peer, seq);
+        // A reorder fault needs the *previous* envelope before
+        // `last_sent` is refreshed below.
+        if let Some(ev) = event {
+            if ev.kind == FaultKind::Reorder && !self.last_sent[peer].is_empty() {
+                let stale_src = std::mem::take(&mut self.last_sent[peer]);
+                let mut stale = self.pool.acquire(stale_src.len());
+                stale.extend_from_slice(&stale_src);
+                self.last_sent[peer] = stale_src;
+                self.fstats.reorders += 1;
+                self.note_fault("comm.fault.reorder", seq as f64);
+                self.send_to(peer, stale)?;
+            }
+        }
+        self.last_sent[peer].clear();
+        self.last_sent[peer].extend_from_slice(&buf);
+        match event.map(|ev| (ev.kind, ev)) {
+            None | Some((FaultKind::Reorder, _)) => self.send_to(peer, buf),
+            Some((FaultKind::Delay, ev)) => {
+                self.fstats.delays += 1;
+                self.note_fault("comm.fault.delay", ev.delay_ms as f64);
+                std::thread::sleep(Duration::from_millis(ev.delay_ms));
+                self.send_to(peer, buf)
+            }
+            Some((FaultKind::Drop, _)) => {
+                // The packed envelope becomes its own retransmit copy:
+                // the receiver times out, NACKs, and `service_nacks`
+                // delivers it — zero extra pool demand.
+                self.fstats.drops += 1;
+                self.note_fault("comm.fault.drop", seq as f64);
+                self.pending_retx[peer].push((seq, buf));
+                debug_assert!(
+                    self.pending_retx[peer].len() <= 2,
+                    "retransmit ring overflow"
+                );
+                Ok(())
+            }
+            Some((FaultKind::Duplicate, _)) => {
+                self.fstats.duplicates += 1;
+                self.note_fault("comm.fault.duplicate", seq as f64);
+                let mut copy = self.pool.acquire(buf.len());
+                copy.extend_from_slice(&buf);
+                self.send_to(peer, buf)?;
+                self.send_to(peer, copy)
+            }
+            Some((FaultKind::Corrupt, ev)) => {
+                // Park a clean copy for the NACK, then flip one bit of
+                // the transmitted payload (or of the CRC word itself
+                // when the payload is empty — either way validation
+                // fails on arrival).
+                self.fstats.corruptions += 1;
+                self.note_fault("comm.fault.corrupt", seq as f64);
+                let mut clean = self.pool.acquire(buf.len());
+                clean.extend_from_slice(&buf);
+                self.pending_retx[peer].push((seq, clean));
+                debug_assert!(
+                    self.pending_retx[peer].len() <= 2,
+                    "retransmit ring overflow"
+                );
+                if buf.len() > HDR {
+                    let i = HDR + (ev.aux as usize) % (buf.len() - HDR);
+                    buf[i] ^= 1 << ((ev.aux >> 32) % 64);
+                } else {
+                    buf[2] ^= 1;
+                }
+                self.send_to(peer, buf)
+            }
+        }
     }
 
-    fn recv_from(&self, peer: usize, tag: u64) -> Vec<u64> {
-        let buf = self.links[peer]
-            .as_ref()
-            .unwrap()
-            .rx
-            .recv()
-            .expect("peer rank terminated mid-exchange");
-        debug_assert_eq!(buf[0], tag, "exchange sequence desynced");
-        buf
+    /// Answer inbound retransmit requests. A NACK with no parked
+    /// envelope is ignored on purpose: it can only mean the original
+    /// was neither dropped nor corrupted, so it is in flight and will
+    /// arrive — answering would need a fresh allocation at a
+    /// timing-dependent moment, breaking pool determinism for nothing.
+    fn service_nacks(&mut self) {
+        for p in 0..self.links.len() {
+            while let Some(link) = self.links[p].as_ref() {
+                let seq = match link.ctrl_rx.try_recv() {
+                    Ok(seq) => seq,
+                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                };
+                if let Some(pos) = self.pending_retx[p].iter().position(|(s, _)| *s == seq) {
+                    let (_, buf) = self.pending_retx[p].remove(pos);
+                    self.fstats.retransmits += 1;
+                    self.note_fault("comm.fault.retransmit", seq as f64);
+                    // A send failure here means the requester died
+                    // right after asking; the data-path receive will
+                    // surface the disconnect.
+                    let _ = self.send_to(p, buf);
+                }
+            }
+        }
+    }
+
+    fn send_nack(&mut self, peer: usize, seq: u64) {
+        self.fstats.nacks_sent += 1;
+        self.note_fault("comm.fault.nack", seq as f64);
+        // A dead peer is reported by the data-path receive, not here.
+        let _ = self.links[peer].as_ref().unwrap().ctrl_tx.send(seq);
+    }
+
+    fn recv_from(&mut self, peer: usize, tag: u64) -> Result<Vec<u64>, CommError> {
+        if self.plan.is_none() {
+            let expected = self.recv_seq[peer];
+            let buf = self.links[peer].as_ref().unwrap().rx.recv().map_err(|_| {
+                CommError::PeerDisconnected {
+                    rank: self.rank,
+                    peer,
+                    phase: tag_name(tag),
+                }
+            })?;
+            debug_assert_eq!(buf[0], tag, "exchange sequence desynced");
+            debug_assert_eq!(buf[1], expected, "envelope sequence desynced");
+            self.recv_seq[peer] = expected + 1;
+            return Ok(buf);
+        }
+        self.recv_resilient(peer, tag)
+    }
+
+    /// Drain every inbound data channel without blocking, recycling
+    /// stale envelopes and parking (at most one) future envelope per
+    /// edge. Called from the fault-mode wait loops: a duplicate or a
+    /// retransmit that raced its original sits *unread* in our channel
+    /// until our next receive on that edge — but its sender counts it
+    /// as owed and its *reclaim* blocks on our recycle. Two such
+    /// leftovers on opposite directions of an edge (or around a cycle
+    /// of edges) would deadlock every reclaim involved; eagerly
+    /// draining while we ourselves wait breaks the cycle.
+    fn drain_inbound(&mut self) {
+        for p in 0..self.links.len() {
+            loop {
+                let buf = {
+                    let Some(link) = self.links[p].as_ref() else {
+                        break;
+                    };
+                    match link.rx.try_recv() {
+                        Ok(b) => b,
+                        // A disconnect is diagnosed on the data path.
+                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                    }
+                };
+                let seq = buf[1];
+                if seq < self.recv_seq[p] {
+                    self.fstats.stale_discards += 1;
+                    self.note_fault("comm.fault.stale", seq as f64);
+                    self.recycle(p, buf);
+                } else {
+                    self.park(p, buf);
+                }
+            }
+        }
+    }
+
+    /// Park a not-yet-consumed envelope for peer `p` until the receive
+    /// that expects it. Duplicates of an already-parked sequence are
+    /// discarded, and a corrupted envelope is rejected (with an
+    /// immediate retransmit request) rather than parked, so the stash
+    /// only ever holds valid payloads — at most two: the currently
+    /// expected sequence (pulled in by an eager drain while this rank
+    /// waited elsewhere) and the next one (the one-phase-lead bound
+    /// caps the sender there).
+    fn park(&mut self, p: usize, buf: Vec<u64>) {
+        let seq = buf[1];
+        if self.stash[p].iter().any(|b| b[1] == seq) {
+            self.fstats.stale_discards += 1;
+            self.note_fault("comm.fault.stale", seq as f64);
+            self.recycle(p, buf);
+        } else if crc32_words(&buf[HDR..]) as u64 != buf[2] {
+            self.fstats.crc_failures += 1;
+            self.note_fault("comm.fault.crc", seq as f64);
+            self.recycle(p, buf);
+            self.send_nack(p, seq);
+        } else {
+            debug_assert!(
+                seq <= self.recv_seq[p] + 1,
+                "sender more than one phase ahead"
+            );
+            self.stash[p].push(buf);
+            debug_assert!(self.stash[p].len() <= 2, "stash overflow");
+        }
+    }
+
+    /// Fault-mode receive: poll the data channel, discard stale
+    /// (duplicate / reordered) envelopes by sequence number, park one
+    /// future envelope, reject CRC mismatches with an immediate NACK,
+    /// and after `nack_base_ms` of silence start NACK rounds with
+    /// bounded exponential backoff. Exhausting `max_retries` rounds
+    /// returns [`CommError::Timeout`] — the no-deadlock guarantee.
+    fn recv_resilient(&mut self, peer: usize, tag: u64) -> Result<Vec<u64>, CommError> {
+        let expected = self.recv_seq[peer];
+        let policy = self.plan.as_ref().unwrap().policy();
+        let phase = tag_name(tag);
+        let start = Instant::now();
+        let mut retries = 0u32;
+        let mut backoff_ms = policy.nack_base_ms;
+        let mut nack_at = start + Duration::from_millis(backoff_ms);
+        loop {
+            // An envelope parked by an earlier recovery round?
+            let from_stash = self.stash[peer].iter().position(|b| b[1] == expected);
+            let buf = if let Some(i) = from_stash {
+                Some(self.stash[peer].remove(i))
+            } else {
+                match self.links[peer]
+                    .as_ref()
+                    .unwrap()
+                    .rx
+                    .recv_timeout(Duration::from_millis(policy.poll_ms))
+                {
+                    Ok(b) => Some(b),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(CommError::PeerDisconnected {
+                            rank: self.rank,
+                            peer,
+                            phase,
+                        })
+                    }
+                }
+            };
+            let Some(buf) = buf else {
+                self.service_nacks();
+                self.drain_inbound();
+                if Instant::now() >= nack_at {
+                    if retries >= policy.max_retries {
+                        self.fstats.timeouts += 1;
+                        self.note_fault("comm.fault.timeout", expected as f64);
+                        return Err(CommError::Timeout {
+                            rank: self.rank,
+                            peer,
+                            phase,
+                            seq: expected,
+                            retries,
+                            waited_ms: start.elapsed().as_millis() as u64,
+                        });
+                    }
+                    self.send_nack(peer, expected);
+                    retries += 1;
+                    backoff_ms = (backoff_ms * 2).min(policy.nack_cap_ms);
+                    nack_at = Instant::now() + Duration::from_millis(backoff_ms);
+                }
+                continue;
+            };
+            let seq = buf[1];
+            if seq < expected {
+                // Duplicate or reordered leftover: already accepted.
+                self.fstats.stale_discards += 1;
+                self.note_fault("comm.fault.stale", seq as f64);
+                self.recycle(peer, buf);
+            } else if seq > expected {
+                // The sender is one phase ahead (our envelope for this
+                // round was dropped or is still in flight); park its
+                // next-round envelope. Never dropped on the floor: a
+                // lost buffer here would leak out of the sender's owed
+                // accounting and wedge its reclaim.
+                self.park(peer, buf);
+            } else if crc32_words(&buf[HDR..]) as u64 != buf[2] {
+                self.fstats.crc_failures += 1;
+                self.note_fault("comm.fault.crc", seq as f64);
+                self.recycle(peer, buf);
+                // Ask for the parked clean copy right away (does not
+                // count against the timeout retry budget: the sender
+                // provably holds a copy for a corrupted envelope).
+                self.send_nack(peer, expected);
+            } else {
+                debug_assert_eq!(buf[0], tag, "exchange sequence desynced");
+                self.recv_seq[peer] = expected + 1;
+                return Ok(buf);
+            }
+        }
     }
 
     fn recycle(&self, peer: usize, buf: Vec<u64>) {
@@ -288,7 +790,7 @@ impl BrickComm {
     /// rank's brick. Rows are rebuilt as [survivors][immigrants in
     /// ascending peer order]; forces and style scratch are recomputed
     /// after the rebuild and are not carried.
-    fn migrate(&mut self, system: &mut System) {
+    fn migrate(&mut self, system: &mut System) -> Result<(), CommError> {
         let nranks = self.decomp.nranks();
         let nlocal = system.atoms.nlocal;
         self.dest.clear();
@@ -302,7 +804,7 @@ impl BrickComm {
             }
         }
         let traced = profile::has_subscribers();
-        self.reclaim();
+        self.reclaim()?;
         {
             let _span = traced.then(|| profile::begin_region("pack"));
             let mut outbox = std::mem::take(&mut self.outbox);
@@ -311,8 +813,7 @@ impl BrickComm {
                     continue;
                 }
                 let leavers = self.dest.iter().filter(|&&d| d == p).count();
-                let mut buf = self.pool.acquire(1 + leavers * MIGRATE_WORDS);
-                buf.push(TAG_MIGRATE);
+                let mut buf = self.begin_msg(p, TAG_MIGRATE, leavers * MIGRATE_WORDS);
                 for i in 0..nlocal {
                     if self.dest[i] == p {
                         pack_record(&mut buf, &system.atoms.record(i));
@@ -326,15 +827,15 @@ impl BrickComm {
             let _span = traced.then(|| profile::begin_region("send"));
             let mut outbox = std::mem::take(&mut self.outbox);
             for (p, buf) in outbox.drain(..) {
-                if buf.len() > 1 {
+                if buf.len() > HDR {
                     self.stats.migrate_msgs += 1;
-                    let bytes = ((buf.len() - 1) * 8) as u64;
+                    let bytes = ((buf.len() - HDR) * 8) as u64;
                     self.stats.migrate_bytes += bytes;
                     if traced {
                         profile::note_instant(&format!("migrate_bytes->r{p}"), bytes as f64);
                     }
                 }
-                self.send_to(p, buf);
+                self.dispatch(p, buf)?;
             }
             self.outbox = outbox;
         }
@@ -344,11 +845,11 @@ impl BrickComm {
             }
             let buf = {
                 let _span = traced.then(|| profile::begin_region("recv"));
-                self.recv_from(p, TAG_MIGRATE)
+                self.recv_from(p, TAG_MIGRATE)?
             };
-            debug_assert_eq!((buf.len() - 1) % MIGRATE_WORDS, 0);
+            debug_assert_eq!((buf.len() - HDR) % MIGRATE_WORDS, 0);
             let _span = traced.then(|| profile::begin_region("unpack"));
-            let mut k = 1;
+            let mut k = HDR;
             while k < buf.len() {
                 let r = unpack_record(&buf[k..k + MIGRATE_WORDS]);
                 debug_assert_eq!(
@@ -406,6 +907,7 @@ impl BrickComm {
             .atoms
             .image
             .extend(self.records.iter().map(|r| r.image));
+        Ok(())
     }
 
     /// Build the ghost layer: rows become [locals][periodic self
@@ -413,7 +915,7 @@ impl BrickComm {
     /// come from the boundary bin shell; each candidate is tested
     /// against the 26 neighbor-brick directions, whose periodic wraps
     /// determine the shift transmitted with the border message.
-    fn halo(&mut self, system: &mut System, cutghost: f64) {
+    fn halo(&mut self, system: &mut System, cutghost: f64) -> Result<(), CommError> {
         let nranks = self.decomp.nranks();
         let l = system.domain.lengths();
         for (k, &len) in l.iter().enumerate() {
@@ -510,7 +1012,7 @@ impl BrickComm {
         // Exchange border messages: identity + position + shift once;
         // subsequent forwards reference the same ordering implicitly.
         let traced = profile::has_subscribers();
-        self.reclaim();
+        self.reclaim()?;
         {
             let _span = traced.then(|| profile::begin_region("pack"));
             let mut outbox = std::mem::take(&mut self.outbox);
@@ -518,10 +1020,7 @@ impl BrickComm {
                 if p == self.rank {
                     continue;
                 }
-                let mut buf = self
-                    .pool
-                    .acquire(1 + self.send_plan[p].len() * BORDER_WORDS);
-                buf.push(TAG_BORDER);
+                let mut buf = self.begin_msg(p, TAG_BORDER, self.send_plan[p].len() * BORDER_WORDS);
                 {
                     let xh = system.atoms.x.h_view();
                     let tagh = system.atoms.tag.h_view();
@@ -548,15 +1047,15 @@ impl BrickComm {
             let _span = traced.then(|| profile::begin_region("send"));
             let mut outbox = std::mem::take(&mut self.outbox);
             for (p, buf) in outbox.drain(..) {
-                if buf.len() > 1 {
+                if buf.len() > HDR {
                     self.stats.border_msgs += 1;
-                    let bytes = ((buf.len() - 1) * 8) as u64;
+                    let bytes = ((buf.len() - HDR) * 8) as u64;
                     self.stats.border_bytes += bytes;
                     if traced {
                         profile::note_instant(&format!("border_bytes->r{p}"), bytes as f64);
                     }
                 }
-                self.send_to(p, buf);
+                self.dispatch(p, buf)?;
             }
             self.outbox = outbox;
         }
@@ -568,9 +1067,9 @@ impl BrickComm {
                 if p == self.rank {
                     continue;
                 }
-                let buf = self.recv_from(p, TAG_BORDER);
-                debug_assert_eq!((buf.len() - 1) % BORDER_WORDS, 0);
-                let count = (buf.len() - 1) / BORDER_WORDS;
+                let buf = self.recv_from(p, TAG_BORDER)?;
+                debug_assert_eq!((buf.len() - HDR) % BORDER_WORDS, 0);
+                let count = (buf.len() - HDR) / BORDER_WORDS;
                 self.recv_count[p] = count;
                 nremote += count;
                 self.inbox.push((p, buf));
@@ -613,8 +1112,8 @@ impl BrickComm {
         let mut row = self.remote_base;
         let mut inbox = std::mem::take(&mut self.inbox);
         for (p, buf) in inbox.drain(..) {
-            let count = (buf.len() - 1) / BORDER_WORDS;
-            let mut k = 1;
+            let count = (buf.len() - HDR) / BORDER_WORDS;
+            let mut k = HDR;
             for _ in 0..count {
                 let tag = buf[k] as i64;
                 let typ = buf[k + 1] as i64 as i32;
@@ -640,6 +1139,36 @@ impl BrickComm {
         }
         self.inbox = inbox;
         system.ghosts = self_map;
+        Ok(())
+    }
+
+    /// Shutdown handshake, fault mode only: exchange one exempt
+    /// envelope with every peer and wait for theirs, servicing
+    /// retransmit requests throughout. A rank that returned early would
+    /// otherwise strand a peer still waiting on one of its parked
+    /// retransmits; after `quiesce` returns, every peer has completed
+    /// its last faulted exchange, so tearing down the channels is safe.
+    fn quiesce(&mut self) -> Result<(), CommError> {
+        if self.plan.is_none() || self.decomp.nranks() == 1 {
+            return Ok(());
+        }
+        let nranks = self.decomp.nranks();
+        self.reclaim()?;
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let buf = self.begin_msg(p, TAG_QUIESCE, 0);
+            self.dispatch(p, buf)?;
+        }
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let buf = self.recv_from(p, TAG_QUIESCE)?;
+            self.recycle(p, buf);
+        }
+        Ok(())
     }
 }
 
@@ -656,7 +1185,7 @@ impl Comm for BrickComm {
         self.rank
     }
 
-    fn borders(&mut self, system: &mut System, cutghost: f64) {
+    fn borders(&mut self, system: &mut System, cutghost: f64) -> Result<(), CommError> {
         // Migration repacks every per-atom field, so everything must be
         // host-fresh (the caller guarantees only positions).
         system.atoms.sync(&Space::Serial, Mask::ALL);
@@ -664,24 +1193,25 @@ impl Comm for BrickComm {
         system.atoms.wrap_positions(&system.domain);
         {
             let region = profile::begin_region("migrate");
-            self.migrate(system);
+            self.migrate(system)?;
             self.migrate_seconds += region.finish();
         }
         {
             let region = profile::begin_region("halo");
-            self.halo(system, cutghost);
+            self.halo(system, cutghost)?;
             self.halo_seconds += region.finish();
         }
+        Ok(())
     }
 
-    fn forward(&mut self, system: &mut System) {
+    fn forward(&mut self, system: &mut System) -> Result<(), CommError> {
         crate::comm::forward_positions(&mut system.atoms, &system.ghosts);
         let nranks = self.decomp.nranks();
         if nranks == 1 {
-            return;
+            return Ok(());
         }
         let traced = profile::has_subscribers();
-        self.reclaim();
+        self.reclaim()?;
         {
             let _span = traced.then(|| profile::begin_region("pack"));
             let mut outbox = std::mem::take(&mut self.outbox);
@@ -689,8 +1219,7 @@ impl Comm for BrickComm {
                 if p == self.rank {
                     continue;
                 }
-                let mut buf = self.pool.acquire(1 + self.send_plan[p].len() * 3);
-                buf.push(TAG_FORWARD);
+                let mut buf = self.begin_msg(p, TAG_FORWARD, self.send_plan[p].len() * 3);
                 {
                     let xh = system.atoms.x.h_view();
                     for &ai in &self.send_plan[p] {
@@ -708,15 +1237,15 @@ impl Comm for BrickComm {
             let _span = traced.then(|| profile::begin_region("send"));
             let mut outbox = std::mem::take(&mut self.outbox);
             for (p, buf) in outbox.drain(..) {
-                if buf.len() > 1 {
+                if buf.len() > HDR {
                     self.stats.forward_msgs += 1;
-                    let bytes = ((buf.len() - 1) * 8) as u64;
+                    let bytes = ((buf.len() - HDR) * 8) as u64;
                     self.stats.forward_bytes += bytes;
                     if traced {
                         profile::note_instant(&format!("fwd_bytes->r{p}"), bytes as f64);
                     }
                 }
-                self.send_to(p, buf);
+                self.dispatch(p, buf)?;
             }
             self.outbox = outbox;
         }
@@ -728,16 +1257,16 @@ impl Comm for BrickComm {
             }
             let buf = {
                 let _span = traced.then(|| profile::begin_region("recv"));
-                self.recv_from(p, TAG_FORWARD)
+                self.recv_from(p, TAG_FORWARD)?
             };
-            debug_assert_eq!(buf.len() - 1, self.recv_count[p] * 3);
+            debug_assert_eq!(buf.len() - HDR, self.recv_count[p] * 3);
             {
                 let _span = traced.then(|| profile::begin_region("unpack"));
                 let xh = system.atoms.x.h_view_mut();
                 for c in 0..self.recv_count[p] {
                     let s = self.recv_shift[gi];
                     for (k, &sk) in s.iter().enumerate() {
-                        xh.set([row, k], f64::from_bits(buf[1 + c * 3 + k]) + sk);
+                        xh.set([row, k], f64::from_bits(buf[HDR + c * 3 + k]) + sk);
                     }
                     row += 1;
                     gi += 1;
@@ -745,19 +1274,20 @@ impl Comm for BrickComm {
             }
             self.recycle(p, buf);
         }
+        Ok(())
     }
 
-    fn reverse(&mut self, system: &mut System) {
+    fn reverse(&mut self, system: &mut System) -> Result<(), CommError> {
         // Fold periodic self images first (single-rank ordering), then
         // remote contributions in ascending peer order — deterministic
         // on every rank.
         crate::comm::reverse_forces(&mut system.atoms, &system.ghosts);
         let nranks = self.decomp.nranks();
         if nranks == 1 {
-            return;
+            return Ok(());
         }
         let traced = profile::has_subscribers();
-        self.reclaim();
+        self.reclaim()?;
         {
             let _span = traced.then(|| profile::begin_region("pack"));
             let mut outbox = std::mem::take(&mut self.outbox);
@@ -767,8 +1297,7 @@ impl Comm for BrickComm {
                     continue;
                 }
                 let count = self.recv_count[p];
-                let mut buf = self.pool.acquire(1 + count * 3);
-                buf.push(TAG_REVERSE);
+                let mut buf = self.begin_msg(p, TAG_REVERSE, count * 3);
                 {
                     let fh = system.atoms.f.h_view_mut();
                     for c in 0..count {
@@ -787,15 +1316,15 @@ impl Comm for BrickComm {
             let _span = traced.then(|| profile::begin_region("send"));
             let mut outbox = std::mem::take(&mut self.outbox);
             for (p, buf) in outbox.drain(..) {
-                if buf.len() > 1 {
+                if buf.len() > HDR {
                     self.stats.reverse_msgs += 1;
-                    let bytes = ((buf.len() - 1) * 8) as u64;
+                    let bytes = ((buf.len() - HDR) * 8) as u64;
                     self.stats.reverse_bytes += bytes;
                     if traced {
                         profile::note_instant(&format!("rev_bytes->r{p}"), bytes as f64);
                     }
                 }
-                self.send_to(p, buf);
+                self.dispatch(p, buf)?;
             }
             self.outbox = outbox;
         }
@@ -805,35 +1334,36 @@ impl Comm for BrickComm {
             }
             let buf = {
                 let _span = traced.then(|| profile::begin_region("recv"));
-                self.recv_from(p, TAG_REVERSE)
+                self.recv_from(p, TAG_REVERSE)?
             };
-            debug_assert_eq!(buf.len() - 1, self.send_plan[p].len() * 3);
+            debug_assert_eq!(buf.len() - HDR, self.send_plan[p].len() * 3);
             {
                 let _span = traced.then(|| profile::begin_region("unpack"));
                 let fh = system.atoms.f.h_view_mut();
                 for (c, &ai) in self.send_plan[p].iter().enumerate() {
                     let i = ai as usize;
                     for k in 0..3 {
-                        let v = fh.at([i, k]) + f64::from_bits(buf[1 + c * 3 + k]);
+                        let v = fh.at([i, k]) + f64::from_bits(buf[HDR + c * 3 + k]);
                         fh.set([i, k], v);
                     }
                 }
             }
             self.recycle(p, buf);
         }
+        Ok(())
     }
 
-    fn forward_scalar(&mut self, system: &mut System, values: &mut [f64]) {
+    fn forward_scalar(&mut self, system: &mut System, values: &mut [f64]) -> Result<(), CommError> {
         let nlocal = system.atoms.nlocal;
         for (g, &owner) in system.ghosts.owner.iter().enumerate() {
             values[nlocal + g] = values[owner];
         }
         let nranks = self.decomp.nranks();
         if nranks == 1 {
-            return;
+            return Ok(());
         }
         let traced = profile::has_subscribers();
-        self.reclaim();
+        self.reclaim()?;
         {
             let _span = traced.then(|| profile::begin_region("pack"));
             let mut outbox = std::mem::take(&mut self.outbox);
@@ -841,8 +1371,7 @@ impl Comm for BrickComm {
                 if p == self.rank {
                     continue;
                 }
-                let mut buf = self.pool.acquire(1 + self.send_plan[p].len());
-                buf.push(TAG_SCALAR);
+                let mut buf = self.begin_msg(p, TAG_SCALAR, self.send_plan[p].len());
                 for &ai in &self.send_plan[p] {
                     buf.push(values[ai as usize].to_bits());
                 }
@@ -854,15 +1383,15 @@ impl Comm for BrickComm {
             let _span = traced.then(|| profile::begin_region("send"));
             let mut outbox = std::mem::take(&mut self.outbox);
             for (p, buf) in outbox.drain(..) {
-                if buf.len() > 1 {
+                if buf.len() > HDR {
                     self.stats.scalar_msgs += 1;
-                    let bytes = ((buf.len() - 1) * 8) as u64;
+                    let bytes = ((buf.len() - HDR) * 8) as u64;
                     self.stats.scalar_bytes += bytes;
                     if traced {
                         profile::note_instant(&format!("scalar_bytes->r{p}"), bytes as f64);
                     }
                 }
-                self.send_to(p, buf);
+                self.dispatch(p, buf)?;
             }
             self.outbox = outbox;
         }
@@ -873,63 +1402,62 @@ impl Comm for BrickComm {
             }
             let buf = {
                 let _span = traced.then(|| profile::begin_region("recv"));
-                self.recv_from(p, TAG_SCALAR)
+                self.recv_from(p, TAG_SCALAR)?
             };
-            debug_assert_eq!(buf.len() - 1, self.recv_count[p]);
+            debug_assert_eq!(buf.len() - HDR, self.recv_count[p]);
             {
                 let _span = traced.then(|| profile::begin_region("unpack"));
-                for &w in &buf[1..] {
+                for &w in &buf[HDR..] {
                     values[row] = f64::from_bits(w);
                     row += 1;
                 }
             }
             self.recycle(p, buf);
         }
+        Ok(())
     }
 
-    fn allreduce_or(&mut self, flag: bool) -> bool {
+    fn allreduce_or(&mut self, flag: bool) -> Result<bool, CommError> {
         let nranks = self.decomp.nranks();
         if nranks == 1 {
-            return flag;
+            return Ok(flag);
         }
         self.stats.allreduce_count += 1;
-        self.reclaim();
+        self.reclaim()?;
         for p in 0..nranks {
             if p == self.rank {
                 continue;
             }
-            let mut buf = self.pool.acquire(2);
-            buf.push(TAG_REDUCE);
+            let mut buf = self.begin_msg(p, TAG_REDUCE, 1);
             buf.push(flag as u64);
-            self.send_to(p, buf);
+            self.dispatch(p, buf)?;
         }
         let mut acc = flag;
         for p in 0..nranks {
             if p == self.rank {
                 continue;
             }
-            let buf = self.recv_from(p, TAG_REDUCE);
-            acc |= buf[1] != 0;
+            let buf = self.recv_from(p, TAG_REDUCE)?;
+            acc |= buf[HDR] != 0;
             self.recycle(p, buf);
         }
-        acc
+        Ok(acc)
     }
 
-    fn allreduce_sum(&mut self, value: f64) -> f64 {
+    fn allreduce_sum(&mut self, value: f64) -> Result<f64, CommError> {
         let nranks = self.decomp.nranks();
         if nranks == 1 {
-            return value;
+            return Ok(value);
         }
         self.stats.allreduce_count += 1;
-        self.reclaim();
+        self.reclaim()?;
         for p in 0..nranks {
             if p == self.rank {
                 continue;
             }
-            let mut buf = self.pool.acquire(2);
-            buf.push(TAG_REDUCE);
+            let mut buf = self.begin_msg(p, TAG_REDUCE, 1);
             buf.push(value.to_bits());
-            self.send_to(p, buf);
+            self.dispatch(p, buf)?;
         }
         // Combine in ascending rank order (own term in place), so every
         // rank computes the bitwise-identical sum.
@@ -938,16 +1466,24 @@ impl Comm for BrickComm {
             if p == self.rank {
                 acc += value;
             } else {
-                let buf = self.recv_from(p, TAG_REDUCE);
-                acc += f64::from_bits(buf[1]);
+                let buf = self.recv_from(p, TAG_REDUCE)?;
+                acc += f64::from_bits(buf[HDR]);
                 self.recycle(p, buf);
             }
         }
-        acc
+        Ok(acc)
+    }
+
+    fn quiesce(&mut self) -> Result<(), CommError> {
+        BrickComm::quiesce(self)
     }
 
     fn stats(&self) -> CommStats {
         self.stats
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.fstats
     }
 
     fn grow_count(&self) -> u64 {
@@ -1016,6 +1552,9 @@ pub struct RankParallelSpec {
     pub warmup_steps: u64,
     /// Measured steps after warmup.
     pub steps: u64,
+    /// When set, every rank installs the same seeded [`FaultPlan`] on
+    /// its [`BrickComm`] before the run (see [`fault`]).
+    pub fault: Option<FaultConfig>,
 }
 
 impl RankParallelSpec {
@@ -1030,6 +1569,7 @@ impl RankParallelSpec {
             space: Space::Serial,
             warmup_steps: 0,
             steps,
+            fault: None,
         }
     }
 }
@@ -1078,6 +1618,9 @@ pub struct MultiRankRun {
     pub timings: Vec<Timings>,
     /// Owned (`nlocal`) atoms per rank at the end of the run.
     pub owned_atoms: Vec<usize>,
+    /// Fault-injection / recovery counters summed over ranks (all zero
+    /// unless [`RankParallelSpec::fault`] was set).
+    pub fault_stats: FaultStats,
 }
 
 /// max/mean of a per-rank sample: 1.0 = perfectly balanced, and the
@@ -1112,6 +1655,28 @@ impl MultiRankRun {
     }
 }
 
+/// One or more ranks failed a rank-parallel run: the per-rank
+/// [`CommError`]s, in ascending rank order. Ranks that completed (or
+/// were wedged behind the failing ones and timed out) each contribute
+/// their own entry.
+#[derive(Debug, Clone)]
+pub struct CommFailure {
+    pub nranks: usize,
+    pub errors: Vec<(usize, CommError)>,
+}
+
+impl std::fmt::Display for CommFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} of {} ranks failed:", self.errors.len(), self.nranks)?;
+        for (rank, err) in &self.errors {
+            write!(f, " [rank {rank}: {err}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CommFailure {}
+
 struct RankOutcome {
     states: Vec<RankAtomState>,
     e_pair: f64,
@@ -1128,6 +1693,7 @@ struct RankOutcome {
     total_pairs: u64,
     timings: Timings,
     nlocal: usize,
+    fstats: FaultStats,
 }
 
 /// Run a simulation decomposed over `nranks` simulated MPI ranks, each
@@ -1140,7 +1706,16 @@ struct RankOutcome {
 /// must be configured identically (same styles, same neighbor
 /// settings): the exchanges are collective, and divergent
 /// configuration desyncs them.
-pub fn run_rank_parallel<F>(spec: &RankParallelSpec, nranks: usize, factory: F) -> MultiRankRun
+///
+/// Returns `Err(CommFailure)` when any rank aborts with a [`CommError`]
+/// (unrecoverable injected fault, peer disconnect, or rank panic); the
+/// surviving ranks drain out via their own bounded retry budgets, so
+/// the call returns instead of deadlocking.
+pub fn run_rank_parallel<F>(
+    spec: &RankParallelSpec,
+    nranks: usize,
+    factory: F,
+) -> Result<MultiRankRun, CommFailure>
 where
     F: Fn(usize, System) -> Simulation + Sync,
 {
@@ -1155,72 +1730,117 @@ where
         shares[decomp.rank_of(&x)].push(AtomRecord { x, ..*r });
     }
 
-    let outcomes: Vec<RankOutcome> = std::thread::scope(|scope| {
+    let results: Vec<Result<RankOutcome, CommError>> = std::thread::scope(|scope| {
         let factory = &factory;
         let handles: Vec<_> = comms
             .into_iter()
             .zip(shares)
             .enumerate()
-            .map(|(rank, (comm, share))| {
-                scope.spawn(move || {
+            .map(|(rank, (mut comm, share))| {
+                scope.spawn(move || -> Result<RankOutcome, CommError> {
                     // Everything this thread does nests under its rank
                     // region, so subscribers see per-rank buckets.
                     let _rank_region = profile::begin_region(format!("rank{rank}"));
-                    let atoms = AtomData::from_records(&share, &spec.masses);
-                    let mut system =
-                        System::new(atoms, spec.domain, spec.space.clone()).with_units(spec.units);
-                    system.comm = Some(Box::new(comm));
-                    let mut sim = factory(rank, system);
-                    sim.run(spec.warmup_steps);
-                    let comm_grow_warm = sim.comm_grow_count();
-                    let neighbor_grow_warm = sim.neighbor_grow_count();
-                    let scatter_grow_warm = sim.pair.scatter_grow_count();
-                    sim.run(spec.steps);
-                    let total_pairs = sim.neighbor_list().total_pairs;
-                    sim.system.atoms.sync(&Space::Serial, Mask::ALL);
-                    let states: Vec<RankAtomState> = {
-                        let a = &sim.system.atoms;
-                        let x = a.x.h_view();
-                        let v = a.v.h_view();
-                        let f = a.f.h_view();
-                        let tag = a.tag.h_view();
-                        let typ = a.typ.h_view();
-                        (0..a.nlocal)
-                            .map(|i| RankAtomState {
-                                tag: tag.at([i]),
-                                typ: typ.at([i]),
-                                x: [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])],
-                                v: [v.at([i, 0]), v.at([i, 1]), v.at([i, 2])],
-                                f: [f.at([i, 0]), f.at([i, 1]), f.at([i, 2])],
-                            })
-                            .collect()
-                    };
-                    let e_local = sim.last_results.energy;
-                    let e_pair = sim.system.with_comm_taken(|_, c| c.allreduce_sum(e_local));
-                    let ke_local = compute::kinetic_energy(&sim.system.atoms, &sim.system.units);
-                    let e_kinetic = sim.system.with_comm_taken(|_, c| c.allreduce_sum(ke_local));
-                    RankOutcome {
-                        states,
-                        e_pair,
-                        e_kinetic,
-                        thermo: sim.thermo.clone(),
-                        stats: sim.comm_stats(),
-                        comm_grow: sim.comm_grow_count(),
-                        comm_grow_warm,
-                        neighbor_grow: sim.neighbor_grow_count(),
-                        neighbor_grow_warm,
-                        scatter_grow: sim.pair.scatter_grow_count(),
-                        scatter_grow_warm,
-                        rebuild_count: sim.rebuild_count,
-                        total_pairs,
-                        timings: sim.timings,
-                        nlocal: sim.system.atoms.nlocal,
+                    if let Some(cfg) = &spec.fault {
+                        comm.install_fault_plan(FaultPlan::new(cfg.clone()));
                     }
+                    let outcome = (|| -> Result<RankOutcome, CommError> {
+                        let atoms = AtomData::from_records(&share, &spec.masses);
+                        let mut system = System::new(atoms, spec.domain, spec.space.clone())
+                            .with_units(spec.units);
+                        system.comm = Some(Box::new(comm));
+                        let mut sim = factory(rank, system);
+                        sim.try_run(spec.warmup_steps)?;
+                        let comm_grow_warm = sim.comm_grow_count();
+                        let neighbor_grow_warm = sim.neighbor_grow_count();
+                        let scatter_grow_warm = sim.pair.scatter_grow_count();
+                        sim.try_run(spec.steps)?;
+                        let total_pairs = sim.neighbor_list().total_pairs;
+                        sim.system.atoms.sync(&Space::Serial, Mask::ALL);
+                        let states: Vec<RankAtomState> = {
+                            let a = &sim.system.atoms;
+                            let x = a.x.h_view();
+                            let v = a.v.h_view();
+                            let f = a.f.h_view();
+                            let tag = a.tag.h_view();
+                            let typ = a.typ.h_view();
+                            (0..a.nlocal)
+                                .map(|i| RankAtomState {
+                                    tag: tag.at([i]),
+                                    typ: typ.at([i]),
+                                    x: [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])],
+                                    v: [v.at([i, 0]), v.at([i, 1]), v.at([i, 2])],
+                                    f: [f.at([i, 0]), f.at([i, 1]), f.at([i, 2])],
+                                })
+                                .collect()
+                        };
+                        let e_local = sim.last_results.energy;
+                        let e_pair = sim
+                            .system
+                            .with_comm_taken(|_, c| c.allreduce_sum(e_local))?;
+                        let ke_local =
+                            compute::kinetic_energy(&sim.system.atoms, &sim.system.units);
+                        let e_kinetic = sim
+                            .system
+                            .with_comm_taken(|_, c| c.allreduce_sum(ke_local))?;
+                        // Final handshake: no peer may still be waiting
+                        // on a retransmit when this rank drops its
+                        // channel endpoints.
+                        sim.system.with_comm_taken(|_, c| c.quiesce())?;
+                        Ok(RankOutcome {
+                            states,
+                            e_pair,
+                            e_kinetic,
+                            thermo: sim.thermo.clone(),
+                            stats: sim.comm_stats(),
+                            comm_grow: sim.comm_grow_count(),
+                            comm_grow_warm,
+                            neighbor_grow: sim.neighbor_grow_count(),
+                            neighbor_grow_warm,
+                            scatter_grow: sim.pair.scatter_grow_count(),
+                            scatter_grow_warm,
+                            rebuild_count: sim.rebuild_count,
+                            total_pairs,
+                            timings: sim.timings,
+                            nlocal: sim.system.atoms.nlocal,
+                            fstats: sim.comm_fault_stats(),
+                        })
+                    })();
+                    if let Err(err) = &outcome {
+                        if profile::has_subscribers() {
+                            profile::note_instant("comm.fault.abort", err.rank() as f64);
+                        }
+                    }
+                    outcome
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| match h.join() {
+                Ok(res) => res,
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&'static str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".to_string());
+                    Err(CommError::RankPanicked { rank, message })
+                }
+            })
+            .collect()
     });
+
+    let errors: Vec<(usize, CommError)> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(r, res)| res.as_ref().err().map(|e| (r, e.clone())))
+        .collect();
+    if !errors.is_empty() {
+        return Err(CommFailure { nranks, errors });
+    }
+    let outcomes: Vec<RankOutcome> = results.into_iter().map(|r| r.unwrap()).collect();
 
     let mut states: Vec<RankAtomState> = outcomes
         .iter()
@@ -1229,10 +1849,12 @@ where
     states.sort_by_key(|s| s.tag);
     debug_assert_eq!(states.len(), natoms, "atoms lost or duplicated");
     let mut comm_stats = CommStats::default();
+    let mut fault_stats = FaultStats::default();
     for o in &outcomes {
         comm_stats.add(&o.stats);
+        fault_stats.add(&o.fstats);
     }
-    MultiRankRun {
+    Ok(MultiRankRun {
         nranks,
         natoms,
         steps: spec.steps,
@@ -1260,7 +1882,8 @@ where
         timings: outcomes.iter().map(|o| o.timings).collect(),
         thermo: outcomes.into_iter().map(|o| o.thermo).collect(),
         states,
-    }
+        fault_stats,
+    })
 }
 
 #[cfg(test)]
@@ -1317,7 +1940,7 @@ mod tests {
         let mut comm = comms.pop().unwrap();
         let atoms = AtomData::from_positions(&positions);
         let mut system = System::new(atoms, domain, Space::Serial);
-        comm.borders(&mut system, 2.0);
+        comm.borders(&mut system, 2.0).unwrap();
 
         assert_eq!(system.ghosts.nghost(), ref_map.nghost());
         let key = |o: usize, s: [f64; 3]| (o, s.map(|v| v.to_bits()));
@@ -1361,7 +1984,7 @@ mod tests {
                     scope.spawn(move || {
                         let atoms = AtomData::from_positions(&share);
                         let mut system = System::new(atoms, domain, Space::Serial);
-                        comm.borders(&mut system, 1.0);
+                        comm.borders(&mut system, 1.0).unwrap();
                         // One remote ghost from the facing rank, no wrap.
                         assert_eq!(system.atoms.nlocal, 1);
                         assert_eq!(system.atoms.nghost, 1);
@@ -1374,7 +1997,7 @@ mod tests {
                             let z = xh.at([0, 2]) + dz;
                             xh.set([0, 2], z);
                         }
-                        comm.forward(&mut system);
+                        comm.forward(&mut system).unwrap();
                         let ghost_z_after = system.atoms.pos(1)[2];
                         // Put a force on the ghost; reverse folds it to
                         // the owner on the other rank.
@@ -1382,16 +2005,16 @@ mod tests {
                             let fh = system.atoms.f.h_view_mut();
                             fh.set([1, 0], 1.0 + rank as f64);
                         }
-                        comm.reverse(&mut system);
+                        comm.reverse(&mut system).unwrap();
                         let own_force = system.atoms.f.h_view().at([0, 0]);
                         // Scalar forwarding and the collectives.
                         let mut vals = vec![0.0; system.atoms.nall()];
                         vals[0] = 10.0 * (rank + 1) as f64;
-                        comm.forward_scalar(&mut system, &mut vals);
+                        comm.forward_scalar(&mut system, &mut vals).unwrap();
                         let ghost_scalar = vals[1];
-                        assert!(comm.allreduce_or(rank == 1));
-                        assert!(!comm.allreduce_or(false));
-                        let sum = comm.allreduce_sum(0.5 + rank as f64);
+                        assert!(comm.allreduce_or(rank == 1).unwrap());
+                        assert!(!comm.allreduce_or(false).unwrap());
+                        let sum = comm.allreduce_sum(0.5 + rank as f64).unwrap();
                         (
                             rank,
                             sum,
@@ -1436,7 +2059,7 @@ mod tests {
                     scope.spawn(move || {
                         let atoms = AtomData::from_positions(&share);
                         let mut system = System::new(atoms, domain, Space::Serial);
-                        comm.borders(&mut system, 1.0);
+                        comm.borders(&mut system, 1.0).unwrap();
                         assert_eq!(system.atoms.nghost, 1);
                         (rank, system.atoms.pos(1)[2])
                     })
@@ -1475,7 +2098,7 @@ mod tests {
                     scope.spawn(move || {
                         let atoms = AtomData::from_positions(&share);
                         let mut system = System::new(atoms, domain, Space::Serial);
-                        comm.borders(&mut system, 1.0);
+                        comm.borders(&mut system, 1.0).unwrap();
                         let tags = (0..system.atoms.nlocal)
                             .map(|i| system.atoms.tag.h_view().at([i]))
                             .collect();

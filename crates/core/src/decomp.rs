@@ -162,7 +162,7 @@ mod tests {
         use lkk_kokkos::Space;
         let atoms = crate::atom::AtomData::from_positions(positions);
         let spec = RankParallelSpec::new(&atoms, global, nsteps);
-        run_rank_parallel(&spec, nranks, move |_, system| {
+        let run = run_rank_parallel(&spec, nranks, move |_, system| {
             // Half list + newton on on every rank: the cross-rank pair
             // convention the brick comm layer is built for.
             let pair = PairKokkos::with_options(
@@ -176,7 +176,8 @@ mod tests {
             let mut sim = Simulation::new(system, Box::new(pair));
             sim.dt = dt;
             sim
-        })
+        });
+        run.expect("fault-free rank-parallel run failed")
     }
 
     #[test]

@@ -57,9 +57,12 @@ pub use style::StyleRegistry;
 pub mod prelude {
     pub use crate::atom::{AtomData, AtomRecord, Mask};
     pub use crate::comm::brick::{
-        run_rank_parallel, BrickComm, MultiRankRun, RankAtomState, RankParallelSpec,
+        run_rank_parallel, BrickComm, CommFailure, MultiRankRun, RankAtomState, RankParallelSpec,
     };
-    pub use crate::comm::{Comm, CommStats, GhostMap, SingleRankComm};
+    pub use crate::comm::{
+        Comm, CommError, CommStats, FaultConfig, FaultPlan, FaultStats, GhostMap, RetryPolicy,
+        SingleRankComm,
+    };
     pub use crate::compute;
     pub use crate::decomp::BrickDecomp;
     pub use crate::domain::Domain;

@@ -4,7 +4,7 @@
 //! communication — the `run` command of §2.1.
 
 use crate::atom::{AtomData, Mask};
-use crate::comm::{Comm, GhostMap, SingleRankComm};
+use crate::comm::{Comm, CommError, FaultStats, GhostMap, SingleRankComm};
 use crate::compute;
 use crate::domain::Domain;
 use crate::fix::Fix;
@@ -27,6 +27,11 @@ pub struct System {
     /// The communication layer (ghost construction + exchanges).
     /// `None` only transiently while an exchange borrows the system.
     pub comm: Option<Box<dyn Comm>>,
+    /// Deferred comm failure from an exchange invoked through an
+    /// infallible hook (e.g. [`System::forward_ghost_scalar`] inside a
+    /// pair style's `compute`); the driver surfaces it at the next
+    /// fallible boundary instead of losing it.
+    pub comm_error: Option<CommError>,
 }
 
 impl System {
@@ -38,6 +43,7 @@ impl System {
             units: Units::lj(),
             ghosts: GhostMap::default(),
             comm: Some(Box::new(SingleRankComm)),
+            comm_error: None,
         }
     }
 
@@ -64,8 +70,19 @@ impl System {
     /// Forward a per-atom scalar (length `nall`) owner → ghost through
     /// the comm layer — the hook pair styles with intermediate per-atom
     /// state (EAM's F′(ρ)) call from inside `compute`.
+    ///
+    /// Pair styles have no error channel, so a comm failure here is
+    /// *deferred* into [`System::comm_error`]: the exchange that failed
+    /// has already drained its retry budget, and once the error is
+    /// latched every later exchange this step is skipped (the data is
+    /// garbage anyway — the driver aborts before it is observable).
     pub fn forward_ghost_scalar(&mut self, values: &mut [f64]) {
-        self.with_comm_taken(|system, comm| comm.forward_scalar(system, values));
+        if self.comm_error.is_some() {
+            return;
+        }
+        if let Err(err) = self.with_comm_taken(|system, comm| comm.forward_scalar(system, values)) {
+            self.comm_error = Some(err);
+        }
     }
 }
 
@@ -203,7 +220,14 @@ impl Simulation {
         self.list.as_ref().unwrap()
     }
 
+    /// Panicking convenience wrapper over [`Simulation::try_rebuild`]
+    /// for single-rank callers (a single-rank comm never fails).
     fn rebuild(&mut self) {
+        self.try_rebuild()
+            .unwrap_or_else(|e| panic!("communication failed: {e}"));
+    }
+
+    fn try_rebuild(&mut self) -> Result<(), CommError> {
         let space = self.system.space.clone();
         if self.sort_every > 0
             && self.rebuild_count > 0
@@ -221,7 +245,7 @@ impl Simulation {
         self.system.atoms.sync(&Space::Serial, Mask::X);
         let cutneigh = self.settings.cutneigh();
         self.system
-            .with_comm_taken(|system, comm| comm.borders(system, cutneigh));
+            .with_comm_taken(|system, comm| comm.borders(system, cutneigh))?;
         self.system.atoms.modified(&Space::Serial, Mask::ALL);
         self.system.atoms.sync(&space, Mask::X | Mask::TYPE);
         // Persistent list: refill the existing buffers in place.
@@ -259,6 +283,7 @@ impl Simulation {
                 profile::note_counter("neigh_avg", list.avg_neighbors());
             }
         }
+        Ok(())
     }
 
     /// Heap growths of the persistent neighbor-list buffers since the
@@ -280,41 +305,73 @@ impl Simulation {
     }
 
     /// Compute forces for the current configuration (including ghost
-    /// refresh), storing energy/virial in `last_results`.
+    /// refresh), storing energy/virial in `last_results`. Panicking
+    /// wrapper over [`Simulation::try_compute_forces`].
     pub fn compute_forces(&mut self) {
+        self.try_compute_forces()
+            .unwrap_or_else(|e| panic!("communication failed: {e}"));
+    }
+
+    /// Fallible [`Simulation::compute_forces`]: also surfaces a
+    /// [`CommError`] deferred by a mid-compute exchange (EAM's scalar
+    /// forward) through [`System::comm_error`].
+    pub fn try_compute_forces(&mut self) -> Result<(), CommError> {
         // Position changes since the last neighbor build flow to ghosts.
         {
             let comm_region = profile::begin_region("comm");
             self.system.atoms.sync(&Space::Serial, Mask::X);
             self.system
-                .with_comm_taken(|system, comm| comm.forward(system));
+                .with_comm_taken(|system, comm| comm.forward(system))?;
             self.system.atoms.modified(&Space::Serial, Mask::X);
             self.timings.comm += comm_region.finish();
         }
         let list = self.list.as_ref().expect("neighbor list not built");
         self.last_results = self.pair.compute(&mut self.system, list, true);
+        if let Some(err) = self.system.comm_error.take() {
+            return Err(err);
+        }
         if self.pair.needs_reverse_comm() {
             let comm_region = profile::begin_region("comm");
             self.system.atoms.sync(&Space::Serial, Mask::F);
             self.system
-                .with_comm_taken(|system, comm| comm.reverse(system));
+                .with_comm_taken(|system, comm| comm.reverse(system))?;
             self.system.atoms.modified(&Space::Serial, Mask::F);
             self.timings.comm += comm_region.finish();
         }
+        Ok(())
     }
 
     /// One-time setup: neighbor build + initial force evaluation.
+    /// Panicking wrapper over [`Simulation::try_setup`].
     pub fn setup(&mut self) {
-        if self.list.is_none() {
-            self.rebuild();
-            self.compute_forces();
-            self.record_thermo();
-        }
+        self.try_setup()
+            .unwrap_or_else(|e| panic!("communication failed: {e}"));
     }
 
-    /// Advance `nsteps` timesteps.
+    /// Fallible [`Simulation::setup`].
+    pub fn try_setup(&mut self) -> Result<(), CommError> {
+        if self.list.is_none() {
+            self.try_rebuild()?;
+            self.try_compute_forces()?;
+            self.record_thermo();
+        }
+        Ok(())
+    }
+
+    /// Advance `nsteps` timesteps. Panicking wrapper over
+    /// [`Simulation::try_run`] — the ergonomic entry point everywhere a
+    /// comm failure is impossible (single rank) or fatal anyway.
     pub fn run(&mut self, nsteps: u64) {
-        self.setup();
+        self.try_run(nsteps)
+            .unwrap_or_else(|e| panic!("communication failed: {e}"));
+    }
+
+    /// Advance `nsteps` timesteps, returning the first [`CommError`]
+    /// instead of panicking. On `Err` the simulation state is
+    /// mid-step and must not be stepped further; the multi-rank driver
+    /// tears the run down and reports a `CommFailure`.
+    pub fn try_run(&mut self, nsteps: u64) -> Result<(), CommError> {
+        self.try_setup()?;
         let device_space = self.system.space.clone();
         let integrate_space = if self.pair_only && device_space.is_device() {
             Space::Threads
@@ -337,15 +394,22 @@ impl Simulation {
             }
             {
                 let neighbor_region = profile::begin_region("neighbor");
-                if self.step.is_multiple_of(self.settings.every as u64) && {
+                if self.step.is_multiple_of(self.settings.every as u64) {
                     self.system.atoms.sync(&Space::Serial, Mask::X);
                     // The rebuild decision is collective: every rank
                     // must agree or the exchange sequences desync.
                     let local = self.needs_rebuild();
-                    self.system
-                        .with_comm_taken(|_, comm| comm.allreduce_or(local))
-                } {
-                    self.rebuild();
+                    let global = self
+                        .system
+                        .with_comm_taken(|_, comm| comm.allreduce_or(local));
+                    match global {
+                        Ok(true) => self.try_rebuild()?,
+                        Ok(false) => {}
+                        Err(err) => {
+                            self.timings.neighbor += neighbor_region.finish();
+                            return Err(err);
+                        }
+                    }
                 }
                 self.timings.neighbor += neighbor_region.finish();
             }
@@ -353,8 +417,9 @@ impl Simulation {
                 // Comm inside force computation is nested ("step/pair/comm")
                 // and counted in both phases, as LAMMPS' breakdown does.
                 let pair_region = profile::begin_region("pair");
-                self.compute_forces();
+                let forces = self.try_compute_forces();
                 self.timings.pair += pair_region.finish();
+                forces?;
             }
             {
                 let integrate_region = profile::begin_region("integrate");
@@ -382,6 +447,7 @@ impl Simulation {
         if self.verbose && nsteps > 0 {
             println!("{}", self.timings.summary());
         }
+        Ok(())
     }
 
     fn record_thermo(&mut self) {
@@ -444,6 +510,16 @@ impl Simulation {
     /// (0 in steady state; see `docs/performance.md`).
     pub fn comm_grow_count(&self) -> u64 {
         self.system.comm.as_ref().map_or(0, |c| c.grow_count())
+    }
+
+    /// Cumulative fault-injection / recovery counters of the comm layer
+    /// (all zero unless a fault plan is installed).
+    pub fn comm_fault_stats(&self) -> FaultStats {
+        self.system
+            .comm
+            .as_ref()
+            .map(|c| c.fault_stats())
+            .unwrap_or_default()
     }
 }
 

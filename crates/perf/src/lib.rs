@@ -23,8 +23,12 @@
 //!   workloads under an `lkk-trace` collector, export a Perfetto
 //!   timeline and a byte-stable metrics dump (gated against
 //!   `results/metrics_baseline.json`).
+//! - [`faults`] — `--faults` mode: run `ranks4` under seeded fault
+//!   injection and assert the trajectory is bitwise identical to the
+//!   fault-free run (the chaos CI gate; see `docs/robustness.md`).
 
 pub mod diff;
+pub mod faults;
 pub mod json;
 pub mod report;
 pub mod timing;

@@ -13,6 +13,8 @@
 //! perf-smoke --metrics metrics.json            # canonical metrics dump
 //! perf-smoke --check-metrics results/metrics_baseline.json
 //! perf-smoke --write-metrics-baseline          # refresh results/metrics_baseline.json
+//! perf-smoke --faults 1,2,3                    # chaos sweep: faulted ranks4 must
+//!                                              # match the fault-free run bitwise
 //! ```
 //!
 //! `--time` is advisory: it runs the same four workloads multi-threaded
@@ -36,6 +38,7 @@ const DEFAULT_OUT: &str = "results/perf_smoke.json";
 const DEFAULT_BASELINE: &str = "results/perf_baseline.json";
 const DEFAULT_TIME_OUT: &str = "results/BENCH_hotpath.json";
 const DEFAULT_METRICS_BASELINE: &str = "results/metrics_baseline.json";
+const DEFAULT_FAULTS_OUT: &str = "results/fault_report.json";
 
 struct Args {
     out: PathBuf,
@@ -49,10 +52,11 @@ struct Args {
     metrics: Option<PathBuf>,
     check_metrics: Option<PathBuf>,
     write_metrics_baseline: bool,
+    faults: Option<Vec<u64>>,
 }
 
 fn usage() -> &'static str {
-    "usage: perf-smoke [--out PATH] [--check BASELINE] [--tolerance T] [--write-baseline]\n       perf-smoke --time [--reps N] [--scale S] [--out PATH]\n       perf-smoke [--trace PATH] [--metrics PATH] [--check-metrics BASELINE] [--write-metrics-baseline]"
+    "usage: perf-smoke [--out PATH] [--check BASELINE] [--tolerance T] [--write-baseline]\n       perf-smoke --time [--reps N] [--scale S] [--out PATH]\n       perf-smoke [--trace PATH] [--metrics PATH] [--check-metrics BASELINE] [--write-metrics-baseline]\n       perf-smoke --faults SEED[,SEED...] [--out PATH]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -68,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
         metrics: None,
         check_metrics: None,
         write_metrics_baseline: false,
+        faults: None,
     };
     let mut out_set = false;
     let mut it = std::env::args().skip(1);
@@ -121,12 +126,30 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--write-metrics-baseline" => args.write_metrics_baseline = true,
+            "--faults" => {
+                let list = it.next().ok_or("--faults needs SEED[,SEED...]")?;
+                let seeds = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad seed {s:?}: {e}"))
+                    })
+                    .collect::<Result<Vec<u64>, String>>()?;
+                if seeds.is_empty() {
+                    return Err("--faults needs at least one seed".into());
+                }
+                args.faults = Some(seeds);
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
     if args.time && !out_set {
         args.out = PathBuf::from(DEFAULT_TIME_OUT);
+    }
+    if args.faults.is_some() && !out_set {
+        args.out = PathBuf::from(DEFAULT_FAULTS_OUT);
     }
     Ok(args)
 }
@@ -148,6 +171,47 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(seeds) = &args.faults {
+        eprintln!(
+            "perf-smoke: chaos sweep — ranks4 under {} fault seed(s) vs the fault-free run...",
+            seeds.len()
+        );
+        let outcomes = lkk_perf::faults::run_seeds(seeds);
+        let doc = lkk_perf::faults::render(&outcomes);
+        if let Err(msg) = write_report(&args.out, &doc.to_pretty()) {
+            eprintln!("perf-smoke: {msg}");
+            return ExitCode::from(2);
+        }
+        eprintln!("perf-smoke: wrote {}", args.out.display());
+        let mut failed = 0usize;
+        for o in &outcomes {
+            if o.violations.is_empty() {
+                eprintln!(
+                    "perf-smoke:   seed {:>12}: OK — {} faults injected, {} recovery actions, bitwise identical",
+                    o.seed, o.injected, o.recovered
+                );
+            } else {
+                failed += 1;
+                eprintln!("perf-smoke:   seed {:>12}: FAIL", o.seed);
+                for v in &o.violations {
+                    eprintln!("perf-smoke:     {v}");
+                }
+            }
+        }
+        if failed > 0 {
+            eprintln!(
+                "perf-smoke: FAIL — {failed} of {} seed(s) broke determinism",
+                outcomes.len()
+            );
+            return ExitCode::from(1);
+        }
+        eprintln!(
+            "perf-smoke: OK — all {} seed(s) bitwise identical",
+            outcomes.len()
+        );
+        return ExitCode::SUCCESS;
+    }
 
     let trace_mode = args.trace.is_some()
         || args.metrics.is_some()

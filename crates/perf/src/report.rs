@@ -29,6 +29,21 @@ const ARCH_KEYS: [&str; 7] = ["v100", "a100", "h100", "gh200", "mi250x", "mi300a
 /// each other's accumulators.
 pub(crate) static RUN_LOCK: Mutex<()> = Mutex::new(());
 
+/// Run `f` under the global run exclusion with the executor forced
+/// sequential — the same discipline every capture/report entry point
+/// here uses. For integration tests that install their own profile
+/// subscriber (e.g. the fault-abort trace audit in
+/// `tests/trace_schema.rs`) and must not cross-feed a concurrent
+/// capture.
+pub fn with_exclusive_run<T>(f: impl FnOnce() -> T) -> T {
+    let _exclusive = RUN_LOCK.lock().unwrap();
+    let was_sequential = exec::force_sequential();
+    exec::set_force_sequential(true);
+    let out = f();
+    exec::set_force_sequential(was_sequential);
+    out
+}
+
 /// Run every workload and build the full report document.
 pub fn run_all(workloads: Vec<Workload>) -> Value {
     let _exclusive = RUN_LOCK.lock().unwrap();
@@ -98,7 +113,8 @@ fn run_one(workload: Workload) -> Value {
 fn run_ranks(workload: RankWorkload) -> Value {
     let acc = Arc::new(StatsAccumulator::new());
     let id = profile::register_subscriber(acc.clone());
-    let run = run_rank_parallel(&workload.spec, workload.nranks, workload.factory);
+    let run = run_rank_parallel(&workload.spec, workload.nranks, workload.factory)
+        .expect("fault-free rank-parallel run failed");
     profile::unregister_subscriber(id);
     let snap = acc.snapshot();
 

@@ -63,7 +63,8 @@ pub fn capture_with(single: Vec<Workload>) -> TraceCapture {
         sim.run(steps);
     }
     let ranks = workloads::ranks4();
-    let run = run_rank_parallel(&ranks.spec, ranks.nranks, ranks.factory);
+    let run = run_rank_parallel(&ranks.spec, ranks.nranks, ranks.factory)
+        .expect("fault-free rank-parallel run failed");
 
     profile::unregister_subscriber(id);
     exec::set_force_sequential(was_sequential);

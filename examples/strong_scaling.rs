@@ -55,7 +55,8 @@ fn measured_vs_analytic() {
                 },
             );
             Simulation::new(system, Box::new(pair))
-        });
+        })
+        .expect("fault-free rank-parallel run failed");
         let s = run.comm_stats;
         let per_rank_step = ranks as f64 * steps as f64;
         let cmp = comm.compare_measured(&MeasuredComm {

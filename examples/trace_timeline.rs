@@ -46,7 +46,8 @@ fn main() {
             },
         );
         Simulation::new(system, Box::new(pair))
-    });
+    })
+    .expect("fault-free rank-parallel run failed");
     profile::unregister_subscriber(id);
 
     let json = collector.export_chrome();

@@ -3,13 +3,23 @@
 #
 #   scripts/ci.sh
 #
-# Steps mirror .github/workflows/ci.yml exactly; if you change one,
-# change the other.
+# Steps mirror the jobs in .github/workflows/ci.yml (build, test, lint,
+# perf, chaos) run back-to-back; if you change one, change the other.
+# The sanitizer lanes of .github/workflows/sanitizers.yml run at the
+# end when a nightly toolchain is installed, and are advisory here just
+# as they are advisory (continue-on-error) in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+# --- build job ---------------------------------------------------------
+
+echo "==> cargo build --release (deny warnings)"
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
+# --- test job ----------------------------------------------------------
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
@@ -20,14 +30,15 @@ cargo test -q --workspace
 echo "==> rank-equivalence + comm-validation suites (release)"
 cargo test --release -q --test rank_equivalence --test comm_validation
 
+# --- lint job ----------------------------------------------------------
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> cargo bench --no-run"
-cargo bench --no-run
+# --- perf job ----------------------------------------------------------
 
 echo "==> perf-smoke --check results/perf_baseline.json"
 cargo run --release -p lkk-perf --bin perf-smoke -- --check results/perf_baseline.json
@@ -39,5 +50,43 @@ cargo run --release -p lkk-perf --bin perf-smoke -- \
 
 echo "==> perf-smoke --time (advisory wall-clock, not gated)"
 cargo run --release -p lkk-perf --bin perf-smoke -- --time --reps 3
+
+# --- chaos job ---------------------------------------------------------
+
+# 16 fixed seeds of recoverable chaos over the ranks4 workload: every
+# faulted trajectory must match the fault-free run bitwise and the
+# message pool must stay steady (see docs/robustness.md). The per-seed
+# fault-counter report lands in results/fault_report.json.
+echo "==> perf-smoke --faults (16-seed chaos sweep, bitwise gate)"
+cargo run --release -p lkk-perf --bin perf-smoke -- \
+  --faults 1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16 \
+  --out results/fault_report.json
+
+echo "==> fault-injection suite (release, full matrix)"
+cargo test --release -q --test fault_injection -- --include-ignored
+
+# --- sanitizer lanes (advisory, need a nightly toolchain) --------------
+
+if rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+  if cargo +nightly miri --version >/dev/null 2>&1; then
+    echo "==> miri: lkk-kokkos atomic + scatter-view unit tests (advisory)"
+    MIRIFLAGS="-Zmiri-seed=7 -Zmiri-strict-provenance" \
+      cargo +nightly miri test -p lkk-kokkos atomic scatter ||
+      echo "==> miri lane FAILED (advisory — tracked by the sanitizers badge)"
+  else
+    echo "==> miri not installed for nightly; skipping (rustup component add miri --toolchain nightly)"
+  fi
+  if rustup component list --toolchain nightly 2>/dev/null | grep -q 'rust-src.*(installed)'; then
+    echo "==> tsan: rank-equivalence suite (advisory)"
+    RUSTFLAGS="-Zsanitizer=thread" TSAN_OPTIONS="history_size=7" \
+      cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+      --test rank_equivalence ||
+      echo "==> tsan lane FAILED (advisory — tracked by the sanitizers badge)"
+  else
+    echo "==> rust-src not installed for nightly; skipping TSan (rustup component add rust-src --toolchain nightly)"
+  fi
+else
+  echo "==> no nightly toolchain; skipping sanitizer lanes (see .github/workflows/sanitizers.yml)"
+fi
 
 echo "==> all green"

@@ -38,7 +38,8 @@ fn measured_halo_traffic_matches_the_analytic_model_band() {
                 },
             );
             Simulation::new(system, Box::new(pair))
-        });
+        })
+        .expect("fault-free run failed");
         let s = run.comm_stats;
         let per_rank_step = ranks as f64 * steps as f64;
         let cmp = comm.compare_measured(&MeasuredComm {

@@ -157,6 +157,7 @@ fn simulated_mpi_decomposition_matches_reference() {
             sim.dt = 0.002;
             sim
         })
+        .expect("fault-free run failed")
     };
     let r1 = run_at(1);
     let r6 = run_at(6);

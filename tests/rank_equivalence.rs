@@ -132,7 +132,8 @@ fn lj_matches_single_rank_at_2_4_8_ranks() {
     for nranks in [2usize, 4, 8] {
         let run = run_rank_parallel(&spec, nranks, |_, system| {
             Simulation::new(system, Box::new(lj_pair()))
-        });
+        })
+        .expect("fault-free run failed");
         assert_eq!(run.nranks, nranks);
         compare(&run, &reference, nranks, TOL);
         // Cross-rank traffic actually flowed.
@@ -170,7 +171,8 @@ fn eam_matches_single_rank_at_2_4_8_ranks() {
     for nranks in [2usize, 4, 8] {
         let run = run_rank_parallel(&spec, nranks, |_, system| {
             Simulation::new(system, Box::new(PairEam::new(params)))
-        });
+        })
+        .expect("fault-free run failed");
         compare(&run, &reference, nranks, TOL);
         assert!(
             run.comm_stats.scalar_msgs > 0,
@@ -200,7 +202,8 @@ fn migration_stress_crosses_brick_corners() {
         let mut sim = Simulation::new(system, Box::new(lj_pair()));
         sim.settings.skin = 0.1;
         sim
-    });
+    })
+    .expect("fault-free run failed");
     compare(&run, &reference, 8, 1e-9);
     assert!(
         run.comm_stats.migrate_msgs > 0,
@@ -222,7 +225,8 @@ fn steady_state_exchanges_do_not_grow_pools() {
     spec.warmup_steps = 20;
     let run = run_rank_parallel(&spec, 4, |_, system| {
         Simulation::new(system, Box::new(lj_pair()))
-    });
+    })
+    .expect("fault-free run failed");
     assert!(run.comm_grow > 0, "pools never sized themselves");
     assert_eq!(
         run.comm_grow_after_warmup, 0,

@@ -15,6 +15,7 @@
 //!    and metrics dumps (the determinism CI's byte-gate relies on).
 
 use lkk_perf::json::{self, Value};
+use lkk_perf::report::with_exclusive_run;
 use lkk_perf::tracing::capture_with;
 use lkk_perf::workloads;
 use std::collections::HashMap;
@@ -144,4 +145,131 @@ fn metrics_dump_parses_and_carries_the_rank_census() {
         .and_then(|h| h.get("ranks4/owned_atoms"))
         .expect("ownership histogram");
     assert_eq!(hist.get("count").and_then(Value::as_f64), Some(4.0));
+}
+
+/// Parse a Chrome trace export and assert every lane's `B`/`E` spans
+/// are balanced and properly nested. Returns the thread-lane names.
+fn assert_balanced_lanes(chrome_json: &str) -> Vec<String> {
+    let doc = json::parse(chrome_json).expect("trace is not valid JSON");
+    let Some(Value::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents missing or not an array");
+    };
+    let mut lanes = Vec::new();
+    let mut open: HashMap<(usize, usize), Vec<String>> = HashMap::new();
+    for ev in events {
+        let ph = str_of(ev.get("ph").expect("event without ph"));
+        let pid = ev.get("pid").and_then(Value::as_f64).expect("pid") as usize;
+        let tid = ev.get("tid").and_then(Value::as_f64).expect("tid") as usize;
+        let name = str_of(ev.get("name").expect("event without name")).to_string();
+        match ph {
+            "M" if name == "thread_name" => {
+                lanes.push(str_of(ev.get("args").unwrap().get("name").unwrap()).to_string());
+            }
+            "B" => open.entry((pid, tid)).or_default().push(name),
+            "E" => {
+                let top = open
+                    .entry((pid, tid))
+                    .or_default()
+                    .pop()
+                    .unwrap_or_else(|| panic!("unbalanced E {name:?} on lane ({pid},{tid})"));
+                assert_eq!(top, name, "mis-nested span on lane ({pid},{tid})");
+            }
+            _ => {}
+        }
+    }
+    for (lane, stack) in &open {
+        assert!(
+            stack.is_empty(),
+            "lane {lane:?} left spans open after abort: {stack:?}"
+        );
+    }
+    lanes
+}
+
+/// A mid-phase communication abort (unrecoverable dead edge) must not
+/// leave dangling `B` events on any rank lane: every `RegionGuard` on
+/// the error path unwinds through `?`, closing its span, on every rank
+/// — the fault-path audit of the trace layer.
+#[test]
+fn comm_abort_leaves_balanced_spans_on_every_rank_lane() {
+    use lkk_core::comm::brick::run_rank_parallel;
+    use lkk_core::prelude::FaultConfig;
+    use lkk_kokkos::profile;
+    use std::sync::Arc;
+
+    let (chrome, metrics) = with_exclusive_run(|| {
+        let collector = Arc::new(lkk_trace::TraceCollector::deterministic(
+            lkk_gpusim::GpuArch::h100(),
+        ));
+        let id = profile::register_subscriber(collector.clone());
+        let ranks = workloads::ranks4();
+        let mut spec = ranks.spec.clone();
+        spec.fault = Some(FaultConfig::unrecoverable(7, 0, 1, 0));
+        let result = run_rank_parallel(&spec, ranks.nranks, ranks.factory);
+        profile::unregister_subscriber(id);
+        assert!(result.is_err(), "run with a dead edge completed");
+        (
+            collector.export_chrome(),
+            collector.metrics().to_canonical_json(),
+        )
+    });
+
+    let lanes = assert_balanced_lanes(&chrome);
+    for rank in 0..4 {
+        let want = format!("rank{rank}");
+        assert!(
+            lanes.contains(&want),
+            "missing rank lane {want} in aborted capture; lanes: {lanes:?}"
+        );
+    }
+    // The abort left its diagnostics in the metrics registry.
+    assert!(
+        metrics.contains("comm.fault.abort"),
+        "abort instant missing from metrics: {metrics}"
+    );
+    assert!(
+        metrics.contains("comm.fault.timeout"),
+        "timeout counter missing from metrics: {metrics}"
+    );
+}
+
+/// Same audit for the panic path: a rank that panics outright (here at
+/// factory time) tears down the run via `RankPanicked` + peer
+/// disconnects, and every surviving rank's unwind must still close its
+/// open spans.
+#[test]
+fn rank_panic_leaves_balanced_spans_on_surviving_lanes() {
+    use lkk_core::comm::brick::run_rank_parallel;
+    use lkk_core::prelude::CommError;
+    use lkk_kokkos::profile;
+    use std::sync::Arc;
+
+    let chrome = with_exclusive_run(|| {
+        let collector = Arc::new(lkk_trace::TraceCollector::deterministic(
+            lkk_gpusim::GpuArch::h100(),
+        ));
+        let id = profile::register_subscriber(collector.clone());
+        let ranks = workloads::ranks4();
+        let factory = ranks.factory;
+        // Quiet the expected panic's default backtrace spew.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = run_rank_parallel(&ranks.spec, ranks.nranks, move |rank, system| {
+            if rank == 2 {
+                panic!("injected test panic");
+            }
+            factory(rank, system)
+        });
+        std::panic::set_hook(prev_hook);
+        profile::unregister_subscriber(id);
+        let failure = result.expect_err("run with a panicking rank completed");
+        assert!(
+            failure.errors.iter().any(|(rank, err)| *rank == 2
+                && matches!(err, CommError::RankPanicked { message, .. }
+                    if message.contains("injected test panic"))),
+            "panic not surfaced as RankPanicked: {failure}"
+        );
+        collector.export_chrome()
+    });
+    assert_balanced_lanes(&chrome);
 }
