@@ -1,0 +1,132 @@
+//! Per-stage wall-clock microbenchmarks of the fissioned SNAP pipeline
+//! (Criterion): ComputeUi, ComputeYi, and the cached ComputeDeidrj, as
+//! `pair_style snap` runs them after the stage fission, plus the
+//! flattened contraction tables against the retained direct loops.
+//!
+//! This is the host-side companion of the `snap.ui/yi/deidrj` FLOP/byte
+//! instants the pair style emits per step: the same three stages, timed
+//! in isolation on one representative atom environment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lkk_snap::{NeighborCache, SnapContext};
+use std::hint::black_box;
+
+/// A representative 26-neighbor bcc-like environment (same cloud the
+/// `kernels_cpu` suite uses, so numbers are comparable across suites).
+fn cloud() -> Vec<[f64; 3]> {
+    (0..26)
+        .map(|k| {
+            let t = k as f64;
+            [
+                2.6 * (t * 0.7).sin() + 0.8,
+                2.6 * (t * 1.3).cos(),
+                2.2 * ((t * 0.9).sin() - 0.3),
+            ]
+        })
+        .collect()
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snap_stages");
+    group.sample_size(15);
+    let ctx = SnapContext::new(8, Default::default(), SnapContext::synthetic_beta(8, 42));
+    let u_len = ctx.idx.u_len;
+    let neigh = cloud();
+    let wts = vec![1.0f64; neigh.len()];
+    let mut scratch = ctx.alloc_scratch();
+    let mut cache = NeighborCache::default();
+    let mut utot_r = vec![0.0f64; u_len];
+    let mut utot_i = vec![0.0f64; u_len];
+    let mut y_r = vec![0.0f64; u_len];
+    let mut y_i = vec![0.0f64; u_len];
+
+    // Stage 1 — ComputeUi: accumulate U and fill the (fc, u) cache.
+    group.bench_function("stage_ui", |b| {
+        b.iter(|| {
+            ctx.compute_ui_into(
+                black_box(&neigh),
+                Some(&wts),
+                1,
+                &mut cache,
+                &mut utot_r,
+                &mut utot_i,
+                &mut scratch,
+            );
+            black_box(utot_r[10])
+        })
+    });
+
+    ctx.compute_ui_into(
+        &neigh,
+        Some(&wts),
+        1,
+        &mut cache,
+        &mut utot_r,
+        &mut utot_i,
+        &mut scratch,
+    );
+
+    // Stage 2 — ComputeYi: shared-Z energy + adjoint construction.
+    group.bench_function("stage_yi", |b| {
+        b.iter(|| {
+            let e = ctx.compute_energy_yi_into(
+                black_box(&utot_r),
+                &utot_i,
+                &mut y_r,
+                &mut y_i,
+                &mut scratch,
+            );
+            black_box(e)
+        })
+    });
+
+    ctx.compute_energy_yi_into(&utot_r, &utot_i, &mut y_r, &mut y_i, &mut scratch);
+
+    // Stage 3 — ComputeDeidrj: the cached contraction (du-only
+    // recursion, geometry and u read back from the stage-1 cache).
+    group.bench_function("stage_deidrj", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (k, &d) in neigh.iter().enumerate() {
+                let (u_r, u_i) = cache.u(k, u_len);
+                acc += ctx.compute_deidrj_cached(
+                    black_box(d),
+                    wts[k],
+                    &cache.geom[k],
+                    u_r,
+                    u_i,
+                    &y_r,
+                    &y_i,
+                    &mut scratch,
+                )[0];
+            }
+            black_box(acc)
+        })
+    });
+
+    // Flattened tables vs the retained direct quadruple loops — the
+    // tentpole's headline comparison.
+    ctx.compute_ui(&neigh, &mut scratch, 1);
+    group.bench_function("bi_tables", |b| {
+        b.iter(|| black_box(ctx.compute_bi(black_box(&scratch))[0]))
+    });
+    group.bench_function("bi_direct", |b| {
+        b.iter(|| black_box(ctx.compute_bi_direct(black_box(&scratch))[0]))
+    });
+    group.bench_function("yi_tables", |b| {
+        b.iter(|| {
+            ctx.compute_yi(&mut scratch);
+            black_box(scratch.y_r[5])
+        })
+    });
+    group.bench_function("yi_direct", |b| {
+        b.iter(|| {
+            ctx.compute_yi_direct(&mut scratch);
+            black_box(scratch.y_r[5])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -100,6 +100,9 @@ pub struct AccumulatedProfile {
     pub launches: BTreeMap<String, u64>,
     /// Region entry counts per path.
     pub regions: BTreeMap<String, u64>,
+    /// Instant/counter samples merged per `name@region` (bare name when
+    /// the region is empty): `(sample count, value sum)`.
+    pub counters: BTreeMap<String, (u64, f64)>,
     pub h2d: TransferTotals,
     pub d2h: TransferTotals,
 }
@@ -109,8 +112,18 @@ struct AccumulatorInner {
     kernels: BTreeMap<(String, String), KernelStats>,
     launches: BTreeMap<String, u64>,
     regions: BTreeMap<String, u64>,
+    counters: BTreeMap<String, (u64, f64)>,
     h2d: TransferTotals,
     d2h: TransferTotals,
+}
+
+/// Key for the merged instant/counter table.
+fn counter_key(name: &str, region: &str) -> String {
+    if region.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}@{region}")
+    }
 }
 
 /// The workhorse subscriber: merges every [`KernelStats`] record by
@@ -135,6 +148,7 @@ impl StatsAccumulator {
             kernels: inner.kernels.values().cloned().collect(),
             launches: inner.launches.clone(),
             regions: inner.regions.clone(),
+            counters: inner.counters.clone(),
             h2d: inner.h2d,
             d2h: inner.d2h,
         }
@@ -176,6 +190,23 @@ impl ProfileSubscriber for StatsAccumulator {
         };
         t.bytes += bytes;
         t.count += 1;
+    }
+
+    fn instant(&self, name: &str, region: &str, value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        let e = inner
+            .counters
+            .entry(counter_key(name, region))
+            .or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += value;
+    }
+
+    fn counter(&self, name: &str, region: &str, value: f64) {
+        // Same table as instants: for the deterministic report both are
+        // "a named sample with a value"; count+sum reconstructs either
+        // a total or (for constants like table shapes) the pinned value.
+        self.instant(name, region, value);
     }
 }
 
@@ -228,6 +259,19 @@ mod tests {
         acc.reset();
         assert!(acc.snapshot().kernels.is_empty());
         assert_eq!(acc.snapshot().h2d.count, 0);
+    }
+
+    #[test]
+    fn accumulator_merges_instants_and_counters() {
+        let acc = StatsAccumulator::new();
+        acc.instant("snap.ui.flops", "step/pair/snap", 10.0);
+        acc.instant("snap.ui.flops", "step/pair/snap", 5.0);
+        acc.counter("snap.table.builds", "snap", 1.0);
+        acc.instant("pool.grow", "", 3.0);
+        let snap = acc.snapshot();
+        assert_eq!(snap.counters["snap.ui.flops@step/pair/snap"], (2, 15.0));
+        assert_eq!(snap.counters["snap.table.builds@snap"], (1, 1.0));
+        assert_eq!(snap.counters["pool.grow"], (1, 3.0));
     }
 
     #[test]

@@ -195,6 +195,20 @@ fn render_snapshot(out: &mut Value, snap: &AccumulatedProfile) {
     }
     out.set("regions", regions);
 
+    // Instant/counter samples (`name@region`), rendered as
+    // {count, sum}. Includes the SNAP contraction-table shape counters
+    // (`snap.table.*`), which the baseline pins at zero tolerance —
+    // `snap.table.builds` drifting above one launch-count's worth would
+    // betray a mid-run table rebuild.
+    let mut counters = Value::obj();
+    for (key, (count, sum)) in &snap.counters {
+        let mut c = Value::obj();
+        c.set("count", Value::Num(*count as f64));
+        c.set("sum", Value::Num(*sum));
+        counters.set(key.clone(), c);
+    }
+    out.set("counters", counters);
+
     // Host<->device traffic observed by the subscriber during the run.
     let mut transfers = Value::obj();
     transfers.set("h2d_bytes", Value::Num(snap.h2d.bytes as f64));
@@ -292,6 +306,9 @@ mod tests {
             "step/pair",
             "predicted_us",
             "roofline_h100",
+            "snap.table.items@",
+            "snap.table.builds@",
+            "snap.ui.flops@",
         ] {
             assert!(a.contains(needle), "report missing {needle}:\n{a}");
         }

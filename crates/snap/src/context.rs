@@ -17,9 +17,15 @@
 //!   recomputes `u`/`du` once per direction).
 
 use crate::cg::CgBlock;
-use crate::hyper::HyperParams;
+use crate::hyper::{HyperParams, MapCore};
 use crate::indices::SnapIndices;
-use crate::wigner::{compute_u, compute_u_du, RootPq};
+use crate::tables::{z_from_pairs, ContractionTables};
+use crate::wigner::{compute_du_cached, compute_u, compute_u_du, RootPq};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone id distinguishing `SnapContext` instances (and therefore
+/// their contraction tables); thread-local scratch keys on it.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
 
 /// Kernel-strategy knobs (Table 2's experiment axes).
 #[derive(Debug, Clone, Copy)]
@@ -58,12 +64,57 @@ pub struct SnapScratch {
     acc_i: Vec<f64>,
     du_r: Vec<f64>,
     du_i: Vec<f64>,
+    /// Per-item Z values (one per contraction-table work item), shared
+    /// by the energy contraction and the adjoint's term 1.
+    z_r: Vec<f64>,
+    z_i: Vec<f64>,
     /// Per-atom accumulated U.
     pub utot_r: Vec<f64>,
     pub utot_i: Vec<f64>,
     /// Per-atom adjoint Y.
     pub y_r: Vec<f64>,
     pub y_i: Vec<f64>,
+}
+
+/// Per-neighbor `(geometry, u)` cache filled by ComputeUi so the
+/// Deidrj pass stops re-deriving the hypersphere map and re-running the
+/// `u` recursion (it only needs the `du` half; see
+/// [`crate::wigner::compute_du_cached`]).
+#[derive(Debug, Clone, Default)]
+pub struct NeighborCache {
+    /// Hypersphere map of each in-cutoff neighbor.
+    pub geom: Vec<MapCore>,
+    u_r: Vec<f64>,
+    u_i: Vec<f64>,
+}
+
+impl NeighborCache {
+    /// Grow (never shrink) to hold `nn` neighbors.
+    fn ensure(&mut self, nn: usize, u_len: usize) {
+        if self.geom.len() < nn {
+            self.geom.resize(nn, MapCore::default());
+        }
+        let need = nn * u_len;
+        if self.u_r.len() < need {
+            self.u_r.resize(need, 0.0);
+            self.u_i.resize(need, 0.0);
+        }
+    }
+
+    fn slice_mut(&mut self, k: usize, u_len: usize) -> (&mut [f64], &mut [f64]) {
+        (
+            &mut self.u_r[k * u_len..(k + 1) * u_len],
+            &mut self.u_i[k * u_len..(k + 1) * u_len],
+        )
+    }
+
+    /// Cached `u` of neighbor `k`.
+    pub fn u(&self, k: usize, u_len: usize) -> (&[f64], &[f64]) {
+        (
+            &self.u_r[k * u_len..(k + 1) * u_len],
+            &self.u_i[k * u_len..(k + 1) * u_len],
+        )
+    }
 }
 
 /// Immutable SNAP machinery: indices, tables, and the trained β.
@@ -78,6 +129,14 @@ pub struct SnapContext {
     pub beta: Vec<f64>,
     /// Self-contribution weight on the U diagonal.
     pub wself: f64,
+    /// Flattened sparse contraction tables, built once here and
+    /// immutable for the context's lifetime.
+    pub tables: ContractionTables,
+    /// How many times the tables were constructed (the
+    /// construction-once invariant pins this at 1).
+    pub table_builds: u64,
+    /// Unique context id; thread-local scratch keys on it.
+    pub generation: u64,
 }
 
 impl SnapContext {
@@ -88,11 +147,12 @@ impl SnapContext {
             idx.n_bispectrum(),
             "need one beta per bispectrum component"
         );
-        let cg = idx
+        let cg: Vec<CgBlock> = idx
             .triples
             .iter()
             .map(|&(j1, j2, j)| CgBlock::new(j1, j2, j))
             .collect();
+        let tables = ContractionTables::build(&idx, &cg, &beta);
         SnapContext {
             rootpq: RootPq::new(twojmax),
             idx,
@@ -100,6 +160,9 @@ impl SnapContext {
             cg,
             beta,
             wself: 1.0,
+            tables,
+            table_builds: 1,
+            generation: GENERATION.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -122,6 +185,7 @@ impl SnapContext {
 
     pub fn alloc_scratch(&self) -> SnapScratch {
         let n = self.idx.u_len;
+        let nz = self.tables.items.len();
         SnapScratch {
             u_r: vec![0.0; n],
             u_i: vec![0.0; n],
@@ -129,6 +193,8 @@ impl SnapContext {
             acc_i: vec![0.0; n],
             du_r: vec![0.0; n * 3],
             du_i: vec![0.0; n * 3],
+            z_r: vec![0.0; nz],
+            z_i: vec![0.0; nz],
             utot_r: vec![0.0; n],
             utot_i: vec![0.0; n],
             y_r: vec![0.0; n],
@@ -154,37 +220,141 @@ impl SnapContext {
         s: &mut SnapScratch,
         batch: usize,
     ) {
+        let SnapScratch {
+            u_r,
+            u_i,
+            acc_r,
+            acc_i,
+            utot_r,
+            utot_i,
+            ..
+        } = s;
+        self.ui_core(
+            neigh, weights, batch, None, utot_r, utot_i, u_r, u_i, acc_r, acc_i,
+        );
+    }
+
+    /// [`SnapContext::compute_ui_weighted`] that additionally fills a
+    /// per-neighbor [`NeighborCache`] (geometry + `u`) for the staged
+    /// Deidrj pass, writing the accumulated `U` into caller-owned
+    /// slices (the per-atom pool of the fissioned pipeline).
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_ui_into(
+        &self,
+        neigh: &[[f64; 3]],
+        weights: Option<&[f64]>,
+        batch: usize,
+        cache: &mut NeighborCache,
+        utot_r: &mut [f64],
+        utot_i: &mut [f64],
+        s: &mut SnapScratch,
+    ) {
+        let SnapScratch {
+            u_r,
+            u_i,
+            acc_r,
+            acc_i,
+            ..
+        } = s;
+        self.ui_core(
+            neigh,
+            weights,
+            batch,
+            Some(cache),
+            utot_r,
+            utot_i,
+            u_r,
+            u_i,
+            acc_r,
+            acc_i,
+        );
+    }
+
+    /// The shared ComputeUi body. With `batch == 1` the per-chunk local
+    /// accumulator is skipped and `U` is accumulated directly — bitwise
+    /// identical, since `acc = 0.0 + sfac·u` can only differ from
+    /// `sfac·u` in the sign of zero, and `utot` (seeded from `+0.0` and
+    /// `wself`) can never be `-0.0`, which makes `utot + (±0.0)`
+    /// sign-insensitive.
+    #[allow(clippy::too_many_arguments)]
+    fn ui_core(
+        &self,
+        neigh: &[[f64; 3]],
+        weights: Option<&[f64]>,
+        batch: usize,
+        mut cache: Option<&mut NeighborCache>,
+        utot_r: &mut [f64],
+        utot_i: &mut [f64],
+        u_r: &mut [f64],
+        u_i: &mut [f64],
+        acc_r: &mut [f64],
+        acc_i: &mut [f64],
+    ) {
         if let Some(w) = weights {
             assert_eq!(w.len(), neigh.len());
         }
+        let n_u = self.idx.u_len;
         let batch = batch.max(1);
-        s.utot_r.iter_mut().for_each(|x| *x = 0.0);
-        s.utot_i.iter_mut().for_each(|x| *x = 0.0);
+        utot_r[..n_u].fill(0.0);
+        utot_i[..n_u].fill(0.0);
         // Self term on the diagonals.
         for j in 0..=self.idx.twojmax {
             for ma in 0..=j {
-                s.utot_r[self.idx.u_index(j, ma, ma)] = self.wself;
+                utot_r[self.idx.u_index(j, ma, ma)] = self.wself;
             }
+        }
+        if let Some(c) = cache.as_deref_mut() {
+            c.ensure(neigh.len(), n_u);
+        }
+        if batch == 1 {
+            for (k, d) in neigh.iter().enumerate() {
+                let core = self.hyper.map_core(*d);
+                let w = weights.map_or(1.0, |ws| ws[k]);
+                let sfac = core.ck.sfac * w;
+                let (ur, ui) = match cache.as_deref_mut() {
+                    Some(c) => {
+                        c.geom[k] = core;
+                        c.slice_mut(k, n_u)
+                    }
+                    None => (&mut u_r[..], &mut u_i[..]),
+                };
+                compute_u(&self.idx, &self.rootpq, &core.ck, ur, ui);
+                for iu in 0..n_u {
+                    utot_r[iu] += sfac * ur[iu];
+                    utot_i[iu] += sfac * ui[iu];
+                }
+            }
+            return;
         }
         for (c_idx, chunk) in neigh.chunks(batch).enumerate() {
             // Local (register-like) accumulation over the batch —
             // exactly the "sum over neighbors locally before performing
-            // the atomic addition" optimization of §4.3.4.
-            s.acc_r.iter_mut().for_each(|x| *x = 0.0);
-            s.acc_i.iter_mut().for_each(|x| *x = 0.0);
+            // the atomic addition" optimization of §4.3.4. The chunk's
+            // weight slice is hoisted out of the neighbor loop.
+            acc_r[..n_u].fill(0.0);
+            acc_i[..n_u].fill(0.0);
+            let wchunk = weights.map(|ws| &ws[c_idx * batch..]);
             for (k_in, d) in chunk.iter().enumerate() {
-                let ck = self.hyper.map(*d);
-                let w = weights.map(|w| w[c_idx * batch + k_in]).unwrap_or(1.0);
-                let sfac = ck.sfac * w;
-                compute_u(&self.idx, &self.rootpq, &ck, &mut s.u_r, &mut s.u_i);
-                for iu in 0..self.idx.u_len {
-                    s.acc_r[iu] += sfac * s.u_r[iu];
-                    s.acc_i[iu] += sfac * s.u_i[iu];
+                let core = self.hyper.map_core(*d);
+                let w = wchunk.map_or(1.0, |ws| ws[k_in]);
+                let sfac = core.ck.sfac * w;
+                let (ur, ui) = match cache.as_deref_mut() {
+                    Some(c) => {
+                        let k = c_idx * batch + k_in;
+                        c.geom[k] = core;
+                        c.slice_mut(k, n_u)
+                    }
+                    None => (&mut u_r[..], &mut u_i[..]),
+                };
+                compute_u(&self.idx, &self.rootpq, &core.ck, ur, ui);
+                for iu in 0..n_u {
+                    acc_r[iu] += sfac * ur[iu];
+                    acc_i[iu] += sfac * ui[iu];
                 }
             }
-            for iu in 0..self.idx.u_len {
-                s.utot_r[iu] += s.acc_r[iu];
-                s.utot_i[iu] += s.acc_i[iu];
+            for iu in 0..n_u {
+                utot_r[iu] += acc_r[iu];
+                utot_i[iu] += acc_i[iu];
             }
         }
     }
@@ -233,8 +403,37 @@ impl SnapContext {
     }
 
     /// The bispectrum components `B_{j1,j2,j} = Z : U*` for the current
-    /// `utot` (eq. 3).
+    /// `utot` (eq. 3), via the flattened contraction tables.
     pub fn compute_bi(&self, s: &SnapScratch) -> Vec<f64> {
+        self.compute_bi_from_u(&s.utot_r, &s.utot_i)
+    }
+
+    /// Table-driven `B` on caller-owned `U` slices. Sums in exactly the
+    /// direct-loop order (items are stored in that order), so the
+    /// result is bit-identical to [`SnapContext::compute_bi_direct`].
+    pub fn compute_bi_from_u(&self, utot_r: &[f64], utot_i: &[f64]) -> Vec<f64> {
+        let tbl = &self.tables;
+        (0..self.idx.n_bispectrum())
+            .map(|t| {
+                let mut b = 0.0;
+                for item in &tbl.items[tbl.triple_range(t)] {
+                    let (zr, zi) = z_from_pairs(
+                        &tbl.pairs[item.pair_lo as usize..item.pair_hi as usize],
+                        utot_r,
+                        utot_i,
+                    );
+                    let iu = item.iu as usize;
+                    // Re(z · conj(U)).
+                    b += zr * utot_r[iu] + zi * utot_i[iu];
+                }
+                b
+            })
+            .collect()
+    }
+
+    /// The direct (pre-table) quadruple-loop `B` evaluation, retained
+    /// as the bit-identity reference for the equivalence tests.
+    pub fn compute_bi_direct(&self, s: &SnapScratch) -> Vec<f64> {
         self.idx
             .triples
             .iter()
@@ -263,10 +462,102 @@ impl SnapContext {
             .sum()
     }
 
+    /// ComputeZi: evaluate every work item's `z` once into the per-item
+    /// scratch, to be shared by the energy contraction and the
+    /// adjoint's term 1 (the direct path evaluated each `z` twice).
+    pub fn compute_zi_into(
+        &self,
+        utot_r: &[f64],
+        utot_i: &[f64],
+        z_r: &mut [f64],
+        z_i: &mut [f64],
+    ) {
+        let tbl = &self.tables;
+        for (k, item) in tbl.items.iter().enumerate() {
+            let (zr, zi) = z_from_pairs(
+                &tbl.pairs[item.pair_lo as usize..item.pair_hi as usize],
+                utot_r,
+                utot_i,
+            );
+            z_r[k] = zr;
+            z_i[k] = zi;
+        }
+    }
+
+    /// `E_i = Σ β·B` from precomputed per-item `z` — bit-identical to
+    /// [`SnapContext::energy`] (same item order, same association).
+    pub fn energy_from_z(&self, utot_r: &[f64], utot_i: &[f64], z_r: &[f64], z_i: &[f64]) -> f64 {
+        let tbl = &self.tables;
+        let mut e = 0.0;
+        for (t, beta) in self.beta.iter().enumerate() {
+            let mut b = 0.0;
+            for k in tbl.triple_range(t) {
+                let iu = tbl.items[k].iu as usize;
+                b += z_r[k] * utot_r[iu] + z_i[k] * utot_i[iu];
+            }
+            e += b * beta;
+        }
+        e
+    }
+
+    /// ComputeYi from precomputed per-item `z`: term 1 reads the shared
+    /// `z`, term 2 walks the prefiltered scatter table. Work items are
+    /// stored in the direct loop's exact order, so the aliased `y`
+    /// accumulations replay bit-identically.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_yi_from_z(
+        &self,
+        utot_r: &[f64],
+        utot_i: &[f64],
+        z_r: &[f64],
+        z_i: &[f64],
+        y_r: &mut [f64],
+        y_i: &mut [f64],
+    ) {
+        let n_u = self.idx.u_len;
+        y_r[..n_u].fill(0.0);
+        y_i[..n_u].fill(0.0);
+        let tbl = &self.tables;
+        for yit in &tbl.y_items {
+            let k = yit.z as usize;
+            let iu = tbl.items[k].iu as usize;
+            let (ujr, uji) = (utot_r[iu], utot_i[iu]);
+            // Term 1: B depends on conj(U_j) explicitly.
+            y_r[iu] += yit.beta * z_r[k];
+            y_i[iu] += yit.beta * z_i[k];
+            // Term 2: B depends on U_{j1}, U_{j2} inside Z.
+            for sc in &tbl.y_scatters[yit.scat_lo as usize..yit.scat_hi as usize] {
+                let (i1, i2) = (sc.i1 as usize, sc.i2 as usize);
+                let (u1r, u1i) = (utot_r[i1], utot_i[i1]);
+                let (u2r, u2i) = (utot_r[i2], utot_i[i2]);
+                y_r[i1] += sc.w * (u2r * ujr + u2i * uji);
+                y_i[i1] += sc.w * (-u2i * ujr + u2r * uji);
+                y_r[i2] += sc.w * (u1r * ujr + u1i * uji);
+                y_i[i2] += sc.w * (-u1i * ujr + u1r * uji);
+            }
+        }
+    }
+
     /// ComputeYi: the adjoint `Y = ∂E_i/∂U` by exact reverse-mode
     /// differentiation of [`SnapContext::compute_bi`]'s expression.
     /// `(y_r, y_i)` hold `∂E/∂(Re U)`, `∂E/∂(Im U)`.
     pub fn compute_yi(&self, s: &mut SnapScratch) {
+        let SnapScratch {
+            z_r,
+            z_i,
+            utot_r,
+            utot_i,
+            y_r,
+            y_i,
+            ..
+        } = s;
+        self.compute_zi_into(utot_r, utot_i, z_r, z_i);
+        self.compute_yi_from_z(utot_r, utot_i, z_r, z_i, y_r, y_i);
+    }
+
+    /// The direct (pre-table) adjoint construction, retained as the
+    /// bit-identity reference for the equivalence tests.
+    pub fn compute_yi_direct(&self, s: &mut SnapScratch) {
         s.y_r.iter_mut().for_each(|x| *x = 0.0);
         s.y_i.iter_mut().for_each(|x| *x = 0.0);
         for (t, &(j1, j2, j)) in self.idx.triples.iter().enumerate() {
@@ -381,6 +672,70 @@ impl SnapContext {
                     let di = ckd.dsfac[k] * s.u_i[iu] + ckd.ck.sfac * s.du_i[iu * 3 + k];
                     *dedk += s.y_r[iu] * dr + s.y_i[iu] * di;
                 }
+            }
+        }
+        dedr
+    }
+
+    /// Staged ComputeZi/ComputeYi: fill the per-item `z` scratch once,
+    /// contract the energy from it, and build the adjoint `Y` into the
+    /// caller-owned slices. Returns `E_i`. Bit-identical to running
+    /// `energy` + `compute_yi` (which evaluate each `z` twice).
+    pub fn compute_energy_yi_into(
+        &self,
+        utot_r: &[f64],
+        utot_i: &[f64],
+        y_r: &mut [f64],
+        y_i: &mut [f64],
+        s: &mut SnapScratch,
+    ) -> f64 {
+        let SnapScratch { z_r, z_i, .. } = s;
+        self.compute_zi_into(utot_r, utot_i, z_r, z_i);
+        let e = self.energy_from_z(utot_r, utot_i, z_r, z_i);
+        self.compute_yi_from_z(utot_r, utot_i, z_r, z_i, y_r, y_i);
+        e
+    }
+
+    /// Fused Deidrj for one neighbor whose geometry and `u` were cached
+    /// by ComputeUi ([`SnapContext::compute_ui_into`]): only the `du`
+    /// half of the recursion runs, and the hypersphere trigonometry is
+    /// not re-derived. Bit-identical to the fused
+    /// [`SnapContext::compute_deidrj_weighted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_deidrj_cached(
+        &self,
+        d: [f64; 3],
+        weight: f64,
+        core: &MapCore,
+        u_r: &[f64],
+        u_i: &[f64],
+        y_r: &[f64],
+        y_i: &[f64],
+        s: &mut SnapScratch,
+    ) -> [f64; 3] {
+        let mut ckd = self.hyper.derivatives_from(d, core);
+        ckd.ck.sfac *= weight;
+        for dk in &mut ckd.dsfac {
+            *dk *= weight;
+        }
+        compute_du_cached(
+            &self.idx,
+            &self.rootpq,
+            &ckd,
+            u_r,
+            u_i,
+            &mut s.du_r,
+            &mut s.du_i,
+        );
+        let mut dedr = [0.0f64; 3];
+        for iu in 0..self.idx.u_len {
+            let (ur, ui) = (u_r[iu], u_i[iu]);
+            let (yr, yi) = (y_r[iu], y_i[iu]);
+            for (k, dedk) in dedr.iter_mut().enumerate() {
+                // d(sfac·u)/dx_k = dsfac_k·u + sfac·du_k.
+                let dr = ckd.dsfac[k] * ur + ckd.ck.sfac * s.du_r[iu * 3 + k];
+                let di = ckd.dsfac[k] * ui + ckd.ck.sfac * s.du_i[iu * 3 + k];
+                *dedk += yr * dr + yi * di;
             }
         }
         dedr
@@ -623,5 +978,110 @@ mod tests {
         assert!(c8.yi_flops_per_atom() > c4.yi_flops_per_atom());
         assert!(c8.ui_atomics_per_atom(20.0, 4) < c8.ui_atomics_per_atom(20.0, 1));
         assert!(c8.deidrj_flops_per_neighbor(false) > 1.3 * c8.deidrj_flops_per_neighbor(true));
+    }
+
+    /// The flattened tables reproduce the direct quadruple loops bit
+    /// for bit, for B, for Y, and with β zero patterns in play.
+    #[test]
+    fn tables_are_bitwise_identical_to_direct_loops() {
+        for twojmax in [2usize, 4, 6, 8] {
+            let n = SnapIndices::new(twojmax).n_bispectrum();
+            let mut beta = SnapContext::synthetic_beta(twojmax, 11);
+            // Zero out a pattern of triples to exercise prefiltering.
+            for (t, b) in beta.iter_mut().enumerate() {
+                if t % 3 == 0 {
+                    *b = 0.0;
+                }
+            }
+            assert_eq!(beta.len(), n);
+            let c = SnapContext::new(twojmax, HyperParams::default(), beta);
+            let mut s = c.alloc_scratch();
+            c.compute_ui(&cluster(), &mut s, 1);
+            let b_table = c.compute_bi(&s);
+            let b_direct = c.compute_bi_direct(&s);
+            for (a, b) in b_table.iter().zip(&b_direct) {
+                assert_eq!(a.to_bits(), b.to_bits(), "twojmax {twojmax}");
+            }
+            c.compute_yi(&mut s);
+            let (y_r, y_i) = (s.y_r.clone(), s.y_i.clone());
+            c.compute_yi_direct(&mut s);
+            for iu in 0..c.idx.u_len {
+                assert_eq!(y_r[iu].to_bits(), s.y_r[iu].to_bits(), "y_r[{iu}]");
+                assert_eq!(y_i[iu].to_bits(), s.y_i[iu].to_bits(), "y_i[{iu}]");
+            }
+        }
+    }
+
+    /// The staged pipeline (Ui-with-cache → shared-Z energy+Yi →
+    /// cached Deidrj) reproduces the scratch-based public entry points
+    /// bit for bit.
+    #[test]
+    fn staged_pipeline_is_bitwise_identical() {
+        let c = ctx(6);
+        let neigh = cluster();
+        let wts = [1.0, 0.7, 1.0, 0.3, 1.0];
+        for batch in [1usize, 2, 4] {
+            // Reference path.
+            let mut s = c.alloc_scratch();
+            c.compute_ui_weighted(&neigh, Some(&wts), &mut s, batch);
+            let e_ref = c.energy(&s);
+            c.compute_yi(&mut s);
+            let g_ref: Vec<[f64; 3]> = neigh
+                .iter()
+                .zip(&wts)
+                .map(|(&d, &w)| c.compute_deidrj_weighted(d, w, &mut s, true))
+                .collect();
+            // Staged path on external slices.
+            let mut s2 = c.alloc_scratch();
+            let mut cache = NeighborCache::default();
+            let n_u = c.idx.u_len;
+            let mut utot_r = vec![0.0; n_u];
+            let mut utot_i = vec![0.0; n_u];
+            let mut y_r = vec![0.0; n_u];
+            let mut y_i = vec![0.0; n_u];
+            c.compute_ui_into(
+                &neigh,
+                Some(&wts),
+                batch,
+                &mut cache,
+                &mut utot_r,
+                &mut utot_i,
+                &mut s2,
+            );
+            for iu in 0..n_u {
+                assert_eq!(utot_r[iu].to_bits(), s.utot_r[iu].to_bits());
+                assert_eq!(utot_i[iu].to_bits(), s.utot_i[iu].to_bits());
+            }
+            let e = c.compute_energy_yi_into(&utot_r, &utot_i, &mut y_r, &mut y_i, &mut s2);
+            assert_eq!(e.to_bits(), e_ref.to_bits(), "batch {batch}");
+            for iu in 0..n_u {
+                assert_eq!(y_r[iu].to_bits(), s.y_r[iu].to_bits());
+                assert_eq!(y_i[iu].to_bits(), s.y_i[iu].to_bits());
+            }
+            for (k, (&d, &w)) in neigh.iter().zip(&wts).enumerate() {
+                let (cu_r, cu_i) = cache.u(k, n_u);
+                let g =
+                    c.compute_deidrj_cached(d, w, &cache.geom[k], cu_r, cu_i, &y_r, &y_i, &mut s2);
+                for dir in 0..3 {
+                    assert_eq!(
+                        g[dir].to_bits(),
+                        g_ref[k][dir].to_bits(),
+                        "neighbor {k} dir {dir} batch {batch}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Tables are built exactly once, in the constructor.
+    #[test]
+    fn tables_built_once_per_context() {
+        let c = ctx(4);
+        assert_eq!(c.table_builds, 1);
+        assert!(!c.tables.pairs.is_empty());
+        assert!(!c.tables.y_items.is_empty());
+        // Distinct contexts get distinct generations (scratch keys).
+        let c2 = ctx(4);
+        assert_ne!(c.generation, c2.generation);
     }
 }

@@ -15,7 +15,7 @@
 //! ComputeDuidrj.
 
 /// Cayley-Klein parameters of one neighbor, plus the cutoff weight.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CayleyKlein {
     pub a_r: f64,
     pub a_i: f64,
@@ -36,6 +36,20 @@ pub struct CayleyKleinDeriv {
     pub db_i: [f64; 3],
     /// d(fc·w)/dx_k.
     pub dsfac: [f64; 3],
+}
+
+/// The reusable geometry of one neighbor's hypersphere map: the
+/// Cayley-Klein parameters plus the scalar intermediates (`r`, `z0`,
+/// `r0⁻¹`) the derivative formulas need. ComputeUi caches one of these
+/// per neighbor so ComputeDeidrj can derive `da/db/dsfac` without
+/// re-running the trigonometry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MapCore {
+    pub ck: CayleyKlein,
+    pub r: f64,
+    pub rsq: f64,
+    pub z0: f64,
+    pub r0inv: f64,
 }
 
 /// Geometry parameters of the hypersphere map.
@@ -82,45 +96,50 @@ impl HyperParams {
         -0.5 * w * (w * (r - self.rmin0)).sin()
     }
 
-    /// Map one relative position to Cayley-Klein parameters.
-    pub fn map(&self, d: [f64; 3]) -> CayleyKlein {
+    /// Map one relative position onto the 3-sphere, keeping the scalar
+    /// intermediates so the derivative pass can reuse them. This is the
+    /// single source of truth for `θ0`/`z0`/`r0⁻¹`: the energy and
+    /// force paths see exactly the same Cayley-Klein bits.
+    pub fn map_core(&self, d: [f64; 3]) -> MapCore {
         let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
         let r = rsq.sqrt();
         let theta0 =
             self.rfac0 * std::f64::consts::PI * (r - self.rmin0) / (self.rcut - self.rmin0);
         let z0 = r / theta0.tan();
         let r0inv = 1.0 / (rsq + z0 * z0).sqrt();
-        CayleyKlein {
-            a_r: r0inv * z0,
-            a_i: -r0inv * d[2],
-            b_r: r0inv * d[1],
-            b_i: -r0inv * d[0],
-            sfac: self.fc(r) * self.weight,
+        MapCore {
+            ck: CayleyKlein {
+                a_r: r0inv * z0,
+                a_i: -r0inv * d[2],
+                b_r: r0inv * d[1],
+                b_i: -r0inv * d[0],
+                sfac: self.fc(r) * self.weight,
+            },
+            r,
+            rsq,
+            z0,
+            r0inv,
         }
     }
 
-    /// Map with full Cartesian derivatives.
-    pub fn map_with_derivatives(&self, d: [f64; 3]) -> CayleyKleinDeriv {
-        let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-        let r = rsq.sqrt();
+    /// Map one relative position to Cayley-Klein parameters.
+    pub fn map(&self, d: [f64; 3]) -> CayleyKlein {
+        self.map_core(d).ck
+    }
+
+    /// The Cartesian derivatives for a neighbor whose [`MapCore`] was
+    /// already computed (by ComputeUi). Pure arithmetic on the cached
+    /// scalars — no `sqrt`/`tan` re-evaluation.
+    pub fn derivatives_from(&self, d: [f64; 3], core: &MapCore) -> CayleyKleinDeriv {
+        let (r, rsq, z0, r0inv) = (core.r, core.rsq, core.z0, core.r0inv);
         let rinv = 1.0 / r;
         let uhat = [d[0] * rinv, d[1] * rinv, d[2] * rinv];
         let rscale0 = self.rfac0 * std::f64::consts::PI / (self.rcut - self.rmin0);
-        let theta0 = rscale0 * (r - self.rmin0);
-        let z0 = r / theta0.tan();
         let dz0dr = z0 / r - r * rscale0 * (rsq + z0 * z0) / rsq;
-        let r0inv = 1.0 / (rsq + z0 * z0).sqrt();
         let dr0invdr = -r0inv.powi(3) * (r + z0 * dz0dr);
 
-        let ck = CayleyKlein {
-            a_r: r0inv * z0,
-            a_i: -r0inv * d[2],
-            b_r: r0inv * d[1],
-            b_i: -r0inv * d[0],
-            sfac: self.fc(r) * self.weight,
-        };
         let mut out = CayleyKleinDeriv {
-            ck,
+            ck: core.ck,
             da_r: [0.0; 3],
             da_i: [0.0; 3],
             db_r: [0.0; 3],
@@ -141,6 +160,11 @@ impl HyperParams {
         out.db_r[1] += r0inv;
         out.db_i[0] -= r0inv;
         out
+    }
+
+    /// Map with full Cartesian derivatives.
+    pub fn map_with_derivatives(&self, d: [f64; 3]) -> CayleyKleinDeriv {
+        self.derivatives_from(d, &self.map_core(d))
     }
 }
 

@@ -19,11 +19,17 @@
 //!   the smooth cutoff function, and their Cartesian derivatives.
 //! * [`wigner`] — the recursive Wigner-U evaluation (**ComputeUi**'s
 //!   inner recursion) and its derivative (**ComputeDuidrj**).
+//! * [`tables`] — the flattened sparse contraction tables (TestSNAP's
+//!   `idxz` recipe): per-`(triple, ma, mb)` work items with fused
+//!   `ca·cb` coefficients and zero entries stripped at construction,
+//!   shared by the energy and adjoint paths.
 //! * [`context`] — the four per-atom kernels: `compute_ui` (with the
 //!   §4.3.4 neighbor work-batching variants), `compute_zi`/`compute_bi`,
 //!   `compute_yi` (adjoint construction), and `compute_fused_deidrj`
 //!   (the direction-fused force contraction).
-//! * [`pair_snap`] — the `pair_style snap` integration with `lkk-core`.
+//! * [`pair_snap`] — the `pair_style snap` integration with `lkk-core`,
+//!   fissioned into staged ComputeUi / ComputeYi / ComputeDeidrj
+//!   kernels with per-stage profile regions.
 //!
 //! Correctness is anchored by finite-difference force checks and
 //! rotation-invariance tests of `B` (see `context::tests`).
@@ -33,7 +39,9 @@ pub mod context;
 pub mod hyper;
 pub mod indices;
 pub mod pair_snap;
+pub mod tables;
 pub mod wigner;
 
-pub use context::{SnapContext, SnapKernelConfig};
+pub use context::{NeighborCache, SnapContext, SnapKernelConfig};
 pub use pair_snap::{PairSnap, SnapParams};
+pub use tables::ContractionTables;

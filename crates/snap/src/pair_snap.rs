@@ -3,11 +3,27 @@
 //! Uses a full neighbor list (the GPU-style choice: §4.3 notes two
 //! kernels "benefited from the high arithmetic intensity permitted by
 //! GPUs" the way full lists do for LJ) and a `ScatterView` for the
-//! neighbor-force scatter. Device executions log per-kernel event
-//! counts (ComputeUi / ComputeYi / ComputeFusedDeidrj) for the
-//! `lkk-gpusim` cost model.
+//! neighbor-force scatter.
+//!
+//! The per-atom computation is *fissioned* into three staged kernels
+//! (the TestSNAP restructuring):
+//!
+//! 1. **ComputeUi** — gather in-cutoff neighbors and accumulate the
+//!    per-atom `U`, caching each neighbor's hypersphere geometry and
+//!    `u` blocks in the atom's pool slot;
+//! 2. **ComputeYi** — one shared Z evaluation per work item feeding
+//!    both the energy contraction and the adjoint `Y`;
+//! 3. **ComputeDeidrj** — the direction-fused force contraction,
+//!    reusing the stage-1 `(fc, u)` cache so only the `du` half of the
+//!    recursion runs.
+//!
+//! Each stage runs in its own profile region and emits FLOP/byte
+//! instants, so traces and the device cost model attribute time per
+//! stage instead of one opaque `pair/snap` blob. Device executions
+//! additionally log the rich per-kernel event counts
+//! (ComputeUi / ComputeYi / ComputeFusedDeidrj) for `lkk-gpusim`.
 
-use crate::context::{SnapContext, SnapKernelConfig, SnapScratch};
+use crate::context::{NeighborCache, SnapContext, SnapKernelConfig, SnapScratch};
 use crate::hyper::HyperParams;
 use lkk_core::neighbor::NeighborList;
 use lkk_core::pair::{PairResults, PairStyle};
@@ -49,10 +65,88 @@ pub struct PairSnap {
     pub type_weights: Vec<f64>,
     name: String,
     scatter: Option<ScatterView>,
+    /// Per-atom intermediates persisting across the fissioned stages
+    /// (and across steps: capacities reach steady state after warmup).
+    pool: Vec<AtomWork>,
+}
+
+/// One atom's staged intermediates: the stage-1 neighbor gather and
+/// `(fc, u)` cache, the accumulated `U`, and the stage-2 adjoint `Y`.
+#[derive(Default)]
+struct AtomWork {
+    rel: Vec<[f64; 3]>,
+    ids: Vec<usize>,
+    wts: Vec<f64>,
+    cache: NeighborCache,
+    utot_r: Vec<f64>,
+    utot_i: Vec<f64>,
+    y_r: Vec<f64>,
+    y_i: Vec<f64>,
+}
+
+impl AtomWork {
+    fn ensure(&mut self, u_len: usize) {
+        if self.utot_r.len() != u_len {
+            self.utot_r.resize(u_len, 0.0);
+            self.utot_i.resize(u_len, 0.0);
+            self.y_r.resize(u_len, 0.0);
+            self.y_i.resize(u_len, 0.0);
+        }
+    }
+}
+
+/// Raw-pointer handle giving each parallel worker exclusive `&mut`
+/// access to its own atom's pool slot (the `ParWrite` idiom of
+/// `lkk-kokkos`): within a stage, slot `i` is touched only by the
+/// worker processing atom `i`.
+struct PoolRef {
+    ptr: *mut AtomWork,
+    len: usize,
+}
+
+unsafe impl Send for PoolRef {}
+unsafe impl Sync for PoolRef {}
+
+impl PoolRef {
+    /// # Safety
+    /// No other thread may access slot `i` concurrently.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot(&self, i: usize) -> &mut AtomWork {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// Thread-local scratch keyed on `(u_len, twojmax, generation)` so two
+/// SNAP styles with different truncation orders (or freshly rebuilt
+/// contraction tables) on one thread can never alias stale scratch.
+struct ScratchSlot {
+    key: (usize, usize, u64),
+    scratch: SnapScratch,
 }
 
 thread_local! {
-    static SCRATCH: RefCell<Option<SnapScratch>> = const { RefCell::new(None) };
+    static SCRATCH: RefCell<Option<ScratchSlot>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with this thread's scratch for `ctx`, (re)allocating if the
+/// context key changed.
+fn with_scratch<R>(ctx: &SnapContext, f: impl FnOnce(&mut SnapScratch) -> R) -> R {
+    let key = (ctx.idx.u_len, ctx.idx.twojmax, ctx.generation);
+    SCRATCH.with(|cell| {
+        let mut borrow = cell.borrow_mut();
+        let slot = match borrow.as_mut() {
+            Some(slot) if slot.key == key => slot,
+            _ => {
+                *borrow = Some(ScratchSlot {
+                    key,
+                    scratch: ctx.alloc_scratch(),
+                });
+                borrow.as_mut().unwrap()
+            }
+        };
+        f(&mut slot.scratch)
+    })
 }
 
 impl PairSnap {
@@ -70,6 +164,7 @@ impl PairSnap {
             type_weights: vec![1.0],
             name: "snap".into(),
             scatter: None,
+            pool: Vec::new(),
         }
     }
 
@@ -212,6 +307,13 @@ impl PairStyle for PairSnap {
                 self.scatter.as_mut().unwrap()
             }
         };
+        if self.pool.len() < nlocal {
+            self.pool.resize_with(nlocal, AtomWork::default);
+        }
+        let pool = PoolRef {
+            ptr: self.pool.as_mut_ptr(),
+            len: self.pool.len(),
+        };
         let ctx = &self.ctx;
         let config = &self.config;
         let type_weights = &self.type_weights;
@@ -220,19 +322,29 @@ impl PairStyle for PairSnap {
         let typ = atoms_ref.typ.view_for(&space);
         let sref: &ScatterView = scatter;
         let cutsq = ctx.hyper.rcut * ctx.hyper.rcut;
-        let (energy, virial) = space.parallel_reduce(
-            "PairSnapCompute",
-            nlocal,
-            (0.0f64, [0.0f64; 6]),
-            |i| {
+        let u_len = ctx.idx.u_len;
+        let avg_neigh = if nlocal > 0 {
+            list.total_pairs as f64 / nlocal as f64
+        } else {
+            0.0
+        };
+        let nlocal_f = nlocal as f64;
+
+        // Stage 1 — ComputeUi: gather in-cutoff neighbors (the
+        // divergence pre-filtering: the expensive kernels then run
+        // fully convergent), accumulate U, and fill the per-neighbor
+        // `(fc, u)` cache for stage 3.
+        {
+            let _stage = profile::begin_region("ComputeUi");
+            space.parallel_for("PairSnapUi", nlocal, |i| {
+                // SAFETY: slot `i` is touched only by this iteration.
+                let aw = unsafe { pool.slot(i) };
+                aw.ensure(u_len);
                 let xi = [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])];
                 let nn = list.numneigh.at([i]) as usize;
-                // Gather in-cutoff neighbors (the divergence
-                // pre-filtering: the expensive kernels then run fully
-                // convergent).
-                let mut rel: Vec<[f64; 3]> = Vec::with_capacity(nn);
-                let mut ids: Vec<usize> = Vec::with_capacity(nn);
-                let mut wts: Vec<f64> = Vec::with_capacity(nn);
+                aw.rel.clear();
+                aw.ids.clear();
+                aw.wts.clear();
                 for s in 0..nn {
                     let j = list.neighbors.at([i, s]) as usize;
                     let d = [
@@ -241,71 +353,138 @@ impl PairStyle for PairSnap {
                         x.at([j, 2]) - xi[2],
                     ];
                     if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < cutsq {
-                        rel.push(d);
-                        ids.push(j);
+                        aw.rel.push(d);
+                        aw.ids.push(j);
                         let t = typ.at([j]) as usize;
-                        wts.push(*type_weights.get(t).unwrap_or(&1.0));
+                        aw.wts.push(*type_weights.get(t).unwrap_or(&1.0));
                     }
                 }
-                let (e, grads) = SCRATCH.with(|cell| {
-                    let mut borrow = cell.borrow_mut();
-                    let scratch = match borrow.as_mut() {
-                        Some(s) if s.utot_r.len() == ctx.idx.u_len => s,
-                        _ => {
-                            *borrow = Some(ctx.alloc_scratch());
-                            borrow.as_mut().unwrap()
-                        }
-                    };
-                    ctx.compute_ui_weighted(&rel, Some(&wts), scratch, config.ui_batch);
-                    let e = ctx.energy(scratch);
-                    ctx.compute_yi(scratch);
-                    let grads: Vec<[f64; 3]> = rel
-                        .iter()
-                        .zip(&wts)
-                        .map(|(&d, &w)| {
-                            ctx.compute_deidrj_weighted(d, w, scratch, config.fuse_deidrj)
-                        })
-                        .collect();
-                    (e, grads)
+                with_scratch(ctx, |scratch| {
+                    ctx.compute_ui_into(
+                        &aw.rel,
+                        Some(&aw.wts),
+                        config.ui_batch,
+                        &mut aw.cache,
+                        &mut aw.utot_r,
+                        &mut aw.utot_i,
+                        scratch,
+                    );
                 });
-                let mut w = [0.0f64; 6];
-                for (k, &j) in ids.iter().enumerate() {
-                    let g = grads[k];
-                    // Force on neighbor j: −∂E_i/∂x_j; reaction on i.
-                    let f = [-g[0], -g[1], -g[2]];
-                    for (dir, &fd) in f.iter().enumerate() {
-                        sref.add(j, dir, fd);
-                        sref.add(i, dir, -fd);
+            });
+            profile::note_instant("snap.ui.flops", nlocal_f * ctx.ui_flops_per_atom(avg_neigh));
+            profile::note_instant(
+                "snap.ui.bytes",
+                nlocal_f * (ctx.u_bytes_per_atom() + avg_neigh * 28.0),
+            );
+        }
+
+        // Stage 2 — ComputeYi: one shared Z per work item feeds both
+        // the energy contraction and the adjoint Y.
+        let energy = {
+            let _stage = profile::begin_region("ComputeYi");
+            let e = space.parallel_reduce(
+                "PairSnapYi",
+                nlocal,
+                0.0f64,
+                |i| {
+                    // SAFETY: slot `i` is touched only by this iteration.
+                    let aw = unsafe { pool.slot(i) };
+                    with_scratch(ctx, |scratch| {
+                        ctx.compute_energy_yi_into(
+                            &aw.utot_r,
+                            &aw.utot_i,
+                            &mut aw.y_r,
+                            &mut aw.y_i,
+                            scratch,
+                        )
+                    })
+                },
+                |a, b| a + b,
+            );
+            profile::note_instant("snap.yi.flops", nlocal_f * ctx.yi_flops_per_atom());
+            profile::note_instant("snap.yi.bytes", nlocal_f * 2.0 * ctx.u_bytes_per_atom());
+            e
+        };
+
+        // Stage 3 — ComputeDeidrj: the direction-fused contraction,
+        // reading the stage-1 geometry/`u` cache so only the `du` half
+        // of the recursion runs per neighbor.
+        let virial = {
+            let _stage = profile::begin_region("ComputeDeidrj");
+            let v = space.parallel_reduce(
+                "PairSnapDeidrj",
+                nlocal,
+                [0.0f64; 6],
+                |i| {
+                    // SAFETY: slot `i` is touched only by this iteration.
+                    let aw = unsafe { pool.slot(i) };
+                    let mut w = [0.0f64; 6];
+                    with_scratch(ctx, |scratch| {
+                        for (k, &j) in aw.ids.iter().enumerate() {
+                            let (u_r, u_i) = aw.cache.u(k, u_len);
+                            let g = ctx.compute_deidrj_cached(
+                                aw.rel[k],
+                                aw.wts[k],
+                                &aw.cache.geom[k],
+                                u_r,
+                                u_i,
+                                &aw.y_r,
+                                &aw.y_i,
+                                scratch,
+                            );
+                            // Force on neighbor j: −∂E_i/∂x_j; reaction on i.
+                            let f = [-g[0], -g[1], -g[2]];
+                            for (dir, &fd) in f.iter().enumerate() {
+                                sref.add(j, dir, fd);
+                                sref.add(i, dir, -fd);
+                            }
+                            // Virial tensor: Σ d ⊗ f_j (symmetrized),
+                            // d = x_j − x_i.
+                            let d = aw.rel[k];
+                            w[0] += d[0] * f[0];
+                            w[1] += d[1] * f[1];
+                            w[2] += d[2] * f[2];
+                            w[3] += 0.5 * (d[0] * f[1] + d[1] * f[0]);
+                            w[4] += 0.5 * (d[0] * f[2] + d[2] * f[0]);
+                            w[5] += 0.5 * (d[1] * f[2] + d[2] * f[1]);
+                        }
+                    });
+                    w
+                },
+                |a, b| {
+                    let mut w = a;
+                    for (wk, bk) in w.iter_mut().zip(b) {
+                        *wk += bk;
                     }
-                    // Virial tensor: Σ d ⊗ f_j (symmetrized), d = x_j − x_i.
-                    let d = rel[k];
-                    w[0] += d[0] * f[0];
-                    w[1] += d[1] * f[1];
-                    w[2] += d[2] * f[2];
-                    w[3] += 0.5 * (d[0] * f[1] + d[1] * f[0]);
-                    w[4] += 0.5 * (d[0] * f[2] + d[2] * f[0]);
-                    w[5] += 0.5 * (d[1] * f[2] + d[2] * f[1]);
-                }
-                (e, w)
-            },
-            |a, b| {
-                let mut w = a.1;
-                for (wk, bk) in w.iter_mut().zip(b.1) {
-                    *wk += bk;
-                }
-                (a.0 + b.0, w)
-            },
-        );
+                    w
+                },
+            );
+            profile::note_instant(
+                "snap.deidrj.flops",
+                nlocal_f * avg_neigh * ctx.deidrj_flops_per_neighbor(config.fuse_deidrj),
+            );
+            profile::note_instant(
+                "snap.deidrj.bytes",
+                nlocal_f * (avg_neigh * 28.0 + ctx.u_bytes_per_atom()),
+            );
+            v
+        };
+
+        // Contraction-table shape counters: pinned at zero tolerance in
+        // the perf baseline (construction-once invariant — `builds`
+        // must stay 1).
+        let t = &ctx.tables;
+        profile::note_counter("snap.table.items", t.items.len() as f64);
+        profile::note_counter("snap.table.pairs", t.pairs.len() as f64);
+        profile::note_counter("snap.table.y_items", t.y_items.len() as f64);
+        profile::note_counter("snap.table.y_scatters", t.y_scatters.len() as f64);
+        profile::note_counter("snap.table.builds", ctx.table_builds as f64);
+
         let f = system.atoms.f.view_for_mut(&space);
         f.fill(0.0);
         scatter.contribute_into_view(f);
         system.atoms.modified(&space, lkk_core::atom::Mask::F);
-        let avg_neigh = if nlocal > 0 {
-            list.total_pairs as f64 / nlocal as f64
-        } else {
-            0.0
-        };
-        self.note_stats(&space, nlocal as f64, avg_neigh, list);
+        self.note_stats(&space, nlocal_f, avg_neigh, list);
         PairResults::with_tensor(energy, virial)
     }
 }

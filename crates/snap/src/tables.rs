@@ -1,0 +1,275 @@
+//! Flattened sparse contraction tables for the Zi/Bi/Yi kernels.
+//!
+//! The direct eq. 3 evaluation walks a quadruple loop per bispectrum
+//! triple — `(mb, ma)` over the target block, `(mb1, ma1)` over the
+//! coupled blocks — recomputing `saturating_sub`/`min` bounds, flat
+//! `u` indices, and Clebsch-Gordan lookups on every trip, and branching
+//! past the (many) zero coefficients. This module runs those loops
+//! *once*, at `SnapContext` construction, and records what survives:
+//!
+//! * [`ZItem`] — one per `(triple, mb, ma)` work item, in the exact
+//!   traversal order of the direct loops (triple order, `mb` outer,
+//!   `ma` inner — the TestSNAP `idxz` layout), owning a contiguous
+//!   range of [`ZPair`]s.
+//! * [`ZPair`] — one surviving inner iteration: the two flat `u`
+//!   indices plus the fused coefficient `cab = ca·cb`, zero entries
+//!   stripped.
+//! * [`YItem`]/[`YScatter`] — the adjoint (ComputeYi) work list,
+//!   prefiltered to `β ≠ 0` triples with the fused scatter weight
+//!   `w = β·ca·cb` precomputed, so neither early-out branch survives
+//!   in the hot loop.
+//!
+//! **Bit-identity rule.** The runtime kernels must accumulate in the
+//! same order the direct loops did, and every precomputed product must
+//! use the same association the direct expression parsed to:
+//! `zr += ca*cb*pr` is `(ca·cb)·pr`, so storing `cab = ca*cb` is
+//! exact; `w = beta * ca * cgb.get(..)` is `(β·ca)·cb`, so `w` is
+//! built with that exact expression. Zero-stripping is safe precisely
+//! where the direct code `continue`d on the same computed value.
+//!
+//! **Construction-once invariant.** Tables are built exactly once per
+//! `SnapContext` (in `SnapContext::new`) and are immutable afterwards;
+//! `snap.table.builds` stays pinned at 1 in the perf baseline, so a
+//! mid-run rebuild would show up as a counter drift at zero tolerance.
+
+use crate::cg::CgBlock;
+use crate::indices::SnapIndices;
+
+/// One surviving inner iteration of the Z contraction: precomputed
+/// flat indices into `utot` and the fused CG product.
+#[derive(Debug, Clone, Copy)]
+pub struct ZPair {
+    pub i1: u32,
+    pub i2: u32,
+    /// `ca · cb`, both Clebsch-Gordan factors fused (nonzero).
+    pub cab: f64,
+}
+
+/// One `(triple, mb, ma)` work item of the Z/B traversal.
+#[derive(Debug, Clone, Copy)]
+pub struct ZItem {
+    /// Flat index of `U_j(mb, ma)` — the conjugate factor of eq. 3 and
+    /// the term-1 target of ComputeYi.
+    pub iu: u32,
+    /// Range of this item's [`ZPair`]s in [`ContractionTables::pairs`].
+    pub pair_lo: u32,
+    pub pair_hi: u32,
+}
+
+/// One surviving scatter of ComputeYi's term 2: targets plus the fused
+/// weight `w = β·ca·cb` (nonzero).
+#[derive(Debug, Clone, Copy)]
+pub struct YScatter {
+    pub i1: u32,
+    pub i2: u32,
+    pub w: f64,
+}
+
+/// One adjoint work item (`β ≠ 0` triples only), in direct-loop order.
+#[derive(Debug, Clone, Copy)]
+pub struct YItem {
+    /// The shared [`ZItem`] (for its `z` value and `iu`).
+    pub z: u32,
+    /// The triple's `β` (term-1 weight).
+    pub beta: f64,
+    /// Range in [`ContractionTables::y_scatters`].
+    pub scat_lo: u32,
+    pub scat_hi: u32,
+}
+
+/// The flattened sparse contraction tables, built once per context.
+#[derive(Debug, Clone, Default)]
+pub struct ContractionTables {
+    /// All `(triple, mb, ma)` items, triple-major, `mb` outer / `ma`
+    /// inner within a triple (the direct `compute_bi` order).
+    pub items: Vec<ZItem>,
+    /// `items` range per triple: triple `t` owns
+    /// `items[triple_items[t]..triple_items[t+1]]`.
+    pub triple_items: Vec<u32>,
+    /// All surviving Z inner iterations, item-major.
+    pub pairs: Vec<ZPair>,
+    /// Adjoint items, prefiltered to `β ≠ 0`, in direct `compute_yi`
+    /// order.
+    pub y_items: Vec<YItem>,
+    /// All surviving term-2 scatters, y-item-major.
+    pub y_scatters: Vec<YScatter>,
+}
+
+impl ContractionTables {
+    /// Run the direct loops once and record the surviving work.
+    pub fn build(idx: &SnapIndices, cg: &[CgBlock], beta: &[f64]) -> Self {
+        let mut t = ContractionTables {
+            triple_items: vec![0],
+            ..Default::default()
+        };
+        for (ti, &(j1, j2, j)) in idx.triples.iter().enumerate() {
+            let cgb = &cg[ti];
+            let shift = (j1 + j2 - j) / 2;
+            let b = beta[ti];
+            for mb in 0..=j {
+                for ma in 0..=j {
+                    let pair_lo = t.pairs.len() as u32;
+                    let ma1_lo = (ma + shift).saturating_sub(j2);
+                    let ma1_hi = (ma + shift).min(j1);
+                    let mb1_lo = (mb + shift).saturating_sub(j2);
+                    let mb1_hi = (mb + shift).min(j1);
+                    for ma1 in ma1_lo..=ma1_hi {
+                        let ma2 = ma + shift - ma1;
+                        let ca = cgb.get(ma1, ma2);
+                        if ca == 0.0 {
+                            continue;
+                        }
+                        for mb1 in mb1_lo..=mb1_hi {
+                            let mb2 = mb + shift - mb1;
+                            let cb = cgb.get(mb1, mb2);
+                            if cb == 0.0 {
+                                continue;
+                            }
+                            t.pairs.push(ZPair {
+                                i1: idx.u_index(j1, mb1, ma1) as u32,
+                                i2: idx.u_index(j2, mb2, ma2) as u32,
+                                // Same association as `zr += ca*cb*pr`.
+                                cab: ca * cb,
+                            });
+                        }
+                    }
+                    let z = t.items.len() as u32;
+                    t.items.push(ZItem {
+                        iu: idx.u_index(j, mb, ma) as u32,
+                        pair_lo,
+                        pair_hi: t.pairs.len() as u32,
+                    });
+                    if b != 0.0 {
+                        let scat_lo = t.y_scatters.len() as u32;
+                        for ma1 in ma1_lo..=ma1_hi {
+                            let ma2 = ma + shift - ma1;
+                            let ca = cgb.get(ma1, ma2);
+                            if ca == 0.0 {
+                                continue;
+                            }
+                            for mb1 in mb1_lo..=mb1_hi {
+                                let mb2 = mb + shift - mb1;
+                                // Exact direct expression: (β·ca)·cb.
+                                let w = b * ca * cgb.get(mb1, mb2);
+                                if w == 0.0 {
+                                    continue;
+                                }
+                                t.y_scatters.push(YScatter {
+                                    i1: idx.u_index(j1, mb1, ma1) as u32,
+                                    i2: idx.u_index(j2, mb2, ma2) as u32,
+                                    w,
+                                });
+                            }
+                        }
+                        t.y_items.push(YItem {
+                            z,
+                            beta: b,
+                            scat_lo,
+                            scat_hi: t.y_scatters.len() as u32,
+                        });
+                    }
+                }
+            }
+            t.triple_items.push(t.items.len() as u32);
+        }
+        t
+    }
+
+    /// Items of triple `t`.
+    #[inline]
+    pub fn triple_range(&self, t: usize) -> std::ops::Range<usize> {
+        self.triple_items[t] as usize..self.triple_items[t + 1] as usize
+    }
+}
+
+/// Evaluate one item's `z` from its precomputed pairs — the flattened
+/// form of the direct `z_element`, summing in the identical order.
+#[inline(always)]
+pub fn z_from_pairs(pairs: &[ZPair], utot_r: &[f64], utot_i: &[f64]) -> (f64, f64) {
+    let mut zr = 0.0;
+    let mut zi = 0.0;
+    for p in pairs {
+        let (i1, i2) = (p.i1 as usize, p.i2 as usize);
+        let pr = utot_r[i1] * utot_r[i2] - utot_i[i1] * utot_i[i2];
+        let pi = utot_r[i1] * utot_i[i2] + utot_i[i1] * utot_r[i2];
+        zr += p.cab * pr;
+        zi += p.cab * pi;
+    }
+    (zr, zi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::CgBlock;
+
+    fn tables_for(twojmax: usize, beta: &[f64]) -> (SnapIndices, ContractionTables) {
+        let idx = SnapIndices::new(twojmax);
+        let cg: Vec<CgBlock> = idx
+            .triples
+            .iter()
+            .map(|&(j1, j2, j)| CgBlock::new(j1, j2, j))
+            .collect();
+        let t = ContractionTables::build(&idx, &cg, beta);
+        (idx, t)
+    }
+
+    #[test]
+    fn item_count_covers_every_block_element() {
+        for twojmax in [2usize, 4, 6, 8] {
+            let idx = SnapIndices::new(twojmax);
+            let beta = vec![1.0; idx.n_bispectrum()];
+            let (idx, t) = tables_for(twojmax, &beta);
+            let want: usize = idx.triples.iter().map(|&(_, _, j)| (j + 1) * (j + 1)).sum();
+            assert_eq!(t.items.len(), want);
+            assert_eq!(t.triple_items.len(), idx.triples.len() + 1);
+            assert_eq!(*t.triple_items.last().unwrap() as usize, t.items.len());
+            // With every beta nonzero the adjoint list covers all items.
+            assert_eq!(t.y_items.len(), t.items.len());
+        }
+    }
+
+    #[test]
+    fn zero_beta_triples_are_prefiltered() {
+        let idx = SnapIndices::new(4);
+        let mut beta = vec![1.0; idx.n_bispectrum()];
+        beta[0] = 0.0;
+        beta[3] = 0.0;
+        let (idx, t) = tables_for(4, &beta);
+        let skipped: usize = [0usize, 3]
+            .iter()
+            .map(|&ti| {
+                let (_, _, j) = idx.triples[ti];
+                (j + 1) * (j + 1)
+            })
+            .sum();
+        assert_eq!(t.y_items.len(), t.items.len() - skipped);
+        for y in &t.y_items {
+            assert_ne!(y.beta, 0.0);
+        }
+    }
+
+    #[test]
+    fn no_zero_coefficients_survive() {
+        let idx = SnapIndices::new(8);
+        let beta: Vec<f64> = (0..idx.n_bispectrum())
+            .map(|i| (i % 3) as f64 - 1.0)
+            .collect();
+        let (_, t) = tables_for(8, &beta);
+        assert!(!t.pairs.is_empty());
+        for p in &t.pairs {
+            assert_ne!(p.cab, 0.0);
+        }
+        for s in &t.y_scatters {
+            assert_ne!(s.w, 0.0);
+        }
+        // Ranges are contiguous and ordered.
+        let mut prev = 0u32;
+        for item in &t.items {
+            assert_eq!(item.pair_lo, prev);
+            assert!(item.pair_hi >= item.pair_lo);
+            prev = item.pair_hi;
+        }
+        assert_eq!(prev as usize, t.pairs.len());
+    }
+}

@@ -174,6 +174,77 @@ pub fn compute_u_du(
     }
 }
 
+/// The derivative half of [`compute_u_du`] alone, reading the `u`
+/// blocks from a cached evaluation (ComputeUi stores the per-neighbor
+/// `u` in `SnapScratch`; the Deidrj pass then skips re-deriving it).
+/// `compute_u` and `compute_u_du` produce bit-identical `u` (see
+/// `u_du_consistent_with_u`), and the `du` recursion only ever reads
+/// `u` from the previous, completed block — so this function's `du`
+/// output is bit-identical to `compute_u_du`'s.
+pub fn compute_du_cached(
+    idx: &SnapIndices,
+    rootpq: &RootPq,
+    ckd: &CayleyKleinDeriv,
+    u_r: &[f64],
+    u_i: &[f64],
+    du_r: &mut [f64],
+    du_i: &mut [f64],
+) {
+    debug_assert_eq!(u_r.len(), idx.u_len);
+    debug_assert_eq!(du_r.len(), idx.u_len * 3);
+    let ck = &ckd.ck;
+    for k in 0..3 {
+        du_r[k] = 0.0;
+        du_i[k] = 0.0;
+    }
+    for j in 1..=idx.twojmax {
+        let mut mb = 0;
+        while 2 * mb <= j {
+            for ma in 0..=j {
+                let iu = idx.u_index(j, mb, ma);
+                let mut dv_r = [0.0f64; 3];
+                let mut dv_i = [0.0f64; 3];
+                if ma < j {
+                    let p = idx.u_index(j - 1, mb, ma);
+                    let c = rootpq.get(j - ma, j - mb);
+                    for k in 0..3 {
+                        let (d1r, d1i) = conj_mul(ckd.da_r[k], ckd.da_i[k], u_r[p], u_i[p]);
+                        let (d2r, d2i) = conj_mul(ck.a_r, ck.a_i, du_r[p * 3 + k], du_i[p * 3 + k]);
+                        dv_r[k] += c * (d1r + d2r);
+                        dv_i[k] += c * (d1i + d2i);
+                    }
+                }
+                if ma > 0 {
+                    let p = idx.u_index(j - 1, mb, ma - 1);
+                    let c = rootpq.get(ma, j - mb);
+                    for k in 0..3 {
+                        let (d1r, d1i) = conj_mul(ckd.db_r[k], ckd.db_i[k], u_r[p], u_i[p]);
+                        let (d2r, d2i) = conj_mul(ck.b_r, ck.b_i, du_r[p * 3 + k], du_i[p * 3 + k]);
+                        dv_r[k] -= c * (d1r + d2r);
+                        dv_i[k] -= c * (d1i + d2i);
+                    }
+                }
+                for k in 0..3 {
+                    du_r[iu * 3 + k] = dv_r[k];
+                    du_i[iu * 3 + k] = dv_i[k];
+                }
+            }
+            mb += 1;
+        }
+        for mbp in mb..=j {
+            for map in 0..=j {
+                let src = idx.u_index(j, j - mbp, j - map);
+                let dst = idx.u_index(j, mbp, map);
+                let sign = if (mbp + map) % 2 == 0 { 1.0 } else { -1.0 };
+                for k in 0..3 {
+                    du_r[dst * 3 + k] = sign * du_r[src * 3 + k];
+                    du_i[dst * 3 + k] = -sign * du_i[src * 3 + k];
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +369,38 @@ mod tests {
         for iu in 0..idx.u_len {
             assert_eq!(u1_r[iu], u2_r[iu]);
             assert_eq!(u1_i[iu], u2_i[iu]);
+        }
+    }
+
+    /// The du-only recursion over cached `u` reproduces every bit of
+    /// `compute_u_du`'s derivative output — the contract that lets
+    /// ComputeDeidrj reuse the `u` ComputeUi already computed.
+    #[test]
+    fn du_cached_is_bitwise_identical_to_full_recursion() {
+        for twojmax in [2usize, 4, 8] {
+            let (idx, rootpq, p) = setup(twojmax);
+            for d0 in [[0.7, 1.2, -0.4], [1.9, -0.2, 0.3], [-1.1, -0.8, 1.6]] {
+                let ckd = p.map_with_derivatives(d0);
+                let mut u_r = vec![0.0; idx.u_len];
+                let mut u_i = vec![0.0; idx.u_len];
+                let mut du_r = vec![0.0; idx.u_len * 3];
+                let mut du_i = vec![0.0; idx.u_len * 3];
+                compute_u_du(
+                    &idx, &rootpq, &ckd, &mut u_r, &mut u_i, &mut du_r, &mut du_i,
+                );
+                // Cached path: u from compute_u, du from the cached
+                // recursion.
+                let mut cu_r = vec![0.0; idx.u_len];
+                let mut cu_i = vec![0.0; idx.u_len];
+                compute_u(&idx, &rootpq, &ckd.ck, &mut cu_r, &mut cu_i);
+                let mut cdu_r = vec![1.0; idx.u_len * 3];
+                let mut cdu_i = vec![1.0; idx.u_len * 3];
+                compute_du_cached(&idx, &rootpq, &ckd, &cu_r, &cu_i, &mut cdu_r, &mut cdu_i);
+                for k in 0..idx.u_len * 3 {
+                    assert_eq!(du_r[k].to_bits(), cdu_r[k].to_bits(), "du_r[{k}]");
+                    assert_eq!(du_i[k].to_bits(), cdu_i[k].to_bits(), "du_i[{k}]");
+                }
+            }
         }
     }
 }

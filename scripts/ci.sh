@@ -43,6 +43,16 @@ cargo clippy --all-targets -- -D warnings
 echo "==> perf-smoke --check results/perf_baseline.json"
 cargo run --release -p lkk-perf --bin perf-smoke -- --check results/perf_baseline.json
 
+# The SNAP contraction-table shape counters must stay pinned in the
+# baseline (construction-once invariant: snap.table.builds == 1 per
+# context per step at tolerance 0).
+echo "==> snap.table.* counters pinned in baseline"
+for key in snap.table.items snap.table.pairs snap.table.y_items \
+           snap.table.y_scatters snap.table.builds; do
+  grep -q "\"$key@" results/perf_baseline.json ||
+    { echo "missing $key in results/perf_baseline.json"; exit 1; }
+done
+
 echo "==> perf-smoke trace capture + metrics byte-gate"
 cargo run --release -p lkk-perf --bin perf-smoke -- \
   --trace results/trace_smoke.json \

@@ -147,6 +147,40 @@ fn metrics_dump_parses_and_carries_the_rank_census() {
     assert_eq!(hist.get("count").and_then(Value::as_f64), Some(4.0));
 }
 
+/// The fissioned SNAP pipeline must surface its three stages as
+/// distinct spans in the timeline (ISSUE 7: "ComputeUi / ComputeYi /
+/// ComputeDeidrj appear as distinct spans in the Perfetto trace"), and
+/// the contraction-table shape counters must land in the metrics dump.
+#[test]
+fn snap_stage_fission_emits_distinct_spans() {
+    let cap = capture_with(vec![workloads::snap()]);
+    let doc = json::parse(&cap.chrome_json).expect("trace is not valid JSON");
+    let Some(Value::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents missing or not an array");
+    };
+    for stage in ["ComputeUi", "ComputeYi", "ComputeDeidrj"] {
+        let begins = events
+            .iter()
+            .filter(|ev| {
+                ev.get("ph").map(str_of) == Some("B") && ev.get("name").map(str_of) == Some(stage)
+            })
+            .count();
+        assert!(begins > 0, "no B span named {stage} in the snap trace");
+    }
+    for counter in [
+        "snap.table.items",
+        "snap.table.pairs",
+        "snap.table.y_items",
+        "snap.table.y_scatters",
+        "snap.table.builds",
+    ] {
+        assert!(
+            cap.metrics_json.contains(counter),
+            "metrics dump missing {counter}"
+        );
+    }
+}
+
 /// Parse a Chrome trace export and assert every lane's `B`/`E` spans
 /// are balanced and properly nested. Returns the thread-lane names.
 fn assert_balanced_lanes(chrome_json: &str) -> Vec<String> {
