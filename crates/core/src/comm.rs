@@ -25,10 +25,30 @@ use crate::atom::AtomData;
 use crate::domain::Domain;
 use crate::sim::System;
 
+pub mod balance;
 pub mod brick;
 pub mod fault;
 
+pub use balance::{BalancePolicy, BalanceWeight};
 pub use fault::{CommError, FaultConfig, FaultKind, FaultPlan, FaultStats, RetryPolicy};
+
+/// Which communication layer a run uses — the driver-level knob of the
+/// unified [`brick::RunSpec`] API (`spec.comm(...)` /
+/// `SimulationBuilder::comm(...)`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CommSpec {
+    /// In-process single rank ([`SingleRankComm`]): no messages move.
+    /// Bit-for-bit the classic `Simulation::run` path.
+    #[default]
+    Single,
+    /// Brick-decomposed rank-parallel run on `ranks` simulated MPI
+    /// ranks ([`brick::BrickComm`]), optionally rebalancing the brick
+    /// cut planes under the given policy.
+    Brick {
+        ranks: usize,
+        balance: Option<BalancePolicy>,
+    },
+}
 
 /// Ghost bookkeeping: ghost row `nlocal + g` is a copy of `owner[g]`
 /// displaced by `shift[g]`.
@@ -284,6 +304,12 @@ pub struct CommStats {
     pub border_bytes: u64,
     /// Non-empty border messages.
     pub border_msgs: u64,
+    /// Payload bytes of load-balance census exchanges.
+    pub balance_bytes: u64,
+    /// Load-balance census messages.
+    pub balance_msgs: u64,
+    /// Times the balancer actually moved the cut planes.
+    pub rebalances: u64,
     /// Collective reductions performed (OR + SUM).
     pub allreduce_count: u64,
 }
@@ -301,6 +327,9 @@ impl CommStats {
         self.migrate_msgs += other.migrate_msgs;
         self.border_bytes += other.border_bytes;
         self.border_msgs += other.border_msgs;
+        self.balance_bytes += other.balance_bytes;
+        self.balance_msgs += other.balance_msgs;
+        self.rebalances += other.rebalances;
         self.allreduce_count += other.allreduce_count;
     }
 
@@ -403,6 +432,20 @@ pub trait Comm: Send {
     /// [`Comm::borders`] (advisory, like all wall-clock).
     fn phase_seconds(&self) -> [f64; 2] {
         [0.0, 0.0]
+    }
+
+    /// Advisory work hint for [`BalanceWeight::PairTime`]: cumulative
+    /// pair-force seconds this rank has measured. The driver refreshes
+    /// it before every `borders`; implementations without a balancer
+    /// ignore it.
+    fn note_work(&mut self, _seconds: f64) {}
+
+    /// Peak owned-atom count (`nlocal`) this comm has observed across
+    /// migrations — the max-over-run census behind
+    /// `MultiRankRun::atom_imbalance`. 0 when the implementation does
+    /// not migrate atoms.
+    fn max_owned(&self) -> usize {
+        0
     }
 }
 

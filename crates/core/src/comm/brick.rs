@@ -42,8 +42,9 @@
 //! `docs/robustness.md`.
 
 use crate::atom::{AtomData, AtomRecord, Mask};
+use crate::comm::balance::{self, BalancePolicy};
 use crate::comm::fault::{crc32_words, CommError, FaultKind, FaultPlan, FaultStats};
-use crate::comm::{Comm, CommStats, FaultConfig};
+use crate::comm::{Comm, CommSpec, CommStats, FaultConfig};
 use crate::compute;
 use crate::decomp::BrickDecomp;
 use crate::domain::Domain;
@@ -66,6 +67,10 @@ const TAG_REDUCE: u64 = 6;
 /// Shutdown handshake (fault mode only): exempt from injection, like a
 /// finalize barrier riding a reliable control plane.
 const TAG_QUIESCE: u64 = 7;
+/// Load-balance census exchange (only when a [`BalancePolicy`] is
+/// installed; a balance-off run never emits this tag, keeping its
+/// per-edge sequence numbering identical to the pre-balancer layer).
+const TAG_BALANCE: u64 = 8;
 
 /// Envelope words preceding the payload: `[tag, seq, crc]`.
 const HDR: usize = 3;
@@ -85,6 +90,7 @@ fn tag_name(tag: u64) -> &'static str {
         TAG_SCALAR => "scalar",
         TAG_REDUCE => "reduce",
         TAG_QUIESCE => "quiesce",
+        TAG_BALANCE => "balance",
         _ => "unknown",
     }
 }
@@ -229,6 +235,29 @@ pub struct BrickComm {
     /// for (see [`BrickComm::prewarm`]); 0 until the first dispatch.
     prewarm_cap: usize,
     fstats: FaultStats,
+    /// Load-balance policy; `None` (the default) keeps the static
+    /// uniform grid and an exchange sequence bit-identical to the
+    /// pre-balancer layer.
+    balance: Option<BalancePolicy>,
+    /// `borders()` calls so far (drives [`BalancePolicy::every`]).
+    borders_count: u64,
+    /// Pair-force seconds reported by the driver via
+    /// [`Comm::note_work`] (cumulative).
+    work_seconds: f64,
+    /// `work_seconds` at the previous census, so each census weighs the
+    /// work done *since* the last one.
+    work_at_balance: f64,
+    /// Census scratch: this rank's per-dimension histograms
+    /// (`3 * policy.bins` words, concatenated x|y|z).
+    local_hist: Vec<u64>,
+    /// Census scratch: weighted global histograms, same layout.
+    global_hist: Vec<u64>,
+    /// Census scratch: owned-atom count per rank.
+    rank_counts: Vec<u64>,
+    /// Peak `nlocal` ever owned after a migration (max over the run,
+    /// so transient spikes are not blind spots — see
+    /// [`MultiRankRun::atom_imbalance`]).
+    max_owned: usize,
 }
 
 impl BrickComm {
@@ -317,6 +346,14 @@ impl BrickComm {
                     plan: None,
                     prewarm_cap: 0,
                     fstats: FaultStats::default(),
+                    balance: None,
+                    borders_count: 0,
+                    work_seconds: 0.0,
+                    work_at_balance: 0.0,
+                    local_hist: Vec::new(),
+                    global_hist: Vec::new(),
+                    rank_counts: Vec::new(),
+                    max_owned: 0,
                 }
             })
             .collect()
@@ -329,6 +366,147 @@ impl BrickComm {
     /// edge agree on the schedule by construction).
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
         self.plan = Some(plan);
+    }
+
+    /// Install a load-balance policy. Must be installed on every rank
+    /// of the run before the first `borders()` call: the census is a
+    /// collective exchange, and a rank without the policy would desync
+    /// the per-edge sequence numbers.
+    pub fn set_balance(&mut self, policy: Option<BalancePolicy>) {
+        self.balance = policy;
+    }
+
+    /// Census + cut-plane update, called from `borders()` after
+    /// positions are wrapped and before migration — migration then
+    /// re-homes atoms across the *new* cut planes through the ordinary
+    /// typed-channel exchange (and therefore under any installed fault
+    /// plan: balance envelopes carry the same `[tag, seq, crc]` header
+    /// and ride the same NACK/retransmit recovery).
+    ///
+    /// Determinism: the exchanged payload is the per-dimension integer
+    /// histogram of owned atoms over *global box* fractions, which is
+    /// ownership-independent — the weighted global histogram every rank
+    /// assembles is identical no matter how atoms were distributed — so
+    /// all ranks compute bitwise-identical cuts, and under the default
+    /// [`balance::BalanceWeight::AtomCount`] the whole rebalance schedule is a
+    /// pure function of the workload, never wall-clock.
+    fn maybe_balance(&mut self, system: &mut System, cutghost: f64) -> Result<(), CommError> {
+        let call = self.borders_count;
+        self.borders_count += 1;
+        let Some(policy) = self.balance else {
+            return Ok(());
+        };
+        let nranks = self.decomp.nranks();
+        if policy.every == 0 || nranks == 1 || !call.is_multiple_of(policy.every) {
+            return Ok(());
+        }
+        let traced = profile::has_subscribers();
+        let _span = traced.then(|| profile::begin_region("balance"));
+        let bins = policy.bins.max(1);
+        let nlocal = system.atoms.nlocal;
+        let l = system.domain.lengths();
+        // Local census: per-dimension histograms over global-box
+        // fractions of this rank's owned (already wrapped) atoms,
+        // concatenated x|y|z.
+        self.local_hist.clear();
+        self.local_hist.resize(3 * bins, 0);
+        {
+            let xh = system.atoms.x.h_view();
+            for i in 0..nlocal {
+                for (k, &lk) in l.iter().enumerate() {
+                    let frac = (xh.at([i, k]) - system.domain.lo[k]) / lk;
+                    let b = ((frac * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
+                    self.local_hist[k * bins + b] += 1;
+                }
+            }
+        }
+        // Weight of this rank's census entries, in integer ticks; the
+        // pair seconds accumulated since the previous census feed the
+        // (advisory) PairTime mode.
+        let work = self.work_seconds - self.work_at_balance;
+        self.work_at_balance = self.work_seconds;
+        let ticks = balance::weight_ticks(policy.weight, work, nlocal);
+
+        // All-to-all census exchange: fixed-size envelopes
+        // `[nlocal, ticks, hist...]`, so the pool reaches steady state
+        // on the first exchange and never grows again.
+        self.reclaim()?;
+        for p in 0..nranks {
+            if p == self.rank {
+                continue;
+            }
+            let mut buf = self.begin_msg(p, TAG_BALANCE, 2 + 3 * bins);
+            buf.push(nlocal as u64);
+            buf.push(ticks);
+            buf.extend_from_slice(&self.local_hist);
+            self.stats.balance_msgs += 1;
+            let bytes = ((buf.len() - HDR) * 8) as u64;
+            self.stats.balance_bytes += bytes;
+            if traced {
+                profile::note_instant(&format!("balance_bytes->r{p}"), bytes as f64);
+            }
+            self.dispatch(p, buf)?;
+        }
+        self.rank_counts.clear();
+        self.rank_counts.resize(nranks, 0);
+        self.global_hist.clear();
+        self.global_hist.resize(3 * bins, 0);
+        for p in 0..nranks {
+            if p == self.rank {
+                self.rank_counts[p] = nlocal as u64;
+                for (g, &h) in self.global_hist.iter_mut().zip(&self.local_hist) {
+                    *g += ticks * h;
+                }
+                continue;
+            }
+            let buf = self.recv_from(p, TAG_BALANCE)?;
+            debug_assert_eq!(buf.len() - HDR, 2 + 3 * bins);
+            self.rank_counts[p] = buf[HDR];
+            let pticks = buf[HDR + 1];
+            for (g, &h) in self.global_hist.iter_mut().zip(&buf[HDR + 2..]) {
+                *g += pticks * h;
+            }
+            self.recycle(p, buf);
+        }
+
+        let imb = balance::census_imbalance(&self.rank_counts);
+        if traced {
+            profile::note_instant("comm.balance.imbalance", imb);
+        }
+        if imb <= policy.threshold {
+            return Ok(());
+        }
+        // Recut every decomposed dimension to equalize the weighted
+        // census; slabs may never come out narrower than `cutghost`
+        // (the halo-layer requirement), so cuts are width-clamped — or
+        // left at uniform fractions when even that is infeasible (an
+        // over-decomposed box, which halo() diagnoses either way).
+        let grid = self.decomp.grid;
+        let mut cuts: [Vec<f64>; 3] = Default::default();
+        for (k, ck) in cuts.iter_mut().enumerate() {
+            let parts = grid[k];
+            if parts == 1 {
+                continue;
+            }
+            let mut c =
+                balance::cuts_from_histogram(&self.global_hist[k * bins..(k + 1) * bins], parts);
+            let min_frac = cutghost * (1.0 + 1e-9) / l[k];
+            if parts as f64 * min_frac <= 1.0 {
+                balance::clamp_cuts(&mut c, min_frac);
+            } else {
+                for (j, cj) in c.iter_mut().enumerate() {
+                    *cj = (j + 1) as f64 / parts as f64;
+                }
+            }
+            *ck = c;
+        }
+        self.decomp.set_cuts(Some(cuts));
+        self.sub = self.decomp.subdomain(self.rank);
+        self.stats.rebalances += 1;
+        if traced {
+            profile::note_instant("comm.balance.rebalance", imb);
+        }
+        Ok(())
     }
 
     /// Fault/recovery instant into the trace layer (summed into
@@ -865,6 +1043,7 @@ impl BrickComm {
         }
         // Rebuild the owned rows from the record list.
         let new_n = self.records.len();
+        self.max_owned = self.max_owned.max(new_n);
         system.atoms.resize_all(new_n, 0);
         system.atoms.nlocal = new_n;
         system.atoms.nghost = 0;
@@ -1191,6 +1370,9 @@ impl Comm for BrickComm {
         system.atoms.sync(&Space::Serial, Mask::ALL);
         system.atoms.nghost = 0;
         system.atoms.wrap_positions(&system.domain);
+        // Rebalance (policy-gated) *before* migration: migration then
+        // re-homes atoms across the freshly moved cut planes.
+        self.maybe_balance(system, cutghost)?;
         {
             let region = profile::begin_region("migrate");
             self.migrate(system)?;
@@ -1493,6 +1675,14 @@ impl Comm for BrickComm {
     fn phase_seconds(&self) -> [f64; 2] {
         [self.halo_seconds, self.migrate_seconds]
     }
+
+    fn note_work(&mut self, seconds: f64) {
+        self.work_seconds = seconds;
+    }
+
+    fn max_owned(&self) -> usize {
+        self.max_owned
+    }
 }
 
 fn pack_record(buf: &mut Vec<u64>, r: &AtomRecord) {
@@ -1537,10 +1727,13 @@ fn unpack_record(words: &[u64]) -> AtomRecord {
 // Rank-parallel driver
 // ---------------------------------------------------------------------
 
-/// Everything a rank-parallel run needs besides the per-rank styles:
-/// the initial atoms (as records), the global box, and the step counts.
+/// Everything a driver run needs besides the per-rank styles: the
+/// initial atoms (as records), the global box, the step counts, and the
+/// communication layout. [`RunSpec::run`] is the unified entry point —
+/// single-rank and brick-decomposed runs share it and return the same
+/// gathered [`MultiRankRun`].
 #[derive(Debug, Clone)]
-pub struct RankParallelSpec {
+pub struct RunSpec {
     pub records: Vec<AtomRecord>,
     /// Per-type mass table (global, not part of the records).
     pub masses: Vec<f64>,
@@ -1555,13 +1748,22 @@ pub struct RankParallelSpec {
     /// When set, every rank installs the same seeded [`FaultPlan`] on
     /// its [`BrickComm`] before the run (see [`fault`]).
     pub fault: Option<FaultConfig>,
+    /// Communication layout: [`CommSpec::Single`] (the default), or
+    /// [`CommSpec::Brick`] with a rank count and an optional
+    /// load-balance policy.
+    pub comm: CommSpec,
 }
 
-impl RankParallelSpec {
+/// Former name of [`RunSpec`], before the unified driver API.
+#[deprecated(note = "renamed to RunSpec (unified driver API)")]
+pub type RankParallelSpec = RunSpec;
+
+impl RunSpec {
     /// Capture `atoms` as the initial condition (LJ units, serial
-    /// space, no warmup by default — set the public fields to change).
+    /// space, no warmup, single-rank comm by default — set the public
+    /// fields or chain [`RunSpec::comm`] to change).
     pub fn new(atoms: &AtomData, domain: Domain, steps: u64) -> Self {
-        RankParallelSpec {
+        RunSpec {
             records: (0..atoms.nlocal).map(|i| atoms.record(i)).collect(),
             masses: atoms.mass.clone(),
             domain,
@@ -1570,7 +1772,14 @@ impl RankParallelSpec {
             warmup_steps: 0,
             steps,
             fault: None,
+            comm: CommSpec::Single,
         }
+    }
+
+    /// Set the communication layout (builder-style).
+    pub fn comm(mut self, comm: CommSpec) -> Self {
+        self.comm = comm;
+        self
     }
 }
 
@@ -1585,7 +1794,7 @@ pub struct RankAtomState {
     pub f: [f64; 3],
 }
 
-/// Gathered result of [`run_rank_parallel`]: final atom states plus the
+/// Gathered result of [`RunSpec::run`]: final atom states plus the
 /// reduced energies and the per-rank diagnostics the perf harness and
 /// the equivalence tests assert on.
 #[derive(Debug, Clone)]
@@ -1618,8 +1827,11 @@ pub struct MultiRankRun {
     pub timings: Vec<Timings>,
     /// Owned (`nlocal`) atoms per rank at the end of the run.
     pub owned_atoms: Vec<usize>,
+    /// Peak owned atoms per rank over the whole run (sampled at every
+    /// migration), so transient spikes between rebalances are visible.
+    pub owned_atoms_peak: Vec<usize>,
     /// Fault-injection / recovery counters summed over ranks (all zero
-    /// unless [`RankParallelSpec::fault`] was set).
+    /// unless [`RunSpec::fault`] was set).
     pub fault_stats: FaultStats,
 }
 
@@ -1641,9 +1853,24 @@ fn imbalance(samples: impl Iterator<Item = f64>) -> f64 {
 }
 
 impl MultiRankRun {
-    /// Load imbalance of the final atom distribution: max/mean owned
-    /// atoms across ranks.
+    /// Load imbalance of the atom distribution: the peak `nlocal` any
+    /// rank held at any point of the run, over the ideal mean
+    /// (`natoms / nranks`). Max-over-run rather than final-census, so a
+    /// transient pile-up between rebalances is not a blind spot (the
+    /// final-census version reported 1.0 for a run whose midpoint was
+    /// badly skewed).
     pub fn atom_imbalance(&self) -> f64 {
+        let mean = self.natoms as f64 / self.nranks.max(1) as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        let peak = self.owned_atoms_peak.iter().copied().max().unwrap_or(0);
+        (peak as f64 / mean).max(1.0)
+    }
+
+    /// Load imbalance of the *final* atom census: max/mean of
+    /// `owned_atoms` (the pre-PR-8 `atom_imbalance` definition).
+    pub fn final_atom_imbalance(&self) -> f64 {
         imbalance(self.owned_atoms.iter().map(|&n| n as f64))
     }
 
@@ -1693,197 +1920,320 @@ struct RankOutcome {
     total_pairs: u64,
     timings: Timings,
     nlocal: usize,
+    nlocal_peak: usize,
     fstats: FaultStats,
 }
 
-/// Run a simulation decomposed over `nranks` simulated MPI ranks, each
-/// on its own thread inside a `rank{r}` profiling region.
+/// Former free-function multi-rank driver. The unified API routes both
+/// layouts through [`RunSpec::run`]:
 ///
-/// `factory` is called once per rank with the rank index and that
-/// rank's [`System`] (atoms partitioned by brick, [`BrickComm`]
-/// installed) and must return the [`Simulation`] to drive — which is
-/// how *any* pair style or fix runs unmodified on N ranks. Every rank
-/// must be configured identically (same styles, same neighbor
-/// settings): the exchanges are collective, and divergent
-/// configuration desyncs them.
-///
-/// Returns `Err(CommFailure)` when any rank aborts with a [`CommError`]
-/// (unrecoverable injected fault, peer disconnect, or rank panic); the
-/// surviving ranks drain out via their own bounded retry budgets, so
-/// the call returns instead of deadlocking.
+/// ```ignore
+/// spec.comm(CommSpec::Brick { ranks: 8, balance: None }).run(factory)
+/// ```
+#[deprecated(note = "use RunSpec::run with CommSpec::Brick { .. } (unified driver API)")]
 pub fn run_rank_parallel<F>(
-    spec: &RankParallelSpec,
+    spec: &RunSpec,
     nranks: usize,
     factory: F,
 ) -> Result<MultiRankRun, CommFailure>
 where
     F: Fn(usize, System) -> Simulation + Sync,
 {
-    let decomp = BrickDecomp::new(spec.domain, nranks);
-    let nranks = decomp.nranks();
-    let comms = BrickComm::create_all(&decomp);
-    let natoms = spec.records.len();
-    let mut shares: Vec<Vec<AtomRecord>> = (0..nranks).map(|_| Vec::new()).collect();
-    for r in &spec.records {
-        let mut x = r.x;
-        spec.domain.wrap(&mut x);
-        shares[decomp.rank_of(&x)].push(AtomRecord { x, ..*r });
+    spec.clone()
+        .comm(CommSpec::Brick {
+            ranks: nranks,
+            balance: None,
+        })
+        .run(factory)
+}
+
+impl RunSpec {
+    /// Run this spec through its configured [`CommSpec`] — the unified
+    /// driver entry point.
+    ///
+    /// `factory` is called once per rank with the rank index and that
+    /// rank's [`System`] (atoms partitioned by brick, comm layer
+    /// installed) and must return the [`Simulation`] to drive — which
+    /// is how *any* pair style or fix runs unmodified on N ranks. Every
+    /// rank must be configured identically (same styles, same neighbor
+    /// settings): the exchanges are collective, and divergent
+    /// configuration desyncs them.
+    ///
+    /// Returns `Err(CommFailure)` when any rank aborts with a
+    /// [`CommError`] (unrecoverable injected fault, peer disconnect, or
+    /// rank panic); the surviving ranks drain out via their own bounded
+    /// retry budgets, so the call returns instead of deadlocking.
+    pub fn run<F>(&self, factory: F) -> Result<MultiRankRun, CommFailure>
+    where
+        F: Fn(usize, System) -> Simulation + Sync,
+    {
+        match self.comm {
+            CommSpec::Single => self.run_single(|system| factory(0, system)),
+            CommSpec::Brick { ranks, balance } => self.run_brick(ranks, balance, &factory),
+        }
     }
 
-    let results: Vec<Result<RankOutcome, CommError>> = std::thread::scope(|scope| {
-        let factory = &factory;
-        let handles: Vec<_> = comms
-            .into_iter()
-            .zip(shares)
-            .enumerate()
-            .map(|(rank, (mut comm, share))| {
-                scope.spawn(move || -> Result<RankOutcome, CommError> {
-                    // Everything this thread does nests under its rank
-                    // region, so subscribers see per-rank buckets.
-                    let _rank_region = profile::begin_region(format!("rank{rank}"));
-                    if let Some(cfg) = &spec.fault {
-                        comm.install_fault_plan(FaultPlan::new(cfg.clone()));
-                    }
-                    let outcome = (|| -> Result<RankOutcome, CommError> {
-                        let atoms = AtomData::from_records(&share, &spec.masses);
-                        let mut system = System::new(atoms, spec.domain, spec.space.clone())
-                            .with_units(spec.units);
-                        system.comm = Some(Box::new(comm));
-                        let mut sim = factory(rank, system);
-                        sim.try_run(spec.warmup_steps)?;
-                        let comm_grow_warm = sim.comm_grow_count();
-                        let neighbor_grow_warm = sim.neighbor_grow_count();
-                        let scatter_grow_warm = sim.pair.scatter_grow_count();
-                        sim.try_run(spec.steps)?;
-                        let total_pairs = sim.neighbor_list().total_pairs;
-                        sim.system.atoms.sync(&Space::Serial, Mask::ALL);
-                        let states: Vec<RankAtomState> = {
-                            let a = &sim.system.atoms;
-                            let x = a.x.h_view();
-                            let v = a.v.h_view();
-                            let f = a.f.h_view();
-                            let tag = a.tag.h_view();
-                            let typ = a.typ.h_view();
-                            (0..a.nlocal)
-                                .map(|i| RankAtomState {
-                                    tag: tag.at([i]),
-                                    typ: typ.at([i]),
-                                    x: [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])],
-                                    v: [v.at([i, 0]), v.at([i, 1]), v.at([i, 2])],
-                                    f: [f.at([i, 0]), f.at([i, 1]), f.at([i, 2])],
-                                })
-                                .collect()
-                        };
-                        let e_local = sim.last_results.energy;
-                        let e_pair = sim
-                            .system
-                            .with_comm_taken(|_, c| c.allreduce_sum(e_local))?;
-                        let ke_local =
-                            compute::kinetic_energy(&sim.system.atoms, &sim.system.units);
-                        let e_kinetic = sim
-                            .system
-                            .with_comm_taken(|_, c| c.allreduce_sum(ke_local))?;
-                        // Final handshake: no peer may still be waiting
-                        // on a retransmit when this rank drops its
-                        // channel endpoints.
-                        sim.system.with_comm_taken(|_, c| c.quiesce())?;
-                        Ok(RankOutcome {
-                            states,
-                            e_pair,
-                            e_kinetic,
-                            thermo: sim.thermo.clone(),
-                            stats: sim.comm_stats(),
-                            comm_grow: sim.comm_grow_count(),
-                            comm_grow_warm,
-                            neighbor_grow: sim.neighbor_grow_count(),
-                            neighbor_grow_warm,
-                            scatter_grow: sim.pair.scatter_grow_count(),
-                            scatter_grow_warm,
-                            rebuild_count: sim.rebuild_count,
-                            total_pairs,
-                            timings: sim.timings,
-                            nlocal: sim.system.atoms.nlocal,
-                            fstats: sim.comm_fault_stats(),
-                        })
-                    })();
-                    if let Err(err) = &outcome {
-                        if profile::has_subscribers() {
-                            profile::note_instant("comm.fault.abort", err.rank() as f64);
-                        }
-                    }
-                    outcome
+    /// Single-rank arm of the unified driver, without the `Sync` bound
+    /// (no threads are spawned): bit-for-bit the classic in-process
+    /// `Simulation::run` loop on a [`crate::comm::SingleRankComm`],
+    /// gathered into the same [`MultiRankRun`] shape the brick arm
+    /// returns.
+    pub fn run_single<F>(&self, factory: F) -> Result<MultiRankRun, CommFailure>
+    where
+        F: FnOnce(System) -> Simulation,
+    {
+        let fail = |err: CommError| CommFailure {
+            nranks: 1,
+            errors: vec![(0, err)],
+        };
+        let natoms = self.records.len();
+        let atoms = AtomData::from_records(&self.records, &self.masses);
+        let system = System::new(atoms, self.domain, self.space.clone()).with_units(self.units);
+        let mut sim = factory(system);
+        sim.try_run(self.warmup_steps).map_err(fail)?;
+        let comm_grow_warm = sim.comm_grow_count();
+        let neighbor_grow_warm = sim.neighbor_grow_count();
+        let scatter_grow_warm = sim.pair.scatter_grow_count();
+        sim.try_run(self.steps).map_err(fail)?;
+        let total_pairs = sim.neighbor_list().total_pairs;
+        sim.system.atoms.sync(&Space::Serial, Mask::ALL);
+        let mut states: Vec<RankAtomState> = {
+            let a = &sim.system.atoms;
+            let x = a.x.h_view();
+            let v = a.v.h_view();
+            let f = a.f.h_view();
+            let tag = a.tag.h_view();
+            let typ = a.typ.h_view();
+            (0..a.nlocal)
+                .map(|i| RankAtomState {
+                    tag: tag.at([i]),
+                    typ: typ.at([i]),
+                    x: [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])],
+                    v: [v.at([i, 0]), v.at([i, 1]), v.at([i, 2])],
+                    f: [f.at([i, 0]), f.at([i, 1]), f.at([i, 2])],
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
+                .collect()
+        };
+        states.sort_by_key(|s| s.tag);
+        let nlocal = sim.system.atoms.nlocal;
+        let peak = sim
+            .system
+            .comm
+            .as_ref()
+            .map_or(0, |c| c.max_owned())
+            .max(nlocal);
+        Ok(MultiRankRun {
+            nranks: 1,
+            natoms,
+            steps: self.steps,
+            e_pair: sim.last_results.energy,
+            e_kinetic: compute::kinetic_energy(&sim.system.atoms, &sim.system.units),
+            comm_stats: sim.comm_stats(),
+            comm_grow: sim.comm_grow_count(),
+            comm_grow_after_warmup: sim.comm_grow_count() - comm_grow_warm,
+            neighbor_grow: sim.neighbor_grow_count(),
+            neighbor_grow_after_warmup: sim.neighbor_grow_count() - neighbor_grow_warm,
+            scatter_grow: sim.pair.scatter_grow_count(),
+            scatter_grow_after_warmup: sim.pair.scatter_grow_count() - scatter_grow_warm,
+            rebuild_counts: vec![sim.rebuild_count],
+            total_pairs,
+            owned_atoms: vec![nlocal],
+            owned_atoms_peak: vec![peak],
+            timings: vec![sim.timings],
+            thermo: vec![sim.thermo.clone()],
+            states,
+            fault_stats: sim.comm_fault_stats(),
+        })
+    }
+
+    /// Brick-decomposed arm of the unified driver: one thread per rank,
+    /// each inside a `rank{r}` profiling region.
+    fn run_brick<F>(
+        &self,
+        nranks: usize,
+        balance: Option<BalancePolicy>,
+        factory: &F,
+    ) -> Result<MultiRankRun, CommFailure>
+    where
+        F: Fn(usize, System) -> Simulation + Sync,
+    {
+        let spec = self;
+        let decomp = BrickDecomp::new(spec.domain, nranks);
+        let nranks = decomp.nranks();
+        let comms = BrickComm::create_all(&decomp);
+        let natoms = spec.records.len();
+        let mut shares: Vec<Vec<AtomRecord>> = (0..nranks).map(|_| Vec::new()).collect();
+        for r in &spec.records {
+            let mut x = r.x;
+            spec.domain.wrap(&mut x);
+            shares[decomp.rank_of(&x)].push(AtomRecord { x, ..*r });
+        }
+
+        let results: Vec<Result<RankOutcome, CommError>> = std::thread::scope(|scope| {
+            let factory = &factory;
+            let handles: Vec<_> = comms
+                .into_iter()
+                .zip(shares)
+                .enumerate()
+                .map(|(rank, (mut comm, share))| {
+                    scope.spawn(move || -> Result<RankOutcome, CommError> {
+                        // Everything this thread does nests under its rank
+                        // region, so subscribers see per-rank buckets.
+                        let _rank_region = profile::begin_region(format!("rank{rank}"));
+                        if let Some(cfg) = &spec.fault {
+                            comm.install_fault_plan(FaultPlan::new(cfg.clone()));
+                        }
+                        comm.set_balance(balance);
+                        let outcome = (|| -> Result<RankOutcome, CommError> {
+                            let atoms = AtomData::from_records(&share, &spec.masses);
+                            let mut system = System::new(atoms, spec.domain, spec.space.clone())
+                                .with_units(spec.units);
+                            system.comm = Some(Box::new(comm));
+                            let mut sim = factory(rank, system);
+                            sim.try_run(spec.warmup_steps)?;
+                            let comm_grow_warm = sim.comm_grow_count();
+                            let neighbor_grow_warm = sim.neighbor_grow_count();
+                            let scatter_grow_warm = sim.pair.scatter_grow_count();
+                            sim.try_run(spec.steps)?;
+                            let total_pairs = sim.neighbor_list().total_pairs;
+                            sim.system.atoms.sync(&Space::Serial, Mask::ALL);
+                            let states: Vec<RankAtomState> = {
+                                let a = &sim.system.atoms;
+                                let x = a.x.h_view();
+                                let v = a.v.h_view();
+                                let f = a.f.h_view();
+                                let tag = a.tag.h_view();
+                                let typ = a.typ.h_view();
+                                (0..a.nlocal)
+                                    .map(|i| RankAtomState {
+                                        tag: tag.at([i]),
+                                        typ: typ.at([i]),
+                                        x: [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])],
+                                        v: [v.at([i, 0]), v.at([i, 1]), v.at([i, 2])],
+                                        f: [f.at([i, 0]), f.at([i, 1]), f.at([i, 2])],
+                                    })
+                                    .collect()
+                            };
+                            let e_local = sim.last_results.energy;
+                            let e_pair = sim
+                                .system
+                                .with_comm_taken(|_, c| c.allreduce_sum(e_local))?;
+                            let ke_local =
+                                compute::kinetic_energy(&sim.system.atoms, &sim.system.units);
+                            let e_kinetic = sim
+                                .system
+                                .with_comm_taken(|_, c| c.allreduce_sum(ke_local))?;
+                            // Final handshake: no peer may still be waiting
+                            // on a retransmit when this rank drops its
+                            // channel endpoints.
+                            sim.system.with_comm_taken(|_, c| c.quiesce())?;
+                            let nlocal = sim.system.atoms.nlocal;
+                            let nlocal_peak = sim
+                                .system
+                                .comm
+                                .as_ref()
+                                .map_or(0, |c| c.max_owned())
+                                .max(nlocal);
+                            Ok(RankOutcome {
+                                states,
+                                e_pair,
+                                e_kinetic,
+                                thermo: sim.thermo.clone(),
+                                stats: sim.comm_stats(),
+                                comm_grow: sim.comm_grow_count(),
+                                comm_grow_warm,
+                                neighbor_grow: sim.neighbor_grow_count(),
+                                neighbor_grow_warm,
+                                scatter_grow: sim.pair.scatter_grow_count(),
+                                scatter_grow_warm,
+                                rebuild_count: sim.rebuild_count,
+                                total_pairs,
+                                timings: sim.timings,
+                                nlocal,
+                                nlocal_peak,
+                                fstats: sim.comm_fault_stats(),
+                            })
+                        })();
+                        if let Err(err) = &outcome {
+                            if profile::has_subscribers() {
+                                profile::note_instant("comm.fault.abort", err.rank() as f64);
+                            }
+                        }
+                        outcome
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| match h.join() {
+                    Ok(res) => res,
+                    Err(payload) => {
+                        let message = payload
+                            .downcast_ref::<&'static str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic payload".to_string());
+                        Err(CommError::RankPanicked { rank, message })
+                    }
+                })
+                .collect()
+        });
+
+        let errors: Vec<(usize, CommError)> = results
+            .iter()
             .enumerate()
-            .map(|(rank, h)| match h.join() {
-                Ok(res) => res,
-                Err(payload) => {
-                    let message = payload
-                        .downcast_ref::<&'static str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "opaque panic payload".to_string());
-                    Err(CommError::RankPanicked { rank, message })
-                }
-            })
-            .collect()
-    });
+            .filter_map(|(r, res)| res.as_ref().err().map(|e| (r, e.clone())))
+            .collect();
+        if !errors.is_empty() {
+            return Err(CommFailure { nranks, errors });
+        }
+        let outcomes: Vec<RankOutcome> = results.into_iter().map(|r| r.unwrap()).collect();
 
-    let errors: Vec<(usize, CommError)> = results
-        .iter()
-        .enumerate()
-        .filter_map(|(r, res)| res.as_ref().err().map(|e| (r, e.clone())))
-        .collect();
-    if !errors.is_empty() {
-        return Err(CommFailure { nranks, errors });
+        let mut states: Vec<RankAtomState> = outcomes
+            .iter()
+            .flat_map(|o| o.states.iter().copied())
+            .collect();
+        states.sort_by_key(|s| s.tag);
+        debug_assert_eq!(states.len(), natoms, "atoms lost or duplicated");
+        let mut comm_stats = CommStats::default();
+        let mut fault_stats = FaultStats::default();
+        for o in &outcomes {
+            comm_stats.add(&o.stats);
+            fault_stats.add(&o.fstats);
+        }
+        Ok(MultiRankRun {
+            nranks,
+            natoms,
+            steps: spec.steps,
+            e_pair: outcomes[0].e_pair,
+            e_kinetic: outcomes[0].e_kinetic,
+            comm_stats,
+            comm_grow: outcomes.iter().map(|o| o.comm_grow).sum(),
+            comm_grow_after_warmup: outcomes
+                .iter()
+                .map(|o| o.comm_grow - o.comm_grow_warm)
+                .sum(),
+            neighbor_grow: outcomes.iter().map(|o| o.neighbor_grow).sum(),
+            neighbor_grow_after_warmup: outcomes
+                .iter()
+                .map(|o| o.neighbor_grow - o.neighbor_grow_warm)
+                .sum(),
+            scatter_grow: outcomes.iter().map(|o| o.scatter_grow).sum(),
+            scatter_grow_after_warmup: outcomes
+                .iter()
+                .map(|o| o.scatter_grow - o.scatter_grow_warm)
+                .sum(),
+            rebuild_counts: outcomes.iter().map(|o| o.rebuild_count).collect(),
+            total_pairs: outcomes.iter().map(|o| o.total_pairs).sum(),
+            owned_atoms: outcomes.iter().map(|o| o.nlocal).collect(),
+            owned_atoms_peak: outcomes.iter().map(|o| o.nlocal_peak).collect(),
+            timings: outcomes.iter().map(|o| o.timings).collect(),
+            thermo: outcomes.into_iter().map(|o| o.thermo).collect(),
+            states,
+            fault_stats,
+        })
     }
-    let outcomes: Vec<RankOutcome> = results.into_iter().map(|r| r.unwrap()).collect();
-
-    let mut states: Vec<RankAtomState> = outcomes
-        .iter()
-        .flat_map(|o| o.states.iter().copied())
-        .collect();
-    states.sort_by_key(|s| s.tag);
-    debug_assert_eq!(states.len(), natoms, "atoms lost or duplicated");
-    let mut comm_stats = CommStats::default();
-    let mut fault_stats = FaultStats::default();
-    for o in &outcomes {
-        comm_stats.add(&o.stats);
-        fault_stats.add(&o.fstats);
-    }
-    Ok(MultiRankRun {
-        nranks,
-        natoms,
-        steps: spec.steps,
-        e_pair: outcomes[0].e_pair,
-        e_kinetic: outcomes[0].e_kinetic,
-        comm_stats,
-        comm_grow: outcomes.iter().map(|o| o.comm_grow).sum(),
-        comm_grow_after_warmup: outcomes
-            .iter()
-            .map(|o| o.comm_grow - o.comm_grow_warm)
-            .sum(),
-        neighbor_grow: outcomes.iter().map(|o| o.neighbor_grow).sum(),
-        neighbor_grow_after_warmup: outcomes
-            .iter()
-            .map(|o| o.neighbor_grow - o.neighbor_grow_warm)
-            .sum(),
-        scatter_grow: outcomes.iter().map(|o| o.scatter_grow).sum(),
-        scatter_grow_after_warmup: outcomes
-            .iter()
-            .map(|o| o.scatter_grow - o.scatter_grow_warm)
-            .sum(),
-        rebuild_counts: outcomes.iter().map(|o| o.rebuild_count).collect(),
-        total_pairs: outcomes.iter().map(|o| o.total_pairs).sum(),
-        owned_atoms: outcomes.iter().map(|o| o.nlocal).collect(),
-        timings: outcomes.iter().map(|o| o.timings).collect(),
-        thermo: outcomes.into_iter().map(|o| o.thermo).collect(),
-        states,
-        fault_stats,
-    })
 }
 
 #[cfg(test)]

@@ -27,7 +27,7 @@
 //!
 //! When recovery is impossible (a [`DeadEdge`] that drops retransmits
 //! too, or a vanished peer), the exchange returns a structured
-//! [`CommError`] instead of deadlocking; `run_rank_parallel` gathers
+//! [`CommError`] instead of deadlocking; [`RunSpec::run`](crate::comm::brick::RunSpec::run) gathers
 //! the per-rank errors into a [`CommFailure`](crate::comm::brick::CommFailure).
 //! See `docs/robustness.md` for the full fault model and determinism
 //! contract.
@@ -209,7 +209,7 @@ pub struct DeadEdge {
 }
 
 /// Seeded fault-injection configuration, shared verbatim by every rank
-/// of a run (install via `RankParallelSpec::fault` or
+/// of a run (install via `RunSpec::fault` or
 /// `BrickComm::install_fault_plan`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultConfig {

@@ -10,18 +10,28 @@
 //! This module holds the geometry side — [`BrickDecomp`] factors a rank
 //! count into a near-cubic grid and maps positions to owning ranks. The
 //! communication layer built on it ([`crate::comm::brick::BrickComm`])
-//! and the rank-parallel driver ([`crate::comm::brick::run_rank_parallel`])
-//! live in `comm::brick`. (The free-function LJ drivers that used to
-//! live here were deprecated in the Comm-API redesign and are gone; all
-//! callers go through `run_rank_parallel` now.)
+//! and the unified driver ([`crate::comm::brick::RunSpec`]) live in
+//! `comm::brick`. (The free-function LJ drivers that used to live here
+//! were deprecated in the Comm-API redesign and are gone; all callers
+//! go through `RunSpec::run` with a [`crate::comm::CommSpec`] now.)
 
 use crate::domain::Domain;
 
 /// A 3-D brick decomposition of a periodic box.
+///
+/// By default the grid is uniform: rank `ix` along a dimension owns the
+/// fractional slab `[ix/p, (ix+1)/p)`. The load balancer
+/// ([`crate::comm::balance`]) can install non-uniform cut fractions via
+/// [`BrickDecomp::set_cuts`]; `cuts == None` keeps the original uniform
+/// arithmetic bit-for-bit (committed baselines depend on it).
 #[derive(Debug, Clone)]
 pub struct BrickDecomp {
     pub grid: [usize; 3],
     pub global: Domain,
+    /// Non-uniform cut fractions per dimension. `cuts[k]` holds the
+    /// `grid[k] - 1` *interior* cut planes as fractions in `(0, 1)`,
+    /// strictly increasing. `None` = uniform grid (fast path).
+    cuts: Option<[Vec<f64>; 3]>,
 }
 
 impl BrickDecomp {
@@ -31,6 +41,7 @@ impl BrickDecomp {
         assert!(nranks > 0);
         let mut best = [1, 1, nranks];
         let mut best_score = f64::INFINITY;
+        let mut best_sumsq = usize::MAX;
         for px in 1..=nranks {
             if !nranks.is_multiple_of(px) {
                 continue;
@@ -46,17 +57,71 @@ impl BrickDecomp {
                 // Score: surface-to-volume of a sub-brick (lower = better).
                 let s = 2.0 * (dims[0] * dims[1] + dims[1] * dims[2] + dims[0] * dims[2])
                     / (dims[0] * dims[1] * dims[2]);
-                if s < best_score {
+                // Equal-surface factorizations exist whenever the box
+                // aspect matches a permutation of the grid (e.g. a
+                // 4x6x8 box at P=8 scores [1,2,4] and [2,2,2] the
+                // same); break ties toward the most balanced grid —
+                // more split dimensions give the load balancer more
+                // cut planes to move.
+                let sumsq = px * px + py * py + pz * pz;
+                if s < best_score || (s == best_score && sumsq < best_sumsq) {
                     best_score = s;
+                    best_sumsq = sumsq;
                     best = [px, py, pz];
                 }
             }
         }
-        BrickDecomp { grid: best, global }
+        BrickDecomp {
+            grid: best,
+            global,
+            cuts: None,
+        }
     }
 
     pub fn nranks(&self) -> usize {
         self.grid.iter().product()
+    }
+
+    /// Install non-uniform interior cut fractions (`cuts[k].len() ==
+    /// grid[k] - 1`, each in `(0, 1)`, strictly increasing). Pass
+    /// `None` to restore the uniform grid.
+    pub fn set_cuts(&mut self, cuts: Option<[Vec<f64>; 3]>) {
+        if let Some(c) = &cuts {
+            for (k, ck) in c.iter().enumerate() {
+                assert_eq!(
+                    ck.len(),
+                    self.grid[k] - 1,
+                    "dimension {k}: expected {} interior cuts",
+                    self.grid[k] - 1
+                );
+                let mut prev = 0.0;
+                for &f in ck {
+                    assert!(f > prev && f < 1.0, "cut fractions must increase in (0,1)");
+                    prev = f;
+                }
+            }
+        }
+        self.cuts = cuts;
+    }
+
+    /// The interior cut fractions currently installed, if any.
+    pub fn cuts(&self) -> Option<&[Vec<f64>; 3]> {
+        self.cuts.as_ref()
+    }
+
+    /// Lower/upper cut fraction of slab `i` along dimension `k`.
+    #[inline]
+    fn frac(&self, k: usize, i: usize) -> f64 {
+        if i == 0 {
+            return 0.0;
+        }
+        if i == self.grid[k] {
+            return 1.0;
+        }
+        match &self.cuts {
+            Some(c) => c[k][i - 1],
+            None => i as f64 / self.grid[k] as f64,
+        }
     }
 
     /// The brick owned by `rank` (x-major ordering).
@@ -66,16 +131,28 @@ impl BrickDecomp {
         let iy = (rank / pz) % py;
         let iz = rank % pz;
         let l = self.global.lengths();
-        let lo = [
-            self.global.lo[0] + l[0] * ix as f64 / px as f64,
-            self.global.lo[1] + l[1] * iy as f64 / py as f64,
-            self.global.lo[2] + l[2] * iz as f64 / pz as f64,
-        ];
-        let hi = [
-            self.global.lo[0] + l[0] * (ix + 1) as f64 / px as f64,
-            self.global.lo[1] + l[1] * (iy + 1) as f64 / py as f64,
-            self.global.lo[2] + l[2] * (iz + 1) as f64 / pz as f64,
-        ];
+        if self.cuts.is_none() {
+            // Uniform fast path: the exact arithmetic the pre-balancer
+            // code used (sub-boundary bits feed committed baselines).
+            let lo = [
+                self.global.lo[0] + l[0] * ix as f64 / px as f64,
+                self.global.lo[1] + l[1] * iy as f64 / py as f64,
+                self.global.lo[2] + l[2] * iz as f64 / pz as f64,
+            ];
+            let hi = [
+                self.global.lo[0] + l[0] * (ix + 1) as f64 / px as f64,
+                self.global.lo[1] + l[1] * (iy + 1) as f64 / py as f64,
+                self.global.lo[2] + l[2] * (iz + 1) as f64 / pz as f64,
+            ];
+            return Domain::new(lo, hi);
+        }
+        let c = [ix, iy, iz];
+        let mut lo = [0.0; 3];
+        let mut hi = [0.0; 3];
+        for k in 0..3 {
+            lo[k] = self.global.lo[k] + l[k] * self.frac(k, c[k]);
+            hi[k] = self.global.lo[k] + l[k] * self.frac(k, c[k] + 1);
+        }
         Domain::new(lo, hi)
     }
 
@@ -83,6 +160,16 @@ impl BrickDecomp {
     pub fn rank_of(&self, x: &[f64; 3]) -> usize {
         let [px, py, pz] = self.grid;
         let l = self.global.lengths();
+        if let Some(cuts) = &self.cuts {
+            let idx = |k: usize, p: usize| -> usize {
+                // Slab i owns [boundary(i), boundary(i+1)); comparing
+                // against the same boundary *bits* as `subdomain` keeps
+                // ownership and geometry consistent.
+                let i = cuts[k].partition_point(|&f| self.global.lo[k] + l[k] * f <= x[k]);
+                i.min(p - 1)
+            };
+            return (idx(0, px) * py + idx(1, py)) * pz + idx(2, pz);
+        }
         let idx = |k: usize, p: usize| -> usize {
             let t = ((x[k] - self.global.lo[k]) / l[k] * p as f64) as isize;
             t.clamp(0, p as isize - 1) as usize
@@ -125,6 +212,41 @@ mod tests {
         }
     }
 
+    #[test]
+    fn non_uniform_cuts_tile_and_agree_with_rank_of() {
+        let d = Domain::new([-1.0; 3], [3.0, 5.0, 7.0]);
+        let mut b = BrickDecomp::new(d, 8);
+        assert_eq!(b.grid, [2, 2, 2]);
+        b.set_cuts(Some([vec![0.3], vec![0.7], vec![0.5]]));
+        // Sub-domains still tile the box exactly.
+        let vol_total: f64 = (0..8).map(|r| b.subdomain(r).volume()).sum();
+        assert!((vol_total - d.volume()).abs() < 1e-9);
+        // Interior faces of adjacent bricks share identical bits.
+        let s0 = b.subdomain(b.rank_of(&[-0.5, 0.0, 0.0]));
+        let s1 = b.subdomain(b.rank_of(&[2.5, 0.0, 0.0]));
+        assert_eq!(s0.hi[0].to_bits(), s1.lo[0].to_bits());
+        // Every sub-domain midpoint maps back to its rank, and points on
+        // a cut plane belong to the upper slab.
+        for r in 0..8 {
+            let s = b.subdomain(r);
+            let mid = [
+                0.5 * (s.lo[0] + s.hi[0]),
+                0.5 * (s.lo[1] + s.hi[1]),
+                0.5 * (s.lo[2] + s.hi[2]),
+            ];
+            assert_eq!(b.rank_of(&mid), r);
+            assert_eq!(b.rank_of(&[s.lo[0], mid[1], mid[2]]), r);
+        }
+        // Clearing the cuts restores the uniform geometry bit-for-bit.
+        let uniform = BrickDecomp::new(d, 8);
+        b.set_cuts(None);
+        for r in 0..8 {
+            let (a, u) = (b.subdomain(r), uniform.subdomain(r));
+            assert_eq!(a.lo, u.lo);
+            assert_eq!(a.hi, u.hi);
+        }
+    }
+
     fn perturbed_fcc(n: usize) -> (Vec<[f64; 3]>, Domain) {
         let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
         let positions: Vec<[f64; 3]> = lat
@@ -142,9 +264,9 @@ mod tests {
         (positions, lat.domain(n, n, n))
     }
 
-    /// Drive `run_rank_parallel` for a [`TwoBody`] potential on the
-    /// perturbed lattice (the workload the old deprecated free-function
-    /// drivers covered before they were removed).
+    /// Drive the unified `RunSpec` driver for a [`TwoBody`] potential
+    /// on the perturbed lattice (the workload the old deprecated
+    /// free-function drivers covered before they were removed).
     fn run_two_body<P>(
         positions: &[[f64; 3]],
         global: Domain,
@@ -156,13 +278,17 @@ mod tests {
     where
         P: crate::pair::TwoBody + Clone + 'static,
     {
-        use crate::comm::brick::{run_rank_parallel, RankParallelSpec};
+        use crate::comm::brick::RunSpec;
+        use crate::comm::CommSpec;
         use crate::pair::{PairKokkos, PairKokkosOptions};
         use crate::sim::Simulation;
         use lkk_kokkos::Space;
         let atoms = crate::atom::AtomData::from_positions(positions);
-        let spec = RankParallelSpec::new(&atoms, global, nsteps);
-        let run = run_rank_parallel(&spec, nranks, move |_, system| {
+        let spec = RunSpec::new(&atoms, global, nsteps).comm(CommSpec::Brick {
+            ranks: nranks,
+            balance: None,
+        });
+        let run = spec.run(move |_, system| {
             // Half list + newton on on every rank: the cross-rank pair
             // convention the brick comm layer is built for.
             let pair = PairKokkos::with_options(

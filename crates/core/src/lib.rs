@@ -56,12 +56,12 @@ pub use style::StyleRegistry;
 /// reaching into deep module paths.
 pub mod prelude {
     pub use crate::atom::{AtomData, AtomRecord, Mask};
-    pub use crate::comm::brick::{
-        run_rank_parallel, BrickComm, CommFailure, MultiRankRun, RankAtomState, RankParallelSpec,
-    };
+    #[allow(deprecated)]
+    pub use crate::comm::brick::{run_rank_parallel, RankParallelSpec};
+    pub use crate::comm::brick::{BrickComm, CommFailure, MultiRankRun, RankAtomState, RunSpec};
     pub use crate::comm::{
-        Comm, CommError, CommStats, FaultConfig, FaultPlan, FaultStats, GhostMap, RetryPolicy,
-        SingleRankComm,
+        BalancePolicy, BalanceWeight, Comm, CommError, CommSpec, CommStats, FaultConfig, FaultPlan,
+        FaultStats, GhostMap, RetryPolicy, SingleRankComm,
     };
     pub use crate::compute;
     pub use crate::decomp::BrickDecomp;

@@ -31,6 +31,14 @@ pub struct NeighborSettings {
     pub half: bool,
     /// Check for rebuild every this many steps.
     pub every: usize,
+    /// Canonically sort every neighbor row by the neighbor's image
+    /// position after each (re)build. Off by default: the bin-major fill
+    /// order is already deterministic for a fixed decomposition, and the
+    /// committed baselines pin it. Turn on (together with full lists and
+    /// own-row accumulation) to make per-atom force sums independent of
+    /// the decomposition — the knob the balance-equivalence tests use to
+    /// compare rebalanced runs bitwise against static ones.
+    pub sort_rows: bool,
 }
 
 impl NeighborSettings {
@@ -40,6 +48,7 @@ impl NeighborSettings {
             skin,
             half,
             every: 1,
+            sort_rows: false,
         }
     }
 
@@ -231,6 +240,8 @@ pub struct NeighborList {
     pub total_pairs: u64,
     /// Persistent spatial bins, reused across rebuilds.
     bins: Bins,
+    /// Row-sort scratch (one row of indices), reused across rebuilds.
+    sort_scratch: Vec<u32>,
     /// Number of heap growths across rebuilds (0 in steady state).
     grow_count: u64,
     /// Cached `working_set_bytes(2048)`, refreshed on every rebuild.
@@ -255,6 +266,7 @@ impl NeighborList {
             nlocal: 0,
             total_pairs: 0,
             bins: Bins::empty(),
+            sort_scratch: Vec::new(),
             grow_count: 0,
             ws2048: 0.0,
         };
@@ -330,9 +342,42 @@ impl NeighborList {
             self.maxneigh = maxneigh;
             self.nlocal = nlocal;
             self.total_pairs = total_pairs;
+            if settings.sort_rows {
+                self.sort_rows_canonical(atoms);
+            }
             self.ws2048 = self.working_set_bytes(2048);
             return;
         }
+    }
+
+    /// Reorder every neighbor row by the neighbor's *image position*
+    /// ((x, y, z) lexicographic under `total_cmp`). Within a cutoff
+    /// smaller than half the box, each neighbor of atom `i` appears at
+    /// a unique periodic image, and the comm layer produces that image
+    /// coordinate bit-for-bit regardless of which rank owns whom — so
+    /// the sorted row (and with it any own-row accumulation over the
+    /// row) is a pure function of the physical configuration, not of
+    /// the decomposition. See `docs/comm.md` (balancer determinism).
+    fn sort_rows_canonical(&mut self, atoms: &AtomData) {
+        let xh = atoms.x.h_view();
+        let mut row = std::mem::take(&mut self.sort_scratch);
+        for i in 0..self.nlocal {
+            let nn = self.numneigh.at([i]) as usize;
+            row.clear();
+            row.extend((0..nn).map(|s| self.neighbors.at([i, s])));
+            row.sort_unstable_by(|&a, &b| {
+                let pa = xh.get3(a as usize);
+                let pb = xh.get3(b as usize);
+                pa[0]
+                    .total_cmp(&pb[0])
+                    .then_with(|| pa[1].total_cmp(&pb[1]))
+                    .then_with(|| pa[2].total_cmp(&pb[2]))
+            });
+            for (s, &j) in row.iter().enumerate() {
+                self.neighbors.set([i, s], j);
+            }
+        }
+        self.sort_scratch = row;
     }
 
     /// Fill pass. Returns `(max_required, total_stored_pairs)`; the row
@@ -677,6 +722,32 @@ mod tests {
         atoms.x.h_view_mut().set([0, 0], new_x);
         let d = max_displacement_sq(&atoms, &x_old, &domain);
         assert!((d - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonical_row_sort_orders_rows_and_preserves_sets() {
+        let (mut atoms, domain) = lj_melt(4);
+        let mut settings = NeighborSettings::new(2.5, 0.3, false);
+        build_ghosts(&mut atoms, &domain, settings.cutneigh());
+        let plain = NeighborList::build(&atoms, &domain, &settings, &Space::Serial);
+        settings.sort_rows = true;
+        let sorted = NeighborList::build(&atoms, &domain, &settings, &Space::Serial);
+        assert_eq!(plain.total_pairs, sorted.total_pairs);
+        let xh = atoms.x.h_view();
+        for i in 0..sorted.nlocal {
+            let nn = sorted.numneigh.at([i]) as usize;
+            assert_eq!(nn, plain.numneigh.at([i]) as usize);
+            for s in 1..nn {
+                let a = xh.get3(sorted.neighbors.at([i, s - 1]) as usize);
+                let b = xh.get3(sorted.neighbors.at([i, s]) as usize);
+                assert!(a <= b, "row {i} not position-ordered: {a:?} after {b:?}");
+            }
+            let mut pa: Vec<u32> = (0..nn).map(|s| plain.neighbors.at([i, s])).collect();
+            let mut pb: Vec<u32> = (0..nn).map(|s| sorted.neighbors.at([i, s])).collect();
+            pa.sort_unstable();
+            pb.sort_unstable();
+            assert_eq!(pa, pb, "row {i} changed its neighbor set");
+        }
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! communication — the `run` command of §2.1.
 
 use crate::atom::{AtomData, Mask};
-use crate::comm::{Comm, CommError, FaultStats, GhostMap, SingleRankComm};
+use crate::comm::brick::{CommFailure, MultiRankRun, RunSpec};
+use crate::comm::{Comm, CommError, CommSpec, FaultConfig, FaultStats, GhostMap, SingleRankComm};
 use crate::compute;
 use crate::domain::Domain;
 use crate::fix::Fix;
@@ -244,8 +245,13 @@ impl Simulation {
         }
         self.system.atoms.sync(&Space::Serial, Mask::X);
         let cutneigh = self.settings.cutneigh();
-        self.system
-            .with_comm_taken(|system, comm| comm.borders(system, cutneigh))?;
+        // Report cumulative pair seconds before the exchange: the load
+        // balancer's (advisory) PairTime weighting reads it.
+        let pair_seconds = self.timings.pair;
+        self.system.with_comm_taken(|system, comm| {
+            comm.note_work(pair_seconds);
+            comm.borders(system, cutneigh)
+        })?;
         self.system.atoms.modified(&Space::Serial, Mask::ALL);
         self.system.atoms.sync(&space, Mask::X | Mask::TYPE);
         // Persistent list: refill the existing buffers in place.
@@ -523,6 +529,13 @@ impl Simulation {
     }
 }
 
+/// Per-rank pair-style constructor installed by
+/// [`SimulationBuilder::pair_with`].
+type PairFactory = Box<dyn Fn(usize) -> Box<dyn PairStyle> + Send + Sync>;
+/// Per-rank fix-stack constructor installed by
+/// [`SimulationBuilder::fixes_with`].
+type FixesFactory = Box<dyn Fn(usize) -> Vec<Box<dyn Fix>> + Send + Sync>;
+
 /// Fluent constructor consolidating the accreted `Simulation` setters
 /// (`with_units`, `with_fixes`, `sort_every`, comm choice, ...) into one
 /// place:
@@ -543,8 +556,13 @@ pub struct SimulationBuilder {
     space: Space,
     units: Units,
     pair: Option<Box<dyn PairStyle>>,
+    pair_factory: Option<PairFactory>,
     fixes: Option<Vec<Box<dyn Fix>>>,
-    comm: Option<Box<dyn Comm>>,
+    fixes_factory: Option<FixesFactory>,
+    comm_spec: CommSpec,
+    comm_boxed: Option<Box<dyn Comm>>,
+    warmup_steps: u64,
+    fault: Option<FaultConfig>,
     dt: Option<f64>,
     thermo_every: usize,
     verbose: bool,
@@ -564,8 +582,13 @@ impl SimulationBuilder {
             space: Space::Serial,
             units: Units::lj(),
             pair: None,
+            pair_factory: None,
             fixes: None,
-            comm: None,
+            fixes_factory: None,
+            comm_spec: CommSpec::Single,
+            comm_boxed: None,
+            warmup_steps: 0,
+            fault: None,
             dt: None,
             thermo_every: 0,
             verbose: false,
@@ -614,9 +637,61 @@ impl SimulationBuilder {
         self
     }
 
-    /// Communication layer (default: [`SingleRankComm`]).
-    pub fn comm(mut self, comm: Box<dyn Comm>) -> Self {
-        self.comm = Some(comm);
+    /// Communication layout (default: [`CommSpec::Single`]). A
+    /// `CommSpec::Brick { .. }` builder must be driven through
+    /// [`SimulationBuilder::run`] (with a per-rank
+    /// [`SimulationBuilder::pair_with`] factory); [`build`] is
+    /// single-rank only.
+    ///
+    /// [`build`]: SimulationBuilder::build
+    pub fn comm(mut self, spec: CommSpec) -> Self {
+        self.comm_spec = spec;
+        self
+    }
+
+    /// Install a concrete communication layer (low-level escape hatch;
+    /// the pre-`CommSpec` signature of `comm`). Only honored by
+    /// [`SimulationBuilder::build`].
+    pub fn comm_boxed(mut self, comm: Box<dyn Comm>) -> Self {
+        self.comm_boxed = Some(comm);
+        self
+    }
+
+    /// Per-rank pair-style factory, called once per rank of a
+    /// [`SimulationBuilder::run`] — pair styles hold per-instance
+    /// scratch and cannot be shared across rank threads. Required for
+    /// `CommSpec::Brick`; single-rank paths fall back to it (rank 0)
+    /// when no [`SimulationBuilder::pair`] is set.
+    pub fn pair_with(
+        mut self,
+        factory: impl Fn(usize) -> Box<dyn PairStyle> + Send + Sync + 'static,
+    ) -> Self {
+        self.pair_factory = Some(Box::new(factory));
+        self
+    }
+
+    /// Per-rank fix-list factory for [`SimulationBuilder::run`]
+    /// (default: `fix nve` on every rank).
+    pub fn fixes_with(
+        mut self,
+        factory: impl Fn(usize) -> Vec<Box<dyn Fix>> + Send + Sync + 'static,
+    ) -> Self {
+        self.fixes_factory = Some(Box::new(factory));
+        self
+    }
+
+    /// Warmup steps a [`SimulationBuilder::run`] executes before its
+    /// measured steps (the grow counters are snapshotted in between;
+    /// see [`MultiRankRun`]).
+    pub fn warmup(mut self, steps: u64) -> Self {
+        self.warmup_steps = steps;
+        self
+    }
+
+    /// Install a seeded fault-injection config on every rank of a
+    /// [`SimulationBuilder::run`].
+    pub fn fault(mut self, cfg: FaultConfig) -> Self {
+        self.fault = Some(cfg);
         self
     }
 
@@ -662,19 +737,30 @@ impl SimulationBuilder {
         self
     }
 
-    /// Wire everything into a ready-to-run [`Simulation`].
+    /// Wire everything into a ready-to-run, single-rank [`Simulation`].
     ///
-    /// Panics if no pair style was set.
+    /// Panics if no pair style was set, or if the builder was
+    /// configured for `CommSpec::Brick` (drive that through
+    /// [`SimulationBuilder::run`]).
     pub fn build(self) -> Simulation {
-        let pair = self
-            .pair
-            .expect("SimulationBuilder: a pair style is required");
+        assert!(
+            matches!(self.comm_spec, CommSpec::Single),
+            "SimulationBuilder::build is single-rank; drive CommSpec::Brick through .run(steps)"
+        );
+        let pair = match (self.pair, &self.pair_factory) {
+            (Some(pair), _) => pair,
+            (None, Some(factory)) => factory(0),
+            (None, None) => panic!("SimulationBuilder: a pair style is required"),
+        };
+        let fixes = self
+            .fixes
+            .or_else(|| self.fixes_factory.as_ref().map(|factory| factory(0)));
         let mut system = System::new(self.atoms, self.domain, self.space).with_units(self.units);
-        if let Some(comm) = self.comm {
+        if let Some(comm) = self.comm_boxed {
             system.comm = Some(comm);
         }
         let mut sim = Simulation::new(system, pair);
-        if let Some(fixes) = self.fixes {
+        if let Some(fixes) = fixes {
             sim.fixes = fixes;
         }
         if let Some(dt) = self.dt {
@@ -691,6 +777,99 @@ impl SimulationBuilder {
         sim.pair_only = self.pair_only;
         sim.sort_every = self.sort_every;
         sim
+    }
+
+    /// Run `steps` timesteps through the configured [`CommSpec`] and
+    /// gather the result — the unified driver entry point. Single- and
+    /// multi-rank runs share this code path and return the same
+    /// [`MultiRankRun`] shape:
+    ///
+    /// ```ignore
+    /// let run = SimulationBuilder::new(atoms, domain)
+    ///     .pair_with(|_rank| Box::new(PairKokkos::new(lj, &Space::Serial)))
+    ///     .comm(CommSpec::Brick { ranks: 8, balance: Some(BalancePolicy::default()) })
+    ///     .warmup(10)
+    ///     .run(100)?;
+    /// ```
+    ///
+    /// `CommSpec::Brick` requires [`SimulationBuilder::pair_with`] (a
+    /// boxed pair style cannot be shared across rank threads); fixes
+    /// default to `fix nve` per rank unless
+    /// [`SimulationBuilder::fixes_with`] is set.
+    pub fn run(self, steps: u64) -> Result<MultiRankRun, CommFailure> {
+        let mut spec = RunSpec::new(&self.atoms, self.domain, steps);
+        spec.units = self.units;
+        spec.space = self.space.clone();
+        spec.warmup_steps = self.warmup_steps;
+        spec.fault = self.fault.clone();
+        spec.comm = self.comm_spec;
+        let SimulationBuilder {
+            pair,
+            pair_factory,
+            fixes,
+            fixes_factory,
+            dt,
+            thermo_every,
+            verbose,
+            pair_only,
+            sort_every,
+            skin,
+            neighbor_every,
+            ..
+        } = self;
+        let assemble = move |pair: Box<dyn PairStyle>,
+                             fixes: Option<Vec<Box<dyn Fix>>>,
+                             system: System|
+              -> Simulation {
+            let mut sim = Simulation::new(system, pair);
+            if let Some(fixes) = fixes {
+                sim.fixes = fixes;
+            }
+            if let Some(dt) = dt {
+                sim.dt = dt;
+            }
+            if let Some(skin) = skin {
+                sim.settings.skin = skin;
+            }
+            if let Some(every) = neighbor_every {
+                sim.settings.every = every;
+            }
+            sim.thermo_every = thermo_every;
+            sim.verbose = verbose;
+            sim.pair_only = pair_only;
+            sim.sort_every = sort_every;
+            sim
+        };
+        match spec.comm {
+            CommSpec::Single => {
+                let pair = match (pair, &pair_factory) {
+                    (Some(pair), _) => pair,
+                    (None, Some(factory)) => factory(0),
+                    (None, None) => panic!("SimulationBuilder: a pair style is required"),
+                };
+                let fixes = fixes.or_else(|| fixes_factory.as_ref().map(|factory| factory(0)));
+                spec.run_single(|system| assemble(pair, fixes, system))
+            }
+            CommSpec::Brick { .. } => {
+                assert!(
+                    pair.is_none(),
+                    "SimulationBuilder: .pair() is single-rank; use .pair_with(|rank| ...) for CommSpec::Brick"
+                );
+                assert!(
+                    fixes.is_none(),
+                    "SimulationBuilder: .fixes() is single-rank; use .fixes_with(|rank| ...) for CommSpec::Brick"
+                );
+                let pair_factory = pair_factory
+                    .expect("SimulationBuilder: CommSpec::Brick requires .pair_with(|rank| ...)");
+                spec.run(|rank, system| {
+                    assemble(
+                        pair_factory(rank),
+                        fixes_factory.as_ref().map(|factory| factory(rank)),
+                        system,
+                    )
+                })
+            }
+        }
     }
 }
 

@@ -16,7 +16,7 @@
 use crate::json::Value;
 use crate::report::RUN_LOCK;
 use crate::workloads;
-use lkk_core::comm::brick::{run_rank_parallel, MultiRankRun};
+use lkk_core::comm::brick::MultiRankRun;
 use lkk_core::comm::FaultConfig;
 use lkk_kokkos::exec;
 
@@ -85,7 +85,9 @@ pub fn run_seeds(seeds: &[u64]) -> Vec<SeedOutcome> {
     exec::set_force_sequential(true);
 
     let ranks = workloads::ranks4();
-    let reference = run_rank_parallel(&ranks.spec, ranks.nranks, ranks.factory)
+    let reference = ranks
+        .spec
+        .run(ranks.factory)
         .expect("fault-free reference run failed");
 
     let outcomes = seeds
@@ -93,7 +95,7 @@ pub fn run_seeds(seeds: &[u64]) -> Vec<SeedOutcome> {
         .map(|&seed| {
             let mut spec = ranks.spec.clone();
             spec.fault = Some(FaultConfig::recoverable(seed));
-            match run_rank_parallel(&spec, ranks.nranks, ranks.factory) {
+            match spec.run(ranks.factory) {
                 Ok(faulted) => {
                     let mut violations = diff_runs(&reference, &faulted);
                     if faulted.fault_stats.injected() == 0 {

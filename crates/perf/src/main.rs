@@ -218,7 +218,9 @@ fn main() -> ExitCode {
         || args.check_metrics.is_some()
         || args.write_metrics_baseline;
     if trace_mode {
-        eprintln!("perf-smoke: tracing 4 single-rank workloads + ranks4 (forced sequential)...");
+        eprintln!(
+            "perf-smoke: tracing 4 single-rank workloads + ranks4 + skewed8 (forced sequential)..."
+        );
         let cap = lkk_perf::tracing::capture();
         if let Some(path) = &args.trace {
             if let Err(msg) = write_report(path, &cap.chrome_json) {
@@ -309,7 +311,9 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    eprintln!("perf-smoke: running 4 single-rank workloads + ranks4 (forced sequential)...");
+    eprintln!(
+        "perf-smoke: running 4 single-rank workloads + ranks4 + skewed8 (forced sequential)..."
+    );
     let current = report::run_all(workloads::all());
     let text = current.to_pretty();
 

@@ -10,7 +10,6 @@
 
 use crate::json::Value;
 use crate::workloads::{RankWorkload, Workload};
-use lkk_core::comm::brick::run_rank_parallel;
 use lkk_gpusim::{AccumulatedProfile, GpuArch, KernelStats, RooflineClass, StatsAccumulator};
 use lkk_kokkos::{exec, profile};
 use std::sync::{Arc, Mutex};
@@ -58,8 +57,7 @@ pub fn run_all(workloads: Vec<Workload>) -> Value {
         let name = workload.name;
         wl_obj.set(name, run_one(workload));
     }
-    {
-        let ranks = crate::workloads::ranks4();
+    for ranks in crate::workloads::all_ranks() {
         let name = ranks.name;
         wl_obj.set(name, run_ranks(ranks));
     }
@@ -113,7 +111,9 @@ fn run_one(workload: Workload) -> Value {
 fn run_ranks(workload: RankWorkload) -> Value {
     let acc = Arc::new(StatsAccumulator::new());
     let id = profile::register_subscriber(acc.clone());
-    let run = run_rank_parallel(&workload.spec, workload.nranks, workload.factory)
+    let run = workload
+        .spec
+        .run(workload.factory)
         .expect("fault-free rank-parallel run failed");
     profile::unregister_subscriber(id);
     let snap = acc.snapshot();
@@ -131,6 +131,10 @@ fn run_ranks(workload: RankWorkload) -> Value {
         Value::Num(run.rebuild_counts.iter().sum::<u64>() as f64),
     );
     out.set("e_total", Value::Num(run.e_pair + run.e_kinetic));
+    // Peak owned-atoms over the run divided by the perfect share — a
+    // pure function of the (deterministic) migration history, so it
+    // diffs at tolerance 0 like every counter.
+    out.set("atom_imbalance", Value::Num(run.atom_imbalance()));
 
     {
         let mut neigh = Value::obj();
@@ -154,6 +158,9 @@ fn run_ranks(workload: RankWorkload) -> Value {
         comm.set("border_msgs", Value::Num(s.border_msgs as f64));
         comm.set("migrate_bytes", Value::Num(s.migrate_bytes as f64));
         comm.set("migrate_msgs", Value::Num(s.migrate_msgs as f64));
+        comm.set("balance_bytes", Value::Num(s.balance_bytes as f64));
+        comm.set("balance_msgs", Value::Num(s.balance_msgs as f64));
+        comm.set("rebalances", Value::Num(s.rebalances as f64));
         comm.set("allreduce_count", Value::Num(s.allreduce_count as f64));
         comm.set("pool_grow", Value::Num(run.comm_grow as f64));
         comm.set(
@@ -297,6 +304,8 @@ mod tests {
             "\"snap\"",
             "\"reaxff\"",
             "\"ranks4\"",
+            "\"skewed8\"",
+            "\"balance_msgs\"",
             "PairCompute",
             "EAMForce",
             "ComputeUi@",
@@ -328,16 +337,37 @@ mod tests {
                 > 0.0
         );
 
-        // The rank-parallel section carries the exchange counters and
-        // the steady-state pool invariant.
+        // The rank-parallel sections carry the exchange counters and
+        // the steady-state pool invariant. The static decomposition
+        // must stay balance-silent so its bytes don't drift.
         let ranks = doc.get("workloads").unwrap().get("ranks4").unwrap();
         assert_eq!(ranks.get("nranks").unwrap().as_f64(), Some(4.0));
         let comm = ranks.get("comm").unwrap();
         assert!(comm.get("forward_msgs").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(comm.get("balance_msgs").unwrap().as_f64(), Some(0.0));
+        assert_eq!(comm.get("rebalances").unwrap().as_f64(), Some(0.0));
         assert_eq!(
             comm.get("pool_grow_after_warmup").unwrap().as_f64(),
             Some(0.0),
             "steady-state exchange allocated"
+        );
+
+        // The load-balancer smoke: the balancer engaged, pulled the
+        // peak imbalance under the gate, and the pools still held.
+        let skewed = doc.get("workloads").unwrap().get("skewed8").unwrap();
+        assert_eq!(skewed.get("nranks").unwrap().as_f64(), Some(8.0));
+        let comm = skewed.get("comm").unwrap();
+        assert!(comm.get("rebalances").unwrap().as_f64().unwrap() > 0.0);
+        assert!(comm.get("balance_msgs").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            comm.get("pool_grow_after_warmup").unwrap().as_f64(),
+            Some(0.0),
+            "steady-state exchange allocated under rebalancing"
+        );
+        let imbalance = skewed.get("atom_imbalance").unwrap().as_f64().unwrap();
+        assert!(
+            imbalance <= 1.15,
+            "skewed8 peak imbalance {imbalance} above the 1.15 gate"
         );
     }
 }

@@ -11,15 +11,15 @@
 //!
 //! Lane layout of the capture: the four single-rank workloads run on
 //! the calling thread (lane `host`, each wrapped in a top-level region
-//! named after the workload), then the `ranks4` workload adds one lane
-//! per rank thread (`rank0`..`rank3`) with the brick-comm phase spans
-//! recorded by the gated instrumentation in `lkk-core`. Kernel launches
-//! on the simulated device additionally populate the `pid 1` device
-//! lanes with cost-model-predicted durations.
+//! named after the workload), then the rank-parallel workloads
+//! (`ranks4`, then the load-balanced `skewed8`) add one lane per rank
+//! thread (`rank0`..`rank7`) with the brick-comm phase spans recorded
+//! by the gated instrumentation in `lkk-core`. Kernel launches on the
+//! simulated device additionally populate the `pid 1` device lanes
+//! with cost-model-predicted durations.
 
 use crate::report::RUN_LOCK;
 use crate::workloads::{self, Workload};
-use lkk_core::comm::brick::run_rank_parallel;
 use lkk_gpusim::GpuArch;
 use lkk_kokkos::{exec, profile};
 use lkk_trace::TraceCollector;
@@ -40,10 +40,10 @@ pub fn capture() -> TraceCapture {
     capture_with(workloads::all())
 }
 
-/// Capture with an explicit single-rank workload subset (the `ranks4`
-/// rank-parallel workload always runs — it is what puts the per-rank
-/// lanes and comm-phase spans on the timeline). Tests pass a smaller
-/// subset to stay fast.
+/// Capture with an explicit single-rank workload subset (the
+/// rank-parallel workloads always run — they put the per-rank lanes,
+/// the comm-phase spans, and the balance gauges on the timeline).
+/// Tests pass a smaller subset to stay fast.
 pub fn capture_with(single: Vec<Workload>) -> TraceCapture {
     let _exclusive = RUN_LOCK.lock().unwrap();
     let was_sequential = exec::force_sequential();
@@ -62,9 +62,16 @@ pub fn capture_with(single: Vec<Workload>) -> TraceCapture {
         let _span = profile::begin_region(name);
         sim.run(steps);
     }
-    let ranks = workloads::ranks4();
-    let run = run_rank_parallel(&ranks.spec, ranks.nranks, ranks.factory)
-        .expect("fault-free rank-parallel run failed");
+    let rank_runs: Vec<_> = workloads::all_ranks()
+        .into_iter()
+        .map(|ranks| {
+            let run = ranks
+                .spec
+                .run(ranks.factory)
+                .expect("fault-free rank-parallel run failed");
+            (ranks.name, run)
+        })
+        .collect();
 
     profile::unregister_subscriber(id);
     exec::set_force_sequential(was_sequential);
@@ -74,32 +81,37 @@ pub fn capture_with(single: Vec<Workload>) -> TraceCapture {
     // deterministic counter — wall-clock quantities (like
     // `pair_time_imbalance`) deliberately stay out of the dump.
     let metrics = collector.metrics();
-    let s = &run.comm_stats;
-    for (name, value) in [
-        ("forward_bytes", s.forward_bytes),
-        ("forward_msgs", s.forward_msgs),
-        ("reverse_bytes", s.reverse_bytes),
-        ("reverse_msgs", s.reverse_msgs),
-        ("scalar_bytes", s.scalar_bytes),
-        ("scalar_msgs", s.scalar_msgs),
-        ("border_bytes", s.border_bytes),
-        ("border_msgs", s.border_msgs),
-        ("migrate_bytes", s.migrate_bytes),
-        ("migrate_msgs", s.migrate_msgs),
-        ("allreduce_count", s.allreduce_count),
-    ] {
-        metrics.set_gauge(&format!("ranks4/comm/{name}"), value as f64);
+    for (wl, run) in &rank_runs {
+        let s = &run.comm_stats;
+        for (name, value) in [
+            ("forward_bytes", s.forward_bytes),
+            ("forward_msgs", s.forward_msgs),
+            ("reverse_bytes", s.reverse_bytes),
+            ("reverse_msgs", s.reverse_msgs),
+            ("scalar_bytes", s.scalar_bytes),
+            ("scalar_msgs", s.scalar_msgs),
+            ("border_bytes", s.border_bytes),
+            ("border_msgs", s.border_msgs),
+            ("migrate_bytes", s.migrate_bytes),
+            ("migrate_msgs", s.migrate_msgs),
+            ("balance_bytes", s.balance_bytes),
+            ("balance_msgs", s.balance_msgs),
+            ("rebalances", s.rebalances),
+            ("allreduce_count", s.allreduce_count),
+        ] {
+            metrics.set_gauge(&format!("{wl}/comm/{name}"), value as f64);
+        }
+        metrics.set_gauge(&format!("{wl}/comm/pool_grow"), run.comm_grow as f64);
+        metrics.set_gauge(
+            &format!("{wl}/comm/pool_grow_after_warmup"),
+            run.comm_grow_after_warmup as f64,
+        );
+        for (rank, &owned) in run.owned_atoms.iter().enumerate() {
+            metrics.set_gauge(&format!("{wl}/rank{rank}/owned_atoms"), owned as f64);
+            metrics.observe(&format!("{wl}/owned_atoms"), owned as f64);
+        }
+        metrics.set_gauge(&format!("{wl}/atom_imbalance"), run.atom_imbalance());
     }
-    metrics.set_gauge("ranks4/comm/pool_grow", run.comm_grow as f64);
-    metrics.set_gauge(
-        "ranks4/comm/pool_grow_after_warmup",
-        run.comm_grow_after_warmup as f64,
-    );
-    for (rank, &owned) in run.owned_atoms.iter().enumerate() {
-        metrics.set_gauge(&format!("ranks4/rank{rank}/owned_atoms"), owned as f64);
-        metrics.observe("ranks4/owned_atoms", owned as f64);
-    }
-    metrics.set_gauge("ranks4/atom_imbalance", run.atom_imbalance());
 
     TraceCapture {
         chrome_json: collector.export_chrome(),
@@ -136,11 +148,34 @@ mod tests {
         for needle in [
             "\"ranks4/comm/forward_bytes\"",
             "\"ranks4/comm/pool_grow_after_warmup\": 0",
+            "\"ranks4/comm/balance_msgs\": 0",
             "\"ranks4/rank0/owned_atoms\"",
             "\"ranks4/atom_imbalance\"",
+            "\"skewed8/comm/pool_grow_after_warmup\": 0",
+            "\"skewed8/rank7/owned_atoms\"",
+            "\"skewed8/atom_imbalance\"",
             "\"lj/owned_atoms\"",
         ] {
             assert!(a.metrics_json.contains(needle), "metrics missing {needle}");
         }
+        // The balancer engaged on the skewed workload.
+        let metrics = crate::json::parse(&a.metrics_json).unwrap();
+        let gauges = metrics.get("gauges").unwrap();
+        assert!(
+            gauges
+                .get("skewed8/comm/rebalances")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        assert!(
+            gauges
+                .get("skewed8/atom_imbalance")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                <= 1.15
+        );
     }
 }

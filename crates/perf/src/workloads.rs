@@ -113,11 +113,11 @@ pub fn all() -> Vec<Workload> {
 }
 
 /// A rank-parallel workload: an initial state plus the per-rank
-/// simulation factory, run through
-/// [`lkk_core::comm::brick::run_rank_parallel`].
+/// simulation factory. The spec carries its [`CommSpec::Brick`] layout,
+/// so callers just invoke [`lkk_core::comm::brick::RunSpec::run`].
 pub struct RankWorkload {
     pub name: &'static str,
-    pub spec: RankParallelSpec,
+    pub spec: RunSpec,
     pub nranks: usize,
     pub factory: fn(usize, System) -> Simulation,
 }
@@ -147,7 +147,10 @@ pub fn ranks4() -> RankWorkload {
     let mut atoms = AtomData::from_positions(&lat.positions(n, n, n));
     let units = Units::lj();
     create_velocities(&mut atoms, &units, 1.44, 87287);
-    let mut spec = RankParallelSpec::new(&atoms, lat.domain(n, n, n), 20);
+    let mut spec = RunSpec::new(&atoms, lat.domain(n, n, n), 20).comm(CommSpec::Brick {
+        ranks: 4,
+        balance: None,
+    });
     spec.warmup_steps = 10;
     RankWorkload {
         name: "ranks4",
@@ -155,4 +158,60 @@ pub fn ranks4() -> RankWorkload {
         nranks: 4,
         factory: ranks4_sim,
     }
+}
+
+fn skewed8_sim(_rank: usize, system: System) -> Simulation {
+    // Full list + newton off + canonical row order: the determinism
+    // knobs under which rebalancing is bitwise invisible to the
+    // trajectory (see `tests/balance_equivalence.rs`).
+    let pair = PairKokkos::with_options(
+        LjCut::single_type(1.0, 1.0, 2.5),
+        &Space::Serial,
+        PairKokkosOptions {
+            force_half: Some(false),
+            ..Default::default()
+        },
+    );
+    let mut sim = Simulation::new(system, Box::new(pair));
+    sim.settings.sort_rows = true;
+    sim
+}
+
+/// The load-balancer smoke: an elongated LJ box (32x4x4 cells) whose
+/// first quarter along x keeps every atom while the tail keeps one in
+/// four, decomposed over 8 ranks with rebalancing on. Statically the
+/// dense slabs carry ~2.3x the mean load; the committed baseline pins
+/// the `comm.balance_*` counters and the peak atom imbalance the
+/// balancer settles at.
+pub fn skewed8() -> RankWorkload {
+    let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
+    let (nx, ny, nz) = (32, 4, 4);
+    let domain = lat.domain(nx, ny, nz);
+    let lx = domain.hi[0] - domain.lo[0];
+    let kept: Vec<[f64; 3]> = lat
+        .positions(nx, ny, nz)
+        .into_iter()
+        .enumerate()
+        .filter(|(i, p)| p[0] - domain.lo[0] < 0.25 * lx || i % 4 == 0)
+        .map(|(_, p)| p)
+        .collect();
+    let mut atoms = AtomData::from_positions(&kept);
+    create_velocities(&mut atoms, &Units::lj(), 1.44, 87287);
+    let mut spec = RunSpec::new(&atoms, domain, 16).comm(CommSpec::Brick {
+        ranks: 8,
+        balance: Some(BalancePolicy::default()),
+    });
+    spec.warmup_steps = 8;
+    RankWorkload {
+        name: "skewed8",
+        spec,
+        nranks: 8,
+        factory: skewed8_sim,
+    }
+}
+
+/// Both rank-parallel workloads in report order: the static 4-rank
+/// exchange smoke, then the 8-rank load-balancer smoke.
+pub fn all_ranks() -> Vec<RankWorkload> {
+    vec![ranks4(), skewed8()]
 }

@@ -39,6 +39,15 @@ pub struct SnapKernelConfig {
     pub yi_batch: usize,
     /// Fuse the three force directions in ComputeDeidrj.
     pub fuse_deidrj: bool,
+    /// Round every force contribution scattered in ComputeDeidrj to a
+    /// multiple of 2⁻³² before adding it. On that grid, f64 additions
+    /// of physically-sized forces are *exact*, so the scattered sums
+    /// become independent of accumulation order — the knob that makes
+    /// SNAP trajectories bitwise identical across decompositions (see
+    /// `docs/comm.md`, balancer determinism). Off by default: it costs
+    /// ~2⁻³² absolute per contribution and the committed baselines pin
+    /// the unquantized bits.
+    pub quantize_scatter: bool,
 }
 
 impl Default for SnapKernelConfig {
@@ -48,6 +57,7 @@ impl Default for SnapKernelConfig {
             yi_tile: 32,
             yi_batch: 1,
             fuse_deidrj: true,
+            quantize_scatter: false,
         }
     }
 }

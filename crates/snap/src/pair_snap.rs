@@ -107,6 +107,16 @@ struct PoolRef {
 unsafe impl Send for PoolRef {}
 unsafe impl Sync for PoolRef {}
 
+/// Round to the nearest multiple of 2⁻³² (exact for any physically
+/// sized force: |v|·2³² stays far below 2⁵³, and scaling by a power of
+/// two is lossless). Sums of such multiples are themselves exact, so
+/// scatter accumulation order stops mattering.
+#[inline]
+fn quantize_2p32(v: f64) -> f64 {
+    const SCALE: f64 = 4294967296.0; // 2^32
+    (v * SCALE).round() * (1.0 / SCALE)
+}
+
 impl PoolRef {
     /// # Safety
     /// No other thread may access slot `i` concurrently.
@@ -433,7 +443,15 @@ impl PairStyle for PairSnap {
                                 scratch,
                             );
                             // Force on neighbor j: −∂E_i/∂x_j; reaction on i.
-                            let f = [-g[0], -g[1], -g[2]];
+                            let f = if config.quantize_scatter {
+                                [
+                                    quantize_2p32(-g[0]),
+                                    quantize_2p32(-g[1]),
+                                    quantize_2p32(-g[2]),
+                                ]
+                            } else {
+                                [-g[0], -g[1], -g[2]]
+                            };
                             for (dir, &fd) in f.iter().enumerate() {
                                 sref.add(j, dir, fd);
                                 sref.add(i, dir, -fd);

@@ -4,7 +4,8 @@
 //! Every profiling event is recorded on the *lane* of the thread that
 //! emitted it. A lane is named after the thread's outermost region when
 //! that region is a rank marker (`rank0`, `rank1`, ... — what
-//! `run_rank_parallel` opens first thing on each worker), and `host`
+//! the `RunSpec` brick driver opens first thing on each worker), and
+//! `host`
 //! otherwise. Each lane keeps its own logical-tick clock (one tick per
 //! event on that lane), which is what makes the deterministic mode
 //! byte-stable under concurrency: a lane's timestamps are a pure

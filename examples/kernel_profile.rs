@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release --example kernel_profile`
 
 use lammps_kk::core::comm::build_ghosts;
-use lammps_kk::core::prelude::*;
 use lammps_kk::gpusim::{render, GpuArch};
+use lammps_kk::prelude::*;
 use lammps_kk::snap::{PairSnap, SnapParams};
 
 fn main() {

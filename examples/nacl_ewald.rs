@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example nacl_ewald`
 
 use lammps_kk::core::kspace::Ewald;
-use lammps_kk::core::prelude::*;
+use lammps_kk::prelude::*;
 
 fn main() {
     // 3×3×3 conventional cells of NaCl with r0 = 1 (reduced units).

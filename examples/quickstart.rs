@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use lammps_kk::core::prelude::*;
+use lammps_kk::prelude::*;
 
 fn main() {
     // 10×10×10 fcc cells = 4000 atoms.

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example reaxff_hns`
 
-use lammps_kk::core::prelude::*;
+use lammps_kk::prelude::*;
 use lammps_kk::reaxff::{hns, PairReaxff, ReaxParams};
 
 fn main() {

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example relax_and_dump`
 
-use lammps_kk::core::prelude::*;
 use lammps_kk::core::{data_io, dump::XyzDump, fix::FixNvt};
+use lammps_kk::prelude::*;
 
 fn main() {
     // A Cu-like fcc crystal, rattled hard.

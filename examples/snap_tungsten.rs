@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example snap_tungsten`
 
-use lammps_kk::core::prelude::*;
+use lammps_kk::prelude::*;
 use lammps_kk::snap::{PairSnap, SnapKernelConfig, SnapParams};
 use std::time::Instant;
 

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example strong_scaling`
 
-use lammps_kk::core::prelude::*;
 use lammps_kk::machine::{scaling::presets, Machine, MeasuredComm, StrongScaling};
+use lammps_kk::prelude::*;
 
 /// Run the LJ melt through the rank-parallel driver and compare the
 /// measured per-rank halo traffic against `CommProfile::analytic_halo`.
@@ -24,7 +24,7 @@ fn measured_vs_analytic() {
     let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
     let mut atoms = AtomData::from_positions(&lat.positions(cells, cells, cells));
     create_velocities(&mut atoms, &Units::lj(), 1.44, 87287);
-    let spec = RankParallelSpec::new(&atoms, lat.domain(cells, cells, cells), steps);
+    let spec = RunSpec::new(&atoms, lat.domain(cells, cells, cells), steps);
 
     println!("\nHalo validation: functional brick runs vs the analytic model");
     println!(
@@ -45,18 +45,24 @@ fn measured_vs_analytic() {
         "pair imb"
     );
     for ranks in [2usize, 4, 8] {
-        let run = run_rank_parallel(&spec, ranks, |_, system| {
-            let pair = PairKokkos::with_options(
-                LjCut::single_type(1.0, 1.0, 2.5),
-                &Space::Serial,
-                PairKokkosOptions {
-                    force_half: Some(true),
-                    ..Default::default()
-                },
-            );
-            Simulation::new(system, Box::new(pair))
-        })
-        .expect("fault-free rank-parallel run failed");
+        let run = spec
+            .clone()
+            .comm(CommSpec::Brick {
+                ranks,
+                balance: None,
+            })
+            .run(|_, system| {
+                let pair = PairKokkos::with_options(
+                    LjCut::single_type(1.0, 1.0, 2.5),
+                    &Space::Serial,
+                    PairKokkosOptions {
+                        force_half: Some(true),
+                        ..Default::default()
+                    },
+                );
+                Simulation::new(system, Box::new(pair))
+            })
+            .expect("fault-free rank-parallel run failed");
         let s = run.comm_stats;
         let per_rank_step = ranks as f64 * steps as f64;
         let cmp = comm.compare_measured(&MeasuredComm {

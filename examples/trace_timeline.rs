@@ -20,9 +20,9 @@
 //! timestamps are per-lane logical ticks and the bytes never change —
 //! see `perf-smoke --trace` and `docs/observability.md`.
 
-use lammps_kk::core::prelude::*;
 use lammps_kk::gpusim::GpuArch;
 use lammps_kk::kokkos::profile;
+use lammps_kk::prelude::*;
 use lammps_kk::trace::TraceCollector;
 use std::sync::Arc;
 
@@ -32,22 +32,28 @@ fn main() {
     let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
     let mut atoms = AtomData::from_positions(&lat.positions(cells, cells, cells));
     create_velocities(&mut atoms, &Units::lj(), 1.44, 87287);
-    let spec = RankParallelSpec::new(&atoms, lat.domain(cells, cells, cells), steps);
 
     let collector = Arc::new(TraceCollector::wall(GpuArch::h100()));
     let id = profile::register_subscriber(collector.clone());
-    let run = run_rank_parallel(&spec, 4, |_, system| {
-        let pair = PairKokkos::with_options(
-            LjCut::single_type(1.0, 1.0, 2.5),
-            &Space::Serial,
-            PairKokkosOptions {
-                force_half: Some(true),
-                ..Default::default()
-            },
-        );
-        Simulation::new(system, Box::new(pair))
-    })
-    .expect("fault-free rank-parallel run failed");
+    // The unified driver API: one builder for any CommSpec (swap in
+    // `CommSpec::Single` and the same code runs in-process).
+    let run = SimulationBuilder::new(atoms, lat.domain(cells, cells, cells))
+        .pair_with(|_rank| {
+            Box::new(PairKokkos::with_options(
+                LjCut::single_type(1.0, 1.0, 2.5),
+                &Space::Serial,
+                PairKokkosOptions {
+                    force_half: Some(true),
+                    ..Default::default()
+                },
+            ))
+        })
+        .comm(CommSpec::Brick {
+            ranks: 4,
+            balance: None,
+        })
+        .run(steps)
+        .expect("fault-free rank-parallel run failed");
     profile::unregister_subscriber(id);
 
     let json = collector.export_chrome();

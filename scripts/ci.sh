@@ -53,6 +53,18 @@ for key in snap.table.items snap.table.pairs snap.table.y_items \
     { echo "missing $key in results/perf_baseline.json"; exit 1; }
 done
 
+# The load-balancer counters must stay pinned at tolerance 0: the
+# static ranks4 workload stays balance-silent (its bytes cannot drift)
+# and the skewed8 workload keeps its census traffic, rebalance count,
+# and peak imbalance in the committed baseline.
+echo "==> comm balance counters pinned in baseline"
+grep -q '"skewed8"' results/perf_baseline.json ||
+  { echo "missing skewed8 workload in results/perf_baseline.json"; exit 1; }
+for key in balance_bytes balance_msgs rebalances atom_imbalance; do
+  grep -q "\"$key\"" results/perf_baseline.json ||
+    { echo "missing $key in results/perf_baseline.json"; exit 1; }
+done
+
 echo "==> perf-smoke trace capture + metrics byte-gate"
 cargo run --release -p lkk-perf --bin perf-smoke -- \
   --trace results/trace_smoke.json \
@@ -74,6 +86,22 @@ cargo run --release -p lkk-perf --bin perf-smoke -- \
 
 echo "==> fault-injection suite (release, full matrix)"
 cargo test --release -q --test fault_injection -- --include-ignored
+
+# Load balancing must be physics-invisible: balanced vs static runs
+# bitwise identical at 2/4/8 ranks (LJ and SNAP), the skewed-lattice
+# peak-imbalance gate (static >= 2.0 -> balanced <= 1.15), and chaos
+# composed with rebalancing (see tests/balance_equivalence.rs).
+echo "==> balance-equivalence suite (release, bitwise + imbalance gate)"
+cargo test --release -q --test balance_equivalence
+
+# The committed metrics dump must show the balancer holding the skewed
+# workload under the acceptance gate.
+echo "==> skewed8 imbalance gauge under the 1.15 gate"
+grep -q '"skewed8/atom_imbalance"' results/metrics_baseline.json ||
+  { echo "missing skewed8/atom_imbalance gauge"; exit 1; }
+awk -F': *' '/"skewed8\/atom_imbalance"/ { if ($2 + 0 > 1.15) \
+  { print "skewed8 imbalance " $2 " above 1.15"; exit 1 } }' \
+  results/metrics_baseline.json
 
 # --- sanitizer lanes (advisory, need a nightly toolchain) --------------
 

@@ -6,3 +6,16 @@ pub use lkk_machine as machine;
 pub use lkk_reaxff as reaxff;
 pub use lkk_snap as snap;
 pub use lkk_trace as trace;
+
+/// One-stop import for examples and downstream users: the `lkk-core`
+/// prelude (atoms, lattices, pair styles, the [`core::sim::SimulationBuilder`]
+/// unified driver with its `CommSpec`/`RunSpec` surface) plus the
+/// commonly paired pieces from the sibling crates — the machine-level
+/// potentials, the cost-model architectures, and the trace collector.
+pub mod prelude {
+    pub use lkk_core::prelude::*;
+    pub use lkk_gpusim::GpuArch;
+    pub use lkk_reaxff::{PairReaxff, ReaxParams};
+    pub use lkk_snap::{PairSnap, SnapParams};
+    pub use lkk_trace::TraceCollector;
+}

@@ -10,8 +10,8 @@
 //! how many distinct peer ranks the grid collapses to (measured runs
 //! low on messages at small rank counts).
 
-use lammps_kk::core::prelude::*;
 use lammps_kk::machine::{scaling::presets, MeasuredComm};
+use lammps_kk::prelude::*;
 
 #[test]
 fn measured_halo_traffic_matches_the_analytic_model_band() {
@@ -25,21 +25,27 @@ fn measured_halo_traffic_matches_the_analytic_model_band() {
     let lat = Lattice::from_density(LatticeKind::Fcc, 0.8442);
     let mut atoms = AtomData::from_positions(&lat.positions(cells, cells, cells));
     create_velocities(&mut atoms, &Units::lj(), 1.44, 87287);
-    let spec = RankParallelSpec::new(&atoms, lat.domain(cells, cells, cells), steps);
+    let spec = RunSpec::new(&atoms, lat.domain(cells, cells, cells), steps);
 
     for ranks in [4usize, 8] {
-        let run = run_rank_parallel(&spec, ranks, |_, system| {
-            let pair = PairKokkos::with_options(
-                LjCut::single_type(1.0, 1.0, 2.5),
-                &Space::Serial,
-                PairKokkosOptions {
-                    force_half: Some(true),
-                    ..Default::default()
-                },
-            );
-            Simulation::new(system, Box::new(pair))
-        })
-        .expect("fault-free run failed");
+        let run = spec
+            .clone()
+            .comm(CommSpec::Brick {
+                ranks,
+                balance: None,
+            })
+            .run(|_, system| {
+                let pair = PairKokkos::with_options(
+                    LjCut::single_type(1.0, 1.0, 2.5),
+                    &Space::Serial,
+                    PairKokkosOptions {
+                        force_half: Some(true),
+                        ..Default::default()
+                    },
+                );
+                Simulation::new(system, Box::new(pair))
+            })
+            .expect("fault-free run failed");
         let s = run.comm_stats;
         let per_rank_step = ranks as f64 * steps as f64;
         let cmp = comm.compare_measured(&MeasuredComm {

@@ -40,9 +40,9 @@ fn lj_pair() -> PairKokkos<LjCut> {
     )
 }
 
-fn lj_spec(steps: u64) -> RankParallelSpec {
+fn lj_spec(steps: u64) -> RunSpec {
     let (atoms, domain) = lj_atoms(1.44);
-    let mut spec = RankParallelSpec::new(&atoms, domain, steps);
+    let mut spec = RunSpec::new(&atoms, domain, steps);
     // The pool-growth gate needs a warmup window that sizes the message
     // pools (including the fault-mode provisioning pass).
     spec.warmup_steps = 4;
@@ -56,13 +56,17 @@ fn lj_factory(_rank: usize, system: System) -> Simulation {
 /// Run `spec` fault-free at `nranks`, then once per seed with a
 /// recoverable fault schedule, asserting every faulted trajectory is
 /// bitwise identical and every seed actually injected faults.
-fn assert_seeds_bitwise_identical(spec: &RankParallelSpec, nranks: usize, seeds: &[u64]) {
-    let reference =
-        run_rank_parallel(spec, nranks, lj_factory).expect("fault-free reference failed");
+fn assert_seeds_bitwise_identical(spec: &RunSpec, nranks: usize, seeds: &[u64]) {
+    let spec = spec.clone().comm(CommSpec::Brick {
+        ranks: nranks,
+        balance: None,
+    });
+    let reference = spec.run(lj_factory).expect("fault-free reference failed");
     for &seed in seeds {
         let mut faulted_spec = spec.clone();
         faulted_spec.fault = Some(FaultConfig::recoverable(seed));
-        let faulted = run_rank_parallel(&faulted_spec, nranks, lj_factory)
+        let faulted = faulted_spec
+            .run(lj_factory)
             .unwrap_or_else(|f| panic!("P={nranks} seed {seed}: recoverable run aborted: {f}"));
         let violations = diff_runs(&reference, &faulted);
         assert!(
@@ -111,14 +115,18 @@ fn recoverable_seeds_reproduce_eam_bitwise() {
     let units = Units::metal();
     create_velocities(&mut atoms, &units, 600.0, 12345);
     let domain = lat.domain(3, 3, 3);
-    let mut spec = RankParallelSpec::new(&atoms, domain, steps);
+    let mut spec = RunSpec::new(&atoms, domain, steps);
     spec.units = units;
     spec.warmup_steps = 2;
 
     let factory = |_rank: usize, system: System| {
         Simulation::new(system, Box::new(PairEam::new(EamParams::default())))
     };
-    let reference = run_rank_parallel(&spec, 4, factory).expect("fault-free reference failed");
+    let spec = spec.comm(CommSpec::Brick {
+        ranks: 4,
+        balance: None,
+    });
+    let reference = spec.run(factory).expect("fault-free reference failed");
     assert!(
         reference.comm_stats.scalar_msgs > 0,
         "EAM reference exchanged no F' scalars"
@@ -126,7 +134,8 @@ fn recoverable_seeds_reproduce_eam_bitwise() {
     for seed in [5u64, 11] {
         let mut faulted_spec = spec.clone();
         faulted_spec.fault = Some(FaultConfig::recoverable(seed));
-        let faulted = run_rank_parallel(&faulted_spec, 4, factory)
+        let faulted = faulted_spec
+            .run(factory)
             .unwrap_or_else(|f| panic!("EAM seed {seed}: recoverable run aborted: {f}"));
         let violations = diff_runs(&reference, &faulted);
         assert!(violations.is_empty(), "EAM seed {seed}: {violations:?}");
@@ -143,7 +152,13 @@ fn message_pool_stays_steady_under_faults() {
     let mut spec = lj_spec(40);
     spec.warmup_steps = 20;
     spec.fault = Some(FaultConfig::recoverable(0xFA57));
-    let run = run_rank_parallel(&spec, 4, lj_factory).expect("recoverable run aborted");
+    let run = spec
+        .comm(CommSpec::Brick {
+            ranks: 4,
+            balance: None,
+        })
+        .run(lj_factory)
+        .expect("recoverable run aborted");
     assert!(run.comm_grow > 0, "pools never sized themselves");
     assert_eq!(
         run.comm_grow_after_warmup, 0,
@@ -160,7 +175,13 @@ fn message_pool_stays_steady_under_faults() {
 fn fault_stats_expose_every_counter() {
     let mut spec = lj_spec(20);
     spec.fault = Some(FaultConfig::recoverable(2));
-    let run = run_rank_parallel(&spec, 4, lj_factory).expect("recoverable run aborted");
+    let run = spec
+        .comm(CommSpec::Brick {
+            ranks: 4,
+            balance: None,
+        })
+        .run(lj_factory)
+        .expect("recoverable run aborted");
     let stats = run.fault_stats;
     let entries = stats.entries();
     for name in [
@@ -205,8 +226,12 @@ fn unrecoverable_dead_edge_fails_within_budget_on_all_ranks() {
 
     let (tx, rx) = mpsc::channel();
     let started = Instant::now();
+    let spec = spec.comm(CommSpec::Brick {
+        ranks: 4,
+        balance: None,
+    });
     std::thread::spawn(move || {
-        let _ = tx.send(run_rank_parallel(&spec, 4, lj_factory));
+        let _ = tx.send(spec.run(lj_factory));
     });
     let result = rx
         .recv_timeout(Duration::from_secs(20))
@@ -282,7 +307,12 @@ fn fault_counters_reach_the_metrics_registry() {
     let id = profile::register_subscriber(collector.clone());
     let mut spec = lj_spec(12);
     spec.fault = Some(FaultConfig::recoverable(1));
-    let run = run_rank_parallel(&spec, 4, lj_factory);
+    let run = spec
+        .comm(CommSpec::Brick {
+            ranks: 4,
+            balance: None,
+        })
+        .run(lj_factory);
     profile::unregister_subscriber(id);
     let run = run.expect("recoverable run aborted");
     assert!(run.fault_stats.injected() > 0);

@@ -117,7 +117,8 @@ fn reaxff_script_equilibrates_charges() {
 #[test]
 fn simulated_mpi_decomposition_matches_reference() {
     use lammps_kk::core::atom::AtomData;
-    use lammps_kk::core::comm::brick::{run_rank_parallel, RankParallelSpec};
+    use lammps_kk::core::comm::brick::RunSpec;
+    use lammps_kk::core::comm::CommSpec;
     use lammps_kk::core::lattice::{Lattice, LatticeKind};
     use lammps_kk::core::pair::lj::LjCut;
     use lammps_kk::core::pair::{PairKokkos, PairKokkosOptions};
@@ -142,9 +143,13 @@ fn simulated_mpi_decomposition_matches_reference() {
         })
         .collect();
     let atoms = AtomData::from_positions(&positions);
-    let spec = RankParallelSpec::new(&atoms, lat.domain(n, n, n), 8);
+    let spec = RunSpec::new(&atoms, lat.domain(n, n, n), 8);
     let run_at = |nranks: usize| {
-        run_rank_parallel(&spec, nranks, |_, system| {
+        let spec = spec.clone().comm(CommSpec::Brick {
+            ranks: nranks,
+            balance: None,
+        });
+        spec.run(|_, system| {
             let pair = PairKokkos::with_options(
                 LjCut::single_type(1.0, 1.0, 2.5),
                 &Space::Serial,

@@ -122,7 +122,7 @@ fn lj_pair() -> PairKokkos<LjCut> {
 fn lj_matches_single_rank_at_2_4_8_ranks() {
     let steps = 20;
     let (atoms, domain) = lj_atoms(1.44);
-    let spec = RankParallelSpec::new(&atoms, domain, steps);
+    let spec = RunSpec::new(&atoms, domain, steps);
     let reference = single_rank_reference(
         SimulationBuilder::new(atoms, domain)
             .pair(lj_pair())
@@ -130,10 +130,14 @@ fn lj_matches_single_rank_at_2_4_8_ranks() {
         steps,
     );
     for nranks in [2usize, 4, 8] {
-        let run = run_rank_parallel(&spec, nranks, |_, system| {
-            Simulation::new(system, Box::new(lj_pair()))
-        })
-        .expect("fault-free run failed");
+        let run = spec
+            .clone()
+            .comm(CommSpec::Brick {
+                ranks: nranks,
+                balance: None,
+            })
+            .run(|_, system| Simulation::new(system, Box::new(lj_pair())))
+            .expect("fault-free run failed");
         assert_eq!(run.nranks, nranks);
         compare(&run, &reference, nranks, TOL);
         // Cross-rank traffic actually flowed.
@@ -159,7 +163,7 @@ fn eam_matches_single_rank_at_2_4_8_ranks() {
     create_velocities(&mut atoms, &units, 600.0, 12345);
     let domain = lat.domain(3, 3, 3);
 
-    let mut spec = RankParallelSpec::new(&atoms, domain, steps);
+    let mut spec = RunSpec::new(&atoms, domain, steps);
     spec.units = units;
     let reference = single_rank_reference(
         SimulationBuilder::new(atoms, domain)
@@ -169,10 +173,14 @@ fn eam_matches_single_rank_at_2_4_8_ranks() {
         steps,
     );
     for nranks in [2usize, 4, 8] {
-        let run = run_rank_parallel(&spec, nranks, |_, system| {
-            Simulation::new(system, Box::new(PairEam::new(params)))
-        })
-        .expect("fault-free run failed");
+        let run = spec
+            .clone()
+            .comm(CommSpec::Brick {
+                ranks: nranks,
+                balance: None,
+            })
+            .run(|_, system| Simulation::new(system, Box::new(PairEam::new(params))))
+            .expect("fault-free run failed");
         compare(&run, &reference, nranks, TOL);
         assert!(
             run.comm_stats.scalar_msgs > 0,
@@ -189,7 +197,7 @@ fn migration_stress_crosses_brick_corners() {
     // rebuild churn allows a slightly looser tolerance.
     let steps = 60;
     let (atoms, domain) = lj_atoms(3.0);
-    let mut spec = RankParallelSpec::new(&atoms, domain, steps);
+    let mut spec = RunSpec::new(&atoms, domain, steps);
     spec.warmup_steps = 0;
     let reference = single_rank_reference(
         SimulationBuilder::new(atoms, domain)
@@ -198,12 +206,17 @@ fn migration_stress_crosses_brick_corners() {
             .build(),
         steps,
     );
-    let run = run_rank_parallel(&spec, 8, |_, system| {
-        let mut sim = Simulation::new(system, Box::new(lj_pair()));
-        sim.settings.skin = 0.1;
-        sim
-    })
-    .expect("fault-free run failed");
+    let run = spec
+        .comm(CommSpec::Brick {
+            ranks: 8,
+            balance: None,
+        })
+        .run(|_, system| {
+            let mut sim = Simulation::new(system, Box::new(lj_pair()));
+            sim.settings.skin = 0.1;
+            sim
+        })
+        .expect("fault-free run failed");
     compare(&run, &reference, 8, 1e-9);
     assert!(
         run.comm_stats.migrate_msgs > 0,
@@ -221,12 +234,15 @@ fn steady_state_exchanges_do_not_grow_pools() {
     // layer: after a warmup that sizes the message pools, further
     // stepping (including rebuilds and migrations) reuses buffers.
     let (atoms, domain) = lj_atoms(1.44);
-    let mut spec = RankParallelSpec::new(&atoms, domain, 40);
+    let mut spec = RunSpec::new(&atoms, domain, 40);
     spec.warmup_steps = 20;
-    let run = run_rank_parallel(&spec, 4, |_, system| {
-        Simulation::new(system, Box::new(lj_pair()))
-    })
-    .expect("fault-free run failed");
+    let run = spec
+        .comm(CommSpec::Brick {
+            ranks: 4,
+            balance: None,
+        })
+        .run(|_, system| Simulation::new(system, Box::new(lj_pair())))
+        .expect("fault-free run failed");
     assert!(run.comm_grow > 0, "pools never sized themselves");
     assert_eq!(
         run.comm_grow_after_warmup, 0,

@@ -226,7 +226,6 @@ fn assert_balanced_lanes(chrome_json: &str) -> Vec<String> {
 /// — the fault-path audit of the trace layer.
 #[test]
 fn comm_abort_leaves_balanced_spans_on_every_rank_lane() {
-    use lkk_core::comm::brick::run_rank_parallel;
     use lkk_core::prelude::FaultConfig;
     use lkk_kokkos::profile;
     use std::sync::Arc;
@@ -239,7 +238,7 @@ fn comm_abort_leaves_balanced_spans_on_every_rank_lane() {
         let ranks = workloads::ranks4();
         let mut spec = ranks.spec.clone();
         spec.fault = Some(FaultConfig::unrecoverable(7, 0, 1, 0));
-        let result = run_rank_parallel(&spec, ranks.nranks, ranks.factory);
+        let result = spec.run(ranks.factory);
         profile::unregister_subscriber(id);
         assert!(result.is_err(), "run with a dead edge completed");
         (
@@ -273,7 +272,6 @@ fn comm_abort_leaves_balanced_spans_on_every_rank_lane() {
 /// open spans.
 #[test]
 fn rank_panic_leaves_balanced_spans_on_surviving_lanes() {
-    use lkk_core::comm::brick::run_rank_parallel;
     use lkk_core::prelude::CommError;
     use lkk_kokkos::profile;
     use std::sync::Arc;
@@ -288,7 +286,7 @@ fn rank_panic_leaves_balanced_spans_on_surviving_lanes() {
         // Quiet the expected panic's default backtrace spew.
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let result = run_rank_parallel(&ranks.spec, ranks.nranks, move |rank, system| {
+        let result = ranks.spec.run(move |rank, system| {
             if rank == 2 {
                 panic!("injected test panic");
             }
