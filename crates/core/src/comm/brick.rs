@@ -43,7 +43,7 @@
 
 use crate::atom::{AtomData, AtomRecord, Mask};
 use crate::comm::balance::{self, BalancePolicy};
-use crate::comm::fault::{crc32_words, CommError, FaultKind, FaultPlan, FaultStats};
+use crate::comm::fault::{crc32_words, flow_id, CommError, FaultKind, FaultPlan, FaultStats};
 use crate::comm::{Comm, CommSpec, CommStats, FaultConfig};
 use crate::compute;
 use crate::decomp::BrickDecomp;
@@ -648,8 +648,16 @@ impl BrickComm {
     /// `grow_count` a pure function of the seed (and zero after warmup).
     fn dispatch(&mut self, peer: usize, mut buf: Vec<u64>) -> Result<(), CommError> {
         let seq = self.send_seq[peer];
+        let tag = buf[0];
         debug_assert_eq!(buf[1], seq, "envelope packed for a different round");
         self.send_seq[peer] = seq + 1;
+        // Flow origin: the envelope is packed and about to leave. One
+        // begin per (edge, tag, seq) — retransmits and duplicates are
+        // re-deliveries of this same flow, not new ones. The quiesce
+        // handshake rides the control plane and is not traced.
+        if tag != TAG_QUIESCE && profile::has_subscribers() {
+            profile::note_flow_begin(tag_name(tag), flow_id(self.rank, peer, tag, seq));
+        }
         let Some(plan) = self.plan.clone() else {
             return self.send_to(peer, buf);
         };
@@ -672,7 +680,6 @@ impl BrickComm {
                 i += 1;
             }
         }
-        let tag = buf[0];
         buf[2] = crc32_words(&buf[HDR..]) as u64;
         if tag == TAG_QUIESCE {
             // Shutdown handshake: never faulted (see TAG_QUIESCE docs).
@@ -801,6 +808,12 @@ impl BrickComm {
             debug_assert_eq!(buf[0], tag, "exchange sequence desynced");
             debug_assert_eq!(buf[1], expected, "envelope sequence desynced");
             self.recv_seq[peer] = expected + 1;
+            // Flow terminus: the envelope identity is recomputed from
+            // the same (edge, tag, seq) the sender stamped, so the ids
+            // match without extra wire bytes.
+            if tag != TAG_QUIESCE && profile::has_subscribers() {
+                profile::note_flow_end(tag_name(tag), flow_id(peer, self.rank, tag, expected));
+            }
             return Ok(buf);
         }
         self.recv_resilient(peer, tag)
@@ -953,6 +966,13 @@ impl BrickComm {
             } else {
                 debug_assert_eq!(buf[0], tag, "exchange sequence desynced");
                 self.recv_seq[peer] = expected + 1;
+                // Acceptance is the flow terminus even when the payload
+                // arrived via retransmit: stale/corrupt copies above
+                // were discarded without ending the flow, so exactly
+                // one end fires per id.
+                if tag != TAG_QUIESCE && profile::has_subscribers() {
+                    profile::note_flow_end(tag_name(tag), flow_id(peer, self.rank, tag, expected));
+                }
                 return Ok(buf);
             }
         }
@@ -1754,10 +1774,6 @@ pub struct RunSpec {
     pub comm: CommSpec,
 }
 
-/// Former name of [`RunSpec`], before the unified driver API.
-#[deprecated(note = "renamed to RunSpec (unified driver API)")]
-pub type RankParallelSpec = RunSpec;
-
 impl RunSpec {
     /// Capture `atoms` as the initial condition (LJ units, serial
     /// space, no warmup, single-rank comm by default — set the public
@@ -1922,29 +1938,6 @@ struct RankOutcome {
     nlocal: usize,
     nlocal_peak: usize,
     fstats: FaultStats,
-}
-
-/// Former free-function multi-rank driver. The unified API routes both
-/// layouts through [`RunSpec::run`]:
-///
-/// ```ignore
-/// spec.comm(CommSpec::Brick { ranks: 8, balance: None }).run(factory)
-/// ```
-#[deprecated(note = "use RunSpec::run with CommSpec::Brick { .. } (unified driver API)")]
-pub fn run_rank_parallel<F>(
-    spec: &RunSpec,
-    nranks: usize,
-    factory: F,
-) -> Result<MultiRankRun, CommFailure>
-where
-    F: Fn(usize, System) -> Simulation + Sync,
-{
-    spec.clone()
-        .comm(CommSpec::Brick {
-            ranks: nranks,
-            balance: None,
-        })
-        .run(factory)
 }
 
 impl RunSpec {

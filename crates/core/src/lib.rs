@@ -56,8 +56,6 @@ pub use style::StyleRegistry;
 /// reaching into deep module paths.
 pub mod prelude {
     pub use crate::atom::{AtomData, AtomRecord, Mask};
-    #[allow(deprecated)]
-    pub use crate::comm::brick::{run_rank_parallel, RankParallelSpec};
     pub use crate::comm::brick::{BrickComm, CommFailure, MultiRankRun, RankAtomState, RunSpec};
     pub use crate::comm::{
         BalancePolicy, BalanceWeight, Comm, CommError, CommSpec, CommStats, FaultConfig, FaultPlan,

@@ -80,6 +80,23 @@ pub trait ProfileSubscriber: Send + Sync {
     fn counter(&self, name: &str, region: &str, value: f64) {
         let _ = (name, region, value);
     }
+
+    /// A cross-lane causal flow starts here: this thread just emitted
+    /// the message identified by `id` (see
+    /// `lkk_core::comm::fault::flow_id`), named by its phase tag.
+    /// Timeline consumers render it as a Perfetto flow-`s` event bound
+    /// to the enclosing span; aggregating consumers ignore it —
+    /// [`StatsAccumulator`] deliberately does not override these, so
+    /// the deterministic counter baseline is flow-blind.
+    fn flow_begin(&self, name: &str, region: &str, id: u64) {
+        let _ = (name, region, id);
+    }
+
+    /// The flow `id` terminates here: this thread just accepted the
+    /// message. The matching flow-`f` event on the receiver lane.
+    fn flow_end(&self, name: &str, region: &str, id: u64) {
+        let _ = (name, region, id);
+    }
 }
 
 /// Totals for one transfer direction.
@@ -286,5 +303,20 @@ mod tests {
         n.transfer(TransferDir::DeviceToHost, "", 1);
         n.instant("evt", "", 0.0);
         n.counter("metric", "", 1.0);
+        n.flow_begin("forward", "", 42);
+        n.flow_end("forward", "", 42);
+    }
+
+    #[test]
+    fn accumulator_ignores_flow_events() {
+        // The counter baseline must stay flow-blind: attaching flows
+        // to a StatsAccumulator changes nothing it snapshots.
+        let acc = StatsAccumulator::new();
+        acc.flow_begin("forward", "rank0/step", 7);
+        acc.flow_end("forward", "rank1/step", 7);
+        let snap = acc.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.regions.is_empty());
+        assert!(snap.kernels.is_empty());
     }
 }

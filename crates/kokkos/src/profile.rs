@@ -238,6 +238,30 @@ pub fn note_counter(name: &str, value: f64) {
     for_each_subscriber(|sub| sub.counter(name, &region, value));
 }
 
+/// Fire a cross-lane flow *begin* to subscribers: the calling thread
+/// just emitted the message identified by `id` (see
+/// `lkk_core::comm::fault::flow_id`). `name` is the phase tag
+/// (`"forward"`, `"border"`, ...). Tagged with the calling thread's
+/// region path so timeline consumers can bind the flow to the
+/// enclosing span.
+pub fn note_flow_begin(name: &str, id: u64) {
+    if SUBSCRIBER_COUNT.load(Ordering::Acquire) == 0 {
+        return;
+    }
+    let region = current_region();
+    for_each_subscriber(|sub| sub.flow_begin(name, &region, id));
+}
+
+/// Fire the matching cross-lane flow *end*: the calling thread just
+/// accepted the message identified by `id`.
+pub fn note_flow_end(name: &str, id: u64) {
+    if SUBSCRIBER_COUNT.load(Ordering::Acquire) == 0 {
+        return;
+    }
+    let region = current_region();
+    for_each_subscriber(|sub| sub.flow_end(name, &region, id));
+}
+
 /// A log of kernel launches on a simulated device.
 #[derive(Debug, Default)]
 pub struct KernelLog {
@@ -522,6 +546,42 @@ mod tests {
         assert!(events.contains(&("i".into(), "tick".into(), "evt-test".into(), 7.0)));
         assert!(events.contains(&("c".into(), "bytes".into(), "evt-test".into(), 128.0)));
         assert!(!events.iter().any(|e| e.3 == 8.0));
+    }
+
+    #[test]
+    fn flows_reach_subscribers_with_region() {
+        use std::sync::Mutex as StdMutex;
+        #[derive(Default)]
+        struct Sink {
+            flows: StdMutex<Vec<(String, String, String, u64)>>,
+        }
+        impl ProfileSubscriber for Sink {
+            fn flow_begin(&self, name: &str, region: &str, id: u64) {
+                self.flows
+                    .lock()
+                    .unwrap()
+                    .push(("s".into(), name.into(), region.into(), id));
+            }
+            fn flow_end(&self, name: &str, region: &str, id: u64) {
+                self.flows
+                    .lock()
+                    .unwrap()
+                    .push(("f".into(), name.into(), region.into(), id));
+            }
+        }
+        let sink = Arc::new(Sink::default());
+        let id = register_subscriber(sink.clone());
+        {
+            let _r = begin_region("flow-test");
+            note_flow_begin("forward", 0xabcd);
+            note_flow_end("forward", 0xabcd);
+        }
+        unregister_subscriber(id);
+        note_flow_begin("forward", 0xffff); // after detach: unseen
+        let flows = sink.flows.lock().unwrap();
+        assert!(flows.contains(&("s".into(), "forward".into(), "flow-test".into(), 0xabcd)));
+        assert!(flows.contains(&("f".into(), "forward".into(), "flow-test".into(), 0xabcd)));
+        assert!(!flows.iter().any(|f| f.3 == 0xffff));
     }
 
     #[test]

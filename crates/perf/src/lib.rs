@@ -26,11 +26,16 @@
 //! - [`faults`] — `--faults` mode: run `ranks4` under seeded fault
 //!   injection and assert the trajectory is bitwise identical to the
 //!   fault-free run (the chaos CI gate; see `docs/robustness.md`).
+//! - [`runreport`] — `--report` mode: capture the rank-parallel
+//!   workloads under fresh trace collectors and render the per-run
+//!   critical-path attribution report (gated against
+//!   `results/run_report.json`).
 
 pub mod diff;
 pub mod faults;
 pub mod json;
 pub mod report;
+pub mod runreport;
 pub mod timing;
 pub mod tracing;
 pub mod workloads;

@@ -13,6 +13,9 @@
 //! perf-smoke --metrics metrics.json            # canonical metrics dump
 //! perf-smoke --check-metrics results/metrics_baseline.json
 //! perf-smoke --write-metrics-baseline          # refresh results/metrics_baseline.json
+//! perf-smoke --report report.json              # critical-path run report
+//! perf-smoke --check-report results/run_report.json
+//! perf-smoke --write-report-baseline           # refresh results/run_report.json
 //! perf-smoke --faults 1,2,3                    # chaos sweep: faulted ranks4 must
 //!                                              # match the fault-free run bitwise
 //! ```
@@ -27,6 +30,13 @@
 //! The metrics dump is deterministic and is compared *byte-for-byte*
 //! against the committed baseline.
 //!
+//! `--report`/`--check-report` run only the rank-parallel workloads,
+//! each under a fresh collector, and render the critical-path
+//! attribution document (see `docs/observability.md`). Like the
+//! metrics dump it is byte-stable in deterministic mode and gated
+//! byte-for-byte against `results/run_report.json`; the human-readable
+//! attribution table prints to stderr.
+//!
 //! Exit codes: 0 = ok, 1 = counter/metrics drift vs baseline, 2 =
 //! usage or I/O error.
 
@@ -38,6 +48,7 @@ const DEFAULT_OUT: &str = "results/perf_smoke.json";
 const DEFAULT_BASELINE: &str = "results/perf_baseline.json";
 const DEFAULT_TIME_OUT: &str = "results/BENCH_hotpath.json";
 const DEFAULT_METRICS_BASELINE: &str = "results/metrics_baseline.json";
+const DEFAULT_REPORT_BASELINE: &str = "results/run_report.json";
 const DEFAULT_FAULTS_OUT: &str = "results/fault_report.json";
 
 struct Args {
@@ -52,11 +63,14 @@ struct Args {
     metrics: Option<PathBuf>,
     check_metrics: Option<PathBuf>,
     write_metrics_baseline: bool,
+    report: Option<PathBuf>,
+    check_report: Option<PathBuf>,
+    write_report_baseline: bool,
     faults: Option<Vec<u64>>,
 }
 
 fn usage() -> &'static str {
-    "usage: perf-smoke [--out PATH] [--check BASELINE] [--tolerance T] [--write-baseline]\n       perf-smoke --time [--reps N] [--scale S] [--out PATH]\n       perf-smoke [--trace PATH] [--metrics PATH] [--check-metrics BASELINE] [--write-metrics-baseline]\n       perf-smoke --faults SEED[,SEED...] [--out PATH]"
+    "usage: perf-smoke [--out PATH] [--check BASELINE] [--tolerance T] [--write-baseline]\n       perf-smoke --time [--reps N] [--scale S] [--out PATH]\n       perf-smoke [--trace PATH] [--metrics PATH] [--check-metrics BASELINE] [--write-metrics-baseline]\n       perf-smoke [--report PATH] [--check-report BASELINE] [--write-report-baseline]\n       perf-smoke --faults SEED[,SEED...] [--out PATH]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +86,9 @@ fn parse_args() -> Result<Args, String> {
         metrics: None,
         check_metrics: None,
         write_metrics_baseline: false,
+        report: None,
+        check_report: None,
+        write_report_baseline: false,
         faults: None,
     };
     let mut out_set = false;
@@ -126,6 +143,15 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--write-metrics-baseline" => args.write_metrics_baseline = true,
+            "--report" => {
+                args.report = Some(PathBuf::from(it.next().ok_or("--report needs a path")?));
+            }
+            "--check-report" => {
+                args.check_report = Some(PathBuf::from(
+                    it.next().ok_or("--check-report needs a path")?,
+                ));
+            }
+            "--write-report-baseline" => args.write_report_baseline = true,
             "--faults" => {
                 let list = it.next().ok_or("--faults needs SEED[,SEED...]")?;
                 let seeds = list
@@ -210,6 +236,63 @@ fn main() -> ExitCode {
             "perf-smoke: OK — all {} seed(s) bitwise identical",
             outcomes.len()
         );
+        return ExitCode::SUCCESS;
+    }
+
+    let report_mode =
+        args.report.is_some() || args.check_report.is_some() || args.write_report_baseline;
+    if report_mode {
+        eprintln!("perf-smoke: critical-path report — ranks4 + skewed8 (forced sequential)...");
+        let cap = lkk_perf::runreport::capture_report();
+        eprint!("{}", cap.text);
+        if let Some(path) = &args.report {
+            if let Err(msg) = write_report(path, &cap.json) {
+                eprintln!("perf-smoke: {msg}");
+                return ExitCode::from(2);
+            }
+            eprintln!("perf-smoke: wrote {}", path.display());
+        }
+        if args.write_report_baseline {
+            let path = Path::new(DEFAULT_REPORT_BASELINE);
+            if let Err(msg) = write_report(path, &cap.json) {
+                eprintln!("perf-smoke: {msg}");
+                return ExitCode::from(2);
+            }
+            eprintln!("perf-smoke: wrote {}", path.display());
+        }
+        if let Some(baseline_path) = &args.check_report {
+            let baseline_text = match std::fs::read_to_string(baseline_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("perf-smoke: reading {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            if baseline_text == cap.json {
+                eprintln!(
+                    "perf-smoke: OK — run report byte-identical to {}",
+                    baseline_path.display()
+                );
+            } else {
+                eprintln!(
+                    "perf-smoke: FAIL — run report drifted vs {} (byte comparison):",
+                    baseline_path.display()
+                );
+                match (json::parse(&baseline_text), json::parse(&cap.json)) {
+                    (Ok(base), Ok(cur)) => {
+                        for d in compare(&base, &cur, 0.0) {
+                            eprintln!("  {d}");
+                        }
+                    }
+                    _ => eprintln!("  (one side is not parseable JSON)"),
+                }
+                eprintln!(
+                    "perf-smoke: if the change is intentional, refresh with \
+                     `cargo run --release -p lkk-perf --bin perf-smoke -- --write-report-baseline`"
+                );
+                return ExitCode::from(1);
+            }
+        }
         return ExitCode::SUCCESS;
     }
 

@@ -1,0 +1,232 @@
+//! `--report` mode: run the rank-parallel smoke workloads under an
+//! `lkk-trace` collector and distill each run into a critical-path
+//! attribution report.
+//!
+//! Unlike [`crate::tracing`], which captures the whole suite on one
+//! collector for a single Perfetto timeline, this mode gives every
+//! rank-parallel workload a **fresh** deterministic collector: the
+//! analyzer matches `step` spans by index per lane *name*, and both
+//! workloads spawn lanes named `rank0`.., so sharing a collector would
+//! splice two unrelated timelines into one fictitious run.
+//!
+//! Two artifacts per capture:
+//!
+//! * a canonical JSON document (`results/run_report.json` is the
+//!   committed baseline) embedding each workload's
+//!   [`lkk_trace::CriticalPathReport`] — byte-stable across runs in
+//!   deterministic mode, so CI gates it with a byte comparison exactly
+//!   like the counter and metrics baselines;
+//! * a human-readable text rendering (attribution table per rank, flow
+//!   counts by phase, the top critical-path spans, and the
+//!   `owned_atoms` histogram quantiles) printed to stderr — advisory,
+//!   never gated.
+
+use crate::json::{self, Value};
+use crate::report::with_exclusive_run;
+use crate::workloads;
+use lkk_gpusim::GpuArch;
+use lkk_kokkos::profile;
+use lkk_trace::{CriticalPathReport, MetricsRegistry, TraceCollector};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Schema version of the run-report document.
+const SCHEMA_VERSION: f64 = 1.0;
+
+/// The two artifacts of one `--report` capture.
+pub struct RunReport {
+    /// Canonical JSON — diffed byte-for-byte against
+    /// `results/run_report.json` in CI.
+    pub json: String,
+    /// Human-readable attribution summary for the terminal.
+    pub text: String,
+}
+
+/// Capture both rank-parallel workloads (`ranks4`, `skewed8`), each
+/// under its own deterministic collector, and render the combined
+/// report document.
+pub fn capture_report() -> RunReport {
+    let mut doc = Value::obj();
+    doc.set("schema", Value::Num(SCHEMA_VERSION));
+    let mut wl_obj = Value::obj();
+    let mut text = String::new();
+
+    for ranks in workloads::all_ranks() {
+        let name = ranks.name;
+        let collector = Arc::new(TraceCollector::deterministic(GpuArch::h100()));
+        let metrics = collector.metrics();
+        let report = with_exclusive_run(|| {
+            let id = profile::register_subscriber(collector.clone());
+            let run = ranks
+                .spec
+                .run(ranks.factory)
+                .expect("fault-free rank-parallel run failed");
+            profile::unregister_subscriber(id);
+            for &owned in &run.owned_atoms {
+                metrics.observe(&format!("{name}/owned_atoms"), owned as f64);
+            }
+            collector.critical_path()
+        });
+        render_text(&mut text, name, &report, &metrics);
+        let parsed = json::parse(&report.to_canonical_json())
+            .expect("critical-path canonical JSON must parse");
+        wl_obj.set(name, parsed);
+    }
+
+    doc.set("workloads", wl_obj);
+    RunReport {
+        json: doc.to_pretty(),
+        text,
+    }
+}
+
+/// Shortest-round-trip rendering right-padded into a fixed-width
+/// column, matching the canonical JSON number format.
+fn col(v: f64, width: usize) -> String {
+    format!("{:>width$}", format!("{v}"))
+}
+
+fn render_text(
+    out: &mut String,
+    name: &str,
+    report: &CriticalPathReport,
+    metrics: &MetricsRegistry,
+) {
+    let _ = writeln!(out, "== {name} ==");
+    let pct = if report.total_time > 0.0 {
+        100.0 * report.critical_time / report.total_time
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "  {} lanes, {} steps, clock {}; total {} {}, critical path {} ({pct:.1}%)",
+        report.lanes.len(),
+        report.nsteps,
+        report.clock,
+        report.total_time,
+        report.clock,
+        report.critical_time,
+    );
+    let tags: Vec<String> = report
+        .flows_by_tag
+        .iter()
+        .map(|(tag, n)| format!("{tag} {n}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "  flows: {} complete, {} dangling ({})",
+        report.flows_complete,
+        report.flows_dangling,
+        tags.join(", "),
+    );
+    let _ = writeln!(
+        out,
+        "  {:<8}{:>10}{:>10}{:>11}{:>9}{:>8}{:>8}{:>10}",
+        "rank", "compute", "pack", "wire_wait", "unpack", "retry", "slack", "total"
+    );
+    for r in &report.ranks {
+        let _ = writeln!(
+            out,
+            "  {:<8}{}{}{}{}{}{}{}",
+            r.lane,
+            col(r.compute, 10),
+            col(r.pack, 10),
+            col(r.wire_wait, 11),
+            col(r.unpack, 9),
+            col(r.retry, 8),
+            col(r.slack, 8),
+            col(r.total(), 10),
+        );
+    }
+    let _ = writeln!(out, "  top critical-path spans:");
+    for (i, s) in report.top_spans(5).iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {}. {} step {:>2} {:<24} {:<9} {}",
+            i + 1,
+            s.lane,
+            s.step,
+            s.name,
+            s.bucket.name(),
+            s.duration,
+        );
+    }
+    if let Some(h) = metrics.histogram(&format!("{name}/owned_atoms")) {
+        let _ = writeln!(
+            out,
+            "  owned_atoms p50/p95/p99: {} / {} / {}",
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The report document must be byte-stable, cover both rank
+    /// workloads, and keep every attribution row summing to the run
+    /// total (the analyzer's exactness contract, re-checked here at the
+    /// harness level).
+    #[test]
+    fn report_is_stable_and_exact() {
+        let a = capture_report();
+        let b = capture_report();
+        assert_eq!(a.json, b.json, "run report not byte-stable");
+
+        let doc = json::parse(&a.json).unwrap();
+        let wls = doc.get("workloads").unwrap();
+        for wl in ["ranks4", "skewed8"] {
+            let r = wls.get(wl).unwrap_or_else(|| panic!("missing {wl}"));
+            assert_eq!(r.get("clock").unwrap(), &Value::Str("ticks".into()));
+            let total = r.get("total_time").and_then(Value::as_f64).unwrap();
+            assert!(total > 0.0, "{wl}: empty run");
+            // No `critical <= total` bound: per-lane tick clocks are
+            // unaligned, so a cross-lane path can sum to more than the
+            // slowest single lane (see the note on
+            // `CriticalPathReport::critical_time`).
+            let critical = r.get("critical_time").and_then(Value::as_f64).unwrap();
+            assert!(critical > 0.0, "{wl}: empty critical path");
+            let flows = r.get("flows").unwrap();
+            assert!(flows.get("complete").and_then(Value::as_f64).unwrap() > 0.0);
+            assert_eq!(flows.get("dangling").and_then(Value::as_f64).unwrap(), 0.0);
+            let Value::Obj(ranks) = r.get("ranks").unwrap() else {
+                panic!("{wl}: ranks not an object");
+            };
+            for (lane, row) in ranks {
+                let sum: f64 = ["compute", "pack", "wire_wait", "unpack", "retry", "slack"]
+                    .iter()
+                    .map(|k| row.get(k).and_then(Value::as_f64).unwrap())
+                    .sum();
+                assert_eq!(
+                    sum,
+                    row.get("total").and_then(Value::as_f64).unwrap(),
+                    "{wl}/{lane}: buckets do not sum to total"
+                );
+                assert_eq!(
+                    row.get("total").and_then(Value::as_f64).unwrap(),
+                    total,
+                    "{wl}/{lane}: rank total != run total"
+                );
+                assert_eq!(
+                    row.get("retry").and_then(Value::as_f64).unwrap(),
+                    0.0,
+                    "{wl}/{lane}: retry time in a fault-free run"
+                );
+            }
+        }
+
+        // The text rendering mentions each workload and the table.
+        for needle in [
+            "== ranks4 ==",
+            "== skewed8 ==",
+            "wire_wait",
+            "owned_atoms p50/p95/p99",
+        ] {
+            assert!(a.text.contains(needle), "report text missing {needle:?}");
+        }
+    }
+}

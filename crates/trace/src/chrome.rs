@@ -17,15 +17,45 @@
 //! get synthetic `E`s at the lane's final timestamp), so the schema
 //! check in `tests/trace_schema.rs` can require balance uncondition-
 //! ally.
+//!
+//! Cross-lane message flows are rendered as Perfetto flow events: a
+//! `ph: "s"` on the sender lane bound to the enclosing span and the
+//! matching `ph: "f"` (with `bp: "e"`) on the receiver lane, sharing a
+//! `cat`/`id` pair. A pre-pass scans every lane and only ids with
+//! exactly one recorded begin *and* one recorded end are emitted — an
+//! envelope lost to a dead edge leaves a dangling begin, which is
+//! dropped so the exported `s`/`f` pairs stay balanced unconditionally
+//! too.
 
 use crate::collector::{DeviceEvent, Event, EventKind, TraceCollector, TraceMode};
 use crate::{push_json_num, push_json_string};
+use std::collections::{BTreeMap, BTreeSet};
 
 impl TraceCollector {
     /// Render the collected timeline as Chrome `trace_event` JSON.
     pub fn export_chrome(&self) -> String {
         let mode = self.mode();
         let lanes = self.sorted_lanes();
+
+        // Flow pre-pass: an id is renderable only when the collector saw
+        // exactly one begin and one end for it (anything else is a
+        // truncated or torn flow; emitting it would unbalance the pairs).
+        let mut flow_counts: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for lane in &lanes {
+            let d = lane.data.lock().unwrap();
+            for ev in &d.events {
+                match &ev.kind {
+                    EventKind::FlowBegin { id, .. } => flow_counts.entry(*id).or_default().0 += 1,
+                    EventKind::FlowEnd { id, .. } => flow_counts.entry(*id).or_default().1 += 1,
+                    _ => {}
+                }
+            }
+        }
+        let complete_flows: BTreeSet<u64> = flow_counts
+            .iter()
+            .filter(|(_, counts)| **counts == (1, 1))
+            .map(|(id, _)| *id)
+            .collect();
 
         let mut out = String::with_capacity(1 << 16);
         out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {");
@@ -65,7 +95,7 @@ impl TraceCollector {
         for (tid, lane) in lanes.iter().enumerate() {
             let d = lane.data.lock().unwrap();
             emit(thread_meta(0, tid, &d.name), &mut out);
-            for line in host_events(&d.events, mode, tid) {
+            for line in host_events(&d.events, mode, tid, &complete_flows) {
                 emit(line, &mut out);
             }
             if !d.device.is_empty() {
@@ -90,8 +120,14 @@ fn ts_of(ev: &Event, mode: TraceMode) -> f64 {
 
 /// Render one lane's host events, repairing span balance: an `E` with
 /// no open span is dropped; spans still open at the end are closed at
-/// one past the lane's final timestamp.
-fn host_events(events: &[Event], mode: TraceMode, tid: usize) -> Vec<String> {
+/// one past the lane's final timestamp. Flow events are emitted only
+/// for ids in `complete_flows` (exactly one begin + one end recorded).
+fn host_events(
+    events: &[Event],
+    mode: TraceMode,
+    tid: usize,
+    complete_flows: &BTreeSet<u64>,
+) -> Vec<String> {
     let mut lines = Vec::with_capacity(events.len());
     let mut open: Vec<&str> = Vec::new();
     let mut last_ts = 0.0_f64;
@@ -124,6 +160,16 @@ fn host_events(events: &[Event], mode: TraceMode, tid: usize) -> Vec<String> {
                     tid,
                     true,
                 ));
+            }
+            EventKind::FlowBegin { name, id } => {
+                if complete_flows.contains(id) {
+                    lines.push(flow_event("s", name, *id, ts, tid));
+                }
+            }
+            EventKind::FlowEnd { name, id } => {
+                if complete_flows.contains(id) {
+                    lines.push(flow_event("f", name, *id, ts, tid));
+                }
             }
         }
     }
@@ -170,6 +216,21 @@ fn arg_event(
     s.push_str(": ");
     push_json_num(&mut s, value);
     s.push_str("}}");
+    s
+}
+
+/// One Perfetto flow endpoint. The `f` side carries `"bp": "e"` so the
+/// arrow terminates at the *enclosing slice* end rather than the next
+/// slice (the trace_event "binding point" rule).
+fn flow_event(ph: &str, name: &str, id: u64, ts: f64, tid: usize) -> String {
+    let mut s = String::new();
+    event_head(&mut s, ph, name, 0, tid, ts);
+    s.push_str(", \"cat\": \"comm\", \"id\": ");
+    s.push_str(&id.to_string());
+    if ph == "f" {
+        s.push_str(", \"bp\": \"e\"");
+    }
+    s.push('}');
     s
 }
 
@@ -264,5 +325,27 @@ mod tests {
         assert!(!json.contains("phantom"), "{json}");
         assert_eq!(json.matches("\"ph\": \"B\"").count(), 1);
         assert_eq!(json.matches("\"ph\": \"E\"").count(), 1);
+    }
+
+    #[test]
+    fn complete_flows_export_and_dangling_flows_are_dropped() {
+        use lkk_gpusim::ProfileSubscriber;
+        let c = TraceCollector::deterministic(GpuArch::h100());
+        // Complete flow 7: begin inside a send span, end on the same
+        // (single-threaded test) lane inside a recv span.
+        c.region_begin("send", 1);
+        c.flow_begin("forward", "send", 7);
+        c.region_end("send", 1, 0.0);
+        c.region_begin("recv", 1);
+        c.flow_end("forward", "recv", 7);
+        c.region_end("recv", 1, 0.0);
+        // Dangling flow 9: begin with no end (dead-edge drop).
+        c.flow_begin("border", "send", 9);
+        let json = c.export_chrome();
+        assert_eq!(json.matches("\"ph\": \"s\"").count(), 1, "{json}");
+        assert_eq!(json.matches("\"ph\": \"f\"").count(), 1, "{json}");
+        assert!(json.contains("\"cat\": \"comm\", \"id\": 7"), "{json}");
+        assert!(json.contains("\"bp\": \"e\""), "{json}");
+        assert!(!json.contains("\"id\": 9"), "dangling flow leaked:\n{json}");
     }
 }

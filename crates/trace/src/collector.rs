@@ -60,6 +60,13 @@ pub(crate) enum EventKind {
     Counter { name: String, value: f64 },
     /// Kernel dispatch marker on the host lane.
     Launch { name: String, work_items: f64 },
+    /// Cross-lane flow origin (`ph: "s"`): this lane emitted the
+    /// message `id` (see `lkk_core::comm::fault::flow_id`); `name` is
+    /// the phase tag.
+    FlowBegin { name: String, id: u64 },
+    /// Cross-lane flow terminus (`ph: "f"`): this lane accepted the
+    /// message `id`.
+    FlowEnd { name: String, id: u64 },
 }
 
 /// One predicted kernel execution on a synthetic device lane.
@@ -237,7 +244,7 @@ impl TraceCollector {
 }
 
 /// Is `root` a rank-thread marker region (`rank` + digits)?
-fn is_rank_root(root: &str) -> bool {
+pub(crate) fn is_rank_root(root: &str) -> bool {
     root.strip_prefix("rank")
         .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
 }
@@ -346,6 +353,34 @@ impl ProfileSubscriber for TraceCollector {
         self.metrics.set_gauge(&key, value);
         self.metrics.observe(&key, value);
     }
+
+    fn flow_begin(&self, name: &str, region: &str, id: u64) {
+        self.record(
+            root_of(region),
+            EventKind::FlowBegin {
+                name: name.to_string(),
+                id,
+            },
+        );
+        self.metrics.add_counter(
+            &format!("{}/comm.flow_out.{name}", metrics_root(region)),
+            1.0,
+        );
+    }
+
+    fn flow_end(&self, name: &str, region: &str, id: u64) {
+        self.record(
+            root_of(region),
+            EventKind::FlowEnd {
+                name: name.to_string(),
+                id,
+            },
+        );
+        self.metrics.add_counter(
+            &format!("{}/comm.flow_in.{name}", metrics_root(region)),
+            1.0,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -439,6 +474,37 @@ mod tests {
             // Next start is at or after the previous end.
             assert!(w[1].ts_det >= w[0].ts_det + w[0].dur_us - 1e-9);
         }
+    }
+
+    #[test]
+    fn flows_land_on_lanes_and_count_in_metrics() {
+        let _serial = COLLECTOR_TEST_LOCK.lock().unwrap();
+        let c = Arc::new(TraceCollector::deterministic(GpuArch::h100()));
+        let id = profile::register_subscriber(c.clone());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _r = profile::begin_region("rank0");
+                profile::note_flow_begin("forward", 77);
+            });
+        });
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _r = profile::begin_region("rank1");
+                profile::note_flow_end("forward", 77);
+            });
+        });
+        profile::unregister_subscriber(id);
+        let sender = lane_named(&c, "rank0").expect("sender lane");
+        assert!(sender.data.lock().unwrap().events.iter().any(
+            |e| matches!(&e.kind, EventKind::FlowBegin { name, id } if name == "forward" && *id == 77)
+        ));
+        let receiver = lane_named(&c, "rank1").expect("receiver lane");
+        assert!(receiver.data.lock().unwrap().events.iter().any(
+            |e| matches!(&e.kind, EventKind::FlowEnd { name, id } if name == "forward" && *id == 77)
+        ));
+        let m = c.metrics();
+        assert_eq!(m.counter("rank0/comm.flow_out.forward"), Some(1.0));
+        assert_eq!(m.counter("rank1/comm.flow_in.forward"), Some(1.0));
     }
 
     #[test]

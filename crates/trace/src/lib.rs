@@ -41,9 +41,11 @@
 
 mod chrome;
 mod collector;
+mod critical_path;
 mod metrics;
 
 pub use collector::{TraceCollector, TraceMode};
+pub use critical_path::{Bucket, CriticalPathReport, PathSpan, RankAttribution, StepSummary};
 pub use metrics::{HistogramSnapshot, MetricsRegistry};
 
 /// Append `s` to `out` as a JSON string literal (quotes + escapes).

@@ -47,6 +47,42 @@ fn bucket_lo(exp: i32) -> f64 {
     }
 }
 
+/// Estimate the `q`-quantile of a log₂-bucketed distribution by linear
+/// interpolation inside the bucket holding the rank-`⌈q·count⌉`
+/// observation (bucket `exp` spans `[2^exp, 2^(exp+1))`; the sentinel
+/// spans `[0, 1)`). Pure integer-and-dyadic arithmetic on the bucket
+/// table, so the estimate is bit-identical across runs and platforms.
+/// Returns 0.0 for an empty histogram.
+fn quantile_est(count: u64, buckets: &BTreeMap<i32, u64>, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (&exp, &n) in buckets {
+        if n == 0 {
+            continue;
+        }
+        if seen + n >= rank {
+            let lo = bucket_lo(exp);
+            let hi = if exp < 0 { 1.0 } else { 2.0 * lo };
+            let frac = (rank - seen) as f64 / n as f64;
+            return lo + (hi - lo) * frac;
+        }
+        seen += n;
+    }
+    // Unreachable when bucket counts sum to `count`; fall back to the
+    // top edge of the last occupied bucket.
+    buckets
+        .iter()
+        .rev()
+        .find(|(_, &n)| n > 0)
+        .map_or(
+            0.0,
+            |(&exp, _)| if exp < 0 { 1.0 } else { bucket_lo(exp + 1) },
+        )
+}
+
 /// A read-only copy of one histogram, buckets as
 /// `(lower_bound, count)` pairs in ascending order.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +90,19 @@ pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: f64,
     pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The same log₂-interpolated quantile estimate the canonical dump
+    /// renders as `p50`/`p95`/`p99`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let rebuilt: BTreeMap<i32, u64> = self
+            .buckets
+            .iter()
+            .map(|&(lo, n)| (bucket_exp(lo), n))
+            .collect();
+        quantile_est(self.count, &rebuilt, q)
+    }
 }
 
 #[derive(Default)]
@@ -144,6 +193,12 @@ impl MetricsRegistry {
             push_json_num(&mut out, h.count as f64);
             out.push_str(", \"sum\": ");
             push_json_num(&mut out, h.sum);
+            for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                out.push_str(", \"");
+                out.push_str(label);
+                out.push_str("\": ");
+                push_json_num(&mut out, quantile_est(h.count, &h.buckets, q));
+            }
             out.push_str(", \"buckets\": [");
             for (j, (&exp, &count)) in h.buckets.iter().enumerate() {
                 if j > 0 {
@@ -237,8 +292,50 @@ mod tests {
         assert!(a_pos < b_pos, "keys not sorted:\n{a}");
         assert!(a.contains("\"buckets\": [[4, 1], [8, 1]]"), "{a}");
         assert!(a.contains("\"schema\": 1"), "{a}");
+        // Quantile keys render between sum and buckets, in fixed order.
+        let h_start = a.find("\"hist\"").unwrap();
+        let tail = &a[h_start..];
+        let order: Vec<usize> = ["\"sum\"", "\"p50\"", "\"p95\"", "\"p99\"", "\"buckets\""]
+            .iter()
+            .map(|k| tail.find(k).unwrap_or_else(|| panic!("{k} missing:\n{a}")))
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "key order:\n{a}");
 
         let empty = MetricsRegistry::new().to_canonical_json();
         assert!(empty.contains("\"counters\": {}"), "{empty}");
+    }
+
+    #[test]
+    fn quantile_estimates_interpolate_within_buckets() {
+        // Empty histogram: all quantiles 0.
+        assert_eq!(quantile_est(0, &BTreeMap::new(), 0.5), 0.0);
+
+        // Single observation in [4, 8): every quantile lands inside
+        // that bucket, at lo + (hi-lo)·1/1 = 8 (rank 1 of 1).
+        let one = BTreeMap::from([(2, 1u64)]);
+        assert_eq!(quantile_est(1, &one, 0.5), 8.0);
+        assert_eq!(quantile_est(1, &one, 0.99), 8.0);
+
+        // 100 observations: 50 in [1,2), 50 in [2,4). p50 is the top of
+        // the first bucket; p95 and p99 interpolate inside the second.
+        let two = BTreeMap::from([(0, 50u64), (1, 50u64)]);
+        assert_eq!(quantile_est(100, &two, 0.50), 2.0);
+        assert_eq!(quantile_est(100, &two, 0.95), 2.0 + 2.0 * (45.0 / 50.0));
+        assert_eq!(quantile_est(100, &two, 0.99), 2.0 + 2.0 * (49.0 / 50.0));
+
+        // Sentinel bucket [0, 1) interpolates toward 1.
+        let sub = BTreeMap::from([(-1, 4u64)]);
+        assert_eq!(quantile_est(4, &sub, 0.5), 0.5);
+
+        // Snapshot method agrees with the dump's estimator.
+        let m = MetricsRegistry::new();
+        for v in [1.0, 1.5, 2.0, 3.0] {
+            m.observe("q", v);
+        }
+        let snap = m.histogram("q").unwrap();
+        let rebuilt = BTreeMap::from([(0, 2u64), (1, 2u64)]);
+        assert_eq!(snap.quantile(0.5), quantile_est(4, &rebuilt, 0.5));
+        let dump = m.to_canonical_json();
+        assert!(dump.contains("\"p50\": 2"), "{dump}");
     }
 }

@@ -86,4 +86,43 @@ fn main() {
             println!("rank{rank} finished owning {owned} atoms.");
         }
     }
+
+    // And as the critical-path analyzer: the flow events the comm layer
+    // stamped let it chain the per-rank timelines into a step DAG and
+    // say which rank each step was actually waiting on. Wall-clock mode
+    // here, so durations are µs (CI gates the deterministic-tick
+    // variant via `perf-smoke --check-report`).
+    let report = collector.critical_path();
+    println!(
+        "\nCritical path: {:.0} of {:.0} µs stepped time across {} steps; \
+         {} cross-rank flows ({} dangling).",
+        report.critical_time,
+        report.total_time,
+        report.nsteps,
+        report.flows_complete,
+        report.flows_dangling
+    );
+    for rank in &report.ranks {
+        println!(
+            "  {:<6} compute {:>8.0}  pack {:>6.0}  wire_wait {:>8.0}  \
+             unpack {:>6.0}  retry {:>4.0}  slack {:>8.0} µs",
+            rank.lane, rank.compute, rank.pack, rank.wire_wait, rank.unpack, rank.retry, rank.slack
+        );
+    }
+    println!("Top critical-path spans per step (first 5 steps, top 3 each):");
+    for step in report.steps.iter().take(5) {
+        let mut spans: Vec<_> = step.path.iter().collect();
+        spans.sort_by(|a, b| b.duration.total_cmp(&a.duration));
+        let top: Vec<String> = spans
+            .iter()
+            .take(3)
+            .map(|s| format!("{}:{} {:.0}µs", s.lane, s.name, s.duration))
+            .collect();
+        println!(
+            "  step {:>2} ({:>6.0} µs critical): {}",
+            step.index,
+            step.critical,
+            top.join(", ")
+        );
+    }
 }

@@ -70,6 +70,14 @@ cargo run --release -p lkk-perf --bin perf-smoke -- \
   --trace results/trace_smoke.json \
   --check-metrics results/metrics_baseline.json
 
+# The critical-path attribution document must stay byte-identical to
+# the committed baseline; refresh deliberately after a comm-scheduling
+# or instrumentation change with --write-report-baseline.
+echo "==> perf-smoke critical-path report byte-gate"
+cargo run --release -p lkk-perf --bin perf-smoke -- \
+  --report results/run_report_current.json \
+  --check-report results/run_report.json
+
 echo "==> perf-smoke --time (advisory wall-clock, not gated)"
 cargo run --release -p lkk-perf --bin perf-smoke -- --time --reps 3
 

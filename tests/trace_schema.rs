@@ -12,7 +12,11 @@
 //! 4. one host lane per simulated rank (`rank0`..`rank3`) plus at
 //!    least one simulated-device lane is present;
 //! 5. two captures of the same workload produce byte-identical traces
-//!    and metrics dumps (the determinism CI's byte-gate relies on).
+//!    and metrics dumps (the determinism CI's byte-gate relies on);
+//! 6. every cross-rank flow id binds exactly one `s` event to one `f`
+//!    event on two different lanes — fault-free and under recoverable
+//!    fault injection with retransmissions — and the critical-path
+//!    report's attribution buckets tile each rank's time exactly.
 
 use lkk_perf::json::{self, Value};
 use lkk_perf::report::with_exclusive_run;
@@ -57,7 +61,7 @@ fn trace_event_export_is_schema_valid_and_deterministic() {
                     lane_names.push((pid, lane.to_string()));
                 }
             }
-            "B" | "E" | "X" | "i" | "C" => {
+            "B" | "E" | "X" | "i" | "C" | "s" | "f" => {
                 let ts = ev.get("ts").and_then(Value::as_f64).expect("ts");
                 let key = (pid, tid);
                 let prev = last_ts.insert(key, ts).unwrap_or(f64::NEG_INFINITY);
@@ -114,6 +118,66 @@ fn trace_event_export_is_schema_valid_and_deterministic() {
             "trace missing comm phase {needle}"
         );
     }
+
+    // The rank workloads stamp every exchange with a flow pair.
+    let nflows = assert_flow_pairing(&a.chrome_json);
+    assert!(nflows > 0, "no flow events in the rank-parallel capture");
+}
+
+/// Parse a Chrome trace export and assert the flow-event contract:
+/// every flow id appears exactly once as `s` and once as `f`, on two
+/// *different* lanes (a message never flows to its own sender), with
+/// `cat: "comm"`. Returns the number of distinct flow ids.
+fn assert_flow_pairing(chrome_json: &str) -> usize {
+    let doc = json::parse(chrome_json).expect("trace is not valid JSON");
+    let Some(Value::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents missing or not an array");
+    };
+    // id → (`s` lanes, `f` lanes), each lane a `(pid, tid)` pair.
+    type Lane = (usize, usize);
+    let mut flows: HashMap<u64, (Vec<Lane>, Vec<Lane>)> = HashMap::new();
+    for ev in events {
+        let ph = str_of(ev.get("ph").expect("event without ph"));
+        if ph != "s" && ph != "f" {
+            continue;
+        }
+        let pid = ev.get("pid").and_then(Value::as_f64).expect("pid") as usize;
+        let tid = ev.get("tid").and_then(Value::as_f64).expect("tid") as usize;
+        let id = ev
+            .get("id")
+            .and_then(Value::as_f64)
+            .expect("flow without id") as u64;
+        assert_eq!(
+            ev.get("cat").map(str_of),
+            Some("comm"),
+            "flow event without cat: comm"
+        );
+        let entry = flows.entry(id).or_default();
+        if ph == "s" {
+            entry.0.push((pid, tid));
+        } else {
+            assert_eq!(
+                ev.get("bp").map(str_of),
+                Some("e"),
+                "flow end without bp: e"
+            );
+            entry.1.push((pid, tid));
+        }
+    }
+    for (id, (starts, finishes)) in &flows {
+        assert_eq!(starts.len(), 1, "flow {id:#x} has {} starts", starts.len());
+        assert_eq!(
+            finishes.len(),
+            1,
+            "flow {id:#x} has {} finishes",
+            finishes.len()
+        );
+        assert_ne!(
+            starts[0], finishes[0],
+            "flow {id:#x} starts and finishes on the same lane"
+        );
+    }
+    flows.len()
 }
 
 #[test]
@@ -304,4 +368,113 @@ fn rank_panic_leaves_balanced_spans_on_surviving_lanes() {
         collector.export_chrome()
     });
     assert_balanced_lanes(&chrome);
+}
+
+/// Under recoverable fault injection the recovery layer retransmits,
+/// reorders, and duplicates envelopes — but a retransmission reuses the
+/// original `(edge, tag, seq)` identity, duplicate deliveries are
+/// discarded before the flow end fires, and dropped copies simply delay
+/// it. So even a faulted timeline must keep every exported flow id
+/// singly bound (one `s`, one `f`, different lanes), with spans still
+/// balanced on every rank lane.
+#[test]
+fn faulted_runs_keep_flows_singly_bound_across_retransmissions() {
+    use lkk_core::prelude::FaultConfig;
+    use lkk_kokkos::profile;
+    use std::sync::Arc;
+
+    let mut saw_retransmit = false;
+    for seed in [1u64, 2, 3] {
+        let (chrome, metrics) = with_exclusive_run(|| {
+            let collector = Arc::new(lkk_trace::TraceCollector::deterministic(
+                lkk_gpusim::GpuArch::h100(),
+            ));
+            let id = profile::register_subscriber(collector.clone());
+            let ranks = workloads::ranks4();
+            let mut spec = ranks.spec.clone();
+            spec.fault = Some(FaultConfig::recoverable(seed));
+            let run = spec.run(ranks.factory);
+            profile::unregister_subscriber(id);
+            run.expect("recoverable faulted run failed");
+            (
+                collector.export_chrome(),
+                collector.metrics().to_canonical_json(),
+            )
+        });
+        assert_balanced_lanes(&chrome);
+        let nflows = assert_flow_pairing(&chrome);
+        assert!(nflows > 0, "seed {seed}: no flows in faulted capture");
+        assert!(
+            metrics.contains("comm.fault."),
+            "seed {seed}: no faults injected — sweep is vacuous"
+        );
+        saw_retransmit |= metrics.contains("comm.fault.retransmit");
+    }
+    assert!(
+        saw_retransmit,
+        "no seed in the sweep produced a retransmission; pick other seeds"
+    );
+}
+
+/// The critical-path analyzer's exactness contract over a real
+/// rank-parallel run: on every rank the six attribution buckets sum to
+/// the run's total step time identically, and the canonical report is
+/// byte-stable across two captures in deterministic mode (what the
+/// `perf-smoke --check-report` byte-gate relies on).
+#[test]
+fn critical_path_buckets_tile_rank_time_and_report_is_byte_stable() {
+    use lkk_kokkos::profile;
+    use std::sync::Arc;
+
+    let capture = || {
+        with_exclusive_run(|| {
+            let collector = Arc::new(lkk_trace::TraceCollector::deterministic(
+                lkk_gpusim::GpuArch::h100(),
+            ));
+            let id = profile::register_subscriber(collector.clone());
+            let ranks = workloads::ranks4();
+            let run = ranks.spec.run(ranks.factory);
+            profile::unregister_subscriber(id);
+            run.expect("fault-free rank-parallel run failed");
+            collector.critical_path()
+        })
+    };
+
+    let report = capture();
+    assert_eq!(report.lanes.len(), 4);
+    assert!(report.nsteps > 0);
+    assert!(report.flows_complete > 0);
+    assert_eq!(report.flows_dangling, 0, "dangling flows in a clean run");
+    for rank in &report.ranks {
+        let sum: f64 = rank.entries().iter().map(|(_, v)| *v).sum();
+        assert_eq!(
+            sum, report.total_time,
+            "{}: buckets do not tile the run's step time",
+            rank.lane
+        );
+        assert_eq!(sum, rank.total(), "{}: entries() != total()", rank.lane);
+        assert_eq!(rank.retry, 0.0, "{}: retry time without faults", rank.lane);
+    }
+    // Every step's critical path is non-empty and its weight matches
+    // the sum of its spans.
+    for step in &report.steps {
+        assert!(
+            !step.path.is_empty(),
+            "step {} has an empty path",
+            step.index
+        );
+        let w: f64 = step.path.iter().map(|s| s.duration).sum();
+        assert_eq!(
+            w, step.critical,
+            "step {}: path weight mismatch",
+            step.index
+        );
+    }
+
+    let again = capture();
+    assert_eq!(
+        report.to_canonical_json(),
+        again.to_canonical_json(),
+        "critical-path report not byte-stable in deterministic mode"
+    );
 }
