@@ -474,6 +474,8 @@ impl NeighborList {
     /// *distinct* atoms referenced by a block of `block` consecutive
     /// owned atoms, times 24 bytes (one coordinate triple). This feeds
     /// the L1 working-set term of the device cost model.
+    // Insert/len-only set (never iterated): order cannot leak (LKK002).
+    #[allow(clippy::disallowed_types)]
     pub fn working_set_bytes(&self, block: usize) -> f64 {
         use std::collections::HashSet;
         if self.nlocal == 0 {

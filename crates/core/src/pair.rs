@@ -27,6 +27,7 @@ pub mod eam;
 pub mod lj;
 pub mod mliap;
 pub mod morse;
+pub mod scratch;
 pub mod sw;
 pub mod table;
 pub mod yukawa;

@@ -20,6 +20,7 @@
 
 use crate::atom::Mask;
 use crate::neighbor::NeighborList;
+use crate::pair::scratch::with_neigh_scratch;
 use crate::pair::{PairResults, PairStyle};
 use crate::sim::System;
 use crate::switch::cubic_switch;
@@ -231,44 +232,48 @@ impl<D: DescriptorSet + 'static, M: MlModel + 'static> PairStyle for PairMliap<D
             nlocal,
             (0.0f64, [0.0f64; 6]),
             |i| {
-                let xi = [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])];
-                let nn = list.numneigh.at([i]) as usize;
-                let mut rel = Vec::with_capacity(nn);
-                let mut ids = Vec::with_capacity(nn);
-                for s in 0..nn {
-                    let j = list.neighbors.at([i, s]) as usize;
-                    let d = [
-                        x.at([j, 0]) - xi[0],
-                        x.at([j, 1]) - xi[1],
-                        x.at([j, 2]) - xi[2],
-                    ];
-                    if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < cutsq {
-                        rel.push(d);
-                        ids.push(j);
+                with_neigh_scratch(|sc| {
+                    let xi = [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])];
+                    let nn = list.numneigh.at([i]) as usize;
+                    for s in 0..nn {
+                        let j = list.neighbors.at([i, s]) as usize;
+                        let d = [
+                            x.at([j, 0]) - xi[0],
+                            x.at([j, 1]) - xi[1],
+                            x.at([j, 2]) - xi[2],
+                        ];
+                        if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < cutsq {
+                            sc.rel.push(d);
+                            sc.ids.push(j);
+                        }
                     }
-                }
-                let mut desc = vec![0.0; nd];
-                let mut grad = vec![0.0; nd];
-                desc_set.compute(&rel, &mut desc);
-                let e = model.forward(&desc, &mut grad);
-                let dedx = desc_set.chain(&rel, &grad);
-                let mut w = [0.0f64; 6];
-                for (k, &j) in ids.iter().enumerate() {
-                    let f = [-dedx[k][0], -dedx[k][1], -dedx[k][2]];
-                    for (dir, &fd) in f.iter().enumerate() {
-                        sref.add(j, dir, fd);
-                        sref.add(i, dir, -fd);
+                    // Descriptor/gradient slots live in the same scratch;
+                    // `resize` after `clear` zero-fills without realloc in
+                    // steady state (LKK004).
+                    sc.a.resize(nd, 0.0);
+                    sc.b.resize(nd, 0.0);
+                    let (rel, ids, desc, grad) = (&sc.rel, &sc.ids, &mut sc.a, &mut sc.b);
+                    desc_set.compute(rel, desc);
+                    let e = model.forward(desc, grad);
+                    let dedx = desc_set.chain(rel, grad);
+                    let mut w = [0.0f64; 6];
+                    for (k, &j) in ids.iter().enumerate() {
+                        let f = [-dedx[k][0], -dedx[k][1], -dedx[k][2]];
+                        for (dir, &fd) in f.iter().enumerate() {
+                            sref.add(j, dir, fd);
+                            sref.add(i, dir, -fd);
+                        }
+                        // W_ab = Σ d_a f_b, symmetrized (d = x_j − x_i, f on j).
+                        let d = rel[k];
+                        w[0] += d[0] * f[0];
+                        w[1] += d[1] * f[1];
+                        w[2] += d[2] * f[2];
+                        w[3] += 0.5 * (d[0] * f[1] + d[1] * f[0]);
+                        w[4] += 0.5 * (d[0] * f[2] + d[2] * f[0]);
+                        w[5] += 0.5 * (d[1] * f[2] + d[2] * f[1]);
                     }
-                    // W_ab = Σ d_a f_b, symmetrized (d = x_j − x_i, f on j).
-                    let d = rel[k];
-                    w[0] += d[0] * f[0];
-                    w[1] += d[1] * f[1];
-                    w[2] += d[2] * f[2];
-                    w[3] += 0.5 * (d[0] * f[1] + d[1] * f[0]);
-                    w[4] += 0.5 * (d[0] * f[2] + d[2] * f[0]);
-                    w[5] += 0.5 * (d[1] * f[2] + d[2] * f[1]);
-                }
-                (e, w)
+                    (e, w)
+                })
             },
             |a, b| {
                 let mut w = a.1;

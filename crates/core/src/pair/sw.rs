@@ -14,6 +14,7 @@
 
 use crate::atom::Mask;
 use crate::neighbor::NeighborList;
+use crate::pair::scratch::with_neigh_scratch;
 use crate::pair::{PairResults, PairStyle};
 use crate::sim::System;
 use lkk_gpusim::KernelStats;
@@ -149,96 +150,97 @@ impl PairStyle for PairSw {
             nlocal,
             (0.0f64, [0.0f64; 6]),
             |i| {
-                let xi = [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])];
-                let nn = list.numneigh.at([i]) as usize;
-                // Pre-filter the in-cutoff neighbors (divergence
-                // pre-processing, §4.2.1 pattern).
-                let mut rel: Vec<[f64; 3]> = Vec::with_capacity(nn);
-                let mut rs: Vec<f64> = Vec::with_capacity(nn);
-                let mut ids: Vec<usize> = Vec::with_capacity(nn);
-                for s in 0..nn {
-                    let j = list.neighbors.at([i, s]) as usize;
-                    let d = [
-                        x.at([j, 0]) - xi[0],
-                        x.at([j, 1]) - xi[1],
-                        x.at([j, 2]) - xi[2],
-                    ];
-                    let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-                    if rsq < cutsq {
-                        rel.push(d);
-                        rs.push(rsq.sqrt());
-                        ids.push(j);
+                with_neigh_scratch(|sc| {
+                    let xi = [x.at([i, 0]), x.at([i, 1]), x.at([i, 2])];
+                    let nn = list.numneigh.at([i]) as usize;
+                    // Pre-filter the in-cutoff neighbors (divergence
+                    // pre-processing, §4.2.1 pattern) into per-thread
+                    // scratch re-used across work items (LKK004).
+                    for s in 0..nn {
+                        let j = list.neighbors.at([i, s]) as usize;
+                        let d = [
+                            x.at([j, 0]) - xi[0],
+                            x.at([j, 1]) - xi[1],
+                            x.at([j, 2]) - xi[2],
+                        ];
+                        let rsq = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                        if rsq < cutsq {
+                            sc.rel.push(d);
+                            sc.rs.push(rsq.sqrt());
+                            sc.ids.push(j);
+                        }
                     }
-                }
-                let mut e = 0.0;
-                let mut w6 = [0.0f64; 6];
-                let add_force = |atom: usize, f: [f64; 3]| {
-                    for (k, &fk) in f.iter().enumerate() {
-                        sref.add(atom, k, fk);
+                    let (rel, rs, ids) = (&sc.rel, &sc.rs, &sc.ids);
+                    let mut e = 0.0;
+                    let mut w6 = [0.0f64; 6];
+                    let add_force = |atom: usize, f: [f64; 3]| {
+                        for (k, &fk) in f.iter().enumerate() {
+                            sref.add(atom, k, fk);
+                        }
+                    };
+                    // Two-body: one-sided over the full list (half energy).
+                    for (m, &j) in ids.iter().enumerate() {
+                        let (e2, de2) = p.phi2(rs[m]);
+                        e += 0.5 * e2;
+                        let fpair = -de2 / rs[m]; // force on j along +d
+                        let f = [fpair * rel[m][0], fpair * rel[m][1], fpair * rel[m][2]];
+                        // Half the pair force per visit (the mirrored visit
+                        // adds the other half with opposite displacement).
+                        let fh = [0.5 * f[0], 0.5 * f[1], 0.5 * f[2]];
+                        add_force(j, fh);
+                        add_force(i, [-fh[0], -fh[1], -fh[2]]);
+                        crate::pair::add_pair_virial(&mut w6, 0.5 * fpair, rel[m]);
                     }
-                };
-                // Two-body: one-sided over the full list (half energy).
-                for (m, &j) in ids.iter().enumerate() {
-                    let (e2, de2) = p.phi2(rs[m]);
-                    e += 0.5 * e2;
-                    let fpair = -de2 / rs[m]; // force on j along +d
-                    let f = [fpair * rel[m][0], fpair * rel[m][1], fpair * rel[m][2]];
-                    // Half the pair force per visit (the mirrored visit
-                    // adds the other half with opposite displacement).
-                    let fh = [0.5 * f[0], 0.5 * f[1], 0.5 * f[2]];
-                    add_force(j, fh);
-                    add_force(i, [-fh[0], -fh[1], -fh[2]]);
-                    crate::pair::add_pair_virial(&mut w6, 0.5 * fpair, rel[m]);
-                }
-                // Three-body: all (j, k) pairs around center i.
-                for m1 in 0..ids.len() {
-                    let (h1, dh1) = p.h3(rs[m1]);
-                    if h1 == 0.0 {
-                        continue;
-                    }
-                    for m2 in (m1 + 1)..ids.len() {
-                        let (h2, dh2) = p.h3(rs[m2]);
-                        if h2 == 0.0 {
+                    // Three-body: all (j, k) pairs around center i.
+                    for m1 in 0..ids.len() {
+                        let (h1, dh1) = p.h3(rs[m1]);
+                        if h1 == 0.0 {
                             continue;
                         }
-                        let d1 = rel[m1];
-                        let d2 = rel[m2];
-                        let (r1, r2) = (rs[m1], rs[m2]);
-                        let c = (d1[0] * d2[0] + d1[1] * d2[1] + d1[2] * d2[2]) / (r1 * r2);
-                        let dc = c - p.cos_theta0;
-                        let pref = p.lambda * p.epsilon;
-                        e += pref * dc * dc * h1 * h2;
-                        // Gradients.
-                        let dedc = pref * 2.0 * dc * h1 * h2;
-                        let dedr1 = pref * dc * dc * dh1 * h2;
-                        let dedr2 = pref * dc * dc * h1 * dh2;
-                        let mut g1 = [0.0f64; 3]; // ∂E/∂d1
-                        let mut g2 = [0.0f64; 3];
-                        for k in 0..3 {
-                            // ∂c/∂d1 = d2/(r1 r2) − c d1/r1².
-                            g1[k] = dedc * (d2[k] / (r1 * r2) - c * d1[k] / (r1 * r1))
-                                + dedr1 * d1[k] / r1;
-                            g2[k] = dedc * (d1[k] / (r1 * r2) - c * d2[k] / (r2 * r2))
-                                + dedr2 * d2[k] / r2;
+                        for m2 in (m1 + 1)..ids.len() {
+                            let (h2, dh2) = p.h3(rs[m2]);
+                            if h2 == 0.0 {
+                                continue;
+                            }
+                            let d1 = rel[m1];
+                            let d2 = rel[m2];
+                            let (r1, r2) = (rs[m1], rs[m2]);
+                            let c = (d1[0] * d2[0] + d1[1] * d2[1] + d1[2] * d2[2]) / (r1 * r2);
+                            let dc = c - p.cos_theta0;
+                            let pref = p.lambda * p.epsilon;
+                            e += pref * dc * dc * h1 * h2;
+                            // Gradients.
+                            let dedc = pref * 2.0 * dc * h1 * h2;
+                            let dedr1 = pref * dc * dc * dh1 * h2;
+                            let dedr2 = pref * dc * dc * h1 * dh2;
+                            let mut g1 = [0.0f64; 3]; // ∂E/∂d1
+                            let mut g2 = [0.0f64; 3];
+                            for k in 0..3 {
+                                // ∂c/∂d1 = d2/(r1 r2) − c d1/r1².
+                                g1[k] = dedc * (d2[k] / (r1 * r2) - c * d1[k] / (r1 * r1))
+                                    + dedr1 * d1[k] / r1;
+                                g2[k] = dedc * (d1[k] / (r1 * r2) - c * d2[k] / (r2 * r2))
+                                    + dedr2 * d2[k] / r2;
+                            }
+                            let fj = [-g1[0], -g1[1], -g1[2]];
+                            let fk = [-g2[0], -g2[1], -g2[2]];
+                            add_force(ids[m1], fj);
+                            add_force(ids[m2], fk);
+                            add_force(i, [g1[0] + g2[0], g1[1] + g2[1], g1[2] + g2[2]]);
+                            // Virial: Σ d ⊗ f over the two legs.
+                            w6[0] += d1[0] * fj[0] + d2[0] * fk[0];
+                            w6[1] += d1[1] * fj[1] + d2[1] * fk[1];
+                            w6[2] += d1[2] * fj[2] + d2[2] * fk[2];
+                            w6[3] += 0.5
+                                * (d1[0] * fj[1] + d1[1] * fj[0] + d2[0] * fk[1] + d2[1] * fk[0]);
+                            w6[4] += 0.5
+                                * (d1[0] * fj[2] + d1[2] * fj[0] + d2[0] * fk[2] + d2[2] * fk[0]);
+                            w6[5] += 0.5
+                                * (d1[1] * fj[2] + d1[2] * fj[1] + d2[1] * fk[2] + d2[2] * fk[1]);
                         }
-                        let fj = [-g1[0], -g1[1], -g1[2]];
-                        let fk = [-g2[0], -g2[1], -g2[2]];
-                        add_force(ids[m1], fj);
-                        add_force(ids[m2], fk);
-                        add_force(i, [g1[0] + g2[0], g1[1] + g2[1], g1[2] + g2[2]]);
-                        // Virial: Σ d ⊗ f over the two legs.
-                        w6[0] += d1[0] * fj[0] + d2[0] * fk[0];
-                        w6[1] += d1[1] * fj[1] + d2[1] * fk[1];
-                        w6[2] += d1[2] * fj[2] + d2[2] * fk[2];
-                        w6[3] +=
-                            0.5 * (d1[0] * fj[1] + d1[1] * fj[0] + d2[0] * fk[1] + d2[1] * fk[0]);
-                        w6[4] +=
-                            0.5 * (d1[0] * fj[2] + d1[2] * fj[0] + d2[0] * fk[2] + d2[2] * fk[0]);
-                        w6[5] +=
-                            0.5 * (d1[1] * fj[2] + d1[2] * fj[1] + d2[1] * fk[2] + d2[2] * fk[1]);
                     }
-                }
-                (e, w6)
+                    (e, w6)
+                })
             },
             |a, b| {
                 let mut w = a.1;

@@ -939,6 +939,8 @@ mod tests {
             sorted.rebuild_count >= 2,
             "no rebuild after setup — spatial sort never ran"
         );
+        // Lookup-only test map (never iterated): order cannot leak.
+        #[allow(clippy::disallowed_types)]
         let pos_by_tag = |sim: &Simulation| -> std::collections::HashMap<i64, [f64; 3]> {
             let tags = sim.system.atoms.tag.h_view();
             (0..sim.system.atoms.nlocal)

@@ -16,7 +16,7 @@ use crate::pair::sw::{PairSw, SwParams};
 use crate::pair::yukawa::Yukawa;
 use crate::pair::{PairKokkos, PairStyle};
 use lkk_kokkos::Space;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Everything a pair-style factory needs: the `pair_style` arguments
 /// and the accumulated `pair_coeff` lines.
@@ -45,7 +45,7 @@ type PairFactory =
 
 /// Name → factory maps for each style category.
 pub struct StyleRegistry {
-    pairs: HashMap<String, PairFactory>,
+    pairs: BTreeMap<String, PairFactory>,
 }
 
 impl StyleRegistry {
@@ -54,7 +54,7 @@ impl StyleRegistry {
     /// `lkk-reaxff`) extend this via [`StyleRegistry::register_pair`].
     pub fn core() -> Self {
         let mut reg = StyleRegistry {
-            pairs: HashMap::new(),
+            pairs: BTreeMap::new(),
         };
         reg.register_pair("lj/cut", make_lj);
         reg.register_pair("morse", make_morse);

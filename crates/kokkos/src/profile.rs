@@ -137,6 +137,8 @@ pub struct RegionGuard {
 /// `name` must not contain `/` (it would corrupt the path encoding);
 /// nesting is expressed by holding multiple guards, not by composite
 /// names.
+// Audited wall-clock site: lint_allow.toml LKK001 (advisory span time).
+#[allow(clippy::disallowed_methods)]
 pub fn begin_region(name: impl Into<String>) -> RegionGuard {
     let name = name.into();
     debug_assert!(!name.contains('/'), "region name {name:?} contains '/'");

@@ -16,6 +16,185 @@ use crate::atomic::AtomicF64;
 use crate::exec::Space;
 use std::cell::UnsafeCell;
 
+/// Dynamic write-conflict detection for the unsynchronised storage
+/// modes, compiled in only under `debug_assertions` or the
+/// `conflict-detect` feature (release builds carry zero detector code
+/// or state — see `docs/static-analysis.md` for the cost model).
+///
+/// The invariant being checked is *epoch ownership*: between two epoch
+/// boundaries (`contribute_into`, `reset`, `ensure`), each duplicated
+/// copy — and a `Sequential` view as a whole — may be written by at
+/// most one claimant. A claimant is either *the worker pool* (any
+/// rayon worker thread writing its own copy; disjoint by construction)
+/// or one specific *foreign* thread (no worker index, mapped to copy
+/// 0 by the `unwrap_or(0)` fallback in [`ScatterView::add`]). Two
+/// distinct claimants inside one epoch are reported even when their
+/// writes did not overlap in time: the pattern is one scheduler
+/// reshuffle away from silent corruption, so it is treated as a
+/// deterministic failure rather than a latent race.
+///
+/// `Atomic` mode is race-free for accumulation by construction, so
+/// overlapping writers there are *recorded* (per-index owner words,
+/// [`ScatterView::conflict_overlaps`]) but never fatal.
+#[cfg(any(debug_assertions, feature = "conflict-detect"))]
+mod conflict {
+    use super::ScatterMode;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+    /// Claimant word: 0 = unclaimed this epoch, `POOL` = some rayon
+    /// worker writing its own copy, >= 2 = a specific foreign thread.
+    const POOL: u64 = 1;
+
+    static NEXT_FP: AtomicU64 = AtomicU64::new(2);
+    thread_local! {
+        static THREAD_FP: u64 = NEXT_FP.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn describe(claimant: u64) -> String {
+        if claimant == POOL {
+            "the worker pool".to_string()
+        } else {
+            format!("foreign thread #{claimant}")
+        }
+    }
+
+    struct Slot {
+        owner: AtomicU64,
+        site: AtomicPtr<Location<'static>>,
+        index: AtomicUsize,
+    }
+
+    impl Slot {
+        fn new() -> Slot {
+            Slot {
+                owner: AtomicU64::new(0),
+                site: AtomicPtr::new(std::ptr::null_mut()),
+                index: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    /// Per-view detector state. One `Slot` per duplicated copy (one
+    /// total in `Sequential` mode); one owner word per flat index in
+    /// `Atomic` mode.
+    pub(super) struct Tracker {
+        copies: Vec<Slot>,
+        cells: Vec<AtomicU64>,
+        overlaps: AtomicU64,
+    }
+
+    impl Tracker {
+        pub(super) fn for_shape(mode: ScatterMode, ncopies: usize, len: usize) -> Tracker {
+            let (nslots, ncells) = match mode {
+                ScatterMode::Atomic => (0, len),
+                ScatterMode::Duplicated => (ncopies, 0),
+                ScatterMode::Sequential => (1, 0),
+            };
+            Tracker {
+                copies: (0..nslots).map(|_| Slot::new()).collect(),
+                cells: (0..ncells).map(|_| AtomicU64::new(0)).collect(),
+                overlaps: AtomicU64::new(0),
+            }
+        }
+
+        /// Claim `copy` for the calling context. `foreign` marks a
+        /// caller with no rayon worker index (the copy-0 fallback in
+        /// duplicated mode) or any `Sequential`-mode caller. Panics —
+        /// naming both access sites — when a different claimant
+        /// already owns the copy this epoch.
+        #[inline]
+        pub(super) fn claim(
+            &self,
+            copy: usize,
+            idx: usize,
+            foreign: bool,
+            site: &'static Location<'static>,
+        ) {
+            let claimant = if foreign {
+                THREAD_FP.with(|fp| *fp)
+            } else {
+                POOL
+            };
+            let slot = &self.copies[copy];
+            match slot
+                .owner
+                .compare_exchange(0, claimant, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    slot.index.store(idx, Ordering::Relaxed);
+                    slot.site.store(
+                        site as *const _ as *mut Location<'static>,
+                        Ordering::Release,
+                    );
+                }
+                Err(prev) if prev == claimant => {}
+                Err(prev) => {
+                    // Give the first claimant a beat to publish its
+                    // site pointer (it stores the site right after the
+                    // winning CAS).
+                    let mut first = slot.site.load(Ordering::Acquire);
+                    for _ in 0..64 {
+                        if !first.is_null() {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                        first = slot.site.load(Ordering::Acquire);
+                    }
+                    let first_site = if first.is_null() {
+                        "<site not yet published>".to_string()
+                    } else {
+                        // SAFETY: non-null pointers in `site` only ever
+                        // come from `&'static Location` above.
+                        unsafe { (*first).to_string() }
+                    };
+                    let first_idx = slot.index.load(Ordering::Relaxed);
+                    panic!(
+                        "ScatterView write conflict on copy {copy}: claimed by {} at {first_site} \
+                         (flat index {first_idx}) and now written by {} at {site} (flat index {idx}) \
+                         within one accumulation epoch; separate the writers with contribute_into()/reset(), \
+                         or use Atomic mode (see docs/static-analysis.md)",
+                        describe(prev),
+                        describe(claimant),
+                    );
+                }
+            }
+        }
+
+        /// Record a writer on flat index `idx` in `Atomic` mode.
+        /// Overlapping distinct writers are legal there (adds are
+        /// element-atomic); they are only counted.
+        #[inline]
+        pub(super) fn record_atomic(&self, idx: usize) {
+            let fp = THREAD_FP.with(|fp| *fp);
+            let cell = &self.cells[idx];
+            let prev = cell.load(Ordering::Relaxed);
+            if prev == fp {
+                return;
+            }
+            if prev != 0 {
+                self.overlaps.fetch_add(1, Ordering::Relaxed);
+            }
+            cell.store(fp, Ordering::Relaxed);
+        }
+
+        /// Epoch boundary: release every ownership claim.
+        pub(super) fn clear(&self) {
+            for s in &self.copies {
+                s.owner.store(0, Ordering::Release);
+                s.site.store(std::ptr::null_mut(), Ordering::Release);
+            }
+            for c in &self.cells {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+
+        pub(super) fn overlaps(&self) -> u64 {
+            self.overlaps.load(Ordering::Relaxed)
+        }
+    }
+}
+
 /// Contribution strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScatterMode {
@@ -73,6 +252,10 @@ pub struct ScatterView {
     /// or the transpose scratch). Stable in steady state — the
     /// zero-per-step-allocation tests assert on this.
     grow_count: u64,
+    /// Write-conflict detector state (debug/`conflict-detect` builds
+    /// only; release builds carry no field and no per-add code).
+    #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+    conflict: conflict::Tracker,
 }
 
 // Duplicated storage is only written through per-thread indices;
@@ -95,12 +278,19 @@ impl ScatterView {
             }
             ScatterMode::Sequential => Storage::Sequential(UnsafeCell::new(vec![0.0; len])),
         };
+        #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+        let ncopies = match &storage {
+            Storage::Duplicated(c) => c.len(),
+            _ => 0,
+        };
         ScatterView {
             n,
             ncols,
             storage,
             scratch: Vec::new(),
             grow_count: 0,
+            #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+            conflict: conflict::Tracker::for_shape(mode, ncopies, len),
         }
     }
 
@@ -119,6 +309,10 @@ impl ScatterView {
     /// restore zeros). Returns `true` if any heap growth occurred.
     pub fn ensure(&mut self, n: usize, ncols: usize, mode: ScatterMode) -> bool {
         if self.mode() == mode && self.n == n && self.ncols == ncols {
+            // Still an epoch boundary: the caller is about to start a
+            // fresh accumulation pass over the same target.
+            #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+            self.conflict.clear();
             return false;
         }
         let len = n * ncols;
@@ -157,6 +351,14 @@ impl ScatterView {
         }
         self.n = n;
         self.ncols = ncols;
+        #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+        {
+            let ncopies = match &self.storage {
+                Storage::Duplicated(c) => c.len(),
+                _ => 0,
+            };
+            self.conflict = conflict::Tracker::for_shape(mode, ncopies, len);
+        }
         if grew {
             self.grow_count += 1;
         }
@@ -187,20 +389,30 @@ impl ScatterView {
     /// private copy; `Sequential` must only be used from a single
     /// thread (its constructor is only chosen for serial spaces).
     #[inline]
+    #[cfg_attr(any(debug_assertions, feature = "conflict-detect"), track_caller)]
     pub fn add(&self, i: usize, col: usize, v: f64) {
         let idx = i * self.ncols + col;
         match &self.storage {
             Storage::Atomic(a) => {
+                #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+                self.conflict.record_atomic(idx);
                 a[idx].fetch_add(v);
             }
             Storage::Duplicated(copies) => {
-                let t = rayon::current_thread_index().unwrap_or(0);
+                let worker = rayon::current_thread_index();
+                let t = worker.unwrap_or(0);
+                #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+                self.conflict
+                    .claim(t, idx, worker.is_none(), std::panic::Location::caller());
                 // Each rayon worker has a private copy; index `t` is
                 // stable for the duration of the closure.
                 let buf = unsafe { &mut *copies[t].0.get() };
                 buf[idx] += v;
             }
             Storage::Sequential(buf) => {
+                #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+                self.conflict
+                    .claim(0, idx, true, std::panic::Location::caller());
                 let buf = unsafe { &mut *buf.get() };
                 buf[idx] += v;
             }
@@ -211,6 +423,9 @@ impl ScatterView {
     /// contents), then reset the internal buffers to zero.
     pub fn contribute_into(&mut self, out: &mut [f64]) {
         assert_eq!(out.len(), self.target_len());
+        // Epoch boundary: combining releases every ownership claim.
+        #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+        self.conflict.clear();
         match &mut self.storage {
             Storage::Atomic(a) => {
                 for (o, x) in out.iter_mut().zip(a.iter()) {
@@ -266,8 +481,21 @@ impl ScatterView {
         self.scratch = flat;
     }
 
+    /// Distinct-writer overlaps recorded in `Atomic` mode this
+    /// process (atomic adds commute, so overlap is legal there — the
+    /// count is a contention diagnostic, not an error). Only present
+    /// in debug/`conflict-detect` builds; release builds compile the
+    /// detector out entirely.
+    #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+    pub fn conflict_overlaps(&self) -> u64 {
+        self.conflict.overlaps()
+    }
+
     /// Zero all internal buffers without contributing.
     pub fn reset(&mut self) {
+        // Epoch boundary, like `contribute_into`.
+        #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+        self.conflict.clear();
         match &mut self.storage {
             Storage::Atomic(a) => a.iter().for_each(|x| x.store(0.0)),
             Storage::Duplicated(copies) => copies
@@ -283,17 +511,22 @@ mod tests {
     use super::*;
     use rayon::prelude::*;
 
+    // Interpreted execution (the Miri sanitizer lane) is orders of
+    // magnitude slower than native; the shrunk counts keep the same
+    // CRT structure (multiples of 24) over the same unsafe paths.
+    const HAMMER_ITERS: usize = if cfg!(miri) { 2_400 } else { 24_000 };
+
     fn hammer(mode: ScatterMode) -> Vec<f64> {
         let sv = ScatterView::new(8, 3, mode);
         let run = || {
-            (0..24_000usize).into_par_iter().for_each(|k| {
+            (0..HAMMER_ITERS).into_par_iter().for_each(|k| {
                 sv.add(k % 8, k % 3, 1.0);
             });
         };
         match mode {
             ScatterMode::Sequential => {
                 // Sequential mode: single-threaded contract.
-                for k in 0..24_000usize {
+                for k in 0..HAMMER_ITERS {
                     sv.add(k % 8, k % 3, 1.0);
                 }
             }
@@ -313,8 +546,8 @@ mod tests {
         assert_eq!(a, d);
         assert_eq!(a, s);
         // (i, col) is hit when k ≡ i (mod 8) and k ≡ col (mod 3); by CRT
-        // exactly 24000/24 = 1000 times for each of the 24 cells.
-        assert!(a.iter().all(|&x| x == 1000.0));
+        // exactly ITERS/24 times for each of the 24 cells.
+        assert!(a.iter().all(|&x| x == (HAMMER_ITERS / 24) as f64));
     }
 
     #[test]
@@ -401,7 +634,10 @@ mod tests {
     #[test]
     fn duplicated_stress_bit_identical_vs_sequential() {
         const N: usize = 16;
-        const ITERS: usize = 120_000;
+        // Shrunk under Miri (see HAMMER_ITERS); the aliasing pattern is
+        // identical, only the hammer duration differs.
+        const ITERS: usize = if cfg!(miri) { 2_400 } else { 120_000 };
+        const RUNS: usize = if cfg!(miri) { 2 } else { 5 };
         let row = |k: usize| k % N;
         let col = |k: usize| (k / N) % 3;
         let val = |k: usize| ((k % 13) as f64) * 0.25;
@@ -414,7 +650,7 @@ mod tests {
         seq.contribute_into(&mut reference);
         assert!(reference.iter().any(|&x| x > 0.0));
 
-        for run in 0..5 {
+        for run in 0..RUNS {
             let sv = ScatterView::new(N, 3, ScatterMode::Duplicated);
             (0..ITERS).into_par_iter().for_each(|k| {
                 sv.add(row(k), col(k), val(k));
@@ -440,5 +676,136 @@ mod tests {
         let mut out = vec![0.0];
         sv.contribute_into(&mut out);
         assert_eq!(out[0], 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Write-conflict detector (debug / `conflict-detect` builds only;
+    // release builds compile the detector — and these tests — out).
+    // ------------------------------------------------------------------
+
+    /// Run `f`, which must panic, and return the panic payload text.
+    #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+    fn must_panic(f: impl FnOnce()) -> String {
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+            .expect_err("expected a detector panic");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    /// Distinct `scatter_view.rs:<line>` access sites named in `msg`.
+    #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+    fn named_sites(msg: &str) -> std::collections::BTreeSet<String> {
+        let mut sites = std::collections::BTreeSet::new();
+        let mut rest = msg;
+        while let Some(pos) = rest.find("scatter_view.rs:") {
+            let tail = &rest[pos..];
+            let end = tail
+                .find(|c: char| c.is_whitespace() || c == ')' || c == ',')
+                .unwrap_or(tail.len());
+            sites.insert(tail[..end].to_string());
+            rest = &tail[end..];
+        }
+        sites
+    }
+
+    /// Seeded race: two plain OS threads (no rayon worker index) both
+    /// fall back to duplicated copy 0. The writes are temporally
+    /// disjoint — the detector still fires deterministically, naming
+    /// both access sites, because two distinct claimants inside one
+    /// accumulation epoch are one scheduler reshuffle away from silent
+    /// corruption.
+    #[test]
+    #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+    fn conflict_detector_names_both_sites_on_foreign_overlap() {
+        let sv = ScatterView::new(4, 3, ScatterMode::Duplicated);
+        let msg = std::thread::scope(|scope| {
+            scope
+                .spawn(|| sv.add(1, 0, 1.0)) // first access site
+                .join()
+                .expect("first foreign writer must not panic");
+            scope
+                .spawn(|| must_panic(|| sv.add(2, 1, 1.0))) // second access site
+                .join()
+                .unwrap()
+        });
+        assert!(
+            msg.contains("ScatterView write conflict"),
+            "unexpected panic message: {msg}"
+        );
+        let sites = named_sites(&msg);
+        assert!(
+            sites.len() >= 2,
+            "panic must name both access sites, got {sites:?} in: {msg}"
+        );
+    }
+
+    /// A foreign thread joining an epoch whose copy 0 was already
+    /// claimed by the worker pool is flagged on the foreign side.
+    #[test]
+    #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+    fn conflict_detector_flags_foreign_write_into_pool_epoch() {
+        let sv = ScatterView::new(4, 3, ScatterMode::Duplicated);
+        (0..64usize).into_par_iter().for_each(|k| {
+            sv.add(k % 4, k % 3, 1.0); // pool claims every copy
+        });
+        let msg = std::thread::scope(|scope| {
+            scope
+                .spawn(|| must_panic(|| sv.add(0, 0, 1.0)))
+                .join()
+                .unwrap()
+        });
+        assert!(msg.contains("write conflict"), "got: {msg}");
+        assert!(msg.contains("worker pool"), "got: {msg}");
+    }
+
+    /// Sequential mode: a second thread writing in the same epoch is a
+    /// contract violation even without temporal overlap.
+    #[test]
+    #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+    fn conflict_detector_flags_cross_thread_sequential_use() {
+        let sv = ScatterView::new(2, 1, ScatterMode::Sequential);
+        std::thread::scope(|scope| {
+            scope.spawn(|| sv.add(0, 0, 1.0)).join().unwrap();
+        });
+        let msg = must_panic(|| sv.add(1, 0, 1.0));
+        assert!(msg.contains("write conflict"), "got: {msg}");
+        assert!(named_sites(&msg).len() >= 2, "got: {msg}");
+    }
+
+    /// Epoch boundaries (contribute/reset) release every claim: the
+    /// same cross-thread handoff that panics above is legal once a
+    /// boundary separates the writers.
+    #[test]
+    #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+    fn conflict_detector_epoch_boundary_releases_claims() {
+        let mut sv = ScatterView::new(2, 1, ScatterMode::Sequential);
+        std::thread::scope(|scope| {
+            let svr = &sv;
+            scope.spawn(move || svr.add(0, 0, 1.0)).join().unwrap();
+        });
+        sv.reset();
+        sv.add(1, 0, 2.0); // different thread, new epoch: fine
+        let mut out = vec![0.0; 2];
+        sv.contribute_into(&mut out);
+        assert_eq!(out, vec![0.0, 2.0]);
+    }
+
+    /// Atomic mode: overlapping distinct writers are legal (adds are
+    /// element-atomic) — recorded, never fatal.
+    #[test]
+    #[cfg(any(debug_assertions, feature = "conflict-detect"))]
+    fn atomic_mode_counts_overlaps_without_panicking() {
+        let sv = ScatterView::new(1, 1, ScatterMode::Atomic);
+        std::thread::scope(|scope| {
+            scope.spawn(|| sv.add(0, 0, 1.0)).join().unwrap();
+            scope.spawn(|| sv.add(0, 0, 1.0)).join().unwrap();
+        });
+        let mut sv = sv;
+        assert_eq!(sv.conflict_overlaps(), 1);
+        let mut out = vec![0.0];
+        sv.contribute_into(&mut out);
+        assert_eq!(out[0], 2.0);
     }
 }

@@ -1,0 +1,94 @@
+//! `lkk-lint` CLI: scan the workspace, apply `lint_allow.toml`, print
+//! a byte-stable report, and gate via exit code.
+//!
+//! Exit codes: 0 clean (or fully allowlisted), 1 violations found,
+//! 2 configuration/IO error (malformed allowlist, unreadable tree).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: lkk-lint [--root DIR] [--allow FILE] [--verbose] [--list-rules]
+
+  --root DIR     workspace root (default: walk up from cwd to the
+                 first Cargo.toml containing [workspace])
+  --allow FILE   allowlist path (default: <root>/lint_allow.toml;
+                 missing file means an empty allowlist)
+  --verbose      also print allowlisted findings
+  --list-rules   print the rule table and exit
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--allow" => allow_path = args.next().map(PathBuf::from),
+            "--verbose" => verbose = true,
+            "--list-rules" => {
+                for r in lkk_lint::rules::Rule::ALL {
+                    println!("{}  {}", r.id(), r.summary());
+                    println!("        {}", r.hint());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("lkk-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| lkk_lint::find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("lkk-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let allow_path = allow_path.unwrap_or_else(|| root.join("lint_allow.toml"));
+    let allow = if allow_path.is_file() {
+        let text = match std::fs::read_to_string(&allow_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("lkk-lint: cannot read {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match lkk_lint::allowlist::parse(&text) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("lkk-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let report = match lkk_lint::scan_workspace(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lkk-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", lkk_lint::format_report(&report, verbose));
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

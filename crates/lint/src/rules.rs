@@ -1,0 +1,583 @@
+//! The five workspace invariant rules.
+//!
+//! Every rule is a heuristic matcher over the comment/string-masked
+//! source (see [`crate::source`]) — deliberately AST-lite so the
+//! linter has zero dependencies and runs in milliseconds, at the cost
+//! of being pattern-driven. False positives are handled by the audited
+//! allowlist (`lint_allow.toml`), never by weakening a rule.
+//!
+//! | id     | invariant                                                    |
+//! |--------|--------------------------------------------------------------|
+//! | LKK001 | no wall clock / OS entropy outside audited modules           |
+//! | LKK002 | no `HashMap`/`HashSet` iteration (unordered bytes can leak   |
+//! |        | into canonical JSON, baselines, and trace export)            |
+//! | LKK003 | every `note_*`/`flow_*` hook emission sits behind a          |
+//! |        | `has_subscribers()` fast path                                |
+//! | LKK004 | no allocating calls inside `parallel_*` dispatch closures    |
+//! | LKK005 | no raw indexed `+=`/`-=` scatter inside `parallel_*`         |
+//! |        | closures (use `ScatterView` or a quantized path)             |
+
+use crate::source::{ident_boundary_before, matching_paren, File};
+use std::fmt;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock / OS-entropy call outside the audited module set.
+    Lkk001,
+    /// Iteration over a std hash container (unordered).
+    Lkk002,
+    /// Profile hook emission without a `has_subscribers()` gate.
+    Lkk003,
+    /// Allocation inside a parallel dispatch closure.
+    Lkk004,
+    /// Raw indexed compound-assign scatter inside a parallel closure.
+    Lkk005,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 5] = [
+        Rule::Lkk001,
+        Rule::Lkk002,
+        Rule::Lkk003,
+        Rule::Lkk004,
+        Rule::Lkk005,
+    ];
+
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Lkk001 => "LKK001",
+            Rule::Lkk002 => "LKK002",
+            Rule::Lkk003 => "LKK003",
+            Rule::Lkk004 => "LKK004",
+            Rule::Lkk005 => "LKK005",
+        }
+    }
+
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == id)
+    }
+
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::Lkk001 => "wall clock or OS entropy outside the audited wall-clock modules",
+            Rule::Lkk002 => "iteration over a std hash container (nondeterministic order)",
+            Rule::Lkk003 => "profile hook emission without a has_subscribers() fast path",
+            Rule::Lkk004 => "allocation inside a parallel dispatch closure",
+            Rule::Lkk005 => "raw indexed scatter inside a parallel dispatch closure",
+        }
+    }
+
+    pub fn hint(self) -> &'static str {
+        match self {
+            Rule::Lkk001 => {
+                "deterministic-mode output must be byte-stable: route timing through \
+                 lkk_kokkos::profile regions or the trace layer's logical ticks, or add an \
+                 audited lint_allow.toml entry for a genuinely wall-clock-only path"
+            }
+            Rule::Lkk002 => {
+                "HashMap/HashSet iteration order varies per process: use BTreeMap/BTreeSet, \
+                 or collect-and-sort before anything that feeds canonical JSON, baselines, \
+                 or trace export"
+            }
+            Rule::Lkk003 => {
+                "building the hook payload (format!, joins, table walks) must be skipped when \
+                 nobody is listening: wrap the emission in `if profile::has_subscribers() { .. }` \
+                 (the hooks early-out internally, but only after the payload exists)"
+            }
+            Rule::Lkk004 => {
+                "hot kernels must not touch the allocator (steady-state zero-alloc invariant): \
+                 hoist buffers into pooled storage or per-thread scratch re-used across steps \
+                 (see docs/performance.md)"
+            }
+            Rule::Lkk005 => {
+                "unsynchronised indexed accumulation races under parallel dispatch: scatter \
+                 through ScatterView::add (atomic/duplicated/sequential deconfliction) or a \
+                 quantized path, or accumulate into a closure-local buffer"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub path: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub excerpt: String,
+    pub detail: String,
+}
+
+fn finding(file: &File, off: usize, rule: Rule, detail: String) -> Finding {
+    Finding {
+        path: file.path.clone(),
+        line: file.line_of(off),
+        rule,
+        excerpt: file.excerpt(off),
+        detail,
+    }
+}
+
+/// Run every applicable rule over one file.
+pub fn check_file(file: &File) -> Vec<Finding> {
+    let mut out = Vec::new();
+    lkk001_wall_clock(file, &mut out);
+    lkk002_hash_iteration(file, &mut out);
+    lkk003_ungated_hooks(file, &mut out);
+    let spans = dispatch_spans(file);
+    lkk004_alloc_in_kernel(file, &spans, &mut out);
+    lkk005_raw_scatter(file, &spans, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Word-bounded occurrences of `pat` in the masked text.
+fn occurrences<'a>(file: &'a File, pat: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let b = file.masked.as_bytes();
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        while let Some(p) = file.masked[from..].find(pat) {
+            let at = from + p;
+            from = at + pat.len();
+            if ident_boundary_before(b, at) {
+                return Some(at);
+            }
+        }
+        None
+    })
+}
+
+// ---------------------------------------------------------------------
+// LKK001 — wall clock / OS entropy
+// ---------------------------------------------------------------------
+
+const WALL_CLOCK_PATTERNS: &[&str] = &[
+    "Instant::now",
+    "SystemTime",
+    "UNIX_EPOCH",
+    "thread_rng",
+    "from_entropy",
+    "RandomState",
+    "getrandom",
+];
+
+fn lkk001_wall_clock(file: &File, out: &mut Vec<Finding>) {
+    for pat in WALL_CLOCK_PATTERNS {
+        for at in occurrences(file, pat) {
+            out.push(finding(
+                file,
+                at,
+                Rule::Lkk001,
+                format!("nondeterministic source `{pat}`"),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// LKK002 — hash container iteration
+// ---------------------------------------------------------------------
+
+/// Names bound (via `let` or a struct field declaration) to a
+/// `HashMap`/`HashSet` anywhere in the file.
+fn hash_bindings(file: &File) -> Vec<String> {
+    let mut names = Vec::new();
+    let b = file.masked.as_bytes();
+    for container in ["HashMap", "HashSet"] {
+        for at in occurrences(file, container) {
+            // Statement start: last `;`, `{`, `}` or `(` before the match.
+            let stmt = file.masked[..at]
+                .rfind([';', '{', '}', '('])
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            let before = &file.masked[stmt..at];
+            if let Some(let_pos) = before.find("let ") {
+                // `let [mut] NAME [: T] = …HashMap…`
+                let after_let = before[let_pos + 4..].trim_start();
+                let after_let = after_let
+                    .strip_prefix("mut ")
+                    .unwrap_or(after_let)
+                    .trim_start();
+                let name: String = after_let
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    names.push(name);
+                }
+            } else if let Some(colon) = before.rfind(':') {
+                // Field or local type ascription: `NAME: HashMap<…>`.
+                let head = before[..colon].trim_end();
+                let name: String = head
+                    .chars()
+                    .rev()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect::<String>()
+                    .chars()
+                    .rev()
+                    .collect();
+                if !name.is_empty() && !name.chars().next().unwrap().is_ascii_digit() {
+                    names.push(name);
+                }
+            }
+            let _ = b;
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain(",
+];
+
+fn lkk002_hash_iteration(file: &File, out: &mut Vec<Finding>) {
+    let names = hash_bindings(file);
+    for name in &names {
+        for at in occurrences(file, name) {
+            if file.in_test_code(at) {
+                continue;
+            }
+            let after = &file.masked[at + name.len()..];
+            let b = file.masked.as_bytes();
+            let end = at + name.len();
+            // `name.iter()` and friends.
+            if end < b.len() && b[end] == b'.' && ITER_METHODS.iter().any(|m| after.starts_with(m))
+            {
+                out.push(finding(
+                    file,
+                    at,
+                    Rule::Lkk002,
+                    format!("`{name}` is a std hash container and its entries are iterated"),
+                ));
+                continue;
+            }
+            // `for … in [&[mut ]]name` followed by a block or method-free use.
+            let mut before = file.masked[..at].trim_end();
+            before = before.strip_suffix("&mut").unwrap_or(before).trim_end();
+            before = before.strip_suffix('&').unwrap_or(before).trim_end();
+            if before.ends_with(" in") || before.ends_with("\tin") {
+                let next = after.trim_start().chars().next().unwrap_or(' ');
+                if next == '{' || next == '.' && after.trim_start().starts_with(".iter") {
+                    out.push(finding(
+                        file,
+                        at,
+                        Rule::Lkk002,
+                        format!("`for … in {name}` iterates a std hash container"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// LKK003 — ungated hook emission
+// ---------------------------------------------------------------------
+
+const HOOK_CALLS: &[&str] = &[
+    "note_instant(",
+    "note_counter(",
+    "note_flow_begin(",
+    "note_flow_end(",
+];
+
+/// Byte spans `(fn_kw, body_open, body_end)` of every `fn` item.
+fn fn_spans(file: &File) -> Vec<(usize, usize, usize)> {
+    let mut spans = Vec::new();
+    let b = file.masked.as_bytes();
+    for at in occurrences(file, "fn ") {
+        // Find the body `{`, skipping the parameter list and any
+        // return type; a `;` at depth 0 first means a bodyless decl.
+        let mut j = at + 3;
+        let mut paren = 0usize;
+        let mut angle = 0usize;
+        let open = loop {
+            if j >= b.len() {
+                break None;
+            }
+            match b[j] {
+                b'(' => paren += 1,
+                b')' => paren = paren.saturating_sub(1),
+                b'<' => angle += 1,
+                b'>' => angle = angle.saturating_sub(1),
+                b'{' if paren == 0 => break Some(j),
+                b';' if paren == 0 && angle == 0 => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        if let Some(open) = open {
+            let close = crate::source::matching_brace(b, open);
+            spans.push((at, open, close));
+        }
+    }
+    spans
+}
+
+fn lkk003_ungated_hooks(file: &File, out: &mut Vec<Finding>) {
+    // The hooks' own definitions (which early-out internally) live in
+    // the profile module; the rule audits *callers*.
+    if file.path == "crates/kokkos/src/profile.rs" {
+        return;
+    }
+    let spans = fn_spans(file);
+    for call in HOOK_CALLS {
+        for at in occurrences(file, call) {
+            if file.in_test_code(at) {
+                continue;
+            }
+            // Skip definitions (`fn note_instant(…`).
+            let before = file.masked[..at].trim_end();
+            if before.ends_with("fn") {
+                continue;
+            }
+            // Innermost enclosing fn body.
+            let encl = spans
+                .iter()
+                .filter(|&&(_, open, close)| open < at && at < close)
+                .max_by_key(|&&(_, open, _)| open);
+            let gated = match encl {
+                Some(&(_, open, _)) => file.masked[open..at].contains("has_subscribers"),
+                None => false,
+            };
+            if !gated {
+                let name = call.trim_end_matches('(');
+                out.push(finding(
+                    file,
+                    at,
+                    Rule::Lkk003,
+                    format!("`{name}` emission without a has_subscribers() gate in scope"),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// LKK004 / LKK005 — parallel dispatch closures
+// ---------------------------------------------------------------------
+
+const DISPATCHES: &[&str] = &[
+    "parallel_for(",
+    "parallel_for_2d(",
+    "parallel_for_team(",
+    "parallel_reduce(",
+    "parallel_reduce_sum(",
+];
+
+/// Byte spans of every parallel dispatch call's argument list
+/// (closures included), excluding test code.
+fn dispatch_spans(file: &File) -> Vec<(usize, usize)> {
+    let b = file.masked.as_bytes();
+    let mut spans = Vec::new();
+    for d in DISPATCHES {
+        for at in occurrences(file, d) {
+            if file.in_test_code(at) {
+                continue;
+            }
+            let open = at + d.len() - 1;
+            spans.push((open, matching_paren(b, open)));
+        }
+    }
+    spans.sort_unstable();
+    spans
+}
+
+const ALLOC_PATTERNS: &[&str] = &[
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "vec!",
+    "Box::new(",
+    "String::new(",
+    "String::from(",
+    "format!",
+    ".to_string(",
+    ".to_vec(",
+    ".to_owned(",
+    ".collect(",
+    ".collect::<",
+];
+
+fn lkk004_alloc_in_kernel(file: &File, spans: &[(usize, usize)], out: &mut Vec<Finding>) {
+    for &(open, close) in spans {
+        for pat in ALLOC_PATTERNS {
+            let region = &file.masked[open..close];
+            let mut from = 0;
+            while let Some(p) = region[from..].find(pat) {
+                let at = open + from + p;
+                from += p + pat.len();
+                if pat.starts_with('.') || ident_boundary_before(file.masked.as_bytes(), at) {
+                    out.push(finding(
+                        file,
+                        at,
+                        Rule::Lkk004,
+                        format!(
+                            "allocating call `{}` inside a parallel dispatch",
+                            pat.trim_end_matches('(')
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers declared locally inside `span` (let bindings and
+/// closure parameters) — these may be scattered into freely.
+fn local_names(masked: &str, span: (usize, usize)) -> Vec<String> {
+    let region = &masked[span.0..span.1];
+    let mut names = Vec::new();
+    // `let [mut] name`
+    let mut from = 0;
+    while let Some(p) = region[from..].find("let ") {
+        let at = from + p;
+        from = at + 4;
+        let rest = region[at + 4..].trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let rest = rest.trim_start_matches(['(', '[']);
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            names.push(name);
+        }
+    }
+    // Closure parameter lists: idents between a `|` pair on one line.
+    let bytes = region.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'|' {
+            if let Some(len) = region[i + 1..]
+                .find(['|', '\n'])
+                .and_then(|p| (region.as_bytes()[i + 1 + p] == b'|').then_some(p))
+            {
+                let params = &region[i + 1..i + 1 + len];
+                for tok in params.split(|c: char| !(c.is_alphanumeric() || c == '_')) {
+                    if !tok.is_empty() && !tok.chars().next().unwrap().is_ascii_digit() {
+                        names.push(tok.to_string());
+                    }
+                }
+                i += len + 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn lkk005_raw_scatter(file: &File, spans: &[(usize, usize)], out: &mut Vec<Finding>) {
+    let b = file.masked.as_bytes();
+    for &span in spans {
+        let locals = local_names(&file.masked, span);
+        let region = &file.masked[span.0..span.1];
+        for op in ["+=", "-="] {
+            let mut from = 0;
+            while let Some(p) = region[from..].find(op) {
+                let at = span.0 + from + p;
+                from += p + op.len();
+                // LHS must end with `]` (indexed target).
+                let lhs_end = file.masked[..at].trim_end().len();
+                if lhs_end == 0 || b[lhs_end - 1] != b']' {
+                    continue;
+                }
+                // Reverse-match the bracket, then read the base path.
+                let mut depth = 0i32;
+                let mut k = lhs_end - 1;
+                loop {
+                    match b[k] {
+                        b']' => depth += 1,
+                        b'[' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                }
+                let path_end = k;
+                let path_start = file.masked[..path_end]
+                    .rfind(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.'))
+                    .map(|p| p + 1)
+                    .unwrap_or(0);
+                let base_path = &file.masked[path_start..path_end];
+                let base = base_path.split('.').next().unwrap_or("");
+                if base.is_empty() || locals.iter().any(|l| l == base) {
+                    continue;
+                }
+                out.push(finding(
+                    file,
+                    at,
+                    Rule::Lkk005,
+                    format!(
+                        "raw `{base_path}[…] {op}` scatter inside a parallel dispatch \
+                         (`{base}` is not closure-local)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        check_file(&File::new(path, src))
+    }
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+        }
+        assert_eq!(Rule::from_id("LKK999"), None);
+    }
+
+    #[test]
+    fn wall_clock_in_comment_or_string_is_ignored() {
+        let f = check(
+            "crates/x/src/a.rs",
+            "// Instant::now() is banned\nfn f() { let s = \"SystemTime\"; }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn local_scatter_and_scratch_pass() {
+        let src = r#"
+fn kernel(space: &Space) {
+    space.parallel_reduce("k", n, [0.0f64; 6], |i| {
+        let mut w = [0.0f64; 6];
+        w[0] += 1.0;
+        w
+    }, |a, b| a);
+}
+"#;
+        assert!(check("crates/x/src/a.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: LKK001 — wall clock / OS entropy in library code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_nanos()
+}

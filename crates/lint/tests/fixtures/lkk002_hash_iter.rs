@@ -1,0 +1,14 @@
+// Fixture: LKK002 — iterating a std hash container.
+use std::collections::HashMap;
+
+pub fn dump(m: &HashMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (k, v) in m.iter() {
+        out.push_str(&format!("{k}={v};"));
+    }
+    out
+}
+
+pub fn keys_of(counts: HashMap<String, u64>) -> Vec<String> {
+    counts.keys().cloned().collect()
+}

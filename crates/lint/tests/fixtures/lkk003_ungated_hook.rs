@@ -1,0 +1,13 @@
+// Fixture: LKK003 — hook emission without a has_subscribers() gate.
+use lkk_kokkos::profile;
+
+pub fn report(flops: f64, bytes: f64) {
+    profile::note_instant("fixture.flops", flops);
+    profile::note_counter("fixture.bytes", bytes);
+}
+
+pub fn report_gated(flops: f64) {
+    if profile::has_subscribers() {
+        profile::note_instant("fixture.flops", flops);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: LKK004 — allocation inside a parallel dispatch closure.
+use lkk_kokkos::Space;
+
+pub fn kernel(space: &Space, n: usize) -> f64 {
+    space.parallel_reduce(
+        "FixtureKernel",
+        n,
+        0.0f64,
+        |i| {
+            let scratch = vec![0.0f64; 8];
+            let names: Vec<String> = (0..4).map(|k| k.to_string()).collect();
+            scratch[i % 8] + names.len() as f64
+        },
+        |a, b| a + b,
+    )
+}

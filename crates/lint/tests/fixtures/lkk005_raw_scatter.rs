@@ -1,0 +1,10 @@
+// Fixture: LKK005 — raw indexed scatter inside a parallel dispatch.
+use lkk_kokkos::Space;
+
+pub fn kernel(space: &Space, f: &mut [f64], n: usize) {
+    space.parallel_for("FixtureScatter", n, |i| {
+        let j = (i + 1) % n;
+        f[j] += 1.0;
+        f[i] -= 0.5;
+    });
+}

@@ -76,6 +76,8 @@ fn min_max(xs: &[f64]) -> (f64, f64) {
 
 /// One timed repetition: build the workload fresh, run it under a
 /// [`PhaseClock`], return (total wall seconds, per-phase seconds).
+// Audited wall-clock site: lint_allow.toml LKK001 (--time harness).
+#[allow(clippy::disallowed_methods)]
 fn run_one_rep(make: fn() -> Workload, scale: u64) -> (f64, BTreeMap<String, f64>, usize, u64) {
     let Workload {
         name: _,

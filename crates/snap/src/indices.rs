@@ -97,7 +97,9 @@ mod tests {
             assert!(j + j2 >= j1 && j1 + j2 >= j, "triangle violated");
             assert_eq!((j1 + j2 + j) % 2, 0, "parity violated");
         }
-        // No duplicates.
+        // No duplicates. Insert-only set (never iterated): order
+        // cannot leak into the assertion.
+        #[allow(clippy::disallowed_types)]
         let mut seen = std::collections::HashSet::new();
         for t in &idx.triples {
             assert!(seen.insert(*t));

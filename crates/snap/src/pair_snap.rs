@@ -381,11 +381,13 @@ impl PairStyle for PairSnap {
                     );
                 });
             });
-            profile::note_instant("snap.ui.flops", nlocal_f * ctx.ui_flops_per_atom(avg_neigh));
-            profile::note_instant(
-                "snap.ui.bytes",
-                nlocal_f * (ctx.u_bytes_per_atom() + avg_neigh * 28.0),
-            );
+            if profile::has_subscribers() {
+                profile::note_instant("snap.ui.flops", nlocal_f * ctx.ui_flops_per_atom(avg_neigh));
+                profile::note_instant(
+                    "snap.ui.bytes",
+                    nlocal_f * (ctx.u_bytes_per_atom() + avg_neigh * 28.0),
+                );
+            }
         }
 
         // Stage 2 — ComputeYi: one shared Z per work item feeds both
@@ -411,8 +413,10 @@ impl PairStyle for PairSnap {
                 },
                 |a, b| a + b,
             );
-            profile::note_instant("snap.yi.flops", nlocal_f * ctx.yi_flops_per_atom());
-            profile::note_instant("snap.yi.bytes", nlocal_f * 2.0 * ctx.u_bytes_per_atom());
+            if profile::has_subscribers() {
+                profile::note_instant("snap.yi.flops", nlocal_f * ctx.yi_flops_per_atom());
+                profile::note_instant("snap.yi.bytes", nlocal_f * 2.0 * ctx.u_bytes_per_atom());
+            }
             e
         };
 
@@ -477,26 +481,30 @@ impl PairStyle for PairSnap {
                     w
                 },
             );
-            profile::note_instant(
-                "snap.deidrj.flops",
-                nlocal_f * avg_neigh * ctx.deidrj_flops_per_neighbor(config.fuse_deidrj),
-            );
-            profile::note_instant(
-                "snap.deidrj.bytes",
-                nlocal_f * (avg_neigh * 28.0 + ctx.u_bytes_per_atom()),
-            );
+            if profile::has_subscribers() {
+                profile::note_instant(
+                    "snap.deidrj.flops",
+                    nlocal_f * avg_neigh * ctx.deidrj_flops_per_neighbor(config.fuse_deidrj),
+                );
+                profile::note_instant(
+                    "snap.deidrj.bytes",
+                    nlocal_f * (avg_neigh * 28.0 + ctx.u_bytes_per_atom()),
+                );
+            }
             v
         };
 
         // Contraction-table shape counters: pinned at zero tolerance in
         // the perf baseline (construction-once invariant — `builds`
         // must stay 1).
-        let t = &ctx.tables;
-        profile::note_counter("snap.table.items", t.items.len() as f64);
-        profile::note_counter("snap.table.pairs", t.pairs.len() as f64);
-        profile::note_counter("snap.table.y_items", t.y_items.len() as f64);
-        profile::note_counter("snap.table.y_scatters", t.y_scatters.len() as f64);
-        profile::note_counter("snap.table.builds", ctx.table_builds as f64);
+        if profile::has_subscribers() {
+            let t = &ctx.tables;
+            profile::note_counter("snap.table.items", t.items.len() as f64);
+            profile::note_counter("snap.table.pairs", t.pairs.len() as f64);
+            profile::note_counter("snap.table.y_items", t.y_items.len() as f64);
+            profile::note_counter("snap.table.y_scatters", t.y_scatters.len() as f64);
+            profile::note_counter("snap.table.builds", ctx.table_builds as f64);
+        }
 
         let f = system.atoms.f.view_for_mut(&space);
         f.fill(0.0);

@@ -120,6 +120,8 @@ pub struct TraceCollector {
 }
 
 impl TraceCollector {
+    // Audited wall-clock site: lint_allow.toml LKK001 (Wall mode only).
+    #[allow(clippy::disallowed_methods)]
     pub fn new(mode: TraceMode, arch: GpuArch) -> Self {
         Self {
             id: NEXT_COLLECTOR_ID.fetch_add(1, Ordering::Relaxed),

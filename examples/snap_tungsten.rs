@@ -27,6 +27,8 @@ fn build(config: SnapKernelConfig) -> Simulation {
         .build()
 }
 
+// Audited wall-clock site: lint_allow.toml LKK001 (demo timing line).
+#[allow(clippy::disallowed_methods)]
 fn main() {
     println!("SNAP (2J = 8, 55 bispectrum components) on bcc W, 432 atoms\n");
 

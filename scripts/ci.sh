@@ -3,11 +3,12 @@
 #
 #   scripts/ci.sh
 #
-# Steps mirror the jobs in .github/workflows/ci.yml (build, test, lint,
-# perf, chaos) run back-to-back; if you change one, change the other.
-# The sanitizer lanes of .github/workflows/sanitizers.yml run at the
-# end when a nightly toolchain is installed, and are advisory here just
-# as they are advisory (continue-on-error) in CI.
+# Steps mirror the jobs in .github/workflows/ci.yml (build, test,
+# lint-invariants, lint, perf, chaos) run back-to-back; if you change
+# one, change the other. The sanitizer lanes of
+# .github/workflows/sanitizers.yml run at the end when a nightly
+# toolchain is installed; Miri gates (as it does in CI), TSan stays
+# advisory.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +30,13 @@ cargo test -q --workspace
 # trajectories ≤1e-12, comm-model validation).
 echo "==> rank-equivalence + comm-validation suites (release)"
 cargo test --release -q --test rank_equivalence --test comm_validation
+
+# --- lint-invariants job ------------------------------------------------
+
+# Workspace invariant linter (LKK001..LKK005, docs/static-analysis.md):
+# exit 1 on violations, exit 2 on a malformed lint_allow.toml. Gating.
+echo "==> lkk-lint (workspace invariants)"
+cargo run --release -p lkk-lint
 
 # --- lint job ----------------------------------------------------------
 
@@ -111,14 +119,15 @@ awk -F': *' '/"skewed8\/atom_imbalance"/ { if ($2 + 0 > 1.15) \
   { print "skewed8 imbalance " $2 " above 1.15"; exit 1 } }' \
   results/metrics_baseline.json
 
-# --- sanitizer lanes (advisory, need a nightly toolchain) --------------
+# --- sanitizer lanes (need a nightly toolchain) ------------------------
 
+# Miri GATES when available (mirrors the gating miri job in
+# sanitizers.yml); TSan stays advisory — see the workflow comments.
 if rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
   if cargo +nightly miri --version >/dev/null 2>&1; then
-    echo "==> miri: lkk-kokkos atomic + scatter-view unit tests (advisory)"
+    echo "==> miri: lkk-kokkos atomic + scatter-view unit tests (gating)"
     MIRIFLAGS="-Zmiri-seed=7 -Zmiri-strict-provenance" \
-      cargo +nightly miri test -p lkk-kokkos atomic scatter ||
-      echo "==> miri lane FAILED (advisory — tracked by the sanitizers badge)"
+      cargo +nightly miri test -p lkk-kokkos atomic scatter
   else
     echo "==> miri not installed for nightly; skipping (rustup component add miri --toolchain nightly)"
   fi

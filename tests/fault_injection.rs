@@ -211,6 +211,8 @@ fn fault_stats_expose_every_counter() {
 }
 
 #[test]
+// Audited wall-clock site: lint_allow.toml LKK001 (CI watchdog).
+#[allow(clippy::disallowed_methods)]
 fn unrecoverable_dead_edge_fails_within_budget_on_all_ranks() {
     // Edge 0→1 goes permanently dead from the first envelope: the
     // receiver's NACKs are answered by nothing (dead-edge drops park no

@@ -22,7 +22,7 @@ use lkk_perf::json::{self, Value};
 use lkk_perf::report::with_exclusive_run;
 use lkk_perf::tracing::capture_with;
 use lkk_perf::workloads;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn str_of(v: &Value) -> &str {
     match v {
@@ -45,8 +45,8 @@ fn trace_event_export_is_schema_valid_and_deterministic() {
     assert!(!events.is_empty());
 
     let mut lane_names: Vec<(usize, String)> = Vec::new();
-    let mut last_ts: HashMap<(usize, usize), f64> = HashMap::new();
-    let mut open: HashMap<(usize, usize), Vec<String>> = HashMap::new();
+    let mut last_ts: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut open: BTreeMap<(usize, usize), Vec<String>> = BTreeMap::new();
     let mut device_complete = 0usize;
 
     for ev in events {
@@ -135,7 +135,7 @@ fn assert_flow_pairing(chrome_json: &str) -> usize {
     };
     // id → (`s` lanes, `f` lanes), each lane a `(pid, tid)` pair.
     type Lane = (usize, usize);
-    let mut flows: HashMap<u64, (Vec<Lane>, Vec<Lane>)> = HashMap::new();
+    let mut flows: BTreeMap<u64, (Vec<Lane>, Vec<Lane>)> = BTreeMap::new();
     for ev in events {
         let ph = str_of(ev.get("ph").expect("event without ph"));
         if ph != "s" && ph != "f" {
@@ -253,7 +253,7 @@ fn assert_balanced_lanes(chrome_json: &str) -> Vec<String> {
         panic!("traceEvents missing or not an array");
     };
     let mut lanes = Vec::new();
-    let mut open: HashMap<(usize, usize), Vec<String>> = HashMap::new();
+    let mut open: BTreeMap<(usize, usize), Vec<String>> = BTreeMap::new();
     for ev in events {
         let ph = str_of(ev.get("ph").expect("event without ph"));
         let pid = ev.get("pid").and_then(Value::as_f64).expect("pid") as usize;
